@@ -1,0 +1,18 @@
+//! `cargo bench` entry point that regenerates every paper table and figure
+//! (no statistical harness — the simulation is deterministic, so a single
+//! run *is* the result).
+
+fn main() {
+    println!("[bench] regenerating all paper tables and figures");
+    molecule_bench::fig02::print();
+    molecule_bench::fig08::print();
+    molecule_bench::fig09::print();
+    molecule_bench::fig10::print();
+    molecule_bench::fig11::print();
+    molecule_bench::fig12::print();
+    molecule_bench::fig13::print();
+    molecule_bench::fig14::print();
+    molecule_bench::fig15::print();
+    molecule_bench::tables::print();
+    molecule_bench::ablations::print();
+}

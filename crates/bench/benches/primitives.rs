@@ -1,0 +1,229 @@
+//! Criterion microbenchmarks of the stack's hot data structures: the DES
+//! engine, simulated channels, the capability table, XPUcall cost
+//! evaluation, page-ledger operations and the real matrix kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use hetsim::calib::Calibration;
+use hetsim::engine::Simulation;
+use hetsim::os::MemoryLedger;
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use xpu_shim::cap::{CapTable, ObjKind, Perm};
+use xpu_shim::id::XpuPid;
+use xpu_shim::xcall::XcallTransport;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/10k_sleep_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.spawn("sleeper", |ctx| {
+                for _ in 0..10_000 {
+                    ctx.sleep(SimDuration::from_nanos(10));
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+
+    c.bench_function("engine/channel_pingpong_1k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            let (tx_a, rx_a) = sim.channel::<u32>();
+            let (tx_b, rx_b) = sim.channel::<u32>();
+            sim.spawn("ping", move |ctx| {
+                for i in 0..1_000u32 {
+                    tx_a.send(i).unwrap();
+                    rx_b.recv(ctx).unwrap();
+                }
+            });
+            sim.spawn("pong", move |ctx| {
+                for _ in 0..1_000 {
+                    let v = rx_a.recv(ctx).unwrap();
+                    tx_b.send(v).unwrap();
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+}
+
+fn bench_captable(c: &mut Criterion) {
+    c.bench_function("caps/grant_check_revoke", |b| {
+        b.iter_batched(
+            || {
+                let mut t = CapTable::new();
+                let owner = XpuPid { pu: PuId(0), local: 1 };
+                let peer = XpuPid { pu: PuId(1), local: 1 };
+                t.register_process(owner);
+                t.register_process(peer);
+                let obj = t.create_object(owner, ObjKind::Ipc).unwrap();
+                (t, owner, peer, obj)
+            },
+            |(mut t, owner, peer, obj)| {
+                t.grant(owner, peer, obj, Perm::WRITE).unwrap();
+                t.check(peer, obj, Perm::WRITE).unwrap();
+                t.revoke(owner, peer, obj, Perm::WRITE).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_xcall_cost(c: &mut Criterion) {
+    let calib = Calibration::paper_server();
+    c.bench_function("xcall/cost_model_eval", |b| {
+        b.iter(|| {
+            let mut acc = SimDuration::ZERO;
+            for t in XcallTransport::ALL {
+                for size in [16u64, 256, 2048] {
+                    acc += t.invoke_cost(
+                        black_box(&calib.dpu_bf1_os),
+                        black_box(&calib.xcall_device),
+                        black_box(size),
+                    );
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_memory_ledger(c: &mut Criterion) {
+    c.bench_function("memory/fork_share_release_100", |b| {
+        b.iter(|| {
+            let mut ledger = MemoryLedger::new();
+            let blocks: Vec<_> = (0..100).map(|_| ledger.alloc(1500)).collect();
+            for &blk in &blocks {
+                ledger.share(blk);
+            }
+            for &blk in &blocks {
+                ledger.release(blk);
+                ledger.release(blk);
+            }
+            ledger.total_pages()
+        })
+    });
+}
+
+fn bench_notify_queue(c: &mut Criterion) {
+    use std::sync::Arc;
+    use xpu_shim::mpsc::NotifyQueue;
+    c.bench_function("mpsc/push_pop_uncontended_1k", |b| {
+        let q = NotifyQueue::with_capacity(2048);
+        let pid = XpuPid { pu: PuId(1), local: 1 };
+        b.iter(|| {
+            for _ in 0..1_000 {
+                q.push(black_box(pid)).unwrap();
+            }
+            for _ in 0..1_000 {
+                black_box(q.pop());
+            }
+        })
+    });
+    c.bench_function("mpsc/4_producers_contended", |b| {
+        b.iter(|| {
+            let q = Arc::new(NotifyQueue::with_capacity(4096));
+            let mut handles = Vec::new();
+            for p in 0..4u16 {
+                let q = Arc::clone(&q);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let id = XpuPid { pu: PuId(p), local: i };
+                        while q.push(id).is_err() {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }));
+            }
+            let mut popped = 0;
+            while popped < 2_000 {
+                if q.pop().is_some() {
+                    popped += 1;
+                }
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            popped
+        })
+    });
+}
+
+fn bench_matrix_kernels(c: &mut Criterion) {
+    let n = 64;
+    let a: Vec<f64> = (0..n * n).map(|i| i as f64 * 0.5).collect();
+    let b2: Vec<f64> = (0..n * n).map(|i| (i % 97) as f64).collect();
+    c.bench_function("matrix/matmul_64", |bch| {
+        bch.iter(|| {
+            let mut out = vec![0.0; n * n];
+            workloads::matrix::matmul(black_box(&a), black_box(&b2), &mut out, n);
+            out
+        })
+    });
+    c.bench_function("matrix/vmult_64", |bch| {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        bch.iter(|| {
+            let mut y = vec![0.0; n];
+            workloads::matrix::vmult(black_box(&a), black_box(&x), &mut y);
+            y
+        })
+    });
+}
+
+fn bench_workload_kernels(c: &mut Criterion) {
+    use workloads::kernels;
+    let data: Vec<u8> = (0..16 * 1024).map(|i| (i % 251) as u8).collect();
+    let key = [0x2bu8; 16];
+    c.bench_function("kernels/aes128_ecb_16k", |b| {
+        b.iter(|| kernels::aes128_encrypt_ecb(black_box(&data), black_box(&key)))
+    });
+    let n = 48;
+    let a: Vec<f64> = (0..n * n)
+        .map(|i| ((i * 2654435761usize) % 1000) as f64 / 997.0 + if i % (n + 1) == 0 { 3.0 } else { 0.0 })
+        .collect();
+    let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    c.bench_function("kernels/linpack_solve_48", |b| {
+        b.iter_batched(
+            || (a.clone(), rhs.clone()),
+            |(mut a, mut rhs)| kernels::linpack_solve(&mut a, &mut rhs),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("kernels/dd_copy_16k", |b| {
+        b.iter(|| kernels::dd_copy(black_box(&data), 512))
+    });
+}
+
+fn bench_shim_server(c: &mut Criterion) {
+    use hetsim::pu::PuId as Pu;
+    use xpu_shim::server::{QueueDiscipline, ShimServer};
+    for (label, discipline) in [
+        ("per_thread", QueueDiscipline::PerThread { threads: 4 }),
+        ("work_stealing", QueueDiscipline::WorkStealing { threads: 4 }),
+    ] {
+        c.bench_function(&format!("shim_server/{label}_20k"), |b| {
+            b.iter(|| {
+                let server = ShimServer::start(discipline, |_, _| {});
+                for i in 0..20_000u32 {
+                    server.submit(XpuPid { pu: Pu((i % 8) as u16), local: i });
+                }
+                server.shutdown()
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_captable,
+    bench_xcall_cost,
+    bench_memory_ledger,
+    bench_notify_queue,
+    bench_workload_kernels,
+    bench_shim_server,
+    bench_matrix_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the design-choice ablation studies.
+
+fn main() {
+    molecule_bench::ablations::print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper data backed by `molecule_bench::fig11`.
+
+fn main() {
+    molecule_bench::fig11::print();
+}

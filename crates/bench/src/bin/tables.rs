@@ -1,0 +1,5 @@
+//! Regenerates the paper data backed by `molecule_bench::tables`.
+
+fn main() {
+    molecule_bench::tables::print();
+}

@@ -1,0 +1,157 @@
+//! Figure 8 — nIPC latency vs message size.
+//!
+//! A caller on the DPU issues `xfifo_write` into a FIFO owned by a CPU
+//! process, under each of the three XPUcall transports; the local Linux FIFO
+//! latencies on CPU and DPU are plotted alongside. The paper reports
+//! nIPC-Poll at ≈25 µs (beating the DPU's local FIFO) and Base/MPSC several
+//! times above it.
+
+use bytes::Bytes;
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use xpu_shim::cap::Perm;
+use xpu_shim::cluster::{ShimCluster, ShimConfig};
+use xpu_shim::xcall::XcallTransport;
+
+use crate::run_sim;
+
+/// The Fig. 8 x-axis: message sizes in bytes.
+pub const MSG_SIZES: [u64; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// One series of the figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NipcSeries {
+    /// Series label as the figure's legend prints it.
+    pub label: String,
+    /// Latency at each entry of [`MSG_SIZES`].
+    pub latency: Vec<SimDuration>,
+}
+
+/// Measures one nIPC series (DPU → CPU `xfifo_write`) under `transport`.
+pub fn nipc_series(transport: XcallTransport) -> NipcSeries {
+    let latency = MSG_SIZES
+        .iter()
+        .map(|&size| {
+            run_sim("fig08-nipc", move |ctx| {
+                let config = ShimConfig { device_transport: transport, ..ShimConfig::default() };
+                let cluster = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), config);
+                let cpu = cluster.shim_on(PuId(0)).unwrap();
+                let dpu = cluster.shim_on(PuId(1)).unwrap();
+                let owner = cpu.attach_process();
+                let writer_pid = dpu.attach_process();
+                let fifo = cpu.xfifo_init(ctx, owner, "fig8").unwrap();
+                cpu.grant_cap(ctx, owner, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
+                let w = dpu.xfifo_connect(ctx, writer_pid, &fifo.uuid().clone()).unwrap();
+                let t0 = ctx.now();
+                w.write(ctx, Bytes::from(vec![0u8; size as usize])).unwrap();
+                fifo.read(ctx).unwrap();
+                ctx.now() - t0
+            })
+        })
+        .collect();
+    NipcSeries { label: transport.to_string(), latency }
+}
+
+/// Measures a local Linux FIFO series on `pu` (the "Linux (CPU)" /
+/// "Linux (DPU)" lines).
+pub fn linux_series(pu: PuId) -> NipcSeries {
+    let machine = Machine::paper_cpu_dpu_server();
+    let label = if pu == PuId(0) { "Linux (CPU)" } else { "Linux (DPU)" };
+    let latency = MSG_SIZES
+        .iter()
+        .map(|&size| {
+            let machine = machine.clone();
+            run_sim("fig08-linux", move |ctx| {
+                let os = machine.os(pu).unwrap().clone();
+                let name = format!("bench-{size}");
+                let reader = os.create_fifo(ctx, &name).unwrap();
+                let writer = os.open_fifo(&name).unwrap();
+                let t0 = ctx.now();
+                writer.write(ctx, Bytes::from(vec![0u8; size as usize]));
+                reader.read(ctx).unwrap();
+                ctx.now() - t0
+            })
+        })
+        .collect();
+    NipcSeries { label: label.to_owned(), latency }
+}
+
+/// All five Fig. 8 series, in the figure's legend order.
+pub fn all_series() -> Vec<NipcSeries> {
+    let mut v: Vec<NipcSeries> =
+        XcallTransport::ALL.iter().map(|&t| nipc_series(t)).collect();
+    v.push(linux_series(PuId(1)));
+    v.push(linux_series(PuId(0)));
+    v
+}
+
+/// Prints the figure's data.
+pub fn print() {
+    let series = all_series();
+    let mut header: Vec<String> = vec!["msg size".to_owned()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = MSG_SIZES
+        .iter()
+        .enumerate()
+        .map(|(i, size)| {
+            let mut row = vec![format!("{size}B")];
+            row.extend(series.iter().map(|s| format!("{:.1}us", s.latency[i].as_micros_f64())));
+            row
+        })
+        .collect();
+    crate::print_table(
+        "Figure 8: nIPC latency (paper: Poll ≈ 25us, Base/MPSC well above Linux DPU)",
+        &header_refs,
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_lands_near_25us_and_beats_linux_dpu() {
+        let poll = nipc_series(XcallTransport::MpscPoll);
+        let linux_dpu = linux_series(PuId(1));
+        for (i, &size) in MSG_SIZES.iter().enumerate() {
+            let p = poll.latency[i].as_micros_f64();
+            assert!((15.0..=35.0).contains(&p), "poll at {size}B = {p}us");
+            assert!(
+                poll.latency[i] < linux_dpu.latency[i],
+                "poll must beat Linux DPU at {size}B"
+            );
+        }
+    }
+
+    #[test]
+    fn transport_ordering_holds_across_sizes() {
+        let base = nipc_series(XcallTransport::Base);
+        let mpsc = nipc_series(XcallTransport::Mpsc);
+        let poll = nipc_series(XcallTransport::MpscPoll);
+        for i in 0..MSG_SIZES.len() {
+            assert!(base.latency[i] > mpsc.latency[i]);
+            assert!(mpsc.latency[i] > poll.latency[i]);
+        }
+    }
+
+    #[test]
+    fn base_reaches_paper_range_at_2kib() {
+        // Fig. 8 caption: "nIPC's latency ranges from 25us to 144us".
+        let base = nipc_series(XcallTransport::Base);
+        let at_2k = base.latency[MSG_SIZES.len() - 1].as_micros_f64();
+        assert!((120.0..=160.0).contains(&at_2k), "Base at 2KiB = {at_2k}us");
+    }
+
+    #[test]
+    fn poll_is_1_5x_to_3_1x_of_linux_cpu() {
+        let poll = nipc_series(XcallTransport::MpscPoll);
+        let linux_cpu = linux_series(PuId(0));
+        for ((size, p), l) in MSG_SIZES.iter().zip(&poll.latency).zip(&linux_cpu.latency) {
+            let r = p.ratio(*l);
+            assert!((1.4..=3.2).contains(&r), "ratio at {size}B = {r}");
+        }
+    }
+}

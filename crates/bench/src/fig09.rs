@@ -1,0 +1,137 @@
+//! Figure 9 — comparison with commercial serverless systems.
+//!
+//! Startup uses a helloworld function; communication uses an image-pair with
+//! <1 KB transfers. The commercial bars are the calibrated published values;
+//! the Molecule / Molecule-homo bars are *measured* on the stack. This
+//! experiment runs on the desktop calibration, like the cfork study the
+//! paper details (Fig. 11).
+
+use hetsim::calib::Calibration;
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::baseline::CommercialComparison;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+use vsandbox::spec::LangRuntime;
+use workloads::serverlessbench;
+
+use crate::run_sim;
+
+/// Runs the Fig. 9 comparison and returns the populated table.
+pub fn compare() -> CommercialComparison {
+    let calib = Calibration::desktop();
+    let (homo_startup, molecule_startup, homo_comm, molecule_comm) = run_sim("fig09", {
+        let calib = calib.clone();
+        move |ctx| {
+            let machine = Machine::builder()
+                .calibration(calib)
+                .host_cpu()
+                .bluefield1_dpus(1)
+                .build();
+            let m = Molecule::launch(machine, MoleculeConfig::default());
+            m.register_function(serverlessbench::helloworld());
+            m.register_function(serverlessbench::image_processing());
+            m.bootstrap(ctx).unwrap();
+            m.prepare_template(ctx, PuId(0), LangRuntime::Python).unwrap();
+
+            // Startup: helloworld, cold.
+            let homo = m
+                .start_instance(ctx, &"helloworld".into(), PuId(0), StartupKind::ColdBaseline)
+                .unwrap()
+                .latency;
+            let molecule = m
+                .start_instance(
+                    ctx,
+                    &"helloworld".into(),
+                    PuId(0),
+                    StartupKind::CforkXpu { issued_from: PuId(1) },
+                )
+                .unwrap()
+                .latency;
+
+            // Communication: an image-processing pair, <1 KB payload.
+            let stages = vec![
+                ChainStage::new("sb-image-process", PuId(0)),
+                ChainStage::new("sb-image-process", PuId(0)),
+            ];
+            let http = ChainSpec::new("fig9-http", stages.clone(), CommMethod::HttpGateway)
+                .input_bytes(900);
+            let ipc =
+                ChainSpec::new("fig9-ipc", stages, CommMethod::DirectIpc).input_bytes(900);
+            let homo_comm = run_chain(&m, ctx, &http).unwrap().mean_hop(1);
+            let molecule_comm = run_chain(&m, ctx, &ipc).unwrap().mean_hop(1);
+            (homo, molecule, homo_comm, molecule_comm)
+        }
+    });
+    CommercialComparison::new(&calib, homo_startup, molecule_startup, homo_comm, molecule_comm)
+}
+
+/// Prints the figure's data.
+pub fn print() {
+    let c = compare();
+    let ms = |d: SimDuration| format!("{:.2}ms", d.as_millis_f64());
+    let rows = vec![
+        vec!["AWS Lambda".to_owned(), ms(c.aws_startup), ms(c.aws_comm)],
+        vec!["OpenWhisk".to_owned(), ms(c.openwhisk_startup), ms(c.openwhisk_comm)],
+        vec!["Molecule-Homo".to_owned(), ms(c.homo_startup), ms(c.homo_comm)],
+        vec!["Molecule".to_owned(), ms(c.molecule_startup), ms(c.molecule_comm)],
+    ];
+    crate::print_table(
+        "Figure 9: vs commercial systems (paper: 37-46x startup, 68-300x comm)",
+        &["system", "startup", "communication"],
+        &rows,
+    );
+    let (s_aws, s_ow) = c.molecule_startup_speedup();
+    let (c_aws, c_ow) = c.molecule_comm_speedup();
+    let (hs_aws, hs_ow) = c.homo_startup_speedup();
+    let (hc_aws, hc_ow) = c.homo_comm_speedup();
+    println!("Molecule startup speedup: {s_aws:.1}x (AWS), {s_ow:.1}x (OpenWhisk)");
+    println!("Molecule comm speedup:    {c_aws:.1}x (AWS), {c_ow:.1}x (OpenWhisk)");
+    println!("Homo startup speedup:     {hs_aws:.1}x (AWS), {hs_ow:.1}x (OpenWhisk)");
+    println!("Homo comm speedup:        {hc_aws:.1}x (AWS), {hc_ow:.1}x (OpenWhisk)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn molecule_startup_beats_commercial_37x_to_46x() {
+        let c = compare();
+        let (aws, ow) = c.molecule_startup_speedup();
+        assert!((33.0..=50.0).contains(&aws), "AWS speedup {aws}");
+        assert!((33.0..=50.0).contains(&ow), "OpenWhisk speedup {ow}");
+    }
+
+    #[test]
+    fn homo_startup_beats_commercial_5x_to_6x() {
+        let c = compare();
+        let (aws, ow) = c.homo_startup_speedup();
+        assert!((3.5..=7.0).contains(&aws), "AWS {aws}");
+        assert!((3.5..=7.0).contains(&ow), "OpenWhisk {ow}");
+    }
+
+    #[test]
+    fn comm_speedups_match_fig9b() {
+        let c = compare();
+        assert!(c.molecule_comm < SimDuration::from_millis(1), "<1ms bar");
+        let (aws, ow) = c.molecule_comm_speedup();
+        assert!((68.0..=400.0).contains(&aws), "AWS comm {aws}");
+        assert!((40.0..=100.0).contains(&ow), "OpenWhisk comm {ow}");
+        let (h_aws, h_ow) = c.homo_comm_speedup();
+        assert!((4.0..=20.0).contains(&h_ow), "homo OW comm {h_ow}");
+        assert!(h_aws > h_ow);
+    }
+
+    #[test]
+    fn bar_ordering_matches_figure() {
+        let c = compare();
+        assert!(c.molecule_startup < c.homo_startup);
+        assert!(c.homo_startup < c.aws_startup);
+        assert!(c.aws_startup < c.openwhisk_startup);
+        assert!(c.molecule_comm < c.homo_comm);
+        assert!(c.homo_comm < c.openwhisk_comm);
+        assert!(c.openwhisk_comm < c.aws_comm);
+    }
+}

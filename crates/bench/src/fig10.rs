@@ -1,0 +1,216 @@
+//! Figure 10 — function startup latency.
+//!
+//! * **10a** — on the CPU: baseline cold boot vs cfork-local vs cfork-XPU,
+//!   for Python and Node.js;
+//! * **10b** — the same on a BlueField-1 DPU;
+//! * **10c** — the FPGA startup breakdown: Baseline (erase + load + prep
+//!   ≈ 20 s) → No-Erase (≈ 3.8 s) → Warm-image (≈ 1.9 s) → Warm-sandbox
+//!   (53 ms).
+
+use hetsim::fpga::FpgaDevice;
+use hetsim::pu::{PuId, PuKind};
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::function::FunctionDef;
+use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+use vsandbox::oci::OciRuntime;
+use vsandbox::runf::RunfRuntime;
+use vsandbox::spec::{LangRuntime, SandboxConfig};
+use workloads::matrix;
+
+use crate::run_sim;
+
+/// One bar group of Fig. 10a/b.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StartupRow {
+    /// Language runtime.
+    pub lang: LangRuntime,
+    /// Baseline cold boot on the target PU.
+    pub baseline: SimDuration,
+    /// cfork issued locally.
+    pub cfork_local: SimDuration,
+    /// cfork issued from a neighbour PU over XPU-Shim.
+    pub cfork_xpu: SimDuration,
+}
+
+fn lang_function(lang: LangRuntime) -> FunctionDef {
+    FunctionDef::builder(format!("probe-{lang}"), lang)
+        .profiles(&[PuKind::Cpu, PuKind::Dpu])
+        .exec_ms(0.0)
+        .init_ms(0.0)
+        .build()
+}
+
+/// Measures Fig. 10a (target = CPU) or 10b (target = a BF-1 DPU).
+pub fn gp_startup(target: PuId) -> Vec<StartupRow> {
+    run_sim("fig10-gp", move |ctx| {
+        let machine = Machine::paper_cpu_dpu_server();
+        let issuer = if target == PuId(0) { PuId(1) } else { PuId(0) };
+        let m = Molecule::launch(machine, MoleculeConfig::default());
+        m.bootstrap(ctx).unwrap();
+        let mut rows = Vec::new();
+        for lang in [LangRuntime::Python, LangRuntime::NodeJs] {
+            m.register_function(lang_function(lang));
+            m.prepare_template(ctx, target, lang).unwrap();
+            let func = vsandbox::spec::FuncId::new(format!("probe-{lang}"));
+            let baseline = m
+                .start_instance(ctx, &func, target, StartupKind::ColdBaseline)
+                .unwrap()
+                .latency;
+            let cfork_local = m
+                .start_instance(ctx, &func, target, StartupKind::CforkLocal)
+                .unwrap()
+                .latency;
+            let cfork_xpu = m
+                .start_instance(ctx, &func, target, StartupKind::CforkXpu { issued_from: issuer })
+                .unwrap()
+                .latency;
+            rows.push(StartupRow { lang, baseline, cfork_local, cfork_xpu });
+        }
+        rows
+    })
+}
+
+/// One Fig. 10c bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaStartupRow {
+    /// Bar label.
+    pub case: &'static str,
+    /// Paper value, seconds.
+    pub paper_secs: f64,
+    /// Measured value.
+    pub measured: SimDuration,
+}
+
+/// Measures the Fig. 10c FPGA startup breakdown (vector-multiply image).
+pub fn fpga_startup() -> Vec<FpgaStartupRow> {
+    run_sim("fig10-fpga", |ctx| {
+        let machine = Machine::paper_f1_instance();
+        let fpga_pu = machine.pus_of_kind(PuKind::Fpga)[0];
+        let timings = machine.calibration().fpga;
+        let cfg = SandboxConfig::fpga("vmult", matrix::kernel_spec("vmult"));
+        let other = SandboxConfig::fpga("other", matrix::kernel_spec("mscale"));
+        let mut rows = Vec::new();
+
+        // Baseline: naive runtime erases before loading.
+        let naive = RunfRuntime::new_naive_baseline(FpgaDevice::new(fpga_pu, timings));
+        naive.create(ctx, &"warmup".into(), &other).unwrap();
+        let t0 = ctx.now();
+        naive.create(ctx, &"vmult".into(), &cfg).unwrap();
+        naive.start(ctx, &"vmult".into()).unwrap();
+        rows.push(FpgaStartupRow { case: "Baseline", paper_secs: 20.0, measured: ctx.now() - t0 });
+
+        // No-Erase: Molecule's lazy delete removes the erase.
+        let molecule = RunfRuntime::new(FpgaDevice::new(fpga_pu, timings));
+        molecule.create(ctx, &"warmup".into(), &other).unwrap();
+        let t0 = ctx.now();
+        molecule.create(ctx, &"vmult".into(), &cfg).unwrap();
+        molecule.start(ctx, &"vmult".into()).unwrap();
+        rows.push(FpgaStartupRow { case: "No-Erase", paper_secs: 3.8, measured: ctx.now() - t0 });
+
+        // Warm-image: the image is cached host-side; re-flash is cheaper.
+        molecule.create(ctx, &"evictor".into(), &SandboxConfig::fpga("evict", matrix::kernel_spec("madd"))).unwrap();
+        let t0 = ctx.now();
+        molecule.start(ctx, &"vmult".into()).unwrap();
+        rows.push(FpgaStartupRow { case: "Warm-image", paper_secs: 1.9, measured: ctx.now() - t0 });
+
+        // Warm-sandbox: resident and prepared — only sandbox prep remains.
+        molecule.create(ctx, &"again".into(), &SandboxConfig::fpga("again", matrix::kernel_spec("mmult"))).unwrap();
+        // "again" create replaced the image; bring vmult back and stop it so
+        // only the prep step remains.
+        molecule.start(ctx, &"vmult".into()).unwrap();
+        molecule.kill(ctx, &"vmult".into(), vsandbox::spec::Signal::Term).unwrap();
+        let t0 = ctx.now();
+        molecule.start(ctx, &"vmult".into()).unwrap();
+        rows.push(FpgaStartupRow {
+            case: "Warm-sandbox",
+            paper_secs: 0.053,
+            measured: ctx.now() - t0,
+        });
+        rows
+    })
+}
+
+/// Prints all three panels.
+pub fn print() {
+    for (title, target) in [("Figure 10a: startup at CPU", PuId(0)), ("Figure 10b: startup at DPU (BF-1)", PuId(1))] {
+        let rows: Vec<Vec<String>> = gp_startup(target)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.lang.to_string(),
+                    format!("{:.1}ms", r.baseline.as_millis_f64()),
+                    format!("{:.1}ms", r.cfork_local.as_millis_f64()),
+                    format!("{:.1}ms", r.cfork_xpu.as_millis_f64()),
+                ]
+            })
+            .collect();
+        crate::print_table(title, &["language", "baseline-local", "cfork-local", "cfork-XPU"], &rows);
+    }
+    let rows: Vec<Vec<String>> = fpga_startup()
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.to_owned(),
+                format!("{:.3}s", r.paper_secs),
+                format!("{:.3}s", r.measured.as_secs_f64()),
+            ]
+        })
+        .collect();
+    crate::print_table("Figure 10c: startup at FPGA", &["case", "paper", "measured"], &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_startup_matches_fig10a() {
+        let rows = gp_startup(PuId(0));
+        let py = &rows[0];
+        assert!((177.0..=179.0).contains(&py.baseline.as_millis_f64()), "{}", py.baseline);
+        assert!((6.3..=6.6).contains(&py.cfork_local.as_millis_f64()), "{}", py.cfork_local);
+        // cfork-XPU adds ~1-3ms.
+        let delta = (py.cfork_xpu - py.cfork_local).as_millis_f64();
+        assert!((1.0..=3.0).contains(&delta), "XPU extra {delta}ms");
+        let node = &rows[1];
+        assert!((225.0..=235.0).contains(&node.baseline.as_millis_f64()), "{}", node.baseline);
+    }
+
+    #[test]
+    fn dpu_startup_scales_with_bf1_factor() {
+        let rows = gp_startup(PuId(1));
+        let py = &rows[0];
+        // Fig. 10b: Python baseline well above 1s on BF-1, cfork ~40ms.
+        assert!((1050.0..=1250.0).contains(&py.baseline.as_millis_f64()), "{}", py.baseline);
+        assert!((35.0..=45.0).contains(&py.cfork_local.as_millis_f64()), "{}", py.cfork_local);
+        assert!(py.cfork_xpu > py.cfork_local);
+        let node = &rows[1];
+        assert!(node.baseline > py.baseline, "node boots slower");
+    }
+
+    #[test]
+    fn fpga_ladder_matches_fig10c() {
+        let rows = fpga_startup();
+        let by_case = |c: &str| {
+            rows.iter()
+                .find(|r| r.case == c)
+                .unwrap_or_else(|| panic!("missing case {c}"))
+                .measured
+                .as_secs_f64()
+        };
+        assert!((19.5..=20.7).contains(&by_case("Baseline")));
+        assert!((3.7..=4.1).contains(&by_case("No-Erase")));
+        assert!((1.85..=1.95).contains(&by_case("Warm-image")));
+        let warm = by_case("Warm-sandbox");
+        assert!((0.052..=0.054).contains(&warm), "warm-sandbox {warm}");
+    }
+
+    #[test]
+    fn each_optimization_strictly_improves() {
+        let rows = fpga_startup();
+        for pair in rows.windows(2) {
+            assert!(pair[0].measured > pair[1].measured, "{} !> {}", pair[0].case, pair[1].case);
+        }
+    }
+}

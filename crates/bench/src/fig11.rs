@@ -1,0 +1,231 @@
+//! Figure 11 — the cfork breakdown and memory study (desktop machine).
+//!
+//! * **11a** — the optimization ladder: Baseline 85.55 ms → Naive cfork
+//!   47.25 ms → +FuncContainer 30.05 ms → +Cpuset opt 8.40 ms;
+//! * **11b/c** — per-instance RSS and PSS of an image-resizing function for
+//!   1-16 concurrent instances, baseline boot vs cfork (cfork shares the
+//!   template's pages, landing ~34% lower PSS at 16 instances).
+
+use hetsim::calib::Calibration;
+use hetsim::os::{CpusetLockMode, LocalOs};
+use hetsim::pu::{PuId, PuSpec};
+use hetsim::time::SimDuration;
+use vsandbox::runc::{CforkOpts, RuncRuntime};
+use vsandbox::spec::{LangRuntime, SandboxConfig, SandboxId};
+use vsandbox::OciRuntime;
+
+use crate::run_sim;
+
+/// One Fig. 11a bar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderRow {
+    /// Bar label.
+    pub case: &'static str,
+    /// Paper value, ms.
+    pub paper_ms: f64,
+    /// Measured value.
+    pub measured: SimDuration,
+}
+
+fn desktop_runtime() -> RuncRuntime {
+    let calib = Calibration::desktop();
+    let os = LocalOs::boot(&PuSpec::xeon_host(PuId(0)), calib.cpu_os, 64 * 1024);
+    RuncRuntime::new(os, &calib)
+}
+
+fn image_cfg() -> SandboxConfig {
+    SandboxConfig::general("image-resize", LangRuntime::Python, 128)
+}
+
+/// Measures the Fig. 11a ladder.
+pub fn cfork_ladder() -> Vec<LadderRow> {
+    run_sim("fig11a", |ctx| {
+        let rt = desktop_runtime();
+        let mut rows = Vec::new();
+
+        let t0 = ctx.now();
+        rt.create(ctx, &"baseline".into(), &image_cfg()).unwrap();
+        rt.start(ctx, &"baseline".into()).unwrap();
+        rows.push(LadderRow { case: "Baseline", paper_ms: 85.55, measured: ctx.now() - t0 });
+
+        let template = rt.prepare_template(ctx, LangRuntime::Python, 256).unwrap();
+        rt.preinit_function_containers(ctx, 2);
+
+        let t0 = ctx.now();
+        rt.cfork(ctx, &template, &"naive".into(), &image_cfg(), CforkOpts::default()).unwrap();
+        rows.push(LadderRow { case: "+Naive cfork", paper_ms: 47.25, measured: ctx.now() - t0 });
+
+        let t0 = ctx.now();
+        rt.cfork(
+            ctx,
+            &template,
+            &"preinit".into(),
+            &image_cfg(),
+            CforkOpts { use_preinit_container: true },
+        )
+        .unwrap();
+        rows.push(LadderRow { case: "+FuncContainer", paper_ms: 30.05, measured: ctx.now() - t0 });
+
+        rt.os().set_cpuset_lock_mode(CpusetLockMode::Mutex);
+        let t0 = ctx.now();
+        rt.cfork(
+            ctx,
+            &template,
+            &"patched".into(),
+            &image_cfg(),
+            CforkOpts { use_preinit_container: true },
+        )
+        .unwrap();
+        rows.push(LadderRow { case: "+Cpuset opt", paper_ms: 8.40, measured: ctx.now() - t0 });
+        rows
+    })
+}
+
+/// One Fig. 11b/c data point: average per-instance memory at a concurrency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryRow {
+    /// Concurrent instances.
+    pub instances: u32,
+    /// Baseline average RSS, MiB.
+    pub baseline_rss_mib: f64,
+    /// Baseline average PSS, MiB.
+    pub baseline_pss_mib: f64,
+    /// Molecule (cfork) average RSS, MiB — includes the template's share.
+    pub molecule_rss_mib: f64,
+    /// Molecule average PSS, MiB.
+    pub molecule_pss_mib: f64,
+}
+
+/// Measures the RSS/PSS study at 1, 2, 4, 8 and 16 instances.
+pub fn memory_study() -> Vec<MemoryRow> {
+    [1u32, 2, 4, 8, 16]
+        .into_iter()
+        .map(|n| {
+            run_sim("fig11bc", move |ctx| {
+                let page_mib = 4096.0 / (1024.0 * 1024.0);
+                // Baseline: n independently booted instances.
+                let baseline = desktop_runtime();
+                for i in 0..n {
+                    let id = SandboxId::new(format!("b{i}"));
+                    baseline.create(ctx, &id, &image_cfg()).unwrap();
+                    baseline.start(ctx, &id).unwrap();
+                }
+                let (mut b_rss, mut b_pss) = (0.0, 0.0);
+                for i in 0..n {
+                    let id = SandboxId::new(format!("b{i}"));
+                    b_rss += baseline.rss_bytes(&id).unwrap() as f64;
+                    b_pss += baseline.pss_bytes(&id).unwrap();
+                }
+
+                // Molecule: one template + n cforked children; the reported
+                // per-instance value includes the template's resources
+                // (§6.4: "RSS and PSS also contain template container's
+                // resources").
+                let molecule = desktop_runtime();
+                let template = molecule.prepare_template(ctx, LangRuntime::Python, 256).unwrap();
+                for i in 0..n {
+                    let id = SandboxId::new(format!("m{i}"));
+                    molecule
+                        .cfork(ctx, &template, &id, &image_cfg(), CforkOpts::default())
+                        .unwrap();
+                }
+                let (mut m_rss, mut m_pss) = (0.0, 0.0);
+                for i in 0..n {
+                    let id = SandboxId::new(format!("m{i}"));
+                    m_rss += molecule.rss_bytes(&id).unwrap() as f64;
+                    m_pss += molecule.pss_bytes(&id).unwrap();
+                }
+                m_rss += molecule.rss_bytes(&template).unwrap() as f64;
+                m_pss += molecule.pss_bytes(&template).unwrap();
+
+                let to_mib = |pages_bytes: f64| pages_bytes / (1024.0 * 1024.0);
+                let _ = page_mib;
+                MemoryRow {
+                    instances: n,
+                    baseline_rss_mib: to_mib(b_rss) / n as f64,
+                    baseline_pss_mib: to_mib(b_pss) / n as f64,
+                    molecule_rss_mib: to_mib(m_rss) / n as f64,
+                    molecule_pss_mib: to_mib(m_pss) / n as f64,
+                }
+            })
+        })
+        .collect()
+}
+
+/// Prints all three panels.
+pub fn print() {
+    let rows: Vec<Vec<String>> = cfork_ladder()
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.to_owned(),
+                format!("{:.2}ms", r.paper_ms),
+                format!("{:.2}ms", r.measured.as_millis_f64()),
+            ]
+        })
+        .collect();
+    crate::print_table("Figure 11a: cfork breakdown", &["case", "paper", "measured"], &rows);
+
+    let rows: Vec<Vec<String>> = memory_study()
+        .iter()
+        .map(|r| {
+            vec![
+                r.instances.to_string(),
+                format!("{:.1}", r.baseline_rss_mib),
+                format!("{:.1}", r.molecule_rss_mib),
+                format!("{:.1}", r.baseline_pss_mib),
+                format!("{:.1}", r.molecule_pss_mib),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Figure 11b/c: memory per instance, MiB (paper: Molecule PSS 34% lower at 16)",
+        &["instances", "base RSS", "mol RSS", "base PSS", "mol PSS"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_paper_within_tolerance() {
+        for row in cfork_ladder() {
+            let measured = row.measured.as_millis_f64();
+            let err = (measured - row.paper_ms).abs();
+            assert!(err < 0.5, "{}: measured {measured} vs paper {}", row.case, row.paper_ms);
+        }
+    }
+
+    #[test]
+    fn molecule_pss_is_about_34_percent_lower_at_16() {
+        let rows = memory_study();
+        let at16 = rows.iter().find(|r| r.instances == 16).unwrap();
+        let saving = 1.0 - at16.molecule_pss_mib / at16.baseline_pss_mib;
+        assert!((0.28..=0.40).contains(&saving), "PSS saving {saving}");
+    }
+
+    #[test]
+    fn molecule_rss_is_higher_but_amortizes() {
+        let rows = memory_study();
+        let at1 = rows.iter().find(|r| r.instances == 1).unwrap();
+        let at16 = rows.iter().find(|r| r.instances == 16).unwrap();
+        // §6.4: "Molecule requires higher RSS because of the additional
+        // resources required by the template container."
+        assert!(at1.molecule_rss_mib > at1.baseline_rss_mib);
+        // The template amortizes with instance count.
+        assert!(at16.molecule_rss_mib < at1.molecule_rss_mib);
+        // Baseline RSS stays flat.
+        let drift = (at16.baseline_rss_mib - at1.baseline_rss_mib).abs();
+        assert!(drift < 0.5, "baseline RSS drifted {drift} MiB");
+    }
+
+    #[test]
+    fn pss_decreases_monotonically_for_molecule() {
+        let rows = memory_study();
+        for pair in rows.windows(2) {
+            assert!(pair[1].molecule_pss_mib < pair[0].molecule_pss_mib);
+        }
+    }
+}

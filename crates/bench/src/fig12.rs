@@ -1,0 +1,187 @@
+//! Figure 12 — serverless DAG communication latency.
+//!
+//! The four Alexa edges, each measured under four placements (CPU→CPU,
+//! DPU→DPU, CPU→DPU, DPU→CPU), baseline (Express HTTP) vs Molecule
+//! (IPC/nIPC). The paper reports 15-18x on same-PU edges and 10-13x across
+//! PUs.
+
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::runtime::{Molecule, MoleculeConfig};
+use workloads::serverlessbench::{alexa_chain, alexa_edges};
+
+use crate::run_sim;
+
+/// The four placements of the figure's panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fig. 12a.
+    CpuToCpu,
+    /// Fig. 12b.
+    DpuToDpu,
+    /// Fig. 12c.
+    CpuToDpu,
+    /// Fig. 12d.
+    DpuToCpu,
+}
+
+impl Placement {
+    /// All placements, in figure order.
+    pub const ALL: [Placement; 4] =
+        [Placement::CpuToCpu, Placement::DpuToDpu, Placement::CpuToDpu, Placement::DpuToCpu];
+
+    fn pus(self) -> (PuId, PuId) {
+        match self {
+            Placement::CpuToCpu => (PuId(0), PuId(0)),
+            Placement::DpuToDpu => (PuId(1), PuId(1)),
+            Placement::CpuToDpu => (PuId(0), PuId(1)),
+            Placement::DpuToCpu => (PuId(1), PuId(0)),
+        }
+    }
+
+    /// Panel label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::CpuToCpu => "CPU to CPU",
+            Placement::DpuToDpu => "DPU to DPU",
+            Placement::CpuToDpu => "CPU to DPU",
+            Placement::DpuToCpu => "DPU to CPU",
+        }
+    }
+}
+
+/// One measured edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeRow {
+    /// Edge label (e.g. `"front-interact"`).
+    pub edge: String,
+    /// Baseline (Express) hop latency.
+    pub baseline: SimDuration,
+    /// Molecule (IPC/nIPC) hop latency.
+    pub molecule: SimDuration,
+}
+
+impl EdgeRow {
+    /// Baseline / Molecule ratio.
+    pub fn speedup(&self) -> f64 {
+        self.baseline.ratio(self.molecule)
+    }
+}
+
+/// Measures all four edges under one placement.
+pub fn edges_under(placement: Placement) -> Vec<EdgeRow> {
+    let (from_pu, to_pu) = placement.pus();
+    alexa_edges()
+        .into_iter()
+        .map(|edge| {
+            run_sim("fig12", move |ctx| {
+                let m = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+                for def in alexa_chain() {
+                    m.register_function(def);
+                }
+                let stages =
+                    vec![ChainStage::new(edge.from, from_pu), ChainStage::new(edge.to, to_pu)];
+                let mk = |comm| {
+                    ChainSpec::new(format!("{}-{}", edge.from, edge.to), stages.clone(), comm)
+                        .input_bytes(edge.payload_bytes)
+                };
+                let baseline =
+                    run_chain(&m, ctx, &mk(CommMethod::HttpGateway)).unwrap().mean_hop(1);
+                let molecule =
+                    run_chain(&m, ctx, &mk(CommMethod::DirectIpc)).unwrap().mean_hop(1);
+                EdgeRow {
+                    edge: format!(
+                        "{}-{}",
+                        edge.from.trim_start_matches("alexa-"),
+                        edge.to.trim_start_matches("alexa-")
+                    ),
+                    baseline,
+                    molecule,
+                }
+            })
+        })
+        .collect()
+}
+
+/// Prints the figure's four panels.
+pub fn print() {
+    for placement in Placement::ALL {
+        let rows: Vec<Vec<String>> = edges_under(placement)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.edge.clone(),
+                    format!("{:.2}ms", r.baseline.as_millis_f64()),
+                    format!("{:.2}ms", r.molecule.as_millis_f64()),
+                    crate::fmt_speedup(r.speedup()),
+                ]
+            })
+            .collect();
+        crate::print_table(
+            &format!("Figure 12 ({}), paper: 10-18x", placement.label()),
+            &["edge", "baseline", "molecule", "speedup"],
+            &rows,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_pu_edges_improve_15x_to_18x_class() {
+        for placement in [Placement::CpuToCpu, Placement::DpuToDpu] {
+            for row in edges_under(placement) {
+                let s = row.speedup();
+                assert!(
+                    (12.0..=22.0).contains(&s),
+                    "{} {}: speedup {s}",
+                    placement.label(),
+                    row.edge
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_pu_edges_improve_10x_to_13x_class() {
+        for placement in [Placement::CpuToDpu, Placement::DpuToCpu] {
+            for row in edges_under(placement) {
+                let s = row.speedup();
+                assert!(
+                    (8.0..=18.0).contains(&s),
+                    "{} {}: speedup {s}",
+                    placement.label(),
+                    row.edge
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn molecule_bars_stay_sub_millisecond() {
+        for placement in Placement::ALL {
+            for row in edges_under(placement) {
+                assert!(
+                    row.molecule < SimDuration::from_millis(1),
+                    "{}: molecule {}",
+                    row.edge,
+                    row.molecule
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dpu_edges_cost_more_than_cpu_edges() {
+        let cpu = edges_under(Placement::CpuToCpu);
+        let dpu = edges_under(Placement::DpuToDpu);
+        for (c, d) in cpu.iter().zip(dpu.iter()) {
+            assert!(d.baseline > c.baseline, "{}", d.edge);
+            assert!(d.molecule > c.molecule, "{}", d.edge);
+        }
+    }
+}

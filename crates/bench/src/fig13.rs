@@ -1,0 +1,137 @@
+//! Figure 13 — FPGA function-chain latency: copying vs DRAM retention.
+//!
+//! A vector-compute chain of 1-5 FPGA functions on one device. The
+//! "Copying" series moves data through host DRAM on every hop; the "Shm"
+//! series leaves it in a retained device-DRAM bank. The paper reports a
+//! 1.95x end-to-end improvement at five functions.
+
+use hetsim::pu::PuKind;
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::function::{ExecModel, FunctionDef};
+use molecule_core::runtime::{Molecule, MoleculeConfig};
+use vsandbox::spec::LangRuntime;
+use workloads::matrix;
+
+use crate::run_sim;
+
+/// Payload carried between the chain's stages.
+pub const PAYLOAD_BYTES: u64 = 64 * 1024;
+
+/// One figure point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainPoint {
+    /// Number of functions in the chain.
+    pub functions: usize,
+    /// End-to-end latency with host-DRAM copying.
+    pub copying: SimDuration,
+    /// End-to-end latency with the retention hand-off.
+    pub shm: SimDuration,
+}
+
+impl ChainPoint {
+    /// Copying / Shm improvement.
+    pub fn improvement(&self) -> f64 {
+        self.copying.ratio(self.shm)
+    }
+}
+
+fn vector_fn(i: usize) -> FunctionDef {
+    FunctionDef::builder(format!("vec{i}"), LangRuntime::OpenCl)
+        .profiles(&[PuKind::Fpga])
+        .fpga(
+            matrix::kernel_spec(&format!("vec{i}")),
+            ExecModel::Fixed(SimDuration::from_micros(77)),
+        )
+        .output_bytes(PAYLOAD_BYTES)
+        .build()
+}
+
+/// Measures the chain at 1..=5 functions.
+pub fn sweep() -> Vec<ChainPoint> {
+    (1..=5)
+        .map(|n| {
+            run_sim("fig13", move |ctx| {
+                let machine = Machine::paper_f1_instance();
+                let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+                let m = Molecule::launch(machine, MoleculeConfig::default());
+                let mut stages = Vec::new();
+                for i in 0..n {
+                    m.register_function(vector_fn(i));
+                    stages.push(ChainStage::new(format!("vec{i}"), fpga));
+                }
+                let copy = ChainSpec::new("copy", stages.clone(), CommMethod::FpgaCopy)
+                    .input_bytes(PAYLOAD_BYTES);
+                let shm = ChainSpec::new("shm", stages, CommMethod::FpgaShm)
+                    .input_bytes(PAYLOAD_BYTES);
+                let copying = run_chain(&m, ctx, &copy).unwrap().mean_end_to_end();
+                let shm = run_chain(&m, ctx, &shm).unwrap().mean_end_to_end();
+                ChainPoint { functions: n, copying, shm }
+            })
+        })
+        .collect()
+}
+
+/// Prints the figure's data.
+pub fn print() {
+    let rows: Vec<Vec<String>> = sweep()
+        .iter()
+        .map(|p| {
+            vec![
+                p.functions.to_string(),
+                format!("{:.0}us", p.copying.as_micros_f64()),
+                format!("{:.0}us", p.shm.as_micros_f64()),
+                crate::fmt_speedup(p.improvement()),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Figure 13: FPGA chain latency (paper: Shm 1.95x better at 5 functions)",
+        &["functions", "copying", "shm", "improvement"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_reaches_1_95x_at_five_functions() {
+        let points = sweep();
+        let at5 = points.iter().find(|p| p.functions == 5).unwrap();
+        let imp = at5.improvement();
+        assert!((1.7..=2.2).contains(&imp), "improvement at 5 = {imp}");
+    }
+
+    #[test]
+    fn single_function_chains_are_equal() {
+        // With one function there are no inter-function hops to save.
+        let points = sweep();
+        let at1 = points.iter().find(|p| p.functions == 1).unwrap();
+        assert_eq!(at1.copying, at1.shm);
+    }
+
+    #[test]
+    fn improvement_grows_with_chain_length() {
+        let points = sweep();
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].improvement() >= pair[0].improvement(),
+                "improvement dipped between {} and {} functions",
+                pair[0].functions,
+                pair[1].functions
+            );
+        }
+    }
+
+    #[test]
+    fn both_series_grow_with_chain_length() {
+        let points = sweep();
+        for pair in points.windows(2) {
+            assert!(pair[1].copying > pair[0].copying);
+            assert!(pair[1].shm > pair[0].shm);
+        }
+    }
+}

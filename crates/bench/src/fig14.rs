@@ -1,0 +1,413 @@
+//! Figure 14 — real applications and benchmarks.
+//!
+//! * **14a-d** — the eight FunctionBench workloads, cold on CPU / warm /
+//!   cold on BF-1 / cold on BF-2, baseline vs Molecule;
+//! * **14e** — the chained applications (Alexa, MapReduce) on CPU, DPU and
+//!   across PUs;
+//! * **14f-h** — the FPGA applications (GZip, Anti-MoneyL, Matrix-Comput).
+
+use hetsim::pu::{PuId, PuKind};
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+use vsandbox::spec::{FuncId, LangRuntime};
+use workloads::fpga_apps;
+use workloads::functionbench::{self, FbWorkload};
+use workloads::serverlessbench::{alexa_chain, mapreduce_chain};
+
+use crate::run_sim;
+
+/// Which Fig. 14 panel of the FunctionBench study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FbTarget {
+    /// Fig. 14a — cold boot on the CPU.
+    ColdCpu,
+    /// Fig. 14b — warm boot.
+    Warm,
+    /// Fig. 14c — cold boot on BlueField-1.
+    ColdBf1,
+    /// Fig. 14d — cold boot on BlueField-2.
+    ColdBf2,
+}
+
+impl FbTarget {
+    /// Panel label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FbTarget::ColdCpu => "Fig. 14a: cold boot on CPU",
+            FbTarget::Warm => "Fig. 14b: warm boot",
+            FbTarget::ColdBf1 => "Fig. 14c: cold boot on BF-1 DPU",
+            FbTarget::ColdBf2 => "Fig. 14d: cold boot on BF-2 DPU",
+        }
+    }
+
+    /// The paper's bar label for a workload on this panel.
+    pub fn paper_ms(self, w: &FbWorkload) -> f64 {
+        match self {
+            FbTarget::ColdCpu => w.paper.cold_cpu_ms,
+            FbTarget::Warm => w.paper.warm_ms,
+            FbTarget::ColdBf1 => w.paper.cold_bf1_ms,
+            FbTarget::ColdBf2 => w.paper.cold_bf2_ms,
+        }
+    }
+}
+
+/// One FunctionBench row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FbRow {
+    /// Workload name.
+    pub name: String,
+    /// The paper's baseline label, ms.
+    pub paper_ms: f64,
+    /// Measured baseline end-to-end latency.
+    pub baseline: SimDuration,
+    /// Measured Molecule end-to-end latency.
+    pub molecule: SimDuration,
+}
+
+impl FbRow {
+    /// Baseline / Molecule improvement.
+    pub fn speedup(&self) -> f64 {
+        self.baseline.ratio(self.molecule)
+    }
+}
+
+/// Runs one FunctionBench panel.
+pub fn functionbench_panel(target: FbTarget) -> Vec<FbRow> {
+    run_sim("fig14-fb", move |ctx| {
+        let machine = match target {
+            FbTarget::ColdBf2 => Machine::builder().host_cpu().bluefield2_dpus(2).build(),
+            _ => Machine::paper_cpu_dpu_server(),
+        };
+        let pu = match target {
+            FbTarget::ColdCpu | FbTarget::Warm => PuId(0),
+            FbTarget::ColdBf1 | FbTarget::ColdBf2 => PuId(1),
+        };
+        let m = Molecule::launch(machine, MoleculeConfig::default());
+        m.bootstrap(ctx).unwrap();
+        m.prepare_template(ctx, pu, LangRuntime::Python).unwrap();
+        let mut rows = Vec::new();
+        for w in functionbench::all() {
+            m.register_function(w.to_function_def());
+            let func = FuncId::new(w.func_id());
+            let (baseline, molecule) = match target {
+                FbTarget::Warm => {
+                    // Warm boot: instances pre-booted and already invoked
+                    // once; measure a steady-state request.
+                    let b = m.start_instance(ctx, &func, pu, StartupKind::ColdBaseline).unwrap();
+                    m.invoke(ctx, b.instance, 4096).unwrap();
+                    let baseline = m.invoke(ctx, b.instance, 4096).unwrap().latency;
+                    let mo = m.start_instance(ctx, &func, pu, StartupKind::CforkLocal).unwrap();
+                    m.invoke(ctx, mo.instance, 4096).unwrap();
+                    let molecule = m.invoke(ctx, mo.instance, 4096).unwrap().latency;
+                    (baseline, molecule)
+                }
+                _ => {
+                    // Cold boot: startup + first request, end to end.
+                    let t0 = ctx.now();
+                    let b = m.start_instance(ctx, &func, pu, StartupKind::ColdBaseline).unwrap();
+                    m.invoke(ctx, b.instance, 4096).unwrap();
+                    let baseline = ctx.now() - t0;
+                    let t0 = ctx.now();
+                    let mo = m.start_instance(ctx, &func, pu, StartupKind::CforkLocal).unwrap();
+                    m.invoke(ctx, mo.instance, 4096).unwrap();
+                    let molecule = ctx.now() - t0;
+                    (baseline, molecule)
+                }
+            };
+            rows.push(FbRow {
+                name: w.name.to_owned(),
+                paper_ms: target.paper_ms(&w),
+                baseline,
+                molecule,
+            });
+        }
+        rows
+    })
+}
+
+/// One Fig. 14e configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainRow {
+    /// Configuration label (e.g. `"Baseline-CPU"`).
+    pub config: String,
+    /// Measured end-to-end latency.
+    pub latency: SimDuration,
+}
+
+/// Runs Fig. 14e for one application ("alexa" or "mapreduce").
+pub fn chained_app(app: &str) -> Vec<ChainRow> {
+    let app = app.to_owned();
+    run_sim("fig14e", move |ctx| {
+        let m = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+        let defs = match app.as_str() {
+            "alexa" => alexa_chain(),
+            "mapreduce" => mapreduce_chain(),
+            other => panic!("unknown chained app {other}"),
+        };
+        let names: Vec<String> = defs.iter().map(|d| d.id.as_str().to_owned()).collect();
+        for def in defs {
+            m.register_function(def);
+        }
+        let place = |mode: &str| -> Vec<ChainStage> {
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    let pu = match mode {
+                        "cpu" => PuId(0),
+                        "dpu" => PuId(1),
+                        // Cross-PU: every inter-function call crosses PUs
+                        // (§6.6: "we ensure that all inter-function calls
+                        // are cross PU").
+                        _ => {
+                            if i % 2 == 0 {
+                                PuId(0)
+                            } else {
+                                PuId(1)
+                            }
+                        }
+                    };
+                    ChainStage::new(n.clone(), pu)
+                })
+                .collect()
+        };
+        let mut rows = Vec::new();
+        for (mode, label) in [("cpu", "CPU"), ("dpu", "DPU"), ("cross", "CrossPU")] {
+            let stages = place(mode);
+            for (comm, sys) in
+                [(CommMethod::HttpGateway, "Baseline"), (CommMethod::DirectIpc, "Molecule")]
+            {
+                let spec = ChainSpec::new(format!("{app}-{sys}-{label}"), stages.clone(), comm)
+                    .input_bytes(1024);
+                let latency = run_chain(&m, ctx, &spec).unwrap().mean_end_to_end();
+                rows.push(ChainRow { config: format!("{sys}-{label}"), latency });
+            }
+        }
+        rows
+    })
+}
+
+/// One sweep point of Fig. 14f/g.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The x-axis value (MB for GZip, entries for Anti-MoneyL).
+    pub x: f64,
+    /// CPU latency.
+    pub cpu: SimDuration,
+    /// FPGA latency.
+    pub fpga: SimDuration,
+}
+
+/// The Fig. 14f GZip sweep.
+pub fn gzip_sweep() -> Vec<SweepRow> {
+    fpga_apps::GZIP_SWEEP_MB
+        .iter()
+        .map(|&mb| {
+            let bytes = (mb * 1e6) as u64;
+            SweepRow {
+                x: mb,
+                cpu: fpga_apps::gzip_cpu_latency(bytes),
+                fpga: fpga_apps::gzip_fpga_latency(bytes),
+            }
+        })
+        .collect()
+}
+
+/// The Fig. 14g Anti-MoneyL sweep.
+pub fn aml_sweep() -> Vec<SweepRow> {
+    fpga_apps::AML_SWEEP_ENTRIES
+        .iter()
+        .map(|&entries| SweepRow {
+            x: entries as f64,
+            cpu: fpga_apps::aml_cpu_latency(entries),
+            fpga: fpga_apps::aml_fpga_latency(entries),
+        })
+        .collect()
+}
+
+/// Fig. 14h — Matrix-Comput end to end through the platform: a warm CPU
+/// instance vs a cached FPGA instance.
+pub fn matrix_comput() -> (SimDuration, SimDuration) {
+    run_sim("fig14h", |ctx| {
+        let machine = Machine::builder().host_cpu().fpgas(1).build();
+        let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+        let m = Molecule::launch(machine, MoleculeConfig::default());
+        m.register_function(fpga_apps::matrix_comput_function());
+        let func = FuncId::new("matrix-comput");
+        let cpu_started = m.start_instance(ctx, &func, PuId(0), StartupKind::ColdBaseline).unwrap();
+        m.invoke(ctx, cpu_started.instance, 8192).unwrap();
+        let cpu = m.invoke(ctx, cpu_started.instance, 8192).unwrap().latency;
+        m.cache_fpga_functions(ctx, fpga, std::slice::from_ref(&func)).unwrap();
+        let f = m.start_instance(ctx, &func, fpga, StartupKind::ColdBaseline).unwrap();
+        let fpga_lat = m.invoke(ctx, f.instance, 8192).unwrap().latency;
+        (cpu, fpga_lat)
+    })
+}
+
+/// Prints every panel.
+pub fn print() {
+    for target in [FbTarget::ColdCpu, FbTarget::Warm, FbTarget::ColdBf1, FbTarget::ColdBf2] {
+        let rows: Vec<Vec<String>> = functionbench_panel(target)
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.1}", r.paper_ms),
+                    format!("{:.1}", r.baseline.as_millis_f64()),
+                    format!("{:.1}", r.molecule.as_millis_f64()),
+                    crate::fmt_speedup(r.speedup()),
+                ]
+            })
+            .collect();
+        crate::print_table(
+            target.label(),
+            &["workload", "paper baseline (ms)", "baseline (ms)", "molecule (ms)", "speedup"],
+            &rows,
+        );
+    }
+    for app in ["alexa", "mapreduce"] {
+        let rows: Vec<Vec<String>> = chained_app(app)
+            .iter()
+            .map(|r| vec![r.config.clone(), format!("{:.2}ms", r.latency.as_millis_f64())])
+            .collect();
+        crate::print_table(
+            &format!("Fig. 14e: chained application '{app}'"),
+            &["config", "end-to-end"],
+            &rows,
+        );
+    }
+    let rows: Vec<Vec<String>> = gzip_sweep()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}MB", r.x),
+                format!("{:.3}s", r.cpu.as_secs_f64()),
+                format!("{:.3}s", r.fpga.as_secs_f64()),
+            ]
+        })
+        .collect();
+    crate::print_table("Fig. 14f: GZip (paper: crossover ≈25MB, 4.8-8.3x)", &["size", "CPU", "FPGA"], &rows);
+    let rows: Vec<Vec<String>> = aml_sweep()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.x),
+                format!("{:.2}ms", r.cpu.as_millis_f64()),
+                format!("{:.2}ms", r.fpga.as_millis_f64()),
+                crate::fmt_speedup(r.cpu.ratio(r.fpga)),
+            ]
+        })
+        .collect();
+    crate::print_table("Fig. 14g: Anti-MoneyL (paper: 4.7-34.6x)", &["entries", "CPU", "FPGA", "speedup"], &rows);
+    let (cpu, fpga) = matrix_comput();
+    crate::print_table(
+        "Fig. 14h: Matrix-Comput (paper: 2.8x, CPU 2.6ms)",
+        &["CPU", "FPGA", "speedup"],
+        &[vec![
+            format!("{:.2}ms", cpu.as_millis_f64()),
+            format!("{:.2}ms", fpga.as_millis_f64()),
+            crate::fmt_speedup(cpu.ratio(fpga)),
+        ]],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_cpu_speedups_span_1x_to_11x() {
+        let rows = functionbench_panel(FbTarget::ColdCpu);
+        let speedups: Vec<(String, f64)> =
+            rows.iter().map(|r| (r.name.clone(), r.speedup())).collect();
+        for (name, s) in &speedups {
+            assert!(*s >= 1.0, "{name} regressed: {s}");
+            assert!(*s <= 12.0, "{name} exceeds the paper band: {s}");
+        }
+        let best = speedups.iter().cloned().fold(("", 0.0), |acc, (n, s)| {
+            if s > acc.1 { (Box::leak(n.into_boxed_str()), s) } else { acc }
+        });
+        assert_eq!(best.0, "Matmul", "Matmul should improve most (paper: 11.12x)");
+        assert!((10.0..=12.0).contains(&best.1), "Matmul speedup {}", best.1);
+    }
+
+    #[test]
+    fn cold_cpu_baselines_track_paper_labels() {
+        for r in functionbench_panel(FbTarget::ColdCpu) {
+            let ratio = r.baseline.as_millis_f64() / r.paper_ms;
+            assert!(
+                (0.9..=1.35).contains(&ratio),
+                "{}: measured {:.1}ms vs paper {:.1}ms",
+                r.name,
+                r.baseline.as_millis_f64(),
+                r.paper_ms
+            );
+        }
+    }
+
+    #[test]
+    fn warm_boot_is_a_wash() {
+        // Fig. 14b: baseline and Molecule "achieve almost the same results".
+        for r in functionbench_panel(FbTarget::Warm) {
+            let s = r.speedup();
+            assert!((0.9..=1.1).contains(&s), "{}: warm speedup {s}", r.name);
+        }
+    }
+
+    #[test]
+    fn bf1_is_4x_to_7x_slower_than_cpu() {
+        let cpu = functionbench_panel(FbTarget::ColdCpu);
+        let bf1 = functionbench_panel(FbTarget::ColdBf1);
+        for (c, d) in cpu.iter().zip(bf1.iter()) {
+            let ratio = d.baseline.ratio(c.baseline);
+            assert!((3.5..=7.5).contains(&ratio), "{}: BF1/CPU {ratio}", c.name);
+        }
+    }
+
+    #[test]
+    fn bf2_beats_bf1_by_3x_to_4x() {
+        let bf1 = functionbench_panel(FbTarget::ColdBf1);
+        let bf2 = functionbench_panel(FbTarget::ColdBf2);
+        for (a, b) in bf1.iter().zip(bf2.iter()) {
+            let ratio = a.baseline.ratio(b.baseline);
+            assert!((3.0..=5.0).contains(&ratio), "{}: BF1/BF2 {ratio}", a.name);
+        }
+    }
+
+    #[test]
+    fn alexa_cpu_improvement_matches_fig14e() {
+        let rows = chained_app("alexa");
+        let get = |c: &str| rows.iter().find(|r| r.config == c).unwrap().latency;
+        let ratio = get("Baseline-CPU").ratio(get("Molecule-CPU"));
+        assert!((1.9..=2.6).contains(&ratio), "alexa CPU ratio {ratio}");
+        // Paper label: Baseline-CPU ≈ 38.6 ms.
+        let base = get("Baseline-CPU").as_millis_f64();
+        assert!((36.0..=41.0).contains(&base), "alexa baseline {base}ms");
+        // Molecule wins on every placement.
+        for mode in ["CPU", "DPU", "CrossPU"] {
+            assert!(
+                get(&format!("Molecule-{mode}")) < get(&format!("Baseline-{mode}")),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn mapreduce_improvement_matches_fig14e() {
+        let rows = chained_app("mapreduce");
+        let get = |c: &str| rows.iter().find(|r| r.config == c).unwrap().latency;
+        let ratio = get("Baseline-CPU").ratio(get("Molecule-CPU"));
+        assert!((3.4..=4.7).contains(&ratio), "mapreduce CPU ratio {ratio}");
+        let base = get("Baseline-CPU").as_millis_f64();
+        assert!((18.5..=22.0).contains(&base), "mapreduce baseline {base}ms");
+    }
+
+    #[test]
+    fn matrix_comput_end_to_end_is_about_2_8x() {
+        let (cpu, fpga) = matrix_comput();
+        assert!((2.4..=3.0).contains(&cpu.ratio(fpga)), "ratio {}", cpu.ratio(fpga));
+        assert!((2.5..=2.7).contains(&cpu.as_millis_f64()), "CPU {}ms", cpu.as_millis_f64());
+    }
+}

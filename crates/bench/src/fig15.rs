@@ -1,0 +1,133 @@
+//! Figure 15 — the serverless design space, with *this* build's Molecule
+//! measured into its claimed corner.
+//!
+//! The figure's placements of prior systems are published facts
+//! ([`vsandbox::designspace`]); what the harness verifies is that the
+//! reproduction's Molecule actually lands where the paper puts it: extreme
+//! startup (≤10 ms cfork) with IPC-class communication both on one PU and
+//! across PUs.
+
+use hetsim::calib::Calibration;
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+use vsandbox::designspace::{design_space, StartupClass};
+use vsandbox::spec::LangRuntime;
+use workloads::serverlessbench;
+
+use crate::run_sim;
+
+/// Molecule's measured coordinates in the design space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoleculePlacement {
+    /// Measured cfork cold start (desktop calibration, like Fig. 11).
+    pub startup: SimDuration,
+    /// Its Fig. 15 class.
+    pub startup_class: StartupClass,
+    /// Measured same-PU hop latency.
+    pub same_pu_hop: SimDuration,
+    /// Measured cross-PU (nIPC) hop latency.
+    pub cross_pu_hop: SimDuration,
+    /// Measured baseline (network) hop latency for comparison.
+    pub network_hop: SimDuration,
+}
+
+/// Measures Molecule's placement.
+pub fn measure_molecule() -> MoleculePlacement {
+    run_sim("fig15", |ctx| {
+        let machine = Machine::builder()
+            .calibration(Calibration::desktop())
+            .host_cpu()
+            .bluefield1_dpus(1)
+            .build();
+        let m = Molecule::launch(machine, MoleculeConfig::default());
+        m.register_function(serverlessbench::helloworld());
+        m.register_function(serverlessbench::image_processing());
+        m.bootstrap(ctx).unwrap();
+        m.prepare_template(ctx, PuId(0), LangRuntime::Python).unwrap();
+        let startup = m
+            .start_instance(ctx, &"helloworld".into(), PuId(0), StartupKind::CforkLocal)
+            .unwrap()
+            .latency;
+        let same = vec![
+            ChainStage::new("sb-image-process", PuId(0)),
+            ChainStage::new("sb-image-process", PuId(0)),
+        ];
+        let cross = vec![
+            ChainStage::new("sb-image-process", PuId(0)),
+            ChainStage::new("sb-image-process", PuId(1)),
+        ];
+        let same_pu_hop = run_chain(&m, ctx, &ChainSpec::new("s", same.clone(), CommMethod::DirectIpc))
+            .unwrap()
+            .mean_hop(1);
+        let cross_pu_hop = run_chain(&m, ctx, &ChainSpec::new("x", cross, CommMethod::DirectIpc))
+            .unwrap()
+            .mean_hop(1);
+        let network_hop = run_chain(&m, ctx, &ChainSpec::new("n", same, CommMethod::HttpGateway))
+            .unwrap()
+            .mean_hop(1);
+        MoleculePlacement {
+            startup,
+            startup_class: StartupClass::of(startup),
+            same_pu_hop,
+            cross_pu_hop,
+            network_hop,
+        }
+    })
+}
+
+/// Prints the design space and the measured placement.
+pub fn print() {
+    let rows: Vec<Vec<String>> = design_space()
+        .iter()
+        .map(|p| {
+            vec![
+                p.system.to_owned(),
+                p.startup.to_string(),
+                p.same_pu_comm.to_string(),
+                p.cross_pu_comm.map(|c| c.to_string()).unwrap_or_else(|| "-".to_owned()),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Figure 15: serverless system design space (published placements)",
+        &["system", "startup", "same-PU comm", "cross-PU comm"],
+        &rows,
+    );
+    let p = measure_molecule();
+    println!(
+        "\nMeasured Molecule: startup {:.2}ms => {}; hops: same-PU {:.0}us, \
+         cross-PU {:.0}us, network baseline {:.0}us",
+        p.startup.as_millis_f64(),
+        p.startup_class,
+        p.same_pu_hop.as_micros_f64(),
+        p.cross_pu_hop.as_micros_f64(),
+        p.network_hop.as_micros_f64(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn molecule_measures_into_the_extreme_ipc_corner() {
+        let p = measure_molecule();
+        assert_eq!(p.startup_class, StartupClass::Extreme, "startup {:?}", p.startup);
+        // Both hop latencies are IPC-class: an order of magnitude below the
+        // network baseline.
+        assert!(p.same_pu_hop.as_micros_f64() * 10.0 < p.network_hop.as_micros_f64());
+        assert!(p.cross_pu_hop.as_micros_f64() * 5.0 < p.network_hop.as_micros_f64());
+        // And nIPC costs more than local IPC, but stays sub-millisecond.
+        assert!(p.cross_pu_hop > p.same_pu_hop);
+        assert!(p.cross_pu_hop < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn published_space_is_consistent() {
+        assert!(vsandbox::designspace::molecule_is_unique());
+        assert_eq!(design_space().len(), 12);
+    }
+}

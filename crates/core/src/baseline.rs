@@ -1,0 +1,144 @@
+//! Baseline systems (paper §6, "Compared systems").
+//!
+//! * **Molecule-homo** — the homogeneous version of Molecule: no XPU-Shim
+//!   (single-PU only), no cfork (cold container boots), Express/Flask HTTP
+//!   for DAG communication. In this codebase Molecule-homo is not a separate
+//!   runtime but the combination of
+//!   [`StartupKind::ColdBaseline`](crate::runtime::StartupKind) and
+//!   [`CommMethod::HttpGateway`](crate::dag::CommMethod) — it shares every
+//!   other code path with Molecule, so each figure isolates exactly the
+//!   mechanism the paper ablates.
+//! * **AWS Lambda / OpenWhisk** — commercial systems, represented by their
+//!   published Fig. 9 bar heights in the calibration table.
+
+use hetsim::calib::Calibration;
+use hetsim::time::SimDuration;
+
+/// Fig. 9 comparison: startup and communication latency of the four systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommercialComparison {
+    /// AWS Lambda cold start (helloworld).
+    pub aws_startup: SimDuration,
+    /// OpenWhisk cold start.
+    pub openwhisk_startup: SimDuration,
+    /// Molecule-homo cold start.
+    pub homo_startup: SimDuration,
+    /// Molecule cold start (cfork, incl. the cross-PU path).
+    pub molecule_startup: SimDuration,
+    /// AWS Step Functions hop.
+    pub aws_comm: SimDuration,
+    /// OpenWhisk hop.
+    pub openwhisk_comm: SimDuration,
+    /// Molecule-homo hop (Express).
+    pub homo_comm: SimDuration,
+    /// Molecule hop (IPC/nIPC).
+    pub molecule_comm: SimDuration,
+}
+
+impl CommercialComparison {
+    /// Builds the comparison from the calibration's commercial constants and
+    /// measured Molecule/homo values.
+    pub fn new(
+        calib: &Calibration,
+        homo_startup: SimDuration,
+        molecule_startup: SimDuration,
+        homo_comm: SimDuration,
+        molecule_comm: SimDuration,
+    ) -> CommercialComparison {
+        CommercialComparison {
+            aws_startup: calib.commercial.aws_lambda_startup,
+            openwhisk_startup: calib.commercial.openwhisk_startup,
+            homo_startup,
+            molecule_startup,
+            aws_comm: calib.commercial.aws_lambda_comm,
+            openwhisk_comm: calib.commercial.openwhisk_comm,
+            homo_comm,
+            molecule_comm,
+        }
+    }
+
+    /// Molecule's startup improvement over (AWS, OpenWhisk) — the paper
+    /// reports 37-46x.
+    pub fn molecule_startup_speedup(&self) -> (f64, f64) {
+        (
+            self.aws_startup.ratio(self.molecule_startup),
+            self.openwhisk_startup.ratio(self.molecule_startup),
+        )
+    }
+
+    /// Molecule-homo's startup improvement over (AWS, OpenWhisk) — the paper
+    /// reports 5-6x.
+    pub fn homo_startup_speedup(&self) -> (f64, f64) {
+        (
+            self.aws_startup.ratio(self.homo_startup),
+            self.openwhisk_startup.ratio(self.homo_startup),
+        )
+    }
+
+    /// Molecule's communication improvement over (AWS, OpenWhisk) — the
+    /// paper reports 68-300x.
+    pub fn molecule_comm_speedup(&self) -> (f64, f64) {
+        (
+            self.aws_comm.ratio(self.molecule_comm),
+            self.openwhisk_comm.ratio(self.molecule_comm),
+        )
+    }
+
+    /// Molecule-homo's communication improvement over (AWS, OpenWhisk) —
+    /// the paper reports 4-19x.
+    pub fn homo_comm_speedup(&self) -> (f64, f64) {
+        (
+            self.aws_comm.ratio(self.homo_comm),
+            self.openwhisk_comm.ratio(self.homo_comm),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comparison() -> CommercialComparison {
+        // Measured values representative of the model: homo = container
+        // create + node boot for helloworld; molecule = cfork + XPU path.
+        CommercialComparison::new(
+            &Calibration::paper_server(),
+            SimDuration::from_millis_f64(85.55),
+            SimDuration::from_millis_f64(10.4),
+            SimDuration::from_millis_f64(3.8),
+            SimDuration::from_micros(230),
+        )
+    }
+
+    #[test]
+    fn startup_speedups_land_in_paper_bands() {
+        let c = comparison();
+        let (aws, ow) = c.molecule_startup_speedup();
+        assert!((35.0..=48.0).contains(&aws), "AWS speedup {aws}");
+        assert!((35.0..=48.0).contains(&ow), "OpenWhisk speedup {ow}");
+        let (h_aws, h_ow) = c.homo_startup_speedup();
+        assert!((4.0..=7.0).contains(&h_aws), "homo AWS speedup {h_aws}");
+        assert!((4.0..=7.0).contains(&h_ow), "homo OpenWhisk speedup {h_ow}");
+    }
+
+    #[test]
+    fn comm_speedups_land_in_paper_bands() {
+        let c = comparison();
+        let (aws, ow) = c.molecule_comm_speedup();
+        assert!((68.0..=320.0).contains(&aws), "AWS comm speedup {aws}");
+        assert!((60.0..=90.0).contains(&ow), "OpenWhisk comm speedup {ow}");
+        let (h_aws, h_ow) = c.homo_comm_speedup();
+        assert!((4.0..=19.0).contains(&h_ow), "homo OpenWhisk comm speedup {h_ow}");
+        assert!(h_aws > h_ow);
+    }
+
+    #[test]
+    fn ordering_matches_fig9() {
+        let c = comparison();
+        assert!(c.molecule_startup < c.homo_startup);
+        assert!(c.homo_startup < c.aws_startup);
+        assert!(c.molecule_comm < c.homo_comm);
+        assert!(c.homo_comm < c.openwhisk_comm);
+        assert!(c.openwhisk_comm < c.aws_comm);
+    }
+}

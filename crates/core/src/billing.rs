@@ -1,0 +1,145 @@
+//! Pay-as-you-go metering (paper §1, §4.1).
+//!
+//! Serverless bills at 1 ms granularity. Molecule's resource model is
+//! PU-aware: users pick PU kinds by price — "DPU has the lowest prices and
+//! FPGA has the highest prices" (§4.1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hetsim::pu::PuKind;
+use hetsim::time::SimDuration;
+
+/// Price per compute-millisecond per MiB of reserved memory, in abstract
+/// micro-credits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceTable {
+    /// Host CPU price.
+    pub cpu: f64,
+    /// DPU price (cheapest — slow, efficient ARM cores).
+    pub dpu: f64,
+    /// FPGA price (most expensive).
+    pub fpga: f64,
+    /// GPU price.
+    pub gpu: f64,
+    /// SmartNIC price.
+    pub smartnic: f64,
+}
+
+impl Default for PriceTable {
+    /// Prices ordered as §4.1 describes: DPU < CPU < GPU < FPGA.
+    fn default() -> Self {
+        PriceTable { cpu: 1.0, dpu: 0.4, fpga: 4.0, gpu: 2.5, smartnic: 0.5 }
+    }
+}
+
+impl PriceTable {
+    /// The price for a PU kind.
+    pub fn price(&self, kind: PuKind) -> f64 {
+        match kind {
+            PuKind::Cpu => self.cpu,
+            PuKind::Dpu => self.dpu,
+            PuKind::Fpga => self.fpga,
+            PuKind::Gpu => self.gpu,
+            PuKind::SmartNic => self.smartnic,
+        }
+    }
+}
+
+/// The billing granularity: 1 ms, as AWS Lambda bills since 2021 (§1).
+pub const BILLING_GRANULARITY: SimDuration = SimDuration::from_millis(1);
+
+/// Accumulates charges per PU kind.
+#[derive(Debug, Default, Clone)]
+pub struct Meter {
+    prices: PriceTable,
+    charged: HashMap<PuKind, f64>,
+    invocations: u64,
+}
+
+impl Meter {
+    /// Creates a meter with the given price table.
+    pub fn new(prices: PriceTable) -> Meter {
+        Meter { prices, ..Meter::default() }
+    }
+
+    /// Bills one invocation of `duration` on a PU of `kind` with
+    /// `memory_mib` reserved. Durations round *up* to the billing
+    /// granularity.
+    ///
+    /// Returns the charge in micro-credits.
+    pub fn charge(&mut self, kind: PuKind, duration: SimDuration, memory_mib: u64) -> f64 {
+        let gran = BILLING_GRANULARITY.as_nanos();
+        let billed_ms = duration.as_nanos().div_ceil(gran).max(1);
+        let cost = billed_ms as f64 * self.prices.price(kind) * memory_mib as f64 / 128.0;
+        *self.charged.entry(kind).or_insert(0.0) += cost;
+        self.invocations += 1;
+        cost
+    }
+
+    /// Total charged for a PU kind.
+    pub fn total_for(&self, kind: PuKind) -> f64 {
+        self.charged.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Total charged across all PU kinds.
+    pub fn total(&self) -> f64 {
+        self.charged.values().sum()
+    }
+
+    /// Number of invocations billed.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+impl fmt::Display for Meter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "meter: {} invocations, {:.2} credits total",
+            self.invocations,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_millisecond_rounds_up_to_one() {
+        let mut m = Meter::new(PriceTable::default());
+        let c = m.charge(PuKind::Cpu, SimDuration::from_micros(250), 128);
+        assert_eq!(c, 1.0);
+        // exactly 1 ms is still 1 unit, 1 ms + 1 ns is 2.
+        assert_eq!(m.charge(PuKind::Cpu, SimDuration::from_millis(1), 128), 1.0);
+        assert_eq!(
+            m.charge(PuKind::Cpu, SimDuration::from_nanos(1_000_001), 128),
+            2.0
+        );
+    }
+
+    #[test]
+    fn dpu_is_cheaper_cpu_fpga_pricier() {
+        let mut m = Meter::new(PriceTable::default());
+        let d = SimDuration::from_millis(10);
+        let cpu = m.charge(PuKind::Cpu, d, 128);
+        let dpu = m.charge(PuKind::Dpu, d, 128);
+        let fpga = m.charge(PuKind::Fpga, d, 128);
+        assert!(dpu < cpu, "§4.1: DPU has the lowest prices");
+        assert!(fpga > cpu, "§4.1: FPGA has the highest prices");
+        assert_eq!(m.total(), cpu + dpu + fpga);
+        assert_eq!(m.invocations(), 3);
+    }
+
+    #[test]
+    fn memory_scales_the_charge() {
+        let mut m = Meter::new(PriceTable::default());
+        let small = m.charge(PuKind::Cpu, SimDuration::from_millis(5), 128);
+        let big = m.charge(PuKind::Cpu, SimDuration::from_millis(5), 256);
+        assert_eq!(big, small * 2.0);
+        assert_eq!(m.total_for(PuKind::Dpu), 0.0);
+    }
+}

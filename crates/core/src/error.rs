@@ -1,0 +1,78 @@
+//! Error type for the Molecule runtime.
+
+use core::fmt;
+
+use hetsim::pu::PuId;
+use vsandbox::spec::FuncId;
+
+/// Errors surfaced by the Molecule runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MoleculeError {
+    /// A sandbox runtime operation failed.
+    Sandbox(vsandbox::oci::SandboxError),
+    /// An XPU-Shim operation failed.
+    Shim(xpu_shim::error::ShimError),
+    /// The function is not registered.
+    UnknownFunction(FuncId),
+    /// The referenced instance does not exist.
+    UnknownInstance(u64),
+    /// The function has no profile runnable on this PU.
+    UnsupportedPu {
+        /// The function.
+        func: FuncId,
+        /// The PU it was asked to run on.
+        pu: PuId,
+    },
+    /// No PU had capacity for the placement.
+    NoCapacity(FuncId),
+    /// No warm instance was available for a warm-only invocation.
+    NoWarmInstance {
+        /// The function.
+        func: FuncId,
+        /// The PU queried.
+        pu: PuId,
+    },
+    /// Internal scheduling or wiring error.
+    Internal(String),
+}
+
+impl fmt::Display for MoleculeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoleculeError::Sandbox(e) => write!(f, "sandbox error: {e}"),
+            MoleculeError::Shim(e) => write!(f, "shim error: {e}"),
+            MoleculeError::UnknownFunction(id) => write!(f, "unknown function: {id}"),
+            MoleculeError::UnknownInstance(id) => write!(f, "unknown instance: {id}"),
+            MoleculeError::UnsupportedPu { func, pu } => {
+                write!(f, "function {func} has no profile for {pu}")
+            }
+            MoleculeError::NoCapacity(func) => write!(f, "no capacity to place {func}"),
+            MoleculeError::NoWarmInstance { func, pu } => {
+                write!(f, "no warm instance of {func} on {pu}")
+            }
+            MoleculeError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MoleculeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MoleculeError::Sandbox(e) => Some(e),
+            MoleculeError::Shim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vsandbox::oci::SandboxError> for MoleculeError {
+    fn from(e: vsandbox::oci::SandboxError) -> Self {
+        MoleculeError::Sandbox(e)
+    }
+}
+
+impl From<xpu_shim::error::ShimError> for MoleculeError {
+    fn from(e: xpu_shim::error::ShimError) -> Self {
+        MoleculeError::Shim(e)
+    }
+}

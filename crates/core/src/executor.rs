@@ -1,0 +1,497 @@
+//! Live executors (paper Fig. 6 / §4.1).
+//!
+//! "Molecule will launch executors on other PUs through xSpawn, which are
+//! responsible for managing local function instances using the vectorized
+//! sandbox abstraction. The executor receives commands from Molecule
+//! (through nIPC), executes the commands on the local OS, and returns the
+//! results."
+//!
+//! This module implements that loop for real: each executor is a simulated
+//! process on its PU, blocked on its command XPU-FIFO; the manager writes
+//! length-prefixed [`ExecutorCommand`] frames over nIPC and reads
+//! [`ExecutorReply`] frames back. Every byte of control traffic therefore
+//! pays the measured nIPC costs — no modelled shortcut.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hetsim::engine::ProcCtx;
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use vsandbox::spec::FuncId;
+use xpu_shim::cap::Perm;
+use xpu_shim::fifo::XpuFifoWriter;
+use xpu_shim::id::GlobalUuid;
+
+use crate::error::MoleculeError;
+use crate::runtime::{InstanceId, Molecule, StartupKind};
+
+/// A command the manager sends to an executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutorCommand {
+    /// Liveness probe.
+    Ping,
+    /// cfork an instance of `func` from the PU-local template.
+    Cfork {
+        /// The function to instantiate.
+        func: FuncId,
+    },
+    /// Cold-boot an instance of `func` (the baseline path).
+    ColdStart {
+        /// The function to instantiate.
+        func: FuncId,
+    },
+    /// Retire a previously started instance.
+    Retire {
+        /// The instance to retire.
+        instance: u64,
+    },
+    /// Stop the executor loop.
+    Shutdown,
+}
+
+/// A reply an executor sends back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutorReply {
+    /// `Ping` answered.
+    Pong,
+    /// An instance was started.
+    Started {
+        /// The new instance id.
+        instance: u64,
+        /// Startup latency on the executor's side, nanoseconds.
+        startup_ns: u64,
+    },
+    /// An instance was retired.
+    Retired,
+    /// The command failed.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The executor acknowledged shutdown.
+    ShuttingDown,
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Option<String> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let bytes = buf.split_to(len);
+    String::from_utf8(bytes.to_vec()).ok()
+}
+
+impl ExecutorCommand {
+    /// Encodes the command to its wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            ExecutorCommand::Ping => buf.put_u8(0),
+            ExecutorCommand::Cfork { func } => {
+                buf.put_u8(1);
+                put_str(&mut buf, func.as_str());
+            }
+            ExecutorCommand::ColdStart { func } => {
+                buf.put_u8(2);
+                put_str(&mut buf, func.as_str());
+            }
+            ExecutorCommand::Retire { instance } => {
+                buf.put_u8(3);
+                buf.put_u64_le(*instance);
+            }
+            ExecutorCommand::Shutdown => buf.put_u8(4),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a command from its wire format.
+    pub fn decode(mut bytes: Bytes) -> Option<ExecutorCommand> {
+        if bytes.remaining() < 1 {
+            return None;
+        }
+        match bytes.get_u8() {
+            0 => Some(ExecutorCommand::Ping),
+            1 => Some(ExecutorCommand::Cfork { func: FuncId::new(get_str(&mut bytes)?) }),
+            2 => Some(ExecutorCommand::ColdStart { func: FuncId::new(get_str(&mut bytes)?) }),
+            3 => {
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                Some(ExecutorCommand::Retire { instance: bytes.get_u64_le() })
+            }
+            4 => Some(ExecutorCommand::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+impl ExecutorReply {
+    /// Encodes the reply to its wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            ExecutorReply::Pong => buf.put_u8(0),
+            ExecutorReply::Started { instance, startup_ns } => {
+                buf.put_u8(1);
+                buf.put_u64_le(*instance);
+                buf.put_u64_le(*startup_ns);
+            }
+            ExecutorReply::Retired => buf.put_u8(2),
+            ExecutorReply::Failed { reason } => {
+                buf.put_u8(3);
+                put_str(&mut buf, reason);
+            }
+            ExecutorReply::ShuttingDown => buf.put_u8(4),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a reply from its wire format.
+    pub fn decode(mut bytes: Bytes) -> Option<ExecutorReply> {
+        if bytes.remaining() < 1 {
+            return None;
+        }
+        match bytes.get_u8() {
+            0 => Some(ExecutorReply::Pong),
+            1 => {
+                if bytes.remaining() < 16 {
+                    return None;
+                }
+                Some(ExecutorReply::Started {
+                    instance: bytes.get_u64_le(),
+                    startup_ns: bytes.get_u64_le(),
+                })
+            }
+            2 => Some(ExecutorReply::Retired),
+            3 => Some(ExecutorReply::Failed { reason: get_str(&mut bytes)? }),
+            4 => Some(ExecutorReply::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A manager-side handle to a live executor on a neighbour PU.
+#[derive(Debug)]
+pub struct ExecutorHandle {
+    /// The PU the executor runs on.
+    pub pu: PuId,
+    command_writer: XpuFifoWriter,
+    reply_fifo: xpu_shim::fifo::XpuFifoReader,
+}
+
+impl ExecutorHandle {
+    /// Sends one command and waits for the matching reply.
+    ///
+    /// # Errors
+    ///
+    /// Shim failures, or [`MoleculeError::Internal`] on protocol errors and
+    /// executor-reported failures.
+    pub fn call(
+        &self,
+        ctx: &mut ProcCtx,
+        command: ExecutorCommand,
+    ) -> Result<ExecutorReply, MoleculeError> {
+        self.command_writer.write(ctx, command.encode())?;
+        let raw = self.reply_fifo.read(ctx)?;
+        let reply = ExecutorReply::decode(raw)
+            .ok_or_else(|| MoleculeError::Internal("malformed executor reply".to_owned()))?;
+        if let ExecutorReply::Failed { reason } = &reply {
+            return Err(MoleculeError::Internal(format!("executor failed: {reason}")));
+        }
+        Ok(reply)
+    }
+
+    /// Convenience: cfork `func` on the executor's PU and return the
+    /// instance with its remote startup latency.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`call`](Self::call).
+    pub fn cfork(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+    ) -> Result<(InstanceId, SimDuration), MoleculeError> {
+        match self.call(ctx, ExecutorCommand::Cfork { func: func.clone() })? {
+            ExecutorReply::Started { instance, startup_ns } => {
+                Ok((InstanceId(instance), SimDuration::from_nanos(startup_ns)))
+            }
+            other => Err(MoleculeError::Internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Stops the executor loop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`call`](Self::call).
+    pub fn shutdown(&self, ctx: &mut ProcCtx) -> Result<(), MoleculeError> {
+        match self.call(ctx, ExecutorCommand::Shutdown)? {
+            ExecutorReply::ShuttingDown => Ok(()),
+            other => Err(MoleculeError::Internal(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+/// Starts an instance on the executor's PU and packages the outcome as a
+/// wire reply.
+fn start_and_report(
+    molecule: &Molecule,
+    ectx: &mut ProcCtx,
+    func: &FuncId,
+    pu: PuId,
+    how: StartupKind,
+) -> ExecutorReply {
+    let t0 = ectx.now();
+    match molecule.start_instance(ectx, func, pu, how) {
+        Ok(report) => ExecutorReply::Started {
+            instance: report.instance.0,
+            startup_ns: (ectx.now() - t0).as_nanos(),
+        },
+        Err(e) => ExecutorReply::Failed { reason: e.to_string() },
+    }
+}
+
+/// Launches a *live* executor on `pu`: xSpawns the executor process, wires
+/// command/reply XPU-FIFOs with exactly the needed capabilities, and returns
+/// the manager-side handle.
+///
+/// The executor serves commands using the local `runc` until told to shut
+/// down. All control traffic flows over nIPC and pays its measured costs.
+///
+/// # Errors
+///
+/// Shim failures (unknown PU, capability errors).
+pub fn launch_executor(
+    molecule: &Molecule,
+    ctx: &mut ProcCtx,
+    pu: PuId,
+) -> Result<ExecutorHandle, MoleculeError> {
+    let cluster = molecule.cluster().clone();
+    let host = molecule.machine().host_cpu();
+    let manager_shim = cluster.shim_on(host)?;
+    let manager = manager_shim.attach_process();
+
+    // The manager owns the reply FIFO; the executor owns the command FIFO.
+    let reply_fifo =
+        manager_shim.xfifo_init(ctx, manager, format!("exec-reply-{}", pu.raw()))?;
+    let reply_uuid = reply_fifo.uuid().clone();
+    let reply_obj = reply_fifo.obj();
+
+    let exec_shim = cluster.shim_on(pu)?;
+    let exec_pid = exec_shim.attach_process();
+    let command_fifo =
+        exec_shim.xfifo_init(ctx, exec_pid, format!("exec-cmd-{}", pu.raw()))?;
+    let command_uuid = command_fifo.uuid().clone();
+    manager_shim.grant_cap(ctx, manager, exec_pid, reply_obj, Perm::WRITE)?;
+    exec_shim.grant_cap(ctx, exec_pid, manager, command_fifo.obj(), Perm::WRITE)?;
+
+    let molecule_for_exec = molecule.clone();
+    let cluster_for_exec = cluster.clone();
+    let reply_uuid_for_exec: GlobalUuid = reply_uuid;
+    manager_shim.xspawn(ctx, manager, pu, "molecule-executor", &[], move |ectx, _pid| {
+        let shim = cluster_for_exec.shim_on(pu).expect("executor PU exists");
+        let reply_writer = shim
+            .xfifo_connect(ectx, exec_pid, &reply_uuid_for_exec)
+            .expect("reply fifo granted");
+        loop {
+            let Ok(raw) = command_fifo.read(ectx) else { return };
+            let Some(command) = ExecutorCommand::decode(raw) else {
+                let _ = reply_writer.write(
+                    ectx,
+                    ExecutorReply::Failed { reason: "malformed command".to_owned() }.encode(),
+                );
+                continue;
+            };
+            let reply = match command {
+                ExecutorCommand::Ping => ExecutorReply::Pong,
+                ExecutorCommand::Shutdown => {
+                    let _ = reply_writer.write(ectx, ExecutorReply::ShuttingDown.encode());
+                    return;
+                }
+                ExecutorCommand::Cfork { func } => {
+                    // Executors run the *local* startup path; the manager
+                    // already paid the nIPC hop to reach us.
+                    start_and_report(&molecule_for_exec, ectx, &func, pu, StartupKind::CforkLocal)
+                }
+                ExecutorCommand::ColdStart { func } => {
+                    start_and_report(&molecule_for_exec, ectx, &func, pu, StartupKind::ColdBaseline)
+                }
+                ExecutorCommand::Retire { instance } => {
+                    match molecule_for_exec.retire_instance(ectx, InstanceId(instance)) {
+                        Ok(()) => ExecutorReply::Retired,
+                        Err(e) => ExecutorReply::Failed { reason: e.to_string() },
+                    }
+                }
+            };
+            if reply_writer.write(ectx, reply.encode()).is_err() {
+                return;
+            }
+        }
+    })?;
+
+    let command_writer = manager_shim.xfifo_connect(ctx, manager, &command_uuid)?;
+    Ok(ExecutorHandle { pu, command_writer, reply_fifo })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionDef;
+    use crate::runtime::MoleculeConfig;
+    use hetsim::engine::Simulation;
+    use hetsim::pu::PuKind;
+    use hetsim::topology::Machine;
+    use vsandbox::spec::LangRuntime;
+
+    #[test]
+    fn command_and_reply_codecs_roundtrip() {
+        let commands = [
+            ExecutorCommand::Ping,
+            ExecutorCommand::Cfork { func: FuncId::new("image-resize") },
+            ExecutorCommand::ColdStart { func: FuncId::new("x") },
+            ExecutorCommand::Retire { instance: 42 },
+            ExecutorCommand::Shutdown,
+        ];
+        for c in commands {
+            assert_eq!(ExecutorCommand::decode(c.encode()), Some(c));
+        }
+        let replies = [
+            ExecutorReply::Pong,
+            ExecutorReply::Started { instance: 7, startup_ns: 6_400_000 },
+            ExecutorReply::Retired,
+            ExecutorReply::Failed { reason: "no template".to_owned() },
+            ExecutorReply::ShuttingDown,
+        ];
+        for r in replies {
+            assert_eq!(ExecutorReply::decode(r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_decode_to_none() {
+        let frame = ExecutorCommand::Cfork { func: FuncId::new("abcdef") }.encode();
+        for cut in 1..frame.len() {
+            assert_eq!(
+                ExecutorCommand::decode(frame.slice(0..cut)),
+                None,
+                "truncated at {cut}"
+            );
+        }
+        assert_eq!(ExecutorCommand::decode(Bytes::from_static(&[99])), None);
+        assert_eq!(ExecutorReply::decode(Bytes::new()), None);
+    }
+
+    fn molecule() -> Molecule {
+        let m = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+        m.register_function(
+            FunctionDef::builder("img", LangRuntime::Python)
+                .profiles(&[PuKind::Cpu, PuKind::Dpu])
+                .exec_ms(5.0)
+                .build(),
+        );
+        m
+    }
+
+    #[test]
+    fn live_executor_serves_cfork_over_nipc() {
+        let m = molecule();
+        let mut sim = Simulation::new();
+        let m2 = m.clone();
+        let out = sim.spawn("manager", move |ctx| {
+            m2.bootstrap(ctx).unwrap(); // pre-initializes function containers
+            m2.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+            let exec = launch_executor(&m2, ctx, PuId(1)).unwrap();
+            assert_eq!(exec.call(ctx, ExecutorCommand::Ping).unwrap(), ExecutorReply::Pong);
+            let t0 = ctx.now();
+            let (instance, remote_startup) = exec.cfork(ctx, &"img".into()).unwrap();
+            let end_to_end = ctx.now() - t0;
+            exec.shutdown(ctx).unwrap();
+            (instance, remote_startup, end_to_end)
+        });
+        sim.run().unwrap();
+        let (instance, remote_startup, end_to_end) = out.take_result().unwrap();
+        assert_eq!(m.instance_pu(instance), Some(PuId(1)));
+        // The remote (executor-side) startup is the BF-1 cfork (~40ms); the
+        // manager additionally pays two nIPC hops.
+        assert!((35.0..=45.0).contains(&remote_startup.as_millis_f64()));
+        assert!(end_to_end > remote_startup);
+        let overhead = (end_to_end - remote_startup).as_micros_f64();
+        assert!(
+            (10.0..=500.0).contains(&overhead),
+            "nIPC command+reply overhead was {overhead}us"
+        );
+    }
+
+    #[test]
+    fn cold_start_command_uses_the_baseline_path() {
+        let m = molecule();
+        let mut sim = Simulation::new();
+        let out = sim.spawn("manager", move |ctx| {
+            m.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+            let exec = launch_executor(&m, ctx, PuId(1)).unwrap();
+            let cold = match exec
+                .call(ctx, ExecutorCommand::ColdStart { func: FuncId::new("img") })
+                .unwrap()
+            {
+                ExecutorReply::Started { startup_ns, .. } => startup_ns,
+                other => panic!("unexpected {other:?}"),
+            };
+            let (_, cfork) = exec.cfork(ctx, &"img".into()).unwrap();
+            exec.shutdown(ctx).unwrap();
+            (cold, cfork.as_nanos())
+        });
+        sim.run().unwrap();
+        let (cold, cfork) = out.take_result().unwrap();
+        // BF-1 baseline boot (~1.1s) dwarfs the cfork (~40-280ms without a
+        // warm preinit pool).
+        assert!(cold > 1_000_000_000, "cold start {cold}ns");
+        assert!(cfork < cold / 3, "cfork {cfork}ns vs cold {cold}ns");
+    }
+
+    #[test]
+    fn executor_reports_failures_without_dying() {
+        let m = molecule();
+        let mut sim = Simulation::new();
+        let out = sim.spawn("manager", move |ctx| {
+            // No template prepared: the cfork must fail but the executor
+            // must keep serving.
+            let exec = launch_executor(&m, ctx, PuId(1)).unwrap();
+            let err = exec.cfork(ctx, &"img".into()).unwrap_err();
+            let pong = exec.call(ctx, ExecutorCommand::Ping).unwrap();
+            exec.shutdown(ctx).unwrap();
+            (err, pong)
+        });
+        sim.run().unwrap();
+        let (err, pong) = out.take_result().unwrap();
+        assert!(matches!(err, MoleculeError::Internal(_)));
+        assert_eq!(pong, ExecutorReply::Pong);
+    }
+
+    #[test]
+    fn retire_round_trips_through_the_executor() {
+        let m = molecule();
+        let mut sim = Simulation::new();
+        let m2 = m.clone();
+        sim.spawn("manager", move |ctx| {
+            m2.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+            let exec = launch_executor(&m2, ctx, PuId(1)).unwrap();
+            let (instance, _) = exec.cfork(ctx, &"img".into()).unwrap();
+            assert_eq!(m2.instance_count(), 1);
+            let reply = exec
+                .call(ctx, ExecutorCommand::Retire { instance: instance.0 })
+                .unwrap();
+            assert_eq!(reply, ExecutorReply::Retired);
+            assert_eq!(m2.instance_count(), 0);
+            exec.shutdown(ctx).unwrap();
+        });
+        sim.run().unwrap();
+    }
+}

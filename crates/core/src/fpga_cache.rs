@@ -1,0 +1,266 @@
+//! FPGA instance caching (paper §4.2, "Caching FPGA function instances").
+//!
+//! Instead of fork, Molecule mitigates FPGA cold boots by *caching*: a
+//! keep-alive policy predicts which functions to keep resident, and the
+//! vectorized sandbox packs them into one image. On a miss the manager
+//! repacks the image around the keep set plus the requested function and
+//! re-flashes; on a hit the request goes straight to the resident sandbox.
+
+use std::fmt;
+use std::sync::Arc;
+
+use hetsim::engine::ProcCtx;
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use parking_lot::Mutex;
+use vsandbox::oci::OciRuntime;
+use vsandbox::spec::{FuncId, SandboxId, SandboxState};
+
+use crate::error::MoleculeError;
+use crate::keepalive::KeepAlivePolicy;
+use crate::runtime::Molecule;
+
+/// Counters the cache manager keeps.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaCacheStats {
+    /// Requests served by a resident kernel.
+    pub hits: u64,
+    /// Requests that required a re-flash.
+    pub misses: u64,
+    /// Images flashed (each miss flashes once).
+    pub flashes: u64,
+}
+
+struct CacheState {
+    policy: Box<dyn KeepAlivePolicy>,
+    stats: FpgaCacheStats,
+}
+
+/// Keep-alive-driven vectorized image cache for one FPGA device.
+#[derive(Clone)]
+pub struct FpgaCacheManager {
+    molecule: Molecule,
+    pu: PuId,
+    /// How many kernels one image may hold (the wrapper supports 12 on F1,
+    /// Table 4).
+    capacity: usize,
+    state: Arc<Mutex<CacheState>>,
+}
+
+impl fmt::Debug for FpgaCacheManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FpgaCacheManager")
+            .field("pu", &self.pu)
+            .field("capacity", &self.capacity)
+            .field("stats", &self.state.lock().stats)
+            .finish()
+    }
+}
+
+impl FpgaCacheManager {
+    /// Creates a manager for the FPGA attached as `pu`, packing at most
+    /// `capacity` kernels per image under `policy`.
+    pub fn new(
+        molecule: Molecule,
+        pu: PuId,
+        capacity: usize,
+        policy: Box<dyn KeepAlivePolicy>,
+    ) -> FpgaCacheManager {
+        FpgaCacheManager {
+            molecule,
+            pu,
+            capacity,
+            state: Arc::new(Mutex::new(CacheState { policy, stats: FpgaCacheStats::default() })),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FpgaCacheStats {
+        self.state.lock().stats
+    }
+
+    /// True if `func`'s kernel is resident on the fabric right now.
+    pub fn is_resident(&self, func: &FuncId) -> bool {
+        self.molecule
+            .runf(self.pu)
+            .is_some_and(|runf| runf.is_resident(&SandboxId::new(func.as_str())))
+    }
+
+    /// Serves one request for `func` with `input_bytes`, re-packing the
+    /// image if the kernel is not resident. Returns the request latency and
+    /// whether it was a hit.
+    ///
+    /// # Errors
+    ///
+    /// Unknown functions, functions without FPGA profiles, device errors.
+    pub fn request(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        input_bytes: u64,
+    ) -> Result<(SimDuration, bool), MoleculeError> {
+        let t0 = ctx.now();
+        let def = self
+            .molecule
+            .registry()
+            .get(func)
+            .ok_or_else(|| MoleculeError::UnknownFunction(func.clone()))?;
+        let exec = def
+            .fpga
+            .as_ref()
+            .ok_or(MoleculeError::UnsupportedPu { func: func.clone(), pu: self.pu })?
+            .exec
+            .host_time(input_bytes);
+        let runf = self
+            .molecule
+            .runf(self.pu)
+            .ok_or_else(|| MoleculeError::Internal(format!("no runf on {}", self.pu)))?
+            .clone();
+
+        let hit = self.is_resident(func);
+        if !hit {
+            // Miss: repack the image around the keep set + this function.
+            let now = ctx.now();
+            let mut pack = {
+                let mut st = self.state.lock();
+                st.policy.keep_set(now, self.capacity.saturating_sub(1))
+            };
+            pack.retain(|f| f != func && self.molecule.registry().get(f).is_some());
+            pack.push(func.clone());
+            self.molecule.cache_fpga_functions_replacing(ctx, self.pu, &pack)?;
+            let mut st = self.state.lock();
+            st.stats.misses += 1;
+            st.stats.flashes += 1;
+        } else {
+            self.state.lock().stats.hits += 1;
+        }
+
+        // Ensure the sandbox serves (warm-sandbox prep on first use after a
+        // flash), then run the kernel.
+        let sandbox = SandboxId::new(func.as_str());
+        if runf.state(ctx, &sandbox).map_err(MoleculeError::Sandbox)? != SandboxState::Running {
+            runf.start(ctx, &sandbox).map_err(MoleculeError::Sandbox)?;
+        }
+        let dma = self
+            .molecule
+            .machine()
+            .route(self.molecule.machine().host_cpu(), self.pu)
+            .transfer_time(input_bytes);
+        ctx.sleep(dma);
+        runf.invoke(ctx, &sandbox, exec).map_err(MoleculeError::Sandbox)?;
+
+        let now = ctx.now();
+        self.state.lock().policy.on_invoke(func, now, exec, 1.0);
+        Ok((now - t0, hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{ExecModel, FunctionDef};
+    use crate::keepalive::{GreedyDual, Lru};
+    use crate::runtime::MoleculeConfig;
+    use hetsim::engine::Simulation;
+    use hetsim::pu::PuKind;
+    use hetsim::topology::Machine;
+    use hetsim::fpga::{FpgaResources, KernelSpec};
+    use vsandbox::spec::LangRuntime;
+
+    fn kernel_spec(name: &str) -> KernelSpec {
+        KernelSpec {
+            name: name.to_owned(),
+            resources: FpgaResources { luts: 5_000, regs: 8_000, brams: 20, dsps: 36 },
+        }
+    }
+
+    fn setup(capacity: usize, policy: Box<dyn KeepAlivePolicy>) -> (FpgaCacheManager, Vec<FuncId>) {
+        let machine = Machine::paper_f1_instance();
+        let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+        let molecule = Molecule::launch(machine, MoleculeConfig::default());
+        let mut funcs = Vec::new();
+        for i in 0..6 {
+            let name = format!("kern{i}");
+            molecule.register_function(
+                FunctionDef::builder(name.clone(), LangRuntime::OpenCl)
+                    .profiles(&[PuKind::Fpga])
+                    .fpga(
+                        kernel_spec(&name),
+                        ExecModel::Fixed(SimDuration::from_micros(100)),
+                    )
+                    .build(),
+            );
+            funcs.push(FuncId::new(name));
+        }
+        (FpgaCacheManager::new(molecule, fpga, capacity, policy), funcs)
+    }
+
+    #[test]
+    fn repeat_requests_hit_after_first_flash() {
+        let (mgr, funcs) = setup(4, Box::new(Lru::new()));
+        let mut sim = Simulation::new();
+        let m = mgr.clone();
+        let f = funcs[0].clone();
+        let out = sim.spawn("driver", move |ctx| {
+            let (cold, hit0) = m.request(ctx, &f, 4096).unwrap();
+            let (warm, hit1) = m.request(ctx, &f, 4096).unwrap();
+            (cold, hit0, warm, hit1)
+        });
+        sim.run().unwrap();
+        let (cold, hit0, warm, hit1) = out.take_result().unwrap();
+        assert!(!hit0);
+        assert!(hit1);
+        assert!(cold > warm, "flash ({cold}) must dwarf the warm request ({warm})");
+        assert!(warm < SimDuration::from_millis(1));
+        assert_eq!(mgr.stats().flashes, 1);
+    }
+
+    #[test]
+    fn keep_set_survives_repacking() {
+        // Hot functions stay resident across a miss-triggered re-flash.
+        let (mgr, funcs) = setup(4, Box::new(Lru::new()));
+        let mut sim = Simulation::new();
+        let m = mgr.clone();
+        let fs = funcs.clone();
+        let out = sim.spawn("driver", move |ctx| {
+            // Warm up three hot functions.
+            for f in &fs[0..3] {
+                m.request(ctx, f, 1024).unwrap();
+            }
+            // A fourth function misses and triggers a repack.
+            m.request(ctx, &fs[3], 1024).unwrap();
+            (m.is_resident(&fs[0]), m.is_resident(&fs[1]), m.is_resident(&fs[2]), m.is_resident(&fs[3]))
+        });
+        sim.run().unwrap();
+        let (a, b, c, d) = out.take_result().unwrap();
+        assert!(a && b && c && d, "keep set + new function all resident: {a} {b} {c} {d}");
+        // Hot functions now hit without flashing.
+        let stats = mgr.stats();
+        assert!(stats.flashes <= 4);
+    }
+
+    #[test]
+    fn skewed_workload_hit_rate_is_high_under_greedy_dual() {
+        let (mgr, funcs) = setup(4, Box::new(GreedyDual::new()));
+        let mut sim = Simulation::new();
+        let m = mgr.clone();
+        let fs = funcs.clone();
+        let _ = sim.spawn("driver", move |ctx| {
+            // Zipf-ish: 3 hot functions dominate, 3 cold ones appear rarely.
+            let pattern =
+                [0usize, 1, 2, 0, 1, 2, 0, 1, 2, 3, 0, 1, 2, 0, 1, 2, 4, 0, 1, 2, 0, 1, 2, 5];
+            for &i in pattern.iter() {
+                m.request(ctx, &fs[i], 1024).unwrap();
+            }
+        });
+        sim.run().unwrap();
+        let stats = mgr.stats();
+        let total = stats.hits + stats.misses;
+        let hit_rate = stats.hits as f64 / total as f64;
+        assert!(hit_rate >= 0.6, "hit rate {hit_rate} ({stats:?})");
+        // The hot trio must still be resident at the end.
+        for f in &funcs[0..3] {
+            assert!(mgr.is_resident(f), "{f} evicted");
+        }
+    }
+}

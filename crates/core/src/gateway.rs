@@ -1,0 +1,434 @@
+//! The API gateway / global manager (paper Fig. 6).
+//!
+//! [`ApiGateway`] is the request-facing layer above [`Molecule`]: it places
+//! incoming requests (profile selection), serves them from the warm pool
+//! when possible, auto-scales by cold-starting new instances on misses, and
+//! reaps idle instances under a keep-alive policy. It is the piece that
+//! turns the runtime's mechanisms into the serverless behaviours the paper
+//! promises (auto-scaling, §1; keep-alive, §5).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use hetsim::engine::ProcCtx;
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use parking_lot::Mutex;
+use vsandbox::spec::{FuncId, LangRuntime};
+
+use crate::error::MoleculeError;
+use crate::keepalive::KeepAlivePolicy;
+use crate::runtime::{InstanceId, Molecule, StartupKind};
+use crate::schedule::Scheduler;
+
+/// Gateway configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Maximum warm instances kept per (function, PU).
+    pub max_warm_per_function: usize,
+    /// Startup path used to scale up (the ablation knob: Molecule uses
+    /// cfork, Molecule-homo uses the cold baseline, Catalyzer-style systems
+    /// use snapshots).
+    pub scale_up: StartupKind,
+    /// Instances an idle reap keeps alive in total.
+    pub keepalive_capacity: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            max_warm_per_function: 4,
+            scale_up: StartupKind::CforkLocal,
+            keepalive_capacity: 64,
+        }
+    }
+}
+
+/// Outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestReport {
+    /// End-to-end latency (queue + startup if cold + execution).
+    pub latency: SimDuration,
+    /// Whether a cold start was needed.
+    pub cold_start: bool,
+    /// The PU that served the request.
+    pub pu: PuId,
+    /// The serving instance.
+    pub instance: InstanceId,
+}
+
+/// Counters the gateway keeps.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Requests served from a warm instance.
+    pub warm_hits: u64,
+    /// Requests that required a cold start.
+    pub cold_starts: u64,
+    /// Instances retired by keep-alive reaping.
+    pub reaped: u64,
+}
+
+struct GatewayState {
+    /// Idle warm instances per (function, PU).
+    idle: HashMap<(FuncId, PuId), Vec<InstanceId>>,
+    /// Every live instance the gateway created, with its function.
+    owned: HashMap<InstanceId, (FuncId, PuId)>,
+    policy: Box<dyn KeepAlivePolicy>,
+    stats: GatewayStats,
+}
+
+/// The request-facing gateway over one Molecule deployment. Cheap to clone.
+#[derive(Clone)]
+pub struct ApiGateway {
+    molecule: Molecule,
+    scheduler: Scheduler,
+    config: GatewayConfig,
+    state: Arc<Mutex<GatewayState>>,
+}
+
+impl fmt::Debug for ApiGateway {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("ApiGateway")
+            .field("live_instances", &st.owned.len())
+            .field("stats", &st.stats)
+            .finish()
+    }
+}
+
+impl ApiGateway {
+    /// Creates a gateway over `molecule` with a keep-alive `policy`.
+    pub fn new(
+        molecule: Molecule,
+        scheduler: Scheduler,
+        config: GatewayConfig,
+        policy: Box<dyn KeepAlivePolicy>,
+    ) -> ApiGateway {
+        ApiGateway {
+            molecule,
+            scheduler,
+            config,
+            state: Arc::new(Mutex::new(GatewayState {
+                idle: HashMap::new(),
+                owned: HashMap::new(),
+                policy,
+                stats: GatewayStats::default(),
+            })),
+        }
+    }
+
+    /// The underlying runtime.
+    pub fn molecule(&self) -> &Molecule {
+        &self.molecule
+    }
+
+    /// Gateway counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.state.lock().stats
+    }
+
+    /// Live instances the gateway manages.
+    pub fn live_instances(&self) -> usize {
+        self.state.lock().owned.len()
+    }
+
+    /// Handles one request for `func` carrying `input_bytes`.
+    ///
+    /// A warm idle instance is reused when available; otherwise the gateway
+    /// places the function, cold-starts an instance via the configured
+    /// scale-up path, and serves the request on it. The instance returns to
+    /// the idle pool afterwards (bounded per function).
+    ///
+    /// # Errors
+    ///
+    /// Placement or startup failures from the runtime.
+    pub fn handle_request(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        input_bytes: u64,
+    ) -> Result<RequestReport, MoleculeError> {
+        let t0 = ctx.now();
+        let def = self
+            .molecule
+            .registry()
+            .get(func)
+            .ok_or_else(|| MoleculeError::UnknownFunction(func.clone()))?;
+
+        // 1. Warm pool first.
+        let warm = {
+            let mut st = self.state.lock();
+            let mut found = None;
+            for kind in &def.profiles {
+                for pu in self.molecule.machine().pus_of_kind(*kind) {
+                    if let Some(pool) = st.idle.get_mut(&(func.clone(), pu)) {
+                        if let Some(inst) = pool.pop() {
+                            found = Some((inst, pu));
+                            break;
+                        }
+                    }
+                }
+                if found.is_some() {
+                    break;
+                }
+            }
+            found
+        };
+
+        let (instance, pu, cold) = match warm {
+            Some((instance, pu)) => (instance, pu, false),
+            None => {
+                // 2. Miss: place and scale up.
+                let pu = self.scheduler.place(self.molecule.machine(), &def, None)?;
+                let how = self.effective_startup(pu);
+                let started = self.molecule.start_instance(ctx, func, pu, how)?;
+                let mut st = self.state.lock();
+                st.owned.insert(started.instance, (func.clone(), pu));
+                (started.instance, pu, true)
+            }
+        };
+
+        let report = self.molecule.invoke(ctx, instance, input_bytes)?;
+        let now = ctx.now();
+        {
+            let mut st = self.state.lock();
+            if cold {
+                st.stats.cold_starts += 1;
+            } else {
+                st.stats.warm_hits += 1;
+            }
+            st.policy.on_invoke(func, now, report.latency, def.memory_mib as f64 / 128.0);
+            let pool = st.idle.entry((func.clone(), pu)).or_default();
+            if pool.len() < self.config.max_warm_per_function {
+                pool.push(instance);
+            } else {
+                st.owned.remove(&instance);
+                drop(st);
+                self.molecule.retire_instance(ctx, instance)?;
+            }
+        }
+        Ok(RequestReport { latency: now - t0, cold_start: cold, pu, instance })
+    }
+
+    /// Chooses the startup path for a PU: the configured scale-up if a
+    /// template exists (or none is needed), falling back to a cold baseline.
+    fn effective_startup(&self, pu: PuId) -> StartupKind {
+        match self.config.scale_up {
+            StartupKind::CforkLocal | StartupKind::CforkXpu { .. } => StartupKind::CforkLocal,
+            other => other,
+        }
+        .pick_for(pu)
+    }
+
+    /// Retires idle instances the keep-alive policy no longer wants.
+    ///
+    /// # Errors
+    ///
+    /// Teardown failures from the runtime.
+    pub fn reap_idle(&self, ctx: &mut ProcCtx) -> Result<usize, MoleculeError> {
+        let now = ctx.now();
+        let (to_retire, kept) = {
+            let mut st = self.state.lock();
+            let keep: Vec<FuncId> = st.policy.keep_set(now, self.config.keepalive_capacity);
+            let mut to_retire = Vec::new();
+            for ((func, _pu), pool) in st.idle.iter_mut() {
+                if !keep.contains(func) {
+                    to_retire.append(pool);
+                }
+            }
+            // HashMap iteration order is arbitrary; retire deterministically.
+            to_retire.sort();
+            st.idle.retain(|_, pool| !pool.is_empty());
+            for inst in &to_retire {
+                st.owned.remove(inst);
+            }
+            st.stats.reaped += to_retire.len() as u64;
+            (to_retire, keep.len())
+        };
+        let _ = kept;
+        let count = to_retire.len();
+        for inst in to_retire {
+            self.molecule.retire_instance(ctx, inst)?;
+        }
+        Ok(count)
+    }
+
+    /// Pre-boots templates for every (general-purpose PU, language) pair the
+    /// registered functions need.
+    ///
+    /// # Errors
+    ///
+    /// Template boot failures.
+    pub fn prepare_all_templates(&self, ctx: &mut ProcCtx) -> Result<(), MoleculeError> {
+        let mut langs: Vec<LangRuntime> = Vec::new();
+        for id in self.molecule.registry().ids() {
+            if let Some(def) = self.molecule.registry().get(&id) {
+                if matches!(def.lang, LangRuntime::Python | LangRuntime::NodeJs)
+                    && !langs.contains(&def.lang)
+                {
+                    langs.push(def.lang);
+                }
+            }
+        }
+        for pu in self.molecule.machine().pus() {
+            if pu.kind.is_general_purpose() {
+                for lang in &langs {
+                    self.molecule.prepare_template(ctx, pu.id, *lang)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StartupKind {
+    /// Keeps the startup kind but pins any cross-PU fork to `pu`'s local
+    /// template (the gateway issues commands from the host).
+    fn pick_for(self, pu: PuId) -> StartupKind {
+        match self {
+            StartupKind::CforkXpu { .. } => StartupKind::CforkXpu { issued_from: PuId::HOST_CPU },
+            other => {
+                let _ = pu;
+                other
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionDef;
+    use crate::keepalive::{FixedWindow, Lru};
+    use hetsim::pu::PuKind;
+    use hetsim::engine::Simulation;
+    use hetsim::topology::Machine;
+    use crate::runtime::MoleculeConfig;
+
+    fn gateway(scale_up: StartupKind) -> ApiGateway {
+        let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+        molecule.register_function(
+            FunctionDef::builder("img", LangRuntime::Python)
+                .profiles(&[PuKind::Cpu, PuKind::Dpu])
+                .exec_ms(10.0)
+                .init_ms(6.0)
+                .cfork_first_run_ms(1.0)
+                .build(),
+        );
+        ApiGateway::new(
+            molecule,
+            Scheduler::default(),
+            GatewayConfig { scale_up, ..GatewayConfig::default() },
+            Box::new(Lru::new()),
+        )
+    }
+
+    #[test]
+    fn first_request_is_cold_second_is_warm() {
+        let gw = gateway(StartupKind::CforkLocal);
+        let mut sim = Simulation::new();
+        let g = gw.clone();
+        let out = sim.spawn("gw", move |ctx| {
+            g.molecule().bootstrap(ctx).unwrap();
+            g.prepare_all_templates(ctx).unwrap();
+            let first = g.handle_request(ctx, &"img".into(), 1024).unwrap();
+            let second = g.handle_request(ctx, &"img".into(), 1024).unwrap();
+            (first, second)
+        });
+        sim.run().unwrap();
+        let (first, second) = out.take_result().unwrap();
+        assert!(first.cold_start);
+        assert!(!second.cold_start);
+        assert!(first.latency > second.latency);
+        assert_eq!(first.instance, second.instance, "warm pool reuses the instance");
+        let stats = gw.stats();
+        assert_eq!(stats.cold_starts, 1);
+        assert_eq!(stats.warm_hits, 1);
+    }
+
+    #[test]
+    fn cfork_scale_up_beats_cold_and_snapshot_sits_between() {
+        // The startup ablation (Fig. 15 design space): cold > snapshot >
+        // cfork for the first-request latency.
+        let mut results = Vec::new();
+        for how in [StartupKind::ColdBaseline, StartupKind::Snapshot, StartupKind::CforkLocal] {
+            let gw = gateway(how);
+            let mut sim = Simulation::new();
+            let g = gw.clone();
+            let out = sim.spawn("gw", move |ctx| {
+                g.molecule().bootstrap(ctx).unwrap();
+                g.prepare_all_templates(ctx).unwrap();
+                g.handle_request(ctx, &"img".into(), 1024).unwrap().latency
+            });
+            sim.run().unwrap();
+            results.push(out.take_result().unwrap());
+        }
+        let (cold, snapshot, cfork) = (results[0], results[1], results[2]);
+        assert!(cold > snapshot, "cold {cold} must exceed snapshot {snapshot}");
+        assert!(snapshot > cfork, "snapshot {snapshot} must exceed cfork {cfork}");
+    }
+
+    #[test]
+    fn pool_overflow_retires_excess_instances() {
+        let gw = gateway(StartupKind::CforkLocal);
+        let mut sim = Simulation::new();
+        let g = gw.clone();
+        sim.spawn("gw", move |ctx| {
+            g.molecule().bootstrap(ctx).unwrap();
+            g.prepare_all_templates(ctx).unwrap();
+            // Burst of sequential requests: the pool caps at 4 per function.
+            for _ in 0..8 {
+                g.handle_request(ctx, &"img".into(), 64).unwrap();
+            }
+        });
+        sim.run().unwrap();
+        // Sequential requests reuse one instance: 1 cold, 7 warm.
+        let stats = gw.stats();
+        assert_eq!(stats.cold_starts, 1);
+        assert_eq!(stats.warm_hits, 7);
+        assert_eq!(gw.live_instances(), 1);
+    }
+
+    #[test]
+    fn reaping_evicts_expired_functions() {
+        let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+        molecule.register_function(
+            FunctionDef::builder("img", LangRuntime::Python).exec_ms(1.0).build(),
+        );
+        let gw = ApiGateway::new(
+            molecule,
+            Scheduler::default(),
+            GatewayConfig::default(),
+            Box::new(FixedWindow::new(SimDuration::from_millis(50))),
+        );
+        let mut sim = Simulation::new();
+        let g = gw.clone();
+        let out = sim.spawn("gw", move |ctx| {
+            g.molecule().bootstrap(ctx).unwrap();
+            g.prepare_all_templates(ctx).unwrap();
+            g.handle_request(ctx, &"img".into(), 64).unwrap();
+            let before = g.live_instances();
+            ctx.sleep(SimDuration::from_millis(200)); // window expires
+            let reaped = g.reap_idle(ctx).unwrap();
+            (before, reaped, g.live_instances())
+        });
+        sim.run().unwrap();
+        let (before, reaped, after) = out.take_result().unwrap();
+        assert_eq!(before, 1);
+        assert_eq!(reaped, 1);
+        assert_eq!(after, 0);
+        assert_eq!(gw.stats().reaped, 1);
+    }
+
+    #[test]
+    fn unknown_function_is_rejected() {
+        let gw = gateway(StartupKind::CforkLocal);
+        let mut sim = Simulation::new();
+        let out = sim.spawn("gw", move |ctx| {
+            gw.handle_request(ctx, &"ghost".into(), 1).unwrap_err()
+        });
+        sim.run().unwrap();
+        assert!(matches!(out.take_result().unwrap(), MoleculeError::UnknownFunction(_)));
+    }
+}

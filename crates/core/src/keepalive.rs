@@ -1,0 +1,258 @@
+//! Keep-alive policies (paper §5 "Keep-alive policies").
+//!
+//! Molecule decides which function instances to keep warm — and, on FPGAs,
+//! which kernels to pack into the cached vectorized image. The paper
+//! inherits existing approaches: a fixed keep-alive window (the common
+//! 10-minute policy), LRU eviction, and FaasCache's Greedy-Dual-style
+//! priority. Chain-affinity is layered on top: "Molecule now will tend to
+//! cache functions in a chain in the same image".
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hetsim::time::{SimDuration, SimTime};
+use vsandbox::spec::FuncId;
+
+/// A cache-eviction policy over warm function instances.
+///
+/// Implementations are deterministic: ties break on the function id.
+pub trait KeepAlivePolicy: fmt::Debug + Send {
+    /// Records an invocation of `func` at `now` with `exec` runtime and
+    /// `size` (relative resource footprint).
+    fn on_invoke(&mut self, func: &FuncId, now: SimTime, exec: SimDuration, size: f64);
+
+    /// Removes a function from consideration.
+    fn forget(&mut self, func: &FuncId);
+
+    /// The functions to keep warm, best first, at most `capacity`.
+    fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId>;
+}
+
+/// Keep instances warm for a fixed window after their last use (the
+/// 10-minute policy of commercial platforms).
+#[derive(Debug)]
+pub struct FixedWindow {
+    window: SimDuration,
+    last_used: HashMap<FuncId, SimTime>,
+}
+
+impl FixedWindow {
+    /// Creates the policy with the given keep-alive window.
+    pub fn new(window: SimDuration) -> FixedWindow {
+        FixedWindow { window, last_used: HashMap::new() }
+    }
+}
+
+impl KeepAlivePolicy for FixedWindow {
+    fn on_invoke(&mut self, func: &FuncId, now: SimTime, _exec: SimDuration, _size: f64) {
+        self.last_used.insert(func.clone(), now);
+    }
+
+    fn forget(&mut self, func: &FuncId) {
+        self.last_used.remove(func);
+    }
+
+    fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId> {
+        let mut alive: Vec<(&FuncId, &SimTime)> = self
+            .last_used
+            .iter()
+            .filter(|(_, &t)| now.saturating_duration_since(t) <= self.window)
+            .collect();
+        alive.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        alive.into_iter().take(capacity).map(|(f, _)| f.clone()).collect()
+    }
+}
+
+/// Least-recently-used eviction.
+#[derive(Debug, Default)]
+pub struct Lru {
+    last_used: HashMap<FuncId, SimTime>,
+}
+
+impl Lru {
+    /// Creates an empty LRU policy.
+    pub fn new() -> Lru {
+        Lru::default()
+    }
+}
+
+impl KeepAlivePolicy for Lru {
+    fn on_invoke(&mut self, func: &FuncId, now: SimTime, _exec: SimDuration, _size: f64) {
+        self.last_used.insert(func.clone(), now);
+    }
+
+    fn forget(&mut self, func: &FuncId) {
+        self.last_used.remove(func);
+    }
+
+    fn keep_set(&mut self, _now: SimTime, capacity: usize) -> Vec<FuncId> {
+        let mut all: Vec<(&FuncId, &SimTime)> = self.last_used.iter().collect();
+        all.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        all.into_iter().take(capacity).map(|(f, _)| f.clone()).collect()
+    }
+}
+
+/// FaasCache-style Greedy-Dual keep-alive: priority = clock at last use +
+/// (cold-start cost) / size, so expensive-to-boot, small, hot functions stay
+/// cached longest.
+#[derive(Debug, Default)]
+pub struct GreedyDual {
+    clock: f64,
+    priority: HashMap<FuncId, f64>,
+}
+
+impl GreedyDual {
+    /// Creates an empty Greedy-Dual policy.
+    pub fn new() -> GreedyDual {
+        GreedyDual::default()
+    }
+}
+
+impl KeepAlivePolicy for GreedyDual {
+    fn on_invoke(&mut self, func: &FuncId, _now: SimTime, exec: SimDuration, size: f64) {
+        let cost = exec.as_millis_f64();
+        let p = self.clock + cost / size.max(1e-9);
+        self.priority.insert(func.clone(), p);
+    }
+
+    fn forget(&mut self, func: &FuncId) {
+        // Greedy-Dual: advance the clock to the evicted priority, aging the
+        // rest of the cache.
+        if let Some(p) = self.priority.remove(func) {
+            self.clock = self.clock.max(p);
+        }
+    }
+
+    fn keep_set(&mut self, _now: SimTime, capacity: usize) -> Vec<FuncId> {
+        let mut all: Vec<(&FuncId, &f64)> = self.priority.iter().collect();
+        all.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap().then_with(|| a.0.cmp(b.0)));
+        all.into_iter().take(capacity).map(|(f, _)| f.clone()).collect()
+    }
+}
+
+/// Wraps a policy with chain affinity: members of the same chain are pulled
+/// into the keep set together ("Molecule now will tend to cache functions in
+/// a chain in the same image", §5).
+#[derive(Debug)]
+pub struct ChainAffinity<P> {
+    inner: P,
+    chains: Vec<Vec<FuncId>>,
+}
+
+impl<P: KeepAlivePolicy> ChainAffinity<P> {
+    /// Wraps `inner`, honouring the given chain groupings.
+    pub fn new(inner: P, chains: Vec<Vec<FuncId>>) -> ChainAffinity<P> {
+        ChainAffinity { inner, chains }
+    }
+
+    fn chain_of(&self, func: &FuncId) -> Option<&[FuncId]> {
+        self.chains.iter().find(|c| c.contains(func)).map(Vec::as_slice)
+    }
+}
+
+impl<P: KeepAlivePolicy> KeepAlivePolicy for ChainAffinity<P> {
+    fn on_invoke(&mut self, func: &FuncId, now: SimTime, exec: SimDuration, size: f64) {
+        self.inner.on_invoke(func, now, exec, size);
+    }
+
+    fn forget(&mut self, func: &FuncId) {
+        self.inner.forget(func);
+    }
+
+    fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId> {
+        let base = self.inner.keep_set(now, capacity);
+        let mut out: Vec<FuncId> = Vec::new();
+        for f in base {
+            if out.len() >= capacity {
+                break;
+            }
+            match self.chain_of(&f) {
+                Some(chain) if chain.len() <= capacity - out.len() + chain.iter().filter(|m| out.contains(m)).count() => {
+                    for member in chain {
+                        if !out.contains(member) && out.len() < capacity {
+                            out.push(member.clone());
+                        }
+                    }
+                }
+                _ => {
+                    if !out.contains(&f) {
+                        out.push(f);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str) -> FuncId {
+        FuncId::new(name)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn fixed_window_expires_idle_functions() {
+        let mut p = FixedWindow::new(SimDuration::from_millis(100));
+        p.on_invoke(&f("a"), t(0), SimDuration::from_millis(1), 1.0);
+        p.on_invoke(&f("b"), t(50), SimDuration::from_millis(1), 1.0);
+        assert_eq!(p.keep_set(t(120), 10), vec![f("b")]); // "a" expired
+        assert_eq!(p.keep_set(t(500), 10), Vec::<FuncId>::new());
+    }
+
+    #[test]
+    fn lru_orders_by_recency_and_respects_capacity() {
+        let mut p = Lru::new();
+        for (name, at) in [("a", 10), ("b", 30), ("c", 20)] {
+            p.on_invoke(&f(name), t(at), SimDuration::from_millis(1), 1.0);
+        }
+        assert_eq!(p.keep_set(t(40), 2), vec![f("b"), f("c")]);
+        p.forget(&f("b"));
+        assert_eq!(p.keep_set(t(40), 2), vec![f("c"), f("a")]);
+    }
+
+    #[test]
+    fn greedy_dual_prefers_expensive_small_functions() {
+        let mut p = GreedyDual::new();
+        // "cheap": fast to boot, large. "dear": slow to boot, small.
+        p.on_invoke(&f("cheap"), t(0), SimDuration::from_millis(10), 4.0);
+        p.on_invoke(&f("dear"), t(0), SimDuration::from_millis(400), 1.0);
+        assert_eq!(p.keep_set(t(1), 1), vec![f("dear")]);
+        // Eviction ages the cache: after forgetting "dear", a new cheap
+        // function competes against the raised clock.
+        p.forget(&f("dear"));
+        p.on_invoke(&f("late"), t(2), SimDuration::from_millis(1), 1.0);
+        let keep = p.keep_set(t(3), 2);
+        assert_eq!(keep[0], f("late"), "recency via clock aging wins");
+    }
+
+    #[test]
+    fn chain_affinity_pulls_whole_chains() {
+        let chains = vec![vec![f("front"), f("interact"), f("smarthome")]];
+        let mut p = ChainAffinity::new(Lru::new(), chains);
+        for (name, at) in [("front", 10), ("interact", 11), ("smarthome", 12), ("solo", 40)] {
+            p.on_invoke(&f(name), t(at), SimDuration::from_millis(1), 1.0);
+        }
+        // Capacity 4: solo is most recent, then the whole chain comes along.
+        let keep = p.keep_set(t(50), 4);
+        assert_eq!(keep.len(), 4);
+        assert!(keep.contains(&f("front")));
+        assert!(keep.contains(&f("interact")));
+        assert!(keep.contains(&f("smarthome")));
+        assert!(keep.contains(&f("solo")));
+    }
+
+    #[test]
+    fn deterministic_tie_breaks() {
+        let mut p = Lru::new();
+        p.on_invoke(&f("b"), t(5), SimDuration::from_millis(1), 1.0);
+        p.on_invoke(&f("a"), t(5), SimDuration::from_millis(1), 1.0);
+        assert_eq!(p.keep_set(t(6), 2), vec![f("a"), f("b")]);
+    }
+}

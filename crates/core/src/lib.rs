@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! `molecule-core` — the Molecule serverless runtime for heterogeneous
+//! computers (reproduction of *Serverless Computing on Heterogeneous
+//! Computers*, ASPLOS '22).
+//!
+//! Molecule is the paper's primary contribution: a serverless runtime that
+//! manages functions across CPU, DPU, FPGA and GPU PUs through two
+//! abstractions — XPU-Shim (the [`xpu_shim`] crate) and the vectorized
+//! sandbox (the [`vsandbox`] crate) — and layers the serverless
+//! optimizations on top:
+//!
+//! * [`executor`] — live per-PU executors serving cfork/retire commands
+//!   over nIPC with a real wire protocol;
+//! * [`runtime`] — the worker runtime: executors via `xSpawn`, template
+//!   containers, the **cfork** startup paths (local and cross-PU) and FPGA
+//!   instance caching;
+//! * [`dag`] — function-chain communication: direct-connect XPU-FIFOs
+//!   (local IPC / nIPC), the HTTP-gateway baseline, and zero-copy FPGA
+//!   chains via DRAM data retention;
+//! * [`schedule`] — profile selection, chain co-location and density
+//!   packing;
+//! * [`keepalive`] — Fixed-window / LRU / Greedy-Dual keep-alive policies
+//!   with chain affinity;
+//! * [`billing`] — 1 ms-granularity, PU-priced metering;
+//! * [`baseline`] — Molecule-homo and the AWS Lambda / OpenWhisk models of
+//!   Fig. 9;
+//! * [`metrics`] — the latency recorder with the artifact's percentile
+//!   output format;
+//! * [`trace`] — phase-level request tracing over virtual time.
+
+pub mod baseline;
+pub mod billing;
+pub mod dag;
+pub mod error;
+pub mod executor;
+pub mod fpga_cache;
+pub mod function;
+pub mod gateway;
+pub mod keepalive;
+pub mod metrics;
+pub mod runtime;
+pub mod schedule;
+pub mod trace;
+
+pub use error::MoleculeError;
+pub use gateway::{ApiGateway, GatewayConfig, GatewayStats, RequestReport};
+pub use function::{ExecModel, FunctionDef, FunctionRegistry};
+pub use runtime::{InstanceId, InvokeReport, Molecule, MoleculeConfig, StartupKind, StartupReport};

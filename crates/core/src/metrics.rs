@@ -1,0 +1,163 @@
+//! Latency recording and the percentile summaries the artifact prints.
+
+use std::fmt;
+
+use hetsim::time::SimDuration;
+
+/// Collects latency samples and summarizes them the way the Molecule
+/// artifact's scripts do (`avg 50% 75% 90% 95% 99%`).
+///
+/// # Examples
+///
+/// ```
+/// use molecule_core::metrics::LatencyRecorder;
+/// use hetsim::time::SimDuration;
+///
+/// let mut rec = LatencyRecorder::new("fork-startup");
+/// for ms in [5, 8, 9, 9, 9] {
+///     rec.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(rec.summary().p50.as_millis_f64(), 9.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    name: String,
+    samples: Vec<SimDuration>,
+}
+
+/// Percentile summary of a latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub avg: SimDuration,
+    /// Median.
+    pub p50: SimDuration,
+    /// 75th percentile.
+    pub p75: SimDuration,
+    /// 90th percentile.
+    pub p90: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder labelled `name`.
+    pub fn new(name: impl Into<String>) -> LatencyRecorder {
+        LatencyRecorder { name: name.into(), samples: Vec::new() }
+    }
+
+    /// The recorder's label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Percentile summary of the samples so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn summary(&self) -> LatencySummary {
+        assert!(!self.samples.is_empty(), "summary of an empty recorder");
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let pct = |p: f64| {
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        let total: SimDuration = sorted.iter().copied().sum();
+        LatencySummary {
+            avg: total / sorted.len() as u64,
+            p50: pct(0.50),
+            p75: pct(0.75),
+            p90: pct(0.90),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            count: sorted.len(),
+        }
+    }
+}
+
+impl fmt::Display for LatencyRecorder {
+    /// Formats like the artifact's output block.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.summary();
+        writeln!(f, "=============== {} result ==============", self.name)?;
+        writeln!(f, "latency (ms):")?;
+        writeln!(f, "  avg     50%     75%     90%     95%     99%")?;
+        write!(
+            f,
+            "  {:<7.2} {:<7.2} {:<7.2} {:<7.2} {:<7.2} {:<7.2}",
+            s.avg.as_millis_f64(),
+            s.p50.as_millis_f64(),
+            s.p75.as_millis_f64(),
+            s.p90.as_millis_f64(),
+            s.p95.as_millis_f64(),
+            s.p99.as_millis_f64(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut rec = LatencyRecorder::new("t");
+        for i in 1..=100u64 {
+            rec.record(SimDuration::from_millis(i));
+        }
+        let s = rec.summary();
+        assert_eq!(s.p50, SimDuration::from_millis(50));
+        assert_eq!(s.p75, SimDuration::from_millis(75));
+        assert_eq!(s.p90, SimDuration::from_millis(90));
+        assert_eq!(s.p99, SimDuration::from_millis(99));
+        assert_eq!(s.avg, SimDuration::from_micros(50_500));
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let mut rec = LatencyRecorder::new("one");
+        rec.record(SimDuration::from_millis(7));
+        let s = rec.summary();
+        assert_eq!(s.p50, SimDuration::from_millis(7));
+        assert_eq!(s.p99, SimDuration::from_millis(7));
+        assert_eq!(s.avg, SimDuration::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty recorder")]
+    fn empty_summary_panics() {
+        LatencyRecorder::new("empty").summary();
+    }
+
+    #[test]
+    fn display_matches_artifact_format() {
+        let mut rec = LatencyRecorder::new("fork-startup");
+        rec.record(SimDuration::from_millis(5));
+        let text = rec.to_string();
+        assert!(text.contains("fork-startup result"));
+        assert!(text.contains("latency (ms):"));
+        assert!(text.contains("avg"));
+    }
+}

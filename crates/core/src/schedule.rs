@@ -1,0 +1,302 @@
+//! Placement: profile selection, chain co-location and density packing
+//! (paper §4.1, §5 "Profile selections", Fig. 2a).
+
+use hetsim::pu::{PuId, PuKind};
+use hetsim::topology::Machine;
+use vsandbox::spec::FuncId;
+
+use crate::error::MoleculeError;
+use crate::function::FunctionDef;
+
+/// The placement policy in effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Locate functions of one chain on the same PU where possible (§5:
+    /// "Molecule uses a policy that considers function-chain by locating
+    /// functions in one chain to the same PU").
+    #[default]
+    ChainColocate,
+    /// First allowed PU with capacity, in PU order.
+    FirstFit,
+}
+
+/// The scheduler: maps functions to PUs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scheduler {
+    policy: PlacementPolicy,
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given policy.
+    pub fn new(policy: PlacementPolicy) -> Scheduler {
+        Scheduler { policy }
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    fn has_capacity(machine: &Machine, pu: PuId, mib: u64) -> bool {
+        match machine.os(pu) {
+            Some(os) => os.usable_mib() - os.reserved_mib() >= mib,
+            // Accelerators don't hold per-instance memory reservations here;
+            // their capacity is fabric resources, checked by runf/runG.
+            None => true,
+        }
+    }
+
+    /// Picks a PU for `def`. With [`PlacementPolicy::ChainColocate`], the
+    /// previous stage's PU wins if the function supports it and it has
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`MoleculeError::NoCapacity`] when no allowed PU fits the function.
+    pub fn place(
+        &self,
+        machine: &Machine,
+        def: &FunctionDef,
+        prev_stage: Option<PuId>,
+    ) -> Result<PuId, MoleculeError> {
+        if self.policy == PlacementPolicy::ChainColocate {
+            if let Some(prev) = prev_stage {
+                if let Some(spec) = machine.pu(prev) {
+                    if def.supports(spec.kind) && Self::has_capacity(machine, prev, def.memory_mib)
+                    {
+                        return Ok(prev);
+                    }
+                }
+            }
+        }
+        for kind in &def.profiles {
+            for pu in machine.pus_of_kind(*kind) {
+                if Self::has_capacity(machine, pu, def.memory_mib) {
+                    return Ok(pu);
+                }
+            }
+        }
+        Err(MoleculeError::NoCapacity(def.id.clone()))
+    }
+
+    /// Places a whole chain, co-locating stages per policy. Returns the PU
+    /// of each stage (no reservations are made — this is the planning step).
+    ///
+    /// # Errors
+    ///
+    /// [`MoleculeError::NoCapacity`] if any stage cannot be placed.
+    pub fn place_chain(
+        &self,
+        machine: &Machine,
+        defs: &[&FunctionDef],
+    ) -> Result<Vec<PuId>, MoleculeError> {
+        let mut out = Vec::with_capacity(defs.len());
+        let mut prev = None;
+        for def in defs {
+            let pu = self.place(machine, def, prev)?;
+            out.push(pu);
+            prev = Some(pu);
+        }
+        Ok(out)
+    }
+
+    /// Cost-aware profile selection (§4.1: users pick PU kinds by price;
+    /// DPUs are cheapest): among the PUs that can serve `def` within
+    /// `latency_budget` for `input_bytes` of input, pick the one whose
+    /// billed cost (execution time × PU price) is lowest.
+    ///
+    /// # Errors
+    ///
+    /// [`MoleculeError::NoCapacity`] if no allowed PU meets the budget.
+    pub fn place_cost_aware(
+        &self,
+        machine: &Machine,
+        def: &FunctionDef,
+        input_bytes: u64,
+        latency_budget: hetsim::time::SimDuration,
+        prices: &crate::billing::PriceTable,
+    ) -> Result<PuId, MoleculeError> {
+        let mut best: Option<(f64, PuId)> = None;
+        for kind in &def.profiles {
+            for pu in machine.pus_of_kind(*kind) {
+                if !Self::has_capacity(machine, pu, def.memory_mib) {
+                    continue;
+                }
+                let Some(spec) = machine.pu(pu) else { continue };
+                let exec = match spec.kind {
+                    PuKind::Fpga => match &def.fpga {
+                        Some(p) => p.exec.host_time(input_bytes),
+                        None => continue,
+                    },
+                    _ => def.exec.time_on(spec, input_bytes),
+                };
+                if exec > latency_budget {
+                    continue;
+                }
+                let cost = exec.as_millis_f64() * prices.price(spec.kind);
+                if best.is_none_or(|(c, _)| cost < c) {
+                    best = Some((cost, pu));
+                }
+            }
+        }
+        best.map(|(_, pu)| pu).ok_or_else(|| MoleculeError::NoCapacity(def.id.clone()))
+    }
+
+    /// Density packing (Fig. 2a): reserves instance slots of `func` on the
+    /// given PUs until every PU is full, returning how many fit. Each PU
+    /// kind uses its calibrated per-instance reservation (users size DPU
+    /// deployments explicitly, §4.1). Reservations are held — call
+    /// [`release_packed`](Self::release_packed) to undo.
+    pub fn pack_until_full(&self, machine: &Machine, func: &FuncId, pus: &[PuId]) -> u64 {
+        let _ = func;
+        let density = machine.calibration().density;
+        let mut placed = 0;
+        for &pu in pus {
+            let Some(os) = machine.os(pu) else { continue };
+            let Some(spec) = machine.pu(pu) else { continue };
+            let mib = match spec.kind {
+                PuKind::Cpu => density.cpu_instance_mib,
+                _ => density.dpu_instance_mib,
+            };
+            while os.try_reserve_mib(mib).is_ok() {
+                placed += 1;
+            }
+        }
+        placed
+    }
+
+    /// Releases every reservation on the given PUs (undo of
+    /// [`pack_until_full`](Self::pack_until_full)).
+    pub fn release_packed(&self, machine: &Machine, pus: &[PuId]) {
+        for &pu in pus {
+            if let Some(os) = machine.os(pu) {
+                let held = os.reserved_mib();
+                os.release_mib(held);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::FunctionDef;
+    use vsandbox::spec::LangRuntime;
+
+    fn cpu_dpu_fn(name: &str) -> FunctionDef {
+        FunctionDef::builder(name, LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .build()
+    }
+
+    #[test]
+    fn chain_colocate_prefers_previous_stage() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let sched = Scheduler::new(PlacementPolicy::ChainColocate);
+        let def = cpu_dpu_fn("f");
+        assert_eq!(sched.place(&machine, &def, Some(PuId(1))).unwrap(), PuId(1));
+        assert_eq!(sched.place(&machine, &def, None).unwrap(), PuId(0));
+    }
+
+    #[test]
+    fn first_fit_ignores_chain_context() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let sched = Scheduler::new(PlacementPolicy::FirstFit);
+        let def = cpu_dpu_fn("f");
+        assert_eq!(sched.place(&machine, &def, Some(PuId(1))).unwrap(), PuId(0));
+    }
+
+    #[test]
+    fn placement_respects_profiles() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let sched = Scheduler::default();
+        let dpu_only = FunctionDef::builder("d", LangRuntime::Python)
+            .profiles(&[PuKind::Dpu])
+            .build();
+        assert_eq!(sched.place(&machine, &dpu_only, None).unwrap(), PuId(1));
+        let fpga_only = FunctionDef::builder("g", LangRuntime::OpenCl)
+            .profiles(&[PuKind::Gpu])
+            .gpu(crate::function::ExecModel::Fixed(hetsim::time::SimDuration::from_micros(100)))
+            .build();
+        assert!(matches!(
+            sched.place(&machine, &fpga_only, None),
+            Err(MoleculeError::NoCapacity(_))
+        ));
+    }
+
+    #[test]
+    fn full_pu_overflows_to_the_next() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let sched = Scheduler::default();
+        let def = cpu_dpu_fn("f");
+        // Fill the CPU completely.
+        let cpu_os = machine.os(PuId(0)).unwrap();
+        let free = cpu_os.usable_mib();
+        cpu_os.try_reserve_mib(free).unwrap();
+        assert_eq!(sched.place(&machine, &def, None).unwrap(), PuId(1));
+        cpu_os.release_mib(free);
+    }
+
+    #[test]
+    fn place_chain_colocates_all_stages() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let sched = Scheduler::default();
+        let defs: Vec<FunctionDef> = (0..5).map(|i| cpu_dpu_fn(&format!("f{i}"))).collect();
+        let refs: Vec<&FunctionDef> = defs.iter().collect();
+        let placement = sched.place_chain(&machine, &refs).unwrap();
+        assert!(placement.iter().all(|pu| *pu == placement[0]));
+    }
+
+    #[test]
+    fn cost_aware_prefers_the_dpu_when_the_budget_allows() {
+        use crate::billing::PriceTable;
+        use hetsim::time::SimDuration;
+        let machine = Machine::paper_cpu_dpu_server();
+        let sched = Scheduler::default();
+        let prices = PriceTable::default();
+        let def = FunctionDef::builder("f", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .exec_ms(10.0)
+            .build();
+        // Loose budget: the DPU (10ms * 6.2 = 62ms exec) is cheaper
+        // (62 * 0.4 = 24.8 < 10 * 1.0)? No: 24.8 > 10 — the CPU wins on
+        // cost for this function...
+        let loose = sched
+            .place_cost_aware(&machine, &def, 0, SimDuration::from_millis(100), &prices)
+            .unwrap();
+        assert_eq!(machine.pu(loose).unwrap().kind, PuKind::Cpu);
+        // ...but for a function whose DPU slowdown is amortized by price
+        // (cheap DPU, short run), make DPUs attractive by raising CPU price.
+        let skewed = PriceTable { cpu: 10.0, ..PriceTable::default() };
+        let dpu_win = sched
+            .place_cost_aware(&machine, &def, 0, SimDuration::from_millis(100), &skewed)
+            .unwrap();
+        assert_eq!(machine.pu(dpu_win).unwrap().kind, PuKind::Dpu);
+        // Tight budget: only the CPU meets 20ms.
+        let tight = sched
+            .place_cost_aware(&machine, &def, 0, SimDuration::from_millis(20), &skewed)
+            .unwrap();
+        assert_eq!(machine.pu(tight).unwrap().kind, PuKind::Cpu);
+        // Impossible budget: error.
+        assert!(matches!(
+            sched.place_cost_aware(&machine, &def, 0, SimDuration::from_millis(1), &prices),
+            Err(MoleculeError::NoCapacity(_))
+        ));
+    }
+
+    #[test]
+    fn density_packing_reproduces_fig2a_counts() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let sched = Scheduler::default();
+        let func = FuncId::new("image-process");
+        let cpu_only = sched.pack_until_full(&machine, &func, &[PuId(0)]);
+        sched.release_packed(&machine, &[PuId(0)]);
+        let with_one = sched.pack_until_full(&machine, &func, &[PuId(0), PuId(1)]);
+        sched.release_packed(&machine, &[PuId(0), PuId(1)]);
+        let with_two = sched.pack_until_full(&machine, &func, &[PuId(0), PuId(1), PuId(2)]);
+        sched.release_packed(&machine, &[PuId(0), PuId(1), PuId(2)]);
+        assert_eq!(cpu_only, 1000);
+        assert_eq!(with_one, 1256);
+        assert_eq!(with_two, 1512);
+    }
+}

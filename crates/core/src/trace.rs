@@ -1,0 +1,188 @@
+//! Request tracing: phase-level spans over virtual time.
+//!
+//! The figures decompose latency into phases (startup vs init vs execution
+//! vs communication); [`RequestTrace`] records those phases for individual
+//! requests so applications and tests can assert *where* time went, not
+//! just how much passed.
+
+use std::fmt;
+
+use hetsim::engine::ProcCtx;
+use hetsim::time::{SimDuration, SimTime};
+
+/// A named phase of a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Phase label (e.g. `"startup"`, `"exec"`, `"comm"`).
+    pub label: String,
+    /// When the phase began.
+    pub start: SimTime,
+    /// Phase duration.
+    pub duration: SimDuration,
+}
+
+/// A trace of one request: ordered, non-overlapping phases.
+///
+/// # Examples
+///
+/// ```
+/// use hetsim::engine::Simulation;
+/// use hetsim::time::SimDuration;
+/// use molecule_core::trace::RequestTrace;
+///
+/// let mut sim = Simulation::new();
+/// let h = sim.spawn("req", |ctx| {
+///     let mut trace = RequestTrace::begin("req-1", ctx);
+///     trace.phase(ctx, "startup", |ctx| ctx.sleep(SimDuration::from_millis(6)));
+///     trace.phase(ctx, "exec", |ctx| ctx.sleep(SimDuration::from_millis(14)));
+///     trace
+/// });
+/// sim.run().unwrap();
+/// let trace = h.take_result().unwrap();
+/// assert_eq!(trace.total().as_millis_f64(), 20.0);
+/// assert_eq!(trace.of("exec").unwrap().as_millis_f64(), 14.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    name: String,
+    started: SimTime,
+    spans: Vec<Span>,
+}
+
+impl RequestTrace {
+    /// Starts a trace at the current virtual time.
+    pub fn begin(name: impl Into<String>, ctx: &ProcCtx) -> RequestTrace {
+        RequestTrace { name: name.into(), started: ctx.now(), spans: Vec::new() }
+    }
+
+    /// The trace's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs `f` as a labelled phase, recording its virtual-time span.
+    pub fn phase<T>(
+        &mut self,
+        ctx: &mut ProcCtx,
+        label: impl Into<String>,
+        f: impl FnOnce(&mut ProcCtx) -> T,
+    ) -> T {
+        let start = ctx.now();
+        let out = f(ctx);
+        self.spans.push(Span { label: label.into(), start, duration: ctx.now() - start });
+        out
+    }
+
+    /// Records an externally measured span.
+    pub fn record(&mut self, label: impl Into<String>, start: SimTime, duration: SimDuration) {
+        self.spans.push(Span { label: label.into(), start, duration });
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total duration of a labelled phase across all its spans.
+    pub fn of(&self, label: &str) -> Option<SimDuration> {
+        let mut total = SimDuration::ZERO;
+        let mut found = false;
+        for s in &self.spans {
+            if s.label == label {
+                total += s.duration;
+                found = true;
+            }
+        }
+        found.then_some(total)
+    }
+
+    /// Sum of every recorded span.
+    pub fn total(&self) -> SimDuration {
+        self.spans.iter().map(|s| s.duration).sum()
+    }
+
+    /// The fraction of the trace spent in `label` (0.0 if absent).
+    pub fn fraction(&self, label: &str) -> f64 {
+        match self.of(label) {
+            Some(d) if !self.total().is_zero() => d.ratio(self.total()),
+            _ => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for RequestTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace '{}' ({} total):", self.name, self.total())?;
+        for s in &self.spans {
+            writeln!(f, "  {:<12} {:>12}  (at {})", s.label, s.duration.to_string(), s.start)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::engine::Simulation;
+
+    #[test]
+    fn phases_accumulate_and_fractions_add_up() {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("req", |ctx| {
+            let mut t = RequestTrace::begin("r", ctx);
+            t.phase(ctx, "startup", |ctx| ctx.sleep(SimDuration::from_millis(6)));
+            t.phase(ctx, "exec", |ctx| ctx.sleep(SimDuration::from_millis(10)));
+            t.phase(ctx, "exec", |ctx| ctx.sleep(SimDuration::from_millis(4)));
+            t
+        });
+        sim.run().unwrap();
+        let t = h.take_result().unwrap();
+        assert_eq!(t.total(), SimDuration::from_millis(20));
+        assert_eq!(t.of("exec"), Some(SimDuration::from_millis(14)));
+        assert_eq!(t.of("startup"), Some(SimDuration::from_millis(6)));
+        assert_eq!(t.of("comm"), None);
+        assert!((t.fraction("exec") - 0.7).abs() < 1e-9);
+        assert_eq!(t.spans().len(), 3);
+    }
+
+    #[test]
+    fn phase_returns_the_closure_result() {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("req", |ctx| {
+            let mut t = RequestTrace::begin("r", ctx);
+            let v = t.phase(ctx, "compute", |ctx| {
+                ctx.sleep(SimDuration::from_micros(1));
+                42
+            });
+            (t, v)
+        });
+        sim.run().unwrap();
+        let (t, v) = h.take_result().unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(t.total(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn display_lists_every_span() {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("req", |ctx| {
+            let mut t = RequestTrace::begin("alexa-req", ctx);
+            t.phase(ctx, "startup", |ctx| ctx.sleep(SimDuration::from_millis(1)));
+            t
+        });
+        sim.run().unwrap();
+        let text = h.take_result().unwrap().to_string();
+        assert!(text.contains("alexa-req"));
+        assert!(text.contains("startup"));
+    }
+
+    #[test]
+    fn empty_trace_is_well_behaved() {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("req", |ctx| RequestTrace::begin("empty", ctx));
+        sim.run().unwrap();
+        let t = h.take_result().unwrap();
+        assert_eq!(t.total(), SimDuration::ZERO);
+        assert_eq!(t.fraction("anything"), 0.0);
+    }
+}

@@ -1,0 +1,660 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! Simulated processes (the Molecule daemons, executors, shims and function
+//! instances) are written in straight-line style: each is an OS thread that
+//! the scheduler resumes **one at a time**, SimPy-style. Because exactly one
+//! process runs between scheduler steps and ties are broken by a monotone
+//! sequence number, every run of the same program is bit-for-bit identical.
+//!
+//! Virtual time only advances through the event queue; real thread switches
+//! cost wall-clock time but zero virtual time.
+//!
+//! # Examples
+//!
+//! ```
+//! use hetsim::engine::Simulation;
+//! use hetsim::time::SimDuration;
+//!
+//! let mut sim = Simulation::new();
+//! let (tx, rx) = sim.channel::<u32>();
+//! sim.spawn("producer", move |ctx| {
+//!     ctx.sleep(SimDuration::from_micros(5));
+//!     tx.send(42).unwrap();
+//! });
+//! let got = sim.spawn("consumer", move |ctx| rx.recv(ctx).unwrap());
+//! sim.run().unwrap();
+//! assert_eq!(got.take_result(), Some(42));
+//! ```
+
+mod channel;
+mod process;
+mod semaphore;
+
+pub use channel::{RecvError, RecvTimeoutError, SendError, SimReceiver, SimSender, TryRecvError};
+pub use process::{ProcCtx, ProcHandle, ProcId};
+pub use semaphore::{SemPermit, SimSemaphore};
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam::channel as xchan;
+use parking_lot::Mutex;
+
+use crate::time::SimTime;
+
+/// Why a blocked process is being resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ResumeReason {
+    /// First activation of the process.
+    Start,
+    /// A waited-for condition became true (message arrived, timer fired).
+    Woken,
+    /// A `recv_timeout` deadline elapsed before the condition became true.
+    Timeout,
+    /// The simulation is being torn down; the process should exit silently.
+    Cancel,
+}
+
+#[derive(Debug)]
+pub(crate) enum YieldKind {
+    Blocked,
+    Finished,
+    Panicked(String),
+}
+
+pub(crate) struct YieldMsg {
+    pub proc: ProcId,
+    pub kind: YieldKind,
+}
+
+pub(crate) enum EventAction {
+    /// Resume process `proc` if it is still blocked with wait generation `gen`.
+    Resume {
+        proc: ProcId,
+        gen: u64,
+        reason: ResumeReason,
+    },
+    /// Run a closure on the scheduler thread (no engine lock held).
+    Call(Box<dyn FnOnce() + Send>),
+}
+
+impl fmt::Debug for EventAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventAction::Resume { proc, gen, reason } => f
+                .debug_struct("Resume")
+                .field("proc", proc)
+                .field("gen", gen)
+                .field("reason", reason)
+                .finish(),
+            EventAction::Call(_) => f.write_str("Call(..)"),
+        }
+    }
+}
+
+struct ScheduledEvent {
+    time: SimTime,
+    seq: u64,
+    action: EventAction,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    Blocked,
+    Running,
+    Done,
+}
+
+pub(crate) struct ProcSlot {
+    pub name: String,
+    pub resume_tx: xchan::Sender<ResumeReason>,
+    pub wait_gen: u64,
+    pub state: ProcState,
+}
+
+pub(crate) struct EngineState {
+    pub now: SimTime,
+    next_seq: u64,
+    next_proc: u64,
+    events: BinaryHeap<Reverse<ScheduledEvent>>,
+    pub procs: HashMap<ProcId, ProcSlot>,
+    pub live: usize,
+    trace: Option<Vec<String>>,
+}
+
+impl EngineState {
+    pub(crate) fn schedule(&mut self, at: SimTime, action: EventAction) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(ScheduledEvent { time: at, seq, action }));
+    }
+
+    pub(crate) fn bump_gen(&mut self, proc: ProcId) -> u64 {
+        let slot = self.procs.get_mut(&proc).expect("bump_gen on unknown proc");
+        slot.wait_gen += 1;
+        slot.wait_gen
+    }
+}
+
+pub(crate) struct EngineShared {
+    pub state: Mutex<EngineState>,
+    pub yield_tx: xchan::Sender<YieldMsg>,
+    yield_rx: xchan::Receiver<YieldMsg>,
+}
+
+impl EngineShared {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.state.lock().now
+    }
+
+    /// Schedule a resume for `(proc, gen)` at `at`.
+    pub(crate) fn schedule_resume(&self, at: SimTime, proc: ProcId, gen: u64, reason: ResumeReason) {
+        let mut st = self.state.lock();
+        let at = at.max(st.now);
+        st.schedule(at, EventAction::Resume { proc, gen, reason });
+    }
+
+    /// Schedule a closure to run on the scheduler thread at `at`.
+    pub(crate) fn schedule_call(&self, at: SimTime, f: Box<dyn FnOnce() + Send>) {
+        let mut st = self.state.lock();
+        let at = at.max(st.now);
+        st.schedule(at, EventAction::Call(f));
+    }
+
+    fn register_proc(&self, name: &str, resume_tx: xchan::Sender<ResumeReason>) -> ProcId {
+        let mut st = self.state.lock();
+        st.next_proc += 1;
+        let id = ProcId::new(st.next_proc);
+        st.procs.insert(
+            id,
+            ProcSlot {
+                name: name.to_owned(),
+                resume_tx,
+                wait_gen: 0,
+                state: ProcState::Blocked,
+            },
+        );
+        st.live += 1;
+        let now = st.now;
+        st.schedule(now, EventAction::Resume { proc: id, gen: 0, reason: ResumeReason::Start });
+        id
+    }
+}
+
+/// Errors produced by [`Simulation::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while processes were still blocked.
+    Deadlock {
+        /// Names of the processes that can never make progress.
+        blocked: Vec<String>,
+    },
+    /// A simulated process panicked.
+    ProcessPanicked {
+        /// Name of the panicked process.
+        name: String,
+        /// Best-effort panic message.
+        message: String,
+    },
+    /// The configured event budget was exhausted (runaway simulation guard).
+    EventLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlocked with blocked processes: {blocked:?}")
+            }
+            SimError::ProcessPanicked { name, message } => {
+                write!(f, "simulated process '{name}' panicked: {message}")
+            }
+            SimError::EventLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the event budget of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of a completed simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunReport {
+    /// Virtual time when the event queue drained.
+    pub end_time: SimTime,
+    /// Total number of events fired.
+    pub events_fired: u64,
+    /// Resume trace (only populated if tracing was enabled).
+    pub trace: Vec<String>,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// See the [module documentation](self) for an overview and example.
+pub struct Simulation {
+    shared: Arc<EngineShared>,
+    event_limit: u64,
+    events_fired: u64,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation at `t = 0`.
+    pub fn new() -> Self {
+        let (yield_tx, yield_rx) = xchan::unbounded();
+        Simulation {
+            shared: Arc::new(EngineShared {
+                state: Mutex::new(EngineState {
+                    now: SimTime::ZERO,
+                    next_seq: 0,
+                    next_proc: 0,
+                    events: BinaryHeap::new(),
+                    procs: HashMap::new(),
+                    live: 0,
+                    trace: None,
+                }),
+                yield_tx,
+                yield_rx,
+            }),
+            event_limit: u64::MAX,
+            events_fired: 0,
+        }
+    }
+
+    /// Caps the number of events a [`run`](Self::run) may fire (runaway guard).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Records the name of every resumed process; the log is returned in the
+    /// [`RunReport`] and is useful for determinism assertions.
+    pub fn enable_trace(&mut self) {
+        self.shared.state.lock().trace = Some(Vec::new());
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Creates an unbounded simulated channel.
+    pub fn channel<T: Send + 'static>(&self) -> (SimSender<T>, SimReceiver<T>) {
+        channel::channel(Arc::clone(&self.shared))
+    }
+
+    /// Spawns a simulated process; it first runs when the simulation does.
+    ///
+    /// The returned handle exposes the process result after it finishes (see
+    /// [`ProcHandle::take_result`]) and can be joined from other processes.
+    pub fn spawn<T, F>(&self, name: &str, f: F) -> ProcHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut ProcCtx) -> T + Send + 'static,
+    {
+        process::spawn(Arc::clone(&self.shared), name, f)
+    }
+
+    /// Runs the simulation until the event queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if processes remain blocked with no
+    /// pending events, [`SimError::ProcessPanicked`] if a process panics, and
+    /// [`SimError::EventLimitExceeded`] if the event budget is exhausted.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        loop {
+            if self.events_fired >= self.event_limit {
+                return Err(SimError::EventLimitExceeded { limit: self.event_limit });
+            }
+            let action = {
+                let mut st = self.shared.state.lock();
+                match st.events.pop() {
+                    Some(Reverse(ev)) => {
+                        debug_assert!(ev.time >= st.now, "event queue went backwards");
+                        st.now = ev.time;
+                        ev.action
+                    }
+                    None => {
+                        if st.live == 0 {
+                            let trace = st.trace.take().unwrap_or_default();
+                            return Ok(RunReport {
+                                end_time: st.now,
+                                events_fired: self.events_fired,
+                                trace,
+                            });
+                        }
+                        let blocked = st
+                            .procs
+                            .values()
+                            .filter(|p| p.state == ProcState::Blocked)
+                            .map(|p| p.name.clone())
+                            .collect();
+                        return Err(SimError::Deadlock { blocked });
+                    }
+                }
+            };
+            self.events_fired += 1;
+            match action {
+                EventAction::Call(f) => f(),
+                EventAction::Resume { proc, gen, reason } => {
+                    let resume_tx = {
+                        let mut st = self.shared.state.lock();
+                        let now = st.now;
+                        let Some(slot) = st.procs.get_mut(&proc) else { continue };
+                        if slot.state != ProcState::Blocked || slot.wait_gen != gen {
+                            continue; // stale wake-up (e.g. raced timeout)
+                        }
+                        slot.state = ProcState::Running;
+                        let entry = format!("{} {}", now, slot.name);
+                        let tx = slot.resume_tx.clone();
+                        if let Some(trace) = st.trace.as_mut() {
+                            trace.push(entry);
+                        }
+                        tx
+                    };
+                    resume_tx
+                        .send(reason)
+                        .expect("simulated process vanished while blocked");
+                    let y = self
+                        .shared
+                        .yield_rx
+                        .recv()
+                        .expect("yield channel closed while a process was running");
+                    debug_assert_eq!(y.proc, proc, "unexpected process yielded");
+                    let mut st = self.shared.state.lock();
+                    match y.kind {
+                        YieldKind::Blocked => {
+                            if let Some(slot) = st.procs.get_mut(&proc) {
+                                slot.state = ProcState::Blocked;
+                            }
+                        }
+                        YieldKind::Finished => {
+                            if let Some(slot) = st.procs.get_mut(&proc) {
+                                slot.state = ProcState::Done;
+                            }
+                            st.procs.remove(&proc);
+                            st.live -= 1;
+                        }
+                        YieldKind::Panicked(message) => {
+                            let name = st
+                                .procs
+                                .remove(&proc)
+                                .map(|s| s.name)
+                                .unwrap_or_else(|| "<unknown>".to_owned());
+                            st.live -= 1;
+                            return Err(SimError::ProcessPanicked { name, message });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        // Wake every still-blocked process with a cancellation so its thread
+        // exits instead of leaking, parked forever on its resume channel.
+        let st = self.shared.state.lock();
+        for slot in st.procs.values() {
+            if slot.state == ProcState::Blocked {
+                let _ = slot.resume_tx.send(ResumeReason::Cancel);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.shared.state.lock();
+        f.debug_struct("Simulation")
+            .field("now", &st.now)
+            .field("live_procs", &st.live)
+            .field("pending_events", &st.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn empty_simulation_finishes_at_zero() {
+        let mut sim = Simulation::new();
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.events_fired, 0);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("sleeper", |ctx| {
+            ctx.sleep(SimDuration::from_millis(3));
+            ctx.now()
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(h.take_result(), Some(SimTime::from_nanos(3_000_000)));
+        assert_eq!(report.end_time, SimTime::from_nanos(3_000_000));
+    }
+
+    #[test]
+    fn two_processes_interleave_deterministically() {
+        let order = |seed_name: &str| {
+            let mut sim = Simulation::new();
+            sim.enable_trace();
+            for i in 0..4 {
+                let name = format!("{seed_name}{i}");
+                sim.spawn(&name, move |ctx| {
+                    ctx.sleep(SimDuration::from_micros(10 - i));
+                });
+            }
+            sim.run().unwrap().trace
+        };
+        assert_eq!(order("p"), order("p"));
+    }
+
+    #[test]
+    fn channel_roundtrip() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<String>();
+        sim.spawn("producer", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(7));
+            tx.send("hello".to_owned()).unwrap();
+        });
+        let h = sim.spawn("consumer", move |ctx| {
+            let msg = rx.recv(ctx).unwrap();
+            (msg, ctx.now())
+        });
+        sim.run().unwrap();
+        let (msg, at) = h.take_result().unwrap();
+        assert_eq!(msg, "hello");
+        assert_eq!(at, SimTime::from_nanos(7_000));
+    }
+
+    #[test]
+    fn delayed_send_arrives_later() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("producer", move |_ctx| {
+            tx.send_delayed(SimDuration::from_micros(50), 9).unwrap();
+        });
+        let h = sim.spawn("consumer", move |ctx| {
+            rx.recv(ctx).unwrap();
+            ctx.now()
+        });
+        sim.run().unwrap();
+        assert_eq!(h.take_result(), Some(SimTime::from_nanos(50_000)));
+    }
+
+    #[test]
+    fn recv_timeout_fires() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u8>();
+        let h = sim.spawn("consumer", move |ctx| {
+            let r = rx.recv_timeout(ctx, SimDuration::from_micros(10));
+            (r, ctx.now())
+        });
+        // Keep the sender alive past the deadline so the timeout (not a
+        // disconnect) is what fires.
+        sim.spawn("idle-holder", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(100));
+            drop(tx);
+        });
+        sim.run().unwrap();
+        let (r, at) = h.take_result().unwrap();
+        assert_eq!(r, Err(RecvTimeoutError::Timeout));
+        assert_eq!(at, SimTime::from_nanos(10_000));
+    }
+
+    #[test]
+    fn recv_timeout_receives_if_in_time() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("producer", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(3));
+            tx.send(1).unwrap();
+        });
+        let h = sim.spawn("consumer", move |ctx| {
+            rx.recv_timeout(ctx, SimDuration::from_micros(10))
+        });
+        sim.run().unwrap();
+        assert_eq!(h.take_result(), Some(Ok(1)));
+    }
+
+    #[test]
+    fn disconnected_sender_errors_receiver() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("producer", move |ctx| {
+            ctx.sleep(SimDuration::from_micros(2));
+            drop(tx);
+        });
+        let h = sim.spawn("consumer", move |ctx| rx.recv(ctx));
+        sim.run().unwrap();
+        assert_eq!(h.take_result(), Some(Err(RecvError::Disconnected)));
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut sim = Simulation::new();
+        let (_tx, rx) = sim.channel::<u8>();
+        sim.spawn("stuck", move |ctx| {
+            let _ = rx.recv(ctx);
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked }) => assert_eq!(blocked, vec!["stuck".to_owned()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_process_is_reported() {
+        let mut sim = Simulation::new();
+        sim.spawn("bad", |_ctx| panic!("boom {}", 42));
+        match sim.run() {
+            Err(SimError::ProcessPanicked { name, message }) => {
+                assert_eq!(name, "bad");
+                assert!(message.contains("boom 42"), "message was {message:?}");
+            }
+            other => panic!("expected panic report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_spawn_and_join() {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("parent", |ctx| {
+            let child = ctx.spawn("child", |ctx| {
+                ctx.sleep(SimDuration::from_micros(30));
+                7u32
+            });
+            child.join(ctx);
+            (child.take_result().unwrap(), ctx.now())
+        });
+        sim.run().unwrap();
+        let (v, t) = h.take_result().unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(t, SimTime::from_nanos(30_000));
+    }
+
+    #[test]
+    fn event_limit_guards_runaway_loops() {
+        let mut sim = Simulation::new();
+        sim.set_event_limit(100);
+        sim.spawn("spinner", |ctx| loop {
+            ctx.sleep(SimDuration::from_nanos(1));
+        });
+        assert_eq!(sim.run(), Err(SimError::EventLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u8>();
+        let h = sim.spawn("consumer", move |ctx| {
+            let empty = rx.try_recv();
+            ctx.sleep(SimDuration::from_micros(1));
+            tx.send(5).unwrap();
+            let full = rx.try_recv();
+            (empty, full)
+        });
+        sim.run().unwrap();
+        let (empty, full) = h.take_result().unwrap();
+        assert_eq!(empty, Err(TryRecvError::Empty));
+        assert_eq!(full, Ok(5));
+    }
+
+    #[test]
+    fn many_messages_preserve_fifo_order() {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u32>();
+        sim.spawn("producer", move |ctx| {
+            for i in 0..100 {
+                ctx.sleep(SimDuration::from_nanos(10));
+                tx.send(i).unwrap();
+            }
+        });
+        let h = sim.spawn("consumer", move |ctx| {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv(ctx) {
+                got.push(v);
+            }
+            got
+        });
+        sim.run().unwrap();
+        assert_eq!(h.take_result().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+}

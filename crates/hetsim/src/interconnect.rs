@@ -1,0 +1,185 @@
+//! Intra-machine interconnect links.
+//!
+//! The paper's machines expose PCIe-based RDMA between CPU and DPU (the only
+//! exported communication method on BlueField), DMA between CPU and FPGA/GPU,
+//! and the datacenter network for anything leaving the machine. nIPC (§3.3)
+//! is built on these links; their relative costs drive Fig. 8, Fig. 12 and
+//! Fig. 13.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// The physical technology of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// PCIe RDMA (CPU ↔ BlueField DPU; ~100 Gbps, microsecond latency).
+    PcieRdma,
+    /// PCIe DMA (CPU ↔ FPGA/GPU; dominated by per-transfer setup cost).
+    PcieDma,
+    /// Shared memory within one PU (or FPGA DRAM retention hand-off).
+    SharedMem,
+    /// Datacenter network (used by the homogeneous baselines and remote IPC).
+    Network,
+}
+
+impl fmt::Display for LinkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LinkKind::PcieRdma => "RDMA",
+            LinkKind::PcieDma => "DMA",
+            LinkKind::SharedMem => "Shm",
+            LinkKind::Network => "Network",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A point-to-point link with a latency + bandwidth cost model.
+///
+/// # Examples
+///
+/// ```
+/// use hetsim::interconnect::Link;
+///
+/// let rdma = Link::pcie_rdma();
+/// let dma = Link::pcie_dma();
+/// // A 4 KiB DMA transfer costs 50-100us in the paper (§6.5).
+/// let t = dma.transfer_time(4096);
+/// assert!(t.as_micros_f64() >= 50.0 && t.as_micros_f64() <= 100.0);
+/// assert!(rdma.transfer_time(4096) < t);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Physical technology.
+    pub kind: LinkKind,
+    /// Per-transfer setup latency.
+    pub latency: SimDuration,
+    /// Sustained bandwidth in gigabits per second.
+    pub gbps: f64,
+}
+
+impl Link {
+    /// Time to move `bytes` across this link (setup latency + serialization).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let bytes_per_sec = self.gbps * 1e9 / 8.0;
+        let serialization = SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec);
+        self.latency + serialization
+    }
+
+    /// CPU ↔ DPU link: 100 Gbps PCIe RDMA, ~3 µs setup.
+    ///
+    /// Calibrated so that nIPC-Poll lands at ≈25 µs total (Fig. 8) once the
+    /// XPUcall and remote-delivery costs are added.
+    pub fn pcie_rdma() -> Link {
+        Link { kind: LinkKind::PcieRdma, latency: SimDuration::from_micros(3), gbps: 100.0 }
+    }
+
+    /// CPU ↔ FPGA/GPU link: DMA with a dominant per-transfer setup cost but
+    /// full PCIe streaming bandwidth for bulk data.
+    ///
+    /// Calibrated from §6.5: "nIPC utilizes DMA to transfer data between CPU
+    /// and FPGA functions, which only incurs 50–100 µs costs to transfer
+    /// 4 KB" — the setup cost dominates small transfers, while a 112 MB
+    /// GZip input streams at ~8 GB/s (Fig. 14f).
+    pub fn pcie_dma() -> Link {
+        Link { kind: LinkKind::PcieDma, latency: SimDuration::from_micros(59), gbps: 64.0 }
+    }
+
+    /// Same-PU shared memory (also models FPGA DRAM data retention hand-off).
+    pub fn shared_mem() -> Link {
+        Link { kind: LinkKind::SharedMem, latency: SimDuration::from_micros(2), gbps: 400.0 }
+    }
+
+    /// Datacenter network link (kernel TCP stack).
+    pub fn network() -> Link {
+        Link { kind: LinkKind::Network, latency: SimDuration::from_micros(30), gbps: 25.0 }
+    }
+}
+
+/// A route between two PUs: either a direct link, or two hops forwarded by
+/// the host CPU ("CPU-intercepted communication", paper §5 *Limitations* —
+/// the prototype cannot move data DPU↔FPGA directly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Route {
+    /// The two PUs share a direct link (or are the same PU).
+    Direct(Link),
+    /// Data is forwarded by the host CPU across two links.
+    CpuIntercepted {
+        /// First hop (source PU → host CPU).
+        first: Link,
+        /// Second hop (host CPU → destination PU).
+        second: Link,
+        /// Software forwarding cost on the host CPU.
+        forward_cost: SimDuration,
+    },
+}
+
+impl Route {
+    /// End-to-end time to move `bytes` along this route.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        match self {
+            Route::Direct(link) => link.transfer_time(bytes),
+            Route::CpuIntercepted { first, second, forward_cost } => {
+                first.transfer_time(bytes) + *forward_cost + second.transfer_time(bytes)
+            }
+        }
+    }
+
+    /// True when the route needs the host CPU to forward data.
+    pub fn is_intercepted(&self) -> bool {
+        matches!(self, Route::CpuIntercepted { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_serialization() {
+        let link = Link { kind: LinkKind::PcieRdma, latency: SimDuration::from_micros(3), gbps: 8.0 };
+        // 8 Gbps = 1 byte/ns, so 1000 bytes = 1us on the wire.
+        assert_eq!(link.transfer_time(1000), SimDuration::from_micros(4));
+        assert_eq!(link.transfer_time(0), SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn rdma_beats_dma_beats_nothing() {
+        let rdma = Link::pcie_rdma();
+        let dma = Link::pcie_dma();
+        for size in [16u64, 512, 4096, 1 << 20] {
+            assert!(rdma.transfer_time(size) < dma.transfer_time(size));
+        }
+    }
+
+    #[test]
+    fn dma_4k_is_in_papers_band() {
+        let t = Link::pcie_dma().transfer_time(4096).as_micros_f64();
+        assert!((50.0..=100.0).contains(&t), "4KiB DMA cost {t}us outside 50-100us");
+    }
+
+    #[test]
+    fn intercepted_route_costs_more_than_either_hop() {
+        let first = Link::pcie_rdma();
+        let second = Link::pcie_dma();
+        let route = Route::CpuIntercepted {
+            first,
+            second,
+            forward_cost: SimDuration::from_micros(10),
+        };
+        let t = route.transfer_time(4096);
+        assert!(t > first.transfer_time(4096));
+        assert!(t > second.transfer_time(4096));
+        assert!(route.is_intercepted());
+        assert!(!Route::Direct(first).is_intercepted());
+    }
+
+    #[test]
+    fn bigger_transfers_take_longer() {
+        let link = Link::network();
+        assert!(link.transfer_time(1 << 20) > link.transfer_time(1 << 10));
+    }
+}

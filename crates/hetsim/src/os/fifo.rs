@@ -1,0 +1,274 @@
+//! Named local FIFOs (the `mkfifo` / pipe primitive of each local OS).
+//!
+//! This is the communication mechanism state-of-the-art serverless systems
+//! use for same-PU internal calls (Nightcore's internal calls, SAND's local
+//! bus — paper §4.3), and the "Linux (CPU)" / "Linux (DPU)" series in Fig. 8.
+//! End-to-end latency follows the calibrated per-OS cost
+//! [`OsCosts::fifo_latency`](crate::calib::OsCosts::fifo_latency).
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use super::{LocalOs, OsError};
+use crate::engine::{ProcCtx, RecvError, RecvTimeoutError, SimReceiver, SimSender};
+use crate::time::SimDuration;
+
+/// Errors surfaced by FIFO reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoError {
+    /// All writers closed and the FIFO is drained.
+    Closed,
+    /// A timed read expired.
+    TimedOut,
+}
+
+impl fmt::Display for FifoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FifoError::Closed => f.write_str("fifo closed by all writers"),
+            FifoError::TimedOut => f.write_str("fifo read timed out"),
+        }
+    }
+}
+
+impl std::error::Error for FifoError {}
+
+pub(crate) struct FifoSlot {
+    tx: SimSender<Bytes>,
+}
+
+/// Writing end of a named FIFO. Cloneable; the FIFO closes when every
+/// writer (including the slot registered in the OS) is gone.
+#[derive(Clone)]
+pub struct FifoWriter {
+    name: String,
+    tx: SimSender<Bytes>,
+    base: SimDuration,
+    per_byte_ns: f64,
+    syscall: SimDuration,
+}
+
+impl fmt::Debug for FifoWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FifoWriter").field("name", &self.name).finish()
+    }
+}
+
+impl FifoWriter {
+    /// The FIFO's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Writes a message. The writer is charged its syscall cost; the message
+    /// becomes readable after the OS's full FIFO latency for this size.
+    pub fn write(&self, ctx: &mut ProcCtx, payload: Bytes) {
+        let total = self.base
+            + SimDuration::from_nanos((self.per_byte_ns * payload.len() as f64) as u64);
+        ctx.sleep(self.syscall);
+        let in_flight = total.saturating_sub(self.syscall);
+        // Receiver drop just means no one is listening any more; the write
+        // itself still succeeds, as with a POSIX FIFO that has buffered data.
+        let _ = self.tx.send_delayed(in_flight, payload);
+    }
+}
+
+/// Reading end of a named FIFO (single consumer).
+pub struct FifoReader {
+    name: String,
+    rx: SimReceiver<Bytes>,
+    syscall: SimDuration,
+}
+
+impl fmt::Debug for FifoReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FifoReader").field("name", &self.name).finish()
+    }
+}
+
+impl FifoReader {
+    /// The FIFO's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`FifoError::Closed`] once every writer is gone and the queue drained.
+    pub fn read(&self, ctx: &mut ProcCtx) -> Result<Bytes, FifoError> {
+        match self.rx.recv(ctx) {
+            Ok(bytes) => {
+                ctx.sleep(self.syscall);
+                Ok(bytes)
+            }
+            Err(RecvError::Disconnected) => Err(FifoError::Closed),
+        }
+    }
+
+    /// Blocks until a message arrives or `timeout` of virtual time passes.
+    ///
+    /// # Errors
+    ///
+    /// [`FifoError::TimedOut`] on expiry, [`FifoError::Closed`] on writer loss.
+    pub fn read_timeout(&self, ctx: &mut ProcCtx, timeout: SimDuration) -> Result<Bytes, FifoError> {
+        match self.rx.recv_timeout(ctx, timeout) {
+            Ok(bytes) => {
+                ctx.sleep(self.syscall);
+                Ok(bytes)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(FifoError::TimedOut),
+            Err(RecvTimeoutError::Disconnected) => Err(FifoError::Closed),
+        }
+    }
+
+    /// Number of buffered messages.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+pub(crate) fn create(os: &LocalOs, ctx: &mut ProcCtx, name: &str) -> Result<FifoReader, OsError> {
+    let costs = os.costs();
+    ctx.sleep(costs.syscall); // mkfifo + open
+    let (tx, rx) = ctx.channel::<Bytes>();
+    {
+        let mut st = os.state().lock();
+        if st.fifos.contains_key(name) {
+            return Err(OsError::FifoExists(name.to_owned()));
+        }
+        st.fifos.insert(name.to_owned(), FifoSlot { tx });
+    }
+    Ok(FifoReader { name: name.to_owned(), rx, syscall: costs.syscall })
+}
+
+pub(crate) fn open(os: &LocalOs, name: &str) -> Result<FifoWriter, OsError> {
+    let costs = os.costs();
+    let st = os.state().lock();
+    let slot = st.fifos.get(name).ok_or_else(|| OsError::NoSuchFifo(name.to_owned()))?;
+    Ok(FifoWriter {
+        name: name.to_owned(),
+        tx: slot.tx.clone(),
+        base: costs.fifo_base,
+        per_byte_ns: costs.fifo_per_byte_ns,
+        syscall: costs.syscall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::Calibration;
+    use crate::engine::Simulation;
+    use crate::pu::{PuId, PuSpec};
+
+    fn dpu_os() -> LocalOs {
+        let spec = PuSpec::bluefield1(PuId(1));
+        let calib = Calibration::paper_server();
+        LocalOs::boot(&spec, calib.dpu_bf1_os, 1024)
+    }
+
+    #[test]
+    fn fifo_latency_matches_calibration() {
+        let os = dpu_os();
+        let mut sim = Simulation::new();
+        let os_w = os.clone();
+        let os_r = os.clone();
+        let (ready_tx, ready_rx) = sim.channel::<()>();
+        let reader = sim.spawn("reader", move |ctx| {
+            let fifo = os_r.create_fifo(ctx, "bench").unwrap();
+            ready_tx.send(()).unwrap();
+            let start = ctx.now();
+            let msg = fifo.read(ctx).unwrap();
+            (msg.len(), (ctx.now() - start))
+        });
+        sim.spawn("writer", move |ctx| {
+            ready_rx.recv(ctx).unwrap();
+            let w = os_w.open_fifo("bench").unwrap();
+            w.write(ctx, Bytes::from(vec![0u8; 1024]));
+        });
+        sim.run().unwrap();
+        let (len, latency) = reader.take_result().unwrap();
+        assert_eq!(len, 1024);
+        // Fig. 8 Linux (DPU): ~30us base + 10ns/B => ~40us at 1 KiB, plus
+        // reader/writer syscalls.
+        let us = latency.as_micros_f64();
+        assert!((38.0..=60.0).contains(&us), "DPU fifo latency was {us}us");
+    }
+
+    #[test]
+    fn duplicate_name_is_rejected() {
+        let os = dpu_os();
+        let mut sim = Simulation::new();
+        let os2 = os.clone();
+        let h = sim.spawn("p", move |ctx| {
+            let _r = os2.create_fifo(ctx, "x").unwrap();
+            os2.create_fifo(ctx, "x").err()
+        });
+        sim.run().unwrap();
+        assert_eq!(h.take_result().unwrap(), Some(OsError::FifoExists("x".to_owned())));
+    }
+
+    #[test]
+    fn open_unknown_fifo_fails() {
+        let os = dpu_os();
+        assert_eq!(os.open_fifo("nope").err(), Some(OsError::NoSuchFifo("nope".to_owned())));
+    }
+
+    #[test]
+    fn read_timeout_expires() {
+        let os = dpu_os();
+        let mut sim = Simulation::new();
+        let h = sim.spawn("reader", move |ctx| {
+            let fifo = os.create_fifo(ctx, "slow").unwrap();
+            fifo.read_timeout(ctx, SimDuration::from_micros(100)).err()
+        });
+        sim.run().unwrap();
+        assert_eq!(h.take_result().unwrap(), Some(FifoError::TimedOut));
+    }
+
+    #[test]
+    fn remove_then_open_fails_but_existing_reader_drains() {
+        let os = dpu_os();
+        let mut sim = Simulation::new();
+        let os2 = os.clone();
+        let h = sim.spawn("p", move |ctx| {
+            let reader = os2.create_fifo(ctx, "gone").unwrap();
+            let writer = os2.open_fifo("gone").unwrap();
+            writer.write(ctx, Bytes::from_static(b"last"));
+            os2.remove_fifo("gone").unwrap();
+            assert!(os2.open_fifo("gone").is_err());
+            let msg = reader.read(ctx).unwrap();
+            drop(writer);
+            let end = reader.read(ctx);
+            (msg, end)
+        });
+        sim.run().unwrap();
+        let (msg, end) = h.take_result().unwrap();
+        assert_eq!(&msg[..], b"last");
+        assert_eq!(end, Err(FifoError::Closed));
+    }
+
+    #[test]
+    fn messages_preserve_order_and_content() {
+        let os = dpu_os();
+        let mut sim = Simulation::new();
+        let os_w = os.clone();
+        let h = sim.spawn("p", move |ctx| {
+            let reader = os_w.create_fifo(ctx, "ord").unwrap();
+            let writer = os_w.open_fifo("ord").unwrap();
+            for i in 0..5u8 {
+                writer.write(ctx, Bytes::from(vec![i; 3]));
+            }
+            let mut out = Vec::new();
+            for _ in 0..5 {
+                out.push(reader.read(ctx).unwrap()[0]);
+            }
+            out
+        });
+        sim.run().unwrap();
+        assert_eq!(h.take_result().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Page-block memory ledger.
+//!
+//! The RSS/PSS study (Fig. 11b/c) needs page-granularity sharing semantics:
+//! a cforked child shares copy-on-write pages with its template until it
+//! writes them. Tracking individual pages would be wasteful; instead the
+//! ledger tracks *blocks* — runs of pages that are always mapped and shared
+//! as a unit — with a mapping count per block.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a page block within one [`MemoryLedger`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(u64);
+
+/// A run of pages shared as a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageBlock {
+    /// Number of pages in the block.
+    pub pages: u64,
+    /// Number of processes mapping the block.
+    pub refs: u32,
+}
+
+/// Tracks page blocks and their mapping counts for one OS.
+#[derive(Default)]
+pub struct MemoryLedger {
+    next: u64,
+    blocks: HashMap<BlockId, PageBlock>,
+}
+
+impl fmt::Debug for MemoryLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryLedger")
+            .field("blocks", &self.blocks.len())
+            .field("total_pages", &self.total_pages())
+            .finish()
+    }
+}
+
+impl MemoryLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> MemoryLedger {
+        MemoryLedger::default()
+    }
+
+    /// Allocates a block of `pages` pages with one mapping.
+    pub fn alloc(&mut self, pages: u64) -> BlockId {
+        self.next += 1;
+        let id = BlockId(self.next);
+        self.blocks.insert(id, PageBlock { pages, refs: 1 });
+        id
+    }
+
+    /// Adds a mapping to a block (e.g. fork, shared library map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not exist — sharing a freed block is a bug
+    /// in the caller's process bookkeeping.
+    pub fn share(&mut self, id: BlockId) {
+        let block = self.blocks.get_mut(&id).expect("share of unknown memory block");
+        block.refs += 1;
+    }
+
+    /// Drops one mapping; the block is freed when no mappings remain.
+    pub fn release(&mut self, id: BlockId) {
+        if let Some(block) = self.blocks.get_mut(&id) {
+            block.refs -= 1;
+            if block.refs == 0 {
+                self.blocks.remove(&id);
+            }
+        }
+    }
+
+    /// Shrinks a block by up to `pages` pages (copy-on-write break: the
+    /// caller re-allocates the removed pages privately). Returns how many
+    /// pages were actually removed.
+    pub fn split_off(&mut self, id: BlockId, pages: u64) -> u64 {
+        match self.blocks.get_mut(&id) {
+            Some(block) => {
+                let moved = pages.min(block.pages);
+                block.pages -= moved;
+                moved
+            }
+            None => 0,
+        }
+    }
+
+    /// Pages in a block (0 if unknown).
+    pub fn pages(&self, id: BlockId) -> u64 {
+        self.blocks.get(&id).map_or(0, |b| b.pages)
+    }
+
+    /// Mapping count of a block (0 if unknown).
+    pub fn refs(&self, id: BlockId) -> u32 {
+        self.blocks.get(&id).map_or(0, |b| b.refs)
+    }
+
+    /// Total pages across all live blocks (each counted once, regardless of
+    /// how many processes map it).
+    pub fn total_pages(&self) -> u64 {
+        self.blocks.values().map(|b| b.pages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_share_release_lifecycle() {
+        let mut m = MemoryLedger::new();
+        let b = m.alloc(100);
+        assert_eq!(m.pages(b), 100);
+        assert_eq!(m.refs(b), 1);
+        m.share(b);
+        assert_eq!(m.refs(b), 2);
+        m.release(b);
+        assert_eq!(m.refs(b), 1);
+        m.release(b);
+        assert_eq!(m.refs(b), 0);
+        assert_eq!(m.pages(b), 0);
+        assert_eq!(m.total_pages(), 0);
+    }
+
+    #[test]
+    fn split_off_clamps_to_block_size() {
+        let mut m = MemoryLedger::new();
+        let b = m.alloc(10);
+        assert_eq!(m.split_off(b, 4), 4);
+        assert_eq!(m.pages(b), 6);
+        assert_eq!(m.split_off(b, 100), 6);
+        assert_eq!(m.pages(b), 0);
+    }
+
+    #[test]
+    fn total_pages_counts_each_block_once() {
+        let mut m = MemoryLedger::new();
+        let a = m.alloc(10);
+        let _b = m.alloc(20);
+        m.share(a); // extra mapping must not inflate the total
+        assert_eq!(m.total_pages(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "share of unknown")]
+    fn sharing_freed_block_panics() {
+        let mut m = MemoryLedger::new();
+        let b = m.alloc(1);
+        m.release(b);
+        m.share(b);
+    }
+}

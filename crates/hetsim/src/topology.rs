@@ -1,0 +1,407 @@
+//! The heterogeneous computer: PUs + local OSes + devices + interconnect.
+//!
+//! [`Machine`] bundles everything the upper layers need: a [`PuSpec`] per
+//! processing unit, a booted [`LocalOs`] per general-purpose PU (making the
+//! machine a *multi-OS system*), device models for accelerators, and the
+//! link/route table used by nIPC.
+//!
+//! # Examples
+//!
+//! ```
+//! use hetsim::topology::Machine;
+//!
+//! // The paper's CPU-DPU evaluation server: Xeon + two BlueField-1 DPUs.
+//! let machine = Machine::builder().host_cpu().bluefield1_dpus(2).build();
+//! assert_eq!(machine.pus().len(), 3);
+//! assert!(machine.os(machine.host_cpu()).is_some());
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::calib::Calibration;
+use crate::fpga::FpgaDevice;
+use crate::gpu::{GpuCosts, GpuDevice};
+use crate::interconnect::{Link, Route};
+use crate::os::LocalOs;
+use crate::pu::{PuId, PuKind, PuSpec};
+use crate::time::SimDuration;
+
+/// Builder for a [`Machine`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    calib: Calibration,
+    pus: Vec<PuSpec>,
+    direct_device_links: bool,
+}
+
+impl MachineBuilder {
+    /// Starts from the paper-server calibration.
+    pub fn new() -> MachineBuilder {
+        MachineBuilder {
+            calib: Calibration::paper_server(),
+            pus: Vec::new(),
+            direct_device_links: false,
+        }
+    }
+
+    /// Uses a custom calibration table.
+    pub fn calibration(mut self, calib: Calibration) -> MachineBuilder {
+        self.calib = calib;
+        self
+    }
+
+    fn next_id(&self) -> PuId {
+        PuId(self.pus.len() as u16)
+    }
+
+    /// Adds the host CPU (must be the first PU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a PU was already added.
+    pub fn host_cpu(mut self) -> MachineBuilder {
+        assert!(self.pus.is_empty(), "the host CPU must be PU 0");
+        let id = self.next_id();
+        self.pus.push(PuSpec::xeon_host(id));
+        self
+    }
+
+    /// Adds `n` BlueField-1 DPUs.
+    pub fn bluefield1_dpus(mut self, n: usize) -> MachineBuilder {
+        for _ in 0..n {
+            let id = self.next_id();
+            self.pus.push(PuSpec::bluefield1(id));
+        }
+        self
+    }
+
+    /// Adds `n` BlueField-2 DPUs.
+    pub fn bluefield2_dpus(mut self, n: usize) -> MachineBuilder {
+        for _ in 0..n {
+            let id = self.next_id();
+            self.pus.push(PuSpec::bluefield2(id));
+        }
+        self
+    }
+
+    /// Adds `n` UltraScale+ FPGAs (the F1 instance has eight).
+    pub fn fpgas(mut self, n: usize) -> MachineBuilder {
+        for _ in 0..n {
+            let id = self.next_id();
+            self.pus.push(PuSpec::ultrascale_fpga(id));
+        }
+        self
+    }
+
+    /// Adds `n` GPUs.
+    pub fn gpus(mut self, n: usize) -> MachineBuilder {
+        for _ in 0..n {
+            let id = self.next_id();
+            self.pus.push(PuSpec::generic_gpu(id));
+        }
+        self
+    }
+
+    /// Adds `n` SmartNICs.
+    pub fn smartnics(mut self, n: usize) -> MachineBuilder {
+        for _ in 0..n {
+            let id = self.next_id();
+            self.pus.push(PuSpec::generic_smartnic(id));
+        }
+        self
+    }
+
+    /// Enables direct device↔device links (DPU↔FPGA etc.), lifting the
+    /// paper's §5 limitation that such traffic must be forwarded by the
+    /// host CPU. This is the prototype's stated future work; the
+    /// reproduction implements it as an opt-in extension.
+    pub fn direct_device_links(mut self) -> MachineBuilder {
+        self.direct_device_links = true;
+        self
+    }
+
+    /// Boots the machine: one local OS per general-purpose PU, one device
+    /// model per accelerator, and host↔device links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no host CPU was added.
+    pub fn build(self) -> Machine {
+        assert!(
+            self.pus.first().is_some_and(|p| p.kind == PuKind::Cpu),
+            "a machine needs a host CPU as PU 0"
+        );
+        let mut oses = HashMap::new();
+        let mut fpgas = HashMap::new();
+        let mut gpus = HashMap::new();
+        let mut links = HashMap::new();
+        let host = PuId::HOST_CPU;
+        for pu in &self.pus {
+            match pu.kind {
+                PuKind::Cpu | PuKind::Dpu | PuKind::SmartNic => {
+                    let usable = match pu.kind {
+                        PuKind::Cpu => self.calib.density.cpu_usable_mib,
+                        _ => self.calib.density.dpu_usable_mib,
+                    };
+                    let costs = self.calib.os_costs(pu.model);
+                    oses.insert(pu.id, LocalOs::boot(pu, costs, usable));
+                    if pu.id != host {
+                        links.insert((host, pu.id), Link::pcie_rdma());
+                        links.insert((pu.id, host), Link::pcie_rdma());
+                    }
+                }
+                PuKind::Fpga => {
+                    fpgas.insert(pu.id, FpgaDevice::new(pu.id, self.calib.fpga));
+                    links.insert((host, pu.id), Link::pcie_dma());
+                    links.insert((pu.id, host), Link::pcie_dma());
+                }
+                PuKind::Gpu => {
+                    gpus.insert(pu.id, GpuDevice::new(pu.id, GpuCosts::default()));
+                    links.insert((host, pu.id), Link::pcie_dma());
+                    links.insert((pu.id, host), Link::pcie_dma());
+                }
+            }
+        }
+        if self.direct_device_links {
+            // Future-work extension: full mesh between non-host PUs using
+            // the slower of the two host links' technologies (DMA wins over
+            // RDMA because accelerator endpoints only speak DMA).
+            let ids: Vec<PuId> = self.pus.iter().skip(1).map(|p| p.id).collect();
+            for &a in &ids {
+                for &b in &ids {
+                    if a != b && !links.contains_key(&(a, b)) {
+                        let kind_a = self.pus[a.raw() as usize].kind;
+                        let kind_b = self.pus[b.raw() as usize].kind;
+                        let link = if kind_a.is_general_purpose() && kind_b.is_general_purpose() {
+                            Link::pcie_rdma()
+                        } else {
+                            Link::pcie_dma()
+                        };
+                        links.insert((a, b), link);
+                    }
+                }
+            }
+        }
+        Machine {
+            calib: self.calib,
+            pus: self.pus,
+            oses,
+            fpgas,
+            gpus,
+            links,
+            forward_cost: SimDuration::from_micros(10),
+        }
+    }
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        MachineBuilder::new()
+    }
+}
+
+/// A booted heterogeneous computer.
+///
+/// Cloning a `Machine` yields another handle to the *same* machine: OS and
+/// device state is shared between clones.
+#[derive(Clone)]
+pub struct Machine {
+    calib: Calibration,
+    pus: Vec<PuSpec>,
+    oses: HashMap<PuId, LocalOs>,
+    fpgas: HashMap<PuId, FpgaDevice>,
+    gpus: HashMap<PuId, GpuDevice>,
+    links: HashMap<(PuId, PuId), Link>,
+    forward_cost: SimDuration,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("pus", &self.pus.len())
+            .field("oses", &self.oses.len())
+            .field("fpgas", &self.fpgas.len())
+            .field("gpus", &self.gpus.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Starts building a machine.
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::new()
+    }
+
+    /// The calibration table the machine was booted with.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calib
+    }
+
+    /// All PUs, indexable by [`PuId::raw`].
+    pub fn pus(&self) -> &[PuSpec] {
+        &self.pus
+    }
+
+    /// A PU's spec.
+    pub fn pu(&self, id: PuId) -> Option<&PuSpec> {
+        self.pus.get(id.raw() as usize)
+    }
+
+    /// The host CPU's id (always PU 0).
+    pub fn host_cpu(&self) -> PuId {
+        PuId::HOST_CPU
+    }
+
+    /// The local OS of a general-purpose PU.
+    pub fn os(&self, id: PuId) -> Option<&LocalOs> {
+        self.oses.get(&id)
+    }
+
+    /// The FPGA device model attached as `id`.
+    pub fn fpga(&self, id: PuId) -> Option<&FpgaDevice> {
+        self.fpgas.get(&id)
+    }
+
+    /// The GPU device model attached as `id`.
+    pub fn gpu(&self, id: PuId) -> Option<&GpuDevice> {
+        self.gpus.get(&id)
+    }
+
+    /// PUs of a given kind.
+    pub fn pus_of_kind(&self, kind: PuKind) -> Vec<PuId> {
+        self.pus.iter().filter(|p| p.kind == kind).map(|p| p.id).collect()
+    }
+
+    /// The route between two PUs: direct where a link exists, otherwise
+    /// forwarded by the host CPU ("CPU-intercepted communication", §5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either PU does not exist.
+    pub fn route(&self, from: PuId, to: PuId) -> Route {
+        assert!(self.pu(from).is_some(), "unknown source PU {from}");
+        assert!(self.pu(to).is_some(), "unknown destination PU {to}");
+        if from == to {
+            return Route::Direct(Link::shared_mem());
+        }
+        if let Some(link) = self.links.get(&(from, to)) {
+            return Route::Direct(*link);
+        }
+        let host = self.host_cpu();
+        let first = *self
+            .links
+            .get(&(from, host))
+            .expect("every non-host PU has a host link");
+        let second = *self
+            .links
+            .get(&(host, to))
+            .expect("every non-host PU has a host link");
+        Route::CpuIntercepted { first, second, forward_cost: self.forward_cost }
+    }
+
+    /// The paper's CPU-DPU evaluation server (Xeon + two BlueField-1 DPUs).
+    pub fn paper_cpu_dpu_server() -> Machine {
+        Machine::builder().host_cpu().bluefield1_dpus(2).build()
+    }
+
+    /// The paper's CPU-FPGA machine (F1.x16large: host + 8 FPGAs).
+    pub fn paper_f1_instance() -> Machine {
+        Machine::builder().host_cpu().fpgas(8).build()
+    }
+
+    /// A fully loaded machine for integration tests: CPU + 2 DPUs + 1 FPGA +
+    /// 1 GPU.
+    pub fn full_heterogeneous() -> Machine {
+        Machine::builder().host_cpu().bluefield1_dpus(2).fpgas(1).gpus(1).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::LinkKind;
+
+    #[test]
+    fn paper_server_has_three_oses() {
+        // §2.1.1: "there are three Linux systems ... one on the CPU and two
+        // on the DPUs".
+        let m = Machine::paper_cpu_dpu_server();
+        assert_eq!(m.oses.len(), 3);
+        assert_eq!(m.pus_of_kind(PuKind::Dpu).len(), 2);
+        assert!(m.fpga(PuId(1)).is_none());
+    }
+
+    #[test]
+    fn f1_instance_has_eight_fpgas() {
+        let m = Machine::paper_f1_instance();
+        assert_eq!(m.pus_of_kind(PuKind::Fpga).len(), 8);
+        assert!(m.os(PuId(3)).is_none(), "FPGAs run no OS");
+        assert!(m.fpga(PuId(3)).is_some());
+    }
+
+    #[test]
+    fn routes_pick_the_right_technology() {
+        let m = Machine::full_heterogeneous();
+        let dpu = m.pus_of_kind(PuKind::Dpu)[0];
+        let fpga = m.pus_of_kind(PuKind::Fpga)[0];
+        let host = m.host_cpu();
+
+        match m.route(host, dpu) {
+            Route::Direct(link) => assert_eq!(link.kind, LinkKind::PcieRdma),
+            other => panic!("CPU-DPU should be direct RDMA, got {other:?}"),
+        }
+        match m.route(host, fpga) {
+            Route::Direct(link) => assert_eq!(link.kind, LinkKind::PcieDma),
+            other => panic!("CPU-FPGA should be direct DMA, got {other:?}"),
+        }
+        // §5 limitation: no direct DPU-FPGA path; the CPU forwards.
+        assert!(m.route(dpu, fpga).is_intercepted());
+        match m.route(dpu, dpu) {
+            Route::Direct(link) => assert_eq!(link.kind, LinkKind::SharedMem),
+            other => panic!("same-PU should be shared memory, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intercepted_route_is_slower_than_direct() {
+        let m = Machine::full_heterogeneous();
+        let dpu = m.pus_of_kind(PuKind::Dpu)[0];
+        let fpga = m.pus_of_kind(PuKind::Fpga)[0];
+        let direct = m.route(m.host_cpu(), fpga).transfer_time(4096);
+        let forwarded = m.route(dpu, fpga).transfer_time(4096);
+        assert!(forwarded > direct);
+    }
+
+    #[test]
+    fn direct_device_links_remove_cpu_interception() {
+        let m = Machine::builder()
+            .host_cpu()
+            .bluefield1_dpus(1)
+            .fpgas(1)
+            .direct_device_links()
+            .build();
+        let dpu = m.pus_of_kind(PuKind::Dpu)[0];
+        let fpga = m.pus_of_kind(PuKind::Fpga)[0];
+        let route = m.route(dpu, fpga);
+        assert!(!route.is_intercepted(), "direct link must bypass the host");
+        // And it is strictly faster than the intercepted path.
+        let legacy = Machine::builder().host_cpu().bluefield1_dpus(1).fpgas(1).build();
+        assert!(route.transfer_time(4096) < legacy.route(dpu, fpga).transfer_time(4096));
+    }
+
+    #[test]
+    #[should_panic(expected = "host CPU")]
+    fn machine_without_cpu_panics() {
+        let _ = Machine::builder().build();
+    }
+
+    #[test]
+    fn dpu_os_uses_dpu_calibration() {
+        let m = Machine::paper_cpu_dpu_server();
+        let cpu_os = m.os(m.host_cpu()).unwrap();
+        let dpu_os = m.os(PuId(1)).unwrap();
+        assert!(dpu_os.costs().fifo_base > cpu_os.costs().fifo_base);
+        assert_eq!(dpu_os.usable_mib(), m.calibration().density.dpu_usable_mib);
+    }
+}

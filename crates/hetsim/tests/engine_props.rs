@@ -1,0 +1,118 @@
+//! Property tests of the discrete-event engine itself: determinism, causal
+//! ordering, and virtual-time consistency under arbitrary schedules.
+
+use hetsim::engine::Simulation;
+use hetsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Messages sent at increasing virtual times arrive in that order, for
+    /// arbitrary sets of delayed sends from one producer.
+    #[test]
+    fn delayed_sends_arrive_in_timestamp_order(delays in proptest::collection::vec(0u64..10_000, 1..20)) {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u64>();
+        let mut sorted = delays.clone();
+        sorted.sort_unstable();
+        let expected = sorted.clone();
+        sim.spawn("producer", move |_ctx| {
+            for &d in &delays {
+                tx.send_delayed(SimDuration::from_nanos(d), d).unwrap();
+            }
+        });
+        let h = sim.spawn("consumer", move |ctx| {
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv(ctx) {
+                let now = ctx.now().as_nanos();
+                prop_assert!(now >= v, "message for t={v} arrived at t={now}");
+                got.push(v);
+            }
+            Ok(got)
+        });
+        sim.run().unwrap();
+        let got = h.take_result().unwrap()?;
+        // Ties are delivered in send order, which matches the sorted order
+        // only up to equal elements; compare multisets and monotonicity.
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        prop_assert_eq!(got_sorted, expected);
+        for w in got.windows(2) {
+            prop_assert!(w[0] <= w[1], "out-of-order delivery: {:?}", got);
+        }
+    }
+
+    /// The simulation's end time equals the maximum completion time of any
+    /// process, regardless of spawn order.
+    #[test]
+    fn end_time_is_the_longest_process(durations in proptest::collection::vec(1u64..100_000, 1..10)) {
+        let mut sim = Simulation::new();
+        let max = *durations.iter().max().unwrap();
+        for (i, d) in durations.into_iter().enumerate() {
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                ctx.sleep(SimDuration::from_nanos(d));
+            });
+        }
+        let report = sim.run().unwrap();
+        prop_assert_eq!(report.end_time, SimTime::from_nanos(max));
+    }
+
+    /// Nested spawns observe their parent's clock: a child spawned after a
+    /// parent slept `d` starts no earlier than `d`.
+    #[test]
+    fn children_inherit_virtual_time(parent_delay in 1u64..50_000, child_delay in 1u64..50_000) {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("parent", move |ctx| {
+            ctx.sleep(SimDuration::from_nanos(parent_delay));
+            let spawn_time = ctx.now();
+            let child = ctx.spawn("child", move |cctx| {
+                let start = cctx.now();
+                cctx.sleep(SimDuration::from_nanos(child_delay));
+                (start, cctx.now())
+            });
+            child.join(ctx);
+            (spawn_time, child.take_result().unwrap())
+        });
+        sim.run().unwrap();
+        let (spawn_time, (child_start, child_end)) = h.take_result().unwrap();
+        prop_assert_eq!(child_start, spawn_time);
+        prop_assert_eq!(child_end, child_start + SimDuration::from_nanos(child_delay));
+    }
+
+    /// Event budgets are respected exactly: a spinner with limit N never
+    /// fires more than N events.
+    #[test]
+    fn event_limit_is_hard(limit in 1u64..200) {
+        let mut sim = Simulation::new();
+        sim.set_event_limit(limit);
+        sim.spawn("spinner", |ctx| loop {
+            ctx.sleep(SimDuration::from_nanos(1));
+        });
+        let err = sim.run().unwrap_err();
+        prop_assert_eq!(err, hetsim::engine::SimError::EventLimitExceeded { limit });
+    }
+
+    /// recv_timeout never returns later than its deadline and never earlier
+    /// than the message (whichever applies).
+    #[test]
+    fn recv_timeout_is_tight(timeout in 1u64..10_000, send_after in 1u64..20_000) {
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<u8>();
+        sim.spawn("producer", move |ctx| {
+            ctx.sleep(SimDuration::from_nanos(send_after));
+            let _ = tx.send(1);
+        });
+        let h = sim.spawn("consumer", move |ctx| {
+            let r = rx.recv_timeout(ctx, SimDuration::from_nanos(timeout));
+            (r.is_ok(), ctx.now().as_nanos())
+        });
+        sim.run().unwrap();
+        let (got_message, finished_at) = h.take_result().unwrap();
+        if send_after <= timeout {
+            prop_assert!(got_message);
+            prop_assert_eq!(finished_at, send_after);
+        } else {
+            prop_assert!(!got_message);
+            prop_assert_eq!(finished_at, timeout);
+        }
+    }
+}

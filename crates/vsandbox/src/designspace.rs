@@ -1,0 +1,164 @@
+//! The serverless design space of paper Fig. 15.
+//!
+//! Fig. 15 places prior systems on two axes: cold-start latency class
+//! (slow > 1 s, fast ~50 ms, extreme ≤ 10 ms) and communication mechanism
+//! (network, IPC, thread/language), for both same-PU and cross-PU settings.
+//! This module encodes those published placements and the rule that decides
+//! a class from a measured latency, so the harness can verify where *this*
+//! implementation of Molecule lands.
+
+use core::fmt;
+
+use hetsim::time::SimDuration;
+
+/// Cold-start latency classes (Fig. 15-a columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StartupClass {
+    /// More than a second (Kata Containers, Docker cold boots).
+    Slow,
+    /// Around 100 ms – 1 s.
+    Moderate,
+    /// Around 50 ms (FireCracker, SOCK, Replayable).
+    Fast,
+    /// At or below 10 ms (Catalyzer, Molecule's cfork).
+    Extreme,
+}
+
+impl StartupClass {
+    /// Classifies a measured cold-start latency.
+    pub fn of(latency: SimDuration) -> StartupClass {
+        let ms = latency.as_millis_f64();
+        if ms > 1000.0 {
+            StartupClass::Slow
+        } else if ms > 100.0 {
+            StartupClass::Moderate
+        } else if ms > 10.0 {
+            StartupClass::Fast
+        } else {
+            StartupClass::Extreme
+        }
+    }
+}
+
+impl fmt::Display for StartupClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StartupClass::Slow => "Slow (>1s)",
+            StartupClass::Moderate => "Moderate (>100ms)",
+            StartupClass::Fast => "Fast (~50ms)",
+            StartupClass::Extreme => "Extreme (<=10ms)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Communication mechanism classes (Fig. 15-b rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommClass {
+    /// HTTP/gRPC through the network stack (slow).
+    Network,
+    /// OS IPC — FIFOs, shared memory (fast).
+    Ipc,
+    /// Threads within one runtime (extreme, weaker isolation).
+    ThreadLanguage,
+}
+
+impl fmt::Display for CommClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommClass::Network => "Network (slow)",
+            CommClass::Ipc => "IPC (fast)",
+            CommClass::ThreadLanguage => "Thread/Language (extreme)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A prior system (or Molecule) with its published Fig. 15 placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignPoint {
+    /// System name as the figure prints it.
+    pub system: &'static str,
+    /// Cold-start class.
+    pub startup: StartupClass,
+    /// Same-PU communication class.
+    pub same_pu_comm: CommClass,
+    /// Cross-PU communication class (None when the system has no cross-PU
+    /// story at all).
+    pub cross_pu_comm: Option<CommClass>,
+}
+
+/// The Fig. 15 placements of the compared systems.
+pub fn design_space() -> Vec<DesignPoint> {
+    use CommClass::*;
+    use StartupClass::*;
+    vec![
+        DesignPoint { system: "Kata Container", startup: Slow, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "Docker", startup: Slow, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "gVisor", startup: Moderate, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "FireCracker", startup: Fast, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "SOCK", startup: Fast, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "Replayable", startup: Fast, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "OpenWhisk", startup: Slow, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "Nightcore", startup: Moderate, same_pu_comm: Ipc, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "Faasm", startup: Fast, same_pu_comm: ThreadLanguage, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "Faastlane", startup: Moderate, same_pu_comm: ThreadLanguage, cross_pu_comm: Some(Network) },
+        DesignPoint { system: "Catalyzer", startup: Extreme, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        // The paper's claim: Molecule is the only system that is Extreme on
+        // startup while using IPC same-PU *and* nIPC (IPC-class) cross-PU.
+        DesignPoint { system: "Molecule", startup: Extreme, same_pu_comm: Ipc, cross_pu_comm: Some(Ipc) },
+    ]
+}
+
+/// The figure's headline: Molecule uniquely combines extreme startup with
+/// IPC-class communication on both axes.
+pub fn molecule_is_unique() -> bool {
+    let points = design_space();
+    let winners: Vec<&DesignPoint> = points
+        .iter()
+        .filter(|p| {
+            p.startup == StartupClass::Extreme
+                && p.same_pu_comm == CommClass::Ipc
+                && p.cross_pu_comm == Some(CommClass::Ipc)
+        })
+        .collect();
+    winners.len() == 1 && winners[0].system == "Molecule"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_bands_are_the_figures() {
+        assert_eq!(StartupClass::of(SimDuration::from_secs(20)), StartupClass::Slow);
+        assert_eq!(StartupClass::of(SimDuration::from_millis(200)), StartupClass::Moderate);
+        assert_eq!(StartupClass::of(SimDuration::from_millis(50)), StartupClass::Fast);
+        assert_eq!(StartupClass::of(SimDuration::from_millis_f64(8.4)), StartupClass::Extreme);
+    }
+
+    #[test]
+    fn molecule_occupies_the_unique_corner() {
+        assert!(molecule_is_unique());
+    }
+
+    #[test]
+    fn every_prior_system_falls_back_to_network_across_pus() {
+        for p in design_space() {
+            if p.system != "Molecule" {
+                assert_eq!(
+                    p.cross_pu_comm,
+                    Some(CommClass::Network),
+                    "{} should be network-bound across PUs",
+                    p.system
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_labels_match_the_figure() {
+        assert_eq!(StartupClass::Extreme.to_string(), "Extreme (<=10ms)");
+        assert_eq!(CommClass::Ipc.to_string(), "IPC (fast)");
+    }
+}

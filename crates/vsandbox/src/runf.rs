@@ -1,0 +1,541 @@
+//! `runf` — the FPGA sandbox runtime (paper §3.5).
+//!
+//! An FPGA flashes one image at a time, so the scalar OCI verbs scale badly:
+//! one sandbox per device and a re-program per cold request. `runf` is where
+//! the *vectorized sandbox* abstraction pays off:
+//!
+//! * `create vector<sandbox, func-id>` packs all kernels into **one image**
+//!   and flashes it once;
+//! * `start vector<...>` prepares several resident sandboxes that execute
+//!   concurrently (DRAM banks statically partitioned between them, §5);
+//! * `delete` is **lazy**: it only updates state; the hardware is reclaimed
+//!   by the next `create`'s image replacement (no erase on the critical
+//!   path — the 16 s "Erase" bar of Fig. 10c disappears).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use hetsim::engine::ProcCtx;
+use hetsim::fpga::{FpgaDevice, FpgaImage, ImageBuilder, ImageId, KernelSpec};
+use hetsim::time::SimDuration;
+use parking_lot::Mutex;
+
+use crate::oci::{OciRuntime, SandboxError, VectorizedRuntime};
+use crate::spec::{SandboxConfig, SandboxId, SandboxState, Signal};
+
+#[derive(Debug)]
+struct FpgaSandbox {
+    state: SandboxState,
+    kernel: KernelSpec,
+    /// The image this sandbox was packed into.
+    image: ImageId,
+    /// Statically assigned DRAM bank.
+    bank: u32,
+    /// Whether the software sandbox has been prepared since the image was
+    /// last flashed (the "Warm-sandbox" state of Fig. 10c).
+    prepared: bool,
+}
+
+#[derive(Default)]
+struct RunfState {
+    sandboxes: HashMap<SandboxId, FpgaSandbox>,
+    images: HashMap<ImageId, FpgaImage>,
+    next_image: u64,
+    next_bank: u32,
+}
+
+/// The FPGA runtime for one device. Cheap to clone.
+#[derive(Clone)]
+pub struct RunfRuntime {
+    inner: Arc<RunfInner>,
+}
+
+struct RunfInner {
+    device: FpgaDevice,
+    /// Erase the device before every load (the naive "Baseline" behaviour of
+    /// Fig. 10c). Molecule leaves this off: flashed kernels cost nothing to
+    /// abandon.
+    erase_on_replace: bool,
+    state: Mutex<RunfState>,
+}
+
+impl fmt::Debug for RunfRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("RunfRuntime")
+            .field("device", &self.inner.device.pu())
+            .field("sandboxes", &st.sandboxes.len())
+            .field("erase_on_replace", &self.inner.erase_on_replace)
+            .finish()
+    }
+}
+
+impl RunfRuntime {
+    /// Creates the Molecule-style runtime (no erase on the critical path).
+    pub fn new(device: FpgaDevice) -> RunfRuntime {
+        RunfRuntime {
+            inner: Arc::new(RunfInner {
+                device,
+                erase_on_replace: false,
+                state: Mutex::new(RunfState::default()),
+            }),
+        }
+    }
+
+    /// Creates the naive baseline runtime that erases before every load
+    /// (Fig. 10c "Baseline").
+    pub fn new_naive_baseline(device: FpgaDevice) -> RunfRuntime {
+        RunfRuntime {
+            inner: Arc::new(RunfInner {
+                device,
+                erase_on_replace: true,
+                state: Mutex::new(RunfState::default()),
+            }),
+        }
+    }
+
+    /// The device this runtime manages.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.inner.device
+    }
+
+    fn kernel_of(config: &SandboxConfig) -> Result<KernelSpec, SandboxError> {
+        config.fpga_kernel.clone().ok_or_else(|| {
+            SandboxError::UnsupportedConfig(format!(
+                "function {} has no synthesized FPGA kernel",
+                config.func
+            ))
+        })
+    }
+
+    /// Flash a freshly composed image holding `entries`, replacing whatever
+    /// is resident (the lazy-delete reclamation point).
+    fn flash_new_image(
+        &self,
+        ctx: &mut ProcCtx,
+        entries: &[(SandboxId, SandboxConfig)],
+    ) -> Result<(), SandboxError> {
+        let image = {
+            let mut st = self.inner.state.lock();
+            for (id, _) in entries {
+                if st.sandboxes.contains_key(id) {
+                    return Err(SandboxError::AlreadyExists(id.clone()));
+                }
+            }
+            st.next_image += 1;
+            let image_id = ImageId(st.next_image);
+            let mut builder = ImageBuilder::new(image_id);
+            for (_, config) in entries {
+                builder = builder.kernel(Self::kernel_of(config)?);
+            }
+            builder.build(&self.inner.device.capacity())?
+        };
+        if self.inner.erase_on_replace && self.inner.device.loaded_image().is_some() {
+            self.inner.device.erase(ctx);
+        }
+        self.inner.device.load_image(ctx, &image)?;
+        let mut st = self.inner.state.lock();
+        // Everything previously resident loses its warm state (running
+        // sandboxes stop serving); lazily deleted sandboxes are now truly
+        // gone from the fabric.
+        for sb in st.sandboxes.values_mut() {
+            sb.prepared = false;
+            if sb.state == SandboxState::Running {
+                sb.state = SandboxState::Stopped;
+            }
+        }
+        let banks = self.inner.device.timings().dram_banks.max(1);
+        for (id, config) in entries {
+            let kernel = Self::kernel_of(config)?;
+            let bank = st.next_bank % banks;
+            st.next_bank += 1;
+            st.sandboxes.insert(
+                id.clone(),
+                FpgaSandbox { state: SandboxState::Created, kernel, image: image.id, bank, prepared: false },
+            );
+        }
+        st.images.insert(image.id, image);
+        Ok(())
+    }
+
+    /// Re-packs the device with a fresh image for `entries`, *replacing*
+    /// any previous sandboxes with the same ids (the instance-caching
+    /// manager's repack path, §4.2). Sandboxes not in `entries` keep their
+    /// records but lose residency.
+    ///
+    /// # Errors
+    ///
+    /// Same as the vectorized create, minus the id-reuse restriction.
+    pub fn repack_image(
+        &self,
+        ctx: &mut ProcCtx,
+        entries: &[(SandboxId, SandboxConfig)],
+    ) -> Result<(), SandboxError> {
+        {
+            let mut st = self.inner.state.lock();
+            for (id, _) in entries {
+                st.sandboxes.remove(id);
+            }
+        }
+        self.flash_new_image(ctx, entries)
+    }
+
+    /// True if the sandbox's kernel is resident in the flashed image.
+    pub fn is_resident(&self, id: &SandboxId) -> bool {
+        let st = self.inner.state.lock();
+        match st.sandboxes.get(id) {
+            Some(sb) => self.inner.device.is_resident(&sb.kernel.name),
+            None => false,
+        }
+    }
+
+    /// The DRAM bank statically assigned to a sandbox.
+    pub fn bank_of(&self, id: &SandboxId) -> Option<u32> {
+        self.inner.state.lock().sandboxes.get(id).map(|s| s.bank)
+    }
+
+    /// Whether two sandboxes may execute concurrently: the wrapper forbids
+    /// it when they share a DRAM bank (§5).
+    pub fn can_run_concurrently(&self, a: &SandboxId, b: &SandboxId) -> bool {
+        let st = self.inner.state.lock();
+        match (st.sandboxes.get(a), st.sandboxes.get(b)) {
+            (Some(x), Some(y)) => x.bank != y.bank,
+            _ => false,
+        }
+    }
+
+    /// Executes one request on a running sandbox; `exec` is the kernel's
+    /// compute time from the workload model.
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxError::Unknown`] / [`SandboxError::InvalidTransition`] if the
+    /// sandbox is not running; [`SandboxError::Device`] if the kernel lost
+    /// residency.
+    pub fn invoke(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        exec: SimDuration,
+    ) -> Result<(), SandboxError> {
+        let kernel = {
+            let st = self.inner.state.lock();
+            let sb = st
+                .sandboxes
+                .get(id)
+                .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            if sb.state != SandboxState::Running {
+                return Err(SandboxError::InvalidTransition {
+                    id: id.clone(),
+                    from: sb.state,
+                    to: SandboxState::Running,
+                });
+            }
+            sb.kernel.name.clone()
+        };
+        self.inner.device.invoke(ctx, &kernel, exec)?;
+        Ok(())
+    }
+}
+
+impl OciRuntime for RunfRuntime {
+    fn state(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<SandboxState, SandboxError> {
+        let st = self.inner.state.lock();
+        st.sandboxes
+            .get(id)
+            .map(|s| s.state)
+            .ok_or_else(|| SandboxError::Unknown(id.clone()))
+    }
+
+    fn create(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        config: &SandboxConfig,
+    ) -> Result<(), SandboxError> {
+        self.flash_new_image(ctx, &[(id.clone(), config.clone())])
+    }
+
+    fn start(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        let (kernel, image, prepared, state) = {
+            let st = self.inner.state.lock();
+            let sb = st
+                .sandboxes
+                .get(id)
+                .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            if !sb.state.can_transition_to(SandboxState::Running) {
+                return Err(SandboxError::InvalidTransition {
+                    id: id.clone(),
+                    from: sb.state,
+                    to: SandboxState::Running,
+                });
+            }
+            (sb.kernel.name.clone(), sb.image, sb.prepared, sb.state)
+        };
+        let _ = state;
+        if !self.inner.device.is_resident(&kernel) {
+            // The image was replaced since creation: re-flash it. The
+            // device's flash cache makes this the cheaper "Warm-image" load.
+            let image = {
+                let st = self.inner.state.lock();
+                st.images
+                    .get(&image)
+                    .cloned()
+                    .ok_or_else(|| SandboxError::Device(format!("image {image} lost")))?
+            };
+            if self.inner.erase_on_replace && self.inner.device.loaded_image().is_some() {
+                self.inner.device.erase(ctx);
+            }
+            self.inner.device.load_image(ctx, &image)?;
+            let mut st = self.inner.state.lock();
+            for sb in st.sandboxes.values_mut() {
+                sb.prepared = false;
+            }
+        }
+        if !prepared || !self.inner.state.lock().sandboxes[id].prepared {
+            ctx.sleep(self.inner.device.timings().prep_sandbox);
+        }
+        let mut st = self.inner.state.lock();
+        let sb = st.sandboxes.get_mut(id).expect("checked above");
+        sb.prepared = true;
+        sb.state = SandboxState::Running;
+        Ok(())
+    }
+
+    fn kill(&self, _ctx: &mut ProcCtx, id: &SandboxId, _signal: Signal) -> Result<(), SandboxError> {
+        let mut st = self.inner.state.lock();
+        let sb = st
+            .sandboxes
+            .get_mut(id)
+            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        if !sb.state.can_transition_to(SandboxState::Stopped) {
+            return Err(SandboxError::InvalidTransition {
+                id: id.clone(),
+                from: sb.state,
+                to: SandboxState::Stopped,
+            });
+        }
+        sb.state = SandboxState::Stopped;
+        // A stopped sandbox must re-prepare before serving again.
+        sb.prepared = false;
+        Ok(())
+    }
+
+    /// Lazy delete (§3.5): "the delete command will be empty and directly
+    /// return (but the runf will update sandbox states)". No erase happens;
+    /// the next `create` replaces the hardware image.
+    fn delete(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        let mut st = self.inner.state.lock();
+        let sb = st
+            .sandboxes
+            .get_mut(id)
+            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        if sb.state == SandboxState::Deleted {
+            return Err(SandboxError::InvalidTransition {
+                id: id.clone(),
+                from: sb.state,
+                to: SandboxState::Deleted,
+            });
+        }
+        sb.state = SandboxState::Deleted;
+        sb.prepared = false;
+        Ok(())
+    }
+}
+
+impl VectorizedRuntime for RunfRuntime {
+    /// The vectorized create: all sandboxes packed into one image, one flash
+    /// for the whole vector.
+    fn create_vec(
+        &self,
+        ctx: &mut ProcCtx,
+        entries: &[(SandboxId, SandboxConfig)],
+    ) -> Result<(), SandboxError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        self.flash_new_image(ctx, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::calib::Calibration;
+    use hetsim::engine::Simulation;
+    use hetsim::fpga::FpgaResources;
+    use hetsim::pu::PuId;
+
+    fn kernel(name: &str) -> KernelSpec {
+        KernelSpec {
+            name: name.to_owned(),
+            resources: FpgaResources { luts: 5_000, regs: 8_000, brams: 20, dsps: 36 },
+        }
+    }
+
+    fn fpga_cfg(name: &str) -> SandboxConfig {
+        SandboxConfig::fpga(name, kernel(name))
+    }
+
+    fn device() -> FpgaDevice {
+        FpgaDevice::new(PuId(1), Calibration::paper_server().fpga)
+    }
+
+    #[test]
+    fn fig10c_baseline_vs_molecule_cold_start() {
+        let mut sim = Simulation::new();
+        let naive = RunfRuntime::new_naive_baseline(device());
+        let molecule = RunfRuntime::new(device());
+        let h = sim.spawn("fpga", move |ctx| {
+            // Flash something first so the erase cost applies to the naive
+            // runtime's next create.
+            naive.create(ctx, &"warmup".into(), &fpga_cfg("w")).unwrap();
+            molecule.create(ctx, &"warmup".into(), &fpga_cfg("w")).unwrap();
+
+            let t0 = ctx.now();
+            naive.create(ctx, &"a".into(), &fpga_cfg("a")).unwrap();
+            naive.start(ctx, &"a".into()).unwrap();
+            let baseline = ctx.now() - t0;
+
+            let t0 = ctx.now();
+            molecule.create(ctx, &"a".into(), &fpga_cfg("a")).unwrap();
+            molecule.start(ctx, &"a".into()).unwrap();
+            let no_erase = ctx.now() - t0;
+            (baseline.as_secs_f64(), no_erase.as_secs_f64())
+        });
+        sim.run().unwrap();
+        let (baseline, no_erase) = h.take_result().unwrap();
+        assert!((19.5..=20.5).contains(&baseline), "Baseline ≈ 20s, got {baseline}");
+        assert!((3.7..=4.1).contains(&no_erase), "No-Erase ≈ 3.8s, got {no_erase}");
+    }
+
+    #[test]
+    fn vectorized_create_flashes_once() {
+        let rt = RunfRuntime::new(device());
+        let mut sim = Simulation::new();
+        let rt2 = rt.clone();
+        let h = sim.spawn("vec", move |ctx| {
+            let entries: Vec<(SandboxId, SandboxConfig)> = (0..12)
+                .map(|i| (SandboxId::new(format!("k{i}")), fpga_cfg(&format!("k{i}"))))
+                .collect();
+            let t0 = ctx.now();
+            rt2.create_vec(ctx, &entries).unwrap();
+            let vec_cost = ctx.now() - t0;
+            let resident: usize = entries
+                .iter()
+                .filter(|(id, _)| rt2.is_resident(id))
+                .count();
+            (vec_cost, resident)
+        });
+        sim.run().unwrap();
+        let (vec_cost, resident) = h.take_result().unwrap();
+        assert_eq!(resident, 12, "all 12 kernels packed into one image");
+        // One flash (3.75s + 12 compose steps), not 12 flashes.
+        assert!(vec_cost.as_secs_f64() < 6.0, "vector create cost {vec_cost}");
+    }
+
+    #[test]
+    fn warm_sandbox_start_costs_53ms_and_invoke_is_cheap() {
+        let rt = RunfRuntime::new(device());
+        let mut sim = Simulation::new();
+        let h = sim.spawn("warm", move |ctx| {
+            rt.create(ctx, &"a".into(), &fpga_cfg("a")).unwrap();
+            let t0 = ctx.now();
+            rt.start(ctx, &"a".into()).unwrap();
+            let prep = ctx.now() - t0;
+            let t0 = ctx.now();
+            rt.invoke(ctx, &"a".into(), SimDuration::from_micros(1259)).unwrap();
+            let invoke = ctx.now() - t0;
+            (prep.as_millis_f64(), invoke.as_millis_f64())
+        });
+        sim.run().unwrap();
+        let (prep, invoke) = h.take_result().unwrap();
+        assert_eq!(prep, 53.0, "Warm-sandbox prep");
+        assert!(invoke < 2.0, "warm invoke {invoke}ms");
+    }
+
+    #[test]
+    fn replaced_image_restarts_via_cached_flash() {
+        let rt = RunfRuntime::new(device());
+        let mut sim = Simulation::new();
+        let h = sim.spawn("cache", move |ctx| {
+            rt.create(ctx, &"a".into(), &fpga_cfg("a")).unwrap();
+            rt.start(ctx, &"a".into()).unwrap();
+            // A new create replaces the image; "a" loses residency.
+            rt.create(ctx, &"b".into(), &fpga_cfg("b")).unwrap();
+            assert!(!rt.is_resident(&"a".into()));
+            let t0 = ctx.now();
+            rt.start(ctx, &"a".into()).unwrap();
+            (ctx.now() - t0).as_secs_f64()
+        });
+        sim.run().unwrap();
+        let warm_image = h.take_result().unwrap();
+        // Fig. 10c "Warm-image": cached flash (1.85s) + prep (53ms) ≈ 1.9s.
+        assert!((1.85..=1.95).contains(&warm_image), "warm-image start {warm_image}s");
+    }
+
+    #[test]
+    fn delete_is_lazy_and_free() {
+        let rt = RunfRuntime::new(device());
+        let mut sim = Simulation::new();
+        let h = sim.spawn("lazy", move |ctx| {
+            rt.create(ctx, &"a".into(), &fpga_cfg("a")).unwrap();
+            let t0 = ctx.now();
+            rt.delete(ctx, &"a".into()).unwrap();
+            let delete_cost = ctx.now() - t0;
+            let state = rt.state(ctx, &"a".into()).unwrap();
+            // The kernel is still physically on the fabric (no erase!).
+            let still_flashed = rt.device().is_resident("a");
+            (delete_cost, state, still_flashed)
+        });
+        sim.run().unwrap();
+        let (cost, state, still_flashed) = h.take_result().unwrap();
+        assert!(cost.is_zero(), "lazy delete must be free, cost {cost}");
+        assert_eq!(state, SandboxState::Deleted);
+        assert!(still_flashed, "reclamation happens at the next create");
+    }
+
+    #[test]
+    fn bank_partitioning_gates_concurrency() {
+        let rt = RunfRuntime::new(device()); // 4 DRAM banks
+        let mut sim = Simulation::new();
+        let rt2 = rt.clone();
+        sim.spawn("banks", move |ctx| {
+            let entries: Vec<(SandboxId, SandboxConfig)> = (0..5)
+                .map(|i| (SandboxId::new(format!("k{i}")), fpga_cfg(&format!("k{i}"))))
+                .collect();
+            rt2.create_vec(ctx, &entries).unwrap();
+        });
+        sim.run().unwrap();
+        // k0 and k4 share bank 0 (5 kernels, 4 banks) -> not concurrent.
+        assert!(!rt.can_run_concurrently(&"k0".into(), &"k4".into()));
+        assert!(rt.can_run_concurrently(&"k0".into(), &"k1".into()));
+        assert_eq!(rt.bank_of(&"k0".into()), Some(0));
+        assert_eq!(rt.bank_of(&"k4".into()), Some(0));
+    }
+
+    #[test]
+    fn invoke_requires_running_state() {
+        let rt = RunfRuntime::new(device());
+        let mut sim = Simulation::new();
+        let h = sim.spawn("inv", move |ctx| {
+            rt.create(ctx, &"a".into(), &fpga_cfg("a")).unwrap();
+            rt.invoke(ctx, &"a".into(), SimDuration::ZERO).unwrap_err()
+        });
+        sim.run().unwrap();
+        assert!(matches!(h.take_result().unwrap(), SandboxError::InvalidTransition { .. }));
+    }
+
+    #[test]
+    fn non_fpga_config_is_rejected() {
+        let rt = RunfRuntime::new(device());
+        let mut sim = Simulation::new();
+        let h = sim.spawn("rej", move |ctx| {
+            let cfg = SandboxConfig::general("py-fn", crate::spec::LangRuntime::Python, 128);
+            rt.create(ctx, &"x".into(), &cfg).unwrap_err()
+        });
+        sim.run().unwrap();
+        assert!(matches!(h.take_result().unwrap(), SandboxError::UnsupportedConfig(_)));
+    }
+}

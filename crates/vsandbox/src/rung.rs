@@ -1,0 +1,283 @@
+//! `runG` — the GPU sandbox runtime (paper §6.8).
+//!
+//! GPUs take to the vectorized abstraction naturally: with MPS, one wrapper
+//! context hosts many resident kernels, so `create vector<...>` needs no
+//! image packing tricks — it simply loads each kernel module into the shared
+//! context, and sandboxes coexist without evicting each other.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use hetsim::engine::ProcCtx;
+use hetsim::gpu::{GpuContextId, GpuDevice};
+use hetsim::time::SimDuration;
+use parking_lot::Mutex;
+
+use crate::oci::{OciRuntime, SandboxError, VectorizedRuntime};
+use crate::spec::{LangRuntime, SandboxConfig, SandboxId, SandboxState, Signal};
+
+#[derive(Debug)]
+struct GpuSandbox {
+    state: SandboxState,
+    kernel: String,
+}
+
+#[derive(Default)]
+struct RungState {
+    context: Option<GpuContextId>,
+    sandboxes: HashMap<SandboxId, GpuSandbox>,
+}
+
+/// The GPU runtime for one device. Cheap to clone.
+#[derive(Clone)]
+pub struct RungRuntime {
+    inner: Arc<RungInner>,
+}
+
+struct RungInner {
+    device: GpuDevice,
+    state: Mutex<RungState>,
+}
+
+impl fmt::Debug for RungRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("RungRuntime")
+            .field("device", &self.inner.device.pu())
+            .field("sandboxes", &st.sandboxes.len())
+            .finish()
+    }
+}
+
+impl RungRuntime {
+    /// Creates the runtime over one GPU.
+    pub fn new(device: GpuDevice) -> RungRuntime {
+        RungRuntime {
+            inner: Arc::new(RungInner { device, state: Mutex::new(RungState::default()) }),
+        }
+    }
+
+    /// The device this runtime manages.
+    pub fn device(&self) -> &GpuDevice {
+        &self.inner.device
+    }
+
+    fn ensure_context(&self, ctx: &mut ProcCtx) -> GpuContextId {
+        if let Some(c) = self.inner.state.lock().context {
+            return c;
+        }
+        let c = self.inner.device.create_context(ctx);
+        self.inner.state.lock().context = Some(c);
+        c
+    }
+
+    /// Executes one request on a running sandbox; `exec` is the kernel's
+    /// compute time from the workload model.
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxError::Unknown`] / [`SandboxError::InvalidTransition`] /
+    /// [`SandboxError::Device`].
+    pub fn invoke(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        exec: SimDuration,
+    ) -> Result<(), SandboxError> {
+        let (context, kernel) = {
+            let st = self.inner.state.lock();
+            let sb = st
+                .sandboxes
+                .get(id)
+                .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            if sb.state != SandboxState::Running {
+                return Err(SandboxError::InvalidTransition {
+                    id: id.clone(),
+                    from: sb.state,
+                    to: SandboxState::Running,
+                });
+            }
+            (st.context.expect("running sandbox implies a context"), sb.kernel.clone())
+        };
+        self.inner.device.launch(ctx, context, &kernel, exec)?;
+        Ok(())
+    }
+}
+
+impl OciRuntime for RungRuntime {
+    fn state(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<SandboxState, SandboxError> {
+        let st = self.inner.state.lock();
+        st.sandboxes
+            .get(id)
+            .map(|s| s.state)
+            .ok_or_else(|| SandboxError::Unknown(id.clone()))
+    }
+
+    fn create(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        config: &SandboxConfig,
+    ) -> Result<(), SandboxError> {
+        if config.lang != LangRuntime::Cuda {
+            return Err(SandboxError::UnsupportedConfig(format!(
+                "runG hosts CUDA kernels, not {}",
+                config.lang
+            )));
+        }
+        {
+            let st = self.inner.state.lock();
+            if st.sandboxes.contains_key(id) {
+                return Err(SandboxError::AlreadyExists(id.clone()));
+            }
+        }
+        let context = self.ensure_context(ctx);
+        let kernel = config.func.as_str().to_owned();
+        self.inner.device.load_kernel(ctx, context, &kernel)?;
+        self.inner.state.lock().sandboxes.insert(
+            id.clone(),
+            GpuSandbox { state: SandboxState::Created, kernel },
+        );
+        Ok(())
+    }
+
+    fn start(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        let mut st = self.inner.state.lock();
+        let sb = st
+            .sandboxes
+            .get_mut(id)
+            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        if !sb.state.can_transition_to(SandboxState::Running) {
+            return Err(SandboxError::InvalidTransition {
+                id: id.clone(),
+                from: sb.state,
+                to: SandboxState::Running,
+            });
+        }
+        sb.state = SandboxState::Running;
+        Ok(())
+    }
+
+    fn kill(&self, _ctx: &mut ProcCtx, id: &SandboxId, _signal: Signal) -> Result<(), SandboxError> {
+        let mut st = self.inner.state.lock();
+        let sb = st
+            .sandboxes
+            .get_mut(id)
+            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        if !sb.state.can_transition_to(SandboxState::Stopped) {
+            return Err(SandboxError::InvalidTransition {
+                id: id.clone(),
+                from: sb.state,
+                to: SandboxState::Stopped,
+            });
+        }
+        sb.state = SandboxState::Stopped;
+        Ok(())
+    }
+
+    fn delete(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        let mut st = self.inner.state.lock();
+        let sb = st
+            .sandboxes
+            .get_mut(id)
+            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        if sb.state == SandboxState::Deleted {
+            return Err(SandboxError::InvalidTransition {
+                id: id.clone(),
+                from: sb.state,
+                to: SandboxState::Deleted,
+            });
+        }
+        sb.state = SandboxState::Deleted;
+        Ok(())
+    }
+}
+
+impl VectorizedRuntime for RungRuntime {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::engine::Simulation;
+    use hetsim::gpu::GpuCosts;
+    use hetsim::pu::PuId;
+
+    fn cuda_cfg(name: &str) -> SandboxConfig {
+        SandboxConfig { func: name.into(), lang: LangRuntime::Cuda, memory_mib: 256, fpga_kernel: None }
+    }
+
+    fn runtime() -> RungRuntime {
+        RungRuntime::new(GpuDevice::new(PuId(4), GpuCosts::default()))
+    }
+
+    #[test]
+    fn many_gpu_sandboxes_coexist() {
+        let rt = runtime();
+        let mut sim = Simulation::new();
+        let rt2 = rt.clone();
+        sim.spawn("gpu", move |ctx| {
+            let entries: Vec<(SandboxId, SandboxConfig)> = (0..8)
+                .map(|i| (SandboxId::new(format!("g{i}")), cuda_cfg(&format!("kern{i}"))))
+                .collect();
+            rt2.create_vec(ctx, &entries).unwrap();
+            let ids: Vec<SandboxId> = entries.iter().map(|(i, _)| i.clone()).collect();
+            rt2.start_vec(ctx, &ids).unwrap();
+            for id in &ids {
+                rt2.invoke(ctx, id, SimDuration::from_micros(100)).unwrap();
+            }
+        });
+        sim.run().unwrap();
+        // Unlike the FPGA, nothing was evicted.
+        assert_eq!(rt.device().resident_kernels(), 8);
+    }
+
+    #[test]
+    fn context_is_created_once() {
+        let rt = runtime();
+        let mut sim = Simulation::new();
+        let h = sim.spawn("ctx", move |ctx| {
+            let t0 = ctx.now();
+            rt.create(ctx, &"a".into(), &cuda_cfg("a")).unwrap();
+            let first = ctx.now() - t0;
+            let t0 = ctx.now();
+            rt.create(ctx, &"b".into(), &cuda_cfg("b")).unwrap();
+            let second = ctx.now() - t0;
+            (first, second)
+        });
+        sim.run().unwrap();
+        let (first, second) = h.take_result().unwrap();
+        assert!(first > second, "context creation amortizes: {first} vs {second}");
+    }
+
+    #[test]
+    fn rejects_non_cuda_functions() {
+        let rt = runtime();
+        let mut sim = Simulation::new();
+        let h = sim.spawn("rej", move |ctx| {
+            let cfg = SandboxConfig::general("py", LangRuntime::Python, 128);
+            rt.create(ctx, &"x".into(), &cfg).unwrap_err()
+        });
+        sim.run().unwrap();
+        assert!(matches!(h.take_result().unwrap(), SandboxError::UnsupportedConfig(_)));
+    }
+
+    #[test]
+    fn lifecycle_is_enforced() {
+        let rt = runtime();
+        let mut sim = Simulation::new();
+        let h = sim.spawn("life", move |ctx| {
+            rt.create(ctx, &"a".into(), &cuda_cfg("a")).unwrap();
+            let premature = rt.invoke(ctx, &"a".into(), SimDuration::ZERO).unwrap_err();
+            rt.start(ctx, &"a".into()).unwrap();
+            rt.kill(ctx, &"a".into(), Signal::Kill).unwrap();
+            rt.delete(ctx, &"a".into()).unwrap();
+            let gone = rt.start(ctx, &"a".into()).unwrap_err();
+            (premature, gone)
+        });
+        sim.run().unwrap();
+        let (premature, gone) = h.take_result().unwrap();
+        assert!(matches!(premature, SandboxError::InvalidTransition { .. }));
+        assert!(matches!(gone, SandboxError::InvalidTransition { .. }));
+    }
+}

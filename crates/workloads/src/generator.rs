@@ -1,0 +1,105 @@
+//! Request generators for driving the platform.
+//!
+//! Serverless arrival patterns are bursty; the generators here produce
+//! deterministic (seeded) Poisson and closed-loop arrival schedules in
+//! *virtual time* for the benchmark harnesses.
+
+use hetsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic Poisson arrival process.
+#[derive(Debug)]
+pub struct PoissonArrivals {
+    rng: StdRng,
+    mean_gap: SimDuration,
+    now: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate_per_sec` arrivals per virtual second,
+    /// seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not positive.
+    pub fn new(rate_per_sec: f64, seed: u64) -> PoissonArrivals {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        PoissonArrivals {
+            rng: StdRng::seed_from_u64(seed),
+            mean_gap: SimDuration::from_secs_f64(1.0 / rate_per_sec),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The next arrival instant (exponential inter-arrival gaps).
+    pub fn next_arrival(&mut self) -> SimTime {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap = self.mean_gap.mul_f64(-u.ln());
+        self.now += gap;
+        self.now
+    }
+
+    /// The first `n` arrival instants.
+    pub fn take(&mut self, n: usize) -> Vec<SimTime> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+/// A closed-loop schedule: `n` back-to-back requests (the artifact's
+/// benchmarking mode).
+pub fn closed_loop(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// Deterministic input sizes drawn uniformly from `[lo, hi]` bytes.
+pub fn input_sizes(n: usize, lo: u64, hi: u64, seed: u64) -> Vec<u64> {
+    assert!(lo <= hi, "bounds reversed");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a: Vec<SimTime> = PoissonArrivals::new(100.0, 7).take(50);
+        let b: Vec<SimTime> = PoissonArrivals::new(100.0, 7).take(50);
+        let c: Vec<SimTime> = PoissonArrivals::new(100.0, 8).take(50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_mean_gap_approximates_rate() {
+        let mut gen = PoissonArrivals::new(1000.0, 42); // 1ms mean gap
+        let arrivals = gen.take(2000);
+        let total = arrivals.last().unwrap().as_nanos() as f64;
+        let mean_gap_ms = total / 2000.0 / 1e6;
+        assert!((0.9..=1.1).contains(&mean_gap_ms), "mean gap {mean_gap_ms}ms");
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut gen = PoissonArrivals::new(10.0, 1);
+        let arrivals = gen.take(100);
+        for w in arrivals.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn input_sizes_respect_bounds() {
+        let sizes = input_sizes(100, 16, 2048, 3);
+        assert!(sizes.iter().all(|&s| (16..=2048).contains(&s)));
+        assert_eq!(sizes, input_sizes(100, 16, 2048, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = PoissonArrivals::new(0.0, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! A Dorylus-style GNN training workload (paper §2.4).
+//!
+//! Dorylus trains graph neural networks with serverless threads but "can
+//! only use CPU now, which can be improved by using accelerators like GPU
+//! with the help of Molecule". This module builds that improvement: one
+//! training round is a chain of *gather* (CPU — sparse, branchy neighbour
+//! aggregation) → *apply* (dense tensor math, GPU-friendly) → *scatter*
+//! (CPU) functions, with the apply stage deployable on either PU.
+
+use hetsim::pu::PuKind;
+use hetsim::time::SimDuration;
+use molecule_core::function::{ExecModel, FunctionDef};
+use vsandbox::spec::LangRuntime;
+
+/// Feature bytes flowing between the stages for a graph partition.
+pub const PARTITION_BYTES: u64 = 256 * 1024;
+
+/// The gather stage: sparse neighbour aggregation, CPU/DPU only.
+pub fn gather_function() -> FunctionDef {
+    FunctionDef::builder("gnn-gather", LangRuntime::Python)
+        .profiles(&[PuKind::Cpu, PuKind::Dpu])
+        .memory_mib(512)
+        .exec(ExecModel::PerByte { base: SimDuration::from_millis(2), ns_per_byte: 18.0 })
+        .init_ms(40.0)
+        .cfork_first_run_ms(4.0)
+        .output_bytes(PARTITION_BYTES)
+        .build()
+}
+
+/// The apply stage: dense tensor computation. The CPU profile is the
+/// Dorylus status quo; a GPU deployment cuts the dense math by ~12x
+/// (typical dense-layer speedup for small-batch training).
+pub fn apply_function() -> FunctionDef {
+    FunctionDef::builder("gnn-apply", LangRuntime::Cuda)
+        .profiles(&[PuKind::Cpu])
+        .memory_mib(1024)
+        .exec(ExecModel::PerByte { base: SimDuration::from_millis(6), ns_per_byte: 95.0 })
+        .gpu(ExecModel::PerByte { base: SimDuration::from_millis_f64(0.5), ns_per_byte: 7.9 })
+        .init_ms(120.0)
+        .cfork_first_run_ms(8.0)
+        .output_bytes(PARTITION_BYTES)
+        .build()
+}
+
+/// GPU execution time for the apply stage over `bytes` of features.
+pub fn apply_gpu_exec(bytes: u64) -> SimDuration {
+    SimDuration::from_millis_f64(0.5) + SimDuration::from_nanos((7.9 * bytes as f64) as u64)
+}
+
+/// The scatter stage: writes gradients back, CPU/DPU only.
+pub fn scatter_function() -> FunctionDef {
+    FunctionDef::builder("gnn-scatter", LangRuntime::Python)
+        .profiles(&[PuKind::Cpu, PuKind::Dpu])
+        .memory_mib(512)
+        .exec(ExecModel::PerByte { base: SimDuration::from_millis(1), ns_per_byte: 9.0 })
+        .init_ms(25.0)
+        .cfork_first_run_ms(2.0)
+        .output_bytes(16 * 1024)
+        .build()
+}
+
+/// All three stage definitions, in chain order.
+pub fn training_round() -> Vec<FunctionDef> {
+    vec![gather_function(), apply_function(), scatter_function()]
+}
+
+/// CPU-only latency of one training round over a partition (the Dorylus
+/// status quo): sum of the stage handlers at host speed.
+pub fn round_cpu_latency() -> SimDuration {
+    let gather = gather_function().exec.host_time(PARTITION_BYTES);
+    let apply = apply_function().exec.host_time(PARTITION_BYTES);
+    let scatter = scatter_function().exec.host_time(PARTITION_BYTES);
+    gather + apply + scatter
+}
+
+/// Latency of one round with the apply stage on a GPU (kernel launch and
+/// PCIe transfers included by the caller's communication layer).
+pub fn round_gpu_latency() -> SimDuration {
+    let gather = gather_function().exec.host_time(PARTITION_BYTES);
+    let apply = apply_gpu_exec(PARTITION_BYTES);
+    let scatter = scatter_function().exec.host_time(PARTITION_BYTES);
+    gather + apply + scatter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_dominates_the_cpu_round() {
+        // The dense stage is the bottleneck Dorylus wants accelerated.
+        let apply = apply_function().exec.host_time(PARTITION_BYTES);
+        let total = round_cpu_latency();
+        assert!(apply.as_millis_f64() / total.as_millis_f64() > 0.6);
+    }
+
+    #[test]
+    fn gpu_apply_speeds_the_round_up_severalfold() {
+        let cpu = round_cpu_latency();
+        let gpu = round_gpu_latency();
+        let speedup = cpu.ratio(gpu);
+        assert!(
+            (2.0..=6.0).contains(&speedup),
+            "round speedup {speedup} (cpu {cpu}, gpu {gpu})"
+        );
+        // And the apply stage itself improves by ~12x.
+        let stage = apply_function().exec.host_time(PARTITION_BYTES);
+        let stage_speedup = stage.ratio(apply_gpu_exec(PARTITION_BYTES));
+        assert!((9.0..=14.0).contains(&stage_speedup), "apply speedup {stage_speedup}");
+    }
+
+    #[test]
+    fn stage_profiles_are_heterogeneous() {
+        let stages = training_round();
+        assert_eq!(stages.len(), 3);
+        assert!(stages[0].supports(PuKind::Dpu));
+        assert!(stages[1].supports(PuKind::Gpu));
+        assert!(!stages[1].supports(PuKind::Dpu));
+        assert!(stages[2].supports(PuKind::Cpu));
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! `workloads` — the benchmark workloads of the Molecule evaluation.
+//!
+//! * [`functionbench`] — the eight FunctionBench functions of Fig. 14a-d,
+//!   with their paper labels and calibrated cost decomposition;
+//! * [`serverlessbench`] — the Alexa and MapReduce chains (Fig. 12, 14e)
+//!   plus the image-processing and helloworld functions (Fig. 2a, 9);
+//! * [`matrix`] — the Fig. 2b matrix micro-workloads (real Rust kernels +
+//!   calibrated CPU/FPGA latencies) and the Table 4 resource constants;
+//! * [`fpga_apps`] — GZip, Anti-MoneyL and Matrix-Comput (Fig. 14f-h);
+//! * [`kernels`] — real compute kernels (FIPS-verified AES-128, a
+//!   partial-pivoting LINPACK solver, DD block copy) behind the workloads;
+//! * [`gnn`] — a Dorylus-style GNN training round (§2.4's motivating case
+//!   for GPU serverless functions);
+//! * [`generator`] — deterministic request generators.
+
+pub mod fpga_apps;
+pub mod functionbench;
+pub mod generator;
+pub mod gnn;
+pub mod kernels;
+pub mod matrix;
+pub mod serverlessbench;

@@ -1,0 +1,193 @@
+//! Matrix kernels: the Fig. 2b micro-workloads and the Table 4 resource
+//! constants.
+//!
+//! Three operations — matrix scaling, matrix addition and vector
+//! multiplication — are implemented both as *real* Rust kernels (used by
+//! tests and Criterion benches to do actual work) and as calibrated latency
+//! constants for the simulated CPU/FPGA comparison (Fig. 2b: 192 µs /
+//! 324 µs / 3551 µs on the CPU, 2.15-2.82x lower on the FPGA).
+
+use hetsim::fpga::{FpgaResources, KernelSpec};
+use hetsim::pu::PuKind;
+use hetsim::time::SimDuration;
+use molecule_core::function::{ExecModel, FunctionDef};
+use vsandbox::spec::LangRuntime;
+
+/// CPU latencies printed in Fig. 2b, microseconds.
+pub const CPU_LATENCY_US: [(&str, u64); 3] = [("mscale", 192), ("madd", 324), ("vmult", 3551)];
+
+/// End-to-end FPGA latencies (DMA + dispatch + kernel): 2.15x / 2.50x /
+/// 2.82x lower than the CPU (Fig. 2b's 2.15-2.82x band).
+pub const FPGA_LATENCY_US: [(&str, u64); 3] = [("mscale", 89), ("madd", 130), ("vmult", 1259)];
+
+/// Device-side kernel compute times, excluding the ~59.5 µs DMA transfer
+/// and 10 µs dispatch that the platform charges per invocation (so the
+/// measured end-to-end lands on [`FPGA_LATENCY_US`]).
+pub const FPGA_KERNEL_US: [(&str, u64); 3] = [("mscale", 19), ("madd", 60), ("vmult", 1190)];
+
+/// Synthesized kernel resources. Summed as the Table 4 wrapper does
+/// (wrapper base + 4 instances each of madd/mmult/mscale = the published
+/// 119,517 LUTs / 196,996 REGs / 486 BRAMs / 787 DSPs).
+pub fn kernel_resources(name: &str) -> FpgaResources {
+    match name {
+        "madd" => FpgaResources { luts: 5_013, regs: 8_000, brams: 20, dsps: 36 },
+        "mmult" | "vmult" => FpgaResources { luts: 5_348, regs: 9_624, brams: 24, dsps: 56 },
+        "mscale" => FpgaResources { luts: 4_747, regs: 7_000, brams: 16, dsps: 32 },
+        _ => FpgaResources { luts: 5_000, regs: 8_000, brams: 20, dsps: 36 },
+    }
+}
+
+/// The [`KernelSpec`] for a matrix kernel.
+pub fn kernel_spec(name: &str) -> KernelSpec {
+    KernelSpec { name: name.to_owned(), resources: kernel_resources(name) }
+}
+
+/// Platform function definitions for the three Fig. 2b operations, each
+/// deployable on CPU and FPGA.
+pub fn matrix_functions() -> Vec<FunctionDef> {
+    CPU_LATENCY_US
+        .iter()
+        .zip(FPGA_KERNEL_US.iter())
+        .map(|(&(name, cpu_us), &(_, fpga_us))| {
+            FunctionDef::builder(name, LangRuntime::Python)
+                .profiles(&[PuKind::Cpu])
+                .exec(ExecModel::Fixed(SimDuration::from_micros(cpu_us)))
+                .fpga(kernel_spec(name), ExecModel::Fixed(SimDuration::from_micros(fpga_us)))
+                .output_bytes(8192)
+                .build()
+        })
+        .collect()
+}
+
+// ---- Real compute kernels ----
+//
+// These do the actual arithmetic; the Criterion benches run them for real
+// and the unit tests verify the math the simulated functions stand in for.
+
+/// `C = s * A` over a row-major `n x n` matrix.
+pub fn mscale(a: &[f64], s: f64, out: &mut [f64]) {
+    assert_eq!(a.len(), out.len(), "shape mismatch");
+    for (o, &x) in out.iter_mut().zip(a.iter()) {
+        *o = s * x;
+    }
+}
+
+/// `C = A + B` over equally shaped matrices.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn madd(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "shape mismatch");
+    assert_eq!(a.len(), out.len(), "shape mismatch");
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x + y;
+    }
+}
+
+/// `y = A * x` for a row-major `n x n` matrix and an `n`-vector.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n` or `x.len() != n`.
+pub fn vmult(a: &[f64], x: &[f64], y: &mut [f64]) {
+    let n = x.len();
+    assert_eq!(a.len(), n * n, "matrix must be n*n");
+    assert_eq!(y.len(), n, "output must be length n");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a[i * n..(i + 1) * n];
+        *yi = row.iter().zip(x.iter()).map(|(&m, &v)| m * v).sum();
+    }
+}
+
+/// `C = A * B` for row-major `n x n` matrices (the Matmul workload's core).
+///
+/// # Panics
+///
+/// Panics if the shapes are not `n*n`.
+pub fn matmul(a: &[f64], b: &[f64], out: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(out.len(), n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for (k, &av) in a[i * n..(i + 1) * n].iter().enumerate() {
+                acc += av * b[k * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_wrapper_totals_reproduce() {
+        // Wrapper base + 4 instances each of madd/mmult/mscale.
+        let mut total = FpgaResources::WRAPPER_BASE;
+        for name in ["madd", "mmult", "mscale"] {
+            for _ in 0..4 {
+                total = total + kernel_resources(name);
+            }
+        }
+        assert_eq!(total.luts, 119_517);
+        assert_eq!(total.regs, 196_996);
+        assert_eq!(total.brams, 486);
+        assert_eq!(total.dsps, 787);
+        // Table 4's utilization row: 10.1% LUTs, 8.3% REGs, 22.5% BRAMs,
+        // 11.5% DSPs.
+        let [lut, reg, bram, dsp] = total.utilization(&FpgaResources::F1_TOTAL);
+        assert!((0.100..=0.102).contains(&lut), "LUT {lut}");
+        assert!((0.082..=0.084).contains(&reg), "REG {reg}");
+        assert!((0.224..=0.226).contains(&bram), "BRAM {bram}");
+        assert!((0.114..=0.116).contains(&dsp), "DSP {dsp}");
+    }
+
+    #[test]
+    fn fig2b_speedups_are_in_band() {
+        for (&(_, cpu), &(_, fpga)) in CPU_LATENCY_US.iter().zip(FPGA_LATENCY_US.iter()) {
+            let speedup = cpu as f64 / fpga as f64;
+            assert!((2.15..=2.83).contains(&speedup), "speedup {speedup}");
+        }
+    }
+
+    #[test]
+    fn kernels_compute_correctly() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        mscale(&a, 2.0, &mut out);
+        assert_eq!(out, [2.0, 4.0, 6.0, 8.0]);
+        madd(&a, &b, &mut out);
+        assert_eq!(out, [6.0, 8.0, 10.0, 12.0]);
+        let x = [1.0, 1.0];
+        let mut y = [0.0; 2];
+        vmult(&a, &x, &mut y);
+        assert_eq!(y, [3.0, 7.0]); // rows [1,2],[3,4] dot [1,1]
+        let mut c = [0.0; 4];
+        matmul(&a, &b, &mut c, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matrix_functions_have_dual_profiles() {
+        let funcs = matrix_functions();
+        assert_eq!(funcs.len(), 3);
+        for f in &funcs {
+            assert!(f.supports(PuKind::Cpu));
+            assert!(f.supports(PuKind::Fpga));
+            let fpga = f.fpga.as_ref().unwrap();
+            assert!(fpga.exec.host_time(0) < f.exec.host_time(0), "{} FPGA must win", f.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn madd_rejects_mismatched_shapes() {
+        let mut out = [0.0; 2];
+        madd(&[1.0, 2.0], &[1.0], &mut out);
+    }
+}

@@ -1,0 +1,154 @@
+//! ServerlessBench workloads (Yu et al., SoCC '20) ported to Molecule.
+//!
+//! The paper uses three of them:
+//!
+//! * **Alexa** — the Node.js smart-home skill: a five-function chain
+//!   (`frontend → interact → smarthome → door/light`) whose four edges are
+//!   the x-axis of Fig. 12 and whose end-to-end latency anchors Fig. 14e;
+//! * **MapReduce** — a three-function Python chain with large shuffle
+//!   payloads (Fig. 14e);
+//! * **Image processing** — the Python function used for the density
+//!   experiment (Fig. 2a) and the memory study (Fig. 11b/c).
+
+use hetsim::pu::PuKind;
+use molecule_core::function::FunctionDef;
+use vsandbox::spec::LangRuntime;
+
+/// One edge of the Alexa chain as plotted in Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlexaEdge {
+    /// Caller function.
+    pub from: &'static str,
+    /// Callee function.
+    pub to: &'static str,
+    /// Payload carried on the edge, bytes.
+    pub payload_bytes: u64,
+}
+
+/// The four Fig. 12 edges with their payload sizes.
+pub fn alexa_edges() -> [AlexaEdge; 4] {
+    [
+        AlexaEdge { from: "alexa-frontend", to: "alexa-interact", payload_bytes: 1536 },
+        AlexaEdge { from: "alexa-interact", to: "alexa-smarthome", payload_bytes: 1024 },
+        AlexaEdge { from: "alexa-smarthome", to: "alexa-door", payload_bytes: 512 },
+        AlexaEdge { from: "alexa-smarthome", to: "alexa-light", payload_bytes: 512 },
+    ]
+}
+
+/// The Alexa skill chain: five Node.js functions (§6.6 runs them as a
+/// five-stage chain; per-stage handler time is calibrated so the
+/// baseline-CPU end-to-end lands at Fig. 14e's 38.6 ms).
+pub fn alexa_chain() -> Vec<FunctionDef> {
+    ["alexa-frontend", "alexa-interact", "alexa-smarthome", "alexa-door", "alexa-light"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let payload = match i {
+                0 => 1536,
+                1 => 1024,
+                _ => 512,
+            };
+            FunctionDef::builder(*name, LangRuntime::NodeJs)
+                .profiles(&[PuKind::Cpu, PuKind::Dpu])
+                .memory_mib(128)
+                .exec_ms(3.6)
+                .init_ms(4.0)
+                .cfork_first_run_ms(0.5)
+                .output_bytes(payload)
+                .build()
+        })
+        .collect()
+}
+
+/// The MapReduce chain: three Python functions with a 64 KiB shuffle
+/// payload (Fig. 14e's baseline-CPU label is 20.0 ms).
+pub fn mapreduce_chain() -> Vec<FunctionDef> {
+    ["mr-split", "mr-map", "mr-reduce"]
+        .iter()
+        .map(|name| {
+            FunctionDef::builder(*name, LangRuntime::Python)
+                .profiles(&[PuKind::Cpu, PuKind::Dpu])
+                .memory_mib(256)
+                .exec_ms(1.3)
+                .init_ms(12.0)
+                .cfork_first_run_ms(1.0)
+                .output_bytes(64 * 1024)
+                .build()
+        })
+        .collect()
+}
+
+/// The Python image-processing function used for Fig. 2a (density) and the
+/// warm-up cases; its memory behaviour drives Fig. 11b/c.
+pub fn image_processing() -> FunctionDef {
+    FunctionDef::builder("sb-image-process", LangRuntime::Python)
+        .profiles(&[PuKind::Cpu, PuKind::Dpu])
+        .memory_mib(128)
+        .exec_ms(14.1)
+        .init_ms(6.3)
+        .cfork_first_run_ms(0.9)
+        .output_bytes(2048)
+        .build()
+}
+
+/// The helloworld function used for the Fig. 9 startup comparison.
+pub fn helloworld() -> FunctionDef {
+    FunctionDef::builder("helloworld", LangRuntime::Python)
+        .profiles(&[PuKind::Cpu, PuKind::Dpu])
+        .memory_mib(128)
+        .exec_ms(0.1)
+        .init_ms(0.0)
+        .cfork_first_run_ms(0.0)
+        .output_bytes(64)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexa_chain_has_five_stages_with_four_edges() {
+        let chain = alexa_chain();
+        assert_eq!(chain.len(), 5);
+        assert_eq!(alexa_edges().len(), 4);
+        // Every edge endpoint is a chain member.
+        let names: Vec<String> = chain.iter().map(|d| d.id.as_str().to_owned()).collect();
+        for e in alexa_edges() {
+            assert!(names.iter().any(|n| n == e.from), "{} missing", e.from);
+            assert!(names.iter().any(|n| n == e.to), "{} missing", e.to);
+        }
+    }
+
+    #[test]
+    fn alexa_baseline_cpu_end_to_end_matches_fig14e() {
+        // 5 stages x 3.6 ms exec + 6 HTTP hops (entry, 4 internal, return)
+        // x ~3.43 ms ≈ 38.6 ms — the Fig. 14e label.
+        let chain = alexa_chain();
+        let exec_sum: f64 = chain.iter().map(|d| d.exec.host_time(1024).as_millis_f64()).sum();
+        let estimated = exec_sum + 6.0 * 3.43;
+        assert!((36.0..=41.0).contains(&estimated), "estimated alexa e2e {estimated}");
+    }
+
+    #[test]
+    fn mapreduce_moves_large_payloads() {
+        let chain = mapreduce_chain();
+        assert_eq!(chain.len(), 3);
+        assert!(chain.iter().all(|d| d.output_bytes == 64 * 1024));
+    }
+
+    #[test]
+    fn edge_payloads_decrease_down_the_chain() {
+        let edges = alexa_edges();
+        assert!(edges[0].payload_bytes > edges[1].payload_bytes);
+        assert!(edges[1].payload_bytes > edges[2].payload_bytes);
+        assert_eq!(edges[2].payload_bytes, edges[3].payload_bytes);
+    }
+
+    #[test]
+    fn helloworld_is_tiny() {
+        let hw = helloworld();
+        assert!(hw.exec.host_time(0).as_millis_f64() <= 0.1);
+        assert!(hw.init.is_zero());
+    }
+}

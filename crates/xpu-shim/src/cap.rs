@@ -1,0 +1,415 @@
+//! Distributed capabilities (paper §3.2).
+//!
+//! XPU-Shim keeps a `CAP_Group` per global process: the list of distributed
+//! objects it may touch and with which permissions. One special permission is
+//! *owner* — only an owner may `grant_cap`/`revoke_cap` for the object. All
+//! capability updates are synchronized immediately across PUs so permission
+//! checks always complete locally (§5 "Inter-PU synchronization").
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::{ObjId, XpuPid};
+
+/// Permission bits on a distributed object.
+///
+/// # Examples
+///
+/// ```
+/// use xpu_shim::cap::Perm;
+///
+/// let rw = Perm::READ | Perm::WRITE;
+/// assert!(rw.contains(Perm::READ));
+/// assert!(!rw.contains(Perm::OWNER));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
+)]
+pub struct Perm(u8);
+
+impl Perm {
+    /// No permissions.
+    pub const NONE: Perm = Perm(0);
+    /// May read (e.g. `xfifo_read` / connect for reading).
+    pub const READ: Perm = Perm(0b001);
+    /// May write (e.g. `xfifo_write`).
+    pub const WRITE: Perm = Perm(0b010);
+    /// May grant/revoke this object's capabilities to other processes.
+    pub const OWNER: Perm = Perm(0b100);
+    /// All permissions.
+    pub const ALL: Perm = Perm(0b111);
+
+    /// True if every bit of `other` is present in `self`.
+    pub fn contains(self, other: Perm) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if `self` and `other` share at least one bit.
+    pub fn intersects(self, other: Perm) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Removes the bits of `other`.
+    #[must_use]
+    pub fn without(self, other: Perm) -> Perm {
+        Perm(self.0 & !other.0)
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Perm {
+    type Output = Perm;
+    fn bitor(self, rhs: Perm) -> Perm {
+        Perm(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perm {
+    fn bitor_assign(&mut self, rhs: Perm) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        s.push(if self.contains(Perm::READ) { 'r' } else { '-' });
+        s.push(if self.contains(Perm::WRITE) { 'w' } else { '-' });
+        s.push(if self.contains(Perm::OWNER) { 'o' } else { '-' });
+        f.write_str(&s)
+    }
+}
+
+/// What kind of distributed object an [`ObjId`] names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjKind {
+    /// An inter-process connection object (an XPU-FIFO).
+    Ipc,
+    /// A capability group itself (process identity object).
+    CapGroup,
+}
+
+/// Errors from capability operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapError {
+    /// The acting process lacks the required permission on the object.
+    PermissionDenied {
+        /// Who attempted the operation.
+        actor: XpuPid,
+        /// On which object.
+        obj: ObjId,
+        /// The permission that was required.
+        required: Perm,
+    },
+    /// The object id is unknown.
+    UnknownObject(ObjId),
+    /// The process has no `CAP_Group` (was never attached to the shim).
+    UnknownProcess(XpuPid),
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::PermissionDenied { actor, obj, required } => {
+                write!(f, "{actor} lacks {required} on {obj}")
+            }
+            CapError::UnknownObject(obj) => write!(f, "unknown object {obj}"),
+            CapError::UnknownProcess(pid) => write!(f, "unknown process {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
+
+/// A process's capability list.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CapGroup {
+    caps: HashMap<ObjId, Perm>,
+}
+
+impl CapGroup {
+    /// The permission this group holds on `obj` ([`Perm::NONE`] if absent).
+    pub fn perm(&self, obj: ObjId) -> Perm {
+        self.caps.get(&obj).copied().unwrap_or(Perm::NONE)
+    }
+
+    /// Number of capabilities held.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// True if the group holds no capabilities.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+}
+
+/// The capability table: `CAP_Group`s for every global process plus object
+/// metadata. One logical instance is kept consistent across PUs via the
+/// cluster's immediate-sync protocol; this type is the *state*, the cluster
+/// charges the *latency*.
+#[derive(Debug, Default)]
+pub struct CapTable {
+    groups: HashMap<XpuPid, CapGroup>,
+    objects: HashMap<ObjId, ObjKind>,
+    next_obj: u64,
+}
+
+impl CapTable {
+    /// Creates an empty table.
+    pub fn new() -> CapTable {
+        CapTable::default()
+    }
+
+    /// Registers a process (creates its empty `CAP_Group`). Idempotent.
+    pub fn register_process(&mut self, pid: XpuPid) {
+        self.groups.entry(pid).or_default();
+    }
+
+    /// Removes a process and drops all its capabilities.
+    pub fn remove_process(&mut self, pid: XpuPid) {
+        self.groups.remove(&pid);
+    }
+
+    /// True if the process has a `CAP_Group`.
+    pub fn has_process(&self, pid: XpuPid) -> bool {
+        self.groups.contains_key(&pid)
+    }
+
+    /// Creates a new distributed object owned by `owner` (who receives
+    /// [`Perm::ALL`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::UnknownProcess`] if `owner` has no `CAP_Group`.
+    pub fn create_object(&mut self, owner: XpuPid, kind: ObjKind) -> Result<ObjId, CapError> {
+        if !self.groups.contains_key(&owner) {
+            return Err(CapError::UnknownProcess(owner));
+        }
+        self.next_obj += 1;
+        let obj = ObjId(self.next_obj);
+        self.objects.insert(obj, kind);
+        self.groups
+            .get_mut(&owner)
+            .expect("checked above")
+            .caps
+            .insert(obj, Perm::ALL);
+        Ok(obj)
+    }
+
+    /// Destroys an object, revoking every process's capability on it.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::UnknownObject`] if the object does not exist.
+    pub fn destroy_object(&mut self, obj: ObjId) -> Result<(), CapError> {
+        self.objects.remove(&obj).ok_or(CapError::UnknownObject(obj))?;
+        for group in self.groups.values_mut() {
+            group.caps.remove(&obj);
+        }
+        Ok(())
+    }
+
+    /// The kind of an object, if it exists.
+    pub fn object_kind(&self, obj: ObjId) -> Option<ObjKind> {
+        self.objects.get(&obj).copied()
+    }
+
+    /// The permission `pid` holds on `obj`.
+    pub fn perm(&self, pid: XpuPid, obj: ObjId) -> Perm {
+        self.groups.get(&pid).map_or(Perm::NONE, |g| g.perm(obj))
+    }
+
+    /// Checks that `pid` holds `required` on `obj`.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::PermissionDenied`] (or unknown object/process variants).
+    pub fn check(&self, pid: XpuPid, obj: ObjId, required: Perm) -> Result<(), CapError> {
+        if !self.objects.contains_key(&obj) {
+            return Err(CapError::UnknownObject(obj));
+        }
+        let group = self.groups.get(&pid).ok_or(CapError::UnknownProcess(pid))?;
+        if group.perm(obj).contains(required) {
+            Ok(())
+        } else {
+            Err(CapError::PermissionDenied { actor: pid, obj, required })
+        }
+    }
+
+    /// `grant_cap(xpu_pid, obj_id, perm)` — `actor` (an owner) grants `perm`
+    /// on `obj` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::PermissionDenied`] unless `actor` owns `obj`;
+    /// [`CapError::UnknownProcess`] if `to` has no `CAP_Group`.
+    pub fn grant(
+        &mut self,
+        actor: XpuPid,
+        to: XpuPid,
+        obj: ObjId,
+        perm: Perm,
+    ) -> Result<(), CapError> {
+        self.check(actor, obj, Perm::OWNER)?;
+        let group = self.groups.get_mut(&to).ok_or(CapError::UnknownProcess(to))?;
+        let entry = group.caps.entry(obj).or_insert(Perm::NONE);
+        *entry |= perm;
+        Ok(())
+    }
+
+    /// `revoke_cap(xpu_pid, obj_id, perm)` — `actor` (an owner) strips `perm`
+    /// on `obj` from `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::PermissionDenied`] unless `actor` owns `obj`;
+    /// [`CapError::UnknownProcess`] if `from` has no `CAP_Group`.
+    pub fn revoke(
+        &mut self,
+        actor: XpuPid,
+        from: XpuPid,
+        obj: ObjId,
+        perm: Perm,
+    ) -> Result<(), CapError> {
+        self.check(actor, obj, Perm::OWNER)?;
+        let group = self.groups.get_mut(&from).ok_or(CapError::UnknownProcess(from))?;
+        if let Some(entry) = group.caps.get_mut(&obj) {
+            *entry = entry.without(perm);
+            if entry.is_empty() {
+                group.caps.remove(&obj);
+            }
+        }
+        Ok(())
+    }
+
+    /// A process's capability group, if registered.
+    pub fn group(&self, pid: XpuPid) -> Option<&CapGroup> {
+        self.groups.get(&pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::pu::PuId;
+
+    fn pid(pu: u16, local: u32) -> XpuPid {
+        XpuPid { pu: PuId(pu), local }
+    }
+
+    #[test]
+    fn owner_can_grant_and_revoke() {
+        let mut t = CapTable::new();
+        let owner = pid(0, 1);
+        let peer = pid(1, 1);
+        t.register_process(owner);
+        t.register_process(peer);
+        let obj = t.create_object(owner, ObjKind::Ipc).unwrap();
+
+        assert!(t.check(peer, obj, Perm::READ).is_err());
+        t.grant(owner, peer, obj, Perm::READ | Perm::WRITE).unwrap();
+        t.check(peer, obj, Perm::READ).unwrap();
+        t.check(peer, obj, Perm::WRITE).unwrap();
+        assert!(t.check(peer, obj, Perm::OWNER).is_err());
+
+        t.revoke(owner, peer, obj, Perm::WRITE).unwrap();
+        t.check(peer, obj, Perm::READ).unwrap();
+        assert!(t.check(peer, obj, Perm::WRITE).is_err());
+    }
+
+    #[test]
+    fn non_owner_cannot_grant() {
+        let mut t = CapTable::new();
+        let owner = pid(0, 1);
+        let peer = pid(1, 1);
+        let third = pid(2, 1);
+        for p in [owner, peer, third] {
+            t.register_process(p);
+        }
+        let obj = t.create_object(owner, ObjKind::Ipc).unwrap();
+        t.grant(owner, peer, obj, Perm::READ | Perm::WRITE).unwrap();
+        // peer has rw but not owner: granting onwards must fail.
+        let err = t.grant(peer, third, obj, Perm::READ).unwrap_err();
+        assert!(matches!(err, CapError::PermissionDenied { required, .. } if required == Perm::OWNER));
+    }
+
+    #[test]
+    fn grants_never_escalate_without_owner() {
+        // A process can never gain OWNER unless an owner explicitly grants it.
+        let mut t = CapTable::new();
+        let owner = pid(0, 1);
+        let peer = pid(1, 1);
+        t.register_process(owner);
+        t.register_process(peer);
+        let obj = t.create_object(owner, ObjKind::Ipc).unwrap();
+        t.grant(owner, peer, obj, Perm::READ).unwrap();
+        t.grant(owner, peer, obj, Perm::WRITE).unwrap();
+        assert_eq!(t.perm(peer, obj), Perm::READ | Perm::WRITE);
+        t.grant(owner, peer, obj, Perm::OWNER).unwrap();
+        assert_eq!(t.perm(peer, obj), Perm::ALL);
+        // And now the peer can grant onwards (ownership is transferable).
+        let third = pid(2, 1);
+        t.register_process(third);
+        t.grant(peer, third, obj, Perm::READ).unwrap();
+    }
+
+    #[test]
+    fn destroy_object_revokes_everywhere() {
+        let mut t = CapTable::new();
+        let owner = pid(0, 1);
+        let peer = pid(1, 1);
+        t.register_process(owner);
+        t.register_process(peer);
+        let obj = t.create_object(owner, ObjKind::Ipc).unwrap();
+        t.grant(owner, peer, obj, Perm::READ).unwrap();
+        t.destroy_object(obj).unwrap();
+        assert_eq!(t.check(owner, obj, Perm::READ), Err(CapError::UnknownObject(obj)));
+        assert_eq!(t.perm(peer, obj), Perm::NONE);
+        assert_eq!(t.destroy_object(obj), Err(CapError::UnknownObject(obj)));
+    }
+
+    #[test]
+    fn unknown_process_errors() {
+        let mut t = CapTable::new();
+        let ghost = pid(0, 99);
+        assert_eq!(t.create_object(ghost, ObjKind::Ipc), Err(CapError::UnknownProcess(ghost)));
+        t.register_process(pid(0, 1));
+        let obj = {
+            t.register_process(ghost);
+            let o = t.create_object(ghost, ObjKind::Ipc).unwrap();
+            t.remove_process(ghost);
+            o
+        };
+        assert_eq!(t.check(ghost, obj, Perm::READ), Err(CapError::UnknownProcess(ghost)));
+    }
+
+    #[test]
+    fn perm_display_and_ops() {
+        assert_eq!(Perm::ALL.to_string(), "rwo");
+        assert_eq!((Perm::READ | Perm::OWNER).to_string(), "r-o");
+        assert_eq!(Perm::NONE.to_string(), "---");
+        assert!(Perm::ALL.intersects(Perm::WRITE));
+        assert!(!Perm::READ.intersects(Perm::WRITE));
+        assert!(Perm::READ.without(Perm::READ).is_empty());
+    }
+
+    #[test]
+    fn revoking_unheld_perm_is_a_noop() {
+        let mut t = CapTable::new();
+        let owner = pid(0, 1);
+        let peer = pid(1, 1);
+        t.register_process(owner);
+        t.register_process(peer);
+        let obj = t.create_object(owner, ObjKind::Ipc).unwrap();
+        t.revoke(owner, peer, obj, Perm::WRITE).unwrap();
+        assert_eq!(t.perm(peer, obj), Perm::NONE);
+    }
+}

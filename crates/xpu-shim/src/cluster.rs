@@ -1,0 +1,927 @@
+//! The distributed shim: one logical XPU-Shim instance per PU, kept
+//! consistent by explicit message passing (paper §3.1, §5).
+//!
+//! [`ShimCluster`] is the whole distributed system; [`XpuShim`] is the view
+//! from one PU. Accelerators (FPGA/GPU) cannot run a shim, so their shim is
+//! *virtual*: hosted on the host CPU (paper §4.1), which is also where their
+//! XPUcall costs are charged.
+//!
+//! Synchronization strategies (§5) are modelled faithfully in both state and
+//! cost:
+//! * **static partitioning** — process ids embed the PU id, so
+//!   `attach_process` sends no messages;
+//! * **immediate synchronization** — `xfifo_init` and every capability
+//!   update broadcast to all peer shims and wait for acknowledgement, so
+//!   later checks are purely local;
+//! * **lazy synchronization** — UUID reclamation after `xfifo_close` is
+//!   queued and flushed in batches.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use hetsim::calib::OsCosts;
+use hetsim::engine::{ProcCtx, SimSender};
+use hetsim::pu::{PuId, PuModel};
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use parking_lot::Mutex;
+
+use crate::cap::{CapTable, ObjKind, Perm};
+use crate::error::ShimError;
+use crate::fifo::{XpuFifoReader, XpuFifoWriter};
+use crate::id::{GlobalUuid, ObjId, XpuPid};
+use crate::xcall::XcallTransport;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShimConfig {
+    /// XPUcall transport on device PUs (DPUs/SmartNICs). The paper's default
+    /// is the polled path.
+    pub device_transport: XcallTransport,
+    /// XPUcall transport on the host CPU. The paper leaves the CPU on the
+    /// unoptimized Base path (XPUcalls are already ~20 µs there).
+    pub cpu_transport: XcallTransport,
+    /// How many deferred UUID reclamations accumulate before a lazy flush.
+    pub lazy_batch: usize,
+}
+
+impl Default for ShimConfig {
+    fn default() -> Self {
+        ShimConfig {
+            device_transport: XcallTransport::MpscPoll,
+            cpu_transport: XcallTransport::Base,
+            lazy_batch: 8,
+        }
+    }
+}
+
+/// Counters describing the cluster's synchronization traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShimStats {
+    /// Total XPUcalls served.
+    pub xpucalls: u64,
+    /// Point-to-point synchronization messages sent between shims.
+    pub sync_messages: u64,
+    /// Lazy-queue flushes performed.
+    pub lazy_flushes: u64,
+    /// Reclamations currently parked in the lazy queue.
+    pub lazy_pending: u64,
+    /// Cross-PU transfers that had to be forwarded by the host CPU.
+    pub intercepted_transfers: u64,
+}
+
+struct FifoEntry {
+    obj: ObjId,
+    owner: XpuPid,
+    tx: SimSender<Bytes>,
+}
+
+struct ClusterState {
+    caps: CapTable,
+    next_local: HashMap<PuId, u32>,
+    fifos: HashMap<GlobalUuid, FifoEntry>,
+    lazy_queue: Vec<GlobalUuid>,
+    stats: ShimStats,
+}
+
+struct ClusterInner {
+    machine: Machine,
+    config: ShimConfig,
+    /// General-purpose PUs — the ones that run a real shim daemon.
+    gp_pus: Vec<PuId>,
+    state: Mutex<ClusterState>,
+}
+
+/// The distributed XPU-Shim deployment on one machine.
+///
+/// Cheap to clone; clones share state.
+///
+/// # Examples
+///
+/// ```
+/// use hetsim::topology::Machine;
+/// use xpu_shim::cluster::{ShimCluster, ShimConfig};
+///
+/// let machine = Machine::paper_cpu_dpu_server();
+/// let cluster = ShimCluster::deploy(machine, ShimConfig::default());
+/// assert_eq!(cluster.shim_count(), 3); // CPU + 2 DPUs
+/// ```
+#[derive(Clone)]
+pub struct ShimCluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl fmt::Debug for ShimCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShimCluster")
+            .field("shims", &self.inner.gp_pus.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ShimCluster {
+    /// Deploys one shim per general-purpose PU of `machine`.
+    pub fn deploy(machine: Machine, config: ShimConfig) -> ShimCluster {
+        let gp_pus = machine
+            .pus()
+            .iter()
+            .filter(|p| p.kind.is_general_purpose())
+            .map(|p| p.id)
+            .collect();
+        ShimCluster {
+            inner: Arc::new(ClusterInner {
+                machine,
+                config,
+                gp_pus,
+                state: Mutex::new(ClusterState {
+                    caps: CapTable::new(),
+                    next_local: HashMap::new(),
+                    fifos: HashMap::new(),
+                    lazy_queue: Vec::new(),
+                    stats: ShimStats::default(),
+                }),
+            }),
+        }
+    }
+
+    /// The machine this cluster runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.inner.machine
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> ShimConfig {
+        self.inner.config
+    }
+
+    /// Number of real (non-virtual) shim instances.
+    pub fn shim_count(&self) -> usize {
+        self.inner.gp_pus.len()
+    }
+
+    /// The shim serving PU `pu`. For accelerators this is the *virtual*
+    /// instance hosted on the host CPU.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::NoSuchPu`] if the PU does not exist.
+    pub fn shim_on(&self, pu: PuId) -> Result<XpuShim, ShimError> {
+        let spec = self.inner.machine.pu(pu).ok_or(ShimError::NoSuchPu(pu))?;
+        let host = if spec.kind.is_general_purpose() {
+            pu
+        } else {
+            self.inner.machine.host_cpu()
+        };
+        Ok(XpuShim { cluster: self.clone(), pu, host })
+    }
+
+    /// Synchronization counters.
+    pub fn stats(&self) -> ShimStats {
+        let st = self.inner.state.lock();
+        let mut stats = st.stats;
+        stats.lazy_pending = st.lazy_queue.len() as u64;
+        stats
+    }
+
+    pub(crate) fn os_costs_of(&self, pu: PuId) -> OsCosts {
+        let model = self
+            .inner
+            .machine
+            .pu(pu)
+            .map_or(PuModel::Xeon8160, |p| p.model);
+        self.inner.machine.calibration().os_costs(model)
+    }
+
+    fn transport_for(&self, model: PuModel) -> XcallTransport {
+        match model {
+            PuModel::BlueField1 | PuModel::BlueField2 | PuModel::GenericSmartNic => {
+                self.inner.config.device_transport
+            }
+            _ => self.inner.config.cpu_transport,
+        }
+    }
+
+    /// Cost of one XPUcall performed on `host` carrying `payload` bytes.
+    pub(crate) fn xcall_cost(&self, host: PuId, payload: u64) -> SimDuration {
+        let model = self
+            .inner
+            .machine
+            .pu(host)
+            .map_or(PuModel::Xeon8160, |p| p.model);
+        let calib = self.inner.machine.calibration();
+        let os = calib.os_costs(model);
+        let xc = calib.xcall_costs(model);
+        self.transport_for(model).invoke_cost(&os, &xc, payload)
+    }
+
+    fn charge_xpucall(&self, ctx: &mut ProcCtx, host: PuId, payload: u64) {
+        let cost = self.xcall_cost(host, payload);
+        self.inner.state.lock().stats.xpucalls += 1;
+        ctx.sleep(cost);
+    }
+
+    /// Immediate synchronization: broadcast an update from `from` to every
+    /// peer shim and wait for the slowest acknowledgement.
+    fn sync_immediate(&self, ctx: &mut ProcCtx, from: PuId) {
+        const SYNC_MSG_BYTES: u64 = 64;
+        let mut worst = SimDuration::ZERO;
+        let mut peers = 0u64;
+        for &pu in &self.inner.gp_pus {
+            if pu == from {
+                continue;
+            }
+            peers += 1;
+            let rtt = self.inner.machine.route(from, pu).transfer_time(SYNC_MSG_BYTES) * 2;
+            worst = worst.max(rtt);
+        }
+        self.inner.state.lock().stats.sync_messages += peers;
+        ctx.sleep(worst);
+    }
+
+    /// Lazy synchronization: queue a reclamation; flush in batches.
+    fn sync_lazy(&self, ctx: &mut ProcCtx, from: PuId, uuid: GlobalUuid) {
+        let flush = {
+            let mut st = self.inner.state.lock();
+            st.lazy_queue.push(uuid);
+            st.lazy_queue.len() >= self.inner.config.lazy_batch
+        };
+        if flush {
+            self.flush_lazy(ctx, from);
+        }
+    }
+
+    /// Forces the lazy queue to flush (e.g. on shutdown).
+    pub fn flush_lazy(&self, ctx: &mut ProcCtx, from: PuId) {
+        {
+            let mut st = self.inner.state.lock();
+            if st.lazy_queue.is_empty() {
+                return;
+            }
+            st.lazy_queue.clear();
+            st.stats.lazy_flushes += 1;
+            st.stats.sync_messages += (self.inner.gp_pus.len() as u64).saturating_sub(1);
+        }
+        // One batched broadcast, regardless of how many entries flushed.
+        self.sync_broadcast_cost(ctx, from);
+    }
+
+    fn sync_broadcast_cost(&self, ctx: &mut ProcCtx, from: PuId) {
+        const BATCH_BYTES: u64 = 512;
+        let mut worst = SimDuration::ZERO;
+        for &pu in &self.inner.gp_pus {
+            if pu == from {
+                continue;
+            }
+            worst = worst.max(self.inner.machine.route(from, pu).transfer_time(BATCH_BYTES));
+        }
+        ctx.sleep(worst);
+    }
+
+    // ---- operations backing XpuShim / fifo handles ----
+
+    pub(crate) fn attach_process(&self, pu: PuId, host: PuId) -> XpuPid {
+        // Static partitioning (§5): the PU id is baked into the pid, so no
+        // cross-PU messages are needed.
+        let _ = host;
+        let mut st = self.inner.state.lock();
+        let counter = st.next_local.entry(pu).or_insert(0);
+        *counter += 1;
+        let pid = XpuPid { pu, local: *counter };
+        st.caps.register_process(pid);
+        pid
+    }
+
+    pub(crate) fn detach_process(&self, pid: XpuPid) {
+        self.inner.state.lock().caps.remove_process(pid);
+    }
+
+    pub(crate) fn grant_cap(
+        &self,
+        ctx: &mut ProcCtx,
+        host: PuId,
+        actor: XpuPid,
+        to: XpuPid,
+        obj: ObjId,
+        perm: Perm,
+    ) -> Result<(), ShimError> {
+        self.charge_xpucall(ctx, host, 32);
+        self.inner.state.lock().caps.grant(actor, to, obj, perm)?;
+        // Capability updates are synchronized immediately so checks are
+        // always local (§5).
+        self.sync_immediate(ctx, host);
+        Ok(())
+    }
+
+    pub(crate) fn revoke_cap(
+        &self,
+        ctx: &mut ProcCtx,
+        host: PuId,
+        actor: XpuPid,
+        from: XpuPid,
+        obj: ObjId,
+        perm: Perm,
+    ) -> Result<(), ShimError> {
+        self.charge_xpucall(ctx, host, 32);
+        self.inner.state.lock().caps.revoke(actor, from, obj, perm)?;
+        self.sync_immediate(ctx, host);
+        Ok(())
+    }
+
+    pub(crate) fn perm_of(&self, pid: XpuPid, obj: ObjId) -> Perm {
+        self.inner.state.lock().caps.perm(pid, obj)
+    }
+
+    pub(crate) fn fifo_init(
+        &self,
+        ctx: &mut ProcCtx,
+        host: PuId,
+        caller: XpuPid,
+        uuid: GlobalUuid,
+    ) -> Result<XpuFifoReader, ShimError> {
+        self.charge_xpucall(ctx, host, uuid.as_str().len() as u64);
+        let (tx, rx) = ctx.channel::<Bytes>();
+        {
+            let mut st = self.inner.state.lock();
+            if st.fifos.contains_key(&uuid) {
+                return Err(ShimError::UuidTaken(uuid));
+            }
+            let obj = st.caps.create_object(caller, ObjKind::Ipc)?;
+            st.fifos.insert(uuid.clone(), FifoEntry { obj, owner: caller, tx });
+        }
+        // The UUID must be globally unique, so init synchronizes immediately.
+        self.sync_immediate(ctx, host);
+        let obj = self.inner.state.lock().fifos[&uuid].obj;
+        Ok(XpuFifoReader { cluster: self.clone(), uuid, obj, owner: caller, rx })
+    }
+
+    pub(crate) fn fifo_connect(
+        &self,
+        ctx: &mut ProcCtx,
+        host: PuId,
+        caller: XpuPid,
+        uuid: &GlobalUuid,
+    ) -> Result<XpuFifoWriter, ShimError> {
+        self.charge_xpucall(ctx, host, uuid.as_str().len() as u64);
+        let st = self.inner.state.lock();
+        let entry = st
+            .fifos
+            .get(uuid)
+            .ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
+        // §3.2: "a process can only connect to an XPU-FIFO ... when it has
+        // read or write permission" (owners connect to their own FIFOs).
+        let perm = st.caps.perm(caller, entry.obj);
+        if !perm.intersects(Perm::READ | Perm::WRITE | Perm::OWNER) {
+            return Err(ShimError::Cap(crate::cap::CapError::PermissionDenied {
+                actor: caller,
+                obj: entry.obj,
+                required: Perm::READ | Perm::WRITE,
+            }));
+        }
+        Ok(XpuFifoWriter {
+            cluster: self.clone(),
+            uuid: uuid.clone(),
+            obj: entry.obj,
+            connected_as: caller,
+            owner_pu: entry.owner.pu,
+        })
+    }
+
+    pub(crate) fn write_fifo(
+        &self,
+        ctx: &mut ProcCtx,
+        writer: &XpuFifoWriter,
+        payload: Bytes,
+    ) -> Result<(), ShimError> {
+        let size = payload.len() as u64;
+        let from = writer.connected_as.pu;
+        let to = writer.owner_pu;
+        let tx = {
+            let st = self.inner.state.lock();
+            // Re-check permission so revocation takes effect immediately.
+            let perm = st.caps.perm(writer.connected_as, writer.obj);
+            if !perm.intersects(Perm::WRITE | Perm::OWNER) {
+                return Err(ShimError::Cap(crate::cap::CapError::PermissionDenied {
+                    actor: writer.connected_as,
+                    obj: writer.obj,
+                    required: Perm::WRITE,
+                }));
+            }
+            match st.fifos.get(&writer.uuid) {
+                Some(entry) => entry.tx.clone(),
+                None => return Err(ShimError::FifoClosed),
+            }
+        };
+        if from == to {
+            // Local IPC: one local FIFO hop on this PU's OS.
+            let os = self.os_costs_of(from);
+            ctx.sleep(os.syscall);
+            let in_flight = os.fifo_latency(size).saturating_sub(os.syscall);
+            tx.send_delayed(in_flight, payload).map_err(|_| ShimError::FifoClosed)?;
+        } else {
+            // nIPC: XPUcall on the writer's PU, interconnect transfer, then
+            // the destination shim delivers into the local FIFO.
+            let route = self.inner.machine.route(from, to);
+            if route.is_intercepted() {
+                self.inner.state.lock().stats.intercepted_transfers += 1;
+            }
+            self.charge_xpucall(ctx, from, size);
+            let remote_deliver = self.os_costs_of(to).ipc_segment;
+            let in_flight = route.transfer_time(size) + remote_deliver;
+            tx.send_delayed(in_flight, payload).map_err(|_| ShimError::FifoClosed)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn close_fifo(
+        &self,
+        ctx: &mut ProcCtx,
+        uuid: &GlobalUuid,
+        owner: XpuPid,
+    ) -> Result<(), ShimError> {
+        self.charge_xpucall(ctx, owner.pu, 8);
+        {
+            let mut st = self.inner.state.lock();
+            let entry = st
+                .fifos
+                .remove(uuid)
+                .ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
+            st.caps.destroy_object(entry.obj)?;
+        }
+        // Resources are reclaimed now; the UUID-free message is batched.
+        self.sync_lazy(ctx, owner.pu, uuid.clone());
+        Ok(())
+    }
+
+    pub(crate) fn xspawn<F>(
+        &self,
+        ctx: &mut ProcCtx,
+        caller: XpuPid,
+        target: PuId,
+        program: &str,
+        capv: &[(ObjId, Perm)],
+        body: Option<F>,
+    ) -> Result<XpuPid, ShimError>
+    where
+        F: FnOnce(&mut ProcCtx, XpuPid) + Send + 'static,
+    {
+        let spec = self.inner.machine.pu(target).ok_or(ShimError::NoSuchPu(target))?;
+        if !spec.kind.is_general_purpose() {
+            return Err(ShimError::NoShimOn(target));
+        }
+        // XPUcall on the caller's side, command + ack over the interconnect.
+        self.charge_xpucall(ctx, caller.pu, 128);
+        if caller.pu != target {
+            let rtt = self.inner.machine.route(caller.pu, target).transfer_time(128) * 2;
+            ctx.sleep(rtt);
+        }
+        // The remote OS spawns the program.
+        let os = self
+            .inner
+            .machine
+            .os(target)
+            .expect("general-purpose PU has an OS");
+        let os_pid = {
+            // Charge the remote spawn cost to the caller, who blocks on it.
+            ctx.sleep(self.os_costs_of(target).spawn_process);
+            os.register_process(program, 1)
+        };
+        let _ = os_pid;
+        let child = self.attach_process(target, target);
+        // No implicit permission inheritance: only the explicit capv is
+        // granted (§3.4).
+        {
+            let mut st = self.inner.state.lock();
+            for &(obj, perm) in capv {
+                st.caps.grant(caller, child, obj, perm)?;
+            }
+        }
+        if !capv.is_empty() {
+            self.sync_immediate(ctx, caller.pu);
+        }
+        if let Some(f) = body {
+            let name = format!("{program}@{target}");
+            ctx.spawn(&name, move |child_ctx| f(child_ctx, child));
+        }
+        Ok(child)
+    }
+}
+
+/// The XPU-Shim view from one PU: issues XPUcalls on behalf of processes
+/// running there.
+#[derive(Clone)]
+pub struct XpuShim {
+    cluster: ShimCluster,
+    /// The PU whose processes this shim serves.
+    pu: PuId,
+    /// Where the shim actually runs (== `pu` except for accelerator PUs,
+    /// whose virtual shim is hosted on the host CPU).
+    host: PuId,
+}
+
+impl fmt::Debug for XpuShim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XpuShim")
+            .field("pu", &self.pu)
+            .field("host", &self.host)
+            .field("virtual", &(self.pu != self.host))
+            .finish()
+    }
+}
+
+impl XpuShim {
+    /// The PU this shim serves.
+    pub fn pu(&self) -> PuId {
+        self.pu
+    }
+
+    /// Where the shim daemon actually runs.
+    pub fn host(&self) -> PuId {
+        self.host
+    }
+
+    /// True for accelerator PUs whose shim is hosted on a neighbour.
+    pub fn is_virtual(&self) -> bool {
+        self.pu != self.host
+    }
+
+    /// The cluster this shim belongs to.
+    pub fn cluster(&self) -> &ShimCluster {
+        &self.cluster
+    }
+
+    /// Registers a process with the shim, creating its `CAP_Group` and
+    /// globally unique [`XpuPid`]. Purely local (static partitioning).
+    pub fn attach_process(&self) -> XpuPid {
+        self.cluster.attach_process(self.pu, self.host)
+    }
+
+    /// Removes a process and its `CAP_Group`.
+    pub fn detach_process(&self, pid: XpuPid) {
+        self.cluster.detach_process(pid);
+    }
+
+    /// `get_xpupid()` — identity XPUcall (charges one call's latency).
+    pub fn get_xpupid(&self, ctx: &mut ProcCtx, pid: XpuPid) -> XpuPid {
+        self.cluster.charge_xpucall(ctx, self.host, 8);
+        pid
+    }
+
+    /// `grant_cap(xpu_pid, obj_id, perm)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::Cap`] unless `actor` owns `obj` and `to` is registered.
+    pub fn grant_cap(
+        &self,
+        ctx: &mut ProcCtx,
+        actor: XpuPid,
+        to: XpuPid,
+        obj: ObjId,
+        perm: Perm,
+    ) -> Result<(), ShimError> {
+        self.cluster.grant_cap(ctx, self.host, actor, to, obj, perm)
+    }
+
+    /// `revoke_cap(xpu_pid, obj_id, perm)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::Cap`] unless `actor` owns `obj`.
+    pub fn revoke_cap(
+        &self,
+        ctx: &mut ProcCtx,
+        actor: XpuPid,
+        from: XpuPid,
+        obj: ObjId,
+        perm: Perm,
+    ) -> Result<(), ShimError> {
+        self.cluster.revoke_cap(ctx, self.host, actor, from, obj, perm)
+    }
+
+    /// The permission `pid` currently holds on `obj` (local check, free).
+    pub fn perm_of(&self, pid: XpuPid, obj: ObjId) -> Perm {
+        self.cluster.perm_of(pid, obj)
+    }
+
+    /// `xfifo_init(local_uuid, xpu_uuid)` — creates an XPU-FIFO owned by
+    /// `caller`, readable through the returned handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::UuidTaken`] on UUID collision; [`ShimError::Cap`] if
+    /// `caller` is not registered.
+    pub fn xfifo_init(
+        &self,
+        ctx: &mut ProcCtx,
+        caller: XpuPid,
+        uuid: impl Into<GlobalUuid>,
+    ) -> Result<XpuFifoReader, ShimError> {
+        self.cluster.fifo_init(ctx, self.host, caller, uuid.into())
+    }
+
+    /// `xfifo_connect(xpu_uuid)` — connects `caller` to an existing FIFO
+    /// for writing.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::UnknownUuid`] / [`ShimError::Cap`].
+    pub fn xfifo_connect(
+        &self,
+        ctx: &mut ProcCtx,
+        caller: XpuPid,
+        uuid: &GlobalUuid,
+    ) -> Result<XpuFifoWriter, ShimError> {
+        self.cluster.fifo_connect(ctx, self.host, caller, uuid)
+    }
+
+    /// `xSpawn(PU_id, path, argv, envp, capv)` — starts `program` on
+    /// `target`, granting exactly the capabilities in `capv` (no implicit
+    /// inheritance). `body` is the program's behaviour in the simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::NoSuchPu`] / [`ShimError::NoShimOn`] /
+    /// [`ShimError::Cap`].
+    pub fn xspawn(
+        &self,
+        ctx: &mut ProcCtx,
+        caller: XpuPid,
+        target: PuId,
+        program: &str,
+        capv: &[(ObjId, Perm)],
+        body: impl FnOnce(&mut ProcCtx, XpuPid) + Send + 'static,
+    ) -> Result<XpuPid, ShimError> {
+        self.cluster.xspawn(ctx, caller, target, program, capv, Some(body))
+    }
+
+    /// [`xspawn`](Self::xspawn) without attaching simulated behaviour (the
+    /// process is registered but idle).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`xspawn`](Self::xspawn).
+    pub fn xspawn_inert(
+        &self,
+        ctx: &mut ProcCtx,
+        caller: XpuPid,
+        target: PuId,
+        program: &str,
+        capv: &[(ObjId, Perm)],
+    ) -> Result<XpuPid, ShimError> {
+        self.cluster
+            .xspawn::<fn(&mut ProcCtx, XpuPid)>(ctx, caller, target, program, capv, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::engine::Simulation;
+    use hetsim::pu::PuKind;
+    use hetsim::topology::Machine;
+
+    fn cluster() -> ShimCluster {
+        ShimCluster::deploy(Machine::paper_cpu_dpu_server(), ShimConfig::default())
+    }
+
+    #[test]
+    fn attach_is_local_and_partitioned() {
+        let c = cluster();
+        let cpu = c.shim_on(PuId(0)).unwrap();
+        let dpu = c.shim_on(PuId(1)).unwrap();
+        let a = cpu.attach_process();
+        let b = dpu.attach_process();
+        assert_eq!(a.pu, PuId(0));
+        assert_eq!(b.pu, PuId(1));
+        assert_ne!(a.encode(), b.encode());
+        // Static partitioning: no sync messages were needed.
+        assert_eq!(c.stats().sync_messages, 0);
+    }
+
+    #[test]
+    fn virtual_shim_for_accelerators() {
+        let machine = Machine::full_heterogeneous();
+        let c = ShimCluster::deploy(machine.clone(), ShimConfig::default());
+        let fpga_pu = machine.pus_of_kind(PuKind::Fpga)[0];
+        let shim = c.shim_on(fpga_pu).unwrap();
+        assert!(shim.is_virtual());
+        assert_eq!(shim.host(), machine.host_cpu());
+        let dpu_shim = c.shim_on(PuId(1)).unwrap();
+        assert!(!dpu_shim.is_virtual());
+    }
+
+    #[test]
+    fn fifo_roundtrip_cross_pu() {
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let c2 = c.clone();
+        let (uuid_tx, uuid_rx) = sim.channel::<(GlobalUuid, XpuPid, ObjId, XpuPid)>();
+        let reader = sim.spawn("cpu-reader", move |ctx| {
+            let shim = c2.shim_on(PuId(0)).unwrap();
+            let me = shim.attach_process();
+            let fifo = shim.xfifo_init(ctx, me, "global-fifo").unwrap();
+            // Pre-register the writer and grant it write permission.
+            let writer_pid = c2.shim_on(PuId(1)).unwrap().attach_process();
+            shim.grant_cap(ctx, me, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
+            uuid_tx
+                .send((fifo.uuid().clone(), writer_pid, fifo.obj(), me))
+                .unwrap();
+            let t0 = ctx.now();
+            let msg = fifo.read(ctx).unwrap();
+            (msg, ctx.now() - t0)
+        });
+        let c3 = c.clone();
+        sim.spawn("dpu-writer", move |ctx| {
+            let (uuid, me, _obj, _owner) = uuid_rx.recv(ctx).unwrap();
+            let shim = c3.shim_on(PuId(1)).unwrap();
+            let w = shim.xfifo_connect(ctx, me, &uuid).unwrap();
+            w.write(ctx, Bytes::from_static(b"hello-nipc")).unwrap();
+        });
+        sim.run().unwrap();
+        let (msg, _latency) = reader.take_result().unwrap();
+        assert_eq!(&msg[..], b"hello-nipc");
+        let stats = c.stats();
+        assert!(stats.xpucalls >= 3);
+        assert!(stats.sync_messages > 0, "init + grant must sync immediately");
+    }
+
+    #[test]
+    fn nipc_poll_latency_lands_near_25us() {
+        // Fig. 8: with the polled XPUcall, a DPU->CPU xfifo_write lands
+        // around 25us end to end.
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let c2 = c.clone();
+        let h = sim.spawn("meas", move |ctx| {
+            let cpu = c2.shim_on(PuId(0)).unwrap();
+            let dpu = c2.shim_on(PuId(1)).unwrap();
+            let owner = cpu.attach_process();
+            let writer_pid = dpu.attach_process();
+            let fifo = cpu.xfifo_init(ctx, owner, "lat").unwrap();
+            cpu.grant_cap(ctx, owner, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
+            let w = dpu.xfifo_connect(ctx, writer_pid, &fifo.uuid().clone()).unwrap();
+            let t0 = ctx.now();
+            w.write(ctx, Bytes::from(vec![0u8; 64])).unwrap();
+            let msg = fifo.read(ctx).unwrap();
+            assert_eq!(msg.len(), 64);
+            (ctx.now() - t0).as_micros_f64()
+        });
+        sim.run().unwrap();
+        let us = h.take_result().unwrap();
+        assert!((18.0..=32.0).contains(&us), "nIPC-Poll DPU->CPU was {us}us");
+    }
+
+    #[test]
+    fn connect_without_capability_is_denied() {
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let h = sim.spawn("p", move |ctx| {
+            let cpu = c.shim_on(PuId(0)).unwrap();
+            let dpu = c.shim_on(PuId(1)).unwrap();
+            let owner = cpu.attach_process();
+            let stranger = dpu.attach_process();
+            let fifo = cpu.xfifo_init(ctx, owner, "private").unwrap();
+            let err = dpu
+                .xfifo_connect(ctx, stranger, &fifo.uuid().clone())
+                .unwrap_err();
+            // The owner itself can connect (e.g. self_fifo pattern).
+            let ok = cpu.xfifo_connect(ctx, owner, &fifo.uuid().clone());
+            (err, ok.is_ok())
+        });
+        sim.run().unwrap();
+        let (err, owner_ok) = h.take_result().unwrap();
+        assert!(matches!(err, ShimError::Cap(_)), "got {err:?}");
+        assert!(owner_ok);
+    }
+
+    #[test]
+    fn revocation_stops_in_flight_writers() {
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let h = sim.spawn("p", move |ctx| {
+            let cpu = c.shim_on(PuId(0)).unwrap();
+            let owner = cpu.attach_process();
+            let peer = cpu.attach_process();
+            let fifo = cpu.xfifo_init(ctx, owner, "revocable").unwrap();
+            cpu.grant_cap(ctx, owner, peer, fifo.obj(), Perm::WRITE).unwrap();
+            let w = cpu.xfifo_connect(ctx, peer, &fifo.uuid().clone()).unwrap();
+            w.write(ctx, Bytes::from_static(b"ok")).unwrap();
+            cpu.revoke_cap(ctx, owner, peer, fifo.obj(), Perm::WRITE).unwrap();
+            let err = w.write(ctx, Bytes::from_static(b"denied")).unwrap_err();
+            let first = fifo.read(ctx).unwrap();
+            (err, first)
+        });
+        sim.run().unwrap();
+        let (err, first) = h.take_result().unwrap();
+        assert!(matches!(err, ShimError::Cap(_)));
+        assert_eq!(&first[..], b"ok");
+    }
+
+    #[test]
+    fn uuid_collision_is_rejected() {
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let h = sim.spawn("p", move |ctx| {
+            let cpu = c.shim_on(PuId(0)).unwrap();
+            let a = cpu.attach_process();
+            let b = cpu.attach_process();
+            let _f1 = cpu.xfifo_init(ctx, a, "same").unwrap();
+            cpu.xfifo_init(ctx, b, "same").unwrap_err()
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            h.take_result().unwrap(),
+            ShimError::UuidTaken(GlobalUuid::new("same"))
+        );
+    }
+
+    #[test]
+    fn lazy_close_batches_sync_messages() {
+        let config = ShimConfig { lazy_batch: 4, ..ShimConfig::default() };
+        let c = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), config);
+        let mut sim = Simulation::new();
+        let c2 = c.clone();
+        let h = sim.spawn("p", move |ctx| {
+            let cpu = c2.shim_on(PuId(0)).unwrap();
+            let me = cpu.attach_process();
+            let mut flushes_seen = Vec::new();
+            for i in 0..8 {
+                let fifo = cpu.xfifo_init(ctx, me, format!("f{i}")).unwrap();
+                fifo.close(ctx).unwrap();
+                flushes_seen.push(c2.stats().lazy_flushes);
+            }
+            flushes_seen
+        });
+        sim.run().unwrap();
+        let flushes = h.take_result().unwrap();
+        // 8 closes with batch=4 -> exactly 2 flushes, occurring at the 4th
+        // and 8th close.
+        assert_eq!(flushes, vec![0, 0, 0, 1, 1, 1, 1, 2]);
+        assert_eq!(c.stats().lazy_pending, 0);
+    }
+
+    #[test]
+    fn xspawn_grants_only_explicit_caps() {
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let c2 = c.clone();
+        let h = sim.spawn("manager", move |ctx| {
+            let cpu = c2.shim_on(PuId(0)).unwrap();
+            let me = cpu.attach_process();
+            let fifo_a = cpu.xfifo_init(ctx, me, "a").unwrap();
+            let fifo_b = cpu.xfifo_init(ctx, me, "b").unwrap();
+            let child = cpu
+                .xspawn_inert(ctx, me, PuId(1), "executor", &[(fifo_a.obj(), Perm::WRITE)])
+                .unwrap();
+            let perm_a = cpu.perm_of(child, fifo_a.obj());
+            let perm_b = cpu.perm_of(child, fifo_b.obj());
+            (child, perm_a, perm_b)
+        });
+        sim.run().unwrap();
+        let (child, perm_a, perm_b) = h.take_result().unwrap();
+        assert_eq!(child.pu, PuId(1));
+        assert_eq!(perm_a, Perm::WRITE);
+        assert_eq!(perm_b, Perm::NONE, "no implicit inheritance");
+    }
+
+    #[test]
+    fn xspawn_to_accelerator_is_rejected() {
+        let machine = Machine::full_heterogeneous();
+        let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+        let c = ShimCluster::deploy(machine, ShimConfig::default());
+        let mut sim = Simulation::new();
+        let h = sim.spawn("p", move |ctx| {
+            let cpu = c.shim_on(PuId(0)).unwrap();
+            let me = cpu.attach_process();
+            let bad = cpu.xspawn_inert(ctx, me, fpga, "prog", &[]).unwrap_err();
+            let missing = cpu.xspawn_inert(ctx, me, PuId(99), "prog", &[]).unwrap_err();
+            (bad, missing)
+        });
+        sim.run().unwrap();
+        let (bad, missing) = h.take_result().unwrap();
+        assert_eq!(bad, ShimError::NoShimOn(fpga));
+        assert_eq!(missing, ShimError::NoSuchPu(PuId(99)));
+    }
+
+    #[test]
+    fn xspawn_body_runs_on_schedule() {
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let (tx, rx) = sim.channel::<XpuPid>();
+        let c2 = c.clone();
+        sim.spawn("manager", move |ctx| {
+            let cpu = c2.shim_on(PuId(0)).unwrap();
+            let me = cpu.attach_process();
+            cpu.xspawn(ctx, me, PuId(2), "executor", &[], move |_ctx, pid| {
+                tx.send(pid).unwrap();
+            })
+            .unwrap();
+        });
+        let h = sim.spawn("collector", move |ctx| rx.recv(ctx).unwrap());
+        sim.run().unwrap();
+        assert_eq!(h.take_result().unwrap().pu, PuId(2));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for XPU-Shim operations.
+
+use core::fmt;
+
+use hetsim::pu::PuId;
+
+use crate::cap::CapError;
+use crate::id::GlobalUuid;
+
+/// Errors surfaced by XPUcalls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShimError {
+    /// A capability check or capability operation failed.
+    Cap(CapError),
+    /// The global UUID is already taken (`xfifo_init` collision).
+    UuidTaken(GlobalUuid),
+    /// No FIFO with this UUID exists (never created, or closed).
+    UnknownUuid(GlobalUuid),
+    /// The FIFO's reader is gone (or all writers, when reading).
+    FifoClosed,
+    /// A timed FIFO read expired.
+    FifoTimeout,
+    /// The PU has no shim (not a general-purpose PU and no host to virtualize
+    /// on).
+    NoShimOn(PuId),
+    /// The target PU of an `xSpawn` does not exist.
+    NoSuchPu(PuId),
+}
+
+impl fmt::Display for ShimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShimError::Cap(e) => write!(f, "capability error: {e}"),
+            ShimError::UuidTaken(u) => write!(f, "xpu-fifo uuid already taken: {u}"),
+            ShimError::UnknownUuid(u) => write!(f, "unknown xpu-fifo uuid: {u}"),
+            ShimError::FifoClosed => f.write_str("xpu-fifo closed"),
+            ShimError::FifoTimeout => f.write_str("xpu-fifo read timed out"),
+            ShimError::NoShimOn(pu) => write!(f, "no xpu-shim instance on {pu}"),
+            ShimError::NoSuchPu(pu) => write!(f, "no such pu: {pu}"),
+        }
+    }
+}
+
+impl std::error::Error for ShimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShimError::Cap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CapError> for ShimError {
+    fn from(e: CapError) -> ShimError {
+        ShimError::Cap(e)
+    }
+}

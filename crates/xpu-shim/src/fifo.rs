@@ -1,0 +1,147 @@
+//! XPU-FIFO handles (paper §3.3).
+//!
+//! An XPU-FIFO is a FIFO with a *globally unique* UUID: any process on any
+//! PU that holds the right capability can connect and write to it, while the
+//! owner reads from it locally. Same-PU writes cost a local FIFO hop;
+//! cross-PU writes go through an XPUcall plus the interconnect (nIPC).
+
+use std::fmt;
+
+use bytes::Bytes;
+use hetsim::engine::{ProcCtx, RecvError, RecvTimeoutError, SimReceiver};
+use hetsim::time::SimDuration;
+
+use crate::cluster::ShimCluster;
+use crate::error::ShimError;
+use crate::id::{GlobalUuid, ObjId, XpuPid};
+
+/// Reading end of an XPU-FIFO, held by the process that called `xfifo_init`.
+pub struct XpuFifoReader {
+    pub(crate) cluster: ShimCluster,
+    pub(crate) uuid: GlobalUuid,
+    pub(crate) obj: ObjId,
+    pub(crate) owner: XpuPid,
+    pub(crate) rx: SimReceiver<Bytes>,
+}
+
+impl fmt::Debug for XpuFifoReader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XpuFifoReader")
+            .field("uuid", &self.uuid)
+            .field("obj", &self.obj)
+            .field("owner", &self.owner)
+            .finish()
+    }
+}
+
+impl XpuFifoReader {
+    /// The FIFO's global UUID.
+    pub fn uuid(&self) -> &GlobalUuid {
+        &self.uuid
+    }
+
+    /// The distributed object backing this FIFO (grant capabilities on it).
+    pub fn obj(&self) -> ObjId {
+        self.obj
+    }
+
+    /// `xfifo_read`: blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::FifoClosed`] when every writer is gone and the queue is
+    /// drained.
+    pub fn read(&self, ctx: &mut ProcCtx) -> Result<Bytes, ShimError> {
+        match self.rx.recv(ctx) {
+            Ok(bytes) => {
+                ctx.sleep(self.cluster.os_costs_of(self.owner.pu).syscall);
+                Ok(bytes)
+            }
+            Err(RecvError::Disconnected) => Err(ShimError::FifoClosed),
+        }
+    }
+
+    /// `xfifo_read` with a virtual-time deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::FifoTimeout`] on expiry, [`ShimError::FifoClosed`] when
+    /// every writer is gone.
+    pub fn read_timeout(&self, ctx: &mut ProcCtx, timeout: SimDuration) -> Result<Bytes, ShimError> {
+        match self.rx.recv_timeout(ctx, timeout) {
+            Ok(bytes) => {
+                ctx.sleep(self.cluster.os_costs_of(self.owner.pu).syscall);
+                Ok(bytes)
+            }
+            Err(RecvTimeoutError::Timeout) => Err(ShimError::FifoTimeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ShimError::FifoClosed),
+        }
+    }
+
+    /// `xfifo_close` from the owner side: destroys the FIFO object.
+    ///
+    /// Resources are revoked immediately; the UUID reclamation is
+    /// synchronized *lazily* to other PUs (batched — §5 "Lazy
+    /// synchronization").
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::UnknownUuid`] if the FIFO was already closed.
+    pub fn close(self, ctx: &mut ProcCtx) -> Result<(), ShimError> {
+        self.cluster.close_fifo(ctx, &self.uuid, self.owner)
+    }
+
+    /// Number of buffered messages.
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// Writing end of an XPU-FIFO, obtained via `xfifo_connect`.
+#[derive(Clone)]
+pub struct XpuFifoWriter {
+    pub(crate) cluster: ShimCluster,
+    pub(crate) uuid: GlobalUuid,
+    pub(crate) obj: ObjId,
+    /// The connected (writing) process.
+    pub(crate) connected_as: XpuPid,
+    /// The PU where the FIFO (and its reader) lives.
+    pub(crate) owner_pu: hetsim::pu::PuId,
+}
+
+impl fmt::Debug for XpuFifoWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XpuFifoWriter")
+            .field("uuid", &self.uuid)
+            .field("connected_as", &self.connected_as)
+            .field("owner_pu", &self.owner_pu)
+            .finish()
+    }
+}
+
+impl XpuFifoWriter {
+    /// The FIFO's global UUID.
+    pub fn uuid(&self) -> &GlobalUuid {
+        &self.uuid
+    }
+
+    /// The distributed object backing this FIFO.
+    pub fn obj(&self) -> ObjId {
+        self.obj
+    }
+
+    /// `xfifo_write`: sends `payload` into the FIFO.
+    ///
+    /// Same-PU writes cost one local FIFO hop; cross-PU writes cost an
+    /// XPUcall on the writer's PU plus the interconnect transfer and the
+    /// remote shim's delivery (this is nIPC, Fig. 4). Permissions are
+    /// re-checked on every write so revocation takes effect immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::Cap`] on permission failure, [`ShimError::FifoClosed`]
+    /// if the FIFO's reader is gone.
+    pub fn write(&self, ctx: &mut ProcCtx, payload: Bytes) -> Result<(), ShimError> {
+        self.cluster.write_fifo(ctx, self, payload)
+    }
+}

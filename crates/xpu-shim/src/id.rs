@@ -1,0 +1,129 @@
+//! Global identifiers for the multi-OS machine.
+//!
+//! Local PIDs are only unique per PU, so XPU-Shim identifies a process by an
+//! [`XpuPid`]: the PU id plus a UUID issued by that PU's shim (paper §3.2).
+//! Encoding the PU into the id *statically partitions* the identifier space,
+//! which is why process creation needs no cross-PU synchronization.
+
+use core::fmt;
+
+use hetsim::pu::PuId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique process id: PU-ID ⊕ local UUID.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct XpuPid {
+    /// The PU the process lives on.
+    pub pu: PuId,
+    /// The UUID issued by that PU's shim (locally unique).
+    pub local: u32,
+}
+
+impl XpuPid {
+    /// Packs the id into a single `u64` (`pu` in the high bits), the wire
+    /// encoding used in XPUcall messages.
+    pub fn encode(self) -> u64 {
+        ((self.pu.raw() as u64) << 32) | self.local as u64
+    }
+
+    /// Unpacks a wire-encoded id.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xpu_shim::id::XpuPid;
+    /// use hetsim::pu::PuId;
+    ///
+    /// let pid = XpuPid { pu: PuId(2), local: 77 };
+    /// assert_eq!(XpuPid::decode(pid.encode()), pid);
+    /// ```
+    pub fn decode(raw: u64) -> XpuPid {
+        XpuPid { pu: PuId((raw >> 32) as u16), local: raw as u32 }
+    }
+}
+
+impl fmt::Display for XpuPid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xpid({}:{})", self.pu, self.local)
+    }
+}
+
+/// Identifier of a distributed object (a `CAP_Group` or `IPC` object, §3.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ObjId(pub u64);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// The globally unique name of an XPU-FIFO (`xfifo_init`'s `xpu_uuid`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalUuid(pub String);
+
+impl GlobalUuid {
+    /// Creates a UUID from any string-ish value.
+    pub fn new(name: impl Into<String>) -> GlobalUuid {
+        GlobalUuid(name.into())
+    }
+
+    /// The UUID as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for GlobalUuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for GlobalUuid {
+    fn from(s: &str) -> GlobalUuid {
+        GlobalUuid(s.to_owned())
+    }
+}
+
+impl From<String> for GlobalUuid {
+    fn from(s: String) -> GlobalUuid {
+        GlobalUuid(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for pu in [0u16, 1, 7, u16::MAX] {
+            for local in [0u32, 1, 4096, u32::MAX] {
+                let pid = XpuPid { pu: PuId(pu), local };
+                assert_eq!(XpuPid::decode(pid.encode()), pid);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_partitions_by_pu() {
+        // Two processes with the same local UUID on different PUs never
+        // collide — the property that removes PID-allocation sync (§3.2).
+        let a = XpuPid { pu: PuId(1), local: 42 };
+        let b = XpuPid { pu: PuId(2), local: 42 };
+        assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn display_formats() {
+        let pid = XpuPid { pu: PuId(1), local: 3 };
+        assert_eq!(pid.to_string(), "xpid(pu1:3)");
+        assert_eq!(ObjId(9).to_string(), "obj9");
+        assert_eq!(GlobalUuid::new("alexa-front").to_string(), "alexa-front");
+    }
+}

@@ -1,0 +1,68 @@
+//! The Alexa smart-home skill: a five-function chain spread across the CPU
+//! and a DPU, comparing the Express-HTTP baseline with Molecule's
+//! direct-connect IPC/nIPC (paper §4.3, Fig. 12 / Fig. 14e).
+//!
+//! ```sh
+//! cargo run --example alexa_smart_home
+//! ```
+
+use molecule_repro::prelude::*;
+use workloads::serverlessbench::alexa_chain;
+
+fn main() {
+    let machine = Machine::paper_cpu_dpu_server();
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    for def in alexa_chain() {
+        molecule.register_function(def);
+    }
+
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let outcome = sim.spawn("driver", move |ctx| {
+        // Place the chain across PUs: front/smarthome/light on the CPU,
+        // interact/door on the DPU — every hop crosses a PU boundary.
+        let names =
+            ["alexa-frontend", "alexa-interact", "alexa-smarthome", "alexa-door", "alexa-light"];
+        let stages: Vec<ChainStage> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ChainStage::new(*n, if i % 2 == 0 { PuId(0) } else { PuId(1) }))
+            .collect();
+
+        let http = ChainSpec::new("alexa-http", stages.clone(), CommMethod::HttpGateway)
+            .input_bytes(1536)
+            .rounds(10);
+        let ipc = ChainSpec::new("alexa-ipc", stages, CommMethod::DirectIpc)
+            .input_bytes(1536)
+            .rounds(10);
+
+        let baseline = run_chain(&m, ctx, &http).unwrap();
+        let molecule = run_chain(&m, ctx, &ipc).unwrap();
+        (baseline, molecule)
+    });
+    sim.run().expect("simulation runs to completion");
+
+    let (baseline, molecule) = outcome.take_result().unwrap();
+    println!("Alexa chain across CPU↔DPU, 10 requests each\n");
+    println!(
+        "baseline (Express over the network) : {:>8.2} ms end-to-end",
+        baseline.mean_end_to_end().as_millis_f64()
+    );
+    println!(
+        "Molecule (direct-connect nIPC)      : {:>8.2} ms end-to-end",
+        molecule.mean_end_to_end().as_millis_f64()
+    );
+    println!(
+        "improvement                         : {:>8.2}x\n",
+        baseline.mean_end_to_end().ratio(molecule.mean_end_to_end())
+    );
+    println!("per-hop communication latency (into each stage):");
+    for i in 0..5 {
+        println!(
+            "  hop {}: baseline {:>7.2} ms   molecule {:>7.3} ms",
+            i,
+            baseline.mean_hop(i).as_millis_f64(),
+            molecule.mean_hop(i).as_millis_f64()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The API gateway under Poisson load: warm pools, auto-scaling via cfork,
+//! and keep-alive reaping — the serverless behaviours the paper's
+//! mechanisms exist to serve.
+//!
+//! ```sh
+//! cargo run --example autoscaling_gateway
+//! ```
+
+use molecule_core::gateway::{ApiGateway, GatewayConfig};
+use molecule_core::keepalive::GreedyDual;
+use molecule_core::metrics::LatencyRecorder;
+use molecule_core::schedule::Scheduler;
+use molecule_repro::prelude::*;
+use workloads::generator::PoissonArrivals;
+use workloads::serverlessbench;
+
+fn main() {
+    let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+    molecule.register_function(serverlessbench::image_processing());
+    molecule.register_function(serverlessbench::helloworld());
+    let gateway = ApiGateway::new(
+        molecule,
+        Scheduler::default(),
+        GatewayConfig::default(),
+        Box::new(GreedyDual::new()),
+    );
+
+    let mut sim = Simulation::new();
+    let gw = gateway.clone();
+    let out = sim.spawn("frontend", move |ctx| {
+        gw.molecule().bootstrap(ctx).unwrap();
+        gw.prepare_all_templates(ctx).unwrap();
+
+        // 120 requests at ~50 req/s, 80% image-processing / 20% helloworld.
+        let mut arrivals = PoissonArrivals::new(50.0, 2026);
+        let mut recorder = LatencyRecorder::new("gateway-e2e");
+        for i in 0..120 {
+            let at = arrivals.next_arrival();
+            ctx.sleep(at.saturating_duration_since(ctx.now()));
+            let func =
+                if i % 5 == 4 { FuncId::new("helloworld") } else { FuncId::new("sb-image-process") };
+            let report = gw.handle_request(ctx, &func, 2048).unwrap();
+            recorder.record(report.latency);
+        }
+        // An idle sweep after the burst.
+        ctx.sleep(SimDuration::from_secs(60));
+        let reaped = gw.reap_idle(ctx).unwrap();
+        (recorder, reaped, ctx.now())
+    });
+    sim.run().expect("simulation runs to completion");
+
+    let (recorder, reaped, end) = out.take_result().unwrap();
+    let stats = gateway.stats();
+    println!("drove 120 requests in {:.2}s of virtual time\n", end.as_nanos() as f64 / 1e9);
+    println!("{recorder}\n");
+    println!("cold starts : {}", stats.cold_starts);
+    println!("warm hits   : {}", stats.warm_hits);
+    println!("reaped idle : {reaped}");
+    println!("live after  : {}", gateway.live_instances());
+    println!("billing     : {}", gateway.molecule().meter());
+
+    let hit_rate = stats.warm_hits as f64 / (stats.warm_hits + stats.cold_starts) as f64;
+    assert!(hit_rate > 0.9, "warm-pool hit rate should dominate: {hit_rate}");
+}

@@ -1,0 +1,40 @@
+//! Vertical scaling with DPUs (paper Fig. 2a): pack function instances
+//! onto the machine until it is full, with 0, 1 and 2 BlueField DPUs
+//! attached, and meter what the placements would bill.
+//!
+//! ```sh
+//! cargo run --example density_scaling
+//! ```
+
+use molecule_core::billing::{Meter, PriceTable};
+use molecule_core::schedule::Scheduler;
+use molecule_repro::prelude::*;
+
+fn main() {
+    let machine = Machine::paper_cpu_dpu_server();
+    let sched = Scheduler::default();
+    let func = FuncId::new("image-process");
+
+    println!("packing 'image-process' instances until each configuration is full:\n");
+    let configs: [(&str, Vec<PuId>); 3] = [
+        ("CPU only", vec![PuId(0)]),
+        ("CPU + 1 DPU", vec![PuId(0), PuId(1)]),
+        ("CPU + 2 DPU", vec![PuId(0), PuId(1), PuId(2)]),
+    ];
+    let mut last = 0;
+    for (label, pus) in configs {
+        let packed = sched.pack_until_full(&machine, &func, &pus);
+        println!("  {label:<12} -> {packed:>5} concurrent instances (+{})", packed - last);
+        last = packed;
+        sched.release_packed(&machine, &pus);
+    }
+
+    // What would a second of execution across the whole fleet cost? DPUs
+    // are the cheapest PU class (§4.1), so offloading saves money too.
+    let mut meter = Meter::new(PriceTable::default());
+    let cpu_cost = meter.charge(PuKind::Cpu, SimDuration::from_millis(1000), 128);
+    let dpu_cost = meter.charge(PuKind::Dpu, SimDuration::from_millis(1000), 128);
+    println!("\nbilling one instance-second (128 MiB):");
+    println!("  on the CPU: {cpu_cost:.1} credits");
+    println!("  on a DPU  : {dpu_cost:.1} credits ({}% cheaper)", (100.0 * (1.0 - dpu_cost / cpu_cost)) as u32);
+}

@@ -1,0 +1,70 @@
+//! FPGA offload: cache a vector of kernels in one FPGA image (the
+//! vectorized sandbox), then compare cold / warm-image / warm-sandbox
+//! startups and run a zero-copy chain over retained device DRAM
+//! (paper §3.5, §4.3, Fig. 10c / Fig. 13).
+//!
+//! ```sh
+//! cargo run --example fpga_image_pipeline
+//! ```
+
+use molecule_repro::prelude::*;
+use workloads::matrix;
+
+fn main() {
+    // An AWS F1-class machine: host CPU + 8 UltraScale+ FPGAs.
+    let machine = Machine::paper_f1_instance();
+    let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    for def in matrix::matrix_functions() {
+        molecule.register_function(def);
+    }
+
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("driver", move |ctx| {
+        // Vectorized create: all three kernels packed into ONE image and
+        // flashed once — no erase (lazy delete), no per-kernel flash.
+        let funcs: Vec<FuncId> =
+            ["mscale", "madd", "vmult"].iter().map(|n| FuncId::new(*n)).collect();
+        let t0 = ctx.now();
+        m.cache_fpga_functions(ctx, fpga, &funcs).unwrap();
+        let flash = ctx.now() - t0;
+
+        // Warm-sandbox start: the kernel is already resident.
+        let t0 = ctx.now();
+        let started = m.start_instance(ctx, &"vmult".into(), fpga, StartupKind::ColdBaseline).unwrap();
+        let warm_start = ctx.now() - t0;
+
+        // Invoke: DMA in + dispatch + kernel.
+        let invoke = m.invoke(ctx, started.instance, 4096).unwrap().latency;
+
+        // A 3-stage matrix pipeline on the device: copying vs retained DRAM.
+        let stages: Vec<ChainStage> =
+            ["mscale", "madd", "vmult"].iter().map(|n| ChainStage::new(*n, fpga)).collect();
+        let copy = run_chain(
+            &m,
+            ctx,
+            &ChainSpec::new("mat-copy", stages.clone(), CommMethod::FpgaCopy).input_bytes(65536),
+        )
+        .unwrap()
+        .mean_end_to_end();
+        let shm = run_chain(
+            &m,
+            ctx,
+            &ChainSpec::new("mat-shm", stages, CommMethod::FpgaShm).input_bytes(65536),
+        )
+        .unwrap()
+        .mean_end_to_end();
+        (flash, warm_start, invoke, copy, shm)
+    });
+    sim.run().expect("simulation runs to completion");
+
+    let (flash, warm_start, invoke, copy, shm) = out.take_result().unwrap();
+    println!("vectorized image flash (3 kernels, once): {:>9.3} s", flash.as_secs_f64());
+    println!("warm-sandbox start                      : {:>9.3} s", warm_start.as_secs_f64());
+    println!("vmult invocation (DMA+dispatch+kernel)  : {:>9.3} ms", invoke.as_millis_f64());
+    println!();
+    println!("3-stage pipeline, copying through host  : {:>9.0} us", copy.as_micros_f64());
+    println!("3-stage pipeline, retained device DRAM  : {:>9.0} us", shm.as_micros_f64());
+    println!("zero-copy improvement                   : {:>9.2}x", copy.ratio(shm));
+}

@@ -1,0 +1,61 @@
+//! Quickstart: deploy one function on a CPU+DPU machine, start it three
+//! ways (cold baseline, cfork, cross-PU cfork) and invoke it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use molecule_repro::prelude::*;
+
+fn main() {
+    // 1. The paper's evaluation server: a Xeon host plus two BlueField-1
+    //    DPUs, each running its own Linux.
+    let machine = Machine::paper_cpu_dpu_server();
+    println!(
+        "machine: {} PUs ({} with their own OS)",
+        machine.pus().len(),
+        machine.pus().iter().filter(|p| p.kind.is_general_purpose()).count()
+    );
+
+    // 2. Launch Molecule on it and register a function.
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    molecule.register_function(
+        FunctionDef::builder("image-resize", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .memory_mib(128)
+            .exec_ms(14.1)
+            .init_ms(6.3)
+            .cfork_first_run_ms(0.9)
+            .build(),
+    );
+
+    // 3. Everything happens in virtual time inside the simulation.
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let results = sim.spawn("gateway", move |ctx| {
+        // Boot the control plane: executors are xSpawned onto the DPUs.
+        m.bootstrap(ctx).unwrap();
+        m.prepare_template(ctx, PuId(0), LangRuntime::Python).unwrap();
+        m.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+
+        let func = FuncId::new("image-resize");
+        let cold = m.start_instance(ctx, &func, PuId(0), StartupKind::ColdBaseline).unwrap();
+        let cfork = m.start_instance(ctx, &func, PuId(0), StartupKind::CforkLocal).unwrap();
+        let remote = m
+            .start_instance(ctx, &func, PuId(1), StartupKind::CforkXpu { issued_from: PuId(0) })
+            .unwrap();
+
+        let exec = m.invoke(ctx, cfork.instance, 4096).unwrap();
+        (cold.latency, cfork.latency, remote.latency, exec.latency)
+    });
+    sim.run().expect("simulation runs to completion");
+
+    let (cold, cfork, remote, exec) = results.take_result().unwrap();
+    println!("cold baseline startup : {:>8.2} ms", cold.as_millis_f64());
+    println!("cfork startup         : {:>8.2} ms  (paper: <10 ms)", cfork.as_millis_f64());
+    println!("cfork-XPU to the DPU  : {:>8.2} ms", remote.as_millis_f64());
+    println!("first invocation      : {:>8.2} ms", exec.as_millis_f64());
+    println!("billed so far         : {}", molecule.meter());
+
+    assert!(cfork < cold, "cfork must beat the cold baseline");
+}

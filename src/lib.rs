@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! `molecule-repro` — the umbrella crate of the Molecule reproduction.
+//!
+//! This workspace reproduces *Serverless Computing on Heterogeneous
+//! Computers* (Du et al., ASPLOS '22): the Molecule serverless runtime, its
+//! two abstractions (XPU-Shim and the vectorized sandbox), and the entire
+//! simulated heterogeneous computer they run on.
+//!
+//! The crates, bottom-up:
+//!
+//! * [`hetsim`] — deterministic discrete-event simulation of the hardware:
+//!   PUs, per-PU local OSes, interconnect links, FPGA/GPU device models and
+//!   the paper-cited calibration table;
+//! * [`xpu_shim`] — the distributed shim: global process ids, distributed
+//!   capabilities, XPU-FIFOs/nIPC, the three XPUcall transports, `xSpawn`;
+//! * [`vsandbox`] — the OCI + vectorized sandbox abstraction with `runc`,
+//!   `runf` and `runG` backends;
+//! * [`molecule_core`] — the Molecule runtime: cfork startup, FPGA instance
+//!   caching, direct-connect DAG communication, scheduling, keep-alive and
+//!   billing;
+//! * [`workloads`] — FunctionBench, ServerlessBench and the FPGA
+//!   applications, calibrated to the paper's Fig. 14 labels.
+//!
+//! See `examples/quickstart.rs` for a first end-to-end run and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//!
+//! # Examples
+//!
+//! ```
+//! use molecule_repro::prelude::*;
+//!
+//! let machine = Machine::paper_cpu_dpu_server();
+//! let molecule = Molecule::launch(machine, MoleculeConfig::default());
+//! molecule.register_function(
+//!     FunctionDef::builder("hello", LangRuntime::Python).exec_ms(1.0).build(),
+//! );
+//! let mut sim = Simulation::new();
+//! let m = molecule.clone();
+//! let report = sim.spawn("gateway", move |ctx| {
+//!     m.bootstrap(ctx).unwrap();
+//!     m.prepare_template(ctx, PuId(0), LangRuntime::Python).unwrap();
+//!     m.start_instance(ctx, &"hello".into(), PuId(0), StartupKind::CforkLocal)
+//!         .unwrap()
+//!         .latency
+//! });
+//! sim.run().unwrap();
+//! assert!(report.take_result().unwrap().as_millis_f64() < 10.0); // <10ms cfork
+//! ```
+
+pub use hetsim;
+pub use molecule_core;
+pub use vsandbox;
+pub use workloads;
+pub use xpu_shim;
+
+/// The most common imports for working with the stack.
+pub mod prelude {
+    pub use hetsim::engine::{ProcCtx, Simulation};
+    pub use hetsim::pu::{PuId, PuKind};
+    pub use hetsim::time::{SimDuration, SimTime};
+    pub use hetsim::topology::Machine;
+    pub use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+    pub use molecule_core::function::{ExecModel, FunctionDef};
+    pub use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+    pub use vsandbox::spec::{FuncId, LangRuntime};
+}

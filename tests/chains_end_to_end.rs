@@ -1,0 +1,151 @@
+//! Integration: function chains end to end — Alexa over nIPC, MapReduce,
+//! and FPGA chains with warm/cold transitions.
+
+use hetsim::engine::Simulation;
+use hetsim::pu::{PuId, PuKind};
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::runtime::{Molecule, MoleculeConfig};
+use workloads::serverlessbench::{alexa_chain, mapreduce_chain};
+
+fn cpu_dpu_molecule_with_chains() -> Molecule {
+    let m = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+    for def in alexa_chain() {
+        m.register_function(def);
+    }
+    for def in mapreduce_chain() {
+        m.register_function(def);
+    }
+    m
+}
+
+#[test]
+fn alexa_all_cross_pu_still_beats_baseline() {
+    let molecule = cpu_dpu_molecule_with_chains();
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("driver", move |ctx| {
+        let names =
+            ["alexa-frontend", "alexa-interact", "alexa-smarthome", "alexa-door", "alexa-light"];
+        let stages: Vec<ChainStage> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ChainStage::new(*n, if i % 2 == 0 { PuId(0) } else { PuId(1) }))
+            .collect();
+        let ipc = run_chain(
+            &m,
+            ctx,
+            &ChainSpec::new("x-ipc", stages.clone(), CommMethod::DirectIpc).rounds(3),
+        )
+        .unwrap();
+        let http = run_chain(
+            &m,
+            ctx,
+            &ChainSpec::new("x-http", stages, CommMethod::HttpGateway).rounds(3),
+        )
+        .unwrap();
+        (ipc.mean_end_to_end(), http.mean_end_to_end())
+    });
+    sim.run().unwrap();
+    let (ipc, http) = out.take_result().unwrap();
+    assert!(ipc < http, "nIPC chain {ipc} must beat HTTP chain {http}");
+    // Every inter-function call crossed a PU and the chain still completed
+    // with sub-ms hops.
+    assert!(http.ratio(ipc) > 1.3);
+}
+
+#[test]
+fn mapreduce_repeats_are_deterministic() {
+    let run_once = || {
+        let molecule = cpu_dpu_molecule_with_chains();
+        let mut sim = Simulation::new();
+        let m = molecule.clone();
+        let out = sim.spawn("driver", move |ctx| {
+            let stages: Vec<ChainStage> = ["mr-split", "mr-map", "mr-reduce"]
+                .iter()
+                .map(|n| ChainStage::new(*n, PuId(0)))
+                .collect();
+            run_chain(&m, ctx, &ChainSpec::new("mr", stages, CommMethod::DirectIpc).rounds(5))
+                .unwrap()
+                .end_to_end
+        });
+        sim.run().unwrap();
+        out.take_result().unwrap()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "the simulation must be bit-for-bit deterministic");
+    assert_eq!(a.len(), 5);
+}
+
+#[test]
+fn chain_rounds_amortize_nothing_but_stay_stable() {
+    // Pre-wired chains serve every round at the same latency (no hidden
+    // warm-up effects in the communication path).
+    let molecule = cpu_dpu_molecule_with_chains();
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("driver", move |ctx| {
+        let stages: Vec<ChainStage> = ["mr-split", "mr-map", "mr-reduce"]
+            .iter()
+            .map(|n| ChainStage::new(*n, PuId(1)))
+            .collect();
+        run_chain(&m, ctx, &ChainSpec::new("st", stages, CommMethod::DirectIpc).rounds(4))
+            .unwrap()
+            .end_to_end
+    });
+    sim.run().unwrap();
+    let rounds = out.take_result().unwrap();
+    for w in rounds.windows(2) {
+        assert_eq!(w[0], w[1], "round latencies must be identical");
+    }
+}
+
+#[test]
+fn fpga_chain_survives_image_replacement() {
+    // Run a chain, evict its image with an unrelated create, run it again:
+    // the second run must re-start from the cached image and produce the
+    // same steady-state latency.
+    use molecule_core::function::{ExecModel, FunctionDef};
+    use vsandbox::spec::LangRuntime;
+    use workloads::matrix;
+
+    let machine = Machine::paper_f1_instance();
+    let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    for i in 0..3 {
+        molecule.register_function(
+            FunctionDef::builder(format!("k{i}"), LangRuntime::OpenCl)
+                .profiles(&[PuKind::Fpga])
+                .fpga(
+                    matrix::kernel_spec(&format!("k{i}")),
+                    ExecModel::Fixed(SimDuration::from_micros(50)),
+                )
+                .output_bytes(4096)
+                .build(),
+        );
+    }
+    molecule.register_function(
+        FunctionDef::builder("evictor", LangRuntime::OpenCl)
+            .profiles(&[PuKind::Fpga])
+            .fpga(matrix::kernel_spec("evictor"), ExecModel::Fixed(SimDuration::from_micros(1)))
+            .build(),
+    );
+
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("driver", move |ctx| {
+        let stages: Vec<ChainStage> =
+            (0..3).map(|i| ChainStage::new(format!("k{i}"), fpga)).collect();
+        let spec = ChainSpec::new("fc", stages, CommMethod::FpgaShm).input_bytes(4096);
+        let first = run_chain(&m, ctx, &spec).unwrap().mean_end_to_end();
+        // Evict: a fresh create replaces the image on the fabric.
+        m.cache_fpga_functions(ctx, fpga, &["evictor".into()]).unwrap();
+        let second = run_chain(&m, ctx, &spec).unwrap().mean_end_to_end();
+        (first, second)
+    });
+    sim.run().unwrap();
+    let (first, second) = out.take_result().unwrap();
+    assert_eq!(first, second, "steady-state chain latency must be restored after re-flash");
+}

@@ -1,0 +1,39 @@
+//! Integration: the whole stack is deterministic — the property that makes
+//! the experiment harness a *reproduction* rather than a sampling exercise.
+
+use molecule_bench as bench;
+
+#[test]
+fn fig08_series_are_identical_across_runs() {
+    let a = bench::fig08::nipc_series(xpu_shim::xcall::XcallTransport::MpscPoll);
+    let b = bench::fig08::nipc_series(xpu_shim::xcall::XcallTransport::MpscPoll);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fig12_edges_are_identical_across_runs() {
+    let a = bench::fig12::edges_under(bench::fig12::Placement::DpuToCpu);
+    let b = bench::fig12::edges_under(bench::fig12::Placement::DpuToCpu);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn fig14_panel_is_identical_across_runs() {
+    let a = bench::fig14::functionbench_panel(bench::fig14::FbTarget::ColdCpu);
+    let b = bench::fig14::functionbench_panel(bench::fig14::FbTarget::ColdCpu);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ablation_sync_rows_are_identical_across_runs() {
+    assert_eq!(bench::ablations::sync_batching(), bench::ablations::sync_batching());
+}
+
+#[test]
+fn density_is_stateless_between_invocations() {
+    // pack/release leaves the machine clean, so repeating the whole
+    // experiment yields the same packing.
+    let a = bench::fig02::density();
+    let b = bench::fig02::density();
+    assert_eq!(a, b);
+}

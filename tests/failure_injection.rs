@@ -1,0 +1,181 @@
+//! Integration: failure injection and recovery paths.
+
+use bytes::Bytes;
+use hetsim::engine::{SimError, Simulation};
+use hetsim::pu::{PuId, PuKind};
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+use vsandbox::spec::LangRuntime;
+use xpu_shim::cap::Perm;
+use xpu_shim::cluster::{ShimCluster, ShimConfig};
+use xpu_shim::error::ShimError;
+
+#[test]
+fn deadlocked_function_is_reported_not_hung() {
+    // A function waiting on a FIFO no one will ever write must surface as a
+    // deadlock report, naming the stuck process.
+    let cluster = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), ShimConfig::default());
+    let mut sim = Simulation::new();
+    sim.spawn("orphan-function", move |ctx| {
+        let shim = cluster.shim_on(PuId(0)).unwrap();
+        let me = shim.attach_process();
+        let fifo = shim.xfifo_init(ctx, me, "never-written").unwrap();
+        let _ = fifo.read(ctx);
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked }) => {
+            assert_eq!(blocked, vec!["orphan-function".to_owned()]);
+        }
+        other => panic!("expected deadlock report, got {other:?}"),
+    }
+}
+
+#[test]
+fn revocation_cuts_off_a_compromised_writer_mid_stream() {
+    let cluster = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), ShimConfig::default());
+    let mut sim = Simulation::new();
+    let out = sim.spawn("owner", move |ctx| {
+        let cpu = cluster.shim_on(PuId(0)).unwrap();
+        let dpu = cluster.shim_on(PuId(1)).unwrap();
+        let me = cpu.attach_process();
+        let writer_pid = dpu.attach_process();
+        let fifo = cpu.xfifo_init(ctx, me, "stream").unwrap();
+        cpu.grant_cap(ctx, me, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
+        let w = dpu.xfifo_connect(ctx, writer_pid, &fifo.uuid().clone()).unwrap();
+        for i in 0..3 {
+            w.write(ctx, Bytes::from(vec![i])).unwrap();
+        }
+        // Compromise detected: revoke.
+        cpu.revoke_cap(ctx, me, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
+        let blocked = w.write(ctx, Bytes::from_static(b"evil"));
+        // Already-sent messages still drain.
+        let mut drained = 0;
+        while fifo.read_timeout(ctx, SimDuration::from_millis(1)).is_ok() {
+            drained += 1;
+        }
+        (blocked.is_err(), drained)
+    });
+    sim.run().unwrap();
+    let (blocked, drained) = out.take_result().unwrap();
+    assert!(blocked);
+    assert_eq!(drained, 3);
+}
+
+#[test]
+fn dead_executor_is_replaced_by_respawn() {
+    // Model an executor crash: detach its process and xSpawn a replacement;
+    // new instances keep starting on the DPU.
+    let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+    molecule.register_function(
+        molecule_core::function::FunctionDef::builder("f", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .exec_ms(1.0)
+            .build(),
+    );
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("gateway", move |ctx| {
+        m.bootstrap(ctx).unwrap();
+        m.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+        let before = m
+            .start_instance(ctx, &"f".into(), PuId(1), StartupKind::CforkLocal)
+            .unwrap();
+        // Crash: the executor process disappears from the shim's view.
+        let cluster = m.cluster().clone();
+        let shim = cluster.shim_on(PuId(1)).unwrap();
+        let crashed = shim.attach_process(); // stand-in for the executor's pid
+        shim.detach_process(crashed);
+        // Respawn via xSpawn and keep serving.
+        let manager = cluster.shim_on(PuId(0)).unwrap().attach_process();
+        let replacement = cluster
+            .shim_on(PuId(0))
+            .unwrap()
+            .xspawn_inert(ctx, manager, PuId(1), "molecule-executor", &[])
+            .unwrap();
+        let after = m
+            .start_instance(ctx, &"f".into(), PuId(1), StartupKind::CforkLocal)
+            .unwrap();
+        (before.latency, after.latency, replacement.pu)
+    });
+    sim.run().unwrap();
+    let (before, after, pu) = out.take_result().unwrap();
+    assert_eq!(pu, PuId(1));
+    assert_eq!(before, after, "recovery restores the normal startup path");
+}
+
+#[test]
+fn accelerator_without_direct_link_falls_back_to_cpu_interception() {
+    // DPU -> FPGA has no direct path in the prototype (§5); traffic must be
+    // forwarded by the host and is accounted as intercepted.
+    let machine = Machine::full_heterogeneous();
+    let dpu = machine.pus_of_kind(PuKind::Dpu)[0];
+    let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+    let route = machine.route(dpu, fpga);
+    assert!(route.is_intercepted());
+
+    let cluster = ShimCluster::deploy(machine, ShimConfig::default());
+    let mut sim = Simulation::new();
+    let c = cluster.clone();
+    sim.spawn("driver", move |ctx| {
+        // The virtual FPGA shim is hosted on the CPU; a FIFO owned by an
+        // FPGA-side process lives there.
+        let fpga_shim = c.shim_on(fpga).unwrap();
+        let dpu_shim = c.shim_on(dpu).unwrap();
+        let owner = fpga_shim.attach_process();
+        let writer_pid = dpu_shim.attach_process();
+        let fifo = fpga_shim.xfifo_init(ctx, owner, "accel-in").unwrap();
+        fpga_shim.grant_cap(ctx, owner, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
+        let w = dpu_shim.xfifo_connect(ctx, writer_pid, &fifo.uuid().clone()).unwrap();
+        w.write(ctx, Bytes::from_static(b"dpu-to-fpga")).unwrap();
+        let msg = fifo.read(ctx).unwrap();
+        assert_eq!(&msg[..], b"dpu-to-fpga");
+    });
+    sim.run().unwrap();
+    assert!(cluster.stats().intercepted_transfers >= 1);
+}
+
+#[test]
+fn shim_errors_are_descriptive_and_typed() {
+    let cluster = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), ShimConfig::default());
+    let mut sim = Simulation::new();
+    let out = sim.spawn("driver", move |ctx| {
+        let shim = cluster.shim_on(PuId(0)).unwrap();
+        let me = shim.attach_process();
+        let missing = shim
+            .xfifo_connect(ctx, me, &xpu_shim::id::GlobalUuid::new("ghost"))
+            .unwrap_err();
+        let no_pu = cluster.shim_on(PuId(42)).unwrap_err();
+        (missing, no_pu)
+    });
+    sim.run().unwrap();
+    let (missing, no_pu) = out.take_result().unwrap();
+    assert!(matches!(missing, ShimError::UnknownUuid(_)));
+    assert!(missing.to_string().contains("ghost"));
+    assert_eq!(no_pu, ShimError::NoSuchPu(PuId(42)));
+}
+
+#[test]
+fn explicit_lazy_flush_drains_pending_reclamations() {
+    // Shutdown path: whatever sits in the lazy queue must flush on demand.
+    let cluster = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), ShimConfig::default());
+    let mut sim = Simulation::new();
+    let c = cluster.clone();
+    sim.spawn("driver", move |ctx| {
+        let shim = c.shim_on(PuId(0)).unwrap();
+        let me = shim.attach_process();
+        for i in 0..3 {
+            let fifo = shim.xfifo_init(ctx, me, format!("f{i}")).unwrap();
+            fifo.close(ctx).unwrap();
+        }
+        assert_eq!(c.stats().lazy_pending, 3, "below the batch threshold");
+        assert_eq!(c.stats().lazy_flushes, 0);
+        c.flush_lazy(ctx, PuId(0));
+        assert_eq!(c.stats().lazy_pending, 0);
+        assert_eq!(c.stats().lazy_flushes, 1);
+        // Idempotent on an empty queue.
+        c.flush_lazy(ctx, PuId(0));
+        assert_eq!(c.stats().lazy_flushes, 1);
+    });
+    sim.run().unwrap();
+}

@@ -1,0 +1,172 @@
+//! Integration: boot the full heterogeneous machine and exercise the whole
+//! stack — multi-OS boot, cross-PU spawn with capabilities, every sandbox
+//! runtime, and the end-to-end serverless paths.
+
+use bytes::Bytes;
+use hetsim::engine::Simulation;
+use hetsim::pu::{PuId, PuKind};
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::function::{ExecModel, FunctionDef};
+use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+use vsandbox::spec::{FuncId, LangRuntime};
+use workloads::matrix;
+use xpu_shim::cap::Perm;
+
+#[test]
+fn full_machine_boots_with_every_device_class() {
+    let machine = Machine::full_heterogeneous();
+    assert_eq!(machine.pus().len(), 5); // CPU + 2 DPU + FPGA + GPU
+    assert_eq!(machine.pus_of_kind(PuKind::Dpu).len(), 2);
+    // Three local OSes = the paper's multi-OS system.
+    let oses = machine.pus().iter().filter(|p| machine.os(p.id).is_some()).count();
+    assert_eq!(oses, 3);
+    assert!(machine.fpga(machine.pus_of_kind(PuKind::Fpga)[0]).is_some());
+    assert!(machine.gpu(machine.pus_of_kind(PuKind::Gpu)[0]).is_some());
+}
+
+#[test]
+fn molecule_runs_cpu_dpu_and_fpga_functions_on_one_machine() {
+    let machine = Machine::full_heterogeneous();
+    let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    molecule.register_function(
+        FunctionDef::builder("py-fn", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .exec_ms(5.0)
+            .build(),
+    );
+    molecule.register_function(
+        FunctionDef::builder("hw-fn", LangRuntime::OpenCl)
+            .profiles(&[PuKind::Fpga])
+            .fpga(matrix::kernel_spec("madd"), ExecModel::Fixed(SimDuration::from_micros(60)))
+            .build(),
+    );
+
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("gateway", move |ctx| {
+        m.bootstrap(ctx).unwrap();
+        m.prepare_template(ctx, PuId(0), LangRuntime::Python).unwrap();
+        m.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+
+        let on_cpu = m.start_instance(ctx, &"py-fn".into(), PuId(0), StartupKind::CforkLocal).unwrap();
+        let on_dpu = m
+            .start_instance(ctx, &"py-fn".into(), PuId(1), StartupKind::CforkXpu { issued_from: PuId(0) })
+            .unwrap();
+        let on_fpga = m.start_instance(ctx, &"hw-fn".into(), fpga, StartupKind::ColdBaseline).unwrap();
+
+        let cpu_exec = m.invoke(ctx, on_cpu.instance, 1024).unwrap().latency;
+        let dpu_exec = m.invoke(ctx, on_dpu.instance, 1024).unwrap().latency;
+        let fpga_exec = m.invoke(ctx, on_fpga.instance, 1024).unwrap().latency;
+        (cpu_exec, dpu_exec, fpga_exec)
+    });
+    sim.run().unwrap();
+    let (cpu_exec, dpu_exec, fpga_exec) = out.take_result().unwrap();
+    // The same Python function runs ~6.2x slower on the BF-1 DPU.
+    let ratio = dpu_exec.ratio(cpu_exec);
+    assert!((5.5..=7.0).contains(&ratio), "DPU/CPU exec ratio {ratio}");
+    // FPGA invocation = DMA + dispatch + 60us kernel, well under a ms.
+    assert!(fpga_exec < SimDuration::from_millis(1));
+    assert_eq!(molecule.executor_count(), 2);
+    assert_eq!(molecule.meter().invocations(), 3);
+}
+
+#[test]
+fn cross_pu_capability_flow_via_xspawn() {
+    // A manager on the CPU creates a FIFO, xSpawns a worker on the DPU with
+    // exactly the write capability, and the worker (and only the worker)
+    // can feed it.
+    let machine = Machine::paper_cpu_dpu_server();
+    let cluster = xpu_shim::cluster::ShimCluster::deploy(machine, Default::default());
+    let mut sim = Simulation::new();
+    let c = cluster.clone();
+    let out = sim.spawn("manager", move |ctx| {
+        let cpu = c.shim_on(PuId(0)).unwrap();
+        let me = cpu.attach_process();
+        let inbox = cpu.xfifo_init(ctx, me, "manager-inbox").unwrap();
+        let uuid = inbox.uuid().clone();
+        let obj = inbox.obj();
+        let c2 = c.clone();
+        cpu.xspawn(ctx, me, PuId(1), "worker", &[(obj, Perm::WRITE)], move |wctx, wpid| {
+            let dpu = c2.shim_on(PuId(1)).unwrap();
+            let w = dpu.xfifo_connect(wctx, wpid, &uuid).unwrap();
+            w.write(wctx, Bytes::from_static(b"from-the-dpu")).unwrap();
+        })
+        .unwrap();
+        // A stranger without the capability cannot connect.
+        let stranger = cpu.attach_process();
+        let denied = cpu.xfifo_connect(ctx, stranger, &inbox.uuid().clone());
+        let msg = inbox.read(ctx).unwrap();
+        (denied.is_err(), msg)
+    });
+    sim.run().unwrap();
+    let (denied, msg) = out.take_result().unwrap();
+    assert!(denied);
+    assert_eq!(&msg[..], b"from-the-dpu");
+}
+
+#[test]
+fn gpu_functions_coexist_with_the_rest() {
+    let machine = Machine::full_heterogeneous();
+    let gpu = machine.pus_of_kind(PuKind::Gpu)[0];
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    let rung = molecule.rung(gpu).expect("runG deployed on the GPU").clone();
+    let mut sim = Simulation::new();
+    let out = sim.spawn("gateway", move |ctx| {
+        use vsandbox::oci::VectorizedRuntime;
+        use vsandbox::spec::{SandboxConfig, SandboxId};
+        let entries: Vec<(SandboxId, SandboxConfig)> = (0..4)
+            .map(|i| {
+                (
+                    SandboxId::new(format!("g{i}")),
+                    SandboxConfig {
+                        func: FuncId::new(format!("kern{i}")),
+                        lang: LangRuntime::Cuda,
+                        memory_mib: 256,
+                        fpga_kernel: None,
+                    },
+                )
+            })
+            .collect();
+        rung.create_vec(ctx, &entries).unwrap();
+        let ids: Vec<SandboxId> = entries.iter().map(|(i, _)| i.clone()).collect();
+        rung.start_vec(ctx, &ids).unwrap();
+        for id in &ids {
+            rung.invoke(ctx, id, SimDuration::from_micros(200)).unwrap();
+        }
+        rung.device().resident_kernels()
+    });
+    sim.run().unwrap();
+    assert_eq!(out.take_result().unwrap(), 4);
+}
+
+#[test]
+fn billing_reflects_pu_prices_end_to_end() {
+    let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+    molecule.register_function(
+        FunctionDef::builder("f", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .exec_ms(10.0)
+            .build(),
+    );
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    sim.spawn("gateway", move |ctx| {
+        m.bootstrap(ctx).unwrap();
+        m.prepare_template(ctx, PuId(0), LangRuntime::Python).unwrap();
+        m.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+        let a = m.start_instance(ctx, &"f".into(), PuId(0), StartupKind::CforkLocal).unwrap();
+        let b = m.start_instance(ctx, &"f".into(), PuId(1), StartupKind::CforkLocal).unwrap();
+        m.invoke(ctx, a.instance, 0).unwrap();
+        m.invoke(ctx, b.instance, 0).unwrap();
+    });
+    sim.run().unwrap();
+    let meter = molecule.meter();
+    let cpu = meter.total_for(PuKind::Cpu);
+    let dpu = meter.total_for(PuKind::Dpu);
+    // The DPU ran 6.2x longer but at 0.4x the price: 62ms * 0.4 = 24.8 vs
+    // 10ms * 1.0 = 10.
+    assert!(cpu > 0.0 && dpu > 0.0);
+    assert!((2.0..=3.0).contains(&(dpu / cpu)), "dpu/cpu billing ratio {}", dpu / cpu);
+}

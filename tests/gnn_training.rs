@@ -1,0 +1,111 @@
+//! Integration: the Dorylus-style GNN round (§2.4) — the paper's motivating
+//! case for GPU serverless functions — end to end through Molecule.
+
+use hetsim::engine::Simulation;
+use hetsim::pu::{PuId, PuKind};
+use hetsim::topology::Machine;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+use vsandbox::spec::LangRuntime;
+use workloads::gnn;
+
+fn gnn_molecule() -> (Molecule, PuId) {
+    let machine = Machine::full_heterogeneous();
+    let gpu = machine.pus_of_kind(PuKind::Gpu)[0];
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    for def in gnn::training_round() {
+        molecule.register_function(def);
+    }
+    (molecule, gpu)
+}
+
+#[test]
+fn gpu_apply_stage_accelerates_the_training_round() {
+    let (molecule, gpu) = gnn_molecule();
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("trainer", move |ctx| {
+        m.bootstrap(ctx).unwrap();
+        m.prepare_template(ctx, PuId(0), LangRuntime::Python).unwrap();
+
+        let cpu_stages = vec![
+            ChainStage::new("gnn-gather", PuId(0)),
+            ChainStage::new("gnn-apply", PuId(0)),
+            ChainStage::new("gnn-scatter", PuId(0)),
+        ];
+        let gpu_stages = vec![
+            ChainStage::new("gnn-gather", PuId(0)),
+            ChainStage::new("gnn-apply", gpu),
+            ChainStage::new("gnn-scatter", PuId(0)),
+        ];
+        let cpu_round = run_chain(
+            &m,
+            ctx,
+            &ChainSpec::new("gnn-cpu", cpu_stages, CommMethod::DirectIpc)
+                .input_bytes(gnn::PARTITION_BYTES),
+        )
+        .unwrap()
+        .mean_end_to_end();
+        let gpu_round = run_chain(
+            &m,
+            ctx,
+            &ChainSpec::new("gnn-gpu", gpu_stages, CommMethod::DirectIpc)
+                .input_bytes(gnn::PARTITION_BYTES),
+        )
+        .unwrap()
+        .mean_end_to_end();
+        (cpu_round, gpu_round)
+    });
+    sim.run().unwrap();
+    let (cpu_round, gpu_round) = out.take_result().unwrap();
+    let speedup = cpu_round.ratio(gpu_round);
+    assert!(
+        (1.8..=6.0).contains(&speedup),
+        "GPU round must be several times faster: {speedup} (cpu {cpu_round}, gpu {gpu_round})"
+    );
+}
+
+#[test]
+fn gpu_instances_start_and_bill_through_the_runtime() {
+    let (molecule, gpu) = gnn_molecule();
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("trainer", move |ctx| {
+        let started = m
+            .start_instance(ctx, &"gnn-apply".into(), gpu, StartupKind::ColdBaseline)
+            .unwrap();
+        // First start pays context creation + module load; a second kernel
+        // amortizes the context.
+        let second = m
+            .start_instance(ctx, &"gnn-apply".into(), gpu, StartupKind::ColdBaseline)
+            .unwrap();
+        let invoke = m.invoke(ctx, started.instance, gnn::PARTITION_BYTES).unwrap();
+        m.retire_instance(ctx, second.instance).unwrap();
+        (started.latency, second.latency, invoke.latency)
+    });
+    sim.run().unwrap();
+    let (first, second, invoke) = out.take_result().unwrap();
+    assert!(first > second, "context creation amortizes: {first} vs {second}");
+    // Invoke = PCIe transfer of the partition + launch + ~2.57ms kernel.
+    let ms = invoke.as_millis_f64();
+    assert!((2.5..=3.5).contains(&ms), "gpu invoke {ms}ms");
+    let meter = molecule.meter();
+    assert!(meter.total_for(PuKind::Gpu) > 0.0, "GPU time is billed");
+}
+
+#[test]
+fn gpu_function_without_profile_is_rejected() {
+    let (molecule, gpu) = gnn_molecule();
+    let mut sim = Simulation::new();
+    let out = sim.spawn("trainer", move |ctx| {
+        // gather has no GPU profile.
+        molecule
+            .start_instance(ctx, &"gnn-gather".into(), gpu, StartupKind::ColdBaseline)
+            .unwrap_err()
+    });
+    sim.run().unwrap();
+    assert!(matches!(
+        out.take_result().unwrap(),
+        molecule_core::MoleculeError::UnsupportedPu { .. }
+    ));
+}

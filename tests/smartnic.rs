@@ -1,0 +1,93 @@
+//! Integration: SmartNIC support (§6.8 — "we have preliminarily supported
+//! GPU and smartNIC on Molecule"). SmartNICs are general-purpose PUs with
+//! embedded ARM cores: they get a local OS, an XPU-Shim instance, a `runc`,
+//! and the full cfork/nIPC story — exactly like a DPU, just slower.
+
+use hetsim::engine::Simulation;
+use hetsim::pu::{PuId, PuKind};
+use hetsim::topology::Machine;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::function::FunctionDef;
+use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+use vsandbox::spec::LangRuntime;
+
+fn smartnic_machine() -> (Machine, PuId) {
+    let machine = Machine::builder().host_cpu().smartnics(1).build();
+    let nic = machine.pus_of_kind(PuKind::SmartNic)[0];
+    (machine, nic)
+}
+
+#[test]
+fn smartnic_runs_its_own_os_and_shim() {
+    let (machine, nic) = smartnic_machine();
+    assert!(machine.os(nic).is_some(), "SmartNICs run a local OS");
+    let cluster = xpu_shim::cluster::ShimCluster::deploy(machine, Default::default());
+    assert_eq!(cluster.shim_count(), 2, "CPU + SmartNIC shims");
+    let shim = cluster.shim_on(nic).unwrap();
+    assert!(!shim.is_virtual(), "general-purpose PU runs a real shim");
+}
+
+#[test]
+fn functions_cfork_onto_the_smartnic() {
+    let (machine, nic) = smartnic_machine();
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    molecule.register_function(
+        FunctionDef::builder("edge-filter", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::SmartNic])
+            .exec_ms(2.0)
+            .build(),
+    );
+    let mut sim = Simulation::new();
+    let m = molecule.clone();
+    let out = sim.spawn("gateway", move |ctx| {
+        m.bootstrap(ctx).unwrap();
+        m.prepare_template(ctx, nic, LangRuntime::Python).unwrap();
+        let started = m
+            .start_instance(ctx, &"edge-filter".into(), nic, StartupKind::CforkLocal)
+            .unwrap();
+        let exec = m.invoke(ctx, started.instance, 1024).unwrap().latency;
+        (started.latency, exec)
+    });
+    sim.run().unwrap();
+    let (startup, exec) = out.take_result().unwrap();
+    // cfork scales with the SmartNIC's 3.5x compute factor: 6.4ms * 3.5.
+    let ms = startup.as_millis_f64();
+    assert!((20.0..=26.0).contains(&ms), "SmartNIC cfork {ms}ms");
+    assert_eq!(exec.as_millis_f64(), 7.0, "2ms handler at 3.5x");
+}
+
+#[test]
+fn nipc_chains_span_cpu_and_smartnic() {
+    let (machine, nic) = smartnic_machine();
+    let molecule = Molecule::launch(machine, MoleculeConfig::default());
+    for name in ["ingress", "process"] {
+        molecule.register_function(
+            FunctionDef::builder(name, LangRuntime::NodeJs)
+                .profiles(&[PuKind::Cpu, PuKind::SmartNic])
+                .exec_ms(0.5)
+                .build(),
+        );
+    }
+    let mut sim = Simulation::new();
+    let out = sim.spawn("driver", move |ctx| {
+        let stages =
+            vec![ChainStage::new("ingress", nic), ChainStage::new("process", PuId(0))];
+        let ipc = run_chain(
+            &molecule,
+            ctx,
+            &ChainSpec::new("nic-ipc", stages.clone(), CommMethod::DirectIpc),
+        )
+        .unwrap();
+        let http = run_chain(
+            &molecule,
+            ctx,
+            &ChainSpec::new("nic-http", stages, CommMethod::HttpGateway),
+        )
+        .unwrap();
+        (ipc.mean_hop(1), http.mean_hop(1))
+    });
+    sim.run().unwrap();
+    let (ipc, http) = out.take_result().unwrap();
+    assert!(ipc < http, "nIPC must beat the network hop: {ipc} vs {http}");
+    assert!(http.ratio(ipc) > 5.0, "ratio {}", http.ratio(ipc));
+}

@@ -1,0 +1,124 @@
+//! Integration: the complete vectorized-verb surface of Table 3, exercised
+//! on both `runc` (loop-based vectorization) and `runf` (true vectorized
+//! packing).
+
+use hetsim::calib::Calibration;
+use hetsim::engine::Simulation;
+use hetsim::fpga::{FpgaDevice, FpgaResources, KernelSpec};
+use hetsim::os::LocalOs;
+use hetsim::pu::{PuId, PuSpec};
+use vsandbox::oci::{OciRuntime, VectorizedRuntime};
+use vsandbox::runc::RuncRuntime;
+use vsandbox::runf::RunfRuntime;
+use vsandbox::spec::{LangRuntime, SandboxConfig, SandboxId, SandboxState, Signal};
+
+fn runc() -> RuncRuntime {
+    let calib = Calibration::paper_server();
+    let os = LocalOs::boot(&PuSpec::xeon_host(PuId(0)), calib.cpu_os, 16 * 1024);
+    RuncRuntime::new(os, &calib)
+}
+
+fn runf() -> RunfRuntime {
+    RunfRuntime::new(FpgaDevice::new(PuId(1), Calibration::paper_server().fpga))
+}
+
+fn py_cfg(i: usize) -> (SandboxId, SandboxConfig) {
+    (
+        SandboxId::new(format!("c{i}")),
+        SandboxConfig::general(format!("fn{i}"), LangRuntime::Python, 64),
+    )
+}
+
+fn fpga_cfg(i: usize) -> (SandboxId, SandboxConfig) {
+    let kernel = KernelSpec {
+        name: format!("k{i}"),
+        resources: FpgaResources { luts: 4_000, regs: 6_000, brams: 12, dsps: 24 },
+    };
+    (SandboxId::new(format!("k{i}")), SandboxConfig::fpga(format!("k{i}"), kernel))
+}
+
+#[test]
+fn runc_full_vector_lifecycle() {
+    let rt = runc();
+    let mut sim = Simulation::new();
+    let out = sim.spawn("driver", move |ctx| {
+        let entries: Vec<_> = (0..4).map(py_cfg).collect();
+        let ids: Vec<SandboxId> = entries.iter().map(|(i, _)| i.clone()).collect();
+        rt.create_vec(ctx, &entries).unwrap();
+        assert_eq!(rt.state_vec(ctx, &ids).unwrap(), vec![SandboxState::Created; 4]);
+        rt.start_vec(ctx, &ids).unwrap();
+        assert_eq!(rt.state_vec(ctx, &ids).unwrap(), vec![SandboxState::Running; 4]);
+        let kills: Vec<(SandboxId, Signal)> =
+            ids.iter().map(|i| (i.clone(), Signal::Term)).collect();
+        rt.kill_vec(ctx, &kills).unwrap();
+        assert_eq!(rt.state_vec(ctx, &ids).unwrap(), vec![SandboxState::Stopped; 4]);
+        rt.delete_vec(ctx, &ids).unwrap();
+        rt.state_vec(ctx, &ids).unwrap()
+    });
+    sim.run().unwrap();
+    assert_eq!(out.take_result().unwrap(), vec![SandboxState::Deleted; 4]);
+}
+
+#[test]
+fn runf_full_vector_lifecycle_with_one_flash() {
+    let rt = runf();
+    let mut sim = Simulation::new();
+    let out = sim.spawn("driver", move |ctx| {
+        let entries: Vec<_> = (0..4).map(fpga_cfg).collect();
+        let ids: Vec<SandboxId> = entries.iter().map(|(i, _)| i.clone()).collect();
+        let t0 = ctx.now();
+        rt.create_vec(ctx, &entries).unwrap();
+        let create_cost = ctx.now() - t0;
+        // One flash for the whole vector, not four (load_full 3.75s + 4
+        // compose steps, well under 2 full flashes).
+        assert!(create_cost.as_secs_f64() < 7.5, "vector create {create_cost}");
+        rt.start_vec(ctx, &ids).unwrap();
+        assert_eq!(rt.state_vec(ctx, &ids).unwrap(), vec![SandboxState::Running; 4]);
+        // Lazy vector delete: free.
+        let t0 = ctx.now();
+        rt.delete_vec(ctx, &ids).unwrap();
+        let delete_cost = ctx.now() - t0;
+        assert!(delete_cost.is_zero(), "lazy delete cost {delete_cost}");
+        (rt.state_vec(ctx, &ids).unwrap(), rt.device().is_resident("k0"))
+    });
+    sim.run().unwrap();
+    let (states, still_flashed) = out.take_result().unwrap();
+    assert_eq!(states, vec![SandboxState::Deleted; 4]);
+    assert!(still_flashed, "lazy delete leaves kernels on the fabric");
+}
+
+#[test]
+fn vector_ops_fail_atomically_on_the_first_bad_entry() {
+    let rt = runc();
+    let mut sim = Simulation::new();
+    let out = sim.spawn("driver", move |ctx| {
+        let good = py_cfg(0);
+        rt.create(ctx, &good.0, &good.1).unwrap();
+        // Second create collides; the vector call reports it.
+        let entries = vec![py_cfg(1), py_cfg(0)];
+        let err = rt.create_vec(ctx, &entries).unwrap_err();
+        // The entry before the failure was created.
+        let st = rt.state(ctx, &SandboxId::new("c1")).unwrap();
+        (err, st)
+    });
+    sim.run().unwrap();
+    let (err, st) = out.take_result().unwrap();
+    assert!(matches!(err, vsandbox::oci::SandboxError::AlreadyExists(_)));
+    assert_eq!(st, SandboxState::Created);
+}
+
+#[test]
+fn runf_vector_create_rejects_oversized_vectors() {
+    let rt = runf();
+    let mut sim = Simulation::new();
+    let out = sim.spawn("driver", move |ctx| {
+        // ~300 kernels at 4k LUTs each exceed F1's 1.18M LUTs.
+        let entries: Vec<_> = (0..300).map(fpga_cfg).collect();
+        rt.create_vec(ctx, &entries).unwrap_err()
+    });
+    sim.run().unwrap();
+    assert!(matches!(
+        out.take_result().unwrap(),
+        vsandbox::oci::SandboxError::Device(_)
+    ));
+}
