@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, formatting, lints. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -181,7 +181,9 @@ fn bench_workload_kernels(c: &mut Criterion) {
     });
     let n = 48;
     let a: Vec<f64> = (0..n * n)
-        .map(|i| ((i * 2654435761usize) % 1000) as f64 / 997.0 + if i % (n + 1) == 0 { 3.0 } else { 0.0 })
+        .map(|i| {
+            ((i * 2654435761usize) % 1000) as f64 / 997.0 + if i % (n + 1) == 0 { 3.0 } else { 0.0 }
+        })
         .collect();
     let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
     c.bench_function("kernels/linpack_solve_48", |b| {
@@ -191,9 +193,7 @@ fn bench_workload_kernels(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
-    c.bench_function("kernels/dd_copy_16k", |b| {
-        b.iter(|| kernels::dd_copy(black_box(&data), 512))
-    });
+    c.bench_function("kernels/dd_copy_16k", |b| b.iter(|| kernels::dd_copy(black_box(&data), 512)));
 }
 
 fn bench_shim_server(c: &mut Criterion) {

@@ -128,10 +128,7 @@ pub fn keepalive_policies() -> Vec<PolicyRow> {
     let policies: Vec<(&'static str, PolicyFactory)> = vec![
         ("lru", Box::new(|| Box::new(Lru::new()))),
         ("greedy-dual", Box::new(|| Box::new(GreedyDual::new()))),
-        (
-            "fixed-10min",
-            Box::new(|| Box::new(FixedWindow::new(SimDuration::from_secs(600)))),
-        ),
+        ("fixed-10min", Box::new(|| Box::new(FixedWindow::new(SimDuration::from_secs(600))))),
     ];
     policies
         .into_iter()
@@ -246,7 +243,8 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "ablation_startup",
         "Ablation: startup paths (first request through the gateway)",
         &["path", "first request", "per-instance PSS"],
         &rows,
@@ -255,14 +253,11 @@ pub fn print() {
     let rows: Vec<Vec<String>> = keepalive_policies()
         .iter()
         .map(|r| {
-            vec![
-                r.policy.to_owned(),
-                format!("{:.0}%", r.hit_rate * 100.0),
-                r.flashes.to_string(),
-            ]
+            vec![r.policy.to_owned(), format!("{:.0}%", r.hit_rate * 100.0), r.flashes.to_string()]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "ablation_keepalive",
         "Ablation: FPGA image-cache keep-alive policy (skewed workload)",
         &["policy", "hit rate", "flashes"],
         &rows,
@@ -270,11 +265,10 @@ pub fn print() {
 
     let rows: Vec<Vec<String>> = transports()
         .iter()
-        .map(|r| {
-            vec![r.transport.clone(), format!("{:.1}us", r.write_latency.as_micros_f64())]
-        })
+        .map(|r| vec![r.transport.clone(), format!("{:.1}us", r.write_latency.as_micros_f64())])
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "ablation_transport",
         "Ablation: XPUcall transport (DPU→CPU xfifo_write, 256B)",
         &["transport", "latency"],
         &rows,
@@ -284,7 +278,8 @@ pub fn print() {
         .iter()
         .map(|r| vec![r.batch.to_string(), r.sync_messages.to_string(), r.flushes.to_string()])
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "ablation_lazy_sync",
         "Ablation: lazy-sync batching (32 FIFO create/close pairs)",
         &["batch size", "sync messages", "flushes"],
         &rows,

@@ -11,8 +11,8 @@ use molecule_core::metrics::LatencyRecorder;
 use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
 use molecule_core::schedule::Scheduler;
 use vsandbox::spec::{FuncId, LangRuntime};
-use workloads::generator::input_sizes;
 use workloads::functionbench;
+use workloads::generator::input_sizes;
 
 const ROUNDS: usize = 10;
 
@@ -51,10 +51,7 @@ fn bench_system(how: StartupKind, func: &FuncId) -> (LatencyRecorder, LatencyRec
         }
         // Startup-only samples.
         for _ in 0..ROUNDS {
-            let r = gw
-                .molecule()
-                .start_instance(ctx, &func, PuId(0), how)
-                .unwrap();
+            let r = gw.molecule().start_instance(ctx, &func, PuId(0), how).unwrap();
             startup.record(r.latency);
             gw.molecule().retire_instance(ctx, r.instance).unwrap();
         }

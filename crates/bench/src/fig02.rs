@@ -84,15 +84,13 @@ pub fn matrix_latency() -> Vec<MatrixRow> {
         let mut rows = Vec::new();
         for ((name, cpu_us), func) in matrix::CPU_LATENCY_US.iter().zip(&funcs) {
             // CPU side: warm instance (pure handler time).
-            let cpu_started = m
-                .start_instance(ctx, func, PuId(0), StartupKind::ColdBaseline)
-                .unwrap();
+            let cpu_started =
+                m.start_instance(ctx, func, PuId(0), StartupKind::ColdBaseline).unwrap();
             m.invoke(ctx, cpu_started.instance, 4096).unwrap(); // warm it
             let cpu = m.invoke(ctx, cpu_started.instance, 4096).unwrap().latency;
             // FPGA side: warm sandbox.
-            let fpga_started = m
-                .start_instance(ctx, func, fpga, StartupKind::ColdBaseline)
-                .unwrap();
+            let fpga_started =
+                m.start_instance(ctx, func, fpga, StartupKind::ColdBaseline).unwrap();
             let fpga_lat = m.invoke(ctx, fpga_started.instance, 4096).unwrap().latency;
             rows.push(MatrixRow {
                 op: (*name).to_owned(),
@@ -109,11 +107,10 @@ pub fn matrix_latency() -> Vec<MatrixRow> {
 pub fn print() {
     let rows: Vec<Vec<String>> = density()
         .iter()
-        .map(|r| {
-            vec![r.config.to_owned(), r.paper.to_string(), r.measured.to_string()]
-        })
+        .map(|r| vec![r.config.to_owned(), r.paper.to_string(), r.measured.to_string()])
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "fig02",
         "Figure 2a: concurrent instances (DPU for higher density)",
         &["config", "paper", "measured"],
         &rows,
@@ -130,7 +127,8 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "fig02_matrix",
         "Figure 2b: matrix functions, CPU vs FPGA (paper: 2.15-2.82x)",
         &["op", "paper CPU", "measured CPU", "measured FPGA", "speedup"],
         &rows,
@@ -155,7 +153,13 @@ mod tests {
             assert!((2.0..=2.9).contains(&s), "{}: speedup {s}", row.op);
             // Measured CPU latency tracks the paper label (warm handler).
             let err = row.cpu.as_micros_f64() / row.paper_cpu.as_micros_f64();
-            assert!((0.95..=1.1).contains(&err), "{}: cpu {} vs {}", row.op, row.cpu, row.paper_cpu);
+            assert!(
+                (0.95..=1.1).contains(&err),
+                "{}: cpu {} vs {}",
+                row.op,
+                row.cpu,
+                row.paper_cpu
+            );
         }
     }
 }

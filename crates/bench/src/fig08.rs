@@ -79,8 +79,7 @@ pub fn linux_series(pu: PuId) -> NipcSeries {
 
 /// All five Fig. 8 series, in the figure's legend order.
 pub fn all_series() -> Vec<NipcSeries> {
-    let mut v: Vec<NipcSeries> =
-        XcallTransport::ALL.iter().map(|&t| nipc_series(t)).collect();
+    let mut v: Vec<NipcSeries> = XcallTransport::ALL.iter().map(|&t| nipc_series(t)).collect();
     v.push(linux_series(PuId(1)));
     v.push(linux_series(PuId(0)));
     v
@@ -101,7 +100,8 @@ pub fn print() {
             row
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "fig08",
         "Figure 8: nIPC latency (paper: Poll ≈ 25us, Base/MPSC well above Linux DPU)",
         &header_refs,
         &rows,
@@ -119,10 +119,7 @@ mod tests {
         for (i, &size) in MSG_SIZES.iter().enumerate() {
             let p = poll.latency[i].as_micros_f64();
             assert!((15.0..=35.0).contains(&p), "poll at {size}B = {p}us");
-            assert!(
-                poll.latency[i] < linux_dpu.latency[i],
-                "poll must beat Linux DPU at {size}B"
-            );
+            assert!(poll.latency[i] < linux_dpu.latency[i], "poll must beat Linux DPU at {size}B");
         }
     }
 

@@ -24,11 +24,8 @@ pub fn compare() -> CommercialComparison {
     let (homo_startup, molecule_startup, homo_comm, molecule_comm) = run_sim("fig09", {
         let calib = calib.clone();
         move |ctx| {
-            let machine = Machine::builder()
-                .calibration(calib)
-                .host_cpu()
-                .bluefield1_dpus(1)
-                .build();
+            let machine =
+                Machine::builder().calibration(calib).host_cpu().bluefield1_dpus(1).build();
             let m = Molecule::launch(machine, MoleculeConfig::default());
             m.register_function(serverlessbench::helloworld());
             m.register_function(serverlessbench::image_processing());
@@ -57,8 +54,7 @@ pub fn compare() -> CommercialComparison {
             ];
             let http = ChainSpec::new("fig9-http", stages.clone(), CommMethod::HttpGateway)
                 .input_bytes(900);
-            let ipc =
-                ChainSpec::new("fig9-ipc", stages, CommMethod::DirectIpc).input_bytes(900);
+            let ipc = ChainSpec::new("fig9-ipc", stages, CommMethod::DirectIpc).input_bytes(900);
             let homo_comm = run_chain(&m, ctx, &http).unwrap().mean_hop(1);
             let molecule_comm = run_chain(&m, ctx, &ipc).unwrap().mean_hop(1);
             (homo, molecule, homo_comm, molecule_comm)
@@ -77,7 +73,8 @@ pub fn print() {
         vec!["Molecule-Homo".to_owned(), ms(c.homo_startup), ms(c.homo_comm)],
         vec!["Molecule".to_owned(), ms(c.molecule_startup), ms(c.molecule_comm)],
     ];
-    crate::print_table(
+    crate::export_table(
+        "fig09",
         "Figure 9: vs commercial systems (paper: 37-46x startup, 68-300x comm)",
         &["system", "startup", "communication"],
         &rows,

@@ -53,14 +53,10 @@ pub fn gp_startup(target: PuId) -> Vec<StartupRow> {
             m.register_function(lang_function(lang));
             m.prepare_template(ctx, target, lang).unwrap();
             let func = vsandbox::spec::FuncId::new(format!("probe-{lang}"));
-            let baseline = m
-                .start_instance(ctx, &func, target, StartupKind::ColdBaseline)
-                .unwrap()
-                .latency;
-            let cfork_local = m
-                .start_instance(ctx, &func, target, StartupKind::CforkLocal)
-                .unwrap()
-                .latency;
+            let baseline =
+                m.start_instance(ctx, &func, target, StartupKind::ColdBaseline).unwrap().latency;
+            let cfork_local =
+                m.start_instance(ctx, &func, target, StartupKind::CforkLocal).unwrap().latency;
             let cfork_xpu = m
                 .start_instance(ctx, &func, target, StartupKind::CforkXpu { issued_from: issuer })
                 .unwrap()
@@ -109,13 +105,25 @@ pub fn fpga_startup() -> Vec<FpgaStartupRow> {
         rows.push(FpgaStartupRow { case: "No-Erase", paper_secs: 3.8, measured: ctx.now() - t0 });
 
         // Warm-image: the image is cached host-side; re-flash is cheaper.
-        molecule.create(ctx, &"evictor".into(), &SandboxConfig::fpga("evict", matrix::kernel_spec("madd"))).unwrap();
+        molecule
+            .create(
+                ctx,
+                &"evictor".into(),
+                &SandboxConfig::fpga("evict", matrix::kernel_spec("madd")),
+            )
+            .unwrap();
         let t0 = ctx.now();
         molecule.start(ctx, &"vmult".into()).unwrap();
         rows.push(FpgaStartupRow { case: "Warm-image", paper_secs: 1.9, measured: ctx.now() - t0 });
 
         // Warm-sandbox: resident and prepared — only sandbox prep remains.
-        molecule.create(ctx, &"again".into(), &SandboxConfig::fpga("again", matrix::kernel_spec("mmult"))).unwrap();
+        molecule
+            .create(
+                ctx,
+                &"again".into(),
+                &SandboxConfig::fpga("again", matrix::kernel_spec("mmult")),
+            )
+            .unwrap();
         // "again" create replaced the image; bring vmult back and stop it so
         // only the prep step remains.
         molecule.start(ctx, &"vmult".into()).unwrap();
@@ -133,7 +141,10 @@ pub fn fpga_startup() -> Vec<FpgaStartupRow> {
 
 /// Prints all three panels.
 pub fn print() {
-    for (title, target) in [("Figure 10a: startup at CPU", PuId(0)), ("Figure 10b: startup at DPU (BF-1)", PuId(1))] {
+    for (key, title, target) in [
+        ("fig10a", "Figure 10a: startup at CPU", PuId(0)),
+        ("fig10b", "Figure 10b: startup at DPU (BF-1)", PuId(1)),
+    ] {
         let rows: Vec<Vec<String>> = gp_startup(target)
             .iter()
             .map(|r| {
@@ -145,7 +156,12 @@ pub fn print() {
                 ]
             })
             .collect();
-        crate::print_table(title, &["language", "baseline-local", "cfork-local", "cfork-XPU"], &rows);
+        crate::export_table(
+            key,
+            title,
+            &["language", "baseline-local", "cfork-local", "cfork-XPU"],
+            &rows,
+        );
     }
     let rows: Vec<Vec<String>> = fpga_startup()
         .iter()
@@ -157,7 +173,12 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table("Figure 10c: startup at FPGA", &["case", "paper", "measured"], &rows);
+    crate::export_table(
+        "fig10c",
+        "Figure 10c: startup at FPGA",
+        &["case", "paper", "measured"],
+        &rows,
+    );
 }
 
 #[cfg(test)]

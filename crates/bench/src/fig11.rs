@@ -164,7 +164,12 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table("Figure 11a: cfork breakdown", &["case", "paper", "measured"], &rows);
+    crate::export_table(
+        "fig11",
+        "Figure 11a: cfork breakdown",
+        &["case", "paper", "measured"],
+        &rows,
+    );
 
     let rows: Vec<Vec<String>> = memory_study()
         .iter()
@@ -178,7 +183,8 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "fig11_memory",
         "Figure 11b/c: memory per instance, MiB (paper: Molecule PSS 34% lower at 16)",
         &["instances", "base RSS", "mol RSS", "base PSS", "mol PSS"],
         &rows,

@@ -77,7 +77,8 @@ pub fn edges_under(placement: Placement) -> Vec<EdgeRow> {
         .into_iter()
         .map(|edge| {
             run_sim("fig12", move |ctx| {
-                let m = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+                let m =
+                    Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
                 for def in alexa_chain() {
                     m.register_function(def);
                 }
@@ -89,8 +90,7 @@ pub fn edges_under(placement: Placement) -> Vec<EdgeRow> {
                 };
                 let baseline =
                     run_chain(&m, ctx, &mk(CommMethod::HttpGateway)).unwrap().mean_hop(1);
-                let molecule =
-                    run_chain(&m, ctx, &mk(CommMethod::DirectIpc)).unwrap().mean_hop(1);
+                let molecule = run_chain(&m, ctx, &mk(CommMethod::DirectIpc)).unwrap().mean_hop(1);
                 EdgeRow {
                     edge: format!(
                         "{}-{}",
@@ -119,7 +119,9 @@ pub fn print() {
                 ]
             })
             .collect();
-        crate::print_table(
+        let key = format!("fig12_{}", placement.label().to_lowercase().replace(' ', "_"));
+        crate::export_table(
+            &key,
             &format!("Figure 12 ({}), paper: 10-18x", placement.label()),
             &["edge", "baseline", "molecule", "speedup"],
             &rows,

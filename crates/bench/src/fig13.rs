@@ -63,8 +63,8 @@ pub fn sweep() -> Vec<ChainPoint> {
                 }
                 let copy = ChainSpec::new("copy", stages.clone(), CommMethod::FpgaCopy)
                     .input_bytes(PAYLOAD_BYTES);
-                let shm = ChainSpec::new("shm", stages, CommMethod::FpgaShm)
-                    .input_bytes(PAYLOAD_BYTES);
+                let shm =
+                    ChainSpec::new("shm", stages, CommMethod::FpgaShm).input_bytes(PAYLOAD_BYTES);
                 let copying = run_chain(&m, ctx, &copy).unwrap().mean_end_to_end();
                 let shm = run_chain(&m, ctx, &shm).unwrap().mean_end_to_end();
                 ChainPoint { functions: n, copying, shm }
@@ -86,7 +86,8 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "fig13",
         "Figure 13: FPGA chain latency (paper: Shm 1.95x better at 5 functions)",
         &["functions", "copying", "shm", "improvement"],
         &rows,

@@ -248,7 +248,12 @@ pub fn matrix_comput() -> (SimDuration, SimDuration) {
 
 /// Prints every panel.
 pub fn print() {
-    for target in [FbTarget::ColdCpu, FbTarget::Warm, FbTarget::ColdBf1, FbTarget::ColdBf2] {
+    for (key, target) in [
+        ("fig14a", FbTarget::ColdCpu),
+        ("fig14b", FbTarget::Warm),
+        ("fig14c", FbTarget::ColdBf1),
+        ("fig14d", FbTarget::ColdBf2),
+    ] {
         let rows: Vec<Vec<String>> = functionbench_panel(target)
             .iter()
             .map(|r| {
@@ -261,7 +266,8 @@ pub fn print() {
                 ]
             })
             .collect();
-        crate::print_table(
+        crate::export_table(
+            key,
             target.label(),
             &["workload", "paper baseline (ms)", "baseline (ms)", "molecule (ms)", "speedup"],
             &rows,
@@ -272,7 +278,8 @@ pub fn print() {
             .iter()
             .map(|r| vec![r.config.clone(), format!("{:.2}ms", r.latency.as_millis_f64())])
             .collect();
-        crate::print_table(
+        crate::export_table(
+            &format!("fig14e_{app}"),
             &format!("Fig. 14e: chained application '{app}'"),
             &["config", "end-to-end"],
             &rows,
@@ -288,7 +295,12 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table("Fig. 14f: GZip (paper: crossover ≈25MB, 4.8-8.3x)", &["size", "CPU", "FPGA"], &rows);
+    crate::export_table(
+        "fig14f",
+        "Fig. 14f: GZip (paper: crossover ≈25MB, 4.8-8.3x)",
+        &["size", "CPU", "FPGA"],
+        &rows,
+    );
     let rows: Vec<Vec<String>> = aml_sweep()
         .iter()
         .map(|r| {
@@ -300,9 +312,15 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table("Fig. 14g: Anti-MoneyL (paper: 4.7-34.6x)", &["entries", "CPU", "FPGA", "speedup"], &rows);
+    crate::export_table(
+        "fig14g",
+        "Fig. 14g: Anti-MoneyL (paper: 4.7-34.6x)",
+        &["entries", "CPU", "FPGA", "speedup"],
+        &rows,
+    );
     let (cpu, fpga) = matrix_comput();
-    crate::print_table(
+    crate::export_table(
+        "fig14h",
         "Fig. 14h: Matrix-Comput (paper: 2.8x, CPU 2.6ms)",
         &["CPU", "FPGA", "speedup"],
         &[vec![
@@ -327,7 +345,11 @@ mod tests {
             assert!(*s <= 12.0, "{name} exceeds the paper band: {s}");
         }
         let best = speedups.iter().cloned().fold(("", 0.0), |acc, (n, s)| {
-            if s > acc.1 { (Box::leak(n.into_boxed_str()), s) } else { acc }
+            if s > acc.1 {
+                (Box::leak(n.into_boxed_str()), s)
+            } else {
+                acc
+            }
         });
         assert_eq!(best.0, "Matmul", "Matmul should improve most (paper: 11.12x)");
         assert!((10.0..=12.0).contains(&best.1), "Matmul speedup {}", best.1);
@@ -387,10 +409,7 @@ mod tests {
         assert!((36.0..=41.0).contains(&base), "alexa baseline {base}ms");
         // Molecule wins on every placement.
         for mode in ["CPU", "DPU", "CrossPU"] {
-            assert!(
-                get(&format!("Molecule-{mode}")) < get(&format!("Baseline-{mode}")),
-                "{mode}"
-            );
+            assert!(get(&format!("Molecule-{mode}")) < get(&format!("Baseline-{mode}")), "{mode}");
         }
     }
 

@@ -59,9 +59,10 @@ pub fn measure_molecule() -> MoleculePlacement {
             ChainStage::new("sb-image-process", PuId(0)),
             ChainStage::new("sb-image-process", PuId(1)),
         ];
-        let same_pu_hop = run_chain(&m, ctx, &ChainSpec::new("s", same.clone(), CommMethod::DirectIpc))
-            .unwrap()
-            .mean_hop(1);
+        let same_pu_hop =
+            run_chain(&m, ctx, &ChainSpec::new("s", same.clone(), CommMethod::DirectIpc))
+                .unwrap()
+                .mean_hop(1);
         let cross_pu_hop = run_chain(&m, ctx, &ChainSpec::new("x", cross, CommMethod::DirectIpc))
             .unwrap()
             .mean_hop(1);
@@ -91,7 +92,8 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "fig15",
         "Figure 15: serverless system design space (published placements)",
         &["system", "startup", "same-PU comm", "cross-PU comm"],
         &rows,

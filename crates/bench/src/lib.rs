@@ -52,9 +52,7 @@ where
     let mut sim = Simulation::new();
     let handle = sim.spawn(name, f);
     sim.run().unwrap_or_else(|e| panic!("simulation '{name}' failed: {e}"));
-    handle
-        .take_result()
-        .unwrap_or_else(|| panic!("driver '{name}' returned no result"))
+    handle.take_result().unwrap_or_else(|| panic!("driver '{name}' returned no result"))
 }
 
 /// Formats a ratio as the paper prints speedups (e.g. `"11.12x"`).
@@ -85,6 +83,29 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
     for row in rows {
         println!("{}", fmt_row(row.clone()));
+    }
+}
+
+/// Directory bench JSON summaries are written to: `$MOLECULE_BENCH_DIR`,
+/// defaulting to the current directory.
+pub fn bench_dir() -> std::path::PathBuf {
+    std::env::var_os("MOLECULE_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
+/// Prints a table *and* writes it as the figure's machine-readable
+/// `BENCH_<figure>.json` summary (via [`telemetry::BenchSummary`]), so
+/// plotting scripts consume the same numbers the terminal shows.
+///
+/// Figures with several tables export each under its own key (e.g.
+/// `fig10` and `fig10_memory`).
+pub fn export_table(figure: &str, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    print_table(title, header, rows);
+    let summary = telemetry::BenchSummary::new(figure, title, header, rows);
+    match summary.write_to_dir(bench_dir()) {
+        Ok(path) => println!("[bench] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench] could not write {}: {e}", summary.file_name()),
     }
 }
 

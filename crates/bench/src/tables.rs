@@ -157,7 +157,8 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "table1",
         "Table 1: contributions per PU",
         &["PU", "V.S.", "XPU-Shim", "cfork", "V.S. caching", "nIPC DAG", "comm to CPU"],
         &rows,
@@ -167,9 +168,7 @@ pub fn print() {
         .iter()
         .map(|r| {
             let u = |i: usize| {
-                r.utilization
-                    .map(|u| format!(" ({:.1}%)", u[i] * 100.0))
-                    .unwrap_or_default()
+                r.utilization.map(|u| format!(" ({:.1}%)", u[i] * 100.0)).unwrap_or_default()
             };
             vec![
                 r.label.to_owned(),
@@ -180,7 +179,8 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "table4",
         "Table 4: FPGA resource utilization",
         &["", "# LUTs", "# REGs", "# BRAMs", "# DSPs"],
         &rows,
@@ -197,7 +197,8 @@ pub fn print() {
             ]
         })
         .collect();
-    crate::print_table(
+    crate::export_table(
+        "table5",
         "Table 5: supporting different PUs",
         &["PU", "VSandbox", "XPU-Shim", "Programming model"],
         &rows,

@@ -69,28 +69,19 @@ impl CommercialComparison {
     /// Molecule-homo's startup improvement over (AWS, OpenWhisk) — the paper
     /// reports 5-6x.
     pub fn homo_startup_speedup(&self) -> (f64, f64) {
-        (
-            self.aws_startup.ratio(self.homo_startup),
-            self.openwhisk_startup.ratio(self.homo_startup),
-        )
+        (self.aws_startup.ratio(self.homo_startup), self.openwhisk_startup.ratio(self.homo_startup))
     }
 
     /// Molecule's communication improvement over (AWS, OpenWhisk) — the
     /// paper reports 68-300x.
     pub fn molecule_comm_speedup(&self) -> (f64, f64) {
-        (
-            self.aws_comm.ratio(self.molecule_comm),
-            self.openwhisk_comm.ratio(self.molecule_comm),
-        )
+        (self.aws_comm.ratio(self.molecule_comm), self.openwhisk_comm.ratio(self.molecule_comm))
     }
 
     /// Molecule-homo's communication improvement over (AWS, OpenWhisk) —
     /// the paper reports 4-19x.
     pub fn homo_comm_speedup(&self) -> (f64, f64) {
-        (
-            self.aws_comm.ratio(self.homo_comm),
-            self.openwhisk_comm.ratio(self.homo_comm),
-        )
+        (self.aws_comm.ratio(self.homo_comm), self.openwhisk_comm.ratio(self.homo_comm))
     }
 }
 

@@ -95,12 +95,7 @@ impl Meter {
 
 impl fmt::Display for Meter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "meter: {} invocations, {:.2} credits total",
-            self.invocations,
-            self.total()
-        )
+        write!(f, "meter: {} invocations, {:.2} credits total", self.invocations, self.total())
     }
 }
 
@@ -115,10 +110,7 @@ mod tests {
         assert_eq!(c, 1.0);
         // exactly 1 ms is still 1 unit, 1 ms + 1 ns is 2.
         assert_eq!(m.charge(PuKind::Cpu, SimDuration::from_millis(1), 128), 1.0);
-        assert_eq!(
-            m.charge(PuKind::Cpu, SimDuration::from_nanos(1_000_001), 128),
-            2.0
-        );
+        assert_eq!(m.charge(PuKind::Cpu, SimDuration::from_nanos(1_000_001), 128), 2.0);
     }
 
     #[test]

@@ -153,19 +153,13 @@ pub fn plan_chain(
     let defs: Vec<crate::function::FunctionDef> = funcs
         .iter()
         .map(|f| {
-            molecule
-                .registry()
-                .get(f)
-                .ok_or_else(|| MoleculeError::UnknownFunction(f.clone()))
+            molecule.registry().get(f).ok_or_else(|| MoleculeError::UnknownFunction(f.clone()))
         })
         .collect::<Result<_, _>>()?;
     let refs: Vec<&crate::function::FunctionDef> = defs.iter().collect();
     let placement = scheduler.place_chain(molecule.machine(), &refs)?;
-    let stages = funcs
-        .iter()
-        .zip(placement)
-        .map(|(f, pu)| ChainStage { func: f.clone(), pu })
-        .collect();
+    let stages =
+        funcs.iter().zip(placement).map(|(f, pu)| ChainStage { func: f.clone(), pu }).collect();
     Ok(ChainSpec::new(name, stages, comm))
 }
 
@@ -186,11 +180,27 @@ pub fn run_chain(
     ctx: &mut ProcCtx,
     spec: &ChainSpec,
 ) -> Result<ChainOutcome, MoleculeError> {
-    match spec.comm {
+    let t0 = ctx.now();
+    let out = match spec.comm {
         CommMethod::DirectIpc => run_ipc_chain(molecule, ctx, spec),
         CommMethod::HttpGateway => run_http_chain(molecule, ctx, spec),
         CommMethod::FpgaCopy | CommMethod::FpgaShm => run_fpga_chain(molecule, ctx, spec),
-    }
+    };
+    telemetry::with(|r| {
+        r.complete_span(
+            ctx.lane(),
+            t0.as_nanos(),
+            ctx.now().as_nanos(),
+            &format!("chain:{} ({:?})", spec.name, spec.comm),
+            ctx.trace_ctx(),
+        );
+        if let Ok(o) = &out {
+            for d in &o.end_to_end {
+                r.metrics().observe_ns("dag.end_to_end_ns", d.as_nanos());
+            }
+        }
+    });
+    out
 }
 
 fn stage_exec(
@@ -301,12 +311,29 @@ fn run_ipc_chain(
         let tx = metrics_tx.clone();
         let rounds = spec.rounds;
         let name = format!("{}-stage{}-{}", spec.name, i, stage.func);
+        let pu = stage.pu;
+        let sname = name.clone();
         ctx.spawn(&name, move |sctx| {
+            // Stage processes execute on their placed PU: spans they emit
+            // land on that PU's trace lane.
+            sctx.set_lane(pu.0);
             for _ in 0..rounds {
                 let Ok(msg) = reader.read(sctx) else { return };
                 let (sent_at, hop) = decode_msg(&msg);
-                let _ = tx.send((hop as usize, sctx.now() - sent_at));
+                let hop_lat = sctx.now() - sent_at;
+                let _ = tx.send((hop as usize, hop_lat));
+                let t_exec = sctx.now();
                 sctx.sleep(exec);
+                telemetry::with(|r| {
+                    r.metrics().observe_ns("dag.hop_ns", hop_lat.as_nanos());
+                    r.complete_span(
+                        sctx.lane(),
+                        t_exec.as_nanos(),
+                        sctx.now().as_nanos(),
+                        &format!("{sname} exec"),
+                        sctx.trace_ctx(),
+                    );
+                });
                 // Timestamp when the handler finishes; the language
                 // runtime's serialization is part of the hop latency.
                 let out = encode_msg(sctx.now(), hop + 1, out_bytes);
@@ -399,17 +426,37 @@ fn run_http_chain(
         let tx = metrics_tx.clone();
         let rounds = spec.rounds;
         let (hop_overhead, hop_flight) = if i + 1 < n {
-            http_hop_cost(molecule, stage.pu, spec.stages[i + 1].pu, out_bytes + HEADER_BYTES as u64)
+            http_hop_cost(
+                molecule,
+                stage.pu,
+                spec.stages[i + 1].pu,
+                out_bytes + HEADER_BYTES as u64,
+            )
         } else {
             http_hop_cost(molecule, stage.pu, host, out_bytes + HEADER_BYTES as u64)
         };
         let name = format!("{}-http-stage{}-{}", spec.name, i, stage.func);
+        let pu = stage.pu;
+        let sname = name.clone();
         ctx.spawn(&name, move |sctx| {
+            sctx.set_lane(pu.0);
             for _ in 0..rounds {
                 let Ok(msg) = reader.recv(sctx) else { return };
                 let (sent_at, hop) = decode_msg(&msg);
-                let _ = tx.send((hop as usize, sctx.now() - sent_at));
+                let hop_lat = sctx.now() - sent_at;
+                let _ = tx.send((hop as usize, hop_lat));
+                let t_exec = sctx.now();
                 sctx.sleep(exec);
+                telemetry::with(|r| {
+                    r.metrics().observe_ns("dag.hop_ns", hop_lat.as_nanos());
+                    r.complete_span(
+                        sctx.lane(),
+                        t_exec.as_nanos(),
+                        sctx.now().as_nanos(),
+                        &format!("{sname} exec"),
+                        sctx.trace_ctx(),
+                    );
+                });
                 // Timestamp at hand-off; the Express/Flask overhead is part
                 // of the hop latency.
                 let out = encode_msg(sctx.now(), hop + 1, out_bytes);
@@ -434,9 +481,7 @@ fn run_http_chain(
         stage_txs[0]
             .send_delayed(entry_flight, msg)
             .map_err(|_| MoleculeError::Internal("stage 0 hung up".to_owned()))?;
-        result_rx
-            .recv(ctx)
-            .map_err(|_| MoleculeError::Internal("chain died".to_owned()))?;
+        result_rx.recv(ctx).map_err(|_| MoleculeError::Internal("chain died".to_owned()))?;
         end_to_end.push(ctx.now() - t0);
     }
 
@@ -470,11 +515,7 @@ fn run_fpga_chain(
     let host = molecule.machine().host_cpu();
     let dma = molecule.machine().route(host, pu);
     let shm = Link::shared_mem();
-    let cpu_coord = molecule
-        .machine()
-        .calibration()
-        .cpu_os
-        .ipc_segment; // host-side coordination of the copy path
+    let cpu_coord = molecule.machine().calibration().cpu_os.ipc_segment; // host-side coordination of the copy path
 
     // Cache the whole chain in one image (keep-alive chain affinity, §5)
     // and start every sandbox. Functions already packed by a previous run
@@ -669,8 +710,8 @@ mod tests {
         let m2 = m.clone();
         let stages2 = stages.clone();
         let h = sim.spawn("driver", move |ctx| {
-            let copy = ChainSpec::new("copy", stages2.clone(), CommMethod::FpgaCopy)
-                .input_bytes(65536);
+            let copy =
+                ChainSpec::new("copy", stages2.clone(), CommMethod::FpgaCopy).input_bytes(65536);
             let shm = ChainSpec::new("shm", stages2, CommMethod::FpgaShm).input_bytes(65536);
             let c = run_chain(&m2, ctx, &copy).unwrap();
             let s = run_chain(&m2, ctx, &shm).unwrap();
@@ -698,14 +739,8 @@ mod tests {
             .unwrap();
             // Chain co-location: both stages on the same PU.
             assert_eq!(spec.stages[0].pu, spec.stages[1].pu);
-            let missing = plan_chain(
-                &m,
-                &sched,
-                "bad",
-                &["ghost".into()],
-                CommMethod::DirectIpc,
-            )
-            .unwrap_err();
+            let missing = plan_chain(&m, &sched, "bad", &["ghost".into()], CommMethod::DirectIpc)
+                .unwrap_err();
             let outcome = run_chain(&m, ctx, &spec).unwrap();
             (missing, outcome.mean_end_to_end())
         });
@@ -724,8 +759,7 @@ mod tests {
         let h = sim.spawn("driver", move |ctx| {
             m.bootstrap(ctx).unwrap();
             m.prepare_template(ctx, PuId(0), LangRuntime::NodeJs).unwrap();
-            m.start_instance(ctx, &"front".into(), PuId(0), StartupKind::CforkLocal)
-                .unwrap();
+            m.start_instance(ctx, &"front".into(), PuId(0), StartupKind::CforkLocal).unwrap();
             let spec = ChainSpec::new(
                 "mixed",
                 vec![ChainStage::new("front", PuId(0)), ChainStage::new("interact", PuId(0))],

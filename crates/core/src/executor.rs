@@ -16,6 +16,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hetsim::engine::ProcCtx;
 use hetsim::pu::PuId;
 use hetsim::time::SimDuration;
+use telemetry::SpanContext;
 use vsandbox::spec::FuncId;
 use xpu_shim::cap::Perm;
 use xpu_shim::fifo::XpuFifoWriter;
@@ -130,6 +131,43 @@ impl ExecutorCommand {
             _ => None,
         }
     }
+
+    /// Encodes the command with `span` carried *inside the frame* (a tag
+    /// byte, then an optional 16-byte context, then the command): the
+    /// executor wire protocol embeds the trace context so a
+    /// manager→executor command continues the manager's trace on the remote
+    /// PU, even over transports that don't piggyback contexts themselves.
+    pub fn encode_traced(&self, span: Option<SpanContext>) -> Bytes {
+        let mut buf = BytesMut::new();
+        match span {
+            Some(s) => {
+                buf.put_u8(1);
+                buf.put_slice(&s.to_wire());
+            }
+            None => buf.put_u8(0),
+        }
+        buf.put_slice(&self.encode());
+        buf.freeze()
+    }
+
+    /// Decodes a frame produced by [`encode_traced`](Self::encode_traced).
+    pub fn decode_traced(mut bytes: Bytes) -> Option<(ExecutorCommand, Option<SpanContext>)> {
+        if bytes.remaining() < 1 {
+            return None;
+        }
+        let span = match bytes.get_u8() {
+            0 => None,
+            1 => {
+                if bytes.remaining() < 16 {
+                    return None;
+                }
+                let raw = bytes.split_to(16);
+                SpanContext::from_wire(&raw)
+            }
+            _ => return None,
+        };
+        Some((ExecutorCommand::decode(bytes)?, span))
+    }
 }
 
 impl ExecutorReply {
@@ -198,8 +236,20 @@ impl ExecutorHandle {
         ctx: &mut ProcCtx,
         command: ExecutorCommand,
     ) -> Result<ExecutorReply, MoleculeError> {
-        self.command_writer.write(ctx, command.encode())?;
+        let t0 = ctx.now();
+        self.command_writer.write(ctx, command.encode_traced(ctx.trace_ctx()))?;
         let raw = self.reply_fifo.read(ctx)?;
+        telemetry::with(|r| {
+            r.complete_span(
+                ctx.lane(),
+                t0.as_nanos(),
+                ctx.now().as_nanos(),
+                &format!("executor:call pu{}", self.pu.0),
+                ctx.trace_ctx(),
+            );
+            r.metrics().counter_add("executor.calls", 1);
+            r.metrics().observe_ns("executor.call_ns", (ctx.now() - t0).as_nanos());
+        });
         let reply = ExecutorReply::decode(raw)
             .ok_or_else(|| MoleculeError::Internal("malformed executor reply".to_owned()))?;
         if let ExecutorReply::Failed { reason } = &reply {
@@ -280,15 +330,13 @@ pub fn launch_executor(
     let manager = manager_shim.attach_process();
 
     // The manager owns the reply FIFO; the executor owns the command FIFO.
-    let reply_fifo =
-        manager_shim.xfifo_init(ctx, manager, format!("exec-reply-{}", pu.raw()))?;
+    let reply_fifo = manager_shim.xfifo_init(ctx, manager, format!("exec-reply-{}", pu.raw()))?;
     let reply_uuid = reply_fifo.uuid().clone();
     let reply_obj = reply_fifo.obj();
 
     let exec_shim = cluster.shim_on(pu)?;
     let exec_pid = exec_shim.attach_process();
-    let command_fifo =
-        exec_shim.xfifo_init(ctx, exec_pid, format!("exec-cmd-{}", pu.raw()))?;
+    let command_fifo = exec_shim.xfifo_init(ctx, exec_pid, format!("exec-cmd-{}", pu.raw()))?;
     let command_uuid = command_fifo.uuid().clone();
     manager_shim.grant_cap(ctx, manager, exec_pid, reply_obj, Perm::WRITE)?;
     exec_shim.grant_cap(ctx, exec_pid, manager, command_fifo.obj(), Perm::WRITE)?;
@@ -298,18 +346,22 @@ pub fn launch_executor(
     let reply_uuid_for_exec: GlobalUuid = reply_uuid;
     manager_shim.xspawn(ctx, manager, pu, "molecule-executor", &[], move |ectx, _pid| {
         let shim = cluster_for_exec.shim_on(pu).expect("executor PU exists");
-        let reply_writer = shim
-            .xfifo_connect(ectx, exec_pid, &reply_uuid_for_exec)
-            .expect("reply fifo granted");
+        let reply_writer =
+            shim.xfifo_connect(ectx, exec_pid, &reply_uuid_for_exec).expect("reply fifo granted");
         loop {
             let Ok(raw) = command_fifo.read(ectx) else { return };
-            let Some(command) = ExecutorCommand::decode(raw) else {
+            let Some((command, span)) = ExecutorCommand::decode_traced(raw) else {
                 let _ = reply_writer.write(
                     ectx,
                     ExecutorReply::Failed { reason: "malformed command".to_owned() }.encode(),
                 );
                 continue;
             };
+            // Adopt the manager's frame-embedded context: commands served
+            // here show up under the manager's request trace.
+            if span.is_some() {
+                ectx.set_trace_ctx(span);
+            }
             let reply = match command {
                 ExecutorCommand::Ping => ExecutorReply::Pong,
                 ExecutorCommand::Shutdown => {
@@ -379,11 +431,7 @@ mod tests {
     fn truncated_frames_decode_to_none() {
         let frame = ExecutorCommand::Cfork { func: FuncId::new("abcdef") }.encode();
         for cut in 1..frame.len() {
-            assert_eq!(
-                ExecutorCommand::decode(frame.slice(0..cut)),
-                None,
-                "truncated at {cut}"
-            );
+            assert_eq!(ExecutorCommand::decode(frame.slice(0..cut)), None, "truncated at {cut}");
         }
         assert_eq!(ExecutorCommand::decode(Bytes::from_static(&[99])), None);
         assert_eq!(ExecutorReply::decode(Bytes::new()), None);
@@ -424,10 +472,7 @@ mod tests {
         assert!((35.0..=45.0).contains(&remote_startup.as_millis_f64()));
         assert!(end_to_end > remote_startup);
         let overhead = (end_to_end - remote_startup).as_micros_f64();
-        assert!(
-            (10.0..=500.0).contains(&overhead),
-            "nIPC command+reply overhead was {overhead}us"
-        );
+        assert!((10.0..=500.0).contains(&overhead), "nIPC command+reply overhead was {overhead}us");
     }
 
     #[test]
@@ -485,9 +530,7 @@ mod tests {
             let exec = launch_executor(&m2, ctx, PuId(1)).unwrap();
             let (instance, _) = exec.cfork(ctx, &"img".into()).unwrap();
             assert_eq!(m2.instance_count(), 1);
-            let reply = exec
-                .call(ctx, ExecutorCommand::Retire { instance: instance.0 })
-                .unwrap();
+            let reply = exec.call(ctx, ExecutorCommand::Retire { instance: instance.0 }).unwrap();
             assert_eq!(reply, ExecutorReply::Retired);
             assert_eq!(m2.instance_count(), 0);
             exec.shutdown(ctx).unwrap();

@@ -162,9 +162,9 @@ mod tests {
     use crate::keepalive::{GreedyDual, Lru};
     use crate::runtime::MoleculeConfig;
     use hetsim::engine::Simulation;
+    use hetsim::fpga::{FpgaResources, KernelSpec};
     use hetsim::pu::PuKind;
     use hetsim::topology::Machine;
-    use hetsim::fpga::{FpgaResources, KernelSpec};
     use vsandbox::spec::LangRuntime;
 
     fn kernel_spec(name: &str) -> KernelSpec {
@@ -184,10 +184,7 @@ mod tests {
             molecule.register_function(
                 FunctionDef::builder(name.clone(), LangRuntime::OpenCl)
                     .profiles(&[PuKind::Fpga])
-                    .fpga(
-                        kernel_spec(&name),
-                        ExecModel::Fixed(SimDuration::from_micros(100)),
-                    )
+                    .fpga(kernel_spec(&name), ExecModel::Fixed(SimDuration::from_micros(100)))
                     .build(),
             );
             funcs.push(FuncId::new(name));
@@ -229,7 +226,12 @@ mod tests {
             }
             // A fourth function misses and triggers a repack.
             m.request(ctx, &fs[3], 1024).unwrap();
-            (m.is_resident(&fs[0]), m.is_resident(&fs[1]), m.is_resident(&fs[2]), m.is_resident(&fs[3]))
+            (
+                m.is_resident(&fs[0]),
+                m.is_resident(&fs[1]),
+                m.is_resident(&fs[2]),
+                m.is_resident(&fs[3]),
+            )
         });
         sim.run().unwrap();
         let (a, b, c, d) = out.take_result().unwrap();

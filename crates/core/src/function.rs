@@ -213,9 +213,7 @@ pub struct FunctionRegistry {
 
 impl fmt::Debug for FunctionRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FunctionRegistry")
-            .field("functions", &self.inner.lock().len())
-            .finish()
+        f.debug_struct("FunctionRegistry").field("functions", &self.inner.lock().len()).finish()
     }
 }
 
@@ -292,9 +290,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "no kernel")]
     fn fpga_profile_without_kernel_panics() {
-        let _ = FunctionDef::builder("bad", LangRuntime::OpenCl)
-            .profiles(&[PuKind::Fpga])
-            .build();
+        let _ = FunctionDef::builder("bad", LangRuntime::OpenCl).profiles(&[PuKind::Fpga]).build();
     }
 
     #[test]

@@ -149,6 +149,46 @@ impl ApiGateway {
         func: &FuncId,
         input_bytes: u64,
     ) -> Result<RequestReport, MoleculeError> {
+        // Admission span: opened before the body so every downstream span
+        // (startup, sandbox verbs, nIPC writes) becomes a child through the
+        // ambient trace context; ended on every return path below.
+        let prev = ctx.trace_ctx();
+        let mut req_span = None;
+        telemetry::with(|r| {
+            req_span = Some(r.begin_span(
+                ctx.lane(),
+                ctx.now().as_nanos(),
+                &format!("gateway:request {func}"),
+                prev,
+            ));
+        });
+        if req_span.is_some() {
+            ctx.set_trace_ctx(req_span);
+        }
+        let out = self.do_handle_request(ctx, func, input_bytes);
+        telemetry::with(|r| {
+            if let Some(span) = req_span {
+                r.end_span(ctx.lane(), ctx.now().as_nanos(), span);
+            }
+            match &out {
+                Ok(rep) => {
+                    let kind = if rep.cold_start { "cold" } else { "warm" };
+                    r.metrics().counter_add(&format!("gateway.requests.{kind}"), 1);
+                    r.metrics().observe_ns("gateway.request_ns", rep.latency.as_nanos());
+                }
+                Err(_) => r.metrics().counter_add("gateway.requests.err", 1),
+            }
+        });
+        ctx.set_trace_ctx(prev);
+        out
+    }
+
+    fn do_handle_request(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        input_bytes: u64,
+    ) -> Result<RequestReport, MoleculeError> {
         let t0 = ctx.now();
         let def = self
             .molecule
@@ -251,6 +291,7 @@ impl ApiGateway {
         for inst in to_retire {
             self.molecule.retire_instance(ctx, inst)?;
         }
+        telemetry::with(|r| r.metrics().counter_add("gateway.reaped", count as u64));
         Ok(count)
     }
 
@@ -301,10 +342,10 @@ mod tests {
     use super::*;
     use crate::function::FunctionDef;
     use crate::keepalive::{FixedWindow, Lru};
-    use hetsim::pu::PuKind;
-    use hetsim::engine::Simulation;
-    use hetsim::topology::Machine;
     use crate::runtime::MoleculeConfig;
+    use hetsim::engine::Simulation;
+    use hetsim::pu::PuKind;
+    use hetsim::topology::Machine;
 
     fn gateway(scale_up: StartupKind) -> ApiGateway {
         let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
@@ -425,9 +466,8 @@ mod tests {
     fn unknown_function_is_rejected() {
         let gw = gateway(StartupKind::CforkLocal);
         let mut sim = Simulation::new();
-        let out = sim.spawn("gw", move |ctx| {
-            gw.handle_request(ctx, &"ghost".into(), 1).unwrap_err()
-        });
+        let out =
+            sim.spawn("gw", move |ctx| gw.handle_request(ctx, &"ghost".into(), 1).unwrap_err());
         sim.run().unwrap();
         assert!(matches!(out.take_result().unwrap(), MoleculeError::UnknownFunction(_)));
     }

@@ -167,7 +167,11 @@ impl<P: KeepAlivePolicy> KeepAlivePolicy for ChainAffinity<P> {
                 break;
             }
             match self.chain_of(&f) {
-                Some(chain) if chain.len() <= capacity - out.len() + chain.iter().filter(|m| out.contains(m)).count() => {
+                Some(chain)
+                    if chain.len()
+                        <= capacity - out.len()
+                            + chain.iter().filter(|m| out.contains(m)).count() =>
+                {
                     for member in chain {
                         if !out.contains(member) && out.len() < capacity {
                             out.push(member.clone());

@@ -44,6 +44,6 @@ pub mod schedule;
 pub mod trace;
 
 pub use error::MoleculeError;
-pub use gateway::{ApiGateway, GatewayConfig, GatewayStats, RequestReport};
 pub use function::{ExecModel, FunctionDef, FunctionRegistry};
+pub use gateway::{ApiGateway, GatewayConfig, GatewayStats, RequestReport};
 pub use runtime::{InstanceId, InvokeReport, Molecule, MoleculeConfig, StartupKind, StartupReport};

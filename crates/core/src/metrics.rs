@@ -56,7 +56,16 @@ impl LatencyRecorder {
     }
 
     /// Adds a sample.
+    ///
+    /// The sample is also forwarded to the global [`telemetry`] metrics
+    /// registry (histogram `latency.<name>`) when a recorder is installed,
+    /// so bench summaries and Chrome exports see the same distributions.
+    /// Percentile summaries here stay exact (sorted samples), while the
+    /// telemetry histogram is log2-bucketed and mergeable.
     pub fn record(&mut self, sample: SimDuration) {
+        telemetry::with(|r| {
+            r.metrics().observe_ns(&format!("latency.{}", self.name), sample.as_nanos());
+        });
         self.samples.push(sample);
     }
 

@@ -261,6 +261,14 @@ impl Molecule {
     ///
     /// Propagates shim errors from the executor spawns.
     pub fn bootstrap(&self, ctx: &mut ProcCtx) -> Result<(), MoleculeError> {
+        telemetry::with(|r| {
+            // Name one trace lane per PU so exports read "cpu0"/"dpu1"
+            // instead of bare lane numbers.
+            for pu in self.inner.machine.pus() {
+                r.set_lane_name(pu.id.0, format!("{} (pu{})", pu.kind, pu.id.0));
+            }
+            r.instant(ctx.lane(), ctx.now().as_nanos(), "molecule-bootstrap", ctx.trace_ctx());
+        });
         let host = self.inner.machine.host_cpu();
         let shim = self.inner.cluster.shim_on(host)?;
         let manager = shim.attach_process();
@@ -302,10 +310,7 @@ impl Molecule {
     }
 
     fn lookup_function(&self, func: &FuncId) -> Result<FunctionDef, MoleculeError> {
-        self.inner
-            .registry
-            .get(func)
-            .ok_or_else(|| MoleculeError::UnknownFunction(func.clone()))
+        self.inner.registry.get(func).ok_or_else(|| MoleculeError::UnknownFunction(func.clone()))
     }
 
     fn fresh_sandbox_id(&self, func: &FuncId) -> SandboxId {
@@ -318,10 +323,7 @@ impl Molecule {
         let mut st = self.inner.state.lock();
         st.next_instance += 1;
         let id = InstanceId(st.next_instance);
-        st.warm
-            .entry((inst.func.id.clone(), inst.pu))
-            .or_default()
-            .push(id);
+        st.warm.entry((inst.func.id.clone(), inst.pu)).or_default().push(id);
         st.instances.insert(id, inst);
         id
     }
@@ -334,6 +336,39 @@ impl Molecule {
     /// [`MoleculeError::UnsupportedPu`] if the function has no profile for
     /// the PU's kind; sandbox errors otherwise.
     pub fn start_instance(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        pu: PuId,
+        how: StartupKind,
+    ) -> Result<StartupReport, MoleculeError> {
+        let t0 = ctx.now();
+        let out = self.do_start_instance(ctx, func, pu, how);
+        telemetry::with(|r| {
+            let kind = match how {
+                StartupKind::ColdBaseline => "cold",
+                StartupKind::CforkLocal => "cfork",
+                StartupKind::CforkXpu { .. } => "cfork_xpu",
+                StartupKind::Snapshot => "snapshot",
+            };
+            r.complete_span(
+                ctx.lane(),
+                t0.as_nanos(),
+                ctx.now().as_nanos(),
+                &format!("startup:{kind} {func}->pu{}", pu.0),
+                ctx.trace_ctx(),
+            );
+            match &out {
+                Ok(rep) => r
+                    .metrics()
+                    .observe_ns(&format!("molecule.startup_ns.{kind}"), rep.latency.as_nanos()),
+                Err(_) => r.metrics().counter_add("molecule.startup.err", 1),
+            }
+        });
+        out
+    }
+
+    fn do_start_instance(
         &self,
         ctx: &mut ProcCtx,
         func: &FuncId,
@@ -383,11 +418,8 @@ impl Molecule {
                     if issued_from != pu {
                         // nIPC command to the remote executor + remote
                         // coordination (Fig. 10: "about 1-3 ms").
-                        let route_cost = self
-                            .inner
-                            .machine
-                            .route(issued_from, pu)
-                            .transfer_time(256);
+                        let route_cost =
+                            self.inner.machine.route(issued_from, pu).transfer_time(256);
                         ctx.sleep(route_cost);
                         ctx.sleep(runc.container_costs().cfork_xpu_extra);
                     }
@@ -437,10 +469,10 @@ impl Molecule {
             .runfs
             .get(&pu)
             .ok_or_else(|| MoleculeError::Internal(format!("no runf on {pu}")))?;
-        let profile = def.fpga.as_ref().ok_or_else(|| MoleculeError::UnsupportedPu {
-            func: def.id.clone(),
-            pu,
-        })?;
+        let profile = def
+            .fpga
+            .as_ref()
+            .ok_or_else(|| MoleculeError::UnsupportedPu { func: def.id.clone(), pu })?;
         let sandbox = SandboxId::new(def.id.as_str());
         let t0 = ctx.now();
         let known = runf.state(ctx, &sandbox).is_ok();
@@ -522,10 +554,10 @@ impl Molecule {
         let mut entries = Vec::with_capacity(funcs.len());
         for func in funcs {
             let def = self.lookup_function(func)?;
-            let profile = def.fpga.as_ref().ok_or_else(|| MoleculeError::UnsupportedPu {
-                func: func.clone(),
-                pu,
-            })?;
+            let profile = def
+                .fpga
+                .as_ref()
+                .ok_or_else(|| MoleculeError::UnsupportedPu { func: func.clone(), pu })?;
             entries.push((
                 SandboxId::new(func.as_str()),
                 SandboxConfig::fpga(func.clone(), profile.kernel.clone()),
@@ -556,10 +588,10 @@ impl Molecule {
         let mut entries = Vec::with_capacity(funcs.len());
         for func in funcs {
             let def = self.lookup_function(func)?;
-            let profile = def.fpga.as_ref().ok_or_else(|| MoleculeError::UnsupportedPu {
-                func: func.clone(),
-                pu,
-            })?;
+            let profile = def
+                .fpga
+                .as_ref()
+                .ok_or_else(|| MoleculeError::UnsupportedPu { func: func.clone(), pu })?;
             entries.push((
                 SandboxId::new(func.as_str()),
                 SandboxConfig::fpga(func.clone(), profile.kernel.clone()),
@@ -595,11 +627,10 @@ impl Molecule {
                 let profile = inst.func.fpga.as_ref().ok_or_else(|| {
                     MoleculeError::Internal("fpga instance without profile".to_owned())
                 })?;
-                let runf = self
-                    .inner
-                    .runfs
-                    .get(&inst.pu)
-                    .ok_or_else(|| MoleculeError::Internal(format!("no runf on {}", inst.pu)))?;
+                let runf =
+                    self.inner.runfs.get(&inst.pu).ok_or_else(|| {
+                        MoleculeError::Internal(format!("no runf on {}", inst.pu))
+                    })?;
                 // Arguments move host -> device over DMA.
                 let dma = self
                     .inner
@@ -613,11 +644,10 @@ impl Molecule {
                 let exec = inst.func.gpu.ok_or_else(|| {
                     MoleculeError::Internal("gpu instance without profile".to_owned())
                 })?;
-                let rung = self
-                    .inner
-                    .rungs
-                    .get(&inst.pu)
-                    .ok_or_else(|| MoleculeError::Internal(format!("no runG on {}", inst.pu)))?;
+                let rung =
+                    self.inner.rungs.get(&inst.pu).ok_or_else(|| {
+                        MoleculeError::Internal(format!("no runG on {}", inst.pu))
+                    })?;
                 let dma = self
                     .inner
                     .machine
@@ -627,12 +657,7 @@ impl Molecule {
                 rung.invoke(ctx, &inst.sandbox, exec.host_time(input_bytes))?;
             }
             _ => {
-                let spec = self
-                    .inner
-                    .machine
-                    .pu(inst.pu)
-                    .expect("instance on known pu")
-                    .clone();
+                let spec = self.inner.machine.pu(inst.pu).expect("instance on known pu").clone();
                 if !inst.pending_first_run.is_zero() && inst.invocations == 0 {
                     ctx.sleep(inst.pending_first_run);
                 }
@@ -640,6 +665,16 @@ impl Molecule {
             }
         }
         let latency = ctx.now() - t0;
+        telemetry::with(|r| {
+            r.complete_span(
+                ctx.lane(),
+                t0.as_nanos(),
+                ctx.now().as_nanos(),
+                &format!("invoke {}", inst.func.id),
+                ctx.trace_ctx(),
+            );
+            r.metrics().observe_ns("molecule.invoke_ns", latency.as_nanos());
+        });
         let billed = {
             let mut st = self.inner.state.lock();
             if let Some(i) = st.instances.get_mut(&instance) {
@@ -668,10 +703,8 @@ impl Molecule {
     ) -> Result<(), MoleculeError> {
         let inst = {
             let mut st = self.inner.state.lock();
-            let inst = st
-                .instances
-                .remove(&instance)
-                .ok_or(MoleculeError::UnknownInstance(instance.0))?;
+            let inst =
+                st.instances.remove(&instance).ok_or(MoleculeError::UnknownInstance(instance.0))?;
             if let Some(v) = st.warm.get_mut(&(inst.func.id.clone(), inst.pu)) {
                 v.retain(|i| *i != instance);
             }
@@ -804,10 +837,7 @@ mod tests {
         assert!((6.3..=6.6).contains(&cfork), "cfork-local {cfork}ms");
         // Fig. 10b: the fork itself runs ~6.2x slower on BF-1 (≈ 40 ms), and
         // issuing it over XPU-Shim adds only the 1-3 ms command overhead.
-        assert!(
-            (39.0..=46.0).contains(&cfork_xpu),
-            "cfork-XPU on BF-1 {cfork_xpu}ms"
-        );
+        assert!((39.0..=46.0).contains(&cfork_xpu), "cfork-XPU on BF-1 {cfork_xpu}ms");
     }
 
     #[test]
@@ -884,14 +914,12 @@ mod tests {
         let mut sim = Simulation::new();
         let m2 = m.clone();
         let h = sim.spawn("gateway", move |ctx| {
-            let cold = m2
-                .start_instance(ctx, &"vmult".into(), fpga, StartupKind::ColdBaseline)
-                .unwrap();
+            let cold =
+                m2.start_instance(ctx, &"vmult".into(), fpga, StartupKind::ColdBaseline).unwrap();
             let exec = m2.invoke(ctx, cold.instance, 4096).unwrap();
             // A second start finds the sandbox running: warm hit.
-            let warm = m2
-                .start_instance(ctx, &"vmult".into(), fpga, StartupKind::ColdBaseline)
-                .unwrap();
+            let warm =
+                m2.start_instance(ctx, &"vmult".into(), fpga, StartupKind::ColdBaseline).unwrap();
             (cold.latency.as_secs_f64(), warm.latency, exec.latency)
         });
         sim.run().unwrap();
@@ -928,9 +956,8 @@ mod tests {
         let h = sim.spawn("gateway", move |ctx| {
             m2.cache_fpga_functions(ctx, fpga, &funcs2).unwrap();
             // Starting a cached function only needs the 53ms sandbox prep.
-            let r = m2
-                .start_instance(ctx, &"mmult".into(), fpga, StartupKind::ColdBaseline)
-                .unwrap();
+            let r =
+                m2.start_instance(ctx, &"mmult".into(), fpga, StartupKind::ColdBaseline).unwrap();
             r.latency.as_millis_f64()
         });
         sim.run().unwrap();

@@ -210,9 +210,8 @@ mod tests {
     fn placement_respects_profiles() {
         let machine = Machine::paper_cpu_dpu_server();
         let sched = Scheduler::default();
-        let dpu_only = FunctionDef::builder("d", LangRuntime::Python)
-            .profiles(&[PuKind::Dpu])
-            .build();
+        let dpu_only =
+            FunctionDef::builder("d", LangRuntime::Python).profiles(&[PuKind::Dpu]).build();
         assert_eq!(sched.place(&machine, &dpu_only, None).unwrap(), PuId(1));
         let fpga_only = FunctionDef::builder("g", LangRuntime::OpenCl)
             .profiles(&[PuKind::Gpu])

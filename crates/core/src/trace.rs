@@ -61,15 +61,31 @@ impl RequestTrace {
     }
 
     /// Runs `f` as a labelled phase, recording its virtual-time span.
+    ///
+    /// When the global [`telemetry`] recorder is installed, the phase is
+    /// also emitted as a complete span on the calling process's lane (child
+    /// of its ambient trace context), so request phases show up in the
+    /// merged Chrome trace alongside shim and sandbox spans.
     pub fn phase<T>(
         &mut self,
         ctx: &mut ProcCtx,
         label: impl Into<String>,
         f: impl FnOnce(&mut ProcCtx) -> T,
     ) -> T {
+        let label = label.into();
         let start = ctx.now();
         let out = f(ctx);
-        self.spans.push(Span { label: label.into(), start, duration: ctx.now() - start });
+        let end = ctx.now();
+        telemetry::with(|r| {
+            r.complete_span(
+                ctx.lane(),
+                start.as_nanos(),
+                end.as_nanos(),
+                &format!("{}:{label}", self.name),
+                ctx.trace_ctx(),
+            );
+        });
+        self.spans.push(Span { label, start, duration: end - start });
         out
     }
 
@@ -184,5 +200,60 @@ mod tests {
         let t = h.take_result().unwrap();
         assert_eq!(t.total(), SimDuration::ZERO);
         assert_eq!(t.fraction("anything"), 0.0);
+    }
+
+    #[test]
+    fn overlapping_recorded_spans_still_sum_by_label() {
+        // `record` trusts the caller; overlapping spans (e.g. a comm span
+        // covering part of an exec span measured elsewhere) must not panic
+        // or be deduplicated — totals are per-label sums, not wall clock.
+        let mut sim = Simulation::new();
+        let h = sim.spawn("req", |ctx| {
+            let mut t = RequestTrace::begin("overlap", ctx);
+            let t0 = ctx.now();
+            t.record("exec", t0, SimDuration::from_millis(10));
+            t.record("comm", t0 + SimDuration::from_millis(2), SimDuration::from_millis(10));
+            t
+        });
+        sim.run().unwrap();
+        let t = h.take_result().unwrap();
+        assert_eq!(t.total(), SimDuration::from_millis(20));
+        assert_eq!(t.of("exec"), Some(SimDuration::from_millis(10)));
+        assert_eq!(t.of("comm"), Some(SimDuration::from_millis(10)));
+        assert!((t.fraction("exec") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_phase_is_recorded_but_adds_nothing() {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("req", |ctx| {
+            let mut t = RequestTrace::begin("zero", ctx);
+            t.phase(ctx, "noop", |_| {});
+            t.phase(ctx, "exec", |ctx| ctx.sleep(SimDuration::from_millis(5)));
+            t
+        });
+        sim.run().unwrap();
+        let t = h.take_result().unwrap();
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.of("noop"), Some(SimDuration::ZERO));
+        assert_eq!(t.total(), SimDuration::from_millis(5));
+        // A present-but-empty phase contributes a 0.0 fraction, same as an
+        // absent label — `of` is how the two cases are told apart.
+        assert_eq!(t.fraction("noop"), 0.0);
+        assert_eq!(t.fraction("exec"), 1.0);
+    }
+
+    #[test]
+    fn fraction_of_missing_label_is_zero_even_with_time_recorded() {
+        let mut sim = Simulation::new();
+        let h = sim.spawn("req", |ctx| {
+            let mut t = RequestTrace::begin("missing", ctx);
+            t.phase(ctx, "exec", |ctx| ctx.sleep(SimDuration::from_millis(3)));
+            t
+        });
+        sim.run().unwrap();
+        let t = h.take_result().unwrap();
+        assert_eq!(t.of("startup"), None);
+        assert_eq!(t.fraction("startup"), 0.0);
     }
 }

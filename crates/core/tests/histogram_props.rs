@@ -1,0 +1,86 @@
+//! Property tests for the telemetry histogram (`molecule-telemetry`).
+//!
+//! The histogram is the aggregation primitive every latency metric in the
+//! stack flows through, and snapshots from different PUs are merged
+//! bucket-wise — so merging must behave like multiset union: associative,
+//! count-conserving, and quantile-monotone.
+
+use proptest::prelude::*;
+use telemetry::metrics::Histogram;
+
+fn from_samples(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c): merge order cannot change the result.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..50),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..50),
+        c in proptest::collection::vec(0u64..u64::MAX, 0..50),
+    ) {
+        let (ha, hb, hc) = (from_samples(&a), from_samples(&b), from_samples(&c));
+
+        let mut left = ha;
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut right = ha;
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging conserves every sample: counts, sums, and per-bucket tallies
+    /// all add, and the merged result equals recording the concatenation.
+    #[test]
+    fn merge_conserves_samples(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..50),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..50),
+    ) {
+        let mut merged = from_samples(&a);
+        merged.merge(&from_samples(&b));
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = from_samples(&all);
+
+        prop_assert_eq!(merged, direct);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let expected_sum: u128 = all.iter().map(|&v| u128::from(v)).sum();
+        prop_assert_eq!(merged.sum(), expected_sum);
+        prop_assert_eq!(merged.buckets().iter().sum::<u64>(), merged.count());
+    }
+
+    /// Quantiles are monotone in q (p50 <= p90 <= p99) and bracketed by the
+    /// observed min/max, for any non-empty sample set.
+    #[test]
+    fn quantiles_are_monotone_and_bracketed(
+        samples in proptest::collection::vec(0u64..u64::MAX, 1..100),
+    ) {
+        let h = from_samples(&samples);
+        let (p50, p90, p99) = (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99));
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        let (lo, hi) = (*samples.iter().min().unwrap(), *samples.iter().max().unwrap());
+        prop_assert!(h.quantile(0.0) >= lo);
+        prop_assert!(h.quantile(1.0) <= hi);
+        prop_assert_eq!(h.min(), lo);
+        prop_assert_eq!(h.max(), hi);
+    }
+
+    /// Every sample lands in the bucket whose bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_their_samples(value in 0u64..u64::MAX) {
+        let i = Histogram::bucket_index(value);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= value && value <= hi, "value {value} outside bucket {i} [{lo}, {hi}]");
+    }
+}

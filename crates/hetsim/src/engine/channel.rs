@@ -294,8 +294,7 @@ impl<T: Send + 'static> SimReceiver<T> {
                 inner.waiters.push_back((ctx.id(), gen));
                 gen
             };
-            self.shared
-                .schedule_resume(deadline, ctx.id(), gen, ResumeReason::Timeout);
+            self.shared.schedule_resume(deadline, ctx.id(), gen, ResumeReason::Timeout);
             match ctx.yield_and_wait() {
                 ResumeReason::Timeout => {
                     let mut inner = self.chan.lock();

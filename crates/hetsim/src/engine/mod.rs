@@ -71,11 +71,7 @@ pub(crate) struct YieldMsg {
 
 pub(crate) enum EventAction {
     /// Resume process `proc` if it is still blocked with wait generation `gen`.
-    Resume {
-        proc: ProcId,
-        gen: u64,
-        reason: ResumeReason,
-    },
+    Resume { proc: ProcId, gen: u64, reason: ResumeReason },
     /// Run a closure on the scheduler thread (no engine lock held).
     Call(Box<dyn FnOnce() + Send>),
 }
@@ -169,9 +165,18 @@ impl EngineShared {
     }
 
     /// Schedule a resume for `(proc, gen)` at `at`.
-    pub(crate) fn schedule_resume(&self, at: SimTime, proc: ProcId, gen: u64, reason: ResumeReason) {
+    pub(crate) fn schedule_resume(
+        &self,
+        at: SimTime,
+        proc: ProcId,
+        gen: u64,
+        reason: ResumeReason,
+    ) {
         let mut st = self.state.lock();
         let at = at.max(st.now);
+        telemetry::with(|r| {
+            r.instant(telemetry::ENGINE_LANE, at.as_nanos(), &format!("wake {proc}"), None);
+        });
         st.schedule(at, EventAction::Resume { proc, gen, reason });
     }
 
@@ -188,12 +193,7 @@ impl EngineShared {
         let id = ProcId::new(st.next_proc);
         st.procs.insert(
             id,
-            ProcSlot {
-                name: name.to_owned(),
-                resume_tx,
-                wait_gen: 0,
-                state: ProcState::Blocked,
-            },
+            ProcSlot { name: name.to_owned(), resume_tx, wait_gen: 0, state: ProcState::Blocked },
         );
         st.live += 1;
         let now = st.now;
@@ -375,6 +375,15 @@ impl Simulation {
                             continue; // stale wake-up (e.g. raced timeout)
                         }
                         slot.state = ProcState::Running;
+                        telemetry::with(|r| {
+                            r.instant(
+                                telemetry::ENGINE_LANE,
+                                now.as_nanos(),
+                                &format!("dispatch {}", slot.name),
+                                None,
+                            );
+                            r.metrics().counter_add("engine.dispatches", 1);
+                        });
                         let entry = format!("{} {}", now, slot.name);
                         let tx = slot.resume_tx.clone();
                         if let Some(trace) = st.trace.as_mut() {
@@ -382,9 +391,7 @@ impl Simulation {
                         }
                         tx
                     };
-                    resume_tx
-                        .send(reason)
-                        .expect("simulated process vanished while blocked");
+                    resume_tx.send(reason).expect("simulated process vanished while blocked");
                     let y = self
                         .shared
                         .yield_rx
@@ -412,6 +419,12 @@ impl Simulation {
                                 .map(|s| s.name)
                                 .unwrap_or_else(|| "<unknown>".to_owned());
                             st.live -= 1;
+                            drop(st);
+                            // Surface the last recorded events alongside the
+                            // crash so failures are debuggable post-mortem.
+                            if let Some(dump) = telemetry::flight_dump() {
+                                eprintln!("process '{name}' panicked; {dump}");
+                            }
                             return Err(SimError::ProcessPanicked { name, message });
                         }
                     }
@@ -547,9 +560,8 @@ mod tests {
             ctx.sleep(SimDuration::from_micros(3));
             tx.send(1).unwrap();
         });
-        let h = sim.spawn("consumer", move |ctx| {
-            rx.recv_timeout(ctx, SimDuration::from_micros(10))
-        });
+        let h =
+            sim.spawn("consumer", move |ctx| rx.recv_timeout(ctx, SimDuration::from_micros(10)));
         sim.run().unwrap();
         assert_eq!(h.take_result(), Some(Ok(1)));
     }

@@ -1,5 +1,6 @@
 //! Simulated processes: spawn, context and join handles.
 
+use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::Arc;
@@ -7,6 +8,7 @@ use std::thread;
 
 use crossbeam::channel as xchan;
 use parking_lot::Mutex;
+use telemetry::SpanContext;
 
 use super::{EngineShared, ResumeReason, SimReceiver, SimSender, YieldKind, YieldMsg};
 use crate::time::{SimDuration, SimTime};
@@ -46,14 +48,17 @@ pub struct ProcCtx {
     pub(crate) proc: ProcId,
     pub(crate) resume_rx: xchan::Receiver<ResumeReason>,
     name: String,
+    /// Ambient telemetry span context; inherited by `spawn`ed children and
+    /// updated by message receives that carry a piggybacked context.
+    trace_ctx: Cell<Option<SpanContext>>,
+    /// Telemetry lane (PU id) this process records on. Defaults to the
+    /// engine lane until a shim or runtime pins the process to a PU.
+    lane: Cell<u16>,
 }
 
 impl fmt::Debug for ProcCtx {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ProcCtx")
-            .field("proc", &self.proc)
-            .field("name", &self.name)
-            .finish()
+        f.debug_struct("ProcCtx").field("proc", &self.proc).field("name", &self.name).finish()
     }
 }
 
@@ -73,6 +78,26 @@ impl ProcCtx {
         self.shared.now()
     }
 
+    /// The ambient telemetry span context, if a trace is active.
+    pub fn trace_ctx(&self) -> Option<SpanContext> {
+        self.trace_ctx.get()
+    }
+
+    /// Sets (or clears) the ambient telemetry span context.
+    pub fn set_trace_ctx(&self, ctx: Option<SpanContext>) {
+        self.trace_ctx.set(ctx);
+    }
+
+    /// The telemetry lane this process records on.
+    pub fn lane(&self) -> u16 {
+        self.lane.get()
+    }
+
+    /// Pins this process's telemetry events to lane `lane` (a PU id).
+    pub fn set_lane(&self, lane: u16) {
+        self.lane.set(lane);
+    }
+
     /// Suspends the process for `d` of virtual time.
     pub fn sleep(&mut self, d: SimDuration) {
         if d.is_zero() {
@@ -83,8 +108,7 @@ impl ProcCtx {
             let gen = st.bump_gen(self.proc);
             (gen, st.now + d)
         };
-        self.shared
-            .schedule_resume(at, self.proc, gen, ResumeReason::Woken);
+        self.shared.schedule_resume(at, self.proc, gen, ResumeReason::Woken);
         let reason = self.yield_and_wait();
         debug_assert_eq!(reason, ResumeReason::Woken);
     }
@@ -96,18 +120,21 @@ impl ProcCtx {
             let mut st = self.shared.state.lock();
             (st.bump_gen(self.proc), st.now)
         };
-        self.shared
-            .schedule_resume(at, self.proc, gen, ResumeReason::Woken);
+        self.shared.schedule_resume(at, self.proc, gen, ResumeReason::Woken);
         let _ = self.yield_and_wait();
     }
 
     /// Spawns a sibling process that starts at the current virtual time.
+    ///
+    /// The child inherits this process's telemetry lane and span context,
+    /// so a trace follows the request across spawns without explicit
+    /// plumbing.
     pub fn spawn<T, F>(&self, name: &str, f: F) -> ProcHandle<T>
     where
         T: Send + 'static,
         F: FnOnce(&mut ProcCtx) -> T + Send + 'static,
     {
-        spawn(Arc::clone(&self.shared), name, f)
+        spawn_with(Arc::clone(&self.shared), name, self.trace_ctx.get(), self.lane.get(), f)
     }
 
     /// Creates an unbounded simulated channel.
@@ -152,10 +179,7 @@ pub struct ProcHandle<T> {
 
 impl<T> fmt::Debug for ProcHandle<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ProcHandle")
-            .field("id", &self.id)
-            .field("name", &self.name)
-            .finish()
+        f.debug_struct("ProcHandle").field("id", &self.id).field("name", &self.name).finish()
     }
 }
 
@@ -194,6 +218,20 @@ where
     T: Send + 'static,
     F: FnOnce(&mut ProcCtx) -> T + Send + 'static,
 {
+    spawn_with(shared, name, None, telemetry::ENGINE_LANE, f)
+}
+
+pub(crate) fn spawn_with<T, F>(
+    shared: Arc<EngineShared>,
+    name: &str,
+    trace_ctx: Option<SpanContext>,
+    lane: u16,
+    f: F,
+) -> ProcHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce(&mut ProcCtx) -> T + Send + 'static,
+{
     let (resume_tx, resume_rx) = xchan::unbounded();
     let id = shared.register_proc(name, resume_tx);
     let result = Arc::new(Mutex::new(None));
@@ -210,6 +248,8 @@ where
                 proc: id,
                 resume_rx,
                 name: thread_name,
+                trace_ctx: Cell::new(trace_ctx),
+                lane: Cell::new(lane),
             };
             // Wait for the first activation.
             match ctx.resume_rx.recv() {
@@ -223,10 +263,8 @@ where
                     *thread_result.lock() = Some(value);
                     let _ = done_tx.send(());
                     drop(done_tx);
-                    let _ = ctx
-                        .shared
-                        .yield_tx
-                        .send(YieldMsg { proc: id, kind: YieldKind::Finished });
+                    let _ =
+                        ctx.shared.yield_tx.send(YieldMsg { proc: id, kind: YieldKind::Finished });
                 }
                 Err(payload) => {
                     if payload.downcast_ref::<Cancelled>().is_some() {

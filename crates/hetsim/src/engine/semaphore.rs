@@ -87,8 +87,7 @@ impl SimSemaphore {
             {
                 let mut inner = self.inner.lock();
                 // Strict FIFO: only take permits if no one is queued ahead.
-                let first_in_line =
-                    inner.waiters.front().is_none_or(|(p, _, _)| *p == ctx.id());
+                let first_in_line = inner.waiters.front().is_none_or(|(p, _, _)| *p == ctx.id());
                 if first_in_line && inner.permits >= count {
                     if let Some((p, _, _)) = inner.waiters.front() {
                         if *p == ctx.id() {
@@ -210,10 +209,7 @@ mod tests {
         // small1/small2 get new permits: it completes right after small0's
         // 5ms section, not after all three.
         let at = big.take_result().unwrap();
-        assert!(
-            at <= SimTime::from_nanos(5_010_000),
-            "big waited too long: {at}"
-        );
+        assert!(at <= SimTime::from_nanos(5_010_000), "big waited too long: {at}");
     }
 
     #[test]

@@ -140,10 +140,9 @@ pub enum FpgaError {
 impl fmt::Display for FpgaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FpgaError::InsufficientResources { required, capacity } => write!(
-                f,
-                "image needs {required:?} but device only has {capacity:?}"
-            ),
+            FpgaError::InsufficientResources { required, capacity } => {
+                write!(f, "image needs {required:?} but device only has {capacity:?}")
+            }
             FpgaError::DuplicateKernel(name) => write!(f, "duplicate kernel in image: {name}"),
             FpgaError::KernelNotResident(name) => write!(f, "kernel not resident: {name}"),
             FpgaError::NoImageLoaded => f.write_str("no image loaded on the device"),
@@ -202,8 +201,7 @@ impl ImageBuilder {
                 return Err(FpgaError::DuplicateKernel(k.name.clone()));
             }
         }
-        let total =
-            self.wrapper + self.kernels.iter().map(|k| k.resources).sum::<FpgaResources>();
+        let total = self.wrapper + self.kernels.iter().map(|k| k.resources).sum::<FpgaResources>();
         if !total.fits_in(capacity) {
             return Err(FpgaError::InsufficientResources { required: total, capacity: *capacity });
         }
@@ -331,9 +329,7 @@ impl FpgaDevice {
     /// True if `kernel` is resident in the currently flashed image.
     pub fn is_resident(&self, kernel: &str) -> bool {
         let st = self.inner.state.lock();
-        st.current
-            .as_ref()
-            .is_some_and(|img| img.kernels.iter().any(|k| k.name == kernel))
+        st.current.as_ref().is_some_and(|img| img.kernels.iter().any(|k| k.name == kernel))
     }
 
     /// The currently flashed image id, if any.
@@ -347,7 +343,12 @@ impl FpgaDevice {
     /// # Errors
     ///
     /// [`FpgaError::NoImageLoaded`] / [`FpgaError::KernelNotResident`].
-    pub fn invoke(&self, ctx: &mut ProcCtx, kernel: &str, exec: SimDuration) -> Result<(), FpgaError> {
+    pub fn invoke(
+        &self,
+        ctx: &mut ProcCtx,
+        kernel: &str,
+        exec: SimDuration,
+    ) -> Result<(), FpgaError> {
         {
             let st = self.inner.state.lock();
             let img = st.current.as_ref().ok_or(FpgaError::NoImageLoaded)?;
@@ -367,10 +368,7 @@ impl FpgaDevice {
     /// [`FpgaError::NoSuchBank`] if the bank index is out of range.
     pub fn retain_buffer(&self, bank: u32, name: &str, bytes: u64) -> Result<(), FpgaError> {
         let mut st = self.inner.state.lock();
-        let slot = st
-            .banks
-            .get_mut(bank as usize)
-            .ok_or(FpgaError::NoSuchBank(bank))?;
+        let slot = st.banks.get_mut(bank as usize).ok_or(FpgaError::NoSuchBank(bank))?;
         slot.buffers.insert(name.to_owned(), bytes);
         Ok(())
     }
@@ -383,10 +381,7 @@ impl FpgaDevice {
     pub fn retained_buffer(&self, bank: u32, name: &str) -> Result<u64, FpgaError> {
         let st = self.inner.state.lock();
         let slot = st.banks.get(bank as usize).ok_or(FpgaError::NoSuchBank(bank))?;
-        slot.buffers
-            .get(name)
-            .copied()
-            .ok_or_else(|| FpgaError::NoSuchBuffer(name.to_owned()))
+        slot.buffers.get(name).copied().ok_or_else(|| FpgaError::NoSuchBuffer(name.to_owned()))
     }
 
     /// Clears a retained buffer (the wrapper's responsibility for sensitive
@@ -397,10 +392,7 @@ impl FpgaDevice {
     /// [`FpgaError::NoSuchBank`] if the bank index is out of range.
     pub fn clear_buffer(&self, bank: u32, name: &str) -> Result<(), FpgaError> {
         let mut st = self.inner.state.lock();
-        let slot = st
-            .banks
-            .get_mut(bank as usize)
-            .ok_or(FpgaError::NoSuchBank(bank))?;
+        let slot = st.banks.get_mut(bank as usize).ok_or(FpgaError::NoSuchBank(bank))?;
         slot.buffers.remove(name);
         Ok(())
     }
@@ -443,19 +435,14 @@ mod tests {
             .build(&FpgaResources::F1_TOTAL)
             .unwrap();
         assert_eq!(ok.kernels.len(), 2);
-        assert_eq!(
-            ok.total_resources.luts,
-            FpgaResources::WRAPPER_BASE.luts + 10_000
-        );
+        assert_eq!(ok.total_resources.luts, FpgaResources::WRAPPER_BASE.luts + 10_000);
     }
 
     #[test]
     fn cold_load_is_expensive_cached_load_is_cheaper() {
         let dev = device();
-        let img = ImageBuilder::new(ImageId(1))
-            .kernel(kernel("vmult"))
-            .build(&dev.capacity())
-            .unwrap();
+        let img =
+            ImageBuilder::new(ImageId(1)).kernel(kernel("vmult")).build(&dev.capacity()).unwrap();
         let mut sim = Simulation::new();
         let dev2 = dev.clone();
         let h = sim.spawn("runf", move |ctx| {
@@ -497,8 +484,10 @@ mod tests {
     #[test]
     fn retention_keeps_dram_across_loads() {
         let dev = device();
-        let img1 = ImageBuilder::new(ImageId(1)).kernel(kernel("a")).build(&dev.capacity()).unwrap();
-        let img2 = ImageBuilder::new(ImageId(2)).kernel(kernel("b")).build(&dev.capacity()).unwrap();
+        let img1 =
+            ImageBuilder::new(ImageId(1)).kernel(kernel("a")).build(&dev.capacity()).unwrap();
+        let img2 =
+            ImageBuilder::new(ImageId(2)).kernel(kernel("b")).build(&dev.capacity()).unwrap();
         let mut sim = Simulation::new();
         let dev2 = dev.clone();
         let h = sim.spawn("runf", move |ctx| {
@@ -523,7 +512,10 @@ mod tests {
         let dev = device();
         dev.retain_buffer(1, "secret", 128).unwrap();
         dev.clear_buffer(1, "secret").unwrap();
-        assert_eq!(dev.retained_buffer(1, "secret"), Err(FpgaError::NoSuchBuffer("secret".to_owned())));
+        assert_eq!(
+            dev.retained_buffer(1, "secret"),
+            Err(FpgaError::NoSuchBuffer("secret".to_owned()))
+        );
         assert_eq!(dev.retain_buffer(99, "x", 1), Err(FpgaError::NoSuchBank(99)));
     }
 
@@ -531,10 +523,8 @@ mod tests {
     fn twelve_instance_wrapper_fits_comfortably() {
         // Table 4: a wrapper with 12 kernels uses ~10% of F1's LUTs.
         let kernels: Vec<KernelSpec> = (0..12).map(|i| kernel(&format!("k{i}"))).collect();
-        let img = ImageBuilder::new(ImageId(1))
-            .kernels(kernels)
-            .build(&FpgaResources::F1_TOTAL)
-            .unwrap();
+        let img =
+            ImageBuilder::new(ImageId(1)).kernels(kernels).build(&FpgaResources::F1_TOTAL).unwrap();
         let [lut_util, ..] = img.total_resources.utilization(&FpgaResources::F1_TOTAL);
         assert!((0.08..=0.12).contains(&lut_util), "LUT utilization {lut_util}");
     }

@@ -164,10 +164,7 @@ impl GpuDevice {
     ) -> Result<(), GpuError> {
         {
             let st = self.inner.state.lock();
-            let loaded = st
-                .contexts
-                .get(&context.0)
-                .ok_or(GpuError::NoSuchContext(context.0))?;
+            let loaded = st.contexts.get(&context.0).ok_or(GpuError::NoSuchContext(context.0))?;
             if !loaded.iter().any(|k| k == kernel) {
                 return Err(GpuError::KernelNotLoaded(kernel.to_owned()));
             }
@@ -183,10 +180,7 @@ impl GpuDevice {
     /// [`GpuError::NoSuchContext`] on a dangling context id.
     pub fn destroy_context(&self, context: GpuContextId) -> Result<(), GpuError> {
         let mut st = self.inner.state.lock();
-        st.contexts
-            .remove(&context.0)
-            .map(|_| ())
-            .ok_or(GpuError::NoSuchContext(context.0))
+        st.contexts.remove(&context.0).map(|_| ()).ok_or(GpuError::NoSuchContext(context.0))
     }
 
     /// Number of kernels resident across all contexts.

@@ -140,7 +140,8 @@ mod tests {
 
     #[test]
     fn transfer_time_is_latency_plus_serialization() {
-        let link = Link { kind: LinkKind::PcieRdma, latency: SimDuration::from_micros(3), gbps: 8.0 };
+        let link =
+            Link { kind: LinkKind::PcieRdma, latency: SimDuration::from_micros(3), gbps: 8.0 };
         // 8 Gbps = 1 byte/ns, so 1000 bytes = 1us on the wire.
         assert_eq!(link.transfer_time(1000), SimDuration::from_micros(4));
         assert_eq!(link.transfer_time(0), SimDuration::from_micros(3));
@@ -165,11 +166,8 @@ mod tests {
     fn intercepted_route_costs_more_than_either_hop() {
         let first = Link::pcie_rdma();
         let second = Link::pcie_dma();
-        let route = Route::CpuIntercepted {
-            first,
-            second,
-            forward_cost: SimDuration::from_micros(10),
-        };
+        let route =
+            Route::CpuIntercepted { first, second, forward_cost: SimDuration::from_micros(10) };
         let t = route.transfer_time(4096);
         assert!(t > first.transfer_time(4096));
         assert!(t > second.transfer_time(4096));

@@ -64,8 +64,8 @@ impl FifoWriter {
     /// Writes a message. The writer is charged its syscall cost; the message
     /// becomes readable after the OS's full FIFO latency for this size.
     pub fn write(&self, ctx: &mut ProcCtx, payload: Bytes) {
-        let total = self.base
-            + SimDuration::from_nanos((self.per_byte_ns * payload.len() as f64) as u64);
+        let total =
+            self.base + SimDuration::from_nanos((self.per_byte_ns * payload.len() as f64) as u64);
         ctx.sleep(self.syscall);
         let in_flight = total.saturating_sub(self.syscall);
         // Receiver drop just means no one is listening any more; the write
@@ -113,7 +113,11 @@ impl FifoReader {
     /// # Errors
     ///
     /// [`FifoError::TimedOut`] on expiry, [`FifoError::Closed`] on writer loss.
-    pub fn read_timeout(&self, ctx: &mut ProcCtx, timeout: SimDuration) -> Result<Bytes, FifoError> {
+    pub fn read_timeout(
+        &self,
+        ctx: &mut ProcCtx,
+        timeout: SimDuration,
+    ) -> Result<Bytes, FifoError> {
         match self.rx.recv_timeout(ctx, timeout) {
             Ok(bytes) => {
                 ctx.sleep(self.syscall);

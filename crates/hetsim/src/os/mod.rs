@@ -93,10 +93,9 @@ impl fmt::Display for OsError {
         match self {
             OsError::NoSuchProcess(pid) => write!(f, "no such process: {pid}"),
             OsError::NoSuchCgroup(id) => write!(f, "no such cgroup: {id}"),
-            OsError::ForkMultiThreaded { pid, threads } => write!(
-                f,
-                "cannot fork {pid}: {threads} live threads (merge threads first)"
-            ),
+            OsError::ForkMultiThreaded { pid, threads } => {
+                write!(f, "cannot fork {pid}: {threads} live threads (merge threads first)")
+            }
             OsError::FifoExists(name) => write!(f, "fifo already exists: {name}"),
             OsError::NoSuchFifo(name) => write!(f, "no such fifo: {name}"),
             OsError::OutOfMemory { requested_mib, available_mib } => write!(

@@ -289,14 +289,8 @@ impl Machine {
             return Route::Direct(*link);
         }
         let host = self.host_cpu();
-        let first = *self
-            .links
-            .get(&(from, host))
-            .expect("every non-host PU has a host link");
-        let second = *self
-            .links
-            .get(&(host, to))
-            .expect("every non-host PU has a host link");
+        let first = *self.links.get(&(from, host)).expect("every non-host PU has a host link");
+        let second = *self.links.get(&(host, to)).expect("every non-host PU has a host link");
         Route::CpuIntercepted { first, second, forward_cost: self.forward_cost }
     }
 
@@ -375,12 +369,8 @@ mod tests {
 
     #[test]
     fn direct_device_links_remove_cpu_interception() {
-        let m = Machine::builder()
-            .host_cpu()
-            .bluefield1_dpus(1)
-            .fpgas(1)
-            .direct_device_links()
-            .build();
+        let m =
+            Machine::builder().host_cpu().bluefield1_dpus(1).fpgas(1).direct_device_links().build();
         let dpu = m.pus_of_kind(PuKind::Dpu)[0];
         let fpga = m.pus_of_kind(PuKind::Fpga)[0];
         let route = m.route(dpu, fpga);

@@ -1,0 +1,163 @@
+//! Machine-readable bench export: `BENCH_<figure>.json`.
+//!
+//! Every figure binary prints a human table *and* writes the same data as
+//! JSON so reproduction scripts can diff runs without scraping stdout.
+//! Cells keep their raw text and, when they parse as `<number><unit>`
+//! (`"25.0us"`, `"1.23x"`, `"87%"`), a numeric value/unit pair.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::{escape_into, number_into};
+
+/// Splits a table cell like `"25.0us"` into `(25.0, "us")`.
+///
+/// Returns `None` when the cell has no leading number (e.g. `"n/a"`).
+pub fn parse_cell(raw: &str) -> Option<(f64, &str)> {
+    let s = raw.trim();
+    let mut end = 0;
+    let bytes = s.as_bytes();
+    if end < bytes.len() && (bytes[end] == b'-' || bytes[end] == b'+') {
+        end += 1;
+    }
+    let digits_start = end;
+    let mut seen_dot = false;
+    while end < bytes.len() {
+        match bytes[end] {
+            b'0'..=b'9' => end += 1,
+            b'.' if !seen_dot => {
+                seen_dot = true;
+                end += 1;
+            }
+            _ => break,
+        }
+    }
+    if end == digits_start {
+        return None;
+    }
+    let value: f64 = s[..end].parse().ok()?;
+    Some((value, s[end..].trim()))
+}
+
+/// One figure's table, ready to export. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// Figure tag, e.g. `"fig08"` — names the output file.
+    pub figure: String,
+    /// Human title of the figure.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Table rows (same arity as `header`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl BenchSummary {
+    /// Builds a summary from the same data a printed table uses.
+    pub fn new(
+        figure: impl Into<String>,
+        title: impl Into<String>,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> BenchSummary {
+        BenchSummary {
+            figure: figure.into(),
+            title: title.into(),
+            header: header.iter().map(|h| (*h).to_owned()).collect(),
+            rows: rows.to_vec(),
+        }
+    }
+
+    /// The canonical output file name, `BENCH_<figure>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.figure)
+    }
+
+    /// Renders the summary as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"figure\":");
+        escape_into(&mut out, &self.figure);
+        out.push_str(",\"title\":");
+        escape_into(&mut out, &self.title);
+        out.push_str(",\"header\":[");
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"raw\":");
+                escape_into(&mut out, cell);
+                if let Some((value, unit)) = parse_cell(cell) {
+                    out.push_str(",\"value\":");
+                    number_into(&mut out, value);
+                    out.push_str(",\"unit\":");
+                    escape_into(&mut out, unit);
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Writes `BENCH_<figure>.json` into `dir` and returns the path.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let path = dir.as_ref().join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_cell_variants() {
+        assert_eq!(parse_cell("25.0us"), Some((25.0, "us")));
+        assert_eq!(parse_cell("1.23x"), Some((1.23, "x")));
+        assert_eq!(parse_cell("87%"), Some((87.0, "%")));
+        assert_eq!(parse_cell("-3.5 ms"), Some((-3.5, "ms")));
+        assert_eq!(parse_cell("42"), Some((42.0, "")));
+        assert_eq!(parse_cell("n/a"), None);
+        assert_eq!(parse_cell(""), None);
+        assert_eq!(parse_cell("-"), None);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let summary = BenchSummary::new(
+            "fig08",
+            "nIPC latency",
+            &["size", "poll"],
+            &[vec!["16B".to_owned(), "25.0us".to_owned()]],
+        );
+        assert_eq!(summary.file_name(), "BENCH_fig08.json");
+        let json = summary.to_json();
+        assert!(json.contains("\"figure\":\"fig08\""));
+        assert!(json.contains("\"raw\":\"25.0us\",\"value\":25,\"unit\":\"us\""));
+        assert!(json.contains("\"raw\":\"16B\",\"value\":16,\"unit\":\"B\""));
+    }
+
+    #[test]
+    fn write_to_dir_roundtrip() {
+        let dir = std::env::temp_dir();
+        let summary = BenchSummary::new("figtest", "t", &["a"], &[vec!["1x".to_owned()]]);
+        let path = summary.write_to_dir(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, summary.to_json());
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,224 @@
+//! Chrome `trace_event` export.
+//!
+//! Renders a merged event stream as the JSON array format understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: one process (`pid` 0,
+//! the simulation) with one thread lane per PU, spans as `ph:"X"` complete
+//! events and point events as `ph:"i"` instants. Timestamps are virtual
+//! microseconds (fractional, so nanosecond resolution survives).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+use crate::json::{escape_into, number_into};
+use crate::recorder::{Event, EventKind};
+use crate::{SpanContext, SpanId, ENGINE_LANE};
+
+/// The exporter's display name for a lane without an explicit name.
+pub fn default_lane_name(pu: u16) -> String {
+    if pu == ENGINE_LANE {
+        "engine".to_owned()
+    } else {
+        format!("pu{pu}")
+    }
+}
+
+fn ns_to_us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+fn push_common(out: &mut String, name: &str, ph: char, pu: u16, ts_us: f64) {
+    out.push_str("{\"name\":");
+    escape_into(out, name);
+    let _ = write!(out, ",\"ph\":\"{ph}\",\"pid\":0,\"tid\":{pu},\"ts\":");
+    number_into(out, ts_us);
+}
+
+fn push_args(out: &mut String, ctx: Option<SpanContext>, parent: Option<SpanId>) {
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let Some(ctx) = ctx {
+        let _ = write!(out, "\"trace\":\"{}\",\"span\":\"{}\"", ctx.trace, ctx.span);
+        first = false;
+    }
+    if let Some(parent) = parent {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "\"parent\":\"{parent}\"");
+    }
+    out.push('}');
+}
+
+/// Renders `events` as a Chrome `trace_event` JSON array.
+///
+/// Open `Begin` spans without a matching `End` are closed at the last
+/// timestamp seen; `End` events without a `Begin` are dropped.
+pub fn trace_json(events: &[Event], lane_names: &BTreeMap<u16, String>) -> String {
+    let end_of_time = events.iter().map(span_end_ns).max().unwrap_or(0);
+
+    // Pair Begin/End by span id so both become one complete event.
+    let mut ends: HashMap<SpanId, u64> = HashMap::new();
+    for e in events {
+        if let EventKind::End { ctx } = e.kind {
+            ends.entry(ctx.span).or_insert(e.t_ns);
+        }
+    }
+
+    let mut out = String::from("[");
+    let mut first = true;
+    let emit_sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+
+    // Lane metadata: name every lane that appears in the stream.
+    let mut lanes: Vec<u16> = events.iter().map(|e| e.pu).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    emit_sep(&mut out, &mut first);
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"molecule-sim\"}}",
+    );
+    for pu in &lanes {
+        let name = lane_names.get(pu).cloned().unwrap_or_else(|| default_lane_name(*pu));
+        emit_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{pu},\"args\":{{\"name\":"
+        );
+        escape_into(&mut out, &name);
+        out.push_str("}}");
+    }
+
+    for e in events {
+        match e.kind {
+            EventKind::Span { ctx, parent, dur_ns } => {
+                emit_sep(&mut out, &mut first);
+                push_common(&mut out, &e.name, 'X', e.pu, ns_to_us(e.t_ns));
+                out.push_str(",\"dur\":");
+                number_into(&mut out, ns_to_us(dur_ns));
+                push_args(&mut out, Some(ctx), parent);
+                out.push('}');
+            }
+            EventKind::Begin { ctx, parent } => {
+                let end_ns = ends.get(&ctx.span).copied().unwrap_or(end_of_time);
+                emit_sep(&mut out, &mut first);
+                push_common(&mut out, &e.name, 'X', e.pu, ns_to_us(e.t_ns));
+                out.push_str(",\"dur\":");
+                number_into(&mut out, ns_to_us(end_ns.saturating_sub(e.t_ns)));
+                push_args(&mut out, Some(ctx), parent);
+                out.push('}');
+            }
+            EventKind::End { .. } => {} // folded into its Begin
+            EventKind::Instant { ctx } => {
+                emit_sep(&mut out, &mut first);
+                push_common(&mut out, &e.name, 'i', e.pu, ns_to_us(e.t_ns));
+                out.push_str(",\"s\":\"t\"");
+                push_args(&mut out, ctx, None);
+                out.push('}');
+            }
+        }
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn span_end_ns(e: &Event) -> u64 {
+    match e.kind {
+        EventKind::Span { dur_ns, .. } => e.t_ns.saturating_add(dur_ns),
+        _ => e.t_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    /// A tiny structural validator: enough JSON parsing to prove the
+    /// exporter emits a well-formed array of objects.
+    fn assert_valid_json_array(s: &str) {
+        let s = s.trim();
+        assert!(s.starts_with('[') && s.ends_with(']'), "not an array: {s}");
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '[' | '{' => depth += 1,
+                ']' | '}' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced brackets in {s}");
+        }
+        assert_eq!(depth, 0, "unbalanced brackets in {s}");
+        assert!(!in_str, "unterminated string in {s}");
+    }
+
+    #[test]
+    fn exports_complete_spans_and_instants() {
+        let r = Recorder::new();
+        r.set_lane_name(0, "cpu0");
+        let root = r.complete_span(0, 1_000, 26_000, "xpucall", None);
+        r.instant(2, 26_000, "fifo-write", Some(root));
+        let json = r.chrome_trace();
+        assert_valid_json_array(&json);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":25"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"cpu0\""));
+        assert!(json.contains("\"pu2\""));
+        assert!(json.contains("thread_name"));
+    }
+
+    #[test]
+    fn begin_end_pairs_become_one_complete_event() {
+        let r = Recorder::new();
+        let ctx = r.begin_span(1, 10_000, "instance", None);
+        r.end_span(1, 40_000, ctx);
+        let json = r.chrome_trace();
+        assert_valid_json_array(&json);
+        assert!(json.contains("\"dur\":30"));
+        // The End event itself must not leak as a separate entry.
+        assert_eq!(json.matches("\"instance\"").count(), 1);
+    }
+
+    #[test]
+    fn unmatched_begin_is_closed_at_end_of_time() {
+        let r = Recorder::new();
+        r.begin_span(0, 5_000, "daemon", None);
+        r.instant(0, 105_000, "late", None);
+        let json = r.chrome_trace();
+        assert_valid_json_array(&json);
+        assert!(json.contains("\"dur\":100"));
+    }
+
+    #[test]
+    fn engine_lane_gets_a_name() {
+        let r = Recorder::new();
+        r.instant(ENGINE_LANE, 0, "dispatch", None);
+        let json = r.chrome_trace();
+        assert!(json.contains("\"engine\""));
+    }
+
+    #[test]
+    fn escapes_names() {
+        let r = Recorder::new();
+        r.instant(0, 0, "weird\"name\n", None);
+        assert_valid_json_array(&r.chrome_trace());
+    }
+}

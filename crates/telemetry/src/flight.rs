@@ -1,0 +1,162 @@
+//! Flight recorder: a bounded ring of recent structured events.
+//!
+//! When a test fails or an executor crashes, the question is always "what
+//! were the last few things that happened?". The flight recorder keeps a
+//! fixed-size ring of the most recent telemetry events (and free-form
+//! notes) so the crash path can dump them without having retained the full
+//! trace.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::recorder::EventKind;
+
+/// Default number of events retained by the ring.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// One retained event: virtual time, lane and a pre-rendered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Virtual time in nanoseconds.
+    pub t_ns: u64,
+    /// PU lane.
+    pub pu: u16,
+    /// Rendered description.
+    pub msg: String,
+}
+
+struct Ring {
+    capacity: usize,
+    events: VecDeque<FlightEvent>,
+    dropped: u64,
+}
+
+/// Bounded ring buffer of recent events. See the [module docs](self).
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A ring retaining the last `capacity` events (0 disables retention).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            ring: Mutex::new(Ring {
+                capacity,
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends a free-form note.
+    pub fn note(&self, t_ns: u64, pu: u16, msg: String) {
+        let mut ring = self.lock();
+        if ring.capacity == 0 {
+            ring.dropped += 1;
+            return;
+        }
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(FlightEvent { t_ns, pu, msg });
+    }
+
+    /// Appends a rendered telemetry event (called by the recorder).
+    pub(crate) fn note_event(&self, t_ns: u64, pu: u16, name: &str, kind: &EventKind) {
+        // Skip the formatting work entirely when retention is off.
+        if self.lock().capacity == 0 {
+            return;
+        }
+        let msg = match kind {
+            EventKind::Span { ctx, dur_ns, .. } => format!("span {name} {ctx} +{dur_ns}ns"),
+            EventKind::Begin { ctx, .. } => format!("begin {name} {ctx}"),
+            EventKind::End { ctx } => format!("end {ctx}"),
+            EventKind::Instant { ctx: Some(ctx) } => format!("instant {name} {ctx}"),
+            EventKind::Instant { ctx: None } => format!("instant {name}"),
+        };
+        self.note(t_ns, pu, msg);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// Number of events evicted (or discarded) so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// Renders the ring as a human-readable block, oldest first.
+    pub fn dump(&self) -> String {
+        let ring = self.lock();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== flight recorder: last {} event(s), {} dropped ===",
+            ring.events.len(),
+            ring.dropped
+        );
+        for ev in &ring.events {
+            let _ = writeln!(out, "  [{:>12}ns pu{:<3}] {}", ev.t_ns, ev.pu, ev.msg);
+        }
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let f = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            f.note(i, 0, format!("e{i}"));
+        }
+        let msgs: Vec<_> = f.events().into_iter().map(|e| e.msg).collect();
+        assert_eq!(msgs, ["e2", "e3", "e4"]);
+        assert_eq!(f.dropped(), 2);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_retains_nothing() {
+        let f = FlightRecorder::with_capacity(0);
+        f.note(1, 0, "gone".to_owned());
+        assert!(f.is_empty());
+        assert_eq!(f.dropped(), 1);
+    }
+
+    #[test]
+    fn dump_includes_header_and_events() {
+        let f = FlightRecorder::with_capacity(8);
+        f.note(42, 7, "hello".to_owned());
+        let dump = f.dump();
+        assert!(dump.contains("flight recorder"));
+        assert!(dump.contains("pu7"));
+        assert!(dump.contains("hello"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Minimal hand-rolled JSON emission helpers (the workspace builds
+//! offline, so exporters avoid any serialization dependency).
+
+use std::fmt::Write as _;
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number (`null` if not finite).
+pub(crate) fn number_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numbers() {
+        let mut out = String::new();
+        number_into(&mut out, 1.5);
+        out.push(' ');
+        number_into(&mut out, f64::NAN);
+        assert_eq!(out, "1.5 null");
+    }
+}

@@ -1,0 +1,378 @@
+//! Metrics: counters, gauges and log2-bucketed virtual-time histograms.
+//!
+//! Histograms bucket by the bit width of the sample (`bucket i` holds
+//! values in `[2^(i-1), 2^i)`, bucket 0 holds zero), so recording is O(1),
+//! the memory is a fixed 65-slot array, and two histograms merge by
+//! element-wise addition — merging is associative and commutative and
+//! conserves sample counts, which the property tests in `crates/core`
+//! assert.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::json::escape_into;
+
+/// Number of histogram buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKET_COUNT: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (virtual-time nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram { buckets: [0; BUCKET_COUNT], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket a value lands in: 0 for zero, else `64 - leading_zeros`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The `[low, high]` value range covered by bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < BUCKET_COUNT, "bucket index out of range");
+        if index == 0 {
+            (0, 0)
+        } else {
+            let low = 1u64 << (index - 1);
+            let high = if index == 64 { u64::MAX } else { (1u64 << index) - 1 };
+            (low, high)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` (associative, conserves counts).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKET_COUNT] {
+        &self.buckets
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the rank-`ceil(q * count)` sample, clamped to the
+    /// observed `[min, max]`. Monotone in `q`, so `p50 <= p99` always.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 * q.clamp(0.0, 1.0)).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, high) = Self::bucket_bounds(i);
+                return high.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Named counters, gauges and histograms behind one lock.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named monotone counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        if let Some(c) = inner.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            inner.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        let mut inner = self.lock();
+        if let Some(g) = inner.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            inner.gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Records a virtual-time sample (nanoseconds) into the named histogram.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        let mut inner = self.lock();
+        if let Some(h) = inner.histograms.get_mut(name) {
+            h.record(ns);
+        } else {
+            let mut h = Histogram::new();
+            h.record(ns);
+            inner.histograms.insert(name.to_owned(), h);
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Drops every metric.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A mergeable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name (last write wins on merge).
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters add, gauges take `other`'s
+    /// value, histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+
+    /// Compact JSON rendering (histograms as summary statistics).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, name);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\
+                 \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1000, 2000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 2000);
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        assert_eq!(h.quantile(1.0), 2000);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn merge_conserves_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [5u64, 10, 15] {
+            a.record(v);
+        }
+        for v in [0u64, 100] {
+            b.record(v);
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.min(), 0);
+        assert_eq!(merged.max(), 100);
+        assert_eq!(merged.buckets().iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_and_snapshot_merge() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("requests", 2);
+        reg.counter_add("requests", 3);
+        reg.gauge_set("instances", 7);
+        reg.observe_ns("latency", 1000);
+        let mut snap = reg.snapshot();
+        assert_eq!(snap.counters["requests"], 5);
+
+        let other = MetricsRegistry::new();
+        other.counter_add("requests", 1);
+        other.gauge_set("instances", 9);
+        other.observe_ns("latency", 2000);
+        snap.merge(&other.snapshot());
+        assert_eq!(snap.counters["requests"], 6);
+        assert_eq!(snap.gauges["instances"], 9);
+        assert_eq!(snap.histograms["latency"].count(), 2);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", 1);
+        reg.gauge_set("g", -2);
+        reg.observe_ns("h", 500);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"counters\":{\"c\":1}"));
+        assert!(json.contains("\"g\":-2"));
+        assert!(json.contains("\"count\":1"));
+    }
+}

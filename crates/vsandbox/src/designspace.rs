@@ -93,20 +93,80 @@ pub fn design_space() -> Vec<DesignPoint> {
     use CommClass::*;
     use StartupClass::*;
     vec![
-        DesignPoint { system: "Kata Container", startup: Slow, same_pu_comm: Network, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "Docker", startup: Slow, same_pu_comm: Network, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "gVisor", startup: Moderate, same_pu_comm: Network, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "FireCracker", startup: Fast, same_pu_comm: Network, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "SOCK", startup: Fast, same_pu_comm: Network, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "Replayable", startup: Fast, same_pu_comm: Network, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "OpenWhisk", startup: Slow, same_pu_comm: Network, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "Nightcore", startup: Moderate, same_pu_comm: Ipc, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "Faasm", startup: Fast, same_pu_comm: ThreadLanguage, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "Faastlane", startup: Moderate, same_pu_comm: ThreadLanguage, cross_pu_comm: Some(Network) },
-        DesignPoint { system: "Catalyzer", startup: Extreme, same_pu_comm: Network, cross_pu_comm: Some(Network) },
+        DesignPoint {
+            system: "Kata Container",
+            startup: Slow,
+            same_pu_comm: Network,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "Docker",
+            startup: Slow,
+            same_pu_comm: Network,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "gVisor",
+            startup: Moderate,
+            same_pu_comm: Network,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "FireCracker",
+            startup: Fast,
+            same_pu_comm: Network,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "SOCK",
+            startup: Fast,
+            same_pu_comm: Network,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "Replayable",
+            startup: Fast,
+            same_pu_comm: Network,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "OpenWhisk",
+            startup: Slow,
+            same_pu_comm: Network,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "Nightcore",
+            startup: Moderate,
+            same_pu_comm: Ipc,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "Faasm",
+            startup: Fast,
+            same_pu_comm: ThreadLanguage,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "Faastlane",
+            startup: Moderate,
+            same_pu_comm: ThreadLanguage,
+            cross_pu_comm: Some(Network),
+        },
+        DesignPoint {
+            system: "Catalyzer",
+            startup: Extreme,
+            same_pu_comm: Network,
+            cross_pu_comm: Some(Network),
+        },
         // The paper's claim: Molecule is the only system that is Extreme on
         // startup while using IPC same-PU *and* nIPC (IPC-class) cross-PU.
-        DesignPoint { system: "Molecule", startup: Extreme, same_pu_comm: Ipc, cross_pu_comm: Some(Ipc) },
+        DesignPoint {
+            system: "Molecule",
+            startup: Extreme,
+            same_pu_comm: Ipc,
+            cross_pu_comm: Some(Ipc),
+        },
     ]
 }
 

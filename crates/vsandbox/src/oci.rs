@@ -13,6 +13,56 @@ use hetsim::engine::ProcCtx;
 
 use crate::spec::{SandboxConfig, SandboxId, SandboxState, Signal};
 
+/// Runs one OCI verb under a telemetry span on the calling process's lane.
+///
+/// Every runtime (`runc`/`runf`/`rung`) funnels its five verbs through this,
+/// so traces show each sandbox transition and the metrics registry counts
+/// verb outcomes per runtime. Free when telemetry is disabled.
+pub(crate) fn verb_span<T>(
+    ctx: &mut ProcCtx,
+    runtime: &'static str,
+    verb: &'static str,
+    id: &SandboxId,
+    f: impl FnOnce(&mut ProcCtx) -> Result<T, SandboxError>,
+) -> Result<T, SandboxError> {
+    let t0 = ctx.now();
+    let out = f(ctx);
+    telemetry::with(|r| {
+        r.complete_span(
+            ctx.lane(),
+            t0.as_nanos(),
+            ctx.now().as_nanos(),
+            &format!("{runtime}:{verb} {id}"),
+            ctx.trace_ctx(),
+        );
+        let status = if out.is_ok() { "ok" } else { "err" };
+        r.metrics().counter_add(&format!("vsandbox.{runtime}.{verb}.{status}"), 1);
+    });
+    out
+}
+
+/// Like [`verb_span`], for the vectorized forms (span name carries the
+/// vector length instead of a sandbox id).
+pub(crate) fn vec_span<T>(
+    ctx: &mut ProcCtx,
+    verb: &'static str,
+    n: usize,
+    f: impl FnOnce(&mut ProcCtx) -> Result<T, SandboxError>,
+) -> Result<T, SandboxError> {
+    let t0 = ctx.now();
+    let out = f(ctx);
+    telemetry::with(|r| {
+        r.complete_span(
+            ctx.lane(),
+            t0.as_nanos(),
+            ctx.now().as_nanos(),
+            &format!("oci:{verb}[{n}]"),
+            ctx.trace_ctx(),
+        );
+    });
+    out
+}
+
 /// Errors from sandbox runtimes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SandboxError {
@@ -141,7 +191,9 @@ pub trait VectorizedRuntime: OciRuntime {
         ctx: &mut ProcCtx,
         ids: &[SandboxId],
     ) -> Result<Vec<SandboxState>, SandboxError> {
-        ids.iter().map(|id| self.state(ctx, id)).collect()
+        vec_span(ctx, "state_vec", ids.len(), |ctx| {
+            ids.iter().map(|id| self.state(ctx, id)).collect()
+        })
     }
 
     /// `create vector<sandbox, func-id>`.
@@ -154,10 +206,12 @@ pub trait VectorizedRuntime: OciRuntime {
         ctx: &mut ProcCtx,
         entries: &[(SandboxId, SandboxConfig)],
     ) -> Result<(), SandboxError> {
-        for (id, config) in entries {
-            self.create(ctx, id, config)?;
-        }
-        Ok(())
+        vec_span(ctx, "create_vec", entries.len(), |ctx| {
+            for (id, config) in entries {
+                self.create(ctx, id, config)?;
+            }
+            Ok(())
+        })
     }
 
     /// `start vector<sandbox-id>` — starts the sandboxes concurrently.
@@ -166,10 +220,12 @@ pub trait VectorizedRuntime: OciRuntime {
     ///
     /// Fails on the first id whose scalar `start` fails.
     fn start_vec(&self, ctx: &mut ProcCtx, ids: &[SandboxId]) -> Result<(), SandboxError> {
-        for id in ids {
-            self.start(ctx, id)?;
-        }
-        Ok(())
+        vec_span(ctx, "start_vec", ids.len(), |ctx| {
+            for id in ids {
+                self.start(ctx, id)?;
+            }
+            Ok(())
+        })
     }
 
     /// `kill vector<sandbox-id, signal>`.
@@ -182,10 +238,12 @@ pub trait VectorizedRuntime: OciRuntime {
         ctx: &mut ProcCtx,
         entries: &[(SandboxId, Signal)],
     ) -> Result<(), SandboxError> {
-        for (id, sig) in entries {
-            self.kill(ctx, id, *sig)?;
-        }
-        Ok(())
+        vec_span(ctx, "kill_vec", entries.len(), |ctx| {
+            for (id, sig) in entries {
+                self.kill(ctx, id, *sig)?;
+            }
+            Ok(())
+        })
     }
 
     /// `delete vector<sandbox-id>`.
@@ -194,9 +252,11 @@ pub trait VectorizedRuntime: OciRuntime {
     ///
     /// Fails on the first id whose scalar `delete` fails.
     fn delete_vec(&self, ctx: &mut ProcCtx, ids: &[SandboxId]) -> Result<(), SandboxError> {
-        for id in ids {
-            self.delete(ctx, id)?;
-        }
-        Ok(())
+        vec_span(ctx, "delete_vec", ids.len(), |ctx| {
+            for id in ids {
+                self.delete(ctx, id)?;
+            }
+            Ok(())
+        })
     }
 }

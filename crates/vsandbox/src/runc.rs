@@ -21,7 +21,7 @@ use hetsim::engine::ProcCtx;
 use hetsim::os::{BlockId, CgroupId, LocalOs, OsPid};
 use parking_lot::Mutex;
 
-use crate::oci::{OciRuntime, SandboxError, VectorizedRuntime};
+use crate::oci::{self, OciRuntime, SandboxError, VectorizedRuntime};
 use crate::spec::{LangRuntime, SandboxConfig, SandboxId, SandboxState, Signal};
 
 /// Options controlling a [`RuncRuntime::cfork`] call (the Fig. 11a ladder).
@@ -112,9 +112,9 @@ impl RuncRuntime {
         match lang {
             LangRuntime::Python => Ok(self.inner.lang.python_boot),
             LangRuntime::NodeJs => Ok(self.inner.lang.nodejs_boot),
-            other => Err(SandboxError::UnsupportedConfig(format!(
-                "runc cannot host {other} functions"
-            ))),
+            other => {
+                Err(SandboxError::UnsupportedConfig(format!("runc cannot host {other} functions")))
+            }
         }
     }
 
@@ -254,9 +254,7 @@ impl RuncRuntime {
 
         // 4. Function state: the child COW-shares the template image and
         //    makes its own working set private.
-        self.inner
-            .os
-            .map_private(child, self.inner.memory.cfork_private_pages)?;
+        self.inner.os.map_private(child, self.inner.memory.cfork_private_pages)?;
 
         let mut st = self.inner.state.lock();
         st.sandboxes.insert(
@@ -288,10 +286,7 @@ impl RuncRuntime {
     ) -> Result<hetsim::time::SimDuration, SandboxError> {
         {
             let st = self.inner.state.lock();
-            let c = st
-                .sandboxes
-                .get(id)
-                .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            let c = st.sandboxes.get(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
             if c.state != SandboxState::Running {
                 return Err(SandboxError::InvalidTransition {
                     id: id.clone(),
@@ -374,15 +369,37 @@ impl RuncRuntime {
 }
 
 impl OciRuntime for RuncRuntime {
-    fn state(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<SandboxState, SandboxError> {
-        let st = self.inner.state.lock();
-        st.sandboxes
-            .get(id)
-            .map(|c| c.state)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))
+    fn state(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<SandboxState, SandboxError> {
+        oci::verb_span(ctx, "runc", "state", id, |_ctx| {
+            let st = self.inner.state.lock();
+            st.sandboxes.get(id).map(|c| c.state).ok_or_else(|| SandboxError::Unknown(id.clone()))
+        })
     }
 
     fn create(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        config: &SandboxConfig,
+    ) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runc", "create", id, |ctx| self.do_create(ctx, id, config))
+    }
+
+    fn start(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runc", "start", id, |ctx| self.do_start(ctx, id))
+    }
+
+    fn kill(&self, ctx: &mut ProcCtx, id: &SandboxId, signal: Signal) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runc", "kill", id, |ctx| self.do_kill(ctx, id, signal))
+    }
+
+    fn delete(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runc", "delete", id, |ctx| self.do_delete(ctx, id))
+    }
+}
+
+impl RuncRuntime {
+    fn do_create(
         &self,
         ctx: &mut ProcCtx,
         id: &SandboxId,
@@ -418,13 +435,10 @@ impl OciRuntime for RuncRuntime {
         Ok(())
     }
 
-    fn start(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+    fn do_start(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
         let (lang, cgroup) = {
             let st = self.inner.state.lock();
-            let c = st
-                .sandboxes
-                .get(id)
-                .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            let c = st.sandboxes.get(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
             if !c.state.can_transition_to(SandboxState::Running) {
                 return Err(SandboxError::InvalidTransition {
                     id: id.clone(),
@@ -437,9 +451,7 @@ impl OciRuntime for RuncRuntime {
         // Cold boot: start the language runtime inside the container.
         ctx.sleep(self.boot_cost(lang)?);
         let pid = self.inner.os.register_process(&format!("{lang}-{id}"), 1);
-        self.inner
-            .os
-            .map_private(pid, self.inner.memory.baseline_private_pages)?;
+        self.inner.os.map_private(pid, self.inner.memory.baseline_private_pages)?;
         // Shared, file-backed libraries: one block per language, mapped into
         // every baseline instance.
         let lib_block = {
@@ -449,10 +461,8 @@ impl OciRuntime for RuncRuntime {
         match lib_block {
             Some(b) => self.inner.os.map_shared(pid, b)?,
             None => {
-                let b = self
-                    .inner
-                    .os
-                    .map_private(pid, self.inner.memory.baseline_shared_lib_pages)?;
+                let b =
+                    self.inner.os.map_private(pid, self.inner.memory.baseline_shared_lib_pages)?;
                 self.inner.state.lock().shared_libs.insert(lang, b);
             }
         }
@@ -464,13 +474,15 @@ impl OciRuntime for RuncRuntime {
         Ok(())
     }
 
-    fn kill(&self, ctx: &mut ProcCtx, id: &SandboxId, _signal: Signal) -> Result<(), SandboxError> {
+    fn do_kill(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        _signal: Signal,
+    ) -> Result<(), SandboxError> {
         ctx.sleep(self.inner.os.costs().syscall);
         let mut st = self.inner.state.lock();
-        let c = st
-            .sandboxes
-            .get_mut(id)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        let c = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
         if !c.state.can_transition_to(SandboxState::Stopped) {
             return Err(SandboxError::InvalidTransition {
                 id: id.clone(),
@@ -482,13 +494,10 @@ impl OciRuntime for RuncRuntime {
         Ok(())
     }
 
-    fn delete(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+    fn do_delete(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
         ctx.sleep(self.inner.container.delete);
         let mut st = self.inner.state.lock();
-        let c = st
-            .sandboxes
-            .get_mut(id)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        let c = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
         if c.state == SandboxState::Deleted {
             return Err(SandboxError::InvalidTransition {
                 id: id.clone(),
@@ -609,10 +618,7 @@ mod tests {
         let h = sim.spawn("mem", move |ctx| {
             let template = rt2.prepare_template(ctx, LangRuntime::Python, 256).unwrap();
             rt2.cfork(ctx, &template, &"child".into(), &cfg(), CforkOpts::default()).unwrap();
-            (
-                rt2.rss_bytes(&"child".into()).unwrap(),
-                rt2.pss_bytes(&"child".into()).unwrap(),
-            )
+            (rt2.rss_bytes(&"child".into()).unwrap(), rt2.pss_bytes(&"child".into()).unwrap())
         });
         sim.run().unwrap();
         let (rss, pss) = h.take_result().unwrap();
@@ -630,8 +636,7 @@ mod tests {
             let id = SandboxId::new("plain");
             rt.create(ctx, &id, &cfg()).unwrap();
             rt.start(ctx, &id).unwrap();
-            rt.cfork(ctx, &id, &"child".into(), &cfg(), CforkOpts::default())
-                .unwrap_err()
+            rt.cfork(ctx, &id, &"child".into(), &cfg(), CforkOpts::default()).unwrap_err()
         });
         sim.run().unwrap();
         assert!(matches!(h.take_result().unwrap(), SandboxError::UnsupportedConfig(_)));
@@ -759,9 +764,8 @@ mod tests {
         let rt = desktop_runtime();
         let mut sim = Simulation::new();
         let h = sim.spawn("vec", move |ctx| {
-            let entries: Vec<(SandboxId, SandboxConfig)> = (0..3)
-                .map(|i| (SandboxId::new(format!("v{i}")), cfg()))
-                .collect();
+            let entries: Vec<(SandboxId, SandboxConfig)> =
+                (0..3).map(|i| (SandboxId::new(format!("v{i}")), cfg())).collect();
             let t0 = ctx.now();
             rt.create_vec(ctx, &entries).unwrap();
             let elapsed = ctx.now() - t0;

@@ -21,7 +21,7 @@ use hetsim::fpga::{FpgaDevice, FpgaImage, ImageBuilder, ImageId, KernelSpec};
 use hetsim::time::SimDuration;
 use parking_lot::Mutex;
 
-use crate::oci::{OciRuntime, SandboxError, VectorizedRuntime};
+use crate::oci::{self, OciRuntime, SandboxError, VectorizedRuntime};
 use crate::spec::{SandboxConfig, SandboxId, SandboxState, Signal};
 
 #[derive(Debug)]
@@ -152,7 +152,13 @@ impl RunfRuntime {
             st.next_bank += 1;
             st.sandboxes.insert(
                 id.clone(),
-                FpgaSandbox { state: SandboxState::Created, kernel, image: image.id, bank, prepared: false },
+                FpgaSandbox {
+                    state: SandboxState::Created,
+                    kernel,
+                    image: image.id,
+                    bank,
+                    prepared: false,
+                },
             );
         }
         st.images.insert(image.id, image);
@@ -221,10 +227,7 @@ impl RunfRuntime {
     ) -> Result<(), SandboxError> {
         let kernel = {
             let st = self.inner.state.lock();
-            let sb = st
-                .sandboxes
-                .get(id)
-                .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            let sb = st.sandboxes.get(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
             if sb.state != SandboxState::Running {
                 return Err(SandboxError::InvalidTransition {
                     id: id.clone(),
@@ -240,12 +243,11 @@ impl RunfRuntime {
 }
 
 impl OciRuntime for RunfRuntime {
-    fn state(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<SandboxState, SandboxError> {
-        let st = self.inner.state.lock();
-        st.sandboxes
-            .get(id)
-            .map(|s| s.state)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))
+    fn state(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<SandboxState, SandboxError> {
+        oci::verb_span(ctx, "runf", "state", id, |_ctx| {
+            let st = self.inner.state.lock();
+            st.sandboxes.get(id).map(|s| s.state).ok_or_else(|| SandboxError::Unknown(id.clone()))
+        })
     }
 
     fn create(
@@ -254,16 +256,32 @@ impl OciRuntime for RunfRuntime {
         id: &SandboxId,
         config: &SandboxConfig,
     ) -> Result<(), SandboxError> {
-        self.flash_new_image(ctx, &[(id.clone(), config.clone())])
+        oci::verb_span(ctx, "runf", "create", id, |ctx| {
+            self.flash_new_image(ctx, &[(id.clone(), config.clone())])
+        })
     }
 
     fn start(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runf", "start", id, |ctx| self.do_start(ctx, id))
+    }
+
+    fn kill(&self, ctx: &mut ProcCtx, id: &SandboxId, signal: Signal) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runf", "kill", id, |ctx| self.do_kill(ctx, id, signal))
+    }
+
+    /// Lazy delete (§3.5): "the delete command will be empty and directly
+    /// return (but the runf will update sandbox states)". No erase happens;
+    /// the next `create` replaces the hardware image.
+    fn delete(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runf", "delete", id, |ctx| self.do_delete(ctx, id))
+    }
+}
+
+impl RunfRuntime {
+    fn do_start(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
         let (kernel, image, prepared, state) = {
             let st = self.inner.state.lock();
-            let sb = st
-                .sandboxes
-                .get(id)
-                .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            let sb = st.sandboxes.get(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
             if !sb.state.can_transition_to(SandboxState::Running) {
                 return Err(SandboxError::InvalidTransition {
                     id: id.clone(),
@@ -303,12 +321,14 @@ impl OciRuntime for RunfRuntime {
         Ok(())
     }
 
-    fn kill(&self, _ctx: &mut ProcCtx, id: &SandboxId, _signal: Signal) -> Result<(), SandboxError> {
+    fn do_kill(
+        &self,
+        _ctx: &mut ProcCtx,
+        id: &SandboxId,
+        _signal: Signal,
+    ) -> Result<(), SandboxError> {
         let mut st = self.inner.state.lock();
-        let sb = st
-            .sandboxes
-            .get_mut(id)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        let sb = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
         if !sb.state.can_transition_to(SandboxState::Stopped) {
             return Err(SandboxError::InvalidTransition {
                 id: id.clone(),
@@ -322,15 +342,9 @@ impl OciRuntime for RunfRuntime {
         Ok(())
     }
 
-    /// Lazy delete (§3.5): "the delete command will be empty and directly
-    /// return (but the runf will update sandbox states)". No erase happens;
-    /// the next `create` replaces the hardware image.
-    fn delete(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+    fn do_delete(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
         let mut st = self.inner.state.lock();
-        let sb = st
-            .sandboxes
-            .get_mut(id)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        let sb = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
         if sb.state == SandboxState::Deleted {
             return Err(SandboxError::InvalidTransition {
                 id: id.clone(),
@@ -355,7 +369,7 @@ impl VectorizedRuntime for RunfRuntime {
         if entries.is_empty() {
             return Ok(());
         }
-        self.flash_new_image(ctx, entries)
+        oci::vec_span(ctx, "create_vec", entries.len(), |ctx| self.flash_new_image(ctx, entries))
     }
 }
 
@@ -422,10 +436,7 @@ mod tests {
             let t0 = ctx.now();
             rt2.create_vec(ctx, &entries).unwrap();
             let vec_cost = ctx.now() - t0;
-            let resident: usize = entries
-                .iter()
-                .filter(|(id, _)| rt2.is_resident(id))
-                .count();
+            let resident: usize = entries.iter().filter(|(id, _)| rt2.is_resident(id)).count();
             (vec_cost, resident)
         });
         sim.run().unwrap();

@@ -14,7 +14,7 @@ use hetsim::gpu::{GpuContextId, GpuDevice};
 use hetsim::time::SimDuration;
 use parking_lot::Mutex;
 
-use crate::oci::{OciRuntime, SandboxError, VectorizedRuntime};
+use crate::oci::{self, OciRuntime, SandboxError, VectorizedRuntime};
 use crate::spec::{LangRuntime, SandboxConfig, SandboxId, SandboxState, Signal};
 
 #[derive(Debug)]
@@ -87,10 +87,7 @@ impl RungRuntime {
     ) -> Result<(), SandboxError> {
         let (context, kernel) = {
             let st = self.inner.state.lock();
-            let sb = st
-                .sandboxes
-                .get(id)
-                .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            let sb = st.sandboxes.get(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
             if sb.state != SandboxState::Running {
                 return Err(SandboxError::InvalidTransition {
                     id: id.clone(),
@@ -106,15 +103,73 @@ impl RungRuntime {
 }
 
 impl OciRuntime for RungRuntime {
-    fn state(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<SandboxState, SandboxError> {
-        let st = self.inner.state.lock();
-        st.sandboxes
-            .get(id)
-            .map(|s| s.state)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))
+    fn state(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<SandboxState, SandboxError> {
+        oci::verb_span(ctx, "rung", "state", id, |_ctx| {
+            let st = self.inner.state.lock();
+            st.sandboxes.get(id).map(|s| s.state).ok_or_else(|| SandboxError::Unknown(id.clone()))
+        })
     }
 
     fn create(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        config: &SandboxConfig,
+    ) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "rung", "create", id, |ctx| self.do_create(ctx, id, config))
+    }
+
+    fn start(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "rung", "start", id, |_ctx| {
+            let mut st = self.inner.state.lock();
+            let sb = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            if !sb.state.can_transition_to(SandboxState::Running) {
+                return Err(SandboxError::InvalidTransition {
+                    id: id.clone(),
+                    from: sb.state,
+                    to: SandboxState::Running,
+                });
+            }
+            sb.state = SandboxState::Running;
+            Ok(())
+        })
+    }
+
+    fn kill(&self, ctx: &mut ProcCtx, id: &SandboxId, _signal: Signal) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "rung", "kill", id, |_ctx| {
+            let mut st = self.inner.state.lock();
+            let sb = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            if !sb.state.can_transition_to(SandboxState::Stopped) {
+                return Err(SandboxError::InvalidTransition {
+                    id: id.clone(),
+                    from: sb.state,
+                    to: SandboxState::Stopped,
+                });
+            }
+            sb.state = SandboxState::Stopped;
+            Ok(())
+        })
+    }
+
+    fn delete(&self, ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "rung", "delete", id, |_ctx| {
+            let mut st = self.inner.state.lock();
+            let sb = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            if sb.state == SandboxState::Deleted {
+                return Err(SandboxError::InvalidTransition {
+                    id: id.clone(),
+                    from: sb.state,
+                    to: SandboxState::Deleted,
+                });
+            }
+            sb.state = SandboxState::Deleted;
+            Ok(())
+        })
+    }
+}
+
+impl RungRuntime {
+    fn do_create(
         &self,
         ctx: &mut ProcCtx,
         id: &SandboxId,
@@ -135,61 +190,11 @@ impl OciRuntime for RungRuntime {
         let context = self.ensure_context(ctx);
         let kernel = config.func.as_str().to_owned();
         self.inner.device.load_kernel(ctx, context, &kernel)?;
-        self.inner.state.lock().sandboxes.insert(
-            id.clone(),
-            GpuSandbox { state: SandboxState::Created, kernel },
-        );
-        Ok(())
-    }
-
-    fn start(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
-        let mut st = self.inner.state.lock();
-        let sb = st
+        self.inner
+            .state
+            .lock()
             .sandboxes
-            .get_mut(id)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
-        if !sb.state.can_transition_to(SandboxState::Running) {
-            return Err(SandboxError::InvalidTransition {
-                id: id.clone(),
-                from: sb.state,
-                to: SandboxState::Running,
-            });
-        }
-        sb.state = SandboxState::Running;
-        Ok(())
-    }
-
-    fn kill(&self, _ctx: &mut ProcCtx, id: &SandboxId, _signal: Signal) -> Result<(), SandboxError> {
-        let mut st = self.inner.state.lock();
-        let sb = st
-            .sandboxes
-            .get_mut(id)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
-        if !sb.state.can_transition_to(SandboxState::Stopped) {
-            return Err(SandboxError::InvalidTransition {
-                id: id.clone(),
-                from: sb.state,
-                to: SandboxState::Stopped,
-            });
-        }
-        sb.state = SandboxState::Stopped;
-        Ok(())
-    }
-
-    fn delete(&self, _ctx: &mut ProcCtx, id: &SandboxId) -> Result<(), SandboxError> {
-        let mut st = self.inner.state.lock();
-        let sb = st
-            .sandboxes
-            .get_mut(id)
-            .ok_or_else(|| SandboxError::Unknown(id.clone()))?;
-        if sb.state == SandboxState::Deleted {
-            return Err(SandboxError::InvalidTransition {
-                id: id.clone(),
-                from: sb.state,
-                to: SandboxState::Deleted,
-            });
-        }
-        sb.state = SandboxState::Deleted;
+            .insert(id.clone(), GpuSandbox { state: SandboxState::Created, kernel });
         Ok(())
     }
 }
@@ -204,7 +209,12 @@ mod tests {
     use hetsim::pu::PuId;
 
     fn cuda_cfg(name: &str) -> SandboxConfig {
-        SandboxConfig { func: name.into(), lang: LangRuntime::Cuda, memory_mib: 256, fpga_kernel: None }
+        SandboxConfig {
+            func: name.into(),
+            lang: LangRuntime::Cuda,
+            memory_mib: 256,
+            fpga_kernel: None,
+        }
     }
 
     fn runtime() -> RungRuntime {

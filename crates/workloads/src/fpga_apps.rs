@@ -92,10 +92,16 @@ pub fn gzip_function() -> FunctionDef {
 pub fn aml_function() -> FunctionDef {
     FunctionDef::builder("anti-moneyl", LangRuntime::Python)
         .profiles(&[PuKind::Cpu])
-        .exec(ExecModel::PerByte { base: SimDuration::from_micros(280), ns_per_byte: 0.0466 / 16.0 })
+        .exec(ExecModel::PerByte {
+            base: SimDuration::from_micros(280),
+            ns_per_byte: 0.0466 / 16.0,
+        })
         .fpga(
             app_kernel("aml-scan"),
-            ExecModel::PerByte { base: SimDuration::from_micros(119), ns_per_byte: 0.001_35 / 16.0 },
+            ExecModel::PerByte {
+                base: SimDuration::from_micros(119),
+                ns_per_byte: 0.001_35 / 16.0,
+            },
         )
         .output_bytes(4096)
         .build()

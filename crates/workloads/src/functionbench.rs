@@ -77,56 +77,96 @@ pub fn all() -> Vec<FbWorkload> {
     vec![
         FbWorkload {
             name: "Image Resize",
-            paper: PaperLabels { cold_cpu_ms: 198.0, warm_ms: 14.1, cold_bf1_ms: 1245.4, cold_bf2_ms: 238.9 },
+            paper: PaperLabels {
+                cold_cpu_ms: 198.0,
+                warm_ms: 14.1,
+                cold_bf1_ms: 1245.4,
+                cold_bf2_ms: 238.9,
+            },
             warm_exec_ms: 14.1,
             init_ms: 6.3,
             cfork_init_ms: 0.9,
         },
         FbWorkload {
             name: "Chameleon",
-            paper: PaperLabels { cold_cpu_ms: 262.3, warm_ms: 10.9, cold_bf1_ms: 1857.1, cold_bf2_ms: 492.4 },
+            paper: PaperLabels {
+                cold_cpu_ms: 262.3,
+                warm_ms: 10.9,
+                cold_bf1_ms: 1857.1,
+                cold_bf2_ms: 492.4,
+            },
             warm_exec_ms: 10.9,
             init_ms: 73.8,
             cfork_init_ms: 11.1,
         },
         FbWorkload {
             name: "Linpack",
-            paper: PaperLabels { cold_cpu_ms: 461.5, warm_ms: 95.9, cold_bf1_ms: 1855.2, cold_bf2_ms: 471.4 },
+            paper: PaperLabels {
+                cold_cpu_ms: 461.5,
+                warm_ms: 95.9,
+                cold_bf1_ms: 1855.2,
+                cold_bf2_ms: 471.4,
+            },
             warm_exec_ms: 95.9,
             init_ms: 188.0,
             cfork_init_ms: 28.2,
         },
         FbWorkload {
             name: "Matmul",
-            paper: PaperLabels { cold_cpu_ms: 298.9, warm_ms: 1.4, cold_bf1_ms: 1853.2, cold_bf2_ms: 400.8 },
+            paper: PaperLabels {
+                cold_cpu_ms: 298.9,
+                warm_ms: 1.4,
+                cold_bf1_ms: 1853.2,
+                cold_bf2_ms: 400.8,
+            },
             warm_exec_ms: 1.4,
             init_ms: 119.9,
             cfork_init_ms: 19.1,
         },
         FbWorkload {
             name: "PyAES",
-            paper: PaperLabels { cold_cpu_ms: 164.5, warm_ms: 19.5, cold_bf1_ms: 1121.9, cold_bf2_ms: 213.7 },
+            paper: PaperLabels {
+                cold_cpu_ms: 164.5,
+                warm_ms: 19.5,
+                cold_bf1_ms: 1121.9,
+                cold_bf2_ms: 213.7,
+            },
             warm_exec_ms: 19.5,
             init_ms: 0.0,
             cfork_init_ms: 0.0,
         },
         FbWorkload {
             name: "Video Processing",
-            paper: PaperLabels { cold_cpu_ms: 38_254.0, warm_ms: 33_811.0, cold_bf1_ms: 240_237.0, cold_bf2_ms: 82_636.8 },
+            paper: PaperLabels {
+                cold_cpu_ms: 38_254.0,
+                warm_ms: 33_811.0,
+                cold_bf1_ms: 240_237.0,
+                cold_bf2_ms: 82_636.8,
+            },
             warm_exec_ms: 33_811.0,
             init_ms: 4_265.4,
             cfork_init_ms: 4_057.6,
         },
         FbWorkload {
             name: "DD",
-            paper: PaperLabels { cold_cpu_ms: 194.9, warm_ms: 43.1, cold_bf1_ms: 1134.3, cold_bf2_ms: 216.1 },
+            paper: PaperLabels {
+                cold_cpu_ms: 194.9,
+                warm_ms: 43.1,
+                cold_bf1_ms: 1134.3,
+                cold_bf2_ms: 216.1,
+            },
             warm_exec_ms: 43.1,
             init_ms: 0.0,
             cfork_init_ms: 0.0,
         },
         FbWorkload {
             name: "gzip Compression",
-            paper: PaperLabels { cold_cpu_ms: 335.6, warm_ms: 182.9, cold_bf1_ms: 1909.6, cold_bf2_ms: 506.7 },
+            paper: PaperLabels {
+                cold_cpu_ms: 335.6,
+                warm_ms: 182.9,
+                cold_bf1_ms: 1909.6,
+                cold_bf2_ms: 506.7,
+            },
             warm_exec_ms: 182.9,
             init_ms: 0.0,
             cfork_init_ms: 0.0,
@@ -187,7 +227,8 @@ mod tests {
         let mut best: (f64, &str) = (0.0, "");
         let mut worst: (f64, &str) = (f64::MAX, "");
         for w in all() {
-            let baseline = BASELINE_STARTUP_MS.max(w.paper.cold_cpu_ms - w.warm_exec_ms - w.init_ms)
+            let baseline = BASELINE_STARTUP_MS
+                .max(w.paper.cold_cpu_ms - w.warm_exec_ms - w.init_ms)
                 + w.init_ms
                 + w.warm_exec_ms;
             let molecule = CFORK_STARTUP_MS + w.cfork_init_ms + w.warm_exec_ms;

@@ -99,10 +99,7 @@ mod tests {
         let cpu = round_cpu_latency();
         let gpu = round_gpu_latency();
         let speedup = cpu.ratio(gpu);
-        assert!(
-            (2.0..=6.0).contains(&speedup),
-            "round speedup {speedup} (cpu {cpu}, gpu {gpu})"
-        );
+        assert!((2.0..=6.0).contains(&speedup), "round speedup {speedup} (cpu {cpu}, gpu {gpu})");
         // And the apply stage itself improves by ~12x.
         let stage = apply_function().exec.host_time(PARTITION_BYTES);
         let stage_speedup = stage.ratio(apply_gpu_exec(PARTITION_BYTES));

@@ -25,9 +25,7 @@ use crate::id::{ObjId, XpuPid};
 /// assert!(rw.contains(Perm::READ));
 /// assert!(!rw.contains(Perm::OWNER));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Perm(u8);
 
 impl Perm {
@@ -196,11 +194,7 @@ impl CapTable {
         self.next_obj += 1;
         let obj = ObjId(self.next_obj);
         self.objects.insert(obj, kind);
-        self.groups
-            .get_mut(&owner)
-            .expect("checked above")
-            .caps
-            .insert(obj, Perm::ALL);
+        self.groups.get_mut(&owner).expect("checked above").caps.insert(obj, Perm::ALL);
         Ok(obj)
     }
 
@@ -338,7 +332,9 @@ mod tests {
         t.grant(owner, peer, obj, Perm::READ | Perm::WRITE).unwrap();
         // peer has rw but not owner: granting onwards must fail.
         let err = t.grant(peer, third, obj, Perm::READ).unwrap_err();
-        assert!(matches!(err, CapError::PermissionDenied { required, .. } if required == Perm::OWNER));
+        assert!(
+            matches!(err, CapError::PermissionDenied { required, .. } if required == Perm::OWNER)
+        );
     }
 
     #[test]

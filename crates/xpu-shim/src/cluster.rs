@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 
 use crate::cap::{CapTable, ObjKind, Perm};
 use crate::error::ShimError;
-use crate::fifo::{XpuFifoReader, XpuFifoWriter};
+use crate::fifo::{FifoMsg, XpuFifoReader, XpuFifoWriter};
 use crate::id::{GlobalUuid, ObjId, XpuPid};
 use crate::xcall::XcallTransport;
 
@@ -75,7 +75,7 @@ pub struct ShimStats {
 struct FifoEntry {
     obj: ObjId,
     owner: XpuPid,
-    tx: SimSender<Bytes>,
+    tx: SimSender<FifoMsg>,
 }
 
 struct ClusterState {
@@ -125,12 +125,8 @@ impl fmt::Debug for ShimCluster {
 impl ShimCluster {
     /// Deploys one shim per general-purpose PU of `machine`.
     pub fn deploy(machine: Machine, config: ShimConfig) -> ShimCluster {
-        let gp_pus = machine
-            .pus()
-            .iter()
-            .filter(|p| p.kind.is_general_purpose())
-            .map(|p| p.id)
-            .collect();
+        let gp_pus =
+            machine.pus().iter().filter(|p| p.kind.is_general_purpose()).map(|p| p.id).collect();
         ShimCluster {
             inner: Arc::new(ClusterInner {
                 machine,
@@ -170,11 +166,7 @@ impl ShimCluster {
     /// [`ShimError::NoSuchPu`] if the PU does not exist.
     pub fn shim_on(&self, pu: PuId) -> Result<XpuShim, ShimError> {
         let spec = self.inner.machine.pu(pu).ok_or(ShimError::NoSuchPu(pu))?;
-        let host = if spec.kind.is_general_purpose() {
-            pu
-        } else {
-            self.inner.machine.host_cpu()
-        };
+        let host = if spec.kind.is_general_purpose() { pu } else { self.inner.machine.host_cpu() };
         Ok(XpuShim { cluster: self.clone(), pu, host })
     }
 
@@ -187,11 +179,7 @@ impl ShimCluster {
     }
 
     pub(crate) fn os_costs_of(&self, pu: PuId) -> OsCosts {
-        let model = self
-            .inner
-            .machine
-            .pu(pu)
-            .map_or(PuModel::Xeon8160, |p| p.model);
+        let model = self.inner.machine.pu(pu).map_or(PuModel::Xeon8160, |p| p.model);
         self.inner.machine.calibration().os_costs(model)
     }
 
@@ -206,11 +194,7 @@ impl ShimCluster {
 
     /// Cost of one XPUcall performed on `host` carrying `payload` bytes.
     pub(crate) fn xcall_cost(&self, host: PuId, payload: u64) -> SimDuration {
-        let model = self
-            .inner
-            .machine
-            .pu(host)
-            .map_or(PuModel::Xeon8160, |p| p.model);
+        let model = self.inner.machine.pu(host).map_or(PuModel::Xeon8160, |p| p.model);
         let calib = self.inner.machine.calibration();
         let os = calib.os_costs(model);
         let xc = calib.xcall_costs(model);
@@ -220,7 +204,23 @@ impl ShimCluster {
     fn charge_xpucall(&self, ctx: &mut ProcCtx, host: PuId, payload: u64) {
         let cost = self.xcall_cost(host, payload);
         self.inner.state.lock().stats.xpucalls += 1;
+        let t0 = ctx.now();
         ctx.sleep(cost);
+        // The XPUcall request carries the caller's span context: the call
+        // span joins the ambient trace as a child.
+        telemetry::with(|r| {
+            let model = self.inner.machine.pu(host).map_or(PuModel::Xeon8160, |p| p.model);
+            let transport = self.transport_for(model);
+            r.complete_span(
+                host.0,
+                t0.as_nanos(),
+                ctx.now().as_nanos(),
+                "xpucall",
+                ctx.trace_ctx(),
+            );
+            r.metrics().counter_add(&format!("shim.xpucalls.{}", transport.name()), 1);
+            r.metrics().observe_ns("shim.xpucall_ns", cost.as_nanos());
+        });
     }
 
     /// Immediate synchronization: broadcast an update from `from` to every
@@ -238,7 +238,18 @@ impl ShimCluster {
             worst = worst.max(rtt);
         }
         self.inner.state.lock().stats.sync_messages += peers;
+        let t0 = ctx.now();
         ctx.sleep(worst);
+        telemetry::with(|r| {
+            r.complete_span(
+                from.0,
+                t0.as_nanos(),
+                ctx.now().as_nanos(),
+                "sync-immediate",
+                ctx.trace_ctx(),
+            );
+            r.metrics().counter_add("shim.sync_messages", peers);
+        });
     }
 
     /// Lazy synchronization: queue a reclamation; flush in batches.
@@ -264,6 +275,10 @@ impl ShimCluster {
             st.stats.lazy_flushes += 1;
             st.stats.sync_messages += (self.inner.gp_pus.len() as u64).saturating_sub(1);
         }
+        telemetry::with(|r| {
+            r.instant(from.0, ctx.now().as_nanos(), "lazy-flush", ctx.trace_ctx());
+            r.metrics().counter_add("shim.lazy_flushes", 1);
+        });
         // One batched broadcast, regardless of how many entries flushed.
         self.sync_broadcast_cost(ctx, from);
     }
@@ -342,7 +357,7 @@ impl ShimCluster {
         uuid: GlobalUuid,
     ) -> Result<XpuFifoReader, ShimError> {
         self.charge_xpucall(ctx, host, uuid.as_str().len() as u64);
-        let (tx, rx) = ctx.channel::<Bytes>();
+        let (tx, rx) = ctx.channel::<FifoMsg>();
         {
             let mut st = self.inner.state.lock();
             if st.fifos.contains_key(&uuid) {
@@ -366,10 +381,7 @@ impl ShimCluster {
     ) -> Result<XpuFifoWriter, ShimError> {
         self.charge_xpucall(ctx, host, uuid.as_str().len() as u64);
         let st = self.inner.state.lock();
-        let entry = st
-            .fifos
-            .get(uuid)
-            .ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
+        let entry = st.fifos.get(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
         // §3.2: "a process can only connect to an XPU-FIFO ... when it has
         // read or write permission" (owners connect to their own FIFOs).
         let perm = st.caps.perm(caller, entry.obj);
@@ -414,12 +426,12 @@ impl ShimCluster {
                 None => return Err(ShimError::FifoClosed),
             }
         };
-        if from == to {
+        let t0 = ctx.now();
+        let in_flight = if from == to {
             // Local IPC: one local FIFO hop on this PU's OS.
             let os = self.os_costs_of(from);
             ctx.sleep(os.syscall);
-            let in_flight = os.fifo_latency(size).saturating_sub(os.syscall);
-            tx.send_delayed(in_flight, payload).map_err(|_| ShimError::FifoClosed)?;
+            os.fifo_latency(size).saturating_sub(os.syscall)
         } else {
             // nIPC: XPUcall on the writer's PU, interconnect transfer, then
             // the destination shim delivers into the local FIFO.
@@ -429,9 +441,31 @@ impl ShimCluster {
             }
             self.charge_xpucall(ctx, from, size);
             let remote_deliver = self.os_costs_of(to).ipc_segment;
-            let in_flight = route.transfer_time(size) + remote_deliver;
-            tx.send_delayed(in_flight, payload).map_err(|_| ShimError::FifoClosed)?;
-        }
+            route.transfer_time(size) + remote_deliver
+        };
+        // The message carries the write span's context, so the remote read
+        // continues this trace (one trace across CPU -> DPU -> FPGA hops).
+        let mut span = ctx.trace_ctx();
+        telemetry::with(|r| {
+            let name = if from == to {
+                format!("xfifo-write {}", writer.uuid)
+            } else {
+                format!("nipc-write {}", writer.uuid)
+            };
+            span = Some(r.complete_span(
+                from.0,
+                t0.as_nanos(),
+                ctx.now().as_nanos(),
+                &name,
+                ctx.trace_ctx(),
+            ));
+            r.metrics().counter_add("shim.fifo_writes", 1);
+            r.metrics().observe_ns(
+                if from == to { "shim.fifo_write_local_ns" } else { "shim.nipc_write_ns" },
+                (ctx.now() - t0).as_nanos(),
+            );
+        });
+        tx.send_delayed(in_flight, FifoMsg { payload, span }).map_err(|_| ShimError::FifoClosed)?;
         Ok(())
     }
 
@@ -444,10 +478,8 @@ impl ShimCluster {
         self.charge_xpucall(ctx, owner.pu, 8);
         {
             let mut st = self.inner.state.lock();
-            let entry = st
-                .fifos
-                .remove(uuid)
-                .ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
+            let entry =
+                st.fifos.remove(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
             st.caps.destroy_object(entry.obj)?;
         }
         // Resources are reclaimed now; the UUID-free message is batched.
@@ -471,6 +503,7 @@ impl ShimCluster {
         if !spec.kind.is_general_purpose() {
             return Err(ShimError::NoShimOn(target));
         }
+        let t0 = ctx.now();
         // XPUcall on the caller's side, command + ack over the interconnect.
         self.charge_xpucall(ctx, caller.pu, 128);
         if caller.pu != target {
@@ -478,11 +511,7 @@ impl ShimCluster {
             ctx.sleep(rtt);
         }
         // The remote OS spawns the program.
-        let os = self
-            .inner
-            .machine
-            .os(target)
-            .expect("general-purpose PU has an OS");
+        let os = self.inner.machine.os(target).expect("general-purpose PU has an OS");
         let os_pid = {
             // Charge the remote spawn cost to the caller, who blocks on it.
             ctx.sleep(self.os_costs_of(target).spawn_process);
@@ -501,9 +530,29 @@ impl ShimCluster {
         if !capv.is_empty() {
             self.sync_immediate(ctx, caller.pu);
         }
+        // The spawn span rides on the capability vector: the child inherits
+        // it (via `ctx.spawn`) as its ambient context, so work on the target
+        // PU lands in the caller's trace.
+        let spawn_span = telemetry::span(
+            caller.pu.0,
+            t0.as_nanos(),
+            ctx.now().as_nanos(),
+            &format!("xspawn {program}->pu{}", target.0),
+            ctx.trace_ctx(),
+        );
+        telemetry::with(|r| r.metrics().counter_add("shim.xspawns", 1));
         if let Some(f) = body {
             let name = format!("{program}@{target}");
-            ctx.spawn(&name, move |child_ctx| f(child_ctx, child));
+            let lane = target.0;
+            let prev = ctx.trace_ctx();
+            if spawn_span.is_some() {
+                ctx.set_trace_ctx(spawn_span);
+            }
+            ctx.spawn(&name, move |child_ctx| {
+                child_ctx.set_lane(lane);
+                f(child_ctx, child)
+            });
+            ctx.set_trace_ctx(prev);
         }
         Ok(child)
     }
@@ -671,8 +720,7 @@ impl XpuShim {
         program: &str,
         capv: &[(ObjId, Perm)],
     ) -> Result<XpuPid, ShimError> {
-        self.cluster
-            .xspawn::<fn(&mut ProcCtx, XpuPid)>(ctx, caller, target, program, capv, None)
+        self.cluster.xspawn::<fn(&mut ProcCtx, XpuPid)>(ctx, caller, target, program, capv, None)
     }
 }
 
@@ -726,9 +774,7 @@ mod tests {
             // Pre-register the writer and grant it write permission.
             let writer_pid = c2.shim_on(PuId(1)).unwrap().attach_process();
             shim.grant_cap(ctx, me, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
-            uuid_tx
-                .send((fifo.uuid().clone(), writer_pid, fifo.obj(), me))
-                .unwrap();
+            uuid_tx.send((fifo.uuid().clone(), writer_pid, fifo.obj(), me)).unwrap();
             let t0 = ctx.now();
             let msg = fifo.read(ctx).unwrap();
             (msg, ctx.now() - t0)
@@ -784,9 +830,7 @@ mod tests {
             let owner = cpu.attach_process();
             let stranger = dpu.attach_process();
             let fifo = cpu.xfifo_init(ctx, owner, "private").unwrap();
-            let err = dpu
-                .xfifo_connect(ctx, stranger, &fifo.uuid().clone())
-                .unwrap_err();
+            let err = dpu.xfifo_connect(ctx, stranger, &fifo.uuid().clone()).unwrap_err();
             // The owner itself can connect (e.g. self_fifo pattern).
             let ok = cpu.xfifo_connect(ctx, owner, &fifo.uuid().clone());
             (err, ok.is_ok())
@@ -832,10 +876,7 @@ mod tests {
             cpu.xfifo_init(ctx, b, "same").unwrap_err()
         });
         sim.run().unwrap();
-        assert_eq!(
-            h.take_result().unwrap(),
-            ShimError::UuidTaken(GlobalUuid::new("same"))
-        );
+        assert_eq!(h.take_result().unwrap(), ShimError::UuidTaken(GlobalUuid::new("same")));
     }
 
     #[test]

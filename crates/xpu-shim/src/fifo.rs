@@ -10,10 +10,20 @@ use std::fmt;
 use bytes::Bytes;
 use hetsim::engine::{ProcCtx, RecvError, RecvTimeoutError, SimReceiver};
 use hetsim::time::SimDuration;
+use telemetry::SpanContext;
 
 use crate::cluster::ShimCluster;
 use crate::error::ShimError;
 use crate::id::{GlobalUuid, ObjId, XpuPid};
+
+/// The unit travelling through an XPU-FIFO: the payload plus the telemetry
+/// span context piggybacked on every nIPC message, so a trace follows the
+/// request across PUs.
+#[derive(Debug, Clone)]
+pub(crate) struct FifoMsg {
+    pub payload: Bytes,
+    pub span: Option<SpanContext>,
+}
 
 /// Reading end of an XPU-FIFO, held by the process that called `xfifo_init`.
 pub struct XpuFifoReader {
@@ -21,7 +31,7 @@ pub struct XpuFifoReader {
     pub(crate) uuid: GlobalUuid,
     pub(crate) obj: ObjId,
     pub(crate) owner: XpuPid,
-    pub(crate) rx: SimReceiver<Bytes>,
+    pub(crate) rx: SimReceiver<FifoMsg>,
 }
 
 impl fmt::Debug for XpuFifoReader {
@@ -47,16 +57,16 @@ impl XpuFifoReader {
 
     /// `xfifo_read`: blocks until a message arrives.
     ///
+    /// A message carrying a piggybacked span context adopts it as the
+    /// reader's ambient trace context, continuing the sender's trace.
+    ///
     /// # Errors
     ///
     /// [`ShimError::FifoClosed`] when every writer is gone and the queue is
     /// drained.
     pub fn read(&self, ctx: &mut ProcCtx) -> Result<Bytes, ShimError> {
         match self.rx.recv(ctx) {
-            Ok(bytes) => {
-                ctx.sleep(self.cluster.os_costs_of(self.owner.pu).syscall);
-                Ok(bytes)
-            }
+            Ok(msg) => Ok(self.finish_read(ctx, msg)),
             Err(RecvError::Disconnected) => Err(ShimError::FifoClosed),
         }
     }
@@ -67,15 +77,32 @@ impl XpuFifoReader {
     ///
     /// [`ShimError::FifoTimeout`] on expiry, [`ShimError::FifoClosed`] when
     /// every writer is gone.
-    pub fn read_timeout(&self, ctx: &mut ProcCtx, timeout: SimDuration) -> Result<Bytes, ShimError> {
+    pub fn read_timeout(
+        &self,
+        ctx: &mut ProcCtx,
+        timeout: SimDuration,
+    ) -> Result<Bytes, ShimError> {
         match self.rx.recv_timeout(ctx, timeout) {
-            Ok(bytes) => {
-                ctx.sleep(self.cluster.os_costs_of(self.owner.pu).syscall);
-                Ok(bytes)
-            }
+            Ok(msg) => Ok(self.finish_read(ctx, msg)),
             Err(RecvTimeoutError::Timeout) => Err(ShimError::FifoTimeout),
             Err(RecvTimeoutError::Disconnected) => Err(ShimError::FifoClosed),
         }
+    }
+
+    fn finish_read(&self, ctx: &mut ProcCtx, msg: FifoMsg) -> Bytes {
+        ctx.sleep(self.cluster.os_costs_of(self.owner.pu).syscall);
+        if msg.span.is_some() {
+            ctx.set_trace_ctx(msg.span);
+        }
+        telemetry::with(|r| {
+            r.instant(
+                self.owner.pu.0,
+                ctx.now().as_nanos(),
+                &format!("xfifo-read {}", self.uuid),
+                msg.span,
+            );
+        });
+        msg.payload
     }
 
     /// `xfifo_close` from the owner side: destroys the FIFO object.

@@ -11,9 +11,7 @@ use hetsim::pu::PuId;
 use serde::{Deserialize, Serialize};
 
 /// Globally unique process id: PU-ID ⊕ local UUID.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct XpuPid {
     /// The PU the process lives on.
     pub pu: PuId,
@@ -51,9 +49,7 @@ impl fmt::Display for XpuPid {
 }
 
 /// Identifier of a distributed object (a `CAP_Group` or `IPC` object, §3.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ObjId(pub u64);
 
 impl fmt::Display for ObjId {

@@ -148,7 +148,12 @@ impl ShimServer {
                         }
                     }));
                 }
-                ShimServer { backend: Backend::WorkStealing(injector), stop, handled, threads: joins }
+                ShimServer {
+                    backend: Backend::WorkStealing(injector),
+                    stop,
+                    handled,
+                    threads: joins,
+                }
             }
         }
     }

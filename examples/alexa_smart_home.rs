@@ -1,15 +1,27 @@
 //! The Alexa smart-home skill: a five-function chain spread across the CPU
-//! and a DPU, comparing the Express-HTTP baseline with Molecule's
+//! and both DPUs, comparing the Express-HTTP baseline with Molecule's
 //! direct-connect IPC/nIPC (paper §4.3, Fig. 12 / Fig. 14e).
+//!
+//! Also demonstrates cross-PU distributed tracing: the run records one
+//! merged trace with a lane per PU and writes it as Chrome trace_event
+//! JSON (open `alexa_trace.json` in `chrome://tracing` or Perfetto).
 //!
 //! ```sh
 //! cargo run --example alexa_smart_home
 //! ```
 
+use std::collections::BTreeSet;
+
 use molecule_repro::prelude::*;
+use molecule_repro::telemetry;
 use workloads::serverlessbench::alexa_chain;
 
 fn main() {
+    let recorder = telemetry::install_default();
+    recorder.set_lane_name(0, "CPU (pu0)");
+    recorder.set_lane_name(1, "DPU BF-1 (pu1)");
+    recorder.set_lane_name(2, "DPU BF-1 (pu2)");
+
     let machine = Machine::paper_cpu_dpu_server();
     let molecule = Molecule::launch(machine, MoleculeConfig::default());
     for def in alexa_chain() {
@@ -19,22 +31,22 @@ fn main() {
     let mut sim = Simulation::new();
     let m = molecule.clone();
     let outcome = sim.spawn("driver", move |ctx| {
-        // Place the chain across PUs: front/smarthome/light on the CPU,
-        // interact/door on the DPU — every hop crosses a PU boundary.
+        // Place the chain across all three PUs of the CPU+2-DPU server:
+        // frontend/door on the CPU, interact/light on the first DPU,
+        // smarthome on the second — every hop crosses a PU boundary.
         let names =
             ["alexa-frontend", "alexa-interact", "alexa-smarthome", "alexa-door", "alexa-light"];
         let stages: Vec<ChainStage> = names
             .iter()
             .enumerate()
-            .map(|(i, n)| ChainStage::new(*n, if i % 2 == 0 { PuId(0) } else { PuId(1) }))
+            .map(|(i, n)| ChainStage::new(*n, PuId((i % 3) as u16)))
             .collect();
 
         let http = ChainSpec::new("alexa-http", stages.clone(), CommMethod::HttpGateway)
             .input_bytes(1536)
             .rounds(10);
-        let ipc = ChainSpec::new("alexa-ipc", stages, CommMethod::DirectIpc)
-            .input_bytes(1536)
-            .rounds(10);
+        let ipc =
+            ChainSpec::new("alexa-ipc", stages, CommMethod::DirectIpc).input_bytes(1536).rounds(10);
 
         let baseline = run_chain(&m, ctx, &http).unwrap();
         let molecule = run_chain(&m, ctx, &ipc).unwrap();
@@ -65,4 +77,13 @@ fn main() {
             molecule.mean_hop(i).as_millis_f64()
         );
     }
+
+    // One merged trace: stage spans recorded on each PU's lane, ordered by
+    // virtual time across the whole run.
+    let events = recorder.events();
+    let lanes: BTreeSet<u16> = events.iter().map(|e| e.pu).collect();
+    println!("\ntrace: {} events across {} PU lanes {:?}", events.len(), lanes.len(), lanes);
+    assert!(lanes.len() >= 3, "expected spans from at least 3 PUs, got {lanes:?}");
+    recorder.export_chrome_to("alexa_trace.json").expect("write alexa_trace.json");
+    println!("wrote alexa_trace.json — open in chrome://tracing or https://ui.perfetto.dev");
 }

@@ -37,8 +37,11 @@ fn main() {
         for i in 0..120 {
             let at = arrivals.next_arrival();
             ctx.sleep(at.saturating_duration_since(ctx.now()));
-            let func =
-                if i % 5 == 4 { FuncId::new("helloworld") } else { FuncId::new("sb-image-process") };
+            let func = if i % 5 == 4 {
+                FuncId::new("helloworld")
+            } else {
+                FuncId::new("sb-image-process")
+            };
             let report = gw.handle_request(ctx, &func, 2048).unwrap();
             recorder.record(report.latency);
         }

@@ -36,5 +36,8 @@ fn main() {
     let dpu_cost = meter.charge(PuKind::Dpu, SimDuration::from_millis(1000), 128);
     println!("\nbilling one instance-second (128 MiB):");
     println!("  on the CPU: {cpu_cost:.1} credits");
-    println!("  on a DPU  : {dpu_cost:.1} credits ({}% cheaper)", (100.0 * (1.0 - dpu_cost / cpu_cost)) as u32);
+    println!(
+        "  on a DPU  : {dpu_cost:.1} credits ({}% cheaper)",
+        (100.0 * (1.0 - dpu_cost / cpu_cost)) as u32
+    );
 }

@@ -32,7 +32,8 @@ fn main() {
 
         // Warm-sandbox start: the kernel is already resident.
         let t0 = ctx.now();
-        let started = m.start_instance(ctx, &"vmult".into(), fpga, StartupKind::ColdBaseline).unwrap();
+        let started =
+            m.start_instance(ctx, &"vmult".into(), fpga, StartupKind::ColdBaseline).unwrap();
         let warm_start = ctx.now() - t0;
 
         // Invoke: DMA in + dispatch + kernel.

@@ -61,7 +61,10 @@ fn main() {
     sim.run().expect("simulation runs to completion");
 
     let (create, invoke_all, resident, state) = out.take_result().unwrap();
-    println!("vector-create of 6 CUDA sandboxes : {:>8.2} ms (context amortized)", create.as_millis_f64());
+    println!(
+        "vector-create of 6 CUDA sandboxes : {:>8.2} ms (context amortized)",
+        create.as_millis_f64()
+    );
     println!("6 kernel launches                 : {:>8.2} ms", invoke_all.as_millis_f64());
     println!("kernels resident simultaneously   : {resident}");
     println!("sandbox state via OCI verb        : {state}");

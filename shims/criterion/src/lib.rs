@@ -1,0 +1,108 @@
+//! Offline shim for the `criterion` API subset used by this workspace's
+//! benches. Runs each benchmark for a fixed warm-up + measurement budget
+//! and prints mean wall-clock per iteration — enough to compare hot paths
+//! locally without the statistics machinery of the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How setup cost is amortized in `iter_batched` (API-compatible marker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured total and iteration count for the reporting caller.
+    elapsed: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Bencher {
+        Bencher { elapsed: Duration::ZERO, iters: 0, budget }
+    }
+
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up iteration, then measure until the budget ends.
+        black_box(routine());
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            self.iters += 1;
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut timed = Duration::ZERO;
+        while timed < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            timed += start.elapsed();
+            self.iters += 1;
+        }
+        self.elapsed = timed;
+    }
+}
+
+/// Benchmark registry/driver (`criterion::Criterion` subset).
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep bench binaries fast in CI; raise via CRITERION_BUDGET_MS.
+        let ms =
+            std::env::var("CRITERION_BUDGET_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(50u64);
+        Criterion { budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed.as_nanos() / b.iters as u128;
+            println!("bench {id:<48} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        } else {
+            println!("bench {id:<48} (no iterations)");
+        }
+        self
+    }
+}
+
+/// `criterion_group!` subset: declares a runner fn invoking each bench fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!` subset: the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test` passes harness flags; a bench shim just runs.
+            $($group();)+
+        }
+    };
+}

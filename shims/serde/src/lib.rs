@@ -1,0 +1,12 @@
+//! Offline shim for the `serde` facade. The workspace uses
+//! `#[derive(Serialize, Deserialize)]` purely as schema annotations (no
+//! JSON/bincode backend is linked in this container), so the traits are
+//! markers and the derives expand to empty impls.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,41 @@
+//! Offline shim for `serde_derive`: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as annotations (no serializer crate
+//! is linked in this container), so the derives expand to marker-trait
+//! impls without generating any serialization code.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the item name following `struct`/`enum` and renders a marker
+/// impl, skipping generic items (the workspace derives only on concrete
+/// types; a generic item simply gets no marker impl).
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref kw) = tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // Generic items would need parameter plumbing; skip them.
+                    if let Some(TokenTree::Punct(p)) = tokens.next() {
+                        if p.as_char() == '<' {
+                            return TokenStream::new();
+                        }
+                    }
+                    let src = format!("impl serde::{trait_name} for {name} {{}}");
+                    return src.parse().unwrap_or_default();
+                }
+            }
+        }
+    }
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}

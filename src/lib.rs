@@ -50,6 +50,7 @@
 
 pub use hetsim;
 pub use molecule_core;
+pub use telemetry;
 pub use vsandbox;
 pub use workloads;
 pub use xpu_shim;

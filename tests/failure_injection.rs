@@ -78,9 +78,7 @@ fn dead_executor_is_replaced_by_respawn() {
     let out = sim.spawn("gateway", move |ctx| {
         m.bootstrap(ctx).unwrap();
         m.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
-        let before = m
-            .start_instance(ctx, &"f".into(), PuId(1), StartupKind::CforkLocal)
-            .unwrap();
+        let before = m.start_instance(ctx, &"f".into(), PuId(1), StartupKind::CforkLocal).unwrap();
         // Crash: the executor process disappears from the shim's view.
         let cluster = m.cluster().clone();
         let shim = cluster.shim_on(PuId(1)).unwrap();
@@ -93,9 +91,7 @@ fn dead_executor_is_replaced_by_respawn() {
             .unwrap()
             .xspawn_inert(ctx, manager, PuId(1), "molecule-executor", &[])
             .unwrap();
-        let after = m
-            .start_instance(ctx, &"f".into(), PuId(1), StartupKind::CforkLocal)
-            .unwrap();
+        let after = m.start_instance(ctx, &"f".into(), PuId(1), StartupKind::CforkLocal).unwrap();
         (before.latency, after.latency, replacement.pu)
     });
     sim.run().unwrap();
@@ -142,9 +138,8 @@ fn shim_errors_are_descriptive_and_typed() {
     let out = sim.spawn("driver", move |ctx| {
         let shim = cluster.shim_on(PuId(0)).unwrap();
         let me = shim.attach_process();
-        let missing = shim
-            .xfifo_connect(ctx, me, &xpu_shim::id::GlobalUuid::new("ghost"))
-            .unwrap_err();
+        let missing =
+            shim.xfifo_connect(ctx, me, &xpu_shim::id::GlobalUuid::new("ghost")).unwrap_err();
         let no_pu = cluster.shim_on(PuId(42)).unwrap_err();
         (missing, no_pu)
     });

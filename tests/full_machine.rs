@@ -50,11 +50,18 @@ fn molecule_runs_cpu_dpu_and_fpga_functions_on_one_machine() {
         m.prepare_template(ctx, PuId(0), LangRuntime::Python).unwrap();
         m.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
 
-        let on_cpu = m.start_instance(ctx, &"py-fn".into(), PuId(0), StartupKind::CforkLocal).unwrap();
+        let on_cpu =
+            m.start_instance(ctx, &"py-fn".into(), PuId(0), StartupKind::CforkLocal).unwrap();
         let on_dpu = m
-            .start_instance(ctx, &"py-fn".into(), PuId(1), StartupKind::CforkXpu { issued_from: PuId(0) })
+            .start_instance(
+                ctx,
+                &"py-fn".into(),
+                PuId(1),
+                StartupKind::CforkXpu { issued_from: PuId(0) },
+            )
             .unwrap();
-        let on_fpga = m.start_instance(ctx, &"hw-fn".into(), fpga, StartupKind::ColdBaseline).unwrap();
+        let on_fpga =
+            m.start_instance(ctx, &"hw-fn".into(), fpga, StartupKind::ColdBaseline).unwrap();
 
         let cpu_exec = m.invoke(ctx, on_cpu.instance, 1024).unwrap().latency;
         let dpu_exec = m.invoke(ctx, on_dpu.instance, 1024).unwrap().latency;

@@ -17,12 +17,7 @@ fn gateway() -> ApiGateway {
     let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
     molecule.register_function(serverlessbench::image_processing());
     molecule.register_function(serverlessbench::helloworld());
-    ApiGateway::new(
-        molecule,
-        Scheduler::default(),
-        GatewayConfig::default(),
-        Box::new(Lru::new()),
-    )
+    ApiGateway::new(molecule, Scheduler::default(), GatewayConfig::default(), Box::new(Lru::new()))
 }
 
 #[test]
@@ -82,8 +77,7 @@ fn scale_up_path_is_configurable_per_deployment() {
     // The same load served via cold-baseline scale-up costs much more
     // startup time overall — the homo-vs-molecule contrast at gateway level.
     let run_with = |how: StartupKind| {
-        let molecule =
-            Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+        let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
         molecule.register_function(serverlessbench::image_processing());
         let gw = ApiGateway::new(
             molecule,

@@ -71,14 +71,12 @@ fn gpu_instances_start_and_bill_through_the_runtime() {
     let mut sim = Simulation::new();
     let m = molecule.clone();
     let out = sim.spawn("trainer", move |ctx| {
-        let started = m
-            .start_instance(ctx, &"gnn-apply".into(), gpu, StartupKind::ColdBaseline)
-            .unwrap();
+        let started =
+            m.start_instance(ctx, &"gnn-apply".into(), gpu, StartupKind::ColdBaseline).unwrap();
         // First start pays context creation + module load; a second kernel
         // amortizes the context.
-        let second = m
-            .start_instance(ctx, &"gnn-apply".into(), gpu, StartupKind::ColdBaseline)
-            .unwrap();
+        let second =
+            m.start_instance(ctx, &"gnn-apply".into(), gpu, StartupKind::ColdBaseline).unwrap();
         let invoke = m.invoke(ctx, started.instance, gnn::PARTITION_BYTES).unwrap();
         m.retire_instance(ctx, second.instance).unwrap();
         (started.latency, second.latency, invoke.latency)

@@ -42,9 +42,8 @@ fn functions_cfork_onto_the_smartnic() {
     let out = sim.spawn("gateway", move |ctx| {
         m.bootstrap(ctx).unwrap();
         m.prepare_template(ctx, nic, LangRuntime::Python).unwrap();
-        let started = m
-            .start_instance(ctx, &"edge-filter".into(), nic, StartupKind::CforkLocal)
-            .unwrap();
+        let started =
+            m.start_instance(ctx, &"edge-filter".into(), nic, StartupKind::CforkLocal).unwrap();
         let exec = m.invoke(ctx, started.instance, 1024).unwrap().latency;
         (started.latency, exec)
     });
@@ -70,20 +69,16 @@ fn nipc_chains_span_cpu_and_smartnic() {
     }
     let mut sim = Simulation::new();
     let out = sim.spawn("driver", move |ctx| {
-        let stages =
-            vec![ChainStage::new("ingress", nic), ChainStage::new("process", PuId(0))];
+        let stages = vec![ChainStage::new("ingress", nic), ChainStage::new("process", PuId(0))];
         let ipc = run_chain(
             &molecule,
             ctx,
             &ChainSpec::new("nic-ipc", stages.clone(), CommMethod::DirectIpc),
         )
         .unwrap();
-        let http = run_chain(
-            &molecule,
-            ctx,
-            &ChainSpec::new("nic-http", stages, CommMethod::HttpGateway),
-        )
-        .unwrap();
+        let http =
+            run_chain(&molecule, ctx, &ChainSpec::new("nic-http", stages, CommMethod::HttpGateway))
+                .unwrap();
         (ipc.mean_hop(1), http.mean_hop(1))
     });
     sim.run().unwrap();

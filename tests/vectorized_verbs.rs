@@ -117,8 +117,5 @@ fn runf_vector_create_rejects_oversized_vectors() {
         rt.create_vec(ctx, &entries).unwrap_err()
     });
     sim.run().unwrap();
-    assert!(matches!(
-        out.take_result().unwrap(),
-        vsandbox::oci::SandboxError::Device(_)
-    ));
+    assert!(matches!(out.take_result().unwrap(), vsandbox::oci::SandboxError::Device(_)));
 }
