@@ -7,3 +7,9 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Fault-matrix smoke stage: the chaos crate's plan/injector/scenario and
+# property tests, plus the seeded crash-recovery e2e whose replay assertion
+# (same seed ⇒ byte-identical event log) gates determinism.
+cargo test -q -p molecule-chaos
+cargo test -q --test chaos_recovery

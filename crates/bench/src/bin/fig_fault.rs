@@ -1,0 +1,5 @@
+//! Regenerates the fault-tolerance data backed by `molecule_bench::fig_fault`.
+
+fn main() {
+    molecule_bench::fig_fault::print();
+}

@@ -22,6 +22,7 @@
 //! | [`fig15`] | Fig. 15 design space with Molecule's measured placement |
 //! | [`tables`] | Tables 1, 4 and 5 |
 //! | [`ablations`] | Design-choice ablations beyond the paper's figures |
+//! | [`fig_fault`] | Crash-recovery latency under seeded fault injection |
 
 pub mod ablations;
 pub mod fig02;
@@ -33,6 +34,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod fig_fault;
 pub mod tables;
 
 use hetsim::engine::{ProcCtx, Simulation};

@@ -1,0 +1,85 @@
+//! The fault injector: applies a [`FaultPlan`] to a machine in virtual time.
+
+use hetsim::engine::{ProcCtx, Simulation};
+use hetsim::time::SimTime;
+use hetsim::topology::Machine;
+
+use crate::plan::{FaultAction, FaultPlan};
+
+/// Installs the plan's seed on the machine's fault plane. Called once
+/// before the simulation starts so the same seed always produces the same
+/// loss/duplication pattern.
+pub fn install(machine: &Machine, plan: &FaultPlan) {
+    machine.fault_plane().reseed(plan.seed());
+}
+
+/// Applies one action to the machine's fault plane at `now`.
+pub fn apply(machine: &Machine, now: SimTime, action: &FaultAction) {
+    let plane = machine.fault_plane();
+    match *action {
+        FaultAction::KillPu(pu) => plane.kill_pu(now, pu),
+        FaultAction::RevivePu(pu) => plane.revive_pu(now, pu),
+        FaultAction::HangPu(pu, for_) => plane.hang_pu(now, pu, for_),
+        FaultAction::DegradeLink(a, b, factor) => plane.degrade_link(now, a, b, factor),
+        FaultAction::HealLink(a, b) => plane.heal_link(now, a, b),
+        FaultAction::Partition(a, b) => plane.partition(now, a, b),
+        FaultAction::HealPartition(a, b) => plane.heal_partition(now, a, b),
+        FaultAction::FifoLoss(from, to, p) => plane.set_fifo_loss(now, from, to, p),
+        FaultAction::FifoDup(from, to, p) => plane.set_fifo_dup(now, from, to, p),
+        FaultAction::FailFpgaLoads(pu, count) => plane.fail_fpga_loads(now, pu, count),
+    }
+    telemetry::with(|r| r.metrics().counter_add("chaos.injected", 1));
+}
+
+/// Installs the plan and spawns the injector process: it sleeps to each
+/// event's virtual time and applies it, in schedule order.
+pub fn spawn_injector(sim: &mut Simulation, machine: &Machine, plan: &FaultPlan) {
+    install(machine, plan);
+    let machine = machine.clone();
+    let plan = plan.clone();
+    sim.spawn("chaos-injector", move |ctx: &mut ProcCtx| {
+        for event in plan.events() {
+            if event.at > ctx.now() {
+                ctx.sleep(event.at - ctx.now());
+            }
+            apply(&machine, ctx.now(), &event.action);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::time::SimDuration;
+
+    #[test]
+    fn injector_applies_events_at_their_virtual_times() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let plan = FaultPlan::parse(
+            "seed 9\n\
+             at 2ms degrade pu0 pu1 x3\n\
+             at 5ms kill pu1\n\
+             at 8ms revive pu1\n",
+        )
+        .unwrap();
+        let mut sim = Simulation::new();
+        spawn_injector(&mut sim, &machine, &plan);
+        let machine2 = machine.clone();
+        sim.spawn("observer", move |ctx| {
+            let plane = machine2.fault_plane();
+            ctx.sleep(SimDuration::from_millis(3));
+            assert_eq!(plane.link_factor(hetsim::pu::PuId(0), hetsim::pu::PuId(1)), 3.0);
+            assert!(!plane.is_dead(hetsim::pu::PuId(1)));
+            ctx.sleep(SimDuration::from_millis(3));
+            assert!(plane.is_dead(hetsim::pu::PuId(1)));
+            ctx.sleep(SimDuration::from_millis(3));
+            assert!(!plane.is_dead(hetsim::pu::PuId(1)));
+        });
+        sim.run().unwrap();
+        assert_eq!(machine.fault_plane().seed(), 9);
+        let log = machine.fault_plane().event_log();
+        assert_eq!(log.len(), 3);
+        assert!(log[0].contains("degrade"), "{log:?}");
+        assert!(log[1].starts_with("[     5000000ns]"), "{log:?}");
+    }
+}

@@ -1,0 +1,330 @@
+//! Seeded fault plans and their text DSL.
+//!
+//! A [`FaultPlan`] is the unit of chaos: a sampling seed plus an ordered
+//! schedule of [`FaultEvent`]s in virtual time. Plans are plain data — they
+//! can be built programmatically or parsed from a small line-oriented DSL:
+//!
+//! ```text
+//! # a DPU crash under lossy nIPC
+//! seed 42
+//! at 0ms lose pu0 pu1 0.05
+//! at 0ms dup pu0 pu1 0.05
+//! at 150ms kill pu1
+//! at 300ms revive pu1
+//! at 10ms hang pu2 for 500us
+//! at 20ms degrade pu0 pu2 x4
+//! at 30ms heal pu0 pu2
+//! at 40ms partition pu0 pu2
+//! at 50ms heal-partition pu0 pu2
+//! at 60ms fail-fpga pu3 2
+//! ```
+//!
+//! Durations accept `ns`, `us`, `ms` and `s` suffixes. Events are kept
+//! sorted by time (stable, so same-instant events apply in written order).
+
+use std::fmt;
+
+use hetsim::pu::PuId;
+use hetsim::time::{SimDuration, SimTime};
+
+/// One injectable fault (or repair) action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Crash a PU: it stops answering xcalls and nIPC entirely.
+    KillPu(PuId),
+    /// Revive a crashed PU (models flapping hardware).
+    RevivePu(PuId),
+    /// Hang a PU — alive but unresponsive — for the given window.
+    HangPu(PuId, SimDuration),
+    /// Multiply the latency of the `a <-> b` link by the factor.
+    DegradeLink(PuId, PuId, f64),
+    /// Remove a degradation from `a <-> b`.
+    HealLink(PuId, PuId),
+    /// Cut the `a <-> b` link entirely.
+    Partition(PuId, PuId),
+    /// Restore a partitioned `a <-> b` link.
+    HealPartition(PuId, PuId),
+    /// Drop each `from -> to` FIFO message with probability `p`.
+    FifoLoss(PuId, PuId, f64),
+    /// Deliver each `from -> to` FIFO message twice with probability `p`.
+    FifoDup(PuId, PuId, f64),
+    /// Fail the next `count` FPGA bitstream loads on the PU.
+    FailFpgaLoads(PuId, u32),
+}
+
+/// A [`FaultAction`] scheduled at a virtual-time instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When (virtual time from simulation start) the action applies.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// A seeded, ordered schedule of fault events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given sampling seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, events: Vec::new() }
+    }
+
+    /// The loss/duplication sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, sorted by time (stable).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Schedules `action` at `at` (builder style).
+    #[must_use]
+    pub fn with(mut self, at: SimTime, action: FaultAction) -> FaultPlan {
+        self.push(at, action);
+        self
+    }
+
+    /// Schedules `action` at `at`, keeping the schedule sorted.
+    pub fn push(&mut self, at: SimTime, action: FaultAction) {
+        self.events.push(FaultEvent { at, action });
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Parses the text DSL (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanParseError`] naming the offending line and what was expected.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::new(0);
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            match toks[0] {
+                "seed" => {
+                    let [_, n] = expect_arity(&toks, lineno, "seed <u64>")?;
+                    plan.seed = n
+                        .parse::<u64>()
+                        .map_err(|_| PlanParseError::new(lineno, "seed wants a u64"))?;
+                }
+                "at" => {
+                    if toks.len() < 3 {
+                        return Err(PlanParseError::new(lineno, "at <time> <verb> ..."));
+                    }
+                    let at = SimTime::ZERO + parse_duration(toks[1], lineno)?;
+                    let action = parse_action(&toks[2..], lineno)?;
+                    plan.push(at, action);
+                }
+                other => {
+                    return Err(PlanParseError::new(
+                        lineno,
+                        &format!("unknown directive `{other}` (want `seed` or `at`)"),
+                    ));
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_action(toks: &[&str], lineno: usize) -> Result<FaultAction, PlanParseError> {
+    match toks[0] {
+        "kill" => {
+            let [_, pu] = expect_arity(toks, lineno, "kill <pu>")?;
+            Ok(FaultAction::KillPu(parse_pu(pu, lineno)?))
+        }
+        "revive" => {
+            let [_, pu] = expect_arity(toks, lineno, "revive <pu>")?;
+            Ok(FaultAction::RevivePu(parse_pu(pu, lineno)?))
+        }
+        "hang" => {
+            let [_, pu, kw, dur] = expect_arity(toks, lineno, "hang <pu> for <dur>")?;
+            if kw != "for" {
+                return Err(PlanParseError::new(lineno, "hang <pu> for <dur>"));
+            }
+            Ok(FaultAction::HangPu(parse_pu(pu, lineno)?, parse_duration(dur, lineno)?))
+        }
+        "degrade" => {
+            let [_, a, b, f] = expect_arity(toks, lineno, "degrade <pu> <pu> x<factor>")?;
+            let factor = f
+                .strip_prefix('x')
+                .unwrap_or(f)
+                .parse::<f64>()
+                .map_err(|_| PlanParseError::new(lineno, "degrade wants a factor like x4"))?;
+            Ok(FaultAction::DegradeLink(parse_pu(a, lineno)?, parse_pu(b, lineno)?, factor))
+        }
+        "heal" => {
+            let [_, a, b] = expect_arity(toks, lineno, "heal <pu> <pu>")?;
+            Ok(FaultAction::HealLink(parse_pu(a, lineno)?, parse_pu(b, lineno)?))
+        }
+        "partition" => {
+            let [_, a, b] = expect_arity(toks, lineno, "partition <pu> <pu>")?;
+            Ok(FaultAction::Partition(parse_pu(a, lineno)?, parse_pu(b, lineno)?))
+        }
+        "heal-partition" => {
+            let [_, a, b] = expect_arity(toks, lineno, "heal-partition <pu> <pu>")?;
+            Ok(FaultAction::HealPartition(parse_pu(a, lineno)?, parse_pu(b, lineno)?))
+        }
+        "lose" => {
+            let [_, a, b, p] = expect_arity(toks, lineno, "lose <from> <to> <p>")?;
+            Ok(FaultAction::FifoLoss(
+                parse_pu(a, lineno)?,
+                parse_pu(b, lineno)?,
+                parse_prob(p, lineno)?,
+            ))
+        }
+        "dup" => {
+            let [_, a, b, p] = expect_arity(toks, lineno, "dup <from> <to> <p>")?;
+            Ok(FaultAction::FifoDup(
+                parse_pu(a, lineno)?,
+                parse_pu(b, lineno)?,
+                parse_prob(p, lineno)?,
+            ))
+        }
+        "fail-fpga" => {
+            let [_, pu, n] = expect_arity(toks, lineno, "fail-fpga <pu> <count>")?;
+            let count = n
+                .parse::<u32>()
+                .map_err(|_| PlanParseError::new(lineno, "fail-fpga wants a count"))?;
+            Ok(FaultAction::FailFpgaLoads(parse_pu(pu, lineno)?, count))
+        }
+        other => Err(PlanParseError::new(lineno, &format!("unknown fault verb `{other}`"))),
+    }
+}
+
+/// Destructures `toks` into exactly `N` tokens or reports the usage string.
+fn expect_arity<'a, const N: usize>(
+    toks: &[&'a str],
+    lineno: usize,
+    usage: &str,
+) -> Result<[&'a str; N], PlanParseError> {
+    <[&'a str; N]>::try_from(toks).map_err(|_| PlanParseError::new(lineno, usage))
+}
+
+fn parse_pu(tok: &str, lineno: usize) -> Result<PuId, PlanParseError> {
+    tok.strip_prefix("pu")
+        .and_then(|n| n.parse::<u16>().ok())
+        .map(PuId)
+        .ok_or_else(|| PlanParseError::new(lineno, &format!("`{tok}` is not a PU (want puN)")))
+}
+
+fn parse_prob(tok: &str, lineno: usize) -> Result<f64, PlanParseError> {
+    match tok.parse::<f64>() {
+        Ok(p) if (0.0..=1.0).contains(&p) => Ok(p),
+        _ => Err(PlanParseError::new(lineno, &format!("`{tok}` is not a probability in [0, 1]"))),
+    }
+}
+
+fn parse_duration(tok: &str, lineno: usize) -> Result<SimDuration, PlanParseError> {
+    let err = || PlanParseError::new(lineno, &format!("`{tok}` is not a duration (want 5ms/3us)"));
+    let split = tok.find(|c: char| c.is_ascii_alphabetic()).ok_or_else(err)?;
+    let (num, unit) = tok.split_at(split);
+    let value: f64 = num.parse().map_err(|_| err())?;
+    let nanos = match unit {
+        "ns" => value,
+        "us" => value * 1e3,
+        "ms" => value * 1e6,
+        "s" => value * 1e9,
+        _ => return Err(err()),
+    };
+    if nanos.is_nan() || nanos < 0.0 {
+        return Err(err());
+    }
+    Ok(SimDuration::from_nanos(nanos as u64))
+}
+
+/// A syntax error in the fault-plan DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line the error is on.
+    pub line: usize,
+    /// What the parser expected.
+    pub expected: String,
+}
+
+impl PlanParseError {
+    fn new(line: usize, expected: &str) -> PlanParseError {
+        PlanParseError { line, expected: expected.to_owned() }
+    }
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.expected)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb_with_comments_and_blank_lines() {
+        let plan = FaultPlan::parse(
+            "# full grammar\n\
+             seed 42\n\
+             \n\
+             at 150ms kill pu1   # crash\n\
+             at 300ms revive pu1\n\
+             at 10ms hang pu2 for 500us\n\
+             at 20ms degrade pu0 pu2 x4\n\
+             at 30ms heal pu0 pu2\n\
+             at 40ms partition pu0 pu2\n\
+             at 50ms heal-partition pu0 pu2\n\
+             at 0ms lose pu0 pu1 0.2\n\
+             at 0ms dup pu0 pu1 0.1\n\
+             at 60ms fail-fpga pu3 2\n",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.events().len(), 10);
+        // Sorted by time; same-instant events keep written order.
+        assert_eq!(plan.events()[0].action, FaultAction::FifoLoss(PuId(0), PuId(1), 0.2));
+        assert_eq!(plan.events()[1].action, FaultAction::FifoDup(PuId(0), PuId(1), 0.1));
+        let last = plan.events().last().unwrap();
+        assert_eq!(last.at, SimTime::ZERO + SimDuration::from_millis(300));
+        assert_eq!(last.action, FaultAction::RevivePu(PuId(1)));
+    }
+
+    #[test]
+    fn duration_units_and_hang_window() {
+        let plan = FaultPlan::parse("at 1.5ms hang pu1 for 2us\n").unwrap();
+        let ev = &plan.events()[0];
+        assert_eq!(ev.at, SimTime::ZERO + SimDuration::from_nanos(1_500_000));
+        assert_eq!(ev.action, FaultAction::HangPu(PuId(1), SimDuration::from_nanos(2_000)));
+    }
+
+    #[test]
+    fn errors_name_the_line_and_expectation() {
+        let err = FaultPlan::parse("seed 1\nat 5ms explode pu1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.expected.contains("explode"), "{err}");
+        assert!(FaultPlan::parse("at 5 kill pu1").is_err(), "missing unit");
+        assert!(FaultPlan::parse("at 5ms kill cpu1").is_err(), "bad pu token");
+        assert!(FaultPlan::parse("at 5ms lose pu0 pu1 1.5").is_err(), "p out of range");
+        assert!(FaultPlan::parse("at 5ms hang pu1 until 3ms").is_err(), "bad keyword");
+        assert!(FaultPlan::parse("frobnicate").is_err(), "unknown directive");
+    }
+
+    #[test]
+    fn builder_keeps_events_sorted() {
+        let plan = FaultPlan::new(7)
+            .with(SimTime::ZERO + SimDuration::from_millis(9), FaultAction::KillPu(PuId(2)))
+            .with(SimTime::ZERO + SimDuration::from_millis(1), FaultAction::KillPu(PuId(1)));
+        assert_eq!(plan.events()[0].action, FaultAction::KillPu(PuId(1)));
+        assert_eq!(plan.events()[1].action, FaultAction::KillPu(PuId(2)));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for crash-recovery invariants (the reclamation paths the
+//! chaos plane actually triggers):
+//!
+//! * no capability in a dead PU's `CAP_Group` remains grantable after the
+//!   crash is reclaimed;
+//! * FIFO UUIDs are reclaimed exactly once, even when reclamation requests
+//!   are duplicated.
+
+use hetsim::engine::Simulation;
+use hetsim::pu::PuId;
+use hetsim::time::SimTime;
+use hetsim::topology::Machine;
+use proptest::prelude::*;
+use xpu_shim::{GlobalUuid, Perm, ShimCluster, ShimConfig, XpuPid};
+
+proptest! {
+    #[test]
+    fn dead_pu_cap_groups_are_not_grantable_after_reclaim(
+        n_procs in 1usize..4,
+        n_caps in 1usize..5,
+    ) {
+        let machine = Machine::paper_cpu_dpu_server();
+        let cluster = ShimCluster::deploy(machine.clone(), ShimConfig::default());
+        let mut sim = Simulation::new();
+        let cl = cluster.clone();
+        let mach = machine.clone();
+        sim.spawn("driver", move |ctx| {
+            let host_shim = cl.shim_on(PuId(0)).unwrap();
+            let host = host_shim.attach_process();
+            let dpu_shim = cl.shim_on(PuId(1)).unwrap();
+
+            // Host-owned FIFOs whose WRITE caps get granted to DPU procs.
+            let mut objs = Vec::new();
+            for i in 0..n_caps {
+                let fifo = host_shim.xfifo_init(ctx, host, format!("cap-fifo-{i}")).unwrap();
+                objs.push(fifo.obj());
+            }
+            let mut dpu_pids: Vec<XpuPid> = Vec::new();
+            for _ in 0..n_procs {
+                let pid = dpu_shim.attach_process();
+                for obj in &objs {
+                    host_shim.grant_cap(ctx, host, pid, *obj, Perm::WRITE).unwrap();
+                }
+                dpu_pids.push(pid);
+            }
+            for pid in &dpu_pids {
+                assert_eq!(cl.cap_count(*pid), Some(n_caps));
+            }
+
+            mach.fault_plane().kill_pu(ctx.now(), PuId(1));
+            let report = cl.reclaim_pu(ctx, PuId(1));
+            assert!(report.processes >= n_procs, "{report:?}");
+            assert!(report.caps_dropped >= n_procs * n_caps, "{report:?}");
+
+            // The dead procs' CAP_Groups are gone: nothing can be granted
+            // to them, and they can grant nothing.
+            for pid in &dpu_pids {
+                assert!(!cl.has_process(*pid));
+                assert_eq!(cl.cap_count(*pid), None);
+                assert!(
+                    host_shim.grant_cap(ctx, host, *pid, objs[0], Perm::WRITE).is_err(),
+                    "grant to a reclaimed process must fail"
+                );
+                assert!(
+                    host_shim.grant_cap(ctx, *pid, host, objs[0], Perm::WRITE).is_err(),
+                    "grant by a reclaimed process must fail"
+                );
+            }
+            assert!(cl.pids_on(PuId(1)).is_empty());
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn fifo_uuids_are_reclaimed_exactly_once_under_duplicated_requests(
+        n_fifos in 1usize..6,
+        extra_rounds in 1usize..4,
+    ) {
+        let machine = Machine::paper_cpu_dpu_server();
+        let cluster = ShimCluster::deploy(machine.clone(), ShimConfig::default());
+        let mut sim = Simulation::new();
+        let cl = cluster.clone();
+        let mach = machine.clone();
+        sim.spawn("driver", move |ctx| {
+            let dpu_shim = cl.shim_on(PuId(1)).unwrap();
+            let owner = dpu_shim.attach_process();
+            let mut uuids: Vec<GlobalUuid> = Vec::new();
+            for i in 0..n_fifos {
+                let fifo = dpu_shim.xfifo_init(ctx, owner, format!("dpu-fifo-{i}")).unwrap();
+                uuids.push(fifo.uuid().clone());
+            }
+
+            mach.fault_plane().kill_pu(ctx.now(), PuId(1));
+            let report = cl.reclaim_pu(ctx, PuId(1));
+            assert_eq!(report.fifos_reclaimed, n_fifos, "{report:?}");
+
+            // A duplicated crash notification (the at-least-once world the
+            // chaos plane creates) must not double-free any UUID.
+            for _ in 0..extra_rounds {
+                let again = cl.reclaim_pu(ctx, PuId(1));
+                assert_eq!(again.fifos_reclaimed, 0, "{again:?}");
+                assert_eq!(again.processes, 0, "{again:?}");
+                for uuid in &uuids {
+                    assert!(!cl.reclaim_uuid(ctx, uuid), "second reclaim must be a no-op");
+                    assert!(!cl.fifo_exists(uuid));
+                }
+            }
+            assert_eq!(
+                cl.stats().reclaimed_uuids,
+                n_fifos as u64,
+                "each UUID counted exactly once"
+            );
+        });
+        sim.run().unwrap();
+    }
+}
+
+/// Crash a PU while the fault plane clock is mid-simulation: the plane's
+/// death time feeds detection latency, so it must round-trip.
+#[test]
+fn death_time_round_trips_through_the_plane() {
+    let machine = Machine::paper_cpu_dpu_server();
+    let t = SimTime::ZERO + hetsim::time::SimDuration::from_millis(3);
+    machine.fault_plane().kill_pu(t, PuId(2));
+    assert_eq!(machine.fault_plane().death_time(PuId(2)), Some(t));
+    assert_eq!(machine.fault_plane().dead_pus(), vec![PuId(2)]);
+}

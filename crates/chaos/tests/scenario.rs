@@ -1,0 +1,41 @@
+//! The flagship DPU-crash scenario: zero lost requests, visible failover
+//! and degradation, and a populated recovery report.
+
+use hetsim::pu::PuId;
+use molecule_chaos::dpu_crash_alexa;
+
+#[test]
+fn dpu_crash_mid_alexa_loses_nothing_and_fails_over() {
+    let report = dpu_crash_alexa(42);
+
+    // Every issued request completed: in-flight and subsequent work was
+    // re-routed, not dropped.
+    assert!(report.issued > 20, "the driver issued real traffic: {report:?}");
+    assert_eq!(report.lost, 0, "zero lost requests: {report:?}");
+    assert_eq!(report.completed, report.issued);
+
+    // Both DPUs were declared dead and recovered, in order.
+    let pus: Vec<PuId> = report.recoveries.iter().map(|r| r.pu).collect();
+    assert_eq!(pus, vec![PuId(1), PuId(2)], "{report:?}");
+    for rec in &report.recoveries {
+        assert!(rec.reclaim.processes >= 1, "executor pids reclaimed: {rec:?}");
+        assert!(rec.recovery_latency.as_nanos() > 0, "{rec:?}");
+    }
+
+    // The driver's executor pings failed over off both dead DPUs, and
+    // requests moved PUs after each crash.
+    assert!(report.executor_failovers >= 1, "{report:?}");
+    assert!(report.rerouted >= 1, "{report:?}");
+
+    // With every DPU gone, the DPU-preferring chain degraded to the CPU.
+    assert!(report.degraded >= 1, "{report:?}");
+    let cpu_served =
+        report.requests_per_pu.iter().find(|(pu, _)| *pu == PuId(0)).map_or(0, |(_, n)| *n);
+    assert!(cpu_served >= 1, "CPU absorbed the degraded tail: {report:?}");
+
+    // The event log recorded both the faults and the recoveries.
+    let log = report.event_log.join("\n");
+    assert!(log.contains("fault: kill pu1"), "{log}");
+    assert!(log.contains("fault: kill pu2"), "{log}");
+    assert!(log.contains("declared dead"), "{log}");
+}

@@ -25,6 +25,8 @@ pub enum MoleculeError {
     },
     /// No PU had capacity for the placement.
     NoCapacity(FuncId),
+    /// The PU is crashed or circuit-broken: requests must fail over.
+    PuUnavailable(PuId),
     /// No warm instance was available for a warm-only invocation.
     NoWarmInstance {
         /// The function.
@@ -47,6 +49,9 @@ impl fmt::Display for MoleculeError {
                 write!(f, "function {func} has no profile for {pu}")
             }
             MoleculeError::NoCapacity(func) => write!(f, "no capacity to place {func}"),
+            MoleculeError::PuUnavailable(pu) => {
+                write!(f, "{pu} is unavailable (crashed or circuit-open)")
+            }
             MoleculeError::NoWarmInstance { func, pu } => {
                 write!(f, "no warm instance of {func} on {pu}")
             }

@@ -151,22 +151,61 @@ impl ExecutorCommand {
     }
 
     /// Decodes a frame produced by [`encode_traced`](Self::encode_traced).
-    pub fn decode_traced(mut bytes: Bytes) -> Option<(ExecutorCommand, Option<SpanContext>)> {
+    pub fn decode_traced(bytes: Bytes) -> Option<(ExecutorCommand, Option<SpanContext>)> {
+        let (command, span, _key) = ExecutorCommand::decode_framed(bytes)?;
+        Some((command, span))
+    }
+
+    /// Encodes the command like [`encode_traced`](Self::encode_traced) but
+    /// additionally carries an idempotency `key`, so the executor can
+    /// recognise a duplicated or re-sent command and serve it exactly once.
+    pub fn encode_keyed(&self, key: u64, span: Option<SpanContext>) -> Bytes {
+        let mut buf = BytesMut::new();
+        match span {
+            Some(s) => {
+                buf.put_u8(3);
+                buf.put_u64_le(key);
+                buf.put_slice(&s.to_wire());
+            }
+            None => {
+                buf.put_u8(2);
+                buf.put_u64_le(key);
+            }
+        }
+        buf.put_slice(&self.encode());
+        buf.freeze()
+    }
+
+    /// Decodes any command frame: [`encode_traced`](Self::encode_traced)
+    /// (tags 0/1) or [`encode_keyed`](Self::encode_keyed) (tags 2/3).
+    pub fn decode_framed(
+        mut bytes: Bytes,
+    ) -> Option<(ExecutorCommand, Option<SpanContext>, Option<u64>)> {
         if bytes.remaining() < 1 {
             return None;
         }
-        let span = match bytes.get_u8() {
-            0 => None,
-            1 => {
+        let tag = bytes.get_u8();
+        let key = match tag {
+            0 | 1 => None,
+            2 | 3 => {
+                if bytes.remaining() < 8 {
+                    return None;
+                }
+                Some(bytes.get_u64_le())
+            }
+            _ => return None,
+        };
+        let span = match tag {
+            0 | 2 => None,
+            _ => {
                 if bytes.remaining() < 16 {
                     return None;
                 }
                 let raw = bytes.split_to(16);
                 SpanContext::from_wire(&raw)
             }
-            _ => return None,
         };
-        Some((ExecutorCommand::decode(bytes)?, span))
+        Some((ExecutorCommand::decode(bytes)?, span, key))
     }
 }
 
@@ -220,6 +259,7 @@ impl ExecutorReply {
 pub struct ExecutorHandle {
     /// The PU the executor runs on.
     pub pu: PuId,
+    cluster: xpu_shim::cluster::ShimCluster,
     command_writer: XpuFifoWriter,
     reply_fifo: xpu_shim::fifo::XpuFifoReader,
 }
@@ -256,6 +296,67 @@ impl ExecutorHandle {
             return Err(MoleculeError::Internal(format!("executor failed: {reason}")));
         }
         Ok(reply)
+    }
+
+    /// Fault-tolerant [`call`](Self::call): the command carries an
+    /// idempotency key, the reply wait is bounded by `timeout`, and a lost
+    /// reply triggers a bounded re-send under the cluster's retry policy.
+    /// The key makes re-sends exactly-once on the executor side, so a
+    /// re-issued `Cfork` never starts a second instance.
+    ///
+    /// # Errors
+    ///
+    /// [`MoleculeError::PuUnavailable`] when the executor's PU is dead or
+    /// stays unresponsive past every retry; other shim/protocol errors as
+    /// [`call`](Self::call).
+    pub fn call_ft(
+        &self,
+        ctx: &mut ProcCtx,
+        command: ExecutorCommand,
+        timeout: SimDuration,
+    ) -> Result<ExecutorReply, MoleculeError> {
+        use xpu_shim::error::ShimError;
+        // Drop replies orphaned by earlier timeouts or duplicated delivery,
+        // so the one we read next matches the command we send now.
+        while self.reply_fifo.try_read(ctx).is_ok() {}
+        let key = self.cluster.fresh_idempotency_key();
+        let frame = command.encode_keyed(key, ctx.trace_ctx());
+        let attempts = self.cluster.config().retry.max_attempts.max(1);
+        let t0 = ctx.now();
+        for attempt in 0..attempts {
+            match self.command_writer.write_with_retry(ctx, frame.clone(), key) {
+                Ok(()) => {}
+                Err(ShimError::PeerDead(pu)) => return Err(MoleculeError::PuUnavailable(pu)),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => continue,
+                Err(e) => return Err(e.into()),
+            }
+            match self.reply_fifo.read_timeout(ctx, timeout) {
+                Ok(raw) => {
+                    telemetry::with(|r| {
+                        r.metrics().counter_add("executor.calls", 1);
+                        r.metrics().observe_ns("executor.call_ns", (ctx.now() - t0).as_nanos());
+                    });
+                    let reply = ExecutorReply::decode(raw).ok_or_else(|| {
+                        MoleculeError::Internal("malformed executor reply".to_owned())
+                    })?;
+                    if let ExecutorReply::Failed { reason } = &reply {
+                        return Err(MoleculeError::Internal(format!("executor failed: {reason}")));
+                    }
+                    return Ok(reply);
+                }
+                Err(ShimError::FifoTimeout) => {
+                    telemetry::with(|r| r.metrics().counter_add("executor.call_retries", 1));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(MoleculeError::PuUnavailable(self.pu))
+    }
+
+    /// Liveness probe with a deadline: true iff the executor answered the
+    /// ping within `timeout`.
+    pub fn ping(&self, ctx: &mut ProcCtx, timeout: SimDuration) -> bool {
+        matches!(self.call_ft(ctx, ExecutorCommand::Ping, timeout), Ok(ExecutorReply::Pong))
     }
 
     /// Convenience: cfork `func` on the executor's PU and return the
@@ -348,15 +449,28 @@ pub fn launch_executor(
         let shim = cluster_for_exec.shim_on(pu).expect("executor PU exists");
         let reply_writer =
             shim.xfifo_connect(ectx, exec_pid, &reply_uuid_for_exec).expect("reply fifo granted");
+        // Keyed commands already served, with their replies: a duplicated or
+        // re-sent command replays the cached reply instead of re-executing
+        // (exactly-once under at-least-once delivery).
+        let mut served: std::collections::HashMap<u64, Bytes> = std::collections::HashMap::new();
         loop {
             let Ok(raw) = command_fifo.read(ectx) else { return };
-            let Some((command, span)) = ExecutorCommand::decode_traced(raw) else {
+            let Some((command, span, key)) = ExecutorCommand::decode_framed(raw) else {
                 let _ = reply_writer.write(
                     ectx,
                     ExecutorReply::Failed { reason: "malformed command".to_owned() }.encode(),
                 );
                 continue;
             };
+            if let Some(k) = key {
+                if let Some(cached) = served.get(&k) {
+                    telemetry::with(|r| r.metrics().counter_add("executor.dup_commands", 1));
+                    if reply_writer.write(ectx, cached.clone()).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            }
             // Adopt the manager's frame-embedded context: commands served
             // here show up under the manager's request trace.
             if span.is_some() {
@@ -383,14 +497,18 @@ pub fn launch_executor(
                     }
                 }
             };
-            if reply_writer.write(ectx, reply.encode()).is_err() {
+            let encoded = reply.encode();
+            if let Some(k) = key {
+                served.insert(k, encoded.clone());
+            }
+            if reply_writer.write(ectx, encoded).is_err() {
                 return;
             }
         }
     })?;
 
     let command_writer = manager_shim.xfifo_connect(ctx, manager, &command_uuid)?;
-    Ok(ExecutorHandle { pu, command_writer, reply_fifo })
+    Ok(ExecutorHandle { pu, cluster, command_writer, reply_fifo })
 }
 
 #[cfg(test)]
@@ -425,6 +543,20 @@ mod tests {
         for r in replies {
             assert_eq!(ExecutorReply::decode(r.encode()), Some(r));
         }
+    }
+
+    #[test]
+    fn keyed_frames_roundtrip_and_interop_with_traced() {
+        let cmd = ExecutorCommand::Cfork { func: FuncId::new("img") };
+        let keyed = cmd.encode_keyed(0xDEAD_BEEF, None);
+        assert_eq!(
+            ExecutorCommand::decode_framed(keyed),
+            Some((cmd.clone(), None, Some(0xDEAD_BEEF)))
+        );
+        // Un-keyed traced frames still decode through the same path.
+        let traced = cmd.encode_traced(None);
+        assert_eq!(ExecutorCommand::decode_framed(traced.clone()), Some((cmd.clone(), None, None)));
+        assert_eq!(ExecutorCommand::decode_traced(traced), Some((cmd, None)));
     }
 
     #[test]

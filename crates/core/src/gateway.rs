@@ -67,6 +67,12 @@ pub struct GatewayStats {
     pub cold_starts: u64,
     /// Instances retired by keep-alive reaping.
     pub reaped: u64,
+    /// Requests re-routed away from a dead or circuit-open PU.
+    pub failed_over: u64,
+    /// Requests served on a non-preferred PU kind because every PU of the
+    /// function's preferred kind was unavailable (e.g. a DPU function run
+    /// on the CPU cost table).
+    pub degraded: u64,
 }
 
 struct GatewayState {
@@ -74,6 +80,9 @@ struct GatewayState {
     idle: HashMap<(FuncId, PuId), Vec<InstanceId>>,
     /// Every live instance the gateway created, with its function.
     owned: HashMap<InstanceId, (FuncId, PuId)>,
+    /// PUs requests must not be routed to (crashed or circuit-open), kept
+    /// sorted for deterministic placement.
+    avoid: std::collections::BTreeSet<PuId>,
     policy: Box<dyn KeepAlivePolicy>,
     stats: GatewayStats,
 }
@@ -112,6 +121,7 @@ impl ApiGateway {
             state: Arc::new(Mutex::new(GatewayState {
                 idle: HashMap::new(),
                 owned: HashMap::new(),
+                avoid: std::collections::BTreeSet::new(),
                 policy,
                 stats: GatewayStats::default(),
             })),
@@ -131,6 +141,53 @@ impl ApiGateway {
     /// Live instances the gateway manages.
     pub fn live_instances(&self) -> usize {
         self.state.lock().owned.len()
+    }
+
+    /// Excludes a PU from placement and warm-pool reuse (crashed, or its
+    /// circuit breaker opened). Idempotent.
+    pub fn mark_pu_unschedulable(&self, pu: PuId) {
+        self.state.lock().avoid.insert(pu);
+    }
+
+    /// Re-admits a PU for placement (its circuit breaker closed again).
+    pub fn mark_pu_schedulable(&self, pu: PuId) {
+        self.state.lock().avoid.remove(&pu);
+    }
+
+    /// The PUs currently excluded from placement, sorted.
+    pub fn avoided_pus(&self) -> Vec<PuId> {
+        self.state.lock().avoid.iter().copied().collect()
+    }
+
+    /// Purges every gateway record of a crashed PU: idle warm instances and
+    /// ownership entries on `pu` are dropped (their sandboxes died with the
+    /// PU — nothing to retire), the PU is marked unschedulable, and
+    /// functions left with no live instance anywhere are evicted from the
+    /// keep-alive policy so dead-PU entries cannot linger in the keep set.
+    /// Returns the number of instances purged.
+    pub fn purge_pu(&self, pu: PuId) -> usize {
+        let mut st = self.state.lock();
+        st.avoid.insert(pu);
+        st.idle.retain(|(_, p), _| *p != pu);
+        let mut purged: Vec<InstanceId> =
+            st.owned.iter().filter(|(_, (_, p))| *p == pu).map(|(id, _)| *id).collect();
+        purged.sort();
+        let mut dead_funcs: Vec<FuncId> = Vec::new();
+        for id in &purged {
+            if let Some((func, _)) = st.owned.remove(id) {
+                if !dead_funcs.contains(&func) {
+                    dead_funcs.push(func);
+                }
+            }
+        }
+        // Keep-alive eviction: only forget functions with no survivors.
+        dead_funcs.retain(|f| !st.owned.values().any(|(func, _)| func == f));
+        dead_funcs.sort();
+        st.policy.forget_many(&dead_funcs);
+        telemetry::with(|r| {
+            r.metrics().counter_add("gateway.purged_instances", purged.len() as u64);
+        });
+        purged.len()
     }
 
     /// Handles one request for `func` carrying `input_bytes`.
@@ -189,6 +246,48 @@ impl ApiGateway {
         func: &FuncId,
         input_bytes: u64,
     ) -> Result<RequestReport, MoleculeError> {
+        match self.try_serve(ctx, func, input_bytes) {
+            Err(e) => {
+                // Failover: the chosen PU turned out to be dead or
+                // unresponsive mid-request. Quarantine it and re-route the
+                // request to a survivor — the request is not lost.
+                let Some(bad) = Self::failed_pu(&e) else { return Err(e) };
+                self.mark_pu_unschedulable(bad);
+                self.state.lock().stats.failed_over += 1;
+                telemetry::with(|r| {
+                    r.metrics().counter_add("gateway.failovers", 1);
+                    r.instant(
+                        ctx.lane(),
+                        ctx.now().as_nanos(),
+                        &format!("gateway:failover {func} away from pu{}", bad.0),
+                        ctx.trace_ctx(),
+                    );
+                });
+                self.try_serve(ctx, func, input_bytes)
+            }
+            ok => ok,
+        }
+    }
+
+    /// The PU a fault-shaped error points at, if the error is one a
+    /// failover can address.
+    fn failed_pu(e: &MoleculeError) -> Option<PuId> {
+        use xpu_shim::error::ShimError;
+        match e {
+            MoleculeError::PuUnavailable(pu)
+            | MoleculeError::Shim(ShimError::PeerDead(pu) | ShimError::XcallTimeout(pu)) => {
+                Some(*pu)
+            }
+            _ => None,
+        }
+    }
+
+    fn try_serve(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        input_bytes: u64,
+    ) -> Result<RequestReport, MoleculeError> {
         let t0 = ctx.now();
         let def = self
             .molecule
@@ -196,12 +295,15 @@ impl ApiGateway {
             .get(func)
             .ok_or_else(|| MoleculeError::UnknownFunction(func.clone()))?;
 
-        // 1. Warm pool first.
+        // 1. Warm pool first (never on a quarantined PU).
         let warm = {
             let mut st = self.state.lock();
             let mut found = None;
             for kind in &def.profiles {
                 for pu in self.molecule.machine().pus_of_kind(*kind) {
+                    if st.avoid.contains(&pu) {
+                        continue;
+                    }
                     if let Some(pool) = st.idle.get_mut(&(func.clone(), pu)) {
                         if let Some(inst) = pool.pop() {
                             found = Some((inst, pu));
@@ -219,8 +321,11 @@ impl ApiGateway {
         let (instance, pu, cold) = match warm {
             Some((instance, pu)) => (instance, pu, false),
             None => {
-                // 2. Miss: place and scale up.
-                let pu = self.scheduler.place(self.molecule.machine(), &def, None)?;
+                // 2. Miss: place on a surviving PU and scale up.
+                let avoid: Vec<PuId> = self.avoided_pus();
+                let pu =
+                    self.scheduler.place_avoiding(self.molecule.machine(), &def, None, &avoid)?;
+                self.note_degradation(ctx, &def, pu, &avoid);
                 let how = self.effective_startup(pu);
                 let started = self.molecule.start_instance(ctx, func, pu, how)?;
                 let mut st = self.state.lock();
@@ -249,6 +354,39 @@ impl ApiGateway {
             }
         }
         Ok(RequestReport { latency: now - t0, cold_start: cold, pu, instance })
+    }
+
+    /// Records a service degradation: the request landed on a PU whose kind
+    /// differs from the function's preferred profile because every PU of the
+    /// preferred kind is quarantined — e.g. a DPU/FPGA function now billed
+    /// on the CPU cost table.
+    fn note_degradation(
+        &self,
+        ctx: &mut ProcCtx,
+        def: &crate::function::FunctionDef,
+        placed: PuId,
+        avoid: &[PuId],
+    ) {
+        let Some(preferred) = def.profiles.first().copied() else { return };
+        let machine = self.molecule.machine();
+        let Some(spec) = machine.pu(placed) else { return };
+        if spec.kind == preferred {
+            return;
+        }
+        let preferred_all_down = machine.pus_of_kind(preferred).iter().all(|pu| avoid.contains(pu));
+        if !preferred_all_down {
+            return;
+        }
+        self.state.lock().stats.degraded += 1;
+        telemetry::with(|r| {
+            r.metrics().counter_add("gateway.degraded", 1);
+            r.instant(
+                ctx.lane(),
+                ctx.now().as_nanos(),
+                &format!("gateway:degraded {} {preferred}->{}", def.id, spec.kind),
+                ctx.trace_ctx(),
+            );
+        });
     }
 
     /// Chooses the startup path for a PU: the configured scale-up if a

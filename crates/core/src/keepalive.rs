@@ -24,6 +24,16 @@ pub trait KeepAlivePolicy: fmt::Debug + Send {
     /// Removes a function from consideration.
     fn forget(&mut self, func: &FuncId);
 
+    /// Removes several functions at once — the bulk path the health checker
+    /// uses when a PU dies and every instance it hosted disappears. Without
+    /// this purge, entries for functions that only ever lived on the dead PU
+    /// would stay in the keep set forever.
+    fn forget_many(&mut self, funcs: &[FuncId]) {
+        for func in funcs {
+            self.forget(func);
+        }
+    }
+
     /// The functions to keep warm, best first, at most `capacity`.
     fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId>;
 }
@@ -250,6 +260,17 @@ mod tests {
         assert!(keep.contains(&f("interact")));
         assert!(keep.contains(&f("smarthome")));
         assert!(keep.contains(&f("solo")));
+    }
+
+    #[test]
+    fn forget_many_purges_dead_pu_functions() {
+        let mut p = Lru::new();
+        for (name, at) in [("a", 10), ("b", 20), ("c", 30)] {
+            p.on_invoke(&f(name), t(at), SimDuration::from_millis(1), 1.0);
+        }
+        // "a" and "c" only lived on a PU that just died.
+        p.forget_many(&[f("a"), f("c")]);
+        assert_eq!(p.keep_set(t(40), 10), vec![f("b")]);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   chains via DRAM data retention;
 //! * [`schedule`] — profile selection, chain co-location and density
 //!   packing;
+//! * [`health`] — executor health checking, circuit breaking and
+//!   crashed-PU recovery (reclamation, purge, failover, degradation);
 //! * [`keepalive`] — Fixed-window / LRU / Greedy-Dual keep-alive policies
 //!   with chain affinity;
 //! * [`billing`] — 1 ms-granularity, PU-priced metering;
@@ -37,6 +39,7 @@ pub mod executor;
 pub mod fpga_cache;
 pub mod function;
 pub mod gateway;
+pub mod health;
 pub mod keepalive;
 pub mod metrics;
 pub mod runtime;
@@ -46,4 +49,7 @@ pub mod trace;
 pub use error::MoleculeError;
 pub use function::{ExecModel, FunctionDef, FunctionRegistry};
 pub use gateway::{ApiGateway, GatewayConfig, GatewayStats, RequestReport};
-pub use runtime::{InstanceId, InvokeReport, Molecule, MoleculeConfig, StartupKind, StartupReport};
+pub use health::{CircuitState, HealthChecker, HealthPolicy, PuStatus, RecoveryReport};
+pub use runtime::{
+    InstanceId, InvokeReport, Molecule, MoleculeConfig, PurgeReport, StartupKind, StartupReport,
+};

@@ -113,6 +113,22 @@ pub struct StartupReport {
     pub latency: SimDuration,
 }
 
+/// What [`Molecule::purge_pu`] dropped when a PU was declared dead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PurgeReport {
+    /// The purged PU.
+    pub pu: PuId,
+    /// Instances that lived on the PU (sorted; their sandboxes died with
+    /// it).
+    pub instances: Vec<InstanceId>,
+    /// Template containers lost with the PU.
+    pub templates: usize,
+    /// Whether the PU's executor registration was dropped.
+    pub executor_dropped: bool,
+    /// Sandboxes the PU's `runc` book-keeping marked `Stopped`.
+    pub sandboxes_reconciled: usize,
+}
+
 /// Report of one invocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InvokeReport {
@@ -726,6 +742,36 @@ impl Molecule {
             }
         }
         Ok(())
+    }
+
+    /// Purges every trace of a crashed PU from the runtime: its instances,
+    /// warm pools, templates and executor registration, then reconciles the
+    /// PU's `runc` book-keeping (sandboxes that were `Running` there are
+    /// marked `Stopped`). No sandbox verbs are charged — the containers died
+    /// with the PU; this is the control plane catching up with reality.
+    pub fn purge_pu(&self, pu: PuId) -> PurgeReport {
+        let (instances, templates, executor_dropped) = {
+            let mut st = self.inner.state.lock();
+            let mut dead: Vec<InstanceId> =
+                st.instances.iter().filter(|(_, i)| i.pu == pu).map(|(id, _)| *id).collect();
+            dead.sort();
+            for id in &dead {
+                st.instances.remove(id);
+            }
+            st.warm.retain(|(_, p), _| *p != pu);
+            let before = st.templates.len();
+            st.templates.retain(|(p, _), _| *p != pu);
+            let templates = before - st.templates.len();
+            let executor_dropped = st.executors.remove(&pu).is_some();
+            (dead, templates, executor_dropped)
+        };
+        let sandboxes_reconciled =
+            self.inner.runcs.get(&pu).map_or(0, |runc| runc.reconcile_lost().len());
+        telemetry::with(|r| {
+            r.metrics().counter_add("molecule.purged_instances", instances.len() as u64);
+            r.metrics().counter_add("molecule.purged_pus", 1);
+        });
+        PurgeReport { pu, instances, templates, executor_dropped, sandboxes_reconciled }
     }
 
     /// A snapshot of the billing meter.

@@ -59,10 +59,31 @@ impl Scheduler {
         def: &FunctionDef,
         prev_stage: Option<PuId>,
     ) -> Result<PuId, MoleculeError> {
+        self.place_avoiding(machine, def, prev_stage, &[])
+    }
+
+    /// [`place`](Self::place), excluding the PUs in `avoid` — the failover
+    /// path: the health checker feeds in crashed and circuit-open PUs so new
+    /// work lands on survivors. A function whose preferred kind is entirely
+    /// avoided degrades to a later profile (typically the CPU cost table).
+    ///
+    /// # Errors
+    ///
+    /// [`MoleculeError::NoCapacity`] when every allowed PU is avoided or
+    /// full.
+    pub fn place_avoiding(
+        &self,
+        machine: &Machine,
+        def: &FunctionDef,
+        prev_stage: Option<PuId>,
+        avoid: &[PuId],
+    ) -> Result<PuId, MoleculeError> {
         if self.policy == PlacementPolicy::ChainColocate {
             if let Some(prev) = prev_stage {
                 if let Some(spec) = machine.pu(prev) {
-                    if def.supports(spec.kind) && Self::has_capacity(machine, prev, def.memory_mib)
+                    if !avoid.contains(&prev)
+                        && def.supports(spec.kind)
+                        && Self::has_capacity(machine, prev, def.memory_mib)
                     {
                         return Ok(prev);
                     }
@@ -71,7 +92,7 @@ impl Scheduler {
         }
         for kind in &def.profiles {
             for pu in machine.pus_of_kind(*kind) {
-                if Self::has_capacity(machine, pu, def.memory_mib) {
+                if !avoid.contains(&pu) && Self::has_capacity(machine, pu, def.memory_mib) {
                     return Ok(pu);
                 }
             }
@@ -204,6 +225,33 @@ mod tests {
         let sched = Scheduler::new(PlacementPolicy::FirstFit);
         let def = cpu_dpu_fn("f");
         assert_eq!(sched.place(&machine, &def, Some(PuId(1))).unwrap(), PuId(0));
+    }
+
+    #[test]
+    fn place_avoiding_fails_over_to_surviving_pus() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let sched = Scheduler::default();
+        let dpu_first = FunctionDef::builder("d", LangRuntime::Python)
+            .profiles(&[PuKind::Dpu, PuKind::Cpu])
+            .build();
+        // Healthy: the preferred DPU wins.
+        assert_eq!(sched.place_avoiding(&machine, &dpu_first, None, &[]).unwrap(), PuId(1));
+        // First DPU dead: the second DPU takes over.
+        assert_eq!(sched.place_avoiding(&machine, &dpu_first, None, &[PuId(1)]).unwrap(), PuId(2));
+        // Both DPUs dead: degrade to the CPU cost table.
+        let degraded =
+            sched.place_avoiding(&machine, &dpu_first, None, &[PuId(1), PuId(2)]).unwrap();
+        assert_eq!(machine.pu(degraded).unwrap().kind, PuKind::Cpu);
+        // Chain affinity never routes to an avoided PU.
+        assert_ne!(
+            sched.place_avoiding(&machine, &dpu_first, Some(PuId(1)), &[PuId(1)]).unwrap(),
+            PuId(1)
+        );
+        // Everything avoided: a clean error, not a panic.
+        assert!(matches!(
+            sched.place_avoiding(&machine, &dpu_first, None, &[PuId(0), PuId(1), PuId(2)]),
+            Err(MoleculeError::NoCapacity(_))
+        ));
     }
 
     #[test]

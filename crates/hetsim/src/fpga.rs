@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::calib::FpgaCosts;
 use crate::engine::ProcCtx;
+use crate::fault::FaultPlane;
 use crate::pu::PuId;
 use crate::time::SimDuration;
 
@@ -135,6 +136,9 @@ pub enum FpgaError {
     NoSuchBank(u32),
     /// The named retained buffer was not found in the bank.
     NoSuchBuffer(String),
+    /// A bitstream load failed (injected by the fault plane); the previous
+    /// image — if any — stays flashed.
+    LoadFailed,
 }
 
 impl fmt::Display for FpgaError {
@@ -148,6 +152,7 @@ impl fmt::Display for FpgaError {
             FpgaError::NoImageLoaded => f.write_str("no image loaded on the device"),
             FpgaError::NoSuchBank(i) => write!(f, "no such DRAM bank: {i}"),
             FpgaError::NoSuchBuffer(name) => write!(f, "no such retained buffer: {name}"),
+            FpgaError::LoadFailed => f.write_str("bitstream load failed"),
         }
     }
 }
@@ -220,6 +225,7 @@ struct DeviceState {
     flash_cache: HashSet<ImageId>,
     banks: Vec<DramBank>,
     retention_enabled: bool,
+    faults: Option<FaultPlane>,
 }
 
 /// One FPGA device. Cheap to clone; clones share device state.
@@ -260,6 +266,7 @@ impl FpgaDevice {
                     flash_cache: HashSet::new(),
                     banks,
                     retention_enabled: true,
+                    faults: None,
                 }),
             }),
         }
@@ -285,6 +292,14 @@ impl FpgaDevice {
         self.inner.state.lock().retention_enabled = enabled;
     }
 
+    /// Connects the machine's fault plane so injected bitstream-load
+    /// failures reach this device ([`Machine::build`] does this).
+    ///
+    /// [`Machine::build`]: crate::topology::MachineBuilder::build
+    pub fn attach_fault_plane(&self, plane: FaultPlane) {
+        self.inner.state.lock().faults = Some(plane);
+    }
+
     /// Erases the current image (the expensive step Molecule skips, Fig. 10c).
     pub fn erase(&self, ctx: &mut ProcCtx) {
         ctx.sleep(self.inner.timings.erase);
@@ -299,7 +314,10 @@ impl FpgaDevice {
     ///
     /// # Errors
     ///
-    /// [`FpgaError::InsufficientResources`] if the image exceeds capacity.
+    /// [`FpgaError::InsufficientResources`] if the image exceeds capacity;
+    /// [`FpgaError::LoadFailed`] when the fault plane injects a load failure
+    /// (the full load cost is still paid — the failure is detected at the
+    /// end of the flash).
     pub fn load_image(&self, ctx: &mut ProcCtx, image: &FpgaImage) -> Result<(), FpgaError> {
         if !image.total_resources.fits_in(&self.inner.capacity) {
             return Err(FpgaError::InsufficientResources {
@@ -307,7 +325,16 @@ impl FpgaDevice {
                 capacity: self.inner.capacity,
             });
         }
-        let cached = self.inner.state.lock().flash_cache.contains(&image.id);
+        let (cached, faulted) = {
+            let st = self.inner.state.lock();
+            let faulted =
+                st.faults.as_ref().is_some_and(|p| p.take_fpga_load_failure(self.inner.pu));
+            (st.flash_cache.contains(&image.id), faulted)
+        };
+        if faulted {
+            ctx.sleep(self.inner.timings.load_full);
+            return Err(FpgaError::LoadFailed);
+        }
         let cost = if cached {
             self.inner.timings.load_cached
         } else {

@@ -97,6 +97,13 @@ impl Link {
     pub fn network() -> Link {
         Link { kind: LinkKind::Network, latency: SimDuration::from_micros(30), gbps: 25.0 }
     }
+
+    /// This link slowed by a fault-injection factor: setup latency grows and
+    /// bandwidth shrinks by `factor`.
+    #[must_use]
+    pub fn degraded(self, factor: f64) -> Link {
+        Link { kind: self.kind, latency: self.latency.mul_f64(factor), gbps: self.gbps / factor }
+    }
 }
 
 /// A route between two PUs: either a direct link, or two hops forwarded by
@@ -131,6 +138,19 @@ impl Route {
     /// True when the route needs the host CPU to forward data.
     pub fn is_intercepted(&self) -> bool {
         matches!(self, Route::CpuIntercepted { .. })
+    }
+
+    /// This route with every hop slowed by a fault-injection factor.
+    #[must_use]
+    pub fn degraded(self, factor: f64) -> Route {
+        match self {
+            Route::Direct(link) => Route::Direct(link.degraded(factor)),
+            Route::CpuIntercepted { first, second, forward_cost } => Route::CpuIntercepted {
+                first: first.degraded(factor),
+                second: second.degraded(factor),
+                forward_cost,
+            },
+        }
     }
 }
 

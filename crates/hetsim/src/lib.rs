@@ -37,6 +37,7 @@
 
 pub mod calib;
 pub mod engine;
+pub mod fault;
 pub mod fpga;
 pub mod gpu;
 pub mod interconnect;

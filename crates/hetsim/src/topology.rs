@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::calib::Calibration;
+use crate::fault::FaultPlane;
 use crate::fpga::FpgaDevice;
 use crate::gpu::{GpuCosts, GpuDevice};
 use crate::interconnect::{Link, Route};
@@ -137,6 +138,7 @@ impl MachineBuilder {
         let mut gpus = HashMap::new();
         let mut links = HashMap::new();
         let host = PuId::HOST_CPU;
+        let faults = FaultPlane::new();
         for pu in &self.pus {
             match pu.kind {
                 PuKind::Cpu | PuKind::Dpu | PuKind::SmartNic => {
@@ -152,7 +154,9 @@ impl MachineBuilder {
                     }
                 }
                 PuKind::Fpga => {
-                    fpgas.insert(pu.id, FpgaDevice::new(pu.id, self.calib.fpga));
+                    let dev = FpgaDevice::new(pu.id, self.calib.fpga);
+                    dev.attach_fault_plane(faults.clone());
+                    fpgas.insert(pu.id, dev);
                     links.insert((host, pu.id), Link::pcie_dma());
                     links.insert((pu.id, host), Link::pcie_dma());
                 }
@@ -191,6 +195,7 @@ impl MachineBuilder {
             gpus,
             links,
             forward_cost: SimDuration::from_micros(10),
+            faults,
         }
     }
 }
@@ -214,6 +219,7 @@ pub struct Machine {
     gpus: HashMap<PuId, GpuDevice>,
     links: HashMap<(PuId, PuId), Link>,
     forward_cost: SimDuration,
+    faults: FaultPlane,
 }
 
 impl fmt::Debug for Machine {
@@ -273,8 +279,15 @@ impl Machine {
         self.pus.iter().filter(|p| p.kind == kind).map(|p| p.id).collect()
     }
 
+    /// The machine's fault-injection plane (quiet unless a chaos plan armed
+    /// it). Clones of the machine share the same plane.
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.faults
+    }
+
     /// The route between two PUs: direct where a link exists, otherwise
     /// forwarded by the host CPU ("CPU-intercepted communication", §5).
+    /// An injected link degradation slows the returned route.
     ///
     /// # Panics
     ///
@@ -282,16 +295,22 @@ impl Machine {
     pub fn route(&self, from: PuId, to: PuId) -> Route {
         assert!(self.pu(from).is_some(), "unknown source PU {from}");
         assert!(self.pu(to).is_some(), "unknown destination PU {to}");
-        if from == to {
-            return Route::Direct(Link::shared_mem());
+        let route = if from == to {
+            Route::Direct(Link::shared_mem())
+        } else if let Some(link) = self.links.get(&(from, to)) {
+            Route::Direct(*link)
+        } else {
+            let host = self.host_cpu();
+            let first = *self.links.get(&(from, host)).expect("every non-host PU has a host link");
+            let second = *self.links.get(&(host, to)).expect("every non-host PU has a host link");
+            Route::CpuIntercepted { first, second, forward_cost: self.forward_cost }
+        };
+        let factor = self.faults.link_factor(from, to);
+        if factor == 1.0 {
+            route
+        } else {
+            route.degraded(factor)
         }
-        if let Some(link) = self.links.get(&(from, to)) {
-            return Route::Direct(*link);
-        }
-        let host = self.host_cpu();
-        let first = *self.links.get(&(from, host)).expect("every non-host PU has a host link");
-        let second = *self.links.get(&(host, to)).expect("every non-host PU has a host link");
-        Route::CpuIntercepted { first, second, forward_cost: self.forward_cost }
     }
 
     /// The paper's CPU-DPU evaluation server (Xeon + two BlueField-1 DPUs).

@@ -366,6 +366,32 @@ impl RuncRuntime {
         let pid = self.os_pid(id)?;
         self.inner.os.pss_bytes(pid, self.inner.memory.page_bytes)
     }
+
+    /// Reconciles runtime state after the PU hosting these containers
+    /// crashed: every sandbox that was `Created` or `Running` is marked
+    /// [`SandboxState::Stopped`] and its process/memory reservations are
+    /// dropped. No verb cost is charged — the containers died with the PU;
+    /// this only brings the control plane's book-keeping back in line with
+    /// reality. Returns the reconciled sandbox ids, sorted for determinism.
+    pub fn reconcile_lost(&self) -> Vec<SandboxId> {
+        let mut st = self.inner.state.lock();
+        let mut lost: Vec<SandboxId> = Vec::new();
+        for (id, c) in &mut st.sandboxes {
+            if matches!(c.state, SandboxState::Created | SandboxState::Running) {
+                if let Some(pid) = c.os_pid.take() {
+                    let _ = self.inner.os.exit_process(pid);
+                }
+                self.inner.os.release_mib(c.reserved_mib);
+                c.reserved_mib = 0;
+                c.state = SandboxState::Stopped;
+                lost.push(id.clone());
+            }
+        }
+        let os = &self.inner.os;
+        st.shared_libs.retain(|_, block| os.block_refs(*block) > 0);
+        lost.sort();
+        lost
+    }
 }
 
 impl OciRuntime for RuncRuntime {

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
 
+use hetsim::pu::PuId;
 use serde::{Deserialize, Serialize};
 
 use crate::id::{ObjId, XpuPid};
@@ -287,6 +288,15 @@ impl CapTable {
     /// A process's capability group, if registered.
     pub fn group(&self, pid: XpuPid) -> Option<&CapGroup> {
         self.groups.get(&pid)
+    }
+
+    /// All registered processes living on `pu`, in pid order. The crash
+    /// reclamation path sweeps this list when a PU dies (static
+    /// partitioning makes the sweep purely local — the pid embeds the PU).
+    pub fn pids_on(&self, pu: PuId) -> Vec<XpuPid> {
+        let mut pids: Vec<XpuPid> = self.groups.keys().filter(|p| p.pu == pu).copied().collect();
+        pids.sort();
+        pids
     }
 }
 

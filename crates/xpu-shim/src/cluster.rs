@@ -16,7 +16,7 @@
 //! * **lazy synchronization** — UUID reclamation after `xfifo_close` is
 //!   queued and flushed in batches.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -34,6 +34,27 @@ use crate::fifo::{FifoMsg, XpuFifoReader, XpuFifoWriter};
 use crate::id::{GlobalUuid, ObjId, XpuPid};
 use crate::xcall::XcallTransport;
 
+/// Exponential-backoff retry policy for idempotency-keyed XPUcalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Sleep before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied to the backoff after every failed retry.
+    pub backoff_factor: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: SimDuration::from_micros(50),
+            backoff_factor: 2,
+        }
+    }
+}
+
 /// Cluster-wide configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShimConfig {
@@ -45,6 +66,11 @@ pub struct ShimConfig {
     pub cpu_transport: XcallTransport,
     /// How many deferred UUID reclamations accumulate before a lazy flush.
     pub lazy_batch: usize,
+    /// How long an XPUcall waits on an unresponsive peer before surfacing
+    /// [`ShimError::XcallTimeout`] / [`ShimError::PeerDead`].
+    pub xcall_timeout: SimDuration,
+    /// Backoff policy for [`crate::fifo::XpuFifoWriter::write_with_retry`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for ShimConfig {
@@ -53,6 +79,8 @@ impl Default for ShimConfig {
             device_transport: XcallTransport::MpscPoll,
             cpu_transport: XcallTransport::Base,
             lazy_batch: 8,
+            xcall_timeout: SimDuration::from_micros(200),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -70,6 +98,16 @@ pub struct ShimStats {
     pub lazy_pending: u64,
     /// Cross-PU transfers that had to be forwarded by the host CPU.
     pub intercepted_transfers: u64,
+    /// Keyed writes re-attempted after a retryable failure.
+    pub xcall_retries: u64,
+    /// Messages silently dropped by the fault plane.
+    pub dropped_messages: u64,
+    /// Messages delivered twice by the fault plane.
+    pub duplicated_messages: u64,
+    /// FIFO UUIDs reclaimed through the crash path (each exactly once).
+    pub reclaimed_uuids: u64,
+    /// Dead-PU reclamation sweeps performed.
+    pub pu_reclaims: u64,
 }
 
 struct FifoEntry {
@@ -84,6 +122,12 @@ struct ClusterState {
     fifos: HashMap<GlobalUuid, FifoEntry>,
     lazy_queue: Vec<GlobalUuid>,
     stats: ShimStats,
+    /// Idempotency keys already applied (keyed writes are at-most-once).
+    applied_keys: HashSet<u64>,
+    next_key: u64,
+    /// UUIDs already reclaimed through the crash path — the guard that makes
+    /// reclamation exactly-once even when the UUID-free message duplicates.
+    reclaimed: HashSet<GlobalUuid>,
 }
 
 struct ClusterInner {
@@ -138,6 +182,9 @@ impl ShimCluster {
                     fifos: HashMap::new(),
                     lazy_queue: Vec::new(),
                     stats: ShimStats::default(),
+                    applied_keys: HashSet::new(),
+                    next_key: 0,
+                    reclaimed: HashSet::new(),
                 }),
             }),
         }
@@ -201,7 +248,37 @@ impl ShimCluster {
         self.transport_for(model).invoke_cost(&os, &xc, payload)
     }
 
-    fn charge_xpucall(&self, ctx: &mut ProcCtx, host: PuId, payload: u64) {
+    /// Models a fault on the shim daemon serving `host`, if any: a dead host
+    /// makes the call hang until the timeout and fail; a hang window stalls
+    /// the caller (and fails the call if the window outlasts the timeout).
+    /// Zero-cost while the fault plane is quiet.
+    fn check_host_fault(&self, ctx: &mut ProcCtx, host: PuId) -> Result<(), ShimError> {
+        let plane = self.inner.machine.fault_plane();
+        if plane.is_quiet() {
+            return Ok(());
+        }
+        let timeout = self.inner.config.xcall_timeout;
+        if plane.is_dead(host) {
+            ctx.sleep(timeout);
+            telemetry::with(|r| r.metrics().counter_add("shim.xcall_peer_dead", 1));
+            return Err(ShimError::PeerDead(host));
+        }
+        if let Some(until) = plane.hang_until(ctx.now(), host) {
+            let stall = until - ctx.now();
+            if stall > timeout {
+                ctx.sleep(timeout);
+                telemetry::with(|r| r.metrics().counter_add("shim.xcall_timeouts", 1));
+                return Err(ShimError::XcallTimeout(host));
+            }
+            // The shim daemon recovers within the deadline: the call just
+            // stalls for the remainder of the hang window.
+            ctx.sleep(stall);
+        }
+        Ok(())
+    }
+
+    fn charge_xpucall(&self, ctx: &mut ProcCtx, host: PuId, payload: u64) -> Result<(), ShimError> {
+        self.check_host_fault(ctx, host)?;
         let cost = self.xcall_cost(host, payload);
         self.inner.state.lock().stats.xpucalls += 1;
         let t0 = ctx.now();
@@ -221,6 +298,7 @@ impl ShimCluster {
             r.metrics().counter_add(&format!("shim.xpucalls.{}", transport.name()), 1);
             r.metrics().observe_ns("shim.xpucall_ns", cost.as_nanos());
         });
+        Ok(())
     }
 
     /// Immediate synchronization: broadcast an update from `from` to every
@@ -322,7 +400,7 @@ impl ShimCluster {
         obj: ObjId,
         perm: Perm,
     ) -> Result<(), ShimError> {
-        self.charge_xpucall(ctx, host, 32);
+        self.charge_xpucall(ctx, host, 32)?;
         self.inner.state.lock().caps.grant(actor, to, obj, perm)?;
         // Capability updates are synchronized immediately so checks are
         // always local (§5).
@@ -339,7 +417,7 @@ impl ShimCluster {
         obj: ObjId,
         perm: Perm,
     ) -> Result<(), ShimError> {
-        self.charge_xpucall(ctx, host, 32);
+        self.charge_xpucall(ctx, host, 32)?;
         self.inner.state.lock().caps.revoke(actor, from, obj, perm)?;
         self.sync_immediate(ctx, host);
         Ok(())
@@ -356,7 +434,7 @@ impl ShimCluster {
         caller: XpuPid,
         uuid: GlobalUuid,
     ) -> Result<XpuFifoReader, ShimError> {
-        self.charge_xpucall(ctx, host, uuid.as_str().len() as u64);
+        self.charge_xpucall(ctx, host, uuid.as_str().len() as u64)?;
         let (tx, rx) = ctx.channel::<FifoMsg>();
         {
             let mut st = self.inner.state.lock();
@@ -379,7 +457,7 @@ impl ShimCluster {
         caller: XpuPid,
         uuid: &GlobalUuid,
     ) -> Result<XpuFifoWriter, ShimError> {
-        self.charge_xpucall(ctx, host, uuid.as_str().len() as u64);
+        self.charge_xpucall(ctx, host, uuid.as_str().len() as u64)?;
         let st = self.inner.state.lock();
         let entry = st.fifos.get(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
         // §3.2: "a process can only connect to an XPU-FIFO ... when it has
@@ -426,6 +504,23 @@ impl ShimCluster {
                 None => return Err(ShimError::FifoClosed),
             }
         };
+        let plane = self.inner.machine.fault_plane();
+        if from != to && !plane.is_quiet() {
+            // A dead or unreachable destination: the writer's XPUcall is
+            // issued, then the delivery acknowledgement never comes.
+            if plane.is_dead(to) {
+                self.charge_xpucall(ctx, from, size)?;
+                ctx.sleep(self.inner.config.xcall_timeout);
+                telemetry::with(|r| r.metrics().counter_add("shim.xcall_peer_dead", 1));
+                return Err(ShimError::PeerDead(to));
+            }
+            if plane.is_partitioned(from, to) {
+                self.charge_xpucall(ctx, from, size)?;
+                ctx.sleep(self.inner.config.xcall_timeout);
+                telemetry::with(|r| r.metrics().counter_add("shim.xcall_timeouts", 1));
+                return Err(ShimError::XcallTimeout(to));
+            }
+        }
         let t0 = ctx.now();
         let in_flight = if from == to {
             // Local IPC: one local FIFO hop on this PU's OS.
@@ -439,7 +534,7 @@ impl ShimCluster {
             if route.is_intercepted() {
                 self.inner.state.lock().stats.intercepted_transfers += 1;
             }
-            self.charge_xpucall(ctx, from, size);
+            self.charge_xpucall(ctx, from, size)?;
             let remote_deliver = self.os_costs_of(to).ipc_segment;
             route.transfer_time(size) + remote_deliver
         };
@@ -465,8 +560,67 @@ impl ShimCluster {
                 (ctx.now() - t0).as_nanos(),
             );
         });
-        tx.send_delayed(in_flight, FifoMsg { payload, span }).map_err(|_| ShimError::FifoClosed)?;
+        if from != to && plane.sample_fifo_loss(from, to) {
+            // The message vanishes on the wire: the sender has paid full
+            // cost and sees success (fire-and-forget semantics) — recovery
+            // happens at the protocol layer above.
+            self.inner.state.lock().stats.dropped_messages += 1;
+            plane.note(ctx.now(), &format!("fault: drop {} {from}->{to}", writer.uuid));
+            telemetry::with(|r| r.metrics().counter_add("shim.fifo_drops", 1));
+            return Ok(());
+        }
+        let duplicate = from != to && plane.sample_fifo_dup(from, to);
+        tx.send_delayed(in_flight, FifoMsg { payload: payload.clone(), span })
+            .map_err(|_| ShimError::FifoClosed)?;
+        if duplicate {
+            self.inner.state.lock().stats.duplicated_messages += 1;
+            plane.note(ctx.now(), &format!("fault: dup {} {from}->{to}", writer.uuid));
+            telemetry::with(|r| r.metrics().counter_add("shim.fifo_dups", 1));
+            let _ = tx.send_delayed(in_flight, FifoMsg { payload, span });
+        }
         Ok(())
+    }
+
+    /// At-most-once keyed write with exponential backoff: retries on
+    /// retryable errors ([`ShimError::is_retryable`]); once a key succeeds,
+    /// later attempts with the same key are suppressed, so a caller that
+    /// re-sends after a lost acknowledgement cannot double-deliver.
+    pub(crate) fn write_fifo_retrying(
+        &self,
+        ctx: &mut ProcCtx,
+        writer: &XpuFifoWriter,
+        payload: Bytes,
+        key: u64,
+    ) -> Result<(), ShimError> {
+        if self.inner.state.lock().applied_keys.contains(&key) {
+            return Ok(());
+        }
+        let policy = self.inner.config.retry;
+        let mut backoff = policy.backoff_base;
+        let mut attempt = 0u32;
+        loop {
+            match self.write_fifo(ctx, writer, payload.clone()) {
+                Ok(()) => {
+                    self.inner.state.lock().applied_keys.insert(key);
+                    return Ok(());
+                }
+                Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
+                    attempt += 1;
+                    self.inner.state.lock().stats.xcall_retries += 1;
+                    telemetry::with(|r| r.metrics().counter_add("shim.xcall_retries", 1));
+                    ctx.sleep(backoff);
+                    backoff = backoff * policy.backoff_factor as u64;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Hands out a cluster-unique idempotency key for keyed writes.
+    pub fn fresh_idempotency_key(&self) -> u64 {
+        let mut st = self.inner.state.lock();
+        st.next_key += 1;
+        st.next_key
     }
 
     pub(crate) fn close_fifo(
@@ -475,7 +629,7 @@ impl ShimCluster {
         uuid: &GlobalUuid,
         owner: XpuPid,
     ) -> Result<(), ShimError> {
-        self.charge_xpucall(ctx, owner.pu, 8);
+        self.charge_xpucall(ctx, owner.pu, 8)?;
         {
             let mut st = self.inner.state.lock();
             let entry =
@@ -505,7 +659,7 @@ impl ShimCluster {
         }
         let t0 = ctx.now();
         // XPUcall on the caller's side, command + ack over the interconnect.
-        self.charge_xpucall(ctx, caller.pu, 128);
+        self.charge_xpucall(ctx, caller.pu, 128)?;
         if caller.pu != target {
             let rtt = self.inner.machine.route(caller.pu, target).transfer_time(128) * 2;
             ctx.sleep(rtt);
@@ -556,6 +710,182 @@ impl ShimCluster {
         }
         Ok(child)
     }
+
+    // ---- crash recovery ----
+
+    /// Health probe: one small XPUcall from `from` toward `target`'s shim.
+    /// Returns the observed round trip, or the discriminated failure
+    /// ([`ShimError::PeerDead`] / [`ShimError::XcallTimeout`]) after the
+    /// configured `xcall_timeout` has elapsed.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::NoSuchPu`] for unknown targets; [`ShimError::PeerDead`] /
+    /// [`ShimError::XcallTimeout`] when the fault plane has the target down.
+    pub fn probe_pu(
+        &self,
+        ctx: &mut ProcCtx,
+        from: PuId,
+        target: PuId,
+    ) -> Result<SimDuration, ShimError> {
+        const PROBE_BYTES: u64 = 16;
+        if self.inner.machine.pu(target).is_none() {
+            return Err(ShimError::NoSuchPu(target));
+        }
+        let t0 = ctx.now();
+        self.charge_xpucall(ctx, from, PROBE_BYTES)?;
+        if from != target {
+            let plane = self.inner.machine.fault_plane();
+            let timeout = self.inner.config.xcall_timeout;
+            if plane.is_dead(target) {
+                ctx.sleep(timeout);
+                telemetry::with(|r| r.metrics().counter_add("shim.probe_failures", 1));
+                return Err(ShimError::PeerDead(target));
+            }
+            if plane.is_partitioned(from, target) {
+                ctx.sleep(timeout);
+                telemetry::with(|r| r.metrics().counter_add("shim.probe_failures", 1));
+                return Err(ShimError::XcallTimeout(target));
+            }
+            let rtt = self.inner.machine.route(from, target).transfer_time(PROBE_BYTES) * 2;
+            if let Some(until) = plane.hang_until(ctx.now(), target) {
+                let stall = (until - ctx.now()) + rtt;
+                if stall > timeout {
+                    ctx.sleep(timeout);
+                    telemetry::with(|r| r.metrics().counter_add("shim.probe_failures", 1));
+                    return Err(ShimError::XcallTimeout(target));
+                }
+                ctx.sleep(stall);
+            } else {
+                ctx.sleep(rtt);
+            }
+        }
+        Ok(ctx.now() - t0)
+    }
+
+    /// Reclaims everything a crashed PU left behind: every `CAP_Group`
+    /// registered there is removed (its capabilities become ungrantable),
+    /// and every XPU-FIFO owned by a process on the PU is destroyed, its
+    /// UUID queued on the lazy-reclamation path (paper §5 — this is the
+    /// batched UUID-free broadcast, now triggered by an actual failure).
+    /// The capability revocations themselves synchronize immediately.
+    ///
+    /// Idempotent: a second sweep of the same PU finds nothing.
+    pub fn reclaim_pu(&self, ctx: &mut ProcCtx, dead: PuId) -> ReclaimReport {
+        let t0 = ctx.now();
+        let host = self.inner.machine.host_cpu();
+        let (pids, uuids) = {
+            let st = self.inner.state.lock();
+            let pids = st.caps.pids_on(dead);
+            let mut uuids: Vec<GlobalUuid> = st
+                .fifos
+                .iter()
+                .filter(|(_, entry)| entry.owner.pu == dead)
+                .map(|(uuid, _)| uuid.clone())
+                .collect();
+            uuids.sort();
+            (pids, uuids)
+        };
+        let mut caps_dropped = 0usize;
+        {
+            let mut st = self.inner.state.lock();
+            for pid in &pids {
+                caps_dropped += st.caps.group(*pid).map_or(0, |g| g.len());
+                st.caps.remove_process(*pid);
+            }
+        }
+        let mut reclaimed = 0usize;
+        for uuid in &uuids {
+            if self.reclaim_uuid_inner(uuid) {
+                reclaimed += 1;
+                self.sync_lazy(ctx, host, uuid.clone());
+            }
+        }
+        if !pids.is_empty() {
+            // Removing CAP_Groups is a capability update: immediate sync.
+            self.sync_immediate(ctx, host);
+        }
+        self.inner.state.lock().stats.pu_reclaims += 1;
+        let report = ReclaimReport {
+            pu: dead,
+            processes: pids.len(),
+            fifos_reclaimed: reclaimed,
+            caps_dropped,
+        };
+        self.inner.machine.fault_plane().note(
+            ctx.now(),
+            &format!(
+                "recover: reclaim {dead} ({} pids, {} fifos, {} caps)",
+                report.processes, report.fifos_reclaimed, report.caps_dropped
+            ),
+        );
+        telemetry::with(|r| {
+            r.complete_span(host.0, t0.as_nanos(), ctx.now().as_nanos(), "reclaim-pu", None);
+            r.metrics().counter_add("shim.pu_reclaims", 1);
+            r.metrics().counter_add("shim.reclaimed_uuids", reclaimed as u64);
+        });
+        report
+    }
+
+    /// Processes one UUID-free message: destroys the FIFO and queues the
+    /// UUID on the lazy path — **exactly once**. Duplicated deliveries of
+    /// the same message (the fault plane can duplicate any nIPC message)
+    /// return `false` and change nothing: no double-free.
+    pub fn reclaim_uuid(&self, ctx: &mut ProcCtx, uuid: &GlobalUuid) -> bool {
+        let fresh = self.reclaim_uuid_inner(uuid);
+        if fresh {
+            self.sync_lazy(ctx, self.inner.machine.host_cpu(), uuid.clone());
+        }
+        fresh
+    }
+
+    fn reclaim_uuid_inner(&self, uuid: &GlobalUuid) -> bool {
+        let mut st = self.inner.state.lock();
+        if !st.reclaimed.insert(uuid.clone()) {
+            return false; // duplicate UUID-free message: already handled
+        }
+        if let Some(entry) = st.fifos.remove(uuid) {
+            // The owner may already be unregistered; destroying the object
+            // is what revokes stale writer capabilities everywhere.
+            let _ = st.caps.destroy_object(entry.obj);
+        }
+        st.stats.reclaimed_uuids += 1;
+        true
+    }
+
+    /// True if `pid` still has a `CAP_Group`.
+    pub fn has_process(&self, pid: XpuPid) -> bool {
+        self.inner.state.lock().caps.has_process(pid)
+    }
+
+    /// Number of capabilities `pid` currently holds (`None` if it has no
+    /// `CAP_Group`).
+    pub fn cap_count(&self, pid: XpuPid) -> Option<usize> {
+        self.inner.state.lock().caps.group(pid).map(|g| g.len())
+    }
+
+    /// True while the FIFO exists (created and neither closed nor reclaimed).
+    pub fn fifo_exists(&self, uuid: &GlobalUuid) -> bool {
+        self.inner.state.lock().fifos.contains_key(uuid)
+    }
+
+    /// Registered processes on `pu`, in pid order.
+    pub fn pids_on(&self, pu: PuId) -> Vec<XpuPid> {
+        self.inner.state.lock().caps.pids_on(pu)
+    }
+}
+
+/// What [`ShimCluster::reclaim_pu`] swept up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReclaimReport {
+    /// The crashed PU.
+    pub pu: PuId,
+    /// `CAP_Group`s removed.
+    pub processes: usize,
+    /// FIFO UUIDs reclaimed (exactly once each).
+    pub fifos_reclaimed: usize,
+    /// Capabilities dropped with those groups.
+    pub caps_dropped: usize,
 }
 
 /// The XPU-Shim view from one PU: issues XPUcalls on behalf of processes
@@ -613,9 +943,14 @@ impl XpuShim {
     }
 
     /// `get_xpupid()` — identity XPUcall (charges one call's latency).
-    pub fn get_xpupid(&self, ctx: &mut ProcCtx, pid: XpuPid) -> XpuPid {
-        self.cluster.charge_xpucall(ctx, self.host, 8);
-        pid
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::PeerDead`] / [`ShimError::XcallTimeout`] if the shim's
+    /// host is crashed or hung.
+    pub fn get_xpupid(&self, ctx: &mut ProcCtx, pid: XpuPid) -> Result<XpuPid, ShimError> {
+        self.cluster.charge_xpucall(ctx, self.host, 8)?;
+        Ok(pid)
     }
 
     /// `grant_cap(xpu_pid, obj_id, perm)`.

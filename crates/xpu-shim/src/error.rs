@@ -20,11 +20,28 @@ pub enum ShimError {
     FifoClosed,
     /// A timed FIFO read expired.
     FifoTimeout,
+    /// An XPUcall to a hung or partitioned peer exceeded the configured
+    /// timeout. The peer may still be alive: retrying is reasonable.
+    XcallTimeout(PuId),
+    /// The peer PU is crashed: the call can never succeed and the caller
+    /// should fail over instead of retrying.
+    PeerDead(PuId),
+    /// A non-blocking read found nothing queued (the FIFO is still open).
+    WouldBlock,
     /// The PU has no shim (not a general-purpose PU and no host to virtualize
     /// on).
     NoShimOn(PuId),
     /// The target PU of an `xSpawn` does not exist.
     NoSuchPu(PuId),
+}
+
+impl ShimError {
+    /// True for transient failures where a backoff-and-retry may succeed
+    /// (timeouts and would-block). Peer-dead, capability and UUID errors are
+    /// permanent: retrying them is wasted work.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ShimError::FifoTimeout | ShimError::XcallTimeout(_) | ShimError::WouldBlock)
+    }
 }
 
 impl fmt::Display for ShimError {
@@ -35,6 +52,9 @@ impl fmt::Display for ShimError {
             ShimError::UnknownUuid(u) => write!(f, "unknown xpu-fifo uuid: {u}"),
             ShimError::FifoClosed => f.write_str("xpu-fifo closed"),
             ShimError::FifoTimeout => f.write_str("xpu-fifo read timed out"),
+            ShimError::XcallTimeout(pu) => write!(f, "xpucall to {pu} timed out"),
+            ShimError::PeerDead(pu) => write!(f, "peer {pu} is dead"),
+            ShimError::WouldBlock => f.write_str("xpu-fifo empty (would block)"),
             ShimError::NoShimOn(pu) => write!(f, "no xpu-shim instance on {pu}"),
             ShimError::NoSuchPu(pu) => write!(f, "no such pu: {pu}"),
         }

@@ -8,7 +8,7 @@
 use std::fmt;
 
 use bytes::Bytes;
-use hetsim::engine::{ProcCtx, RecvError, RecvTimeoutError, SimReceiver};
+use hetsim::engine::{ProcCtx, RecvError, RecvTimeoutError, SimReceiver, TryRecvError};
 use hetsim::time::SimDuration;
 use telemetry::SpanContext;
 
@@ -86,6 +86,21 @@ impl XpuFifoReader {
             Ok(msg) => Ok(self.finish_read(ctx, msg)),
             Err(RecvTimeoutError::Timeout) => Err(ShimError::FifoTimeout),
             Err(RecvTimeoutError::Disconnected) => Err(ShimError::FifoClosed),
+        }
+    }
+
+    /// Non-blocking `xfifo_read`: returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::WouldBlock`] when nothing is queued (the FIFO is still
+    /// open — retry later), [`ShimError::FifoClosed`] when every writer is
+    /// gone and the queue is drained.
+    pub fn try_read(&self, ctx: &mut ProcCtx) -> Result<Bytes, ShimError> {
+        match self.rx.try_recv() {
+            Ok(msg) => Ok(self.finish_read(ctx, msg)),
+            Err(TryRecvError::Empty) => Err(ShimError::WouldBlock),
+            Err(TryRecvError::Disconnected) => Err(ShimError::FifoClosed),
         }
     }
 
@@ -170,5 +185,29 @@ impl XpuFifoWriter {
     /// if the FIFO's reader is gone.
     pub fn write(&self, ctx: &mut ProcCtx, payload: Bytes) -> Result<(), ShimError> {
         self.cluster.write_fifo(ctx, self, payload)
+    }
+
+    /// `xfifo_write` with an idempotency key and exponential backoff.
+    ///
+    /// Retryable failures (xcall timeouts from a hung or partitioned peer)
+    /// are retried under the cluster's [`RetryPolicy`]; once a key has been
+    /// delivered, re-sending it is a no-op, so the operation is at-most-once
+    /// even when the caller re-issues after a lost acknowledgement. Get keys
+    /// from [`ShimCluster::fresh_idempotency_key`].
+    ///
+    /// [`RetryPolicy`]: crate::cluster::RetryPolicy
+    /// [`ShimCluster::fresh_idempotency_key`]: crate::cluster::ShimCluster::fresh_idempotency_key
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::PeerDead`] (not retried — fail over instead), or the
+    /// last retryable error once attempts are exhausted.
+    pub fn write_with_retry(
+        &self,
+        ctx: &mut ProcCtx,
+        payload: Bytes,
+        key: u64,
+    ) -> Result<(), ShimError> {
+        self.cluster.write_fifo_retrying(ctx, self, payload, key)
     }
 }
