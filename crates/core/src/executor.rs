@@ -72,6 +72,10 @@ pub enum ExecutorReply {
     ShuttingDown,
 }
 
+/// Frame tag marking a reply that echoes its command's idempotency key.
+/// Distinct from every plain [`ExecutorReply::encode`] variant tag.
+const KEYED_REPLY_TAG: u8 = 0xFF;
+
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
@@ -230,6 +234,30 @@ impl ExecutorReply {
         buf.freeze()
     }
 
+    /// Encodes the reply with the command's idempotency `key` echoed in
+    /// front (a sentinel tag byte, then the key, then the reply), so the
+    /// manager can match a reply to the exact command it answers and discard
+    /// stragglers from earlier timed-out calls.
+    pub fn encode_keyed(&self, key: u64) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u8(KEYED_REPLY_TAG);
+        buf.put_u64_le(key);
+        buf.put_slice(&self.encode());
+        buf.freeze()
+    }
+
+    /// Decodes either a plain [`encode`](Self::encode) frame or a keyed
+    /// [`encode_keyed`](Self::encode_keyed) frame, returning the echoed key
+    /// when present.
+    pub fn decode_framed(mut bytes: Bytes) -> Option<(ExecutorReply, Option<u64>)> {
+        if bytes.remaining() >= 9 && bytes[0] == KEYED_REPLY_TAG {
+            bytes.advance(1);
+            let key = bytes.get_u64_le();
+            return Some((ExecutorReply::decode(bytes)?, Some(key)));
+        }
+        Some((ExecutorReply::decode(bytes)?, None))
+    }
+
     /// Decodes a reply from its wire format.
     pub fn decode(mut bytes: Bytes) -> Option<ExecutorReply> {
         if bytes.remaining() < 1 {
@@ -278,7 +306,17 @@ impl ExecutorHandle {
     ) -> Result<ExecutorReply, MoleculeError> {
         let t0 = ctx.now();
         self.command_writer.write(ctx, command.encode_traced(ctx.trace_ctx()))?;
-        let raw = self.reply_fifo.read(ctx)?;
+        let raw = loop {
+            let raw = self.reply_fifo.read(ctx)?;
+            // A keyed frame answers some earlier call_ft command, not this
+            // un-keyed one — a straggler delayed past its caller's timeout.
+            match raw.first() {
+                Some(&KEYED_REPLY_TAG) => {
+                    telemetry::with(|r| r.metrics().counter_add("executor.stale_replies", 1));
+                }
+                _ => break raw,
+            }
+        };
         telemetry::with(|r| {
             r.complete_span(
                 ctx.lane(),
@@ -300,9 +338,11 @@ impl ExecutorHandle {
 
     /// Fault-tolerant [`call`](Self::call): the command carries an
     /// idempotency key, the reply wait is bounded by `timeout`, and a lost
-    /// reply triggers a bounded re-send under the cluster's retry policy.
-    /// The key makes re-sends exactly-once on the executor side, so a
-    /// re-issued `Cfork` never starts a second instance.
+    /// command or reply triggers a bounded re-send under the cluster's retry
+    /// policy. The key makes re-sends exactly-once on the executor side (so
+    /// a re-issued `Cfork` never starts a second instance), and the executor
+    /// echoes it in the reply, so a straggling reply from an earlier
+    /// timed-out call is discarded rather than mistaken for this one's.
     ///
     /// # Errors
     ///
@@ -316,38 +356,57 @@ impl ExecutorHandle {
         timeout: SimDuration,
     ) -> Result<ExecutorReply, MoleculeError> {
         use xpu_shim::error::ShimError;
-        // Drop replies orphaned by earlier timeouts or duplicated delivery,
-        // so the one we read next matches the command we send now.
+        // Drop replies orphaned by earlier timeouts or duplicated delivery;
+        // the key match below catches any straggler still in flight.
         while self.reply_fifo.try_read(ctx).is_ok() {}
         let key = self.cluster.fresh_idempotency_key();
         let frame = command.encode_keyed(key, ctx.trace_ctx());
         let attempts = self.cluster.config().retry.max_attempts.max(1);
         let t0 = ctx.now();
         for attempt in 0..attempts {
-            match self.command_writer.write_with_retry(ctx, frame.clone(), key) {
+            match self.command_writer.write_with_retry(ctx, frame.clone()) {
                 Ok(()) => {}
                 Err(ShimError::PeerDead(pu)) => return Err(MoleculeError::PuUnavailable(pu)),
                 Err(e) if e.is_retryable() && attempt + 1 < attempts => continue,
                 Err(e) => return Err(e.into()),
             }
-            match self.reply_fifo.read_timeout(ctx, timeout) {
-                Ok(raw) => {
-                    telemetry::with(|r| {
-                        r.metrics().counter_add("executor.calls", 1);
-                        r.metrics().observe_ns("executor.call_ns", (ctx.now() - t0).as_nanos());
-                    });
-                    let reply = ExecutorReply::decode(raw).ok_or_else(|| {
-                        MoleculeError::Internal("malformed executor reply".to_owned())
-                    })?;
-                    if let ExecutorReply::Failed { reason } = &reply {
-                        return Err(MoleculeError::Internal(format!("executor failed: {reason}")));
-                    }
-                    return Ok(reply);
-                }
-                Err(ShimError::FifoTimeout) => {
+            let deadline = ctx.now() + timeout;
+            // Wait out this attempt's window, discarding replies whose key
+            // does not echo this command's (stragglers from timed-out calls
+            // or duplicated deliveries).
+            loop {
+                if ctx.now() >= deadline {
                     telemetry::with(|r| r.metrics().counter_add("executor.call_retries", 1));
+                    break;
                 }
-                Err(e) => return Err(e.into()),
+                match self.reply_fifo.read_timeout(ctx, deadline - ctx.now()) {
+                    Ok(raw) => {
+                        let (reply, rkey) = ExecutorReply::decode_framed(raw).ok_or_else(|| {
+                            MoleculeError::Internal("malformed executor reply".to_owned())
+                        })?;
+                        if rkey != Some(key) {
+                            telemetry::with(|r| {
+                                r.metrics().counter_add("executor.stale_replies", 1);
+                            });
+                            continue;
+                        }
+                        telemetry::with(|r| {
+                            r.metrics().counter_add("executor.calls", 1);
+                            r.metrics().observe_ns("executor.call_ns", (ctx.now() - t0).as_nanos());
+                        });
+                        if let ExecutorReply::Failed { reason } = &reply {
+                            return Err(MoleculeError::Internal(format!(
+                                "executor failed: {reason}"
+                            )));
+                        }
+                        return Ok(reply);
+                    }
+                    Err(ShimError::FifoTimeout) => {
+                        telemetry::with(|r| r.metrics().counter_add("executor.call_retries", 1));
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
         Err(MoleculeError::PuUnavailable(self.pu))
@@ -451,8 +510,11 @@ pub fn launch_executor(
             shim.xfifo_connect(ectx, exec_pid, &reply_uuid_for_exec).expect("reply fifo granted");
         // Keyed commands already served, with their replies: a duplicated or
         // re-sent command replays the cached reply instead of re-executing
-        // (exactly-once under at-least-once delivery).
-        let mut served: std::collections::HashMap<u64, Bytes> = std::collections::HashMap::new();
+        // (exactly-once under at-least-once delivery). Bounded: keys are
+        // handed out monotonically and call_ft drains stragglers, so entries
+        // far behind the newest key can never be replayed again.
+        const SERVED_CACHE_CAP: usize = 128;
+        let mut served: std::collections::BTreeMap<u64, Bytes> = std::collections::BTreeMap::new();
         loop {
             let Ok(raw) = command_fifo.read(ectx) else { return };
             let Some((command, span, key)) = ExecutorCommand::decode_framed(raw) else {
@@ -479,7 +541,11 @@ pub fn launch_executor(
             let reply = match command {
                 ExecutorCommand::Ping => ExecutorReply::Pong,
                 ExecutorCommand::Shutdown => {
-                    let _ = reply_writer.write(ectx, ExecutorReply::ShuttingDown.encode());
+                    let ack = match key {
+                        Some(k) => ExecutorReply::ShuttingDown.encode_keyed(k),
+                        None => ExecutorReply::ShuttingDown.encode(),
+                    };
+                    let _ = reply_writer.write(ectx, ack);
                     return;
                 }
                 ExecutorCommand::Cfork { func } => {
@@ -497,9 +563,15 @@ pub fn launch_executor(
                     }
                 }
             };
-            let encoded = reply.encode();
+            let encoded = match key {
+                Some(k) => reply.encode_keyed(k),
+                None => reply.encode(),
+            };
             if let Some(k) = key {
                 served.insert(k, encoded.clone());
+                while served.len() > SERVED_CACHE_CAP {
+                    served.pop_first();
+                }
             }
             if reply_writer.write(ectx, encoded).is_err() {
                 return;
@@ -557,6 +629,18 @@ mod tests {
         let traced = cmd.encode_traced(None);
         assert_eq!(ExecutorCommand::decode_framed(traced.clone()), Some((cmd.clone(), None, None)));
         assert_eq!(ExecutorCommand::decode_traced(traced), Some((cmd, None)));
+    }
+
+    #[test]
+    fn keyed_replies_echo_the_command_key() {
+        let reply = ExecutorReply::Started { instance: 7, startup_ns: 1 };
+        let keyed = reply.encode_keyed(0xABCD);
+        assert_eq!(ExecutorReply::decode_framed(keyed), Some((reply.clone(), Some(0xABCD))));
+        // Plain frames decode through the same path, key-less.
+        assert_eq!(ExecutorReply::decode_framed(reply.encode()), Some((reply, None)));
+        // A truncated keyed frame is malformed, not misread as plain.
+        let cut = ExecutorReply::Pong.encode_keyed(9).slice(0..5);
+        assert_eq!(ExecutorReply::decode_framed(cut), None);
     }
 
     #[test]
@@ -650,6 +734,63 @@ mod tests {
         let (err, pong) = out.take_result().unwrap();
         assert!(matches!(err, MoleculeError::Internal(_)));
         assert_eq!(pong, ExecutorReply::Pong);
+    }
+
+    #[test]
+    fn call_ft_resends_after_a_dropped_command() {
+        let m = molecule();
+        let mut sim = Simulation::new();
+        let m2 = m.clone();
+        sim.spawn("manager", move |ctx| {
+            let exec = launch_executor(&m2, ctx, PuId(1)).unwrap();
+            let machine = m2.machine().clone();
+            // Every host->DPU frame vanishes on the wire (the shim still
+            // reports a successful fire-and-forget send) until the healer
+            // clears the fault mid-call.
+            machine.fault_plane().set_fifo_loss(ctx.now(), PuId(0), PuId(1), 1.0);
+            let plane_machine = machine.clone();
+            ctx.spawn("healer", move |hctx| {
+                hctx.sleep(SimDuration::from_micros(500));
+                plane_machine.fault_plane().set_fifo_loss(hctx.now(), PuId(0), PuId(1), 0.0);
+            });
+            let reply =
+                exec.call_ft(ctx, ExecutorCommand::Ping, SimDuration::from_millis(1)).unwrap();
+            assert_eq!(reply, ExecutorReply::Pong, "the re-sent command reached the executor");
+            exec.shutdown(ctx).unwrap();
+        });
+        sim.run().unwrap();
+        assert!(m.cluster().stats().dropped_messages >= 1, "the first attempt was dropped");
+    }
+
+    #[test]
+    fn call_ft_discards_stale_replies_by_key() {
+        let m = molecule();
+        let mut sim = Simulation::new();
+        let m2 = m.clone();
+        sim.spawn("manager", move |ctx| {
+            m2.bootstrap(ctx).unwrap();
+            m2.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+            let exec = launch_executor(&m2, ctx, PuId(1)).unwrap();
+            // A timeout shorter than the nIPC round trip: every attempt's
+            // Pong is still in flight when the call gives up, leaving
+            // stragglers the next call must not mistake for its own reply.
+            let err =
+                exec.call_ft(ctx, ExecutorCommand::Ping, SimDuration::from_nanos(1)).unwrap_err();
+            assert!(matches!(err, MoleculeError::PuUnavailable(_)), "got {err:?}");
+            let reply = exec
+                .call_ft(
+                    ctx,
+                    ExecutorCommand::Cfork { func: FuncId::new("img") },
+                    SimDuration::from_millis(100),
+                )
+                .unwrap();
+            assert!(
+                matches!(reply, ExecutorReply::Started { .. }),
+                "stale Pong accepted as the Cfork reply: {reply:?}"
+            );
+            exec.shutdown(ctx).unwrap();
+        });
+        sim.run().unwrap();
     }
 
     #[test]

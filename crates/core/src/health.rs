@@ -263,8 +263,11 @@ impl HealthChecker {
             rec.opened_at = None;
             was_open
         };
+        // Re-admit on every healthy probe, not just circuit transitions: the
+        // gateway quarantines a PU itself when a request times out mid-fault,
+        // and only the checker can clear that once the PU proves responsive.
+        self.gateway.mark_pu_schedulable(pu);
         if reopened {
-            self.gateway.mark_pu_schedulable(pu);
             let machine = self.gateway.molecule().machine().clone();
             machine.fault_plane().note(ctx.now(), &format!("recover: circuit closed for {pu}"));
             telemetry::with(|r| r.metrics().counter_add("health.circuit_closed", 1));
@@ -435,6 +438,25 @@ mod tests {
         assert_eq!(hc.status(PuId(1)), Some(PuStatus::Dead));
         assert_eq!(gw.avoided_pus(), vec![PuId(1)]);
         assert_eq!(failover_pu, PuId(2), "second DPU takes over");
+    }
+
+    #[test]
+    fn healthy_probe_readmits_a_gateway_quarantined_pu() {
+        let gw = gateway();
+        let hc = HealthChecker::new(gw.clone(), HealthPolicy::default());
+        let mut sim = Simulation::new();
+        let gw2 = gw.clone();
+        let hc2 = hc.clone();
+        sim.spawn("health", move |ctx| {
+            // A transient in-request timeout made the gateway quarantine the
+            // DPU directly — the checker's circuit never opened, so only a
+            // healthy probe can re-admit it.
+            gw2.mark_pu_unschedulable(PuId(1));
+            hc2.probe_round(ctx);
+            assert!(gw2.avoided_pus().is_empty(), "healthy probe re-admits the PU");
+            assert_eq!(hc2.circuit(PuId(1)), Some(CircuitState::Closed));
+        });
+        sim.run().unwrap();
     }
 
     #[test]

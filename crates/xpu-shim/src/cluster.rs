@@ -122,8 +122,6 @@ struct ClusterState {
     fifos: HashMap<GlobalUuid, FifoEntry>,
     lazy_queue: Vec<GlobalUuid>,
     stats: ShimStats,
-    /// Idempotency keys already applied (keyed writes are at-most-once).
-    applied_keys: HashSet<u64>,
     next_key: u64,
     /// UUIDs already reclaimed through the crash path — the guard that makes
     /// reclamation exactly-once even when the UUID-free message duplicates.
@@ -182,7 +180,6 @@ impl ShimCluster {
                     fifos: HashMap::new(),
                     lazy_queue: Vec::new(),
                     stats: ShimStats::default(),
-                    applied_keys: HashSet::new(),
                     next_key: 0,
                     reclaimed: HashSet::new(),
                 }),
@@ -514,7 +511,13 @@ impl ShimCluster {
                 telemetry::with(|r| r.metrics().counter_add("shim.xcall_peer_dead", 1));
                 return Err(ShimError::PeerDead(to));
             }
-            if plane.is_partitioned(from, to) {
+            // A CPU-intercepted route transits the host, so a partition of
+            // either host leg cuts it just like an endpoint-pair partition.
+            let host = self.inner.machine.host_cpu();
+            let cut = plane.is_partitioned(from, to)
+                || (self.inner.machine.route(from, to).is_intercepted()
+                    && (plane.is_partitioned(from, host) || plane.is_partitioned(host, to)));
+            if cut {
                 self.charge_xpucall(ctx, from, size)?;
                 ctx.sleep(self.inner.config.xcall_timeout);
                 telemetry::with(|r| r.metrics().counter_add("shim.xcall_timeouts", 1));
@@ -581,29 +584,25 @@ impl ShimCluster {
         Ok(())
     }
 
-    /// At-most-once keyed write with exponential backoff: retries on
-    /// retryable errors ([`ShimError::is_retryable`]); once a key succeeds,
-    /// later attempts with the same key are suppressed, so a caller that
-    /// re-sends after a lost acknowledgement cannot double-deliver.
+    /// At-least-once write with exponential backoff: retries on retryable
+    /// errors ([`ShimError::is_retryable`]). Delivery is fire-and-forget —
+    /// `Ok` means the message was *sent*, not that it arrived (the fault
+    /// plane may drop it on the wire) — so the sender never suppresses a
+    /// re-send. Exactly-once is the receiver's job: callers embed an
+    /// idempotency key in the payload and the receiver dedups on it (the
+    /// executor's served-reply cache).
     pub(crate) fn write_fifo_retrying(
         &self,
         ctx: &mut ProcCtx,
         writer: &XpuFifoWriter,
         payload: Bytes,
-        key: u64,
     ) -> Result<(), ShimError> {
-        if self.inner.state.lock().applied_keys.contains(&key) {
-            return Ok(());
-        }
         let policy = self.inner.config.retry;
         let mut backoff = policy.backoff_base;
         let mut attempt = 0u32;
         loop {
             match self.write_fifo(ctx, writer, payload.clone()) {
-                Ok(()) => {
-                    self.inner.state.lock().applied_keys.insert(key);
-                    return Ok(());
-                }
+                Ok(()) => return Ok(()),
                 Err(e) if e.is_retryable() && attempt + 1 < policy.max_attempts => {
                     attempt += 1;
                     self.inner.state.lock().stats.xcall_retries += 1;
@@ -1197,6 +1196,37 @@ mod tests {
         let (err, first) = h.take_result().unwrap();
         assert!(matches!(err, ShimError::Cap(_)));
         assert_eq!(&first[..], b"ok");
+    }
+
+    #[test]
+    fn host_leg_partition_cuts_intercepted_routes() {
+        let machine = Machine::full_heterogeneous();
+        let dpu = machine.pus_of_kind(PuKind::Dpu)[0];
+        let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+        let host = machine.host_cpu();
+        assert!(machine.route(dpu, fpga).is_intercepted());
+        let c = ShimCluster::deploy(machine.clone(), ShimConfig::default());
+        let mut sim = Simulation::new();
+        let c2 = c.clone();
+        sim.spawn("driver", move |ctx| {
+            let fpga_shim = c2.shim_on(fpga).unwrap();
+            let dpu_shim = c2.shim_on(dpu).unwrap();
+            let owner = fpga_shim.attach_process();
+            let writer_pid = dpu_shim.attach_process();
+            let fifo = fpga_shim.xfifo_init(ctx, owner, "accel-in").unwrap();
+            fpga_shim.grant_cap(ctx, owner, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
+            let w = dpu_shim.xfifo_connect(ctx, writer_pid, &fifo.uuid().clone()).unwrap();
+            // The endpoint pair is not partitioned, but the route transits
+            // the host, so cutting the DPU->host leg blocks it.
+            machine.fault_plane().partition(ctx.now(), dpu, host);
+            let err = w.write(ctx, Bytes::from_static(b"x")).unwrap_err();
+            assert_eq!(err, ShimError::XcallTimeout(fpga));
+            machine.fault_plane().heal_partition(ctx.now(), dpu, host);
+            w.write(ctx, Bytes::from_static(b"y")).unwrap();
+            let msg = fifo.read(ctx).unwrap();
+            assert_eq!(&msg[..], b"y");
+        });
+        sim.run().unwrap();
     }
 
     #[test]

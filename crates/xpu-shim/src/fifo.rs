@@ -187,13 +187,15 @@ impl XpuFifoWriter {
         self.cluster.write_fifo(ctx, self, payload)
     }
 
-    /// `xfifo_write` with an idempotency key and exponential backoff.
+    /// `xfifo_write` with exponential backoff.
     ///
     /// Retryable failures (xcall timeouts from a hung or partitioned peer)
-    /// are retried under the cluster's [`RetryPolicy`]; once a key has been
-    /// delivered, re-sending it is a no-op, so the operation is at-most-once
-    /// even when the caller re-issues after a lost acknowledgement. Get keys
-    /// from [`ShimCluster::fresh_idempotency_key`].
+    /// are retried under the cluster's [`RetryPolicy`]. Delivery stays
+    /// fire-and-forget: `Ok` means sent, not arrived, and re-sending the
+    /// same payload is always allowed — so the protocol is at-least-once.
+    /// Callers that need exactly-once embed an idempotency key (from
+    /// [`ShimCluster::fresh_idempotency_key`]) in the payload and let the
+    /// receiver dedup on it.
     ///
     /// [`RetryPolicy`]: crate::cluster::RetryPolicy
     /// [`ShimCluster::fresh_idempotency_key`]: crate::cluster::ShimCluster::fresh_idempotency_key
@@ -202,12 +204,7 @@ impl XpuFifoWriter {
     ///
     /// [`ShimError::PeerDead`] (not retried — fail over instead), or the
     /// last retryable error once attempts are exhausted.
-    pub fn write_with_retry(
-        &self,
-        ctx: &mut ProcCtx,
-        payload: Bytes,
-        key: u64,
-    ) -> Result<(), ShimError> {
-        self.cluster.write_fifo_retrying(ctx, self, payload, key)
+    pub fn write_with_retry(&self, ctx: &mut ProcCtx, payload: Bytes) -> Result<(), ShimError> {
+        self.cluster.write_fifo_retrying(ctx, self, payload)
     }
 }
