@@ -13,3 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 # (same seed ⇒ byte-identical event log) gates determinism.
 cargo test -q -p molecule-chaos
 cargo test -q --test chaos_recovery
+
+# Scheduling smoke stage: the sched crate's unit + property tests, the
+# PU-death failover e2e, and a fig_sched run that must export
+# BENCH_sched.json with nothing shed or lost at the low-load points.
+cargo test -q -p molecule-sched
+cargo test -q --test sched_failover
+sched_bench_dir=$(mktemp -d)
+MOLECULE_BENCH_DIR="$sched_bench_dir" cargo run --release -q -p molecule-bench --bin fig_sched
+test -f "$sched_bench_dir/BENCH_sched.json"
+jq -e '[.rows[] | select(.[1].value <= 160)] | length > 0 and all(.[4].value == 0 and .[7].value == 0)' \
+    "$sched_bench_dir/BENCH_sched.json" >/dev/null
+rm -rf "$sched_bench_dir"

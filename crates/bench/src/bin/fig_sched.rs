@@ -1,0 +1,5 @@
+//! Regenerates the scheduling data backed by `molecule_bench::fig_sched`.
+
+fn main() {
+    molecule_bench::fig_sched::print();
+}

@@ -23,6 +23,7 @@
 //! | [`tables`] | Tables 1, 4 and 5 |
 //! | [`ablations`] | Design-choice ablations beyond the paper's figures |
 //! | [`fig_fault`] | Crash-recovery latency under seeded fault injection |
+//! | [`fig_sched`] | Load-aware vs first-fit placement, FPGA cold-start batching |
 
 pub mod ablations;
 pub mod fig02;
@@ -35,6 +36,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig_fault;
+pub mod fig_sched;
 pub mod tables;
 
 use hetsim::engine::{ProcCtx, Simulation};

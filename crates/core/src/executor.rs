@@ -517,6 +517,14 @@ pub fn launch_executor(
         let mut served: std::collections::BTreeMap<u64, Bytes> = std::collections::BTreeMap::new();
         loop {
             let Ok(raw) = command_fifo.read(ectx) else { return };
+            // Command backlog still buffered behind the one just taken: the
+            // executor-side view of queueing pressure on this PU.
+            telemetry::with(|r| {
+                r.metrics().gauge_set(
+                    &format!("executor.pu{}.cmd_backlog", pu.0),
+                    command_fifo.pending() as i64,
+                );
+            });
             let Some((command, span, key)) = ExecutorCommand::decode_framed(raw) else {
                 let _ = reply_writer.write(
                     ectx,

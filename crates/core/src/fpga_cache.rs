@@ -13,7 +13,7 @@ use hetsim::engine::ProcCtx;
 use hetsim::pu::PuId;
 use hetsim::time::SimDuration;
 use parking_lot::Mutex;
-use vsandbox::oci::OciRuntime;
+use vsandbox::oci::{OciRuntime, VectorizedRuntime};
 use vsandbox::spec::{FuncId, SandboxId, SandboxState};
 
 use crate::error::MoleculeError;
@@ -153,6 +153,102 @@ impl FpgaCacheManager {
         self.state.lock().policy.on_invoke(func, now, exec, 1.0);
         Ok((now - t0, hit))
     }
+
+    /// Serves a *batch* of concurrently pending requests in one pass: all
+    /// missing kernels are packed into a **single** re-flash (keep set +
+    /// every missed function), then each request starts its sandbox and
+    /// runs. This is the cold-start aggregation path — N scalar misses cost
+    /// N flashes that evict each other, a batch of N costs one.
+    ///
+    /// Returns `(latency, hit)` per request, in input order. Latencies are
+    /// measured from the batch start, so co-batched requests share the
+    /// single flash delay.
+    ///
+    /// # Errors
+    ///
+    /// Unknown functions, functions without FPGA profiles, device errors.
+    /// On error nothing is partially recorded beyond the flash itself.
+    pub fn request_batch(
+        &self,
+        ctx: &mut ProcCtx,
+        reqs: &[(FuncId, u64)],
+    ) -> Result<Vec<(SimDuration, bool)>, MoleculeError> {
+        let t0 = ctx.now();
+        // Validate every request and classify hits/misses up front.
+        let mut execs = Vec::with_capacity(reqs.len());
+        let mut hits = Vec::with_capacity(reqs.len());
+        let mut missed: Vec<FuncId> = Vec::new();
+        for (func, input_bytes) in reqs {
+            let def = self
+                .molecule
+                .registry()
+                .get(func)
+                .ok_or_else(|| MoleculeError::UnknownFunction(func.clone()))?;
+            let exec = def
+                .fpga
+                .as_ref()
+                .ok_or(MoleculeError::UnsupportedPu { func: func.clone(), pu: self.pu })?
+                .exec
+                .host_time(*input_bytes);
+            execs.push(exec);
+            let hit = self.is_resident(func);
+            hits.push(hit);
+            if !hit && !missed.contains(func) {
+                missed.push(func.clone());
+            }
+        }
+        let runf = self
+            .molecule
+            .runf(self.pu)
+            .ok_or_else(|| MoleculeError::Internal(format!("no runf on {}", self.pu)))?
+            .clone();
+
+        if !missed.is_empty() {
+            // One repack covering the keep set plus every missed function.
+            let now = ctx.now();
+            let keep_budget = self.capacity.saturating_sub(missed.len());
+            let mut pack = {
+                let mut st = self.state.lock();
+                st.policy.keep_set(now, keep_budget)
+            };
+            pack.retain(|f| !missed.contains(f) && self.molecule.registry().get(f).is_some());
+            pack.extend(missed.iter().cloned());
+            self.molecule.cache_fpga_functions_replacing(ctx, self.pu, &pack)?;
+        }
+        {
+            let mut st = self.state.lock();
+            st.stats.hits += hits.iter().filter(|h| **h).count() as u64;
+            st.stats.misses += hits.iter().filter(|h| !**h).count() as u64;
+            if !missed.is_empty() {
+                st.stats.flashes += 1;
+            }
+        }
+
+        // Start every sandbox that needs it (vectorized: prep is charged
+        // once per batch by runF's start_vec), then run each request.
+        let mut to_start: Vec<SandboxId> = reqs
+            .iter()
+            .map(|(f, _)| SandboxId::new(f.as_str()))
+            .filter(|sb| !matches!(runf.peek_state(sb), Some(SandboxState::Running)))
+            .collect();
+        to_start.sort();
+        to_start.dedup();
+        if !to_start.is_empty() {
+            runf.start_vec(ctx, &to_start).map_err(MoleculeError::Sandbox)?;
+        }
+        let mut out = Vec::with_capacity(reqs.len());
+        let host = self.molecule.machine().host_cpu();
+        for (i, (func, input_bytes)) in reqs.iter().enumerate() {
+            let sandbox = SandboxId::new(func.as_str());
+            let dma = self.molecule.machine().route(host, self.pu).transfer_time(*input_bytes);
+            ctx.sleep(dma);
+            runf.invoke(ctx, &sandbox, execs[i]).map_err(MoleculeError::Sandbox)?;
+            let now = ctx.now();
+            self.state.lock().policy.on_invoke(func, now, execs[i], 1.0);
+            out.push((now - t0, hits[i]));
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +335,53 @@ mod tests {
         // Hot functions now hit without flashing.
         let stats = mgr.stats();
         assert!(stats.flashes <= 4);
+    }
+
+    #[test]
+    fn batched_cold_starts_share_one_flash() {
+        // Scalar: each miss repacks and the flashes thrash each other.
+        let (scalar, funcs) = setup(6, Box::new(Lru::new()));
+        let mut sim = Simulation::new();
+        let m = scalar.clone();
+        let fs = funcs.clone();
+        let scalar_done = sim.spawn("scalar", move |ctx| {
+            for f in &fs[0..4] {
+                m.request(ctx, f, 1024).unwrap();
+            }
+            ctx.now()
+        });
+        sim.run().unwrap();
+        let scalar_elapsed = scalar_done.take_result().unwrap();
+
+        // Batched: the same four cold functions coalesce into one flash.
+        let (batched, funcs2) = setup(6, Box::new(Lru::new()));
+        let mut sim = Simulation::new();
+        let m = batched.clone();
+        let fs = funcs2.clone();
+        let out = sim.spawn("batch", move |ctx| {
+            let reqs: Vec<(FuncId, u64)> = fs[0..4].iter().map(|f| (f.clone(), 1024)).collect();
+            let results = m.request_batch(ctx, &reqs).unwrap();
+            (results, ctx.now())
+        });
+        sim.run().unwrap();
+        let (results, batch_elapsed) = out.take_result().unwrap();
+
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|(_, hit)| !hit), "all four were cold");
+        assert_eq!(batched.stats().flashes, 1, "one vectorized flash for the batch");
+        assert_eq!(batched.stats().misses, 4);
+        assert!(scalar.stats().flashes >= 4, "scalar path flashes per miss: {:?}", scalar.stats());
+        assert!(
+            batch_elapsed < scalar_elapsed,
+            "batch {batch_elapsed} must beat scalar {scalar_elapsed}"
+        );
+        // Everything in the batch is resident and serves hits afterwards.
+        let mut sim = Simulation::new();
+        let m = batched.clone();
+        let f0 = funcs2[0].clone();
+        let h = sim.spawn("after", move |ctx| m.request(ctx, &f0, 1024).unwrap().1);
+        sim.run().unwrap();
+        assert!(h.take_result().unwrap(), "post-batch request hits");
     }
 
     #[test]

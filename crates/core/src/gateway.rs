@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use hetsim::engine::ProcCtx;
 use hetsim::pu::PuId;
-use hetsim::time::SimDuration;
+use hetsim::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use vsandbox::spec::{FuncId, LangRuntime};
 
@@ -270,8 +270,10 @@ impl ApiGateway {
     }
 
     /// The PU a fault-shaped error points at, if the error is one a
-    /// failover can address.
-    fn failed_pu(e: &MoleculeError) -> Option<PuId> {
+    /// failover can address. Public so schedulers layered above the gateway
+    /// (e.g. `molecule-sched`) can drive their own failover/drain logic off
+    /// the same classification.
+    pub fn failed_pu(e: &MoleculeError) -> Option<PuId> {
         use xpu_shim::error::ShimError;
         match e {
             MoleculeError::PuUnavailable(pu)
@@ -335,25 +337,160 @@ impl ApiGateway {
         };
 
         let report = self.molecule.invoke(ctx, instance, input_bytes)?;
-        let now = ctx.now();
-        {
+        self.return_to_pool(ctx, &def, pu, instance, cold, report.latency)?;
+        Ok(RequestReport { latency: ctx.now() - t0, cold_start: cold, pu, instance })
+    }
+
+    /// Serves one request pinned to `pu`: warm pool on `(func, pu)` first,
+    /// otherwise a cold start *on that PU* — no internal placement and no
+    /// failover. This is the dispatch primitive for external schedulers
+    /// (`molecule-sched`'s per-PU run-queue workers) that have already
+    /// made the placement decision; errors surface unhandled so the caller
+    /// can drain and re-place.
+    ///
+    /// # Errors
+    ///
+    /// [`MoleculeError::PuUnavailable`] when `pu` is quarantined, plus any
+    /// startup or invoke failure from the runtime.
+    pub fn handle_request_on(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        pu: PuId,
+        input_bytes: u64,
+    ) -> Result<RequestReport, MoleculeError> {
+        let t0 = ctx.now();
+        let def = self
+            .molecule
+            .registry()
+            .get(func)
+            .ok_or_else(|| MoleculeError::UnknownFunction(func.clone()))?;
+        let warm = {
             let mut st = self.state.lock();
-            if cold {
-                st.stats.cold_starts += 1;
-            } else {
-                st.stats.warm_hits += 1;
+            if st.avoid.contains(&pu) {
+                return Err(MoleculeError::PuUnavailable(pu));
             }
-            st.policy.on_invoke(func, now, report.latency, def.memory_mib as f64 / 128.0);
-            let pool = st.idle.entry((func.clone(), pu)).or_default();
-            if pool.len() < self.config.max_warm_per_function {
-                pool.push(instance);
-            } else {
-                st.owned.remove(&instance);
-                drop(st);
-                self.molecule.retire_instance(ctx, instance)?;
+            st.idle.get_mut(&(func.clone(), pu)).and_then(Vec::pop)
+        };
+        let (instance, cold) = match warm {
+            Some(inst) => (inst, false),
+            None => {
+                let how = self.effective_startup(pu);
+                let started = self.molecule.start_instance(ctx, func, pu, how)?;
+                self.state.lock().owned.insert(started.instance, (func.clone(), pu));
+                (started.instance, true)
             }
+        };
+        let report = self.molecule.invoke(ctx, instance, input_bytes)?;
+        self.return_to_pool(ctx, &def, pu, instance, cold, report.latency)?;
+        let kind = if cold { "cold" } else { "warm" };
+        telemetry::with(|r| r.metrics().counter_add(&format!("gateway.requests.{kind}"), 1));
+        Ok(RequestReport { latency: ctx.now() - t0, cold_start: cold, pu, instance })
+    }
+
+    /// Books a finished request: stats, keep-alive accounting, and the
+    /// instance's return to the idle pool (bounded; overflow retires it).
+    fn return_to_pool(
+        &self,
+        ctx: &mut ProcCtx,
+        def: &crate::function::FunctionDef,
+        pu: PuId,
+        instance: InstanceId,
+        cold: bool,
+        exec_latency: SimDuration,
+    ) -> Result<(), MoleculeError> {
+        let now = ctx.now();
+        let func = &def.id;
+        let mut st = self.state.lock();
+        if cold {
+            st.stats.cold_starts += 1;
+        } else {
+            st.stats.warm_hits += 1;
         }
-        Ok(RequestReport { latency: now - t0, cold_start: cold, pu, instance })
+        st.policy.on_invoke(func, now, exec_latency, def.memory_mib as f64 / 128.0);
+        let pool = st.idle.entry((func.clone(), pu)).or_default();
+        if pool.len() < self.config.max_warm_per_function {
+            pool.push(instance);
+        } else {
+            st.owned.remove(&instance);
+            drop(st);
+            self.molecule.retire_instance(ctx, instance)?;
+        }
+        Ok(())
+    }
+
+    /// Idle warm instances of `func` currently pooled on `pu`.
+    pub fn warm_idle_count(&self, func: &FuncId, pu: PuId) -> usize {
+        self.state.lock().idle.get(&(func.clone(), pu)).map_or(0, Vec::len)
+    }
+
+    /// Cold-starts one instance of `func` on `pu` and parks it in the idle
+    /// pool without serving a request — the autoscaler's grow primitive.
+    /// The per-request pool bound does not apply here; the caller owns the
+    /// target size.
+    ///
+    /// # Errors
+    ///
+    /// [`MoleculeError::PuUnavailable`] when `pu` is quarantined, plus any
+    /// startup failure from the runtime.
+    pub fn prewarm(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        pu: PuId,
+    ) -> Result<InstanceId, MoleculeError> {
+        if self.state.lock().avoid.contains(&pu) {
+            return Err(MoleculeError::PuUnavailable(pu));
+        }
+        let how = self.effective_startup(pu);
+        let started = self.molecule.start_instance(ctx, func, pu, how)?;
+        let mut st = self.state.lock();
+        st.owned.insert(started.instance, (func.clone(), pu));
+        st.idle.entry((func.clone(), pu)).or_default().push(started.instance);
+        telemetry::with(|r| r.metrics().counter_add("gateway.prewarmed", 1));
+        Ok(started.instance)
+    }
+
+    /// Retires idle instances of `func` on `pu` until at most `keep` remain
+    /// pooled — the autoscaler's shrink primitive. Oldest instances go
+    /// first. Returns the number retired.
+    ///
+    /// # Errors
+    ///
+    /// Teardown failures from the runtime.
+    pub fn retire_idle_on(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        pu: PuId,
+        keep: usize,
+    ) -> Result<usize, MoleculeError> {
+        let to_retire: Vec<InstanceId> = {
+            let mut st = self.state.lock();
+            let Some(pool) = st.idle.get_mut(&(func.clone(), pu)) else { return Ok(0) };
+            let excess = pool.len().saturating_sub(keep);
+            let drained: Vec<InstanceId> = pool.drain(..excess).collect();
+            if pool.is_empty() {
+                st.idle.remove(&(func.clone(), pu));
+            }
+            for inst in &drained {
+                st.owned.remove(inst);
+            }
+            st.stats.reaped += drained.len() as u64;
+            drained
+        };
+        for inst in &to_retire {
+            self.molecule.retire_instance(ctx, *inst)?;
+        }
+        Ok(to_retire.len())
+    }
+
+    /// Tells the keep-alive policy a request for `func` was shed by an
+    /// admission controller: shed load is still demand, so policies should
+    /// not let the function's keep-alive window lapse just because the
+    /// request never executed.
+    pub fn note_shed(&self, func: &FuncId, now: SimTime) {
+        self.state.lock().policy.on_shed(func, now);
     }
 
     /// Records a service degradation: the request landed on a PU whose kind

@@ -121,6 +121,10 @@ pub struct RecoveryReport {
     pub sandboxes_reconciled: usize,
 }
 
+/// Callback invoked after a PU's recovery pipeline ran (see
+/// [`HealthChecker::on_declared_dead`]).
+pub type DeadPuHook = dyn Fn(&mut ProcCtx, PuId) + Send + Sync;
+
 /// Probes executor PUs and drives recovery when one dies. Cheap to clone.
 #[derive(Clone)]
 pub struct HealthChecker {
@@ -128,6 +132,7 @@ pub struct HealthChecker {
     policy: HealthPolicy,
     state: Arc<Mutex<BTreeMap<PuId, PuRecord>>>,
     recoveries: Arc<Mutex<Vec<RecoveryReport>>>,
+    dead_hooks: Arc<Mutex<Vec<Arc<DeadPuHook>>>>,
 }
 
 impl std::fmt::Debug for HealthChecker {
@@ -156,7 +161,16 @@ impl HealthChecker {
             policy,
             state: Arc::new(Mutex::new(state)),
             recoveries: Arc::new(Mutex::new(Vec::new())),
+            dead_hooks: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Registers a callback run right after a PU's recovery pipeline (shim
+    /// reclaim + runtime purge + gateway purge) completes. Schedulers layered
+    /// above the gateway use this to drain the dead PU's run queue into
+    /// failover placement. Hooks run in registration order.
+    pub fn on_declared_dead(&self, hook: impl Fn(&mut ProcCtx, PuId) + Send + Sync + 'static) {
+        self.dead_hooks.lock().push(Arc::new(hook));
     }
 
     /// The policy in effect.
@@ -355,6 +369,12 @@ impl HealthChecker {
             sandboxes_reconciled: purge.sandboxes_reconciled,
         };
         self.recoveries.lock().push(report.clone());
+        // Run registered hooks outside the lock: a drain hook may itself
+        // sleep (re-placing queued requests) or consult the checker.
+        let hooks: Vec<Arc<DeadPuHook>> = self.dead_hooks.lock().clone();
+        for hook in hooks {
+            hook(ctx, pu);
+        }
         Some(report)
     }
 }

@@ -34,6 +34,15 @@ pub trait KeepAlivePolicy: fmt::Debug + Send {
         }
     }
 
+    /// Records that a request for `func` was *shed* at `now` by an admission
+    /// controller before executing. Shed load is still demand: recency-based
+    /// policies refresh the function's last-use clock so an overloaded
+    /// function is not reaped mid-burst just because its requests bounced.
+    /// Default: ignore.
+    fn on_shed(&mut self, func: &FuncId, now: SimTime) {
+        let _ = (func, now);
+    }
+
     /// The functions to keep warm, best first, at most `capacity`.
     fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId>;
 }
@@ -60,6 +69,14 @@ impl KeepAlivePolicy for FixedWindow {
 
     fn forget(&mut self, func: &FuncId) {
         self.last_used.remove(func);
+    }
+
+    fn on_shed(&mut self, func: &FuncId, now: SimTime) {
+        // Only refresh functions we already track: a shed request for a
+        // never-invoked function has no instance to keep alive.
+        if let Some(t) = self.last_used.get_mut(func) {
+            *t = now;
+        }
     }
 
     fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId> {
@@ -93,6 +110,12 @@ impl KeepAlivePolicy for Lru {
 
     fn forget(&mut self, func: &FuncId) {
         self.last_used.remove(func);
+    }
+
+    fn on_shed(&mut self, func: &FuncId, now: SimTime) {
+        if let Some(t) = self.last_used.get_mut(func) {
+            *t = now;
+        }
     }
 
     fn keep_set(&mut self, _now: SimTime, capacity: usize) -> Vec<FuncId> {
@@ -167,6 +190,10 @@ impl<P: KeepAlivePolicy> KeepAlivePolicy for ChainAffinity<P> {
 
     fn forget(&mut self, func: &FuncId) {
         self.inner.forget(func);
+    }
+
+    fn on_shed(&mut self, func: &FuncId, now: SimTime) {
+        self.inner.on_shed(func, now);
     }
 
     fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId> {
@@ -271,6 +298,19 @@ mod tests {
         // "a" and "c" only lived on a PU that just died.
         p.forget_many(&[f("a"), f("c")]);
         assert_eq!(p.keep_set(t(40), 10), vec![f("b")]);
+    }
+
+    #[test]
+    fn shed_requests_refresh_the_keepalive_window() {
+        let mut p = FixedWindow::new(SimDuration::from_millis(100));
+        p.on_invoke(&f("a"), t(0), SimDuration::from_millis(1), 1.0);
+        // The burst keeps bouncing off admission control; the window must
+        // not lapse while demand persists.
+        p.on_shed(&f("a"), t(90));
+        assert_eq!(p.keep_set(t(150), 10), vec![f("a")]);
+        // Shedding an unknown function tracks nothing.
+        p.on_shed(&f("ghost"), t(90));
+        assert_eq!(p.keep_set(t(150), 10), vec![f("a")]);
     }
 
     #[test]

@@ -401,6 +401,11 @@ impl Molecule {
         if !def.supports(spec.kind) {
             return Err(MoleculeError::UnsupportedPu { func: func.clone(), pu });
         }
+        // A crashed PU cannot start anything: surface the same fault shape
+        // the shim layer uses so callers take their failover path.
+        if self.inner.machine.fault_plane().is_dead(pu) {
+            return Err(MoleculeError::Shim(xpu_shim::error::ShimError::PeerDead(pu)));
+        }
         if spec.kind == PuKind::Fpga {
             return self.start_fpga_instance(ctx, &def, pu);
         }
@@ -637,6 +642,11 @@ impl Molecule {
                 .cloned()
                 .ok_or(MoleculeError::UnknownInstance(instance.0))?
         };
+        // Invoking on a crashed PU fails like a dead peer would over the
+        // shim, so gateways fail over instead of billing phantom work.
+        if self.inner.machine.fault_plane().is_dead(inst.pu) {
+            return Err(MoleculeError::Shim(xpu_shim::error::ShimError::PeerDead(inst.pu)));
+        }
         let t0 = ctx.now();
         match inst.kind {
             PuKind::Fpga => {

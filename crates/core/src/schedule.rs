@@ -37,12 +37,36 @@ impl Scheduler {
         self.policy
     }
 
-    fn has_capacity(machine: &Machine, pu: PuId, mib: u64) -> bool {
-        match machine.os(pu) {
-            Some(os) => os.usable_mib() - os.reserved_mib() >= mib,
-            // Accelerators don't hold per-instance memory reservations here;
-            // their capacity is fabric resources, checked by runf/runG.
-            None => true,
+    /// Whether `pu` can take one more instance of `def`.
+    ///
+    /// General-purpose PUs check memory headroom against the function's
+    /// reservation. Accelerators are **not** infinite: an FPGA admits a new
+    /// kernel only while the wrapper has image slots (12 on F1, Table 4) and
+    /// fabric resources left for it — a kernel already resident always fits;
+    /// a GPU admits instances only while MPS kernel slots remain. Without
+    /// these checks placement could overcommit a fabric that `runf`/`runG`
+    /// would then reject at start time.
+    pub fn pu_has_capacity(machine: &Machine, pu: PuId, def: &FunctionDef) -> bool {
+        let Some(spec) = machine.pu(pu) else { return false };
+        match spec.kind {
+            PuKind::Fpga => {
+                let (Some(dev), Some(profile)) = (machine.fpga(pu), def.fpga.as_ref()) else {
+                    return false;
+                };
+                if dev.is_resident(&profile.kernel.name) {
+                    return true;
+                }
+                dev.resident_kernel_count() < hetsim::fpga::FpgaDevice::MAX_KERNELS_PER_IMAGE
+                    && profile.kernel.resources.fits_in(&dev.spare_resources())
+            }
+            PuKind::Gpu => {
+                let Some(dev) = machine.gpu(pu) else { return false };
+                def.gpu.is_some() && dev.free_kernel_slots() > 0
+            }
+            _ => match machine.os(pu) {
+                Some(os) => os.usable_mib().saturating_sub(os.reserved_mib()) >= def.memory_mib,
+                None => false,
+            },
         }
     }
 
@@ -83,7 +107,7 @@ impl Scheduler {
                 if let Some(spec) = machine.pu(prev) {
                     if !avoid.contains(&prev)
                         && def.supports(spec.kind)
-                        && Self::has_capacity(machine, prev, def.memory_mib)
+                        && Self::pu_has_capacity(machine, prev, def)
                     {
                         return Ok(prev);
                     }
@@ -92,7 +116,7 @@ impl Scheduler {
         }
         for kind in &def.profiles {
             for pu in machine.pus_of_kind(*kind) {
-                if !avoid.contains(&pu) && Self::has_capacity(machine, pu, def.memory_mib) {
+                if !avoid.contains(&pu) && Self::pu_has_capacity(machine, pu, def) {
                     return Ok(pu);
                 }
             }
@@ -140,7 +164,7 @@ impl Scheduler {
         let mut best: Option<(f64, PuId)> = None;
         for kind in &def.profiles {
             for pu in machine.pus_of_kind(*kind) {
-                if !Self::has_capacity(machine, pu, def.memory_mib) {
+                if !Self::pu_has_capacity(machine, pu, def) {
                     continue;
                 }
                 let Some(spec) = machine.pu(pu) else { continue };
@@ -327,6 +351,89 @@ mod tests {
         // Impossible budget: error.
         assert!(matches!(
             sched.place_cost_aware(&machine, &def, 0, SimDuration::from_millis(1), &prices),
+            Err(MoleculeError::NoCapacity(_))
+        ));
+    }
+
+    #[test]
+    fn fpga_capacity_is_finite_for_placement() {
+        use hetsim::fpga::{FpgaDevice, FpgaResources, KernelSpec};
+        // One fabric only, so filling it exhausts the whole machine's FPGA
+        // capacity and place() has nowhere else to go.
+        let machine = Machine::builder().host_cpu().fpgas(1).build();
+        let fpga = machine.pus_of_kind(PuKind::Fpga)[0];
+        let small = |name: &str| KernelSpec {
+            name: name.to_owned(),
+            resources: FpgaResources { luts: 5_000, regs: 8_000, brams: 20, dsps: 36 },
+        };
+        let fpga_fn = |name: &str, kernel: KernelSpec| {
+            FunctionDef::builder(name, LangRuntime::OpenCl)
+                .profiles(&[PuKind::Fpga])
+                .fpga(
+                    kernel,
+                    crate::function::ExecModel::Fixed(hetsim::time::SimDuration::from_micros(100)),
+                )
+                .build()
+        };
+        // A reasonable kernel fits on an empty fabric.
+        assert!(Scheduler::pu_has_capacity(&machine, fpga, &fpga_fn("ok", small("ok"))));
+        // A kernel larger than the whole device never fits.
+        let giant = KernelSpec {
+            name: "giant".to_owned(),
+            resources: FpgaResources { luts: u64::MAX, regs: 0, brams: 0, dsps: 0 },
+        };
+        assert!(!Scheduler::pu_has_capacity(&machine, fpga, &fpga_fn("giant", giant)));
+        // Fill every wrapper slot: the 13th distinct kernel is refused, but
+        // a resident kernel still "fits" (warm reuse).
+        let dev = machine.fpga(fpga).unwrap();
+        let image = {
+            let mut b = hetsim::fpga::ImageBuilder::new(hetsim::fpga::ImageId(99))
+                .wrapper(FpgaResources::WRAPPER_BASE);
+            for i in 0..FpgaDevice::MAX_KERNELS_PER_IMAGE {
+                b = b.kernel(small(&format!("k{i}")));
+            }
+            b.build(&dev.capacity()).unwrap()
+        };
+        let mut sim = hetsim::engine::Simulation::new();
+        let d = dev.clone();
+        sim.spawn("flash", move |ctx| d.load_image(ctx, &image).unwrap());
+        sim.run().unwrap();
+        assert!(!Scheduler::pu_has_capacity(&machine, fpga, &fpga_fn("new", small("new"))));
+        assert!(Scheduler::pu_has_capacity(&machine, fpga, &fpga_fn("k0", small("k0"))));
+        // And place() surfaces the refusal as NoCapacity, not an overcommit.
+        assert!(matches!(
+            Scheduler::default().place(&machine, &fpga_fn("new", small("new")), None),
+            Err(MoleculeError::NoCapacity(_))
+        ));
+    }
+
+    #[test]
+    fn gpu_capacity_is_bounded_by_mps_slots() {
+        use hetsim::gpu::GpuDevice;
+        let machine = Machine::full_heterogeneous();
+        let gpus = machine.pus_of_kind(PuKind::Gpu);
+        assert!(!gpus.is_empty(), "full machine has a GPU");
+        let gpu = gpus[0];
+        let def = FunctionDef::builder("g", LangRuntime::Cuda)
+            .profiles(&[PuKind::Gpu])
+            .gpu(crate::function::ExecModel::Fixed(hetsim::time::SimDuration::from_micros(50)))
+            .build();
+        assert!(Scheduler::pu_has_capacity(&machine, gpu, &def));
+        // Exhaust the MPS kernel slots.
+        let dev = machine.gpu(gpu).unwrap().clone();
+        let mut sim = hetsim::engine::Simulation::new();
+        let d = dev.clone();
+        sim.spawn("fill", move |ctx| {
+            let c = d.create_context(ctx);
+            for i in 0..GpuDevice::MPS_KERNEL_SLOTS {
+                d.load_kernel(ctx, c, &format!("k{i}")).unwrap();
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(dev.free_kernel_slots(), 0);
+        assert!(!Scheduler::pu_has_capacity(&machine, gpu, &def));
+        assert!(matches!(
+            Scheduler::default().place(&machine, &def, None),
             Err(MoleculeError::NoCapacity(_))
         ));
     }

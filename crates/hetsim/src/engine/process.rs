@@ -142,6 +142,11 @@ impl ProcCtx {
         super::channel::channel(Arc::clone(&self.shared))
     }
 
+    /// Creates a counting semaphore bound to this simulation.
+    pub fn semaphore(&self, permits: u64) -> super::SimSemaphore {
+        super::SimSemaphore::from_shared(Arc::clone(&self.shared), permits)
+    }
+
     /// Parks this process until the scheduler resumes it.
     ///
     /// The caller must already have registered a wake-up (timer, channel

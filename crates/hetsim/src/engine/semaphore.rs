@@ -69,8 +69,12 @@ impl fmt::Debug for SemPermit {
 impl SimSemaphore {
     /// Creates a semaphore with `permits` initial permits.
     pub fn new(sim: &super::Simulation, permits: u64) -> SimSemaphore {
+        SimSemaphore::from_shared(Arc::clone(&sim.shared), permits)
+    }
+
+    pub(crate) fn from_shared(shared: Arc<EngineShared>, permits: u64) -> SimSemaphore {
         SimSemaphore {
-            shared: Arc::clone(&sim.shared),
+            shared,
             inner: Arc::new(Mutex::new(SemInner { permits, waiters: VecDeque::new() })),
         }
     }

@@ -353,10 +353,36 @@ impl FpgaDevice {
         Ok(())
     }
 
+    /// Kernels one image may hold: the Molecule wrapper supports 12 slots
+    /// on F1 (Table 4) — the instance bound the scheduler's capacity check
+    /// enforces so placement cannot overcommit the fabric.
+    pub const MAX_KERNELS_PER_IMAGE: usize = 12;
+
     /// True if `kernel` is resident in the currently flashed image.
     pub fn is_resident(&self, kernel: &str) -> bool {
         let st = self.inner.state.lock();
         st.current.as_ref().is_some_and(|img| img.kernels.iter().any(|k| k.name == kernel))
+    }
+
+    /// Kernels resident in the currently flashed image (0 when none).
+    pub fn resident_kernel_count(&self) -> usize {
+        let st = self.inner.state.lock();
+        st.current.as_ref().map_or(0, |img| img.kernels.len())
+    }
+
+    /// Fabric resources still free: capacity minus the flashed image's total
+    /// (or minus the bare wrapper when nothing is flashed). An incremental
+    /// repack can only admit a kernel that fits in this headroom.
+    pub fn spare_resources(&self) -> FpgaResources {
+        let st = self.inner.state.lock();
+        let used =
+            st.current.as_ref().map_or(FpgaResources::WRAPPER_BASE, |img| img.total_resources);
+        FpgaResources {
+            luts: self.inner.capacity.luts.saturating_sub(used.luts),
+            regs: self.inner.capacity.regs.saturating_sub(used.regs),
+            brams: self.inner.capacity.brams.saturating_sub(used.brams),
+            dsps: self.inner.capacity.dsps.saturating_sub(used.dsps),
+        }
     }
 
     /// The currently flashed image id, if any.

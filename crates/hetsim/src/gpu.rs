@@ -104,6 +104,11 @@ impl GpuDevice {
         }
     }
 
+    /// Concurrent resident-kernel limit: Nvidia MPS caps client processes
+    /// per device at 48 — the instance bound the scheduler's capacity check
+    /// enforces so placement cannot overcommit the device.
+    pub const MPS_KERNEL_SLOTS: usize = 48;
+
     /// The PU id this device is attached as.
     pub fn pu(&self) -> PuId {
         self.inner.pu
@@ -112,6 +117,16 @@ impl GpuDevice {
     /// Whether MPS (concurrent multi-process kernels) is on.
     pub fn mps_enabled(&self) -> bool {
         self.inner.mps_enabled
+    }
+
+    /// The timing constants this device was built with.
+    pub fn costs(&self) -> GpuCosts {
+        self.inner.costs
+    }
+
+    /// Kernel slots still free under [`Self::MPS_KERNEL_SLOTS`].
+    pub fn free_kernel_slots(&self) -> usize {
+        Self::MPS_KERNEL_SLOTS.saturating_sub(self.resident_kernels())
     }
 
     /// Creates a CUDA context.
@@ -170,6 +185,22 @@ impl GpuDevice {
             }
         }
         ctx.sleep(self.inner.costs.kernel_launch + exec);
+        Ok(())
+    }
+
+    /// Unloads one occurrence of a kernel from a context — `runG`'s delete
+    /// path, which must return the MPS slot so capacity checks see live
+    /// kernels only. Unloading is free (the module is dropped, not flashed).
+    ///
+    /// # Errors
+    ///
+    /// [`GpuError::NoSuchContext`] on a dangling context id.
+    pub fn unload_kernel(&self, context: GpuContextId, kernel: &str) -> Result<(), GpuError> {
+        let mut st = self.inner.state.lock();
+        let loaded = st.contexts.get_mut(&context.0).ok_or(GpuError::NoSuchContext(context.0))?;
+        if let Some(pos) = loaded.iter().position(|k| k == kernel) {
+            loaded.remove(pos);
+        }
         Ok(())
     }
 

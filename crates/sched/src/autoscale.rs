@@ -1,0 +1,170 @@
+//! Arrival-rate-driven keep-alive pool autoscaling.
+//!
+//! The seed gateway grows warm pools reactively (a cold start per miss) and
+//! shrinks them with a periodic keep-alive reap. The autoscaler here is
+//! proactive instead: a decaying-average [`RateEstimator`] tracks each
+//! function's arrival rate, and every tick sizes the per-(function, PU)
+//! warm pool by Little's law —
+//!
+//! ```text
+//! target = clamp(ceil(rate × service_time × headroom), min_warm, max_warm)
+//! ```
+//!
+//! — growing pools with [`ApiGateway::prewarm`] and shrinking them with
+//! [`ApiGateway::retire_idle_on`]. Everything is driven by virtual time and
+//! the deterministic estimator state, so runs reproduce exactly.
+//!
+//! [`ApiGateway::prewarm`]: molecule_core::gateway::ApiGateway::prewarm
+//! [`ApiGateway::retire_idle_on`]: molecule_core::gateway::ApiGateway::retire_idle_on
+
+use hetsim::time::{SimDuration, SimTime};
+
+/// Exponentially-decaying arrival-rate estimator.
+///
+/// Each arrival folds the instantaneous rate `1/Δt` into a decaying average
+/// with time constant `tau`; reads decay the estimate further, so a burst
+/// that stopped minutes ago no longer holds instances hostage. Fully
+/// deterministic: state depends only on the virtual-time arrival sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct RateEstimator {
+    tau: SimDuration,
+    rate_hz: f64,
+    last: Option<SimTime>,
+}
+
+impl RateEstimator {
+    /// Creates an estimator with decay time constant `tau`.
+    pub fn new(tau: SimDuration) -> RateEstimator {
+        RateEstimator { tau: tau.max(SimDuration::from_nanos(1)), rate_hz: 0.0, last: None }
+    }
+
+    /// Records one arrival at `now`.
+    pub fn note(&mut self, now: SimTime) {
+        match self.last {
+            None => {
+                // First arrival: no interval yet, seed a minimal signal so a
+                // single request keeps at least the min pool alive.
+                self.last = Some(now);
+            }
+            Some(prev) => {
+                let dt = now.saturating_duration_since(prev).as_nanos() as f64 / 1e9;
+                if dt <= 0.0 {
+                    // Simultaneous arrivals: count them against the smallest
+                    // representable interval instead of dividing by zero.
+                    self.rate_hz += 1.0;
+                    return;
+                }
+                let inst = 1.0 / dt;
+                let alpha = 1.0 - (-dt / self.tau_secs()).exp();
+                self.rate_hz = alpha * inst + (1.0 - alpha) * self.rate_hz;
+                self.last = Some(now);
+            }
+        }
+    }
+
+    /// The decayed arrival-rate estimate at `now`, in events per second.
+    pub fn rate_hz(&self, now: SimTime) -> f64 {
+        let Some(prev) = self.last else { return 0.0 };
+        let idle = now.saturating_duration_since(prev).as_nanos() as f64 / 1e9;
+        self.rate_hz * (-idle / self.tau_secs()).exp()
+    }
+
+    fn tau_secs(&self) -> f64 {
+        self.tau.as_nanos() as f64 / 1e9
+    }
+}
+
+/// Tunables of the warm-pool autoscaler.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleConfig {
+    /// Virtual time between autoscale ticks.
+    pub interval: SimDuration,
+    /// Decay time constant fed to every [`RateEstimator`].
+    pub tau: SimDuration,
+    /// Multiplier on the Little's-law target (provisioning slack above the
+    /// mean so bursts land warm).
+    pub headroom: f64,
+    /// Minimum warm instances kept per active function (across PUs).
+    pub min_warm: usize,
+    /// Maximum warm instances per function (across PUs).
+    pub max_warm: usize,
+    /// Maximum warm instances parked on any single PU for one function.
+    pub max_warm_per_pu: usize,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            interval: SimDuration::from_millis(50),
+            tau: SimDuration::from_millis(200),
+            headroom: 1.5,
+            min_warm: 0,
+            max_warm: 8,
+            max_warm_per_pu: 4,
+        }
+    }
+}
+
+impl AutoscaleConfig {
+    /// The Little's-law pool target for a function observed at `rate_hz`
+    /// with smoothed `service` time. Rounded, not ceiled: a decayed rate
+    /// must be able to reach a zero target, or idle pools would hold one
+    /// instance forever.
+    pub fn target(&self, rate_hz: f64, service: SimDuration) -> usize {
+        let service_s = service.as_nanos() as f64 / 1e9;
+        let raw = (rate_hz * service_s * self.headroom).round() as usize;
+        raw.clamp(self.min_warm, self.max_warm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn steady_arrivals_converge_to_the_true_rate() {
+        let mut est = RateEstimator::new(SimDuration::from_millis(100));
+        // 1000 arrivals at 1 kHz (1 ms apart): ten time constants of data.
+        for i in 0..1000 {
+            est.note(t(i));
+        }
+        let rate = est.rate_hz(t(999));
+        assert!((900.0..=1100.0).contains(&rate), "estimate {rate} Hz for a 1 kHz stream");
+    }
+
+    #[test]
+    fn idle_time_decays_the_estimate() {
+        let mut est = RateEstimator::new(SimDuration::from_millis(100));
+        for i in 0..50 {
+            est.note(t(i));
+        }
+        let busy = est.rate_hz(t(49));
+        let later = est.rate_hz(t(1049)); // one second idle, 10 tau
+        assert!(later < busy / 100.0, "idle decay: {busy} -> {later}");
+    }
+
+    #[test]
+    fn estimator_is_deterministic() {
+        let mut a = RateEstimator::new(SimDuration::from_millis(100));
+        let mut b = RateEstimator::new(SimDuration::from_millis(100));
+        for i in [0u64, 3, 7, 9, 14, 30, 31, 90] {
+            a.note(t(i));
+            b.note(t(i));
+        }
+        assert_eq!(a.rate_hz(t(100)).to_bits(), b.rate_hz(t(100)).to_bits());
+    }
+
+    #[test]
+    fn littles_law_target_scales_and_clamps() {
+        let cfg = AutoscaleConfig { headroom: 1.0, min_warm: 1, max_warm: 6, ..Default::default() };
+        // 100 Hz × 20 ms = 2 concurrent.
+        assert_eq!(cfg.target(100.0, SimDuration::from_millis(20)), 2);
+        // Tiny load clamps up to the floor, huge load down to the cap.
+        assert_eq!(cfg.target(0.1, SimDuration::from_millis(1)), 1);
+        assert_eq!(cfg.target(10_000.0, SimDuration::from_millis(20)), 6);
+    }
+}

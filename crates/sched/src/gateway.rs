@@ -1,0 +1,1118 @@
+//! The load-aware scheduling gateway.
+//!
+//! [`SchedGateway`] wraps the seed [`ApiGateway`] with the full scheduling
+//! pipeline this crate exists for:
+//!
+//! 1. **Admission** — [`SchedGateway::submit`] ranks candidate PUs with the
+//!    calibrated [`placer`](crate::placer), checks the latency budget against
+//!    each candidate's estimate, and either enqueues the request on the best
+//!    [`RunQueue`] or rejects it with a typed [`Overloaded`].
+//! 2. **Service** — a pool of worker processes per PU (one per queue token)
+//!    drains the queues, serving general-purpose and GPU PUs through
+//!    [`ApiGateway::handle_request_on`] and FPGAs through the
+//!    [`FpgaCacheManager`], with cold-start batch aggregation: a miss holds
+//!    the fabric for a short window and coalesces every concurrently queued
+//!    request into one vectorized flash + `start_vec`.
+//! 3. **Failover** — when a PU dies (reported by the fault-shaped error of
+//!    an in-flight request, or by the health checker through
+//!    [`SchedGateway::attach_health`]), its queue drains and every entry is
+//!    re-placed on a surviving PU via [`RunQueue::force`], so admitted work
+//!    is never silently lost.
+//! 4. **Autoscaling** — a periodic tick sizes each function's warm pools
+//!    from its [`RateEstimator`] by Little's law, prewarming ahead of
+//!    demand and retiring idle instances when the rate decays.
+//!
+//! Every admitted request resolves to exactly one [`JobOutcome`] on the
+//! reply channel returned by `submit`: `Completed`, `Shed` (deadline passed
+//! while queued) or `Failed`. This conservation invariant is what the
+//! property tests and the chaos suite lean on.
+//!
+//! [`ApiGateway::handle_request_on`]: molecule_core::gateway::ApiGateway::handle_request_on
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use hetsim::engine::{ProcCtx, RecvTimeoutError, SimReceiver, SimSender};
+use hetsim::pu::{PuId, PuKind};
+use hetsim::time::{SimDuration, SimTime};
+use molecule_core::error::MoleculeError;
+use molecule_core::fpga_cache::FpgaCacheManager;
+use molecule_core::gateway::ApiGateway;
+use molecule_core::health::HealthChecker;
+use molecule_core::keepalive::Lru;
+use parking_lot::Mutex;
+use vsandbox::spec::FuncId;
+
+use crate::autoscale::{AutoscaleConfig, RateEstimator};
+use crate::placer::{self, Candidate, PuLoad};
+use crate::queue::{Overloaded, Priority, QueuePolicy, Queued, RunQueue};
+
+/// How the gateway picks a PU for an admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementMode {
+    /// First PU (in machine order) that supports the function and has
+    /// capacity — the seed gateway's policy, kept as the bench baseline.
+    FirstFit,
+    /// Calibrated cost-model scoring: exec + cold + live queue wait, with a
+    /// chain co-location bonus.
+    LoadAware,
+}
+
+/// Tunables of the scheduling gateway.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Placement policy.
+    pub mode: PlacementMode,
+    /// Per-PU queued-entry bound (admission backpressure).
+    pub depth: usize,
+    /// Concurrency tokens on the host CPU.
+    pub cpu_tokens: usize,
+    /// Concurrency tokens on each DPU / SmartNIC.
+    pub dpu_tokens: usize,
+    /// Concurrency tokens on each accelerator (FPGA fabric, GPU).
+    pub accel_tokens: usize,
+    /// Score credit for serving a chain stage where the previous stage ran.
+    pub colocate_bonus: SimDuration,
+    /// Default latency budget for admission control. `None` admits
+    /// everything the queues have room for.
+    pub deadline: Option<SimDuration>,
+    /// How long an FPGA miss holds the fabric to coalesce co-pending cold
+    /// starts into one flash. [`SimDuration::ZERO`] disables batching.
+    pub batch_window: SimDuration,
+    /// Maximum requests folded into one vectorized cold-start batch.
+    pub batch_max: usize,
+    /// Kernels packed per FPGA image by the cache manager.
+    pub fpga_cache_capacity: usize,
+    /// Warm-pool autoscaler; `None` leaves pools to the keep-alive policy.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            mode: PlacementMode::LoadAware,
+            depth: 64,
+            cpu_tokens: 4,
+            dpu_tokens: 2,
+            accel_tokens: 1,
+            colocate_bonus: SimDuration::from_millis(1),
+            deadline: None,
+            batch_window: SimDuration::from_millis(5),
+            batch_max: 8,
+            fpga_cache_capacity: 12,
+            autoscale: None,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// The bench baseline: first-fit placement, an effectively unbounded
+    /// queue, no admission deadline, no batching, no autoscaler. Token
+    /// counts match the default so comparisons isolate the policy.
+    pub fn baseline_first_fit() -> SchedConfig {
+        SchedConfig {
+            mode: PlacementMode::FirstFit,
+            depth: 1 << 20,
+            deadline: None,
+            batch_window: SimDuration::ZERO,
+            autoscale: None,
+            ..SchedConfig::default()
+        }
+    }
+
+    fn tokens_for(&self, kind: PuKind) -> usize {
+        match kind {
+            PuKind::Cpu => self.cpu_tokens.max(1),
+            PuKind::Dpu | PuKind::SmartNic => self.dpu_tokens.max(1),
+            PuKind::Fpga | PuKind::Gpu => self.accel_tokens.max(1),
+        }
+    }
+}
+
+/// Per-request knobs for [`SchedGateway::submit`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOpts {
+    /// Priority lane (lower serves first).
+    pub priority: Priority,
+    /// Latency budget override; falls back to [`SchedConfig::deadline`].
+    pub deadline: Option<SimDuration>,
+    /// PU the previous chain stage ran on, for the co-location bonus.
+    pub prev_stage: Option<PuId>,
+}
+
+/// Terminal state of one admitted request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Served to completion.
+    Completed {
+        /// Submit-to-completion latency (queueing included).
+        latency: SimDuration,
+        /// The PU that served it.
+        pu: PuId,
+        /// Whether service needed a cold start.
+        cold: bool,
+    },
+    /// Dropped by deadline-aware load shedding while queued.
+    Shed {
+        /// The queue it was shed from.
+        pu: PuId,
+        /// How long it waited before being shed.
+        waited: SimDuration,
+    },
+    /// The runtime failed it and no failover target existed.
+    Failed(String),
+}
+
+/// Why [`SchedGateway::submit`] refused a request.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Admission control rejected it (queues full or deadline unmeetable).
+    Overloaded(Overloaded),
+    /// The runtime cannot serve it at all (unknown function, no capable PU).
+    Runtime(MoleculeError),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Overloaded(o) => write!(f, "{o}"),
+            SubmitError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Counters the scheduling gateway keeps. `submitted` always equals
+/// `completed + shed + rejected + failed` plus whatever is still in flight.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Requests offered to `submit`.
+    pub submitted: u64,
+    /// Requests that resolved [`JobOutcome::Completed`].
+    pub completed: u64,
+    /// Admitted requests dropped by deadline shedding.
+    pub shed: u64,
+    /// Requests refused at admission ([`SubmitError::Overloaded`]).
+    pub rejected: u64,
+    /// Requests that resolved [`JobOutcome::Failed`].
+    pub failed: u64,
+    /// Requests drained off a dead PU and re-placed on a survivor.
+    pub requeued: u64,
+    /// Vectorized FPGA cold-start batches issued (≥ 2 requests).
+    pub batches: u64,
+    /// Cold starts that rode in those batches.
+    pub batched_cold_starts: u64,
+}
+
+struct Job {
+    func: FuncId,
+    input: u64,
+    submitted_at: SimTime,
+    reply: SimSender<JobOutcome>,
+}
+
+struct Shared {
+    queues: BTreeMap<PuId, RunQueue<Job>>,
+    wakes: BTreeMap<PuId, Vec<SimSender<()>>>,
+    autoscale_stop: Option<SimSender<()>>,
+    estimators: BTreeMap<FuncId, RateEstimator>,
+    service_ewma_ns: BTreeMap<FuncId, f64>,
+    dead: BTreeSet<PuId>,
+    stats: SchedStats,
+}
+
+/// EWMA smoothing factor for per-function service-time estimates.
+const SERVICE_EWMA_ALPHA: f64 = 0.2;
+
+/// The load-aware scheduling gateway. Cheap to clone; all clones share
+/// queues, workers and stats.
+#[derive(Clone)]
+pub struct SchedGateway {
+    api: ApiGateway,
+    config: Arc<SchedConfig>,
+    caches: Arc<BTreeMap<PuId, FpgaCacheManager>>,
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl fmt::Debug for SchedGateway {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchedGateway").field("stats", &self.shared.lock().stats).finish()
+    }
+}
+
+impl SchedGateway {
+    /// Builds the gateway over `api`, creating one [`RunQueue`] per PU of
+    /// the machine and an [`FpgaCacheManager`] per FPGA fabric.
+    pub fn new(api: ApiGateway, config: SchedConfig) -> SchedGateway {
+        let machine = api.molecule().machine().clone();
+        let mut queues = BTreeMap::new();
+        let mut caches = BTreeMap::new();
+        for pu in machine.pus() {
+            let policy = QueuePolicy { depth: config.depth, tokens: config.tokens_for(pu.kind) };
+            queues.insert(pu.id, RunQueue::new(pu.id, policy));
+            if pu.kind == PuKind::Fpga {
+                caches.insert(
+                    pu.id,
+                    FpgaCacheManager::new(
+                        api.molecule().clone(),
+                        pu.id,
+                        config.fpga_cache_capacity,
+                        Box::new(Lru::new()),
+                    ),
+                );
+            }
+        }
+        SchedGateway {
+            api,
+            config: Arc::new(config),
+            caches: Arc::new(caches),
+            shared: Arc::new(Mutex::new(Shared {
+                queues,
+                wakes: BTreeMap::new(),
+                autoscale_stop: None,
+                estimators: BTreeMap::new(),
+                service_ewma_ns: BTreeMap::new(),
+                dead: BTreeSet::new(),
+                stats: SchedStats::default(),
+            })),
+        }
+    }
+
+    /// The wrapped request gateway.
+    pub fn api(&self) -> &ApiGateway {
+        &self.api
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SchedStats {
+        self.shared.lock().stats
+    }
+
+    /// The FPGA cache manager serving `pu`, if `pu` is an FPGA.
+    pub fn fpga_cache(&self, pu: PuId) -> Option<&FpgaCacheManager> {
+        self.caches.get(&pu)
+    }
+
+    /// Spawns the per-PU worker pools (one process per queue token) and,
+    /// when configured, the autoscaler. Call once after
+    /// [`Molecule::bootstrap`]; call [`shutdown`](Self::shutdown) before the
+    /// simulation ends or the engine reports the blocked workers as a
+    /// deadlock.
+    ///
+    /// [`Molecule::bootstrap`]: molecule_core::runtime::Molecule::bootstrap
+    pub fn start(&self, ctx: &mut ProcCtx) {
+        let plan: Vec<(PuId, usize)> = {
+            let sh = self.shared.lock();
+            sh.queues.iter().map(|(pu, q)| (*pu, q.policy().tokens)).collect()
+        };
+        for (pu, tokens) in plan {
+            for slot in 0..tokens {
+                let (tx, rx) = ctx.channel::<()>();
+                self.shared.lock().wakes.entry(pu).or_default().push(tx);
+                let this = self.clone();
+                ctx.spawn(&format!("sched-worker-pu{}-{slot}", pu.0), move |wctx| {
+                    this.worker_loop(wctx, pu, rx)
+                });
+            }
+        }
+        if self.config.autoscale.is_some() {
+            self.start_autoscaler(ctx);
+        }
+    }
+
+    /// Drops every worker wake sender and the autoscaler's stop channel so
+    /// all gateway processes exit once idle. Idempotent.
+    pub fn shutdown(&self) {
+        let mut sh = self.shared.lock();
+        sh.wakes.clear();
+        sh.autoscale_stop = None;
+    }
+
+    /// Registers the failover drain with `health`: when the checker
+    /// declares a PU dead, that PU's queue drains into surviving queues.
+    pub fn attach_health(&self, health: &HealthChecker) {
+        let this = self.clone();
+        health.on_declared_dead(move |ctx, pu| this.drain_dead_pu(ctx, pu));
+    }
+
+    // ----- admission -------------------------------------------------------
+
+    /// Admits one request for `func`, returning the reply channel that will
+    /// carry its single [`JobOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Runtime`] when the function is unknown or no live PU
+    /// can serve it; [`SubmitError::Overloaded`] when every candidate queue
+    /// is full or no candidate can meet the latency budget.
+    pub fn submit(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        input_bytes: u64,
+        opts: SubmitOpts,
+    ) -> Result<SimReceiver<JobOutcome>, SubmitError> {
+        let now = ctx.now();
+        let def =
+            self.api.molecule().registry().get(func).ok_or_else(|| {
+                SubmitError::Runtime(MoleculeError::UnknownFunction(func.clone()))
+            })?;
+        {
+            let mut sh = self.shared.lock();
+            sh.stats.submitted += 1;
+            let tau = self.config.autoscale.map_or(SimDuration::from_millis(200), |a| a.tau);
+            sh.estimators.entry(func.clone()).or_insert_with(|| RateEstimator::new(tau)).note(now);
+        }
+
+        let candidates = self.candidate_pus(&def, input_bytes, opts.prev_stage);
+        if candidates.is_empty() {
+            self.shared.lock().stats.rejected += 1;
+            return Err(SubmitError::Runtime(MoleculeError::NoCapacity(func.clone())));
+        }
+
+        let budget = opts.deadline.or(self.config.deadline);
+        let deadline_at = budget.map(|b| now + b);
+        let (tx, rx) = ctx.channel::<JobOutcome>();
+        let mut job = Job { func: func.clone(), input: input_bytes, submitted_at: now, reply: tx };
+        let mut last = None;
+        for cand in &candidates {
+            if let Some(b) = budget {
+                let estimated = cand.estimated_latency();
+                if estimated > b {
+                    last =
+                        Some(Overloaded::DeadlineUnmeetable { pu: cand.pu, estimated, budget: b });
+                    continue;
+                }
+            }
+            let offered = {
+                let mut sh = self.shared.lock();
+                let queue = sh.queues.get_mut(&cand.pu).expect("candidate PU has a queue");
+                queue.offer(now, opts.priority, deadline_at, job)
+            };
+            match offered {
+                Ok(_ticket) => {
+                    self.publish_depth(cand.pu);
+                    self.wake_pu(cand.pu);
+                    return Ok(rx);
+                }
+                Err((why, payload)) => {
+                    job = payload;
+                    last = Some(why);
+                }
+            }
+        }
+
+        self.shared.lock().stats.rejected += 1;
+        self.api.note_shed(func, now);
+        telemetry::counter_add("sched.rejected", 1);
+        Err(SubmitError::Overloaded(last.expect("candidates was non-empty")))
+    }
+
+    /// Convenience wrapper: submit and block on the outcome.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit), plus [`MoleculeError::Internal`] if the
+    /// gateway shut down before the outcome arrived.
+    pub fn invoke(
+        &self,
+        ctx: &mut ProcCtx,
+        func: &FuncId,
+        input_bytes: u64,
+        opts: SubmitOpts,
+    ) -> Result<JobOutcome, SubmitError> {
+        let rx = self.submit(ctx, func, input_bytes, opts)?;
+        rx.recv(ctx).map_err(|_| {
+            SubmitError::Runtime(MoleculeError::Internal(
+                "sched gateway shut down mid-request".into(),
+            ))
+        })
+    }
+
+    /// Ranked candidate PUs for `def` under the configured placement mode.
+    fn candidate_pus(
+        &self,
+        def: &molecule_core::function::FunctionDef,
+        input_bytes: u64,
+        prev_stage: Option<PuId>,
+    ) -> Vec<Candidate> {
+        let machine = self.api.molecule().machine();
+        let avoided: BTreeSet<PuId> = self.api.avoided_pus().into_iter().collect();
+        let loads: Vec<PuLoad> = {
+            let sh = self.shared.lock();
+            sh.queues
+                .iter()
+                .filter(|(pu, _)| !avoided.contains(pu) && !sh.dead.contains(pu))
+                .map(|(pu, q)| {
+                    let fallback = placer::exec_estimate(machine, def, *pu, input_bytes)
+                        .unwrap_or_else(|| SimDuration::from_millis(1));
+                    let warm = match self.caches.get(pu) {
+                        Some(cache) => cache.is_resident(&def.id),
+                        None => self.api.warm_idle_count(&def.id, *pu) > 0,
+                    };
+                    PuLoad { pu: *pu, wait: q.estimated_wait(fallback), warm }
+                })
+                .collect()
+        };
+        match self.config.mode {
+            PlacementMode::LoadAware => placer::rank(
+                machine,
+                def,
+                input_bytes,
+                prev_stage,
+                &loads,
+                self.config.colocate_bonus,
+            ),
+            PlacementMode::FirstFit => {
+                // Same feasibility filter, but machine order instead of the
+                // cost model: loads are already in PU-id order, so ranking
+                // with a zeroed wait and re-sorting by PU preserves it while
+                // still carrying the estimates admission control needs.
+                let blind: Vec<PuLoad> =
+                    loads.iter().map(|l| PuLoad { wait: SimDuration::ZERO, ..*l }).collect();
+                let mut cands =
+                    placer::rank(machine, def, input_bytes, None, &blind, SimDuration::ZERO);
+                cands.sort_by_key(|c| c.pu);
+                cands
+            }
+        }
+    }
+
+    // ----- workers ---------------------------------------------------------
+
+    fn worker_loop(&self, ctx: &mut ProcCtx, pu: PuId, wake: SimReceiver<()>) {
+        while wake.recv(ctx).is_ok() {
+            loop {
+                let now = ctx.now();
+                let (expired, job) = {
+                    let mut sh = self.shared.lock();
+                    if sh.dead.contains(&pu) {
+                        break;
+                    }
+                    let Some(queue) = sh.queues.get_mut(&pu) else { break };
+                    let expired = queue.shed_expired(now);
+                    let job = queue.begin(now);
+                    sh.stats.shed += expired.len() as u64;
+                    (expired, job)
+                };
+                for entry in expired {
+                    self.api.note_shed(&entry.payload.func, now);
+                    telemetry::counter_add("sched.shed", 1);
+                    let _ = entry.payload.reply.send(JobOutcome::Shed { pu, waited: entry.waited });
+                }
+                let Some(job) = job else { break };
+                self.publish_depth(pu);
+                if self.caches.contains_key(&pu) {
+                    self.serve_fpga(ctx, pu, job);
+                } else {
+                    self.serve_general(ctx, pu, job);
+                }
+            }
+        }
+    }
+
+    fn serve_general(&self, ctx: &mut ProcCtx, pu: PuId, job: Queued<Job>) {
+        let serve_start = ctx.now();
+        match self.api.handle_request_on(ctx, &job.payload.func, pu, job.payload.input) {
+            Ok(report) => {
+                self.complete(ctx, pu, job, serve_start, report.cold_start);
+            }
+            Err(err) => match ApiGateway::failed_pu(&err) {
+                Some(bad) => {
+                    {
+                        let mut sh = self.shared.lock();
+                        if let Some(q) = sh.queues.get_mut(&pu) {
+                            q.abandon();
+                        }
+                    }
+                    self.fail_over(ctx, bad, vec![job]);
+                }
+                None => self.fail(pu, job, &err),
+            },
+        }
+    }
+
+    /// Serves an FPGA request, coalescing co-pending cold starts behind a
+    /// miss into one vectorized flash.
+    fn serve_fpga(&self, ctx: &mut ProcCtx, pu: PuId, first: Queued<Job>) {
+        let cache = &self.caches[&pu];
+        let serve_start = ctx.now();
+        let miss = !cache.is_resident(&first.payload.func);
+        let mut batch = vec![first];
+        if miss && self.config.batch_window > SimDuration::ZERO && self.config.batch_max > 1 {
+            // Hold the fabric briefly: every request that queues behind this
+            // miss during the window shares its single flash.
+            ctx.sleep(self.config.batch_window);
+            let now = ctx.now();
+            let mut sh = self.shared.lock();
+            if let Some(queue) = sh.queues.get_mut(&pu) {
+                while batch.len() < self.config.batch_max {
+                    match queue.begin(now) {
+                        Some(job) => batch.push(job),
+                        None => break,
+                    }
+                }
+            }
+        }
+        let reqs: Vec<(FuncId, u64)> =
+            batch.iter().map(|j| (j.payload.func.clone(), j.payload.input)).collect();
+        match cache.request_batch(ctx, &reqs) {
+            Ok(results) => {
+                if batch.len() > 1 {
+                    let cold = results.iter().filter(|(_, hit)| !hit).count() as u64;
+                    let mut sh = self.shared.lock();
+                    sh.stats.batches += 1;
+                    sh.stats.batched_cold_starts += cold;
+                    telemetry::counter_add("sched.batched_cold_starts", cold);
+                }
+                for (job, (_, hit)) in batch.into_iter().zip(results) {
+                    self.complete(ctx, pu, job, serve_start, !hit);
+                }
+            }
+            Err(err) => match ApiGateway::failed_pu(&err) {
+                Some(bad) => {
+                    {
+                        let mut sh = self.shared.lock();
+                        if let Some(q) = sh.queues.get_mut(&pu) {
+                            for _ in 0..batch.len() {
+                                q.abandon();
+                            }
+                        }
+                    }
+                    self.fail_over(ctx, bad, batch);
+                }
+                None => {
+                    for job in batch {
+                        self.fail(pu, job, &err);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Books one finished request: releases the token, folds the service
+    /// EWMA and replies `Completed`.
+    fn complete(
+        &self,
+        ctx: &mut ProcCtx,
+        pu: PuId,
+        job: Queued<Job>,
+        serve_start: SimTime,
+        cold: bool,
+    ) {
+        let service = ctx.now().saturating_duration_since(serve_start);
+        {
+            let mut sh = self.shared.lock();
+            if let Some(q) = sh.queues.get_mut(&pu) {
+                q.finish(service);
+            }
+            sh.stats.completed += 1;
+            let ewma = sh.service_ewma_ns.entry(job.payload.func.clone()).or_insert(0.0);
+            let obs = service.as_nanos() as f64;
+            *ewma = if *ewma == 0.0 {
+                obs
+            } else {
+                SERVICE_EWMA_ALPHA * obs + (1.0 - SERVICE_EWMA_ALPHA) * *ewma
+            };
+        }
+        telemetry::observe_ns("sched.service", service.as_nanos());
+        let latency = ctx.now().saturating_duration_since(job.payload.submitted_at);
+        let _ = job.payload.reply.send(JobOutcome::Completed { latency, pu, cold });
+    }
+
+    /// Books one failed request (non-fault-shaped error): releases the
+    /// token and replies `Failed`.
+    fn fail(&self, pu: PuId, job: Queued<Job>, err: &MoleculeError) {
+        {
+            let mut sh = self.shared.lock();
+            if let Some(q) = sh.queues.get_mut(&pu) {
+                q.abandon();
+            }
+            sh.stats.failed += 1;
+        }
+        telemetry::counter_add("sched.failed", 1);
+        let _ = job.payload.reply.send(JobOutcome::Failed(err.to_string()));
+    }
+
+    // ----- failover --------------------------------------------------------
+
+    /// Health-checker hook: drains the dead PU's queue into survivors.
+    pub fn drain_dead_pu(&self, ctx: &mut ProcCtx, pu: PuId) {
+        self.fail_over(ctx, pu, Vec::new());
+    }
+
+    /// Quarantines `bad`, drains its queue, and re-places the drained
+    /// entries plus `carry` (in-flight jobs whose service died under them)
+    /// on surviving PUs, bypassing depth bounds: conservation beats
+    /// backpressure once work is already admitted.
+    fn fail_over(&self, ctx: &mut ProcCtx, bad: PuId, carry: Vec<Queued<Job>>) {
+        self.api.mark_pu_unschedulable(bad);
+        let now = ctx.now();
+        let mut jobs = carry;
+        {
+            let mut sh = self.shared.lock();
+            sh.dead.insert(bad);
+            // Wake the dead PU's workers so they observe `dead` and park.
+            sh.wakes.remove(&bad);
+            if let Some(queue) = sh.queues.get_mut(&bad) {
+                jobs.extend(queue.drain(now));
+            }
+        }
+        if jobs.is_empty() {
+            return;
+        }
+        telemetry::instant(bad.0, now.as_nanos(), "sched:drain_dead_pu", None);
+        let registry = self.api.molecule().registry().clone();
+        let mut to_wake = BTreeSet::new();
+        for job in jobs {
+            let Some(def) = registry.get(&job.payload.func) else {
+                let unknown = MoleculeError::UnknownFunction(job.payload.func.clone());
+                self.fail(bad, job, &unknown);
+                continue;
+            };
+            let target = self
+                .candidate_pus(&def, job.payload.input, None)
+                .into_iter()
+                .map(|c| c.pu)
+                .find(|pu| *pu != bad);
+            match target {
+                Some(target) => {
+                    {
+                        let mut sh = self.shared.lock();
+                        let queue = sh.queues.get_mut(&target).expect("candidate PU has a queue");
+                        queue.force(now, job.priority, job.deadline, job.payload);
+                        sh.stats.requeued += 1;
+                    }
+                    telemetry::counter_add("sched.requeued", 1);
+                    to_wake.insert(target);
+                }
+                None => {
+                    self.shared.lock().stats.failed += 1;
+                    let _ = job.payload.reply.send(JobOutcome::Failed(format!(
+                        "no surviving PU can serve {}",
+                        job.payload.func
+                    )));
+                }
+            }
+        }
+        for pu in to_wake {
+            self.publish_depth(pu);
+            self.wake_pu(pu);
+        }
+    }
+
+    // ----- autoscaling -----------------------------------------------------
+
+    /// Spawns the periodic autoscale process. Called by
+    /// [`start`](Self::start) when [`SchedConfig::autoscale`] is set.
+    fn start_autoscaler(&self, ctx: &mut ProcCtx) {
+        let Some(cfg) = self.config.autoscale else { return };
+        let (tx, rx) = ctx.channel::<()>();
+        self.shared.lock().autoscale_stop = Some(tx);
+        let this = self.clone();
+        ctx.spawn("sched-autoscaler", move |actx| loop {
+            match rx.recv_timeout(actx, cfg.interval) {
+                Err(RecvTimeoutError::Timeout) => {
+                    this.autoscale_tick(actx);
+                }
+                _ => return,
+            }
+        });
+    }
+
+    /// One autoscale pass: for every observed function, size the warm pools
+    /// to the Little's-law target and reconcile with
+    /// [`ApiGateway::prewarm`] / [`ApiGateway::retire_idle_on`]. Returns
+    /// `(prewarmed, retired)`.
+    ///
+    /// [`ApiGateway::prewarm`]: molecule_core::gateway::ApiGateway::prewarm
+    /// [`ApiGateway::retire_idle_on`]: molecule_core::gateway::ApiGateway::retire_idle_on
+    pub fn autoscale_tick(&self, ctx: &mut ProcCtx) -> (usize, usize) {
+        let Some(cfg) = self.config.autoscale else { return (0, 0) };
+        let now = ctx.now();
+        let snapshot: Vec<(FuncId, f64, Option<f64>)> = {
+            let sh = self.shared.lock();
+            sh.estimators
+                .iter()
+                .map(|(f, est)| (f.clone(), est.rate_hz(now), sh.service_ewma_ns.get(f).copied()))
+                .collect()
+        };
+        let registry = self.api.molecule().registry().clone();
+        let machine = self.api.molecule().machine().clone();
+        let (mut grown, mut shrunk) = (0, 0);
+        for (func, rate, ewma_ns) in snapshot {
+            let Some(def) = registry.get(&func) else { continue };
+            let service = ewma_ns
+                .map(|ns| SimDuration::from_nanos(ns as u64))
+                .or_else(|| placer::exec_estimate(&machine, &def, machine.host_cpu(), 1024))
+                .unwrap_or_else(|| SimDuration::from_millis(10));
+            let target = cfg.target(rate, service);
+            let pools: Vec<PuId> = self
+                .candidate_pus(&def, 1024, None)
+                .into_iter()
+                .map(|c| c.pu)
+                .filter(|pu| machine.pu(*pu).is_some_and(|s| s.kind.is_general_purpose()))
+                .collect();
+            let mut remaining = target;
+            for pu in pools {
+                let want = remaining.min(cfg.max_warm_per_pu);
+                remaining -= want;
+                let have = self.api.warm_idle_count(&func, pu);
+                if have < want {
+                    for _ in have..want {
+                        if self.api.prewarm(ctx, &func, pu).is_err() {
+                            break;
+                        }
+                        grown += 1;
+                    }
+                } else if have > want {
+                    match self.api.retire_idle_on(ctx, &func, pu, want) {
+                        Ok(n) => shrunk += n,
+                        Err(_) => continue,
+                    }
+                }
+            }
+            telemetry::gauge_set(&format!("sched.pool.{func}"), target as i64);
+        }
+        (grown, shrunk)
+    }
+
+    // ----- plumbing --------------------------------------------------------
+
+    fn wake_pu(&self, pu: PuId) {
+        let senders = {
+            let sh = self.shared.lock();
+            sh.wakes.get(&pu).cloned().unwrap_or_default()
+        };
+        for tx in senders {
+            let _ = tx.send(());
+        }
+    }
+
+    fn publish_depth(&self, pu: PuId) {
+        let depth = {
+            let sh = self.shared.lock();
+            sh.queues.get(&pu).map_or(0, RunQueue::queued)
+        };
+        telemetry::gauge_set(&format!("sched.pu{}.queue_depth", pu.0), depth as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::engine::Simulation;
+    use hetsim::topology::Machine;
+    use molecule_core::function::FunctionDef;
+    use molecule_core::gateway::GatewayConfig;
+    use molecule_core::runtime::{Molecule, MoleculeConfig};
+    use molecule_core::schedule::Scheduler;
+    use vsandbox::spec::LangRuntime;
+
+    fn api_over(machine: Machine) -> ApiGateway {
+        let molecule = Molecule::launch(machine, MoleculeConfig::default());
+        molecule.register_function(
+            FunctionDef::builder("img", LangRuntime::Python)
+                .profiles(&[PuKind::Cpu, PuKind::Dpu])
+                .exec_ms(10.0)
+                .init_ms(6.0)
+                .cfork_first_run_ms(1.0)
+                .build(),
+        );
+        ApiGateway::new(
+            molecule,
+            Scheduler::default(),
+            GatewayConfig::default(),
+            Box::new(Lru::new()),
+        )
+    }
+
+    fn run_with<T: Send + 'static>(
+        gw: &SchedGateway,
+        f: impl FnOnce(&mut ProcCtx, SchedGateway) -> T + Send + 'static,
+    ) -> T {
+        let mut sim = Simulation::new();
+        let g = gw.clone();
+        let out = sim.spawn("driver", move |ctx| {
+            g.api().molecule().bootstrap(ctx).unwrap();
+            g.api().prepare_all_templates(ctx).unwrap();
+            g.start(ctx);
+            let result = f(ctx, g.clone());
+            g.shutdown();
+            result
+        });
+        sim.run().unwrap();
+        out.take_result().unwrap()
+    }
+
+    #[test]
+    fn submitted_requests_complete_and_balance_the_books() {
+        let gw =
+            SchedGateway::new(api_over(Machine::paper_cpu_dpu_server()), SchedConfig::default());
+        let outcomes = run_with(&gw, |ctx, g| {
+            let rxs: Vec<_> = (0..6)
+                .map(|_| g.submit(ctx, &"img".into(), 1024, SubmitOpts::default()).unwrap())
+                .collect();
+            rxs.into_iter().map(|rx| rx.recv(ctx).unwrap()).collect::<Vec<_>>()
+        });
+        assert_eq!(outcomes.len(), 6);
+        for o in &outcomes {
+            assert!(matches!(o, JobOutcome::Completed { .. }), "unexpected outcome {o:?}");
+        }
+        let st = gw.stats();
+        assert_eq!(st.submitted, 6);
+        assert_eq!(st.completed, 6);
+        assert_eq!(st.shed + st.rejected + st.failed, 0);
+    }
+
+    #[test]
+    fn load_spreads_across_pus_instead_of_piling_on_one() {
+        // The DPUs run ~6.2x slower than the host CPU, so light load rightly
+        // stays on the CPU; only once its queue-wait estimate exceeds the
+        // DPU's exec + cold estimate should spillover start. 48 back-to-back
+        // submits push it well past that point.
+        let gw =
+            SchedGateway::new(api_over(Machine::paper_cpu_dpu_server()), SchedConfig::default());
+        let pus = run_with(&gw, |ctx, g| {
+            let rxs: Vec<_> = (0..48)
+                .map(|_| g.submit(ctx, &"img".into(), 1024, SubmitOpts::default()).unwrap())
+                .collect();
+            rxs.into_iter()
+                .map(|rx| match rx.recv(ctx).unwrap() {
+                    JobOutcome::Completed { pu, .. } => pu,
+                    other => panic!("unexpected outcome {other:?}"),
+                })
+                .collect::<Vec<_>>()
+        });
+        let distinct: BTreeSet<PuId> = pus.iter().copied().collect();
+        assert!(distinct.len() >= 2, "12 concurrent requests should fan out, got {distinct:?}");
+    }
+
+    #[test]
+    fn full_queues_reject_with_queue_full() {
+        let config =
+            SchedConfig { depth: 1, cpu_tokens: 1, dpu_tokens: 1, ..SchedConfig::default() };
+        let gw = SchedGateway::new(api_over(Machine::paper_cpu_dpu_server()), config);
+        let (accepted, rejected) = run_with(&gw, |ctx, g| {
+            // Never start workers' turn: submit everything in one burst so
+            // queues cannot drain between offers (workers only run when this
+            // process yields, and submit never sleeps).
+            let mut accepted = 0;
+            let mut rejected = 0;
+            let mut rxs = Vec::new();
+            for _ in 0..16 {
+                match g.submit(ctx, &"img".into(), 1024, SubmitOpts::default()) {
+                    Ok(rx) => {
+                        accepted += 1;
+                        rxs.push(rx);
+                    }
+                    Err(SubmitError::Overloaded(Overloaded::QueueFull { .. })) => rejected += 1,
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+            for rx in rxs {
+                rx.recv(ctx).unwrap();
+            }
+            (accepted, rejected)
+        });
+        // 3 PUs × depth 1 = 3 queued slots; everything else bounces.
+        assert_eq!(accepted, 3);
+        assert_eq!(rejected, 13);
+        assert_eq!(gw.stats().rejected, 13);
+    }
+
+    #[test]
+    fn unmeetable_deadlines_are_rejected_up_front() {
+        let config =
+            SchedConfig { deadline: Some(SimDuration::from_micros(1)), ..SchedConfig::default() };
+        let gw = SchedGateway::new(api_over(Machine::paper_cpu_dpu_server()), config);
+        let err =
+            run_with(&gw, |ctx, g| g.submit(ctx, &"img".into(), 1024, SubmitOpts::default()).err());
+        match err {
+            Some(SubmitError::Overloaded(Overloaded::DeadlineUnmeetable {
+                estimated,
+                budget,
+                ..
+            })) => {
+                assert!(estimated > budget);
+            }
+            other => panic!("expected DeadlineUnmeetable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queued_requests_past_deadline_are_shed_not_lost() {
+        // One token, generous queue: the head request monopolises service
+        // long enough that the tail blows its deadline while queued.
+        let config = SchedConfig {
+            cpu_tokens: 1,
+            dpu_tokens: 1,
+            deadline: Some(SimDuration::from_millis(40)),
+            ..SchedConfig::default()
+        };
+        let gw = SchedGateway::new(api_over(Machine::paper_cpu_dpu_server()), config);
+        let outcomes = run_with(&gw, |ctx, g| {
+            let rxs: Vec<_> = (0..10)
+                .map(|_| g.submit(ctx, &"img".into(), 1024, SubmitOpts::default()))
+                .filter_map(Result::ok)
+                .collect();
+            rxs.into_iter().map(|rx| rx.recv(ctx).unwrap()).collect::<Vec<_>>()
+        });
+        let st = gw.stats();
+        let done = outcomes.iter().filter(|o| matches!(o, JobOutcome::Completed { .. })).count();
+        let shed = outcomes.iter().filter(|o| matches!(o, JobOutcome::Shed { .. })).count();
+        assert_eq!(done as u64, st.completed);
+        assert_eq!(shed as u64, st.shed);
+        assert_eq!(
+            st.submitted,
+            st.completed + st.shed + st.rejected + st.failed,
+            "conservation: every request resolves exactly once ({st:?})"
+        );
+    }
+
+    #[test]
+    fn autoscaler_prewarms_for_observed_load_and_retires_when_idle() {
+        let config = SchedConfig {
+            autoscale: Some(AutoscaleConfig {
+                interval: SimDuration::from_millis(20),
+                tau: SimDuration::from_millis(100),
+                min_warm: 0,
+                max_warm: 4,
+                max_warm_per_pu: 2,
+                ..AutoscaleConfig::default()
+            }),
+            ..SchedConfig::default()
+        };
+        let gw = SchedGateway::new(api_over(Machine::paper_cpu_dpu_server()), config);
+        let (peak, after_idle) = run_with(&gw, |ctx, g| {
+            // Drive ~200 Hz for 100 ms so the estimator sees real load.
+            for _ in 0..20 {
+                let rx = g.submit(ctx, &"img".into(), 1024, SubmitOpts::default()).unwrap();
+                let _ = rx.recv(ctx);
+                ctx.sleep(SimDuration::from_millis(5));
+            }
+            let (grown, _) = g.autoscale_tick(ctx);
+            let peak: usize = g
+                .api()
+                .molecule()
+                .machine()
+                .pus()
+                .iter()
+                .map(|pu| g.api().warm_idle_count(&"img".into(), pu.id))
+                .sum();
+            assert!(grown > 0 || peak > 0, "autoscaler should have prewarmed under load");
+            // Go idle for 10 tau and reconcile again: pools shrink.
+            ctx.sleep(SimDuration::from_secs(1));
+            g.autoscale_tick(ctx);
+            let after: usize = g
+                .api()
+                .molecule()
+                .machine()
+                .pus()
+                .iter()
+                .map(|pu| g.api().warm_idle_count(&"img".into(), pu.id))
+                .sum();
+            (peak, after)
+        });
+        assert!(peak >= 1, "warm pool should grow under load, got {peak}");
+        assert!(after_idle < peak, "idle decay should shrink pools: {peak} -> {after_idle}");
+    }
+
+    #[test]
+    fn dead_pu_drains_its_queue_into_survivors() {
+        // A DPU-only function: requests spread over the two DPUs, then one
+        // DPU dies with work still queued. Everything must finish on the
+        // survivor.
+        let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+        molecule.register_function(
+            FunctionDef::builder("edge", LangRuntime::Python)
+                .profiles(&[PuKind::Dpu])
+                .exec_ms(10.0)
+                .init_ms(6.0)
+                .cfork_first_run_ms(1.0)
+                .build(),
+        );
+        let api = ApiGateway::new(
+            molecule,
+            Scheduler::default(),
+            GatewayConfig::default(),
+            Box::new(Lru::new()),
+        );
+        let gw = SchedGateway::new(api, SchedConfig { dpu_tokens: 1, ..SchedConfig::default() });
+        let outcomes = run_with(&gw, |ctx, g| {
+            // Stack requests onto both DPU queues, then kill one before its
+            // workers get a turn.
+            let rxs: Vec<_> = (0..9)
+                .map(|_| g.submit(ctx, &"edge".into(), 1024, SubmitOpts::default()).unwrap())
+                .collect();
+            let dpu = g.api().molecule().machine().pus_of_kind(PuKind::Dpu)[0];
+            g.drain_dead_pu(ctx, dpu);
+            rxs.into_iter().map(|rx| rx.recv(ctx).unwrap()).collect::<Vec<_>>()
+        });
+        assert_eq!(outcomes.len(), 9, "no admitted request may be lost");
+        for o in &outcomes {
+            assert!(matches!(o, JobOutcome::Completed { .. }), "unexpected outcome {o:?}");
+        }
+        let st = gw.stats();
+        assert!(st.requeued > 0, "the dead DPU's queue should have drained: {st:?}");
+        assert_eq!(st.completed, 9);
+    }
+
+    #[test]
+    fn fpga_misses_batch_into_one_flash() {
+        // One fabric only, so all four cold starts queue on it instead of
+        // spreading across an F1's eight FPGAs.
+        let machine = Machine::builder().host_cpu().fpgas(1).build();
+        let molecule = Molecule::launch(machine, MoleculeConfig::default());
+        let mut funcs = Vec::new();
+        for i in 0..4 {
+            let name = format!("kern{i}");
+            molecule.register_function(
+                FunctionDef::builder(name.clone(), LangRuntime::OpenCl)
+                    .profiles(&[PuKind::Fpga])
+                    .fpga(
+                        hetsim::fpga::KernelSpec {
+                            name: name.clone(),
+                            resources: hetsim::fpga::FpgaResources {
+                                luts: 5_000,
+                                regs: 8_000,
+                                brams: 20,
+                                dsps: 36,
+                            },
+                        },
+                        molecule_core::function::ExecModel::Fixed(SimDuration::from_micros(100)),
+                    )
+                    .build(),
+            );
+            funcs.push(FuncId::new(name));
+        }
+        let api = ApiGateway::new(
+            molecule,
+            Scheduler::default(),
+            GatewayConfig::default(),
+            Box::new(Lru::new()),
+        );
+        let gw = SchedGateway::new(api, SchedConfig::default());
+        let fpga = gw.api().molecule().machine().pus_of_kind(PuKind::Fpga)[0];
+        let outcomes = run_with(&gw, move |ctx, g| {
+            let rxs: Vec<_> = funcs
+                .iter()
+                .map(|f| g.submit(ctx, f, 4096, SubmitOpts::default()).unwrap())
+                .collect();
+            rxs.into_iter().map(|rx| rx.recv(ctx).unwrap()).collect::<Vec<_>>()
+        });
+        for o in &outcomes {
+            assert!(matches!(o, JobOutcome::Completed { cold: true, .. }), "all cold: {o:?}");
+        }
+        let st = gw.stats();
+        assert!(st.batches >= 1, "co-pending cold starts should batch: {st:?}");
+        let cache = gw.fpga_cache(fpga).unwrap().stats();
+        assert!(
+            cache.flashes < 4,
+            "4 cold starts must share flashes, got {} flashes",
+            cache.flashes
+        );
+    }
+}

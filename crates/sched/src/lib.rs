@@ -1,0 +1,41 @@
+//! # molecule-sched — load-aware scheduling for heterogeneous serverless
+//!
+//! The seed gateway places every request greedily: first PU that supports
+//! the function, infinite appetite, no backpressure. That reproduces the
+//! paper's *mechanisms* (cfork, vectorized sandbox verbs, XPU-Shim) but not
+//! the *operating point* a real deployment runs at — where the interesting
+//! behaviour is what happens as offered load approaches capacity.
+//!
+//! This crate adds the missing control layer, in four pieces:
+//!
+//! - [`queue`] — bounded, priority-laned per-PU run queues with token-style
+//!   concurrency limits, deadline shedding and typed [`Overloaded`]
+//!   rejection.
+//! - [`placer`] — a calibrated cost-model placer scoring candidate PUs by
+//!   estimated execution time (from the same calibration tables the
+//!   simulator charges), cold-start cost and live queue wait, with a chain
+//!   co-location bonus.
+//! - [`autoscale`] — a deterministic decaying-average arrival-rate
+//!   estimator and a Little's-law warm-pool target.
+//! - [`gateway`] — [`SchedGateway`], which wires those into the seed
+//!   [`ApiGateway`]: admission control on submit, per-PU worker pools,
+//!   FPGA cold-start batch aggregation over the vectorized sandbox verbs,
+//!   health-checker-driven failover draining, and warm-pool autoscaling.
+//!
+//! Everything runs inside the deterministic simulation: same seed, same
+//! schedule, same stats — which is what lets the property tests assert
+//! request conservation exactly.
+//!
+//! [`ApiGateway`]: molecule_core::gateway::ApiGateway
+
+pub mod autoscale;
+pub mod gateway;
+pub mod placer;
+pub mod queue;
+
+pub use autoscale::{AutoscaleConfig, RateEstimator};
+pub use gateway::{
+    JobOutcome, PlacementMode, SchedConfig, SchedGateway, SchedStats, SubmitError, SubmitOpts,
+};
+pub use placer::{Candidate, PuLoad};
+pub use queue::{Overloaded, Priority, QueuePolicy, RunQueue, Ticket};

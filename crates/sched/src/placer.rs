@@ -1,0 +1,236 @@
+//! Calibrated cost-model placement.
+//!
+//! The seed `Scheduler` picks the first PU of the first profile kind with
+//! memory headroom and never looks at load. The [`rank`] function here
+//! scores every candidate PU by the *calibrated* latency model instead:
+//!
+//! ```text
+//! score(pu) = exec(pu) + cold_start(pu) + queue_wait(pu) - colocate_bonus
+//! ```
+//!
+//! * `exec(pu)` — the function's execution-time estimate on that PU, from
+//!   the same `hetsim::calib`-derived models the simulator charges
+//!   ([`ExecModel::time_on`] for general PUs, the FPGA/GPU profile models
+//!   for accelerators);
+//! * `cold_start(pu)` — zero when the PU holds a warm instance, otherwise
+//!   the calibrated startup estimate (cfork pipeline on CPUs/DPUs, cached
+//!   image flash + sandbox prep on FPGAs, module load on GPUs);
+//! * `queue_wait(pu)` — live queue depth × EWMA service time, supplied by
+//!   the caller from its [`RunQueue`]s;
+//! * `colocate_bonus` — subtracted when `pu` equals the previous chain
+//!   stage's PU, keeping the paper's §5 chain co-location as a scoring
+//!   preference (DAG stages still exploit nIPC direct-connect) instead of
+//!   an absolute rule.
+//!
+//! Ties break on the PU id, so placement stays deterministic.
+//!
+//! [`ExecModel::time_on`]: molecule_core::function::ExecModel::time_on
+//! [`RunQueue`]: crate::queue::RunQueue
+
+use hetsim::pu::{PuId, PuKind};
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::function::FunctionDef;
+use molecule_core::schedule::Scheduler;
+
+/// Live load the gateway observed on one candidate PU.
+#[derive(Debug, Clone, Copy)]
+pub struct PuLoad {
+    /// The PU.
+    pub pu: PuId,
+    /// Estimated queueing delay ([`RunQueue::estimated_wait`]).
+    ///
+    /// [`RunQueue::estimated_wait`]: crate::queue::RunQueue::estimated_wait
+    pub wait: SimDuration,
+    /// Whether a warm instance of the function idles on this PU.
+    pub warm: bool,
+}
+
+/// One scored candidate, best (lowest score) first after [`rank`].
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// The PU.
+    pub pu: PuId,
+    /// Total score (lower is better).
+    pub score: SimDuration,
+    /// Execution-time estimate on this PU.
+    pub exec: SimDuration,
+    /// Cold-start estimate (zero when warm).
+    pub cold: SimDuration,
+    /// Queue-wait estimate carried in from [`PuLoad`].
+    pub wait: SimDuration,
+}
+
+impl Candidate {
+    /// Estimated completion latency for an admission decision: queue wait +
+    /// cold start + execution (the colocation bonus is a preference, not a
+    /// latency, so it is excluded here).
+    pub fn estimated_latency(&self) -> SimDuration {
+        self.wait + self.cold + self.exec
+    }
+}
+
+/// The execution-time estimate for `def` on `pu`, from the calibrated
+/// models. `None` when the function cannot run there (no profile).
+pub fn exec_estimate(
+    machine: &Machine,
+    def: &FunctionDef,
+    pu: PuId,
+    input: u64,
+) -> Option<SimDuration> {
+    let spec = machine.pu(pu)?;
+    match spec.kind {
+        PuKind::Fpga => def.fpga.as_ref().map(|p| p.exec.host_time(input)),
+        PuKind::Gpu => def.gpu.as_ref().map(|e| e.host_time(input)),
+        _ => Some(def.exec.time_on(spec, input)),
+    }
+}
+
+/// The calibrated cold-start estimate for `def` on `pu`: what scaling up
+/// would add when no warm instance idles there.
+pub fn cold_estimate(machine: &Machine, def: &FunctionDef, pu: PuId) -> SimDuration {
+    let Some(spec) = machine.pu(pu) else { return SimDuration::ZERO };
+    let calib = machine.calibration();
+    match spec.kind {
+        PuKind::Fpga => {
+            // Resident kernels restart for free; a miss re-flashes the
+            // cached image and preps the sandbox.
+            let resident = def
+                .fpga
+                .as_ref()
+                .zip(machine.fpga(pu))
+                .is_some_and(|(p, dev)| dev.is_resident(&p.kernel.name));
+            if resident {
+                SimDuration::ZERO
+            } else {
+                calib.fpga.load_cached + calib.fpga.prep_sandbox
+            }
+        }
+        PuKind::Gpu => machine.gpu(pu).map_or(SimDuration::ZERO, |d| d.costs().module_load),
+        _ => {
+            // The cfork pipeline (Fig. 11 stages) plus the child's first-run
+            // cost, both scaled to the PU's compute factor.
+            let c = &calib.container;
+            spec.scale_compute(
+                c.fork_propagate
+                    + c.cgroup_attach_mutex
+                    + c.ns_reconfig
+                    + c.conn_handshake
+                    + def.cfork_first_run,
+            )
+        }
+    }
+}
+
+/// Ranks the candidate PUs in `loads` for `def`, best first.
+///
+/// Only PUs in `loads` that the function supports *and* that pass the
+/// capacity check ([`Scheduler::pu_has_capacity`] — memory headroom on
+/// general PUs, fabric/slot headroom on accelerators) are considered.
+/// `prev_stage` earns its PU the `colocate_bonus` score credit.
+pub fn rank(
+    machine: &Machine,
+    def: &FunctionDef,
+    input: u64,
+    prev_stage: Option<PuId>,
+    loads: &[PuLoad],
+    colocate_bonus: SimDuration,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for load in loads {
+        let Some(spec) = machine.pu(load.pu) else { continue };
+        if !def.supports(spec.kind) {
+            continue;
+        }
+        if !Scheduler::pu_has_capacity(machine, load.pu, def) {
+            continue;
+        }
+        let Some(exec) = exec_estimate(machine, def, load.pu, input) else { continue };
+        let cold = if load.warm { SimDuration::ZERO } else { cold_estimate(machine, def, load.pu) };
+        let mut score = exec + cold + load.wait;
+        if prev_stage == Some(load.pu) {
+            score = score.saturating_sub(colocate_bonus);
+        }
+        out.push(Candidate { pu: load.pu, score, exec, cold, wait: load.wait });
+    }
+    out.sort_by(|a, b| a.score.cmp(&b.score).then_with(|| a.pu.cmp(&b.pu)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsandbox::spec::LangRuntime;
+
+    fn def() -> FunctionDef {
+        FunctionDef::builder("f", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .exec_ms(10.0)
+            .cfork_first_run_ms(1.0)
+            .build()
+    }
+
+    fn idle(pu: PuId) -> PuLoad {
+        PuLoad { pu, wait: SimDuration::ZERO, warm: true }
+    }
+
+    #[test]
+    fn unloaded_cpu_beats_slower_dpus() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let loads = [idle(PuId(0)), idle(PuId(1)), idle(PuId(2))];
+        let ranked = rank(&machine, &def(), 0, None, &loads, SimDuration::ZERO);
+        assert_eq!(ranked[0].pu, PuId(0), "CPU exec 10ms < DPU exec 62ms");
+        assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn queue_pressure_diverts_to_an_idle_dpu() {
+        let machine = Machine::paper_cpu_dpu_server();
+        // The CPU has a deep backlog: 10ms exec + 100ms wait > 62ms DPU exec.
+        let loads = [
+            PuLoad { pu: PuId(0), wait: SimDuration::from_millis(100), warm: true },
+            idle(PuId(1)),
+            idle(PuId(2)),
+        ];
+        let ranked = rank(&machine, &def(), 0, None, &loads, SimDuration::ZERO);
+        assert_eq!(ranked[0].pu, PuId(1), "load-aware: overflow to the idle DPU");
+    }
+
+    #[test]
+    fn cold_start_penalty_prefers_the_warm_pu() {
+        let machine = Machine::paper_cpu_dpu_server();
+        // Nothing warm on the CPU; DPU 1 holds a warm instance. For a short
+        // function the DPU's exec penalty can be hidden by the CPU's cold
+        // start only if exec is small — use a 0.1ms function.
+        let quick = FunctionDef::builder("q", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .exec_ms(0.1)
+            .cfork_first_run_ms(5.0)
+            .build();
+        let loads = [
+            PuLoad { pu: PuId(0), wait: SimDuration::ZERO, warm: false },
+            PuLoad { pu: PuId(1), wait: SimDuration::ZERO, warm: true },
+        ];
+        let ranked = rank(&machine, &quick, 0, None, &loads, SimDuration::ZERO);
+        assert_eq!(ranked[0].pu, PuId(1), "warm DPU beats cold CPU for a tiny function");
+        assert_eq!(ranked[0].cold, SimDuration::ZERO);
+        assert!(ranked[1].cold > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn colocate_bonus_tilts_a_near_tie_toward_the_chain_pu() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let loads = [idle(PuId(1)), idle(PuId(2))];
+        let dpu_fn = FunctionDef::builder("d", LangRuntime::Python)
+            .profiles(&[PuKind::Dpu])
+            .exec_ms(1.0)
+            .build();
+        // Identical DPUs: without the bonus, the lower PU id wins the tie.
+        let plain = rank(&machine, &dpu_fn, 0, None, &loads, SimDuration::from_millis(1));
+        assert_eq!(plain[0].pu, PuId(1));
+        // With the previous stage on PU 2, the bonus flips the choice.
+        let chained =
+            rank(&machine, &dpu_fn, 0, Some(PuId(2)), &loads, SimDuration::from_millis(1));
+        assert_eq!(chained[0].pu, PuId(2), "chain co-location is a scoring bonus");
+    }
+}

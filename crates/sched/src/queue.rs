@@ -1,0 +1,396 @@
+//! Per-PU bounded run queues with explicit backpressure.
+//!
+//! The seed gateway served every request inline: a PU could accumulate an
+//! unbounded backlog with no admission signal whatsoever. [`RunQueue`] is
+//! the replacement primitive: a bounded, priority-lane FIFO with a
+//! token-style concurrency limit and deadline-aware shedding. It is a pure
+//! deterministic data structure — the property tests in
+//! `tests/properties.rs` drive it directly, and [`SchedGateway`] wraps one
+//! per PU.
+//!
+//! Invariants (property-tested):
+//!
+//! * **bounded depth** — `queued() <= policy.depth` always; an offer into a
+//!   full queue is rejected with a typed [`Overloaded`], never dropped;
+//! * **FIFO per priority** — within one priority lane, jobs dispatch in
+//!   offer order; across lanes, lower [`Priority`] values dispatch first;
+//! * **conservation** — every admitted ticket leaves the queue exactly once
+//!   (dispatched, shed, or drained), never twice and never silently.
+//!
+//! [`SchedGateway`]: crate::gateway::SchedGateway
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use hetsim::pu::PuId;
+use hetsim::time::{SimDuration, SimTime};
+
+/// Dispatch priority: lower values dispatch first. `0` is the most urgent.
+pub type Priority = u8;
+
+/// Why admission was refused — the typed rejection the seed gateway lacked.
+/// Callers see this instead of unbounded queue growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overloaded {
+    /// Every candidate queue is at its configured depth bound.
+    QueueFull {
+        /// The last PU tried.
+        pu: PuId,
+        /// Its depth bound.
+        depth: usize,
+    },
+    /// No candidate PU can meet the request deadline even if it dispatched
+    /// next: estimated completion exceeds the budget, so admitting the
+    /// request would only waste a slot.
+    DeadlineUnmeetable {
+        /// The best candidate PU.
+        pu: PuId,
+        /// Estimated completion time on that PU.
+        estimated: SimDuration,
+        /// The request's remaining budget.
+        budget: SimDuration,
+    },
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Overloaded::QueueFull { pu, depth } => {
+                write!(f, "overloaded: run queue on {pu} at depth bound {depth}")
+            }
+            Overloaded::DeadlineUnmeetable { pu, estimated, budget } => write!(
+                f,
+                "overloaded: best PU {pu} estimates {estimated} against a {budget} budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// Sizing of one PU's run queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePolicy {
+    /// Maximum *queued* (not yet dispatched) entries.
+    pub depth: usize,
+    /// Token-style concurrency limit: how many entries may be in service at
+    /// once. The gateway spawns this many worker processes per PU.
+    pub tokens: usize,
+}
+
+impl Default for QueuePolicy {
+    fn default() -> Self {
+        QueuePolicy { depth: 64, tokens: 1 }
+    }
+}
+
+/// Identifies one admitted entry for conservation accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub u64);
+
+/// One entry handed back by [`RunQueue::begin`], [`RunQueue::shed_expired`]
+/// or [`RunQueue::drain`].
+#[derive(Debug, Clone)]
+pub struct Queued<T> {
+    /// The admission ticket.
+    pub ticket: Ticket,
+    /// The entry's priority lane.
+    pub priority: Priority,
+    /// When the entry was offered.
+    pub enqueued_at: SimTime,
+    /// Absolute completion deadline, if any.
+    pub deadline: Option<SimTime>,
+    /// How long the entry waited in the queue.
+    pub waited: SimDuration,
+    /// The caller's payload.
+    pub payload: T,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    ticket: Ticket,
+    enqueued_at: SimTime,
+    deadline: Option<SimTime>,
+    payload: T,
+}
+
+/// A bounded, priority-laned FIFO run queue for one PU.
+#[derive(Debug)]
+pub struct RunQueue<T> {
+    pu: PuId,
+    policy: QueuePolicy,
+    lanes: BTreeMap<Priority, VecDeque<Entry<T>>>,
+    in_service: usize,
+    next_ticket: u64,
+    /// EWMA of observed service time, in nanoseconds (0 until first finish).
+    ewma_service_ns: f64,
+    served: u64,
+}
+
+/// EWMA smoothing factor for the service-time estimate.
+const EWMA_ALPHA: f64 = 0.2;
+
+impl<T> RunQueue<T> {
+    /// Creates an empty queue for `pu` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `policy.tokens` is zero: a PU with no service tokens could
+    /// never drain.
+    pub fn new(pu: PuId, policy: QueuePolicy) -> RunQueue<T> {
+        assert!(policy.tokens > 0, "a run queue needs at least one service token");
+        RunQueue {
+            pu,
+            policy,
+            lanes: BTreeMap::new(),
+            in_service: 0,
+            next_ticket: 0,
+            ewma_service_ns: 0.0,
+            served: 0,
+        }
+    }
+
+    /// The PU this queue feeds.
+    pub fn pu(&self) -> PuId {
+        self.pu
+    }
+
+    /// The sizing policy.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// Entries waiting (not yet dispatched).
+    pub fn queued(&self) -> usize {
+        self.lanes.values().map(VecDeque::len).sum()
+    }
+
+    /// Entries currently in service (dispatched, not finished).
+    pub fn in_service(&self) -> usize {
+        self.in_service
+    }
+
+    /// Completed services so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The smoothed service-time estimate, or `fallback` before any entry
+    /// has finished.
+    pub fn ewma_service_or(&self, fallback: SimDuration) -> SimDuration {
+        if self.served == 0 {
+            fallback
+        } else {
+            SimDuration::from_nanos(self.ewma_service_ns as u64)
+        }
+    }
+
+    /// Estimated queueing delay a new entry would see: outstanding work
+    /// (queued + in service) divided over the service tokens, times the
+    /// smoothed service time. `fallback_service` seeds the estimate before
+    /// the first completion.
+    pub fn estimated_wait(&self, fallback_service: SimDuration) -> SimDuration {
+        let outstanding = (self.queued() + self.in_service) as f64;
+        let per_token = outstanding / self.policy.tokens as f64;
+        self.ewma_service_or(fallback_service).mul_f64(per_token)
+    }
+
+    /// Offers an entry. Returns the admission ticket, or the payload back
+    /// with a typed [`Overloaded`] when the queue is at its depth bound.
+    #[allow(clippy::result_large_err)]
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        priority: Priority,
+        deadline: Option<SimTime>,
+        payload: T,
+    ) -> Result<Ticket, (Overloaded, T)> {
+        if self.queued() >= self.policy.depth {
+            return Err((Overloaded::QueueFull { pu: self.pu, depth: self.policy.depth }, payload));
+        }
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.lanes.entry(priority).or_default().push_back(Entry {
+            ticket,
+            enqueued_at: now,
+            deadline,
+            payload,
+        });
+        Ok(ticket)
+    }
+
+    /// Enqueues bypassing the depth bound — the failover path. Entries
+    /// drained off a dead PU must land *somewhere*: bouncing them off a full
+    /// survivor would turn a PU failure into silent request loss, so
+    /// conservation wins over the bound here. Normal admission always goes
+    /// through [`offer`](Self::offer).
+    pub fn force(
+        &mut self,
+        now: SimTime,
+        priority: Priority,
+        deadline: Option<SimTime>,
+        payload: T,
+    ) -> Ticket {
+        let ticket = Ticket(self.next_ticket);
+        self.next_ticket += 1;
+        self.lanes.entry(priority).or_default().push_back(Entry {
+            ticket,
+            enqueued_at: now,
+            deadline,
+            payload,
+        });
+        ticket
+    }
+
+    /// Dispatches the next entry (lowest priority value first, FIFO within
+    /// a lane), marking one token busy. Returns `None` when nothing is
+    /// queued. Does **not** check the token bound — the caller's worker
+    /// processes *are* the tokens; a worker only calls `begin` when it holds
+    /// one.
+    pub fn begin(&mut self, now: SimTime) -> Option<Queued<T>> {
+        let (&priority, lane) = self.lanes.iter_mut().find(|(_, l)| !l.is_empty())?;
+        let entry = lane.pop_front().expect("lane checked non-empty");
+        self.lanes.retain(|_, l| !l.is_empty());
+        self.in_service += 1;
+        Some(Queued {
+            ticket: entry.ticket,
+            priority,
+            enqueued_at: entry.enqueued_at,
+            deadline: entry.deadline,
+            waited: now.saturating_duration_since(entry.enqueued_at),
+            payload: entry.payload,
+        })
+    }
+
+    /// Completes one in-service entry, returning its token and folding the
+    /// observed `service` time into the EWMA estimate.
+    pub fn finish(&mut self, service: SimDuration) {
+        debug_assert!(self.in_service > 0, "finish without begin");
+        self.in_service = self.in_service.saturating_sub(1);
+        self.served += 1;
+        let obs = service.as_nanos() as f64;
+        self.ewma_service_ns = if self.served == 1 {
+            obs
+        } else {
+            EWMA_ALPHA * obs + (1.0 - EWMA_ALPHA) * self.ewma_service_ns
+        };
+    }
+
+    /// Returns one token without recording a service observation — the
+    /// failover path, where the dispatched entry never ran to completion on
+    /// this PU.
+    pub fn abandon(&mut self) {
+        debug_assert!(self.in_service > 0, "abandon without begin");
+        self.in_service = self.in_service.saturating_sub(1);
+    }
+
+    /// Removes and returns every queued entry whose deadline has passed —
+    /// the load-shedding sweep a worker runs before dispatching.
+    pub fn shed_expired(&mut self, now: SimTime) -> Vec<Queued<T>> {
+        let mut out = Vec::new();
+        for (&priority, lane) in self.lanes.iter_mut() {
+            let mut keep = VecDeque::with_capacity(lane.len());
+            for entry in lane.drain(..) {
+                if entry.deadline.is_some_and(|d| d <= now) {
+                    out.push(Queued {
+                        ticket: entry.ticket,
+                        priority,
+                        enqueued_at: entry.enqueued_at,
+                        deadline: entry.deadline,
+                        waited: now.saturating_duration_since(entry.enqueued_at),
+                        payload: entry.payload,
+                    });
+                } else {
+                    keep.push_back(entry);
+                }
+            }
+            *lane = keep;
+        }
+        self.lanes.retain(|_, l| !l.is_empty());
+        out
+    }
+
+    /// Removes and returns every queued entry, priority order preserved —
+    /// the dead-PU path: the health checker drains the queue so the gateway
+    /// can re-place every entry on a survivor.
+    pub fn drain(&mut self, now: SimTime) -> Vec<Queued<T>> {
+        let mut out = Vec::new();
+        while let Some(q) = self.begin(now) {
+            // `begin` marks a token busy; a drained entry never serves here.
+            self.in_service -= 1;
+            out.push(q);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn offer_rejects_beyond_depth_with_typed_overload() {
+        let mut q = RunQueue::new(PuId(1), QueuePolicy { depth: 2, tokens: 1 });
+        q.offer(t(0), 0, None, "a").unwrap();
+        q.offer(t(1), 0, None, "b").unwrap();
+        let (err, payload) = q.offer(t(2), 0, None, "c").unwrap_err();
+        assert_eq!(payload, "c", "the payload comes back to the caller");
+        assert!(matches!(err, Overloaded::QueueFull { pu: PuId(1), depth: 2 }));
+        assert_eq!(q.queued(), 2);
+    }
+
+    #[test]
+    fn dispatch_is_fifo_within_a_lane_and_priority_across_lanes() {
+        let mut q = RunQueue::new(PuId(0), QueuePolicy { depth: 8, tokens: 2 });
+        q.offer(t(0), 1, None, "low-1").unwrap();
+        q.offer(t(1), 0, None, "hi-1").unwrap();
+        q.offer(t(2), 1, None, "low-2").unwrap();
+        q.offer(t(3), 0, None, "hi-2").unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| q.begin(t(10)).map(|e| e.payload)).collect();
+        assert_eq!(order, ["hi-1", "hi-2", "low-1", "low-2"]);
+        assert_eq!(q.in_service(), 4);
+    }
+
+    #[test]
+    fn shed_expired_removes_only_past_deadline_entries() {
+        let mut q = RunQueue::new(PuId(0), QueuePolicy::default());
+        q.offer(t(0), 0, Some(t(5)), "expires").unwrap();
+        q.offer(t(0), 0, Some(t(500)), "survives").unwrap();
+        q.offer(t(0), 0, None, "no-deadline").unwrap();
+        let shed = q.shed_expired(t(10));
+        assert_eq!(shed.len(), 1);
+        assert_eq!(shed[0].payload, "expires");
+        assert_eq!(shed[0].waited, SimDuration::from_micros(10));
+        assert_eq!(q.queued(), 2);
+    }
+
+    #[test]
+    fn ewma_and_wait_estimates_track_service_times() {
+        let mut q: RunQueue<u32> = RunQueue::new(PuId(0), QueuePolicy { depth: 8, tokens: 2 });
+        let fallback = SimDuration::from_millis(1);
+        assert_eq!(q.estimated_wait(fallback), SimDuration::ZERO);
+        q.offer(t(0), 0, None, 1).unwrap();
+        q.begin(t(0)).unwrap();
+        q.finish(SimDuration::from_millis(10));
+        assert_eq!(q.ewma_service_or(fallback), SimDuration::from_millis(10));
+        // Two outstanding over two tokens = one smoothed service time.
+        q.offer(t(1), 0, None, 2).unwrap();
+        q.offer(t(1), 0, None, 3).unwrap();
+        assert_eq!(q.estimated_wait(fallback), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn drain_returns_everything_in_dispatch_order() {
+        let mut q = RunQueue::new(PuId(2), QueuePolicy { depth: 8, tokens: 1 });
+        q.offer(t(0), 1, None, "b").unwrap();
+        q.offer(t(0), 0, None, "a").unwrap();
+        let drained: Vec<&str> = q.drain(t(1)).into_iter().map(|e| e.payload).collect();
+        assert_eq!(drained, ["a", "b"]);
+        assert_eq!(q.queued(), 0);
+        assert_eq!(q.in_service(), 0);
+    }
+}

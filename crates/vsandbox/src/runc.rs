@@ -17,7 +17,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use hetsim::calib::{Calibration, ContainerCosts, LanguageCosts, MemoryModel};
-use hetsim::engine::ProcCtx;
+use hetsim::engine::{ProcCtx, SimSemaphore};
 use hetsim::os::{BlockId, CgroupId, LocalOs, OsPid};
 use parking_lot::Mutex;
 
@@ -68,6 +68,11 @@ struct RuncInner {
     lang: LanguageCosts,
     memory: MemoryModel,
     state: Mutex<RuncState>,
+    /// Serializes the merge → fork → expand window: a second cfork slipping
+    /// in after this one's fork but before its expand would find the
+    /// template multi-threaded again and fail. Lazily bound to the
+    /// simulation on first use.
+    fork_gate: Mutex<Option<SimSemaphore>>,
 }
 
 impl fmt::Debug for RuncRuntime {
@@ -94,6 +99,7 @@ impl RuncRuntime {
                 lang: calib.lang.scaled(factor),
                 memory: calib.memory,
                 state: Mutex::new(RuncState::default()),
+                fork_gate: Mutex::new(None),
             }),
         }
     }
@@ -237,12 +243,19 @@ impl RuncRuntime {
             }
         };
 
-        // 2. Forkable runtime: merge -> fork -> expand.
+        // 2. Forkable runtime: merge -> fork -> expand, serialized so
+        //    concurrent cforks of the same template cannot interleave.
+        let gate = {
+            let mut slot = self.inner.fork_gate.lock();
+            slot.get_or_insert_with(|| ctx.semaphore(1)).clone()
+        };
+        let permit = gate.acquire(ctx, 1);
         self.inner.os.merge_threads(ctx, template_pid)?;
         ctx.sleep(self.inner.container.fork_propagate);
         let child = self.inner.os.fork_uncharged(template_pid)?;
         self.inner.os.expand_threads(ctx, template_pid)?;
         self.inner.os.expand_threads(ctx, child)?;
+        drop(permit);
 
         // 3. Settle the child into the function container: namespaces +
         //    cgroup (cpuset lock mode decides the cost) + connection back to

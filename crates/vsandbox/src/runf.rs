@@ -187,6 +187,13 @@ impl RunfRuntime {
         self.flash_new_image(ctx, entries)
     }
 
+    /// The sandbox's lifecycle state without the OCI verb span or any
+    /// simulated cost — for managers that classify a batch before issuing
+    /// vectorized verbs.
+    pub fn peek_state(&self, id: &SandboxId) -> Option<SandboxState> {
+        self.inner.state.lock().sandboxes.get(id).map(|s| s.state)
+    }
+
     /// True if the sandbox's kernel is resident in the flashed image.
     pub fn is_resident(&self, id: &SandboxId) -> bool {
         let st = self.inner.state.lock();
@@ -371,6 +378,52 @@ impl VectorizedRuntime for RunfRuntime {
         }
         oci::vec_span(ctx, "create_vec", entries.len(), |ctx| self.flash_new_image(ctx, entries))
     }
+
+    /// The vectorized start: several *resident* sandboxes prepare together,
+    /// so the 53 ms warm-sandbox prep is charged once for the whole vector
+    /// instead of once per sandbox (§3.5 "start vector<...> prepares several
+    /// resident sandboxes").
+    fn start_vec(&self, ctx: &mut ProcCtx, ids: &[SandboxId]) -> Result<(), SandboxError> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        oci::vec_span(ctx, "start_vec", ids.len(), |ctx| {
+            let mut any_unprepared = false;
+            {
+                let st = self.inner.state.lock();
+                for id in ids {
+                    let sb =
+                        st.sandboxes.get(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+                    if sb.state != SandboxState::Running
+                        && !sb.state.can_transition_to(SandboxState::Running)
+                    {
+                        return Err(SandboxError::InvalidTransition {
+                            id: id.clone(),
+                            from: sb.state,
+                            to: SandboxState::Running,
+                        });
+                    }
+                    if !self.inner.device.is_resident(&sb.kernel.name) {
+                        return Err(SandboxError::Device(format!(
+                            "kernel {} not resident; pack the vector into an image first",
+                            sb.kernel.name
+                        )));
+                    }
+                    any_unprepared |= !sb.prepared;
+                }
+            }
+            if any_unprepared {
+                ctx.sleep(self.inner.device.timings().prep_sandbox);
+            }
+            let mut st = self.inner.state.lock();
+            for id in ids {
+                let sb = st.sandboxes.get_mut(id).expect("validated above");
+                sb.prepared = true;
+                sb.state = SandboxState::Running;
+            }
+            Ok(())
+        })
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +497,29 @@ mod tests {
         assert_eq!(resident, 12, "all 12 kernels packed into one image");
         // One flash (3.75s + 12 compose steps), not 12 flashes.
         assert!(vec_cost.as_secs_f64() < 6.0, "vector create cost {vec_cost}");
+    }
+
+    #[test]
+    fn vectorized_start_charges_prep_once() {
+        let rt = RunfRuntime::new(device());
+        let mut sim = Simulation::new();
+        let h = sim.spawn("startvec", move |ctx| {
+            let entries: Vec<(SandboxId, SandboxConfig)> = (0..4)
+                .map(|i| (SandboxId::new(format!("k{i}")), fpga_cfg(&format!("k{i}"))))
+                .collect();
+            rt.create_vec(ctx, &entries).unwrap();
+            let ids: Vec<SandboxId> = entries.iter().map(|(id, _)| id.clone()).collect();
+            let t0 = ctx.now();
+            rt.start_vec(ctx, &ids).unwrap();
+            let vec_prep = ctx.now() - t0;
+            let states: Vec<SandboxState> =
+                ids.iter().map(|id| rt.peek_state(id).unwrap()).collect();
+            (vec_prep.as_millis_f64(), states)
+        });
+        sim.run().unwrap();
+        let (vec_prep, states) = h.take_result().unwrap();
+        assert_eq!(vec_prep, 53.0, "one prep for the whole vector, not 4×53ms");
+        assert!(states.iter().all(|s| *s == SandboxState::Running));
     }
 
     #[test]

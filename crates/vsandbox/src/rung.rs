@@ -163,6 +163,18 @@ impl OciRuntime for RungRuntime {
                 });
             }
             sb.state = SandboxState::Deleted;
+            // Return the MPS slot: the kernel module is unloaded so the
+            // device counts live sandboxes only (capacity checks depend on
+            // this — a leaked slot per retired instance would starve the
+            // scheduler).
+            let kernel = sb.kernel.clone();
+            if let Some(context) = st.context {
+                drop(st);
+                self.inner
+                    .device
+                    .unload_kernel(context, &kernel)
+                    .map_err(|e| SandboxError::Device(e.to_string()))?;
+            }
             Ok(())
         })
     }

@@ -52,6 +52,41 @@ pub fn closed_loop(n: usize) -> Vec<usize> {
     (0..n).collect()
 }
 
+/// The first `n` instants of a seeded open-loop Poisson process at
+/// `rate_per_sec`. Deterministic per `(rate, n, seed)`.
+pub fn open_loop_arrivals(rate_per_sec: f64, n: usize, seed: u64) -> Vec<SimTime> {
+    PoissonArrivals::new(rate_per_sec, seed).take(n)
+}
+
+/// Drives an open-loop schedule: sleeps to each arrival instant and calls
+/// `launch` with the request index.
+///
+/// The schedule is rebased to the moment the drive starts — arrival
+/// instants are offsets from `ctx.now()`, not absolute times — so a driver
+/// that spent simulated time bootstrapping doesn't find the whole schedule
+/// in the past and fire it as one closed burst.
+///
+/// Open loop means the arrival process never waits for completions — the
+/// caller must make `launch` non-blocking (fire the request from a spawned
+/// process, or use an async submit API) or the measured load degenerates to
+/// closed loop. Arrivals the (rebased) schedule has already passed fire
+/// immediately.
+pub fn drive_open_loop(
+    ctx: &mut hetsim::engine::ProcCtx,
+    arrivals: &[SimTime],
+    mut launch: impl FnMut(&mut hetsim::engine::ProcCtx, usize),
+) {
+    let base = ctx.now();
+    for (i, at) in arrivals.iter().enumerate() {
+        let at = base + at.saturating_duration_since(SimTime::ZERO);
+        let wait = at.saturating_duration_since(ctx.now());
+        if wait > SimDuration::ZERO {
+            ctx.sleep(wait);
+        }
+        launch(ctx, i);
+    }
+}
+
 /// Deterministic input sizes drawn uniformly from `[lo, hi]` bytes.
 pub fn input_sizes(n: usize, lo: u64, hi: u64, seed: u64) -> Vec<u64> {
     assert!(lo <= hi, "bounds reversed");
@@ -101,5 +136,33 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         let _ = PoissonArrivals::new(0.0, 1);
+    }
+
+    #[test]
+    fn open_loop_schedule_is_deterministic_per_seed() {
+        let a = open_loop_arrivals(500.0, 200, 11);
+        let b = open_loop_arrivals(500.0, 200, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, open_loop_arrivals(500.0, 200, 12));
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn open_loop_driver_fires_at_the_scheduled_instants() {
+        use hetsim::engine::Simulation;
+        let arrivals = open_loop_arrivals(1000.0, 50, 3);
+        let expected = arrivals.clone();
+        let mut sim = Simulation::new();
+        let out = sim.spawn("driver", move |ctx| {
+            let mut fired = Vec::new();
+            drive_open_loop(ctx, &arrivals, |ctx, i| fired.push((i, ctx.now())));
+            fired
+        });
+        sim.run().unwrap();
+        let fired = out.take_result().unwrap();
+        assert_eq!(fired.len(), 50);
+        for (i, at) in fired {
+            assert_eq!(at, expected[i], "arrival {i} fired off schedule");
+        }
     }
 }

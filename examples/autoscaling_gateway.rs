@@ -1,6 +1,7 @@
-//! The API gateway under Poisson load: warm pools, auto-scaling via cfork,
-//! and keep-alive reaping — the serverless behaviours the paper's
-//! mechanisms exist to serve.
+//! The scheduling gateway under open-loop Poisson load: bounded per-PU run
+//! queues, load-aware placement, and arrival-rate-driven warm-pool
+//! autoscaling — the serverless behaviours the paper's mechanisms exist to
+//! serve.
 //!
 //! ```sh
 //! cargo run --example autoscaling_gateway
@@ -11,57 +12,84 @@ use molecule_core::keepalive::GreedyDual;
 use molecule_core::metrics::LatencyRecorder;
 use molecule_core::schedule::Scheduler;
 use molecule_repro::prelude::*;
-use workloads::generator::PoissonArrivals;
+use molecule_sched::AutoscaleConfig;
+use workloads::generator::{drive_open_loop, open_loop_arrivals};
 use workloads::serverlessbench;
 
 fn main() {
     let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
     molecule.register_function(serverlessbench::image_processing());
     molecule.register_function(serverlessbench::helloworld());
-    let gateway = ApiGateway::new(
+    let api = ApiGateway::new(
         molecule,
         Scheduler::default(),
         GatewayConfig::default(),
         Box::new(GreedyDual::new()),
     );
+    // The autoscaler sizes per-(function, PU) warm pools by Little's law
+    // from a decaying arrival-rate estimate — no hand-rolled prewarm logic.
+    // Headroom above the mean absorbs Poisson overlap; the floor of one
+    // keeps even a sub-millisecond function from going fully cold.
+    let autoscale = AutoscaleConfig { headroom: 5.0, min_warm: 1, ..AutoscaleConfig::default() };
+    let gateway = SchedGateway::new(
+        api,
+        SchedConfig { autoscale: Some(autoscale), ..SchedConfig::default() },
+    );
 
     let mut sim = Simulation::new();
     let gw = gateway.clone();
     let out = sim.spawn("frontend", move |ctx| {
-        gw.molecule().bootstrap(ctx).unwrap();
-        gw.prepare_all_templates(ctx).unwrap();
+        gw.api().molecule().bootstrap(ctx).unwrap();
+        gw.api().prepare_all_templates(ctx).unwrap();
+        gw.start(ctx);
 
         // 120 requests at ~50 req/s, 80% image-processing / 20% helloworld.
-        let mut arrivals = PoissonArrivals::new(50.0, 2026);
-        let mut recorder = LatencyRecorder::new("gateway-e2e");
-        for i in 0..120 {
-            let at = arrivals.next_arrival();
-            ctx.sleep(at.saturating_duration_since(ctx.now()));
+        // submit() queues without blocking, so the arrival process stays
+        // open-loop while the workers serve behind it.
+        let arrivals = open_loop_arrivals(50.0, 120, 2026);
+        let mut pending = Vec::new();
+        drive_open_loop(ctx, &arrivals, |ctx, i| {
             let func = if i % 5 == 4 {
                 FuncId::new("helloworld")
             } else {
                 FuncId::new("sb-image-process")
             };
-            let report = gw.handle_request(ctx, &func, 2048).unwrap();
-            recorder.record(report.latency);
+            pending.push(gw.submit(ctx, &func, 2048, SubmitOpts::default()).unwrap());
+        });
+        let mut recorder = LatencyRecorder::new("gateway-e2e");
+        let mut cold = 0u64;
+        for rx in pending {
+            match rx.recv(ctx).unwrap() {
+                JobOutcome::Completed { latency, cold: was_cold, .. } => {
+                    recorder.record(latency);
+                    cold += u64::from(was_cold);
+                }
+                other => panic!("no request sheds at this load: {other:?}"),
+            }
         }
-        // An idle sweep after the burst.
+        let warm_busy = gw.api().live_instances();
+        // An idle minute: the autoscaler's decayed rate estimate shrinks the
+        // pools back to the floor without an explicit reap call.
         ctx.sleep(SimDuration::from_secs(60));
-        let reaped = gw.reap_idle(ctx).unwrap();
-        (recorder, reaped, ctx.now())
+        let warm_left = gw.api().live_instances();
+        gw.shutdown();
+        (recorder, cold, warm_busy, warm_left, ctx.now())
     });
     sim.run().expect("simulation runs to completion");
 
-    let (recorder, reaped, end) = out.take_result().unwrap();
+    let (recorder, cold, warm_busy, warm_left, end) = out.take_result().unwrap();
     let stats = gateway.stats();
     println!("drove 120 requests in {:.2}s of virtual time\n", end.as_nanos() as f64 / 1e9);
     println!("{recorder}\n");
-    println!("cold starts : {}", stats.cold_starts);
-    println!("warm hits   : {}", stats.warm_hits);
-    println!("reaped idle : {reaped}");
-    println!("live after  : {}", gateway.live_instances());
-    println!("billing     : {}", gateway.molecule().meter());
+    println!("completed     : {}", stats.completed);
+    println!("cold starts   : {cold}");
+    println!("shed/rejected : {}/{}", stats.shed, stats.rejected);
+    println!("warm at peak  : {warm_busy}");
+    println!("warm after    : {warm_left}");
+    println!("billing       : {}", gateway.api().molecule().meter());
 
-    let hit_rate = stats.warm_hits as f64 / (stats.warm_hits + stats.cold_starts) as f64;
+    assert_eq!(stats.completed, 120, "every admitted request completes");
+    let hit_rate = 1.0 - cold as f64 / 120.0;
     assert!(hit_rate > 0.9, "warm-pool hit rate should dominate: {hit_rate}");
+    assert!(warm_left < warm_busy, "idle pools must shrink: {warm_busy} -> {warm_left}");
 }

@@ -50,6 +50,7 @@
 
 pub use hetsim;
 pub use molecule_core;
+pub use molecule_sched;
 pub use telemetry;
 pub use vsandbox;
 pub use workloads;
@@ -64,5 +65,6 @@ pub mod prelude {
     pub use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
     pub use molecule_core::function::{ExecModel, FunctionDef};
     pub use molecule_core::runtime::{Molecule, MoleculeConfig, StartupKind};
+    pub use molecule_sched::{JobOutcome, SchedConfig, SchedGateway, SubmitOpts};
     pub use vsandbox::spec::{FuncId, LangRuntime};
 }

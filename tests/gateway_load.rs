@@ -128,6 +128,66 @@ fn dpu_overflow_when_the_cpu_fills_up() {
     assert_eq!(out.take_result().unwrap(), PuKind::Dpu);
 }
 
+/// One full open-loop run against the scheduling gateway; returns the
+/// resolved outcomes (in submit order) and the gateway stats.
+fn open_loop_sched_run(
+    rate: f64,
+    n: usize,
+    seed: u64,
+) -> (Vec<molecule_sched::JobOutcome>, molecule_sched::SchedStats) {
+    use molecule_sched::{SchedConfig, SchedGateway, SubmitOpts};
+    let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+    molecule.register_function(serverlessbench::image_processing());
+    let api = ApiGateway::new(
+        molecule,
+        Scheduler::default(),
+        GatewayConfig::default(),
+        Box::new(Lru::new()),
+    );
+    let gw = SchedGateway::new(api, SchedConfig::default());
+    let mut sim = Simulation::new();
+    let g = gw.clone();
+    let out = sim.spawn("load", move |ctx| {
+        g.api().molecule().bootstrap(ctx).unwrap();
+        g.api().prepare_all_templates(ctx).unwrap();
+        g.start(ctx);
+        let arrivals = workloads::generator::open_loop_arrivals(rate, n, seed);
+        let mut rxs = Vec::new();
+        // submit() is non-blocking (the reply arrives on a channel), so the
+        // arrival process never waits on completions: a true open loop.
+        workloads::generator::drive_open_loop(ctx, &arrivals, |ctx, _| {
+            rxs.push(g.submit(ctx, &FuncId::new("sb-image-process"), 2048, SubmitOpts::default()));
+        });
+        let outcomes: Vec<_> =
+            rxs.into_iter().filter_map(Result::ok).map(|rx| rx.recv(ctx).unwrap()).collect();
+        g.shutdown();
+        outcomes
+    });
+    sim.run().unwrap();
+    (out.take_result().unwrap(), gw.stats())
+}
+
+#[test]
+fn open_loop_poisson_load_completes_without_loss_or_shedding() {
+    use molecule_sched::JobOutcome;
+    // 50 req/s against a machine that sustains far more: nothing sheds.
+    let (outcomes, stats) = open_loop_sched_run(50.0, 60, 7);
+    assert_eq!(stats.submitted, 60);
+    assert_eq!(stats.completed, 60, "low load must complete everything: {stats:?}");
+    assert_eq!(stats.shed + stats.rejected + stats.failed, 0);
+    assert!(outcomes.iter().all(|o| matches!(o, JobOutcome::Completed { .. })));
+}
+
+#[test]
+fn open_loop_runs_are_deterministic_per_seed() {
+    let (a, sa) = open_loop_sched_run(200.0, 80, 13);
+    let (b, sb) = open_loop_sched_run(200.0, 80, 13);
+    assert_eq!(sa, sb, "same seed, same stats");
+    assert_eq!(a, b, "same seed, same outcome sequence");
+    let (_, sc) = open_loop_sched_run(200.0, 80, 14);
+    assert_eq!(sc.submitted, 80, "different seed still conserves requests");
+}
+
 #[test]
 fn idle_reaping_frees_capacity_for_new_functions() {
     let gw = gateway();

@@ -1,0 +1,87 @@
+//! End-to-end failover: a PU dies mid-burst and every request queued on it
+//! completes on a surviving PU — the scheduling gateway's conservation
+//! guarantee wired through the real health-checker pipeline.
+
+use hetsim::engine::Simulation;
+use hetsim::pu::PuKind;
+use hetsim::topology::Machine;
+use molecule_core::function::FunctionDef;
+use molecule_core::gateway::{ApiGateway, GatewayConfig};
+use molecule_core::health::{HealthChecker, HealthPolicy};
+use molecule_core::keepalive::Lru;
+use molecule_core::runtime::{Molecule, MoleculeConfig};
+use molecule_core::schedule::Scheduler;
+use molecule_sched::{JobOutcome, SchedConfig, SchedGateway, SubmitOpts};
+use vsandbox::spec::{FuncId, LangRuntime};
+
+#[test]
+fn queued_requests_survive_a_pu_death_mid_burst() {
+    let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+    // DPU-only function: a burst spreads over the two DPUs, so killing one
+    // strands real queued work that must fail over to the other.
+    molecule.register_function(
+        FunctionDef::builder("edge-infer", LangRuntime::Python)
+            .profiles(&[PuKind::Dpu])
+            .exec_ms(8.0)
+            .init_ms(5.0)
+            .cfork_first_run_ms(1.0)
+            .build(),
+    );
+    let api = ApiGateway::new(
+        molecule,
+        Scheduler::default(),
+        GatewayConfig::default(),
+        Box::new(Lru::new()),
+    );
+    let gw = SchedGateway::new(api, SchedConfig { dpu_tokens: 1, ..SchedConfig::default() });
+    let health = HealthChecker::new(gw.api().clone(), HealthPolicy::default());
+    gw.attach_health(&health);
+
+    let mut sim = Simulation::new();
+    let g = gw.clone();
+    let hc = health.clone();
+    let out = sim.spawn("driver", move |ctx| {
+        g.api().molecule().bootstrap(ctx).unwrap();
+        g.api().prepare_all_templates(ctx).unwrap();
+        g.start(ctx);
+
+        // Burst of 16 before any worker gets a turn: both DPU queues fill.
+        let rxs: Vec<_> = (0..16)
+            .map(|_| {
+                g.submit(ctx, &FuncId::new("edge-infer"), 1024, SubmitOpts::default()).unwrap()
+            })
+            .collect();
+
+        // Kill one DPU with its queue still loaded, then let the health
+        // checker find the corpse and fire the drain hook.
+        let machine = g.api().molecule().machine().clone();
+        let victim = machine.pus_of_kind(PuKind::Dpu)[0];
+        machine.fault_plane().kill_pu(ctx.now(), victim);
+        hc.run(ctx, 8);
+
+        let outcomes: Vec<JobOutcome> = rxs.into_iter().map(|rx| rx.recv(ctx).unwrap()).collect();
+        g.shutdown();
+        (victim, outcomes)
+    });
+    sim.run().unwrap();
+    let (victim, outcomes) = out.take_result().unwrap();
+
+    assert_eq!(outcomes.len(), 16, "every admitted request must resolve");
+    for o in &outcomes {
+        match o {
+            JobOutcome::Completed { pu, .. } => {
+                assert_ne!(*pu, victim, "a request completed on the dead PU");
+            }
+            other => panic!("request lost to the failure: {other:?}"),
+        }
+    }
+    assert!(health.dead_pus().contains(&victim), "health checker should declare the DPU dead");
+    let stats = gw.stats();
+    assert_eq!(stats.submitted, 16);
+    assert_eq!(stats.completed, 16);
+    assert!(
+        stats.requeued > 0,
+        "the victim's queue should have drained into a survivor: {stats:?}"
+    );
+    assert_eq!(stats.failed, 0, "{stats:?}");
+}
