@@ -14,14 +14,27 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p molecule-chaos
 cargo test -q --test chaos_recovery
 
+# Bench JSON summaries land at the repo root so plotting scripts and the
+# gates below read the same committed artifacts.
+export MOLECULE_BENCH_DIR="$PWD"
+
 # Scheduling smoke stage: the sched crate's unit + property tests, the
 # PU-death failover e2e, and a fig_sched run that must export
 # BENCH_sched.json with nothing shed or lost at the low-load points.
 cargo test -q -p molecule-sched
 cargo test -q --test sched_failover
-sched_bench_dir=$(mktemp -d)
-MOLECULE_BENCH_DIR="$sched_bench_dir" cargo run --release -q -p molecule-bench --bin fig_sched
-test -f "$sched_bench_dir/BENCH_sched.json"
+cargo run --release -q -p molecule-bench --bin fig_sched
+test -f BENCH_sched.json
 jq -e '[.rows[] | select(.[1].value <= 160)] | length > 0 and all(.[4].value == 0 and .[7].value == 0)' \
-    "$sched_bench_dir/BENCH_sched.json" >/dev/null
-rm -rf "$sched_bench_dir"
+    BENCH_sched.json >/dev/null
+
+# Data-plane smoke stage: the transport-equivalence property tests plus a
+# fig_comm run. Gates: the adaptive data plane never loses to the best
+# pinned transport at any payload size, and the shared-segment descriptor
+# path buys >=2x on 64 KiB+ cross-PU payloads.
+cargo test -q -p xpu-shim --test transport_equivalence
+cargo run --release -q -p molecule-bench --bin fig_comm
+test -f BENCH_comm.json
+jq -e '[.rows[]] | length > 0 and all(.[4].value <= .[5].value)' BENCH_comm.json >/dev/null
+jq -e '[.rows[] | select(.[0].value >= 65536)] | length > 0 and all(.[6].value >= 2)' \
+    BENCH_comm.json >/dev/null

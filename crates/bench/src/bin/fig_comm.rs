@@ -1,0 +1,6 @@
+//! Regenerates the nIPC data-plane tables backed by
+//! `molecule_bench::fig_comm`.
+
+fn main() {
+    molecule_bench::fig_comm::print();
+}

@@ -34,7 +34,7 @@ pub fn nipc_series(transport: XcallTransport) -> NipcSeries {
         .iter()
         .map(|&size| {
             run_sim("fig08-nipc", move |ctx| {
-                let config = ShimConfig { device_transport: transport, ..ShimConfig::default() };
+                let config = ShimConfig::pinned_with(transport, XcallTransport::Base);
                 let cluster = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), config);
                 let cpu = cluster.shim_on(PuId(0)).unwrap();
                 let dpu = cluster.shim_on(PuId(1)).unwrap();

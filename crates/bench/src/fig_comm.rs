@@ -1,0 +1,202 @@
+//! nIPC data-plane latency: pinned transports vs the adaptive data plane.
+//!
+//! Extends Fig. 8 past the paper's 2 KiB x-axis. A caller on the DPU
+//! writes a CPU-owned FIFO at payload sizes up to 256 KiB, once per pinned
+//! XPUcall transport (zero-copy and coalescing disabled, as the seed
+//! behaved) and once under the default adaptive data plane — per-link
+//! transport auto-selection, doorbell coalescing, and shared-segment
+//! descriptor hand-off for large payloads. The adaptive column must match
+//! the best pinned transport at every size and pull ≥2x ahead from 64 KiB
+//! up, where descriptors elide the per-byte XPUcall staging entirely.
+//!
+//! A second table drives a CPU→DPU→CPU function chain (16 KiB bodies) end
+//! to end, showing the same win at the DAG layer.
+
+use bytes::Bytes;
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_core::dag::{run_chain, ChainSpec, ChainStage, CommMethod};
+use molecule_core::runtime::{Molecule, MoleculeConfig};
+use molecule_core::{ExecModel, FunctionDef};
+use vsandbox::spec::LangRuntime;
+use xpu_shim::cap::Perm;
+use xpu_shim::cluster::{ShimCluster, ShimConfig};
+use xpu_shim::xcall::XcallTransport;
+
+use crate::{fmt_speedup, run_sim};
+
+/// The x-axis: cross-PU payload sizes in bytes.
+pub const PAYLOADS: [u64; 6] = [64, 1024, 4096, 16_384, 65_536, 262_144];
+
+/// Chain body size for the DAG-layer table.
+const CHAIN_BYTES: u64 = 16 * 1024;
+
+/// One measured row of the transport table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommRow {
+    /// Payload size in bytes.
+    pub payload: u64,
+    /// Latency under each pinned transport, in [`XcallTransport::ALL`]
+    /// order.
+    pub pinned: Vec<SimDuration>,
+    /// Latency under the default adaptive data plane.
+    pub adaptive: SimDuration,
+}
+
+impl CommRow {
+    /// The best (lowest) pinned-transport latency.
+    pub fn best_pinned(&self) -> SimDuration {
+        self.pinned.iter().copied().min().expect("at least one transport")
+    }
+
+    /// How much faster adaptive is than the best pinned transport.
+    pub fn speedup(&self) -> f64 {
+        self.best_pinned().ratio(self.adaptive)
+    }
+}
+
+/// Measures one DPU→CPU `xfifo_write` + read round trip under `config`.
+pub fn roundtrip(config: ShimConfig, payload: u64) -> SimDuration {
+    run_sim("fig-comm", move |ctx| {
+        let cluster = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), config);
+        let cpu = cluster.shim_on(PuId(0)).unwrap();
+        let dpu = cluster.shim_on(PuId(1)).unwrap();
+        let owner = cpu.attach_process();
+        let writer_pid = dpu.attach_process();
+        let fifo = cpu.xfifo_init(ctx, owner, "comm").unwrap();
+        cpu.grant_cap(ctx, owner, writer_pid, fifo.obj(), Perm::WRITE).unwrap();
+        let w = dpu.xfifo_connect(ctx, writer_pid, &fifo.uuid().clone()).unwrap();
+        let t0 = ctx.now();
+        w.write(ctx, Bytes::from(vec![0u8; payload as usize])).unwrap();
+        let got = fifo.read(ctx).unwrap();
+        assert_eq!(got.len(), payload as usize, "payload must survive the data plane");
+        ctx.now() - t0
+    })
+}
+
+/// Measures every [`PAYLOADS`] entry under each pinned transport and the
+/// adaptive default.
+pub fn all_rows() -> Vec<CommRow> {
+    PAYLOADS
+        .iter()
+        .map(|&payload| CommRow {
+            payload,
+            pinned: XcallTransport::ALL
+                .iter()
+                .map(|&t| roundtrip(ShimConfig::pinned_with(t, XcallTransport::Base), payload))
+                .collect(),
+            adaptive: roundtrip(ShimConfig::default(), payload),
+        })
+        .collect()
+}
+
+/// Mean end-to-end latency of a CPU→DPU→CPU chain with 16 KiB bodies.
+pub fn chain_end_to_end(shim: ShimConfig) -> SimDuration {
+    let big_fn = |name: &str| {
+        FunctionDef::builder(name, LangRuntime::NodeJs)
+            .profiles(&[hetsim::pu::PuKind::Cpu, hetsim::pu::PuKind::Dpu])
+            .exec(ExecModel::Fixed(SimDuration::ZERO))
+            .output_bytes(CHAIN_BYTES)
+            .build()
+    };
+    let config = MoleculeConfig { shim, ..MoleculeConfig::default() };
+    let m = Molecule::launch(Machine::paper_cpu_dpu_server(), config);
+    for name in ["front", "interact", "respond"] {
+        m.register_function(big_fn(name));
+    }
+    run_sim("fig-comm-chain", move |ctx| {
+        let spec = ChainSpec::new(
+            "comm-chain",
+            vec![
+                ChainStage::new("front", PuId(0)),
+                ChainStage::new("interact", PuId(1)),
+                ChainStage::new("respond", PuId(0)),
+            ],
+            CommMethod::DirectIpc,
+        )
+        .input_bytes(CHAIN_BYTES)
+        .rounds(20);
+        run_chain(&m, ctx, &spec).unwrap().mean_end_to_end()
+    })
+}
+
+/// Prints and exports both tables (`BENCH_comm.json`,
+/// `BENCH_comm_chain.json`).
+pub fn print() {
+    let rows = all_rows();
+    let mut header = vec!["payload".to_owned()];
+    header.extend(XcallTransport::ALL.iter().map(|t| t.to_string()));
+    header.extend(["adaptive", "best pinned", "speedup"].map(String::from));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let us = |d: SimDuration| format!("{:.1}us", d.as_micros_f64());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![format!("{}B", r.payload)];
+            row.extend(r.pinned.iter().map(|&d| us(d)));
+            row.push(us(r.adaptive));
+            row.push(us(r.best_pinned()));
+            row.push(fmt_speedup(r.speedup()));
+            row
+        })
+        .collect();
+    crate::export_table(
+        "comm",
+        "nIPC data plane: DPU→CPU write latency, pinned transports vs adaptive",
+        &header_refs,
+        &table,
+    );
+
+    let pinned = chain_end_to_end(ShimConfig::pinned());
+    let adaptive = chain_end_to_end(ShimConfig::default());
+    let chain_rows = vec![
+        vec!["pinned".to_owned(), us(pinned), fmt_speedup(1.0)],
+        vec!["adaptive".to_owned(), us(adaptive), fmt_speedup(pinned.ratio(adaptive))],
+    ];
+    crate::export_table(
+        "comm_chain",
+        "CPU→DPU→CPU chain (16 KiB bodies): end-to-end under each data plane",
+        &["config", "end-to-end", "speedup"],
+        &chain_rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_matches_or_beats_every_pinned_transport() {
+        for row in all_rows() {
+            assert!(
+                row.adaptive <= row.best_pinned(),
+                "adaptive {} must not lose to best pinned {} at {}B",
+                row.adaptive,
+                row.best_pinned(),
+                row.payload
+            );
+        }
+    }
+
+    #[test]
+    fn descriptor_handoff_doubles_throughput_from_64kib() {
+        for row in all_rows().iter().filter(|r| r.payload >= 64 * 1024) {
+            assert!(
+                row.speedup() >= 2.0,
+                "speedup at {}B = {:.2} (adaptive {}, best pinned {})",
+                row.payload,
+                row.speedup(),
+                row.adaptive,
+                row.best_pinned()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_chain_beats_the_pinned_chain() {
+        let pinned = chain_end_to_end(ShimConfig::pinned());
+        let adaptive = chain_end_to_end(ShimConfig::default());
+        assert!(adaptive < pinned, "adaptive {adaptive} vs pinned {pinned}");
+    }
+}

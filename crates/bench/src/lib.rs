@@ -24,6 +24,7 @@
 //! | [`ablations`] | Design-choice ablations beyond the paper's figures |
 //! | [`fig_fault`] | Crash-recovery latency under seeded fault injection |
 //! | [`fig_sched`] | Load-aware vs first-fit placement, FPGA cold-start batching |
+//! | [`fig_comm`] | Adaptive nIPC data plane vs pinned XPUcall transports |
 
 pub mod ablations;
 pub mod fig02;
@@ -35,6 +36,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
+pub mod fig_comm;
 pub mod fig_fault;
 pub mod fig_sched;
 pub mod tables;

@@ -36,7 +36,9 @@ pub enum CommMethod {
     /// Framework HTTP hops through the gateway path (the baseline).
     HttpGateway,
     /// Molecule's direct-connect FIFOs: local IPC on one PU, nIPC across
-    /// PUs.
+    /// PUs. Cross-PU hops inherit the shim's adaptive data plane — large
+    /// payloads ride shared-segment descriptors instead of being staged
+    /// through the XPUcall transport (see `xpu_shim::segment`).
     DirectIpc,
     /// FPGA chain copying through host DRAM (caller copies out, callee
     /// copies back in).
@@ -662,6 +664,58 @@ mod tests {
         assert!(cross > local, "nIPC ({cross}) must cost more than local IPC ({local})");
         // But both stay well under a millisecond (Fig. 12 Molecule bars).
         assert!(cross < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn large_payload_cross_pu_chain_uses_descriptors() {
+        // A 64 KiB hop across the CPU→DPU leg must ride the shared-segment
+        // descriptor path (the generalized DRAM-retention hand-off), and the
+        // elided staging must buy at least 2x over the pinned data plane
+        // that copies every byte through the XPUcall transport.
+        use xpu_shim::cluster::ShimConfig;
+        const BIG: u64 = 64 * 1024;
+        let big_fn = |name: &str| {
+            FunctionDef::builder(name, LangRuntime::NodeJs)
+                .profiles(&[PuKind::Cpu, PuKind::Dpu])
+                .exec(ExecModel::Fixed(SimDuration::ZERO))
+                .output_bytes(BIG)
+                .build()
+        };
+        let run = |shim: ShimConfig| {
+            let config = MoleculeConfig { shim, ..MoleculeConfig::default() };
+            let m = Molecule::launch(Machine::paper_cpu_dpu_server(), config);
+            for name in ["front", "interact"] {
+                m.register_function(big_fn(name));
+            }
+            let mut sim = Simulation::new();
+            let m2 = m.clone();
+            let h = sim.spawn("driver", move |ctx| {
+                let spec = ChainSpec::new(
+                    "big",
+                    vec![ChainStage::new("front", PuId(0)), ChainStage::new("interact", PuId(1))],
+                    CommMethod::DirectIpc,
+                )
+                .input_bytes(BIG);
+                run_chain(&m2, ctx, &spec).unwrap().mean_hop(1)
+            });
+            sim.run().unwrap();
+            (h.take_result().unwrap(), m.cluster().stats())
+        };
+        let (fast, fast_stats) = run(ShimConfig::default());
+        let (slow, slow_stats) = run(ShimConfig::pinned());
+        assert!(
+            fast_stats.descriptor_handoffs > 0,
+            "large cross-PU hops must hand off descriptors: {fast_stats:?}"
+        );
+        assert_eq!(slow_stats.descriptor_handoffs, 0, "pinned config must stage every byte");
+        // Both hops pay the same constant language-runtime serialization;
+        // the 2x claim is about the transport leg underneath it.
+        let serialize = Machine::paper_cpu_dpu_server().calibration().http_dag.ipc_runtime_overhead;
+        assert!(
+            (fast - serialize) * 2 <= slow - serialize,
+            "descriptor hand-off ({fast}) must be >=2x faster than staging ({slow}) \
+             net of the {serialize} runtime overhead"
+        );
     }
 
     #[test]

@@ -76,6 +76,101 @@ pub enum ExecutorReply {
 /// Distinct from every plain [`ExecutorReply::encode`] variant tag.
 const KEYED_REPLY_TAG: u8 = 0xFF;
 
+/// Frame tag marking a vectorized frame: several command frames packed into
+/// one nIPC message, sharing a single doorbell. Distinct from every command
+/// frame tag (0..=4) and from [`KEYED_REPLY_TAG`].
+const BATCH_FRAME_TAG: u8 = 0xFE;
+
+/// Packs several already-encoded command frames into one vectorized frame.
+/// The whole batch travels as a single `xfifo_write` — one XPUcall, one
+/// doorbell — and the executor unpacks and serves each sub-frame in order.
+pub fn encode_batch(frames: &[Bytes]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(BATCH_FRAME_TAG);
+    buf.put_u32_le(frames.len() as u32);
+    for frame in frames {
+        buf.put_u32_le(frame.len() as u32);
+        buf.put_slice(frame);
+    }
+    buf.freeze()
+}
+
+/// Unpacks a frame produced by [`encode_batch`]. Returns `None` for anything
+/// that is not a well-formed batch frame (the caller then treats the bytes
+/// as a single command frame).
+pub fn decode_batch(bytes: &Bytes) -> Option<Vec<Bytes>> {
+    let mut buf = bytes.clone();
+    if buf.remaining() < 5 || buf.get_u8() != BATCH_FRAME_TAG {
+        return None;
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut frames = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return None;
+        }
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return None;
+        }
+        frames.push(buf.split_to(len));
+    }
+    Some(frames)
+}
+
+/// Fixed-capacity served-reply cache with O(1) lookup and insert: a hash
+/// index for the dedup hit path plus an insertion-order ring for eviction.
+/// Eviction is oldest-inserted-first — the same policy the previous
+/// `BTreeMap::pop_first` pruning gave (idempotency keys are handed out
+/// monotonically), without the per-insert tree rebalance.
+#[derive(Debug)]
+pub struct ReplyCache {
+    cap: usize,
+    ring: std::collections::VecDeque<u64>,
+    map: std::collections::HashMap<u64, Bytes>,
+}
+
+impl ReplyCache {
+    /// Creates a cache holding at most `cap` replies (minimum 1).
+    pub fn new(cap: usize) -> ReplyCache {
+        let cap = cap.max(1);
+        ReplyCache {
+            cap,
+            ring: std::collections::VecDeque::with_capacity(cap + 1),
+            map: std::collections::HashMap::with_capacity(cap + 1),
+        }
+    }
+
+    /// The cached reply for `key`, if it has not been evicted.
+    pub fn get(&self, key: u64) -> Option<&Bytes> {
+        self.map.get(&key)
+    }
+
+    /// Caches `reply` under `key`, evicting the oldest entry when full.
+    /// Re-inserting an existing key refreshes the reply without growing the
+    /// ring.
+    pub fn insert(&mut self, key: u64, reply: Bytes) {
+        if self.map.insert(key, reply).is_none() {
+            self.ring.push_back(key);
+            if self.ring.len() > self.cap {
+                if let Some(oldest) = self.ring.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Number of cached replies.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
@@ -412,6 +507,104 @@ impl ExecutorHandle {
         Err(MoleculeError::PuUnavailable(self.pu))
     }
 
+    /// Sends several commands as **one** vectorized nIPC frame — a single
+    /// `xfifo_write`, so the whole batch shares one XPUcall/doorbell — and
+    /// waits for every reply. Each command carries its own idempotency key;
+    /// the executor unpacks the frame and serves each sub-command through
+    /// the same dedup path as a lone [`call_ft`](Self::call_ft), so
+    /// exactly-once semantics survive batching, re-sends and duplicated
+    /// delivery. Unanswered commands are re-sent (only the missing subset,
+    /// re-packed as a fresh batch) under the cluster's retry policy.
+    ///
+    /// Replies come back in command order. Per-command failures surface as
+    /// [`ExecutorReply::Failed`] entries rather than failing the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`MoleculeError::PuUnavailable`] when the executor's PU is dead or
+    /// some command stays unanswered past every retry; shim/protocol errors
+    /// as [`call`](Self::call).
+    pub fn call_batch(
+        &self,
+        ctx: &mut ProcCtx,
+        commands: &[ExecutorCommand],
+        timeout: SimDuration,
+    ) -> Result<Vec<ExecutorReply>, MoleculeError> {
+        use xpu_shim::error::ShimError;
+        if commands.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Drop replies orphaned by earlier timeouts or duplicated delivery.
+        while self.reply_fifo.try_read(ctx).is_ok() {}
+        let keys: Vec<u64> =
+            commands.iter().map(|_| self.cluster.fresh_idempotency_key()).collect();
+        let frames: Vec<Bytes> =
+            commands.iter().zip(&keys).map(|(c, &k)| c.encode_keyed(k, ctx.trace_ctx())).collect();
+        let attempts = self.cluster.config().retry.max_attempts.max(1);
+        let mut replies: std::collections::HashMap<u64, ExecutorReply> =
+            std::collections::HashMap::new();
+        let t0 = ctx.now();
+        for attempt in 0..attempts {
+            // Re-send only what is still unanswered, re-packed as one frame.
+            let missing: Vec<Bytes> = keys
+                .iter()
+                .zip(&frames)
+                .filter(|(k, _)| !replies.contains_key(k))
+                .map(|(_, f)| f.clone())
+                .collect();
+            match self.command_writer.write_with_retry(ctx, encode_batch(&missing)) {
+                Ok(()) => {}
+                Err(ShimError::PeerDead(pu)) => return Err(MoleculeError::PuUnavailable(pu)),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => continue,
+                Err(e) => return Err(e.into()),
+            }
+            let deadline = ctx.now() + timeout;
+            while replies.len() < commands.len() && ctx.now() < deadline {
+                match self.reply_fifo.read_timeout(ctx, deadline - ctx.now()) {
+                    Ok(raw) => {
+                        let (reply, rkey) = ExecutorReply::decode_framed(raw).ok_or_else(|| {
+                            MoleculeError::Internal("malformed executor reply".to_owned())
+                        })?;
+                        match rkey {
+                            Some(k) if keys.contains(&k) => {
+                                replies.insert(k, reply);
+                            }
+                            _ => telemetry::with(|r| {
+                                r.metrics().counter_add("executor.stale_replies", 1);
+                            }),
+                        }
+                    }
+                    Err(ShimError::FifoTimeout) => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if replies.len() == commands.len() {
+                break;
+            }
+            telemetry::with(|r| r.metrics().counter_add("executor.call_retries", 1));
+        }
+        if replies.len() < commands.len() {
+            return Err(MoleculeError::PuUnavailable(self.pu));
+        }
+        telemetry::with(|r| {
+            r.complete_span(
+                ctx.lane(),
+                t0.as_nanos(),
+                ctx.now().as_nanos(),
+                &format!("executor:call_batch pu{} n={}", self.pu.0, commands.len()),
+                ctx.trace_ctx(),
+            );
+            r.metrics().counter_add("executor.calls", commands.len() as u64);
+            r.metrics().counter_add("executor.batched_calls", commands.len() as u64);
+            r.metrics().observe_ns("executor.call_ns", (ctx.now() - t0).as_nanos());
+        });
+        let mut out = Vec::with_capacity(commands.len());
+        for k in &keys {
+            out.push(replies.remove(k).expect("every key answered"));
+        }
+        Ok(out)
+    }
+
     /// Liveness probe with a deadline: true iff the executor answered the
     /// ping within `timeout`.
     pub fn ping(&self, ctx: &mut ProcCtx, timeout: SimDuration) -> bool {
@@ -447,6 +640,80 @@ impl ExecutorHandle {
             ExecutorReply::ShuttingDown => Ok(()),
             other => Err(MoleculeError::Internal(format!("unexpected reply {other:?}"))),
         }
+    }
+}
+
+/// Whether the serve loop keeps going after handling one command frame.
+enum Served {
+    Continue,
+    Stop,
+}
+
+/// Serves one command frame: decode, dedup against the served-reply cache,
+/// execute, reply. Shared by the single-frame path and the vectorized-batch
+/// path, so exactly-once semantics are identical under batching.
+fn serve_one(
+    molecule: &Molecule,
+    ectx: &mut ProcCtx,
+    pu: PuId,
+    reply_writer: &XpuFifoWriter,
+    served: &mut ReplyCache,
+    raw: Bytes,
+) -> Served {
+    let Some((command, span, key)) = ExecutorCommand::decode_framed(raw) else {
+        let _ = reply_writer
+            .write(ectx, ExecutorReply::Failed { reason: "malformed command".to_owned() }.encode());
+        return Served::Continue;
+    };
+    if let Some(k) = key {
+        if let Some(cached) = served.get(k) {
+            telemetry::with(|r| r.metrics().counter_add("executor.dup_commands", 1));
+            return match reply_writer.write(ectx, cached.clone()) {
+                Ok(()) => Served::Continue,
+                Err(_) => Served::Stop,
+            };
+        }
+    }
+    // Adopt the manager's frame-embedded context: commands served here show
+    // up under the manager's request trace.
+    if span.is_some() {
+        ectx.set_trace_ctx(span);
+    }
+    let reply = match command {
+        ExecutorCommand::Ping => ExecutorReply::Pong,
+        ExecutorCommand::Shutdown => {
+            let ack = match key {
+                Some(k) => ExecutorReply::ShuttingDown.encode_keyed(k),
+                None => ExecutorReply::ShuttingDown.encode(),
+            };
+            let _ = reply_writer.write(ectx, ack);
+            return Served::Stop;
+        }
+        ExecutorCommand::Cfork { func } => {
+            // Executors run the *local* startup path; the manager already
+            // paid the nIPC hop to reach us.
+            start_and_report(molecule, ectx, &func, pu, StartupKind::CforkLocal)
+        }
+        ExecutorCommand::ColdStart { func } => {
+            start_and_report(molecule, ectx, &func, pu, StartupKind::ColdBaseline)
+        }
+        ExecutorCommand::Retire { instance } => {
+            match molecule.retire_instance(ectx, InstanceId(instance)) {
+                Ok(()) => ExecutorReply::Retired,
+                Err(e) => ExecutorReply::Failed { reason: e.to_string() },
+            }
+        }
+    };
+    let encoded = match key {
+        Some(k) => reply.encode_keyed(k),
+        None => reply.encode(),
+    };
+    if let Some(k) = key {
+        served.insert(k, encoded.clone());
+    }
+    match reply_writer.write(ectx, encoded) {
+        Ok(()) => Served::Continue,
+        Err(_) => Served::Stop,
     }
 }
 
@@ -514,7 +781,7 @@ pub fn launch_executor(
         // handed out monotonically and call_ft drains stragglers, so entries
         // far behind the newest key can never be replayed again.
         const SERVED_CACHE_CAP: usize = 128;
-        let mut served: std::collections::BTreeMap<u64, Bytes> = std::collections::BTreeMap::new();
+        let mut served = ReplyCache::new(SERVED_CACHE_CAP);
         loop {
             let Ok(raw) = command_fifo.read(ectx) else { return };
             // Command backlog still buffered behind the one just taken: the
@@ -525,64 +792,21 @@ pub fn launch_executor(
                     command_fifo.pending() as i64,
                 );
             });
-            let Some((command, span, key)) = ExecutorCommand::decode_framed(raw) else {
-                let _ = reply_writer.write(
-                    ectx,
-                    ExecutorReply::Failed { reason: "malformed command".to_owned() }.encode(),
-                );
-                continue;
+            // A vectorized frame carries several commands behind one
+            // doorbell; each sub-frame goes through the same dedup/reply
+            // path as a lone command.
+            let frames = match decode_batch(&raw) {
+                Some(frames) => {
+                    telemetry::with(|r| r.metrics().counter_add("executor.batch_frames", 1));
+                    frames
+                }
+                None => vec![raw],
             };
-            if let Some(k) = key {
-                if let Some(cached) = served.get(&k) {
-                    telemetry::with(|r| r.metrics().counter_add("executor.dup_commands", 1));
-                    if reply_writer.write(ectx, cached.clone()).is_err() {
-                        return;
-                    }
-                    continue;
+            for frame in frames {
+                match serve_one(&molecule_for_exec, ectx, pu, &reply_writer, &mut served, frame) {
+                    Served::Continue => {}
+                    Served::Stop => return,
                 }
-            }
-            // Adopt the manager's frame-embedded context: commands served
-            // here show up under the manager's request trace.
-            if span.is_some() {
-                ectx.set_trace_ctx(span);
-            }
-            let reply = match command {
-                ExecutorCommand::Ping => ExecutorReply::Pong,
-                ExecutorCommand::Shutdown => {
-                    let ack = match key {
-                        Some(k) => ExecutorReply::ShuttingDown.encode_keyed(k),
-                        None => ExecutorReply::ShuttingDown.encode(),
-                    };
-                    let _ = reply_writer.write(ectx, ack);
-                    return;
-                }
-                ExecutorCommand::Cfork { func } => {
-                    // Executors run the *local* startup path; the manager
-                    // already paid the nIPC hop to reach us.
-                    start_and_report(&molecule_for_exec, ectx, &func, pu, StartupKind::CforkLocal)
-                }
-                ExecutorCommand::ColdStart { func } => {
-                    start_and_report(&molecule_for_exec, ectx, &func, pu, StartupKind::ColdBaseline)
-                }
-                ExecutorCommand::Retire { instance } => {
-                    match molecule_for_exec.retire_instance(ectx, InstanceId(instance)) {
-                        Ok(()) => ExecutorReply::Retired,
-                        Err(e) => ExecutorReply::Failed { reason: e.to_string() },
-                    }
-                }
-            };
-            let encoded = match key {
-                Some(k) => reply.encode_keyed(k),
-                None => reply.encode(),
-            };
-            if let Some(k) = key {
-                served.insert(k, encoded.clone());
-                while served.len() > SERVED_CACHE_CAP {
-                    served.pop_first();
-                }
-            }
-            if reply_writer.write(ectx, encoded).is_err() {
-                return;
             }
         }
     })?;
@@ -649,6 +873,50 @@ mod tests {
         // A truncated keyed frame is malformed, not misread as plain.
         let cut = ExecutorReply::Pong.encode_keyed(9).slice(0..5);
         assert_eq!(ExecutorReply::decode_framed(cut), None);
+    }
+
+    #[test]
+    fn reply_cache_dedups_exactly_at_the_eviction_boundary() {
+        // Regression for the fixed-capacity ring: with capacity N, a key
+        // must stay cached through the next N-1 inserts and be gone after
+        // the Nth — off-by-one here would either break dedup (evict too
+        // early) or let the cache grow unbounded.
+        let cap = 128;
+        let mut cache = ReplyCache::new(cap);
+        cache.insert(1, Bytes::from_static(b"first"));
+        for k in 2..(cap as u64 + 1) {
+            cache.insert(k, Bytes::from_static(b"filler"));
+            assert!(cache.get(1).is_some(), "key 1 evicted early at insert {k}");
+        }
+        assert_eq!(cache.len(), cap);
+        // The (N+1)th distinct key pushes the oldest out — and only it.
+        cache.insert(cap as u64 + 1, Bytes::from_static(b"overflow"));
+        assert!(cache.get(1).is_none(), "oldest key must be evicted");
+        assert!(cache.get(2).is_some(), "second-oldest must survive");
+        assert_eq!(cache.len(), cap);
+        // Refreshing an existing key must not evict anything.
+        cache.insert(2, Bytes::from_static(b"refreshed"));
+        assert_eq!(cache.len(), cap);
+        assert_eq!(cache.get(2).map(|b| &b[..]), Some(&b"refreshed"[..]));
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn batch_frames_roundtrip_and_reject_garbage() {
+        let frames = vec![
+            ExecutorCommand::Ping.encode_keyed(1, None),
+            ExecutorCommand::Cfork { func: FuncId::new("img") }.encode_keyed(2, None),
+            ExecutorCommand::Retire { instance: 9 }.encode_keyed(3, None),
+        ];
+        let packed = encode_batch(&frames);
+        assert_eq!(decode_batch(&packed), Some(frames.clone()));
+        // A lone command frame is not a batch.
+        assert_eq!(decode_batch(&frames[0]), None);
+        // Truncated batches are malformed, never partially decoded.
+        for cut in 1..packed.len() {
+            assert_eq!(decode_batch(&packed.slice(0..cut)), None, "truncated at {cut}");
+        }
+        assert_eq!(decode_batch(&encode_batch(&[])), Some(Vec::new()));
     }
 
     #[test]
@@ -799,6 +1067,73 @@ mod tests {
             exec.shutdown(ctx).unwrap();
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn call_batch_serves_every_command_in_order_over_one_frame() {
+        let m = molecule();
+        let mut sim = Simulation::new();
+        let m2 = m.clone();
+        sim.spawn("manager", move |ctx| {
+            m2.bootstrap(ctx).unwrap();
+            m2.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+            let exec = launch_executor(&m2, ctx, PuId(1)).unwrap();
+            let before = m2.cluster().stats().xpucalls;
+            let replies = exec
+                .call_batch(
+                    ctx,
+                    &[
+                        ExecutorCommand::Ping,
+                        ExecutorCommand::Cfork { func: FuncId::new("img") },
+                        ExecutorCommand::Ping,
+                    ],
+                    SimDuration::from_millis(500),
+                )
+                .unwrap();
+            let writer_xcalls = m2.cluster().stats().xpucalls - before;
+            assert_eq!(replies.len(), 3);
+            assert_eq!(replies[0], ExecutorReply::Pong);
+            assert!(matches!(replies[1], ExecutorReply::Started { .. }), "{:?}", replies[1]);
+            assert_eq!(replies[2], ExecutorReply::Pong);
+            // One vectorized frame = one command-side xfifo_write = one
+            // XPUcall, instead of three command writes (replies still pay
+            // their own writes on the executor side).
+            assert!(
+                writer_xcalls <= 4,
+                "batch should collapse command xcalls, saw {writer_xcalls}"
+            );
+            exec.shutdown(ctx).unwrap();
+        });
+        sim.run().unwrap();
+        assert_eq!(m.instance_count(), 1);
+    }
+
+    #[test]
+    fn exactly_once_survives_batching_under_duplicated_delivery() {
+        let m = molecule();
+        let mut sim = Simulation::new();
+        let m2 = m.clone();
+        sim.spawn("manager", move |ctx| {
+            m2.bootstrap(ctx).unwrap();
+            m2.prepare_template(ctx, PuId(1), LangRuntime::Python).unwrap();
+            let exec = launch_executor(&m2, ctx, PuId(1)).unwrap();
+            // Every host->DPU frame is delivered twice: the executor sees the
+            // whole batch again and must replay cached replies, not re-run.
+            m2.machine().fault_plane().set_fifo_dup(ctx.now(), PuId(0), PuId(1), 1.0);
+            let replies = exec
+                .call_batch(
+                    ctx,
+                    &[ExecutorCommand::Cfork { func: FuncId::new("img") }, ExecutorCommand::Ping],
+                    SimDuration::from_millis(500),
+                )
+                .unwrap();
+            assert!(matches!(replies[0], ExecutorReply::Started { .. }));
+            m2.machine().fault_plane().set_fifo_dup(ctx.now(), PuId(0), PuId(1), 0.0);
+            exec.shutdown(ctx).unwrap();
+        });
+        sim.run().unwrap();
+        assert_eq!(m.instance_count(), 1, "the duplicated Cfork must not start a second instance");
+        assert!(m.cluster().stats().duplicated_messages >= 1, "the fault actually fired");
     }
 
     #[test]

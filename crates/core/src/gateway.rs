@@ -545,7 +545,10 @@ impl ApiGateway {
         let now = ctx.now();
         let (to_retire, kept) = {
             let mut st = self.state.lock();
-            let keep: Vec<FuncId> = st.policy.keep_set(now, self.config.keepalive_capacity);
+            // HashSet membership: one O(1) probe per idle pool instead of a
+            // linear scan of the keep set for each.
+            let keep: std::collections::HashSet<FuncId> =
+                st.policy.keep_set(now, self.config.keepalive_capacity).into_iter().collect();
             let mut to_retire = Vec::new();
             for ((func, _pu), pool) in st.idle.iter_mut() {
                 if !keep.contains(func) {

@@ -7,11 +7,33 @@
 //! priority. Chain-affinity is layered on top: "Molecule now will tend to
 //! cache functions in a chain in the same image".
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use hetsim::time::{SimDuration, SimTime};
 use vsandbox::spec::FuncId;
+
+/// Top-`capacity` selection without sorting the whole candidate set:
+/// `select_nth_unstable_by` partitions around the k-th best in O(n), then
+/// only the kept prefix is sorted — O(n + k log k) per keep-alive decision
+/// instead of O(n log n) over every tracked function. The comparator must be
+/// a total order (all policies tie-break on the function id), so the result
+/// is identical to a full sort + truncate.
+fn top_k_by<T>(
+    mut items: Vec<T>,
+    capacity: usize,
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+) -> Vec<T> {
+    if capacity == 0 {
+        return Vec::new();
+    }
+    if items.len() > capacity {
+        items.select_nth_unstable_by(capacity - 1, &cmp);
+        items.truncate(capacity);
+    }
+    items.sort_by(&cmp);
+    items
+}
 
 /// A cache-eviction policy over warm function instances.
 ///
@@ -80,13 +102,15 @@ impl KeepAlivePolicy for FixedWindow {
     }
 
     fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId> {
-        let mut alive: Vec<(&FuncId, &SimTime)> = self
+        let alive: Vec<(&FuncId, &SimTime)> = self
             .last_used
             .iter()
             .filter(|(_, &t)| now.saturating_duration_since(t) <= self.window)
             .collect();
-        alive.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
-        alive.into_iter().take(capacity).map(|(f, _)| f.clone()).collect()
+        top_k_by(alive, capacity, |a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)))
+            .into_iter()
+            .map(|(f, _)| f.clone())
+            .collect()
     }
 }
 
@@ -119,9 +143,11 @@ impl KeepAlivePolicy for Lru {
     }
 
     fn keep_set(&mut self, _now: SimTime, capacity: usize) -> Vec<FuncId> {
-        let mut all: Vec<(&FuncId, &SimTime)> = self.last_used.iter().collect();
-        all.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
-        all.into_iter().take(capacity).map(|(f, _)| f.clone()).collect()
+        let all: Vec<(&FuncId, &SimTime)> = self.last_used.iter().collect();
+        top_k_by(all, capacity, |a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)))
+            .into_iter()
+            .map(|(f, _)| f.clone())
+            .collect()
     }
 }
 
@@ -157,9 +183,11 @@ impl KeepAlivePolicy for GreedyDual {
     }
 
     fn keep_set(&mut self, _now: SimTime, capacity: usize) -> Vec<FuncId> {
-        let mut all: Vec<(&FuncId, &f64)> = self.priority.iter().collect();
-        all.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap().then_with(|| a.0.cmp(b.0)));
-        all.into_iter().take(capacity).map(|(f, _)| f.clone()).collect()
+        let all: Vec<(&FuncId, &f64)> = self.priority.iter().collect();
+        top_k_by(all, capacity, |a, b| b.1.partial_cmp(a.1).unwrap().then_with(|| a.0.cmp(b.0)))
+            .into_iter()
+            .map(|(f, _)| f.clone())
+            .collect()
     }
 }
 
@@ -170,16 +198,27 @@ impl KeepAlivePolicy for GreedyDual {
 pub struct ChainAffinity<P> {
     inner: P,
     chains: Vec<Vec<FuncId>>,
+    /// Precomputed member → chain index, so the per-function lookup in
+    /// `keep_set` is O(1) instead of a linear scan over every chain.
+    chain_index: HashMap<FuncId, usize>,
 }
 
 impl<P: KeepAlivePolicy> ChainAffinity<P> {
-    /// Wraps `inner`, honouring the given chain groupings.
+    /// Wraps `inner`, honouring the given chain groupings. A function
+    /// appearing in several chains belongs to the first (matching the scan
+    /// order this index replaces).
     pub fn new(inner: P, chains: Vec<Vec<FuncId>>) -> ChainAffinity<P> {
-        ChainAffinity { inner, chains }
+        let mut chain_index = HashMap::new();
+        for (i, chain) in chains.iter().enumerate() {
+            for member in chain {
+                chain_index.entry(member.clone()).or_insert(i);
+            }
+        }
+        ChainAffinity { inner, chains, chain_index }
     }
 
     fn chain_of(&self, func: &FuncId) -> Option<&[FuncId]> {
-        self.chains.iter().find(|c| c.contains(func)).map(Vec::as_slice)
+        self.chain_index.get(func).map(|&i| self.chains[i].as_slice())
     }
 }
 
@@ -199,6 +238,7 @@ impl<P: KeepAlivePolicy> KeepAlivePolicy for ChainAffinity<P> {
     fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId> {
         let base = self.inner.keep_set(now, capacity);
         let mut out: Vec<FuncId> = Vec::new();
+        let mut out_set: HashSet<FuncId> = HashSet::new();
         for f in base {
             if out.len() >= capacity {
                 break;
@@ -207,16 +247,16 @@ impl<P: KeepAlivePolicy> KeepAlivePolicy for ChainAffinity<P> {
                 Some(chain)
                     if chain.len()
                         <= capacity - out.len()
-                            + chain.iter().filter(|m| out.contains(m)).count() =>
+                            + chain.iter().filter(|m| out_set.contains(*m)).count() =>
                 {
                     for member in chain {
-                        if !out.contains(member) && out.len() < capacity {
+                        if out.len() < capacity && out_set.insert(member.clone()) {
                             out.push(member.clone());
                         }
                     }
                 }
                 _ => {
-                    if !out.contains(&f) {
+                    if out_set.insert(f.clone()) {
                         out.push(f);
                     }
                 }
@@ -311,6 +351,30 @@ mod tests {
         // Shedding an unknown function tracks nothing.
         p.on_shed(&f("ghost"), t(90));
         assert_eq!(p.keep_set(t(150), 10), vec![f("a")]);
+    }
+
+    #[test]
+    fn top_k_selection_matches_a_full_sort() {
+        // The select_nth fast path must be indistinguishable from the old
+        // sort-everything implementation, ties included.
+        let mut p = Lru::new();
+        for i in 0..200u64 {
+            // Deliberate collisions: several funcs share each timestamp.
+            p.on_invoke(
+                &f(&format!("fn-{i:03}")),
+                t((i * 37) % 50),
+                SimDuration::from_millis(1),
+                1.0,
+            );
+        }
+        for capacity in [0, 1, 7, 50, 199, 200, 500] {
+            let got = p.keep_set(t(10_000), capacity);
+            let mut expect: Vec<(FuncId, SimTime)> =
+                p.last_used.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            expect.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let expect: Vec<FuncId> = expect.into_iter().take(capacity).map(|(k, _)| k).collect();
+            assert_eq!(got, expect, "capacity {capacity}");
+        }
     }
 
     #[test]

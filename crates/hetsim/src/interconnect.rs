@@ -64,9 +64,20 @@ pub struct Link {
 impl Link {
     /// Time to move `bytes` across this link (setup latency + serialization).
     pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.latency + self.serialization_time(bytes)
+    }
+
+    /// The per-byte half of the cost model: pure wire/serialization time for
+    /// `bytes`, with no per-transfer setup. A zero-copy hand-off that reuses
+    /// an already-established segment pays only this for the payload.
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
         let bytes_per_sec = self.gbps * 1e9 / 8.0;
-        let serialization = SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec);
-        self.latency + serialization
+        SimDuration::from_secs_f64(bytes as f64 / bytes_per_sec)
+    }
+
+    /// The per-message half of the cost model: setup latency alone.
+    pub fn setup_time(&self) -> SimDuration {
+        self.latency
     }
 
     /// CPU ↔ DPU link: 100 Gbps PCIe RDMA, ~3 µs setup.
@@ -135,6 +146,28 @@ impl Route {
         }
     }
 
+    /// The per-byte half of the route cost: serialization of `bytes` across
+    /// every hop, with no setup latencies or forwarding cost.
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
+        match self {
+            Route::Direct(link) => link.serialization_time(bytes),
+            Route::CpuIntercepted { first, second, .. } => {
+                first.serialization_time(bytes) + second.serialization_time(bytes)
+            }
+        }
+    }
+
+    /// The per-message half of the route cost: hop setup latencies plus any
+    /// CPU forwarding cost, independent of payload size.
+    pub fn setup_time(&self) -> SimDuration {
+        match self {
+            Route::Direct(link) => link.setup_time(),
+            Route::CpuIntercepted { first, second, forward_cost } => {
+                first.setup_time() + *forward_cost + second.setup_time()
+            }
+        }
+    }
+
     /// True when the route needs the host CPU to forward data.
     pub fn is_intercepted(&self) -> bool {
         matches!(self, Route::CpuIntercepted { .. })
@@ -199,5 +232,24 @@ mod tests {
     fn bigger_transfers_take_longer() {
         let link = Link::network();
         assert!(link.transfer_time(1 << 20) > link.transfer_time(1 << 10));
+    }
+
+    #[test]
+    fn per_byte_and_per_message_halves_sum_to_transfer_time() {
+        let direct = Route::Direct(Link::pcie_rdma());
+        let hops = Route::CpuIntercepted {
+            first: Link::pcie_rdma(),
+            second: Link::pcie_dma(),
+            forward_cost: SimDuration::from_micros(10),
+        };
+        for route in [direct, hops] {
+            for bytes in [0u64, 64, 4096, 1 << 20] {
+                assert_eq!(
+                    route.setup_time() + route.serialization_time(bytes),
+                    route.transfer_time(bytes),
+                );
+            }
+            assert_eq!(route.serialization_time(0), SimDuration::ZERO);
+        }
     }
 }

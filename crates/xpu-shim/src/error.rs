@@ -33,6 +33,9 @@ pub enum ShimError {
     NoShimOn(PuId),
     /// The target PU of an `xSpawn` does not exist.
     NoSuchPu(PuId),
+    /// A zero-copy segment descriptor failed its capability check on the
+    /// reader side: forged token, wrong FIFO, or the slot was reclaimed.
+    BadDescriptor,
 }
 
 impl ShimError {
@@ -57,6 +60,7 @@ impl fmt::Display for ShimError {
             ShimError::WouldBlock => f.write_str("xpu-fifo empty (would block)"),
             ShimError::NoShimOn(pu) => write!(f, "no xpu-shim instance on {pu}"),
             ShimError::NoSuchPu(pu) => write!(f, "no such pu: {pu}"),
+            ShimError::BadDescriptor => f.write_str("segment descriptor failed capability check"),
         }
     }
 }

@@ -15,13 +15,23 @@ use telemetry::SpanContext;
 use crate::cluster::ShimCluster;
 use crate::error::ShimError;
 use crate::id::{GlobalUuid, ObjId, XpuPid};
+use crate::segment::SegDescriptor;
+
+/// What a FIFO message carries: the payload inline, or — for large writes on
+/// the zero-copy path — a capability-guarded descriptor pointing at a
+/// shared-segment slot the reader's shim resolves on consumption.
+#[derive(Debug, Clone)]
+pub(crate) enum FifoPayload {
+    Inline(Bytes),
+    Descriptor(SegDescriptor),
+}
 
 /// The unit travelling through an XPU-FIFO: the payload plus the telemetry
 /// span context piggybacked on every nIPC message, so a trace follows the
 /// request across PUs.
 #[derive(Debug, Clone)]
 pub(crate) struct FifoMsg {
-    pub payload: Bytes,
+    pub payload: FifoPayload,
     pub span: Option<SpanContext>,
 }
 
@@ -66,7 +76,7 @@ impl XpuFifoReader {
     /// drained.
     pub fn read(&self, ctx: &mut ProcCtx) -> Result<Bytes, ShimError> {
         match self.rx.recv(ctx) {
-            Ok(msg) => Ok(self.finish_read(ctx, msg)),
+            Ok(msg) => self.finish_read(ctx, msg),
             Err(RecvError::Disconnected) => Err(ShimError::FifoClosed),
         }
     }
@@ -83,7 +93,7 @@ impl XpuFifoReader {
         timeout: SimDuration,
     ) -> Result<Bytes, ShimError> {
         match self.rx.recv_timeout(ctx, timeout) {
-            Ok(msg) => Ok(self.finish_read(ctx, msg)),
+            Ok(msg) => self.finish_read(ctx, msg),
             Err(RecvTimeoutError::Timeout) => Err(ShimError::FifoTimeout),
             Err(RecvTimeoutError::Disconnected) => Err(ShimError::FifoClosed),
         }
@@ -98,14 +108,24 @@ impl XpuFifoReader {
     /// gone and the queue is drained.
     pub fn try_read(&self, ctx: &mut ProcCtx) -> Result<Bytes, ShimError> {
         match self.rx.try_recv() {
-            Ok(msg) => Ok(self.finish_read(ctx, msg)),
+            Ok(msg) => self.finish_read(ctx, msg),
             Err(TryRecvError::Empty) => Err(ShimError::WouldBlock),
             Err(TryRecvError::Disconnected) => Err(ShimError::FifoClosed),
         }
     }
 
-    fn finish_read(&self, ctx: &mut ProcCtx, msg: FifoMsg) -> Bytes {
+    fn finish_read(&self, ctx: &mut ProcCtx, msg: FifoMsg) -> Result<Bytes, ShimError> {
         ctx.sleep(self.cluster.os_costs_of(self.owner.pu).syscall);
+        let payload = match msg.payload {
+            FifoPayload::Inline(bytes) => bytes,
+            // Zero-copy hand-off: the message carried a descriptor; attach
+            // the shared-segment slot (cheaper than an ipc_segment delivery)
+            // and consume it. A forged or replayed descriptor fails here.
+            FifoPayload::Descriptor(desc) => {
+                ctx.sleep(self.cluster.segment_costs().map);
+                self.cluster.resolve_descriptor(&self.uuid, &desc)?
+            }
+        };
         if msg.span.is_some() {
             ctx.set_trace_ctx(msg.span);
         }
@@ -117,7 +137,7 @@ impl XpuFifoReader {
                 msg.span,
             );
         });
-        msg.payload
+        Ok(payload)
     }
 
     /// `xfifo_close` from the owner side: destroys the FIFO object.

@@ -16,6 +16,9 @@
 //!   model;
 //! * [`fifo`] + [`cluster`] — XPU-FIFOs and neighbour IPC (nIPC): FIFO
 //!   semantics across PUs over RDMA/DMA instead of the network;
+//! * [`segment`] — per-link shared segments for zero-copy large-payload
+//!   hand-off: the FIFO carries a capability-guarded descriptor while the
+//!   bytes cross the link once (Fig. 13's data retention, generalized);
 //! * [`mpsc`] — the real lock-free MPSC notification queue the optimized
 //!   transports are built on (§5's security-conscious design);
 //! * [`server`] — multi-threaded XPUcall handling: per-thread dedicated
@@ -56,12 +59,14 @@ pub mod error;
 pub mod fifo;
 pub mod id;
 pub mod mpsc;
+pub mod segment;
 pub mod server;
 pub mod xcall;
 
 pub use cap::Perm;
-pub use cluster::{ShimCluster, ShimConfig, ShimStats, XpuShim};
+pub use cluster::{ShimCluster, ShimConfig, ShimStats, TransportPolicy, XpuShim};
 pub use error::ShimError;
 pub use fifo::{XpuFifoReader, XpuFifoWriter};
 pub use id::{GlobalUuid, ObjId, XpuPid};
+pub use segment::SegDescriptor;
 pub use xcall::XcallTransport;

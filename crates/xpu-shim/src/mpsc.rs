@@ -119,6 +119,20 @@ impl NotifyQueue {
         }
     }
 
+    /// Enqueues a burst of notifications from one producer, stopping at the
+    /// first full slot. Returns how many were accepted — the all-or-nothing
+    /// caller re-offers the remainder after a drain, the doorbell-coalescing
+    /// caller treats the accepted prefix as one batch (one consumer wakeup
+    /// amortized over `n` entries).
+    pub fn push_batch(&self, pids: &[XpuPid]) -> usize {
+        for (i, &pid) in pids.iter().enumerate() {
+            if self.push(pid).is_err() {
+                return i;
+            }
+        }
+        pids.len()
+    }
+
     /// Dequeues the next notification (single consumer: the shim thread).
     pub fn pop(&self) -> Option<XpuPid> {
         let head = self.head.load(Ordering::Relaxed);
@@ -256,6 +270,16 @@ mod tests {
                 assert_eq!(got, expect as u32, "producer {p} out of order");
             }
         }
+    }
+
+    #[test]
+    fn push_batch_accepts_a_prefix_up_to_capacity() {
+        let q = NotifyQueue::with_capacity(4);
+        let burst: Vec<XpuPid> = (0..6).map(pid).collect();
+        assert_eq!(q.push_batch(&burst), 4, "ring holds 4: the prefix fits");
+        assert_eq!(q.drain(), burst[..4].to_vec());
+        assert_eq!(q.push_batch(&burst[4..]), 2, "remainder fits after drain");
+        assert_eq!(q.drain(), burst[4..].to_vec());
     }
 
     #[test]

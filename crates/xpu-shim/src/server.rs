@@ -174,6 +174,39 @@ impl ShimServer {
         }
     }
 
+    /// Submits a coalesced batch of notifications from one producer: the
+    /// vectorized-frame analogue of [`submit`](Self::submit). All entries
+    /// from one caller ride a single doorbell, so under
+    /// [`QueueDiscipline::PerThread`] the batch is offered to each pid's
+    /// queue in prefix chunks ([`NotifyQueue::push_batch`]) instead of one
+    /// CAS-contended push per entry.
+    pub fn submit_batch(&self, pids: &[XpuPid]) {
+        match &self.backend {
+            Backend::PerThread(queues) => {
+                // Group by destination queue, preserving per-producer order.
+                let mut by_queue: Vec<Vec<XpuPid>> = vec![Vec::new(); queues.len()];
+                for &pid in pids {
+                    let idx = (pid.encode() % queues.len() as u64) as usize;
+                    by_queue[idx].push(pid);
+                }
+                for (idx, group) in by_queue.iter().enumerate() {
+                    let mut offered = 0;
+                    while offered < group.len() {
+                        offered += queues[idx].push_batch(&group[offered..]);
+                        if offered < group.len() {
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+            Backend::WorkStealing(injector) => {
+                for &pid in pids {
+                    injector.push(pid);
+                }
+            }
+        }
+    }
+
     /// Notifications handled so far, per thread.
     pub fn handled_per_thread(&self) -> Vec<u64> {
         self.handled.iter().map(|c| c.load(Ordering::Relaxed)).collect()
@@ -256,6 +289,21 @@ mod tests {
         server.shutdown();
         let busy = per_thread.iter().filter(|&&c| c > 0).count();
         assert!(busy >= 2, "stealing should spread a hot producer: {per_thread:?}");
+    }
+
+    #[test]
+    fn submit_batch_delivers_everything_under_both_disciplines() {
+        for discipline in [
+            QueueDiscipline::PerThread { threads: 4 },
+            QueueDiscipline::WorkStealing { threads: 4 },
+        ] {
+            let server = ShimServer::start(discipline, |_, _| {});
+            let batch: Vec<XpuPid> =
+                (0..10_000u32).map(|i| XpuPid { pu: PuId((i % 8) as u16), local: i }).collect();
+            server.submit_batch(&batch);
+            let total = server.shutdown();
+            assert_eq!(total, 10_000, "{discipline:?}");
+        }
     }
 
     #[test]

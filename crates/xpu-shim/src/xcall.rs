@@ -63,6 +63,48 @@ impl XcallTransport {
             }
         }
     }
+
+    /// The marginal cost of an XPUcall that shares a doorbell with a call
+    /// issued to the same peer moments earlier: queue admission, shim
+    /// processing and payload staging are still paid, but the wakeup /
+    /// response machinery (`ipc_segment`, shm response, user poll) is
+    /// amortized across the coalesced batch. Strictly cheaper than
+    /// [`XcallTransport::invoke_cost`] for every transport.
+    pub fn coalesced_cost(
+        self,
+        os: &OsCosts,
+        xc: &XpuCallCosts,
+        payload_bytes: u64,
+    ) -> SimDuration {
+        let staged = SimDuration::from_nanos((xc.shm_per_byte_ns * payload_bytes as f64) as u64);
+        let polled = SimDuration::from_nanos((xc.poll_per_byte_ns * payload_bytes as f64) as u64);
+        let _ = os;
+        match self {
+            XcallTransport::Base => xc.processing + staged,
+            XcallTransport::Mpsc => xc.mpsc_enqueue + xc.processing + staged,
+            XcallTransport::MpscPoll => xc.mpsc_enqueue + xc.processing + polled,
+        }
+    }
+}
+
+/// Upper byte bounds of the payload-size buckets the adaptive selector keys
+/// its per-link estimates on (the last bucket is open-ended).
+pub const PAYLOAD_BUCKETS: [u64; 7] = [64, 256, 1024, 4096, 16_384, 65_536, u64::MAX];
+
+/// The bucket index a payload of `bytes` falls into.
+pub fn payload_bucket(bytes: u64) -> usize {
+    PAYLOAD_BUCKETS.iter().position(|&hi| bytes <= hi).unwrap_or(PAYLOAD_BUCKETS.len() - 1)
+}
+
+/// A representative payload size for seeding a bucket's cost estimate: the
+/// bucket's upper bound (conservative), or 256 KiB for the open-ended tail.
+pub fn bucket_representative(bucket: usize) -> u64 {
+    let hi = PAYLOAD_BUCKETS[bucket.min(PAYLOAD_BUCKETS.len() - 1)];
+    if hi == u64::MAX {
+        256 * 1024
+    } else {
+        hi
+    }
 }
 
 impl fmt::Display for XcallTransport {
@@ -164,6 +206,33 @@ mod tests {
             large - small
         };
         assert!(grow(XcallTransport::Base) > grow(XcallTransport::MpscPoll));
+    }
+
+    #[test]
+    fn coalesced_cost_is_strictly_cheaper_for_every_transport() {
+        let c = Calibration::paper_server();
+        for (os, xc) in [(&c.dpu_bf1_os, &c.xcall_device), (&c.cpu_os, &c.xcall_cpu)] {
+            for size in [0u64, 16, 2048, 65_536] {
+                for t in XcallTransport::ALL {
+                    assert!(
+                        t.coalesced_cost(os, xc, size) < t.invoke_cost(os, xc, size),
+                        "{t} coalesced must undercut the full doorbell at {size}B"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_buckets_are_monotone_and_cover_all_sizes() {
+        assert_eq!(payload_bucket(0), 0);
+        assert_eq!(payload_bucket(64), 0);
+        assert_eq!(payload_bucket(65), 1);
+        assert_eq!(payload_bucket(4096), 3);
+        assert_eq!(payload_bucket(1 << 20), 6);
+        for b in 0..PAYLOAD_BUCKETS.len() {
+            assert_eq!(payload_bucket(bucket_representative(b)), b);
+        }
     }
 
     #[test]
