@@ -38,3 +38,23 @@ test -f BENCH_comm.json
 jq -e '[.rows[]] | length > 0 and all(.[4].value <= .[5].value)' BENCH_comm.json >/dev/null
 jq -e '[.rows[] | select(.[0].value >= 65536)] | length > 0 and all(.[6].value >= 2)' \
     BENCH_comm.json >/dev/null
+
+# Schedule-exploration stage: simcheck drives every scenario through its
+# budgeted interleaving sweep (each suite asserts >=200 distinct schedules)
+# with invariant oracles on every step. A violation fails the stage and the
+# harness prints a SIMCHECK_REPLAY=<blob> line for deterministic local
+# reproduction (see TESTING.md).
+cargo test -q -p molecule-simcheck
+
+# Flake detector: the tier-1 suite twice under different host-thread counts.
+# Virtual time must be immune to host parallelism — any diff between the
+# two outcome lists is a real nondeterminism bug, not a flake to retry.
+flake_outcomes() {
+    # Wall-clock times differ run to run; the pass/fail ledger must not.
+    { RUST_TEST_THREADS="$1" cargo test -q 2>&1 || true; } \
+        | grep -E '^(test result:|failures:)' \
+        | sed 's/; finished in .*//' | sort
+}
+flake_outcomes 1 > /tmp/ci-flake-t1.txt
+flake_outcomes 8 > /tmp/ci-flake-t8.txt
+diff -u /tmp/ci-flake-t1.txt /tmp/ci-flake-t8.txt

@@ -97,6 +97,20 @@ impl FaultPlan {
         self.events.sort_by_key(|e| e.at);
     }
 
+    /// A copy of the plan with event `idx` removed (same seed). The
+    /// delta-debugging shrinker calls this to test whether a fault event is
+    /// necessary to reproduce an invariant violation.
+    ///
+    /// Out-of-range indices return an unchanged copy.
+    #[must_use]
+    pub fn without_event(&self, idx: usize) -> FaultPlan {
+        let mut plan = self.clone();
+        if idx < plan.events.len() {
+            plan.events.remove(idx);
+        }
+        plan
+    }
+
     /// Parses the text DSL (see the module docs for the grammar).
     ///
     /// # Errors

@@ -86,6 +86,18 @@ impl FpgaCacheManager {
             .is_some_and(|runf| runf.is_resident(&SandboxId::new(func.as_str())))
     }
 
+    /// The cache manager drives `runF` directly, below [`Molecule::invoke`]
+    /// and its dead-PU guard — so it must consult the fault plane itself or
+    /// a batch keeps executing on a crashed fabric. Surfacing the shim's
+    /// fault shape sends gateways down their failover path, which re-places
+    /// the whole in-flight batch instead of losing it.
+    fn check_alive(&self) -> Result<(), MoleculeError> {
+        if self.molecule.machine().fault_plane().is_dead(self.pu) {
+            return Err(MoleculeError::Shim(xpu_shim::error::ShimError::PeerDead(self.pu)));
+        }
+        Ok(())
+    }
+
     /// Serves one request for `func` with `input_bytes`, re-packing the
     /// image if the kernel is not resident. Returns the request latency and
     /// whether it was a hit.
@@ -99,6 +111,7 @@ impl FpgaCacheManager {
         func: &FuncId,
         input_bytes: u64,
     ) -> Result<(SimDuration, bool), MoleculeError> {
+        self.check_alive()?;
         let t0 = ctx.now();
         let def = self
             .molecule
@@ -173,6 +186,7 @@ impl FpgaCacheManager {
         ctx: &mut ProcCtx,
         reqs: &[(FuncId, u64)],
     ) -> Result<Vec<(SimDuration, bool)>, MoleculeError> {
+        self.check_alive()?;
         let t0 = ctx.now();
         // Validate every request and classify hits/misses up front.
         let mut execs = Vec::with_capacity(reqs.len());
@@ -214,6 +228,9 @@ impl FpgaCacheManager {
             pack.retain(|f| !missed.contains(f) && self.molecule.registry().get(f).is_some());
             pack.extend(missed.iter().cloned());
             self.molecule.cache_fpga_functions_replacing(ctx, self.pu, &pack)?;
+            // The flash is seconds of virtual time — the fabric may have
+            // died under it.
+            self.check_alive()?;
         }
         {
             let mut st = self.state.lock();

@@ -28,10 +28,12 @@
 
 mod channel;
 mod process;
+mod schedule;
 mod semaphore;
 
 pub use channel::{RecvError, RecvTimeoutError, SendError, SimReceiver, SimSender, TryRecvError};
 pub use process::{ProcCtx, ProcHandle, ProcId};
+pub use schedule::{ChoicePoint, FifoSeqPolicy, SchedulePolicy};
 pub use semaphore::{SemPermit, SimSemaphore};
 
 use std::cmp::Reverse;
@@ -260,6 +262,9 @@ pub struct Simulation {
     shared: Arc<EngineShared>,
     event_limit: u64,
     events_fired: u64,
+    policy: Option<Box<dyn SchedulePolicy>>,
+    choice_log: Vec<ChoicePoint>,
+    step_observer: Option<Box<dyn FnMut()>>,
 }
 
 impl Default for Simulation {
@@ -288,12 +293,36 @@ impl Simulation {
             }),
             event_limit: u64::MAX,
             events_fired: 0,
+            policy: None,
+            choice_log: Vec::new(),
+            step_observer: None,
         }
     }
 
     /// Caps the number of events a [`run`](Self::run) may fire (runaway guard).
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// Installs a [`SchedulePolicy`] that breaks same-instant ties.
+    ///
+    /// Every consulted tie is recorded as a [`ChoicePoint`]; harvest the log
+    /// with [`take_choice_log`](Self::take_choice_log) after (or instead of)
+    /// a successful run — the log survives an erroring run too.
+    pub fn set_schedule_policy(&mut self, policy: Box<dyn SchedulePolicy>) {
+        self.policy = Some(policy);
+    }
+
+    /// Takes the tie-break decisions recorded so far, leaving the log empty.
+    pub fn take_choice_log(&mut self) -> Vec<ChoicePoint> {
+        std::mem::take(&mut self.choice_log)
+    }
+
+    /// Installs a closure invoked after every fired event, with no engine
+    /// lock held and no simulated process running — the safe window for
+    /// invariant oracles to snapshot shared state.
+    pub fn set_step_observer(&mut self, obs: Box<dyn FnMut()>) {
+        self.step_observer = Some(obs);
     }
 
     /// Records the name of every resumed process; the log is returned in the
@@ -342,7 +371,41 @@ impl Simulation {
                     Some(Reverse(ev)) => {
                         debug_assert!(ev.time >= st.now, "event queue went backwards");
                         st.now = ev.time;
-                        ev.action
+                        match self.policy.as_mut() {
+                            Some(policy) => {
+                                // Gather every event runnable at this instant.
+                                // Heap pops come out in (time, seq) order, so
+                                // the batch is already seq-sorted and index 0
+                                // is what the default tie-break would run.
+                                let mut batch = vec![ev];
+                                while st
+                                    .events
+                                    .peek()
+                                    .is_some_and(|Reverse(peek)| peek.time == batch[0].time)
+                                {
+                                    let Reverse(next) =
+                                        st.events.pop().expect("peeked event vanished");
+                                    batch.push(next);
+                                }
+                                let arity = batch.len();
+                                let chosen = if arity > 1 {
+                                    let c = policy.choose(st.now, arity).min(arity - 1);
+                                    self.choice_log.push(ChoicePoint {
+                                        arity: arity as u32,
+                                        chosen: c as u32,
+                                    });
+                                    c
+                                } else {
+                                    0
+                                };
+                                let ev = batch.remove(chosen);
+                                for rest in batch {
+                                    st.events.push(Reverse(rest));
+                                }
+                                ev.action
+                            }
+                            None => ev.action,
+                        }
                     }
                     None => {
                         if st.live == 0 {
@@ -413,6 +476,8 @@ impl Simulation {
                             st.live -= 1;
                         }
                         YieldKind::Panicked(message) => {
+                            // (step observer intentionally skipped: the run is
+                            // about to abort and report the panic instead.)
                             let name = st
                                 .procs
                                 .remove(&proc)
@@ -429,6 +494,9 @@ impl Simulation {
                         }
                     }
                 }
+            }
+            if let Some(obs) = self.step_observer.as_mut() {
+                obs();
             }
         }
     }

@@ -1,0 +1,50 @@
+//! Pluggable tie-break for the runnable set.
+//!
+//! The engine orders events by `(time, seq)`; the monotone sequence number
+//! makes every run bit-for-bit identical, but it also means each program is
+//! only ever tested along *one* schedule. A [`SchedulePolicy`] makes the
+//! same-instant tie-break pluggable: when two or more events are runnable at
+//! the same virtual time, the engine asks the policy which fires first and
+//! records the decision as a [`ChoicePoint`]. Replaying the recorded choices
+//! reproduces the exact interleaving; varying them explores others — the
+//! loom/turmoil trick, but over virtual time instead of memory orderings.
+//!
+//! With no policy installed the engine behaves exactly as before (lowest
+//! `seq` first), so existing tests and benches are untouched.
+
+use crate::time::SimTime;
+
+/// One recorded tie-break: `arity` events were runnable at the same instant
+/// and the policy picked index `chosen` (in `(time, seq)` order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChoicePoint {
+    /// How many events were runnable at this instant (always ≥ 2; the engine
+    /// does not consult the policy for singleton "ties").
+    pub arity: u32,
+    /// The index the policy chose, already clamped to `0..arity`.
+    pub chosen: u32,
+}
+
+/// Decides which of several same-instant events fires first.
+///
+/// `choose` is called with `arity ≥ 2` candidates ordered by their original
+/// sequence number (index 0 is what the default scheduler would run). The
+/// returned index is clamped to `0..arity` by the engine, so policies may
+/// return out-of-range values when replaying a schedule recorded against a
+/// slightly different program.
+pub trait SchedulePolicy: Send {
+    /// Pick which of the `arity` runnable events at `now` fires first.
+    fn choose(&mut self, now: SimTime, arity: usize) -> usize;
+}
+
+/// The default tie-break as an explicit policy: always run the event with
+/// the lowest sequence number. Installing it is equivalent to installing no
+/// policy at all, except that choice points are still recorded.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FifoSeqPolicy;
+
+impl SchedulePolicy for FifoSeqPolicy {
+    fn choose(&mut self, _now: SimTime, _arity: usize) -> usize {
+        0
+    }
+}

@@ -1,0 +1,76 @@
+//! Schedule policies: randomized and replay tie-breaks.
+
+use hetsim::engine::SchedulePolicy;
+use hetsim::time::SimTime;
+use rand::prelude::*;
+
+/// Breaks every same-instant tie with a seeded random pick. The same seed
+/// always produces the same schedule, so a "random" run is still perfectly
+/// reproducible — record its choice log and hand it to [`ReplayPolicy`].
+#[derive(Debug, Clone)]
+pub struct ShuffledPolicy {
+    rng: StdRng,
+}
+
+impl ShuffledPolicy {
+    /// A policy drawing its tie-breaks from `seed`.
+    pub fn new(seed: u64) -> ShuffledPolicy {
+        ShuffledPolicy { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl SchedulePolicy for ShuffledPolicy {
+    fn choose(&mut self, _now: SimTime, arity: usize) -> usize {
+        self.rng.gen_range(0..arity)
+    }
+}
+
+/// Replays a recorded choice list: the `i`-th consulted tie takes
+/// `choices[i]`, clamped to the live arity; ties beyond the list fall back
+/// to the default (index 0). Replaying the exact log of a previous run of
+/// the same scenario reproduces that run bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct ReplayPolicy {
+    choices: Vec<u32>,
+    cursor: usize,
+}
+
+impl ReplayPolicy {
+    /// A policy replaying `choices` in order.
+    pub fn new(choices: Vec<u32>) -> ReplayPolicy {
+        ReplayPolicy { choices, cursor: 0 }
+    }
+}
+
+impl SchedulePolicy for ReplayPolicy {
+    fn choose(&mut self, _now: SimTime, arity: usize) -> usize {
+        let c = self.choices.get(self.cursor).copied().unwrap_or(0) as usize;
+        self.cursor += 1;
+        c.min(arity.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuffled_is_deterministic_per_seed() {
+        let picks = |seed| {
+            let mut p = ShuffledPolicy::new(seed);
+            (0..32).map(|_| p.choose(SimTime::ZERO, 3)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(7), picks(7));
+        assert_ne!(picks(7), picks(8));
+        assert!(picks(7).iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn replay_clamps_and_defaults_to_zero() {
+        let mut p = ReplayPolicy::new(vec![2, 9, 1]);
+        assert_eq!(p.choose(SimTime::ZERO, 3), 2);
+        assert_eq!(p.choose(SimTime::ZERO, 2), 1, "out-of-range choice clamps");
+        assert_eq!(p.choose(SimTime::ZERO, 4), 1);
+        assert_eq!(p.choose(SimTime::ZERO, 4), 0, "past the list: default");
+    }
+}

@@ -1,0 +1,133 @@
+//! Delta-debugging shrinkers for schedules and fault plans.
+//!
+//! When an oracle trips, the raw repro is a choice list hundreds of entries
+//! long plus whatever chaos plan the scenario ran under. Both shrink the
+//! same way: repeatedly try a smaller candidate, keep it if the violation
+//! still reproduces, stop at a fixpoint. The `violates` predicate re-runs
+//! the whole scenario per candidate, so shrinking costs runs — but repros
+//! routinely collapse from hundreds of choices to a handful.
+
+use molecule_chaos::FaultPlan;
+
+/// Minimizes a schedule choice list while `violates` keeps returning true.
+///
+/// Two reduction moves, applied to fixpoint:
+///
+/// 1. *Truncate*: drop everything past the last nonzero entry (a replay
+///    defaults to 0 beyond the list, so trailing zeros are dead weight).
+/// 2. *Zero*: set each nonzero entry to 0, one at a time — every zeroed
+///    entry is one fewer divergence from the default schedule.
+///
+/// The result is the canonical "minimal repro" form: a (usually short)
+/// prefix whose nonzero entries are each *necessary* to trip the oracle.
+pub fn shrink_choices<F>(mut choices: Vec<u32>, mut violates: F) -> Vec<u32>
+where
+    F: FnMut(&[u32]) -> bool,
+{
+    truncate_trailing_zeros(&mut choices);
+    loop {
+        let mut progressed = false;
+        // Zero single nonzero entries, scanning from the end (later choices
+        // tend to be incidental).
+        let mut i = choices.len();
+        while i > 0 {
+            i -= 1;
+            if choices[i] == 0 {
+                continue;
+            }
+            let mut candidate = choices.clone();
+            candidate[i] = 0;
+            truncate_trailing_zeros(&mut candidate);
+            if violates(&candidate) {
+                choices = candidate;
+                progressed = true;
+                i = i.min(choices.len());
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    choices
+}
+
+fn truncate_trailing_zeros(choices: &mut Vec<u32>) {
+    while choices.last() == Some(&0) {
+        choices.pop();
+    }
+}
+
+/// Number of nonzero entries — the "how far from the default schedule"
+/// measure a minimal repro is judged by.
+pub fn nonzero_choices(choices: &[u32]) -> usize {
+    choices.iter().filter(|&&c| c != 0).count()
+}
+
+/// Minimizes a chaos plan by removing one event at a time while `violates`
+/// keeps returning true, to fixpoint. Events that survive are each
+/// necessary for the repro.
+pub fn shrink_plan<F>(mut plan: FaultPlan, mut violates: F) -> FaultPlan
+where
+    F: FnMut(&FaultPlan) -> bool,
+{
+    loop {
+        let mut progressed = false;
+        let mut idx = plan.events().len();
+        while idx > 0 {
+            idx -= 1;
+            let candidate = plan.without_event(idx);
+            if violates(&candidate) {
+                plan = candidate;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::time::SimTime;
+    use molecule_chaos::FaultAction;
+
+    #[test]
+    fn shrinks_to_the_necessary_choice() {
+        // Violation iff entry 3 is nonzero: everything else must shrink away.
+        let start = vec![1, 0, 2, 5, 0, 1, 0];
+        let min = shrink_choices(start, |c| c.get(3).copied().unwrap_or(0) != 0);
+        assert_eq!(min, vec![0, 0, 0, 5]);
+        assert_eq!(nonzero_choices(&min), 1);
+    }
+
+    #[test]
+    fn shrinks_to_empty_when_violation_is_schedule_independent() {
+        let min = shrink_choices(vec![3, 1, 2], |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn keeps_jointly_necessary_choices() {
+        let start = vec![1, 1, 1];
+        let min = shrink_choices(start, |c| {
+            c.first().copied().unwrap_or(0) != 0 && c.get(2).copied().unwrap_or(0) != 0
+        });
+        assert_eq!(min, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn plan_shrinks_to_the_necessary_event() {
+        let plan = FaultPlan::new(9)
+            .with(SimTime::from_nanos(10), FaultAction::KillPu(hetsim::pu::PuId(1)))
+            .with(SimTime::from_nanos(20), FaultAction::KillPu(hetsim::pu::PuId(2)))
+            .with(SimTime::from_nanos(30), FaultAction::KillPu(hetsim::pu::PuId(3)));
+        let min = shrink_plan(plan, |p| {
+            p.events().iter().any(|e| matches!(e.action, FaultAction::KillPu(pu) if pu.0 == 2))
+        });
+        assert_eq!(min.events().len(), 1);
+        assert_eq!(min.seed(), 9, "shrinking preserves the sampling seed");
+    }
+}

@@ -1,0 +1,119 @@
+//! Re-introduces the historical concurrent-cfork race (behind
+//! `set_unserialized_cfork_for_test`) and checks that schedule exploration
+//! finds it and shrinks it to a small repro — and that with the
+//! serialization gate in place the same scenario survives the full budget.
+//!
+//! The race: cfork merges the template's runtime threads to one, forks,
+//! then re-expands. Two unserialized cforks can interleave so one forks
+//! while the other has already re-expanded the template (fork of a
+//! multi-threaded process fails), or leave the template's thread count
+//! corrupted. The gate (a one-permit semaphore around merge→fork→expand)
+//! is what makes the interleaving safe; this suite is the regression proof.
+
+use hetsim::calib::Calibration;
+use hetsim::engine::Simulation;
+use hetsim::os::LocalOs;
+use hetsim::pu::{PuId, PuSpec};
+use molecule_simcheck::explore::{explore, Check, ExploreOptions};
+use molecule_simcheck::shrink::nonzero_choices;
+use vsandbox::runc::{CforkOpts, RuncRuntime};
+use vsandbox::spec::{LangRuntime, SandboxConfig, SandboxId};
+
+fn cfork_race_scenario(unserialized: bool, racers: usize) -> impl FnMut(&mut Simulation) -> Check {
+    move |sim| {
+        let calib = Calibration::desktop();
+        let spec = PuSpec::xeon_host(PuId(0));
+        let os = LocalOs::boot(&spec, calib.cpu_os, 64 * 1024);
+        let rt = RuncRuntime::new(os, &calib);
+        rt.set_unserialized_cfork_for_test(unserialized);
+
+        // The template must exist before the racers start; hand it out
+        // through channels back-to-back so every racer wakes at the same
+        // instant.
+        let mut txs = Vec::new();
+        let mut rxs = Vec::new();
+        for _ in 0..racers {
+            let (tx, rx) = sim.channel::<SandboxId>();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let prep_rt = rt.clone();
+        let template = sim.spawn("prep", move |ctx| {
+            let id = prep_rt.prepare_template(ctx, LangRuntime::Python, 256).unwrap();
+            for tx in txs {
+                tx.send(id.clone()).unwrap();
+            }
+            id
+        });
+        let racers: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| {
+                let rt = rt.clone();
+                sim.spawn(&format!("cfork-{i}"), move |ctx| {
+                    let tmpl = rx.recv(ctx).unwrap();
+                    let cfg = SandboxConfig::general("image-resize", LangRuntime::Python, 128);
+                    rt.cfork(
+                        ctx,
+                        &tmpl,
+                        &SandboxId::new(format!("child-{i}")),
+                        &cfg,
+                        CforkOpts::default(),
+                    )
+                })
+            })
+            .collect();
+
+        let check_rt = rt.clone();
+        Box::new(move |result| {
+            result.as_ref().map_err(|e| e.to_string())?;
+            for h in &racers {
+                h.take_result()
+                    .expect("racer finished")
+                    .map_err(|e| format!("{}: cfork failed: {e}", h.name()))?;
+            }
+            // Even when both cforks "succeed", the template must be left
+            // intact: exactly its three runtime threads.
+            let tmpl = template.take_result().expect("template prepared");
+            let pid = check_rt.os_pid(&tmpl).ok_or("template process gone")?;
+            let threads =
+                check_rt.os().process(pid).ok_or("template process unregistered")?.threads;
+            if threads != 3 {
+                return Err(format!("template left with {threads} threads (expected 3)"));
+            }
+            Ok(())
+        })
+    }
+}
+
+#[test]
+fn unserialized_cfork_race_is_caught_and_shrunk() {
+    let opts = ExploreOptions { trials: 128, seed: 5, ..ExploreOptions::default() };
+    let report = explore(&opts, cfork_race_scenario(true, 2));
+    let v = report.violation.expect("the re-introduced race must be caught");
+    assert!(
+        v.message.contains("cfork failed") || v.message.contains("threads"),
+        "unexpected violation: {}",
+        v.message
+    );
+    assert!(
+        nonzero_choices(&v.choices) <= 10,
+        "repro not minimal: {} non-default choices in {:?}",
+        nonzero_choices(&v.choices),
+        v.choices
+    );
+    assert!(!v.replay.is_empty(), "violation must ship a replay artifact");
+}
+
+#[test]
+fn serialized_cfork_survives_the_same_schedules() {
+    let opts = ExploreOptions { trials: 256, seed: 5, ..ExploreOptions::default() };
+    let report = explore(&opts, cfork_race_scenario(false, 4));
+    report.assert_clean();
+    assert!(
+        report.distinct_schedules >= 200,
+        "only {} distinct schedules in {} trials",
+        report.distinct_schedules,
+        report.trials_run
+    );
+}

@@ -1,0 +1,217 @@
+//! Schedule exploration over the cross-PU control plane: `xSpawn` racing
+//! grant/revoke churn racing PU death + reclamation, with the cluster
+//! invariant oracle watching every step; per-writer FIFO order under
+//! every tie-break; and byte-identical schedule replay.
+
+use bytes::Bytes;
+use hetsim::engine::{SchedulePolicy, Simulation};
+use hetsim::pu::PuId;
+use hetsim::time::SimDuration;
+use hetsim::topology::Machine;
+use molecule_simcheck::explore::{explore, Check, ExploreOptions};
+use molecule_simcheck::{
+    ClusterOracle, FifoOrderTracker, OracleConfig, ReplayPolicy, ShuffledPolicy,
+};
+use xpu_shim::{Perm, ShimCluster, ShimConfig};
+
+/// Three racers over one cluster:
+///
+/// * a *spawner* that `xSpawn`s a DPU child with a WRITE capv and waits for
+///   its message;
+/// * a *churner* granting and revoking WRITE on its own FIFO in a loop;
+/// * a *reaper* that kills the DPU mid-churn and reclaims it twice (the
+///   duplicated crash notification the chaos plane can produce).
+///
+/// Every interleaving must keep the capability table a partition, leak no
+/// grants, and reclaim each UUID exactly once — the per-step oracle checks
+/// all of it after every event.
+fn control_plane_scenario(sim: &mut Simulation) -> Check {
+    let machine = Machine::paper_cpu_dpu_server();
+    let cluster = ShimCluster::deploy(machine.clone(), ShimConfig::default());
+    let oracle = ClusterOracle::install(sim, &cluster, OracleConfig::default());
+
+    let cl = cluster.clone();
+    sim.spawn("spawner", move |ctx| {
+        let shim = cl.shim_on(PuId(0)).unwrap();
+        let host = shim.attach_process();
+        let fifo = shim.xfifo_init(ctx, host, "spawn-reply").unwrap();
+        let uuid = fifo.uuid().clone();
+        let capv = [(fifo.obj(), Perm::WRITE)];
+        let child_cl = cl.clone();
+        // The child may land on a PU the reaper has already killed, or be
+        // reclaimed mid-write: every shim error is legal, silent corruption
+        // is not (the oracle decides).
+        let spawned = shim.xspawn(ctx, host, PuId(1), "replier", &capv, move |cctx, pid| {
+            if let Ok(dpu) = child_cl.shim_on(PuId(1)) {
+                if let Ok(w) = dpu.xfifo_connect(cctx, pid, &uuid) {
+                    let _ = w.write(cctx, Bytes::from_static(b"hello"));
+                }
+            }
+        });
+        let _ = spawned;
+        let _ = fifo.read_timeout(ctx, SimDuration::from_millis(5));
+    });
+
+    // Identical churners stay in lockstep (same ops, same charged costs),
+    // so every round of the loop is a fresh same-instant tie — the raw
+    // material the explorer permutes.
+    for i in 0..3 {
+        let cl = cluster.clone();
+        sim.spawn(&format!("churner-{i}"), move |ctx| {
+            let host_shim = cl.shim_on(PuId(0)).unwrap();
+            let host = host_shim.attach_process();
+            let dpu_shim = cl.shim_on(PuId(1)).unwrap();
+            let peer = dpu_shim.attach_process();
+            let fifo = host_shim.xfifo_init(ctx, host, format!("churn-{i}")).unwrap();
+            for _ in 0..4 {
+                let _ = host_shim.grant_cap(ctx, host, peer, fifo.obj(), Perm::WRITE);
+                let _ = host_shim.revoke_cap(ctx, host, peer, fifo.obj(), Perm::WRITE);
+            }
+            let _ = fifo.close(ctx);
+        });
+    }
+
+    let cl = cluster.clone();
+    sim.spawn("reaper", move |ctx| {
+        ctx.sleep(SimDuration::from_micros(50));
+        cl.machine().fault_plane().kill_pu(ctx.now(), PuId(1));
+        cl.reclaim_pu(ctx, PuId(1));
+        // The duplicated notification must reclaim nothing further.
+        let again = cl.reclaim_pu(ctx, PuId(1));
+        assert_eq!(again.processes, 0, "duplicate reclaim found processes");
+    });
+
+    Box::new(move |result| {
+        result.as_ref().map_err(|e| e.to_string())?;
+        oracle.verdict(false)
+    })
+}
+
+#[test]
+fn xspawn_grant_revoke_reclaim_races_hold_invariants() {
+    let opts = ExploreOptions { trials: 256, seed: 11, ..ExploreOptions::default() };
+    let report = explore(&opts, control_plane_scenario);
+    report.assert_clean();
+    assert!(
+        report.distinct_schedules >= 200,
+        "only {} distinct schedules in {} trials",
+        report.distinct_schedules,
+        report.trials_run
+    );
+}
+
+/// Two DPU writers interleave seq-stamped messages into one host FIFO.
+/// Whatever the tie-break, each writer's messages must be delivered in
+/// its own send order (per-writer FIFO is the contract `write_fifo`'s
+/// strictly-monotone arrival clamp exists to keep).
+fn fifo_order_scenario(sim: &mut Simulation) -> hetsim::engine::ProcHandle<Vec<(u64, u64)>> {
+    const PER_WRITER: u64 = 12;
+    const WRITERS: usize = 4;
+    let machine = Machine::paper_cpu_dpu_server();
+    let cluster = ShimCluster::deploy(machine, ShimConfig::default());
+
+    let mut txs = Vec::new();
+    let mut rxs = Vec::new();
+    for _ in 0..WRITERS {
+        let (tx, rx) = sim.channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let cl = cluster.clone();
+    let reader = sim.spawn("reader", move |ctx| {
+        let host_shim = cl.shim_on(PuId(0)).unwrap();
+        let host = host_shim.attach_process();
+        let dpu_shim = cl.shim_on(PuId(1)).unwrap();
+        let fifo = host_shim.xfifo_init(ctx, host, "ordered").unwrap();
+        // Build every writer handle first, then hand them out back-to-back
+        // (no charged call in between): all writers wake at the same
+        // instant and their identical write loops stay tied step for step —
+        // every round is a multi-way choice point for the explorer.
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                let pid = dpu_shim.attach_process();
+                host_shim.grant_cap(ctx, host, pid, fifo.obj(), Perm::WRITE).unwrap();
+                dpu_shim.xfifo_connect(ctx, pid, fifo.uuid()).unwrap()
+            })
+            .collect();
+        for (tx, writer) in txs.into_iter().zip(writers) {
+            tx.send(writer).unwrap();
+        }
+        let mut deliveries = Vec::new();
+        while deliveries.len() < WRITERS * PER_WRITER as usize {
+            match fifo.read_timeout(ctx, SimDuration::from_millis(10)) {
+                Ok(msg) => deliveries.push((u64::from(msg[0]), u64::from(msg[1]))),
+                Err(e) => panic!("reader lost messages after {deliveries:?}: {e}"),
+            }
+        }
+        deliveries
+    });
+    for (id, rx) in (1u8..).zip(rxs) {
+        sim.spawn(&format!("writer-{id}"), move |ctx| {
+            let writer = rx.recv(ctx).unwrap();
+            for seq in 0..PER_WRITER as u8 {
+                writer.write(ctx, Bytes::from(vec![id, seq])).unwrap();
+                // Equal pacing re-ties the writers after every write.
+                ctx.sleep(SimDuration::from_micros(1));
+            }
+        });
+    }
+
+    reader
+}
+
+fn fifo_order_check(reader: hetsim::engine::ProcHandle<Vec<(u64, u64)>>) -> Check {
+    Box::new(move |result| {
+        result.as_ref().map_err(|e| e.to_string())?;
+        let mut tracker = FifoOrderTracker::new();
+        for (writer, seq) in reader.take_result().unwrap() {
+            tracker.note(writer, seq);
+        }
+        tracker.verdict()
+    })
+}
+
+#[test]
+fn per_writer_fifo_order_holds_under_every_tie_break() {
+    let opts = ExploreOptions { trials: 256, seed: 23, ..ExploreOptions::default() };
+    let report = explore(&opts, |sim| fifo_order_check(fifo_order_scenario(sim)));
+    report.assert_clean();
+    assert!(
+        report.distinct_schedules >= 200,
+        "only {} distinct schedules in {} trials",
+        report.distinct_schedules,
+        report.trials_run
+    );
+}
+
+/// A recorded random schedule must replay bit-for-bit: same choice log,
+/// same end time, same event count, same message delivery order.
+#[test]
+fn recorded_schedules_replay_byte_identically() {
+    let run = |policy: Box<dyn SchedulePolicy>| {
+        let mut sim = Simulation::new();
+        sim.set_schedule_policy(policy);
+        let reader = fifo_order_scenario(&mut sim);
+        let report = sim.run().expect("scenario runs clean");
+        let log = sim.take_choice_log();
+        let trace = format!(
+            "end={:?} events={} deliveries={:?}",
+            report.end_time,
+            report.events_fired,
+            reader.take_result().unwrap()
+        );
+        (trace, log)
+    };
+
+    let (trace_rand, log_rand) = run(Box::new(ShuffledPolicy::new(0xFEED)));
+    assert!(!log_rand.is_empty(), "scenario produced no tie points");
+    let choices: Vec<u32> = log_rand.iter().map(|c| c.chosen).collect();
+    let (trace_replay, log_replay) = run(Box::new(ReplayPolicy::new(choices)));
+    assert_eq!(log_rand, log_replay, "replay diverged from the recorded schedule");
+    assert_eq!(trace_rand, trace_replay, "replay produced a different execution");
+
+    // And a different seed is a genuinely different schedule (the replay
+    // comparison above is not vacuous).
+    let (_, log_other) = run(Box::new(ShuffledPolicy::new(0xBEEF)));
+    assert_ne!(log_rand, log_other, "two seeds collided on the same schedule");
+}

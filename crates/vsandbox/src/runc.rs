@@ -73,6 +73,10 @@ struct RuncInner {
     /// template multi-threaded again and fail. Lazily bound to the
     /// simulation on first use.
     fork_gate: Mutex<Option<SimSemaphore>>,
+    /// Test-only: when set, cfork skips the gate, re-exposing the historical
+    /// merge/fork/expand race so the schedule explorer can demonstrate it
+    /// finds (and shrinks) the bug. Never enabled in production paths.
+    unserialized_cfork: std::sync::atomic::AtomicBool,
 }
 
 impl fmt::Debug for RuncRuntime {
@@ -100,8 +104,17 @@ impl RuncRuntime {
                 memory: calib.memory,
                 state: Mutex::new(RuncState::default()),
                 fork_gate: Mutex::new(None),
+                unserialized_cfork: std::sync::atomic::AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Test-only: disables the per-template cfork gate, re-introducing the
+    /// merge/fork/expand interleaving race for the schedule explorer to
+    /// find. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn set_unserialized_cfork_for_test(&self, on: bool) {
+        self.inner.unserialized_cfork.store(on, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// The OS this runtime manages containers on.
@@ -249,7 +262,11 @@ impl RuncRuntime {
             let mut slot = self.inner.fork_gate.lock();
             slot.get_or_insert_with(|| ctx.semaphore(1)).clone()
         };
-        let permit = gate.acquire(ctx, 1);
+        let permit = if self.inner.unserialized_cfork.load(std::sync::atomic::Ordering::SeqCst) {
+            None
+        } else {
+            Some(gate.acquire(ctx, 1))
+        };
         self.inner.os.merge_threads(ctx, template_pid)?;
         ctx.sleep(self.inner.container.fork_propagate);
         let child = self.inner.os.fork_uncharged(template_pid)?;

@@ -298,6 +298,33 @@ impl CapTable {
         pids.sort();
         pids
     }
+
+    /// Every `(process, object, permission)` triple currently in the table,
+    /// sorted — a deterministic flattening for snapshot-based invariant
+    /// oracles (simcheck walks this after every engine step).
+    pub fn entries(&self) -> Vec<(XpuPid, ObjId, Perm)> {
+        let mut out: Vec<(XpuPid, ObjId, Perm)> = self
+            .groups
+            .iter()
+            .flat_map(|(pid, group)| group.caps.iter().map(|(obj, perm)| (*pid, *obj, *perm)))
+            .collect();
+        out.sort_by_key(|(pid, obj, _)| (*pid, *obj));
+        out
+    }
+
+    /// All live object ids, sorted.
+    pub fn object_ids(&self) -> Vec<ObjId> {
+        let mut objs: Vec<ObjId> = self.objects.keys().copied().collect();
+        objs.sort();
+        objs
+    }
+
+    /// All registered process ids (those with a `CAP_Group`), sorted.
+    pub fn process_ids(&self) -> Vec<XpuPid> {
+        let mut pids: Vec<XpuPid> = self.groups.keys().copied().collect();
+        pids.sort();
+        pids
+    }
 }
 
 #[cfg(test)]

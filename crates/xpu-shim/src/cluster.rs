@@ -165,6 +165,44 @@ pub struct ShimStats {
     pub bytes_elided: u64,
 }
 
+/// A live FIFO as seen by [`ShimCluster::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FifoSnapshot {
+    /// The FIFO's global UUID.
+    pub uuid: GlobalUuid,
+    /// The distributed object guarding it.
+    pub obj: ObjId,
+    /// The process that created (and reads) it.
+    pub owner: XpuPid,
+}
+
+/// A deterministic, fully-sorted snapshot of the cluster's control-plane
+/// state, taken atomically under the state lock. This is what simcheck's
+/// invariant oracles inspect after every engine step: every collection is
+/// sorted so two snapshots of identical state compare equal bit-for-bit
+/// regardless of `HashMap` iteration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// Every `(process, object, permission)` capability triple, sorted.
+    pub caps: Vec<(XpuPid, ObjId, Perm)>,
+    /// Every registered process (with a `CAP_Group`), sorted.
+    pub procs: Vec<XpuPid>,
+    /// All live distributed object ids, sorted.
+    pub objects: Vec<ObjId>,
+    /// All live FIFOs, sorted by UUID.
+    pub fifos: Vec<FifoSnapshot>,
+    /// UUIDs reclaimed through the crash path, sorted.
+    pub reclaimed: Vec<GlobalUuid>,
+    /// UUID frees parked in the lazy queue, sorted.
+    pub lazy_pending: Vec<GlobalUuid>,
+    /// The `reclaimed_uuids` stats counter (must equal `reclaimed.len()`).
+    pub reclaimed_count: u64,
+    /// Parked zero-copy slots per FIFO, sorted by UUID.
+    pub parked_segments: Vec<(GlobalUuid, usize)>,
+    /// Total parked zero-copy slots.
+    pub outstanding_segments: usize,
+}
+
 struct FifoEntry {
     obj: ObjId,
     owner: XpuPid,
@@ -295,6 +333,49 @@ impl ShimCluster {
         let mut stats = st.stats;
         stats.lazy_pending = st.lazy_queue.len() as u64;
         stats
+    }
+
+    /// Takes a deterministic [`ClusterSnapshot`] of the control-plane state.
+    ///
+    /// The capability table, FIFO registry, reclamation set and lazy queue
+    /// are read under one lock acquisition, so the snapshot is a consistent
+    /// cut; the segment arena is sampled right after (it has its own lock,
+    /// and only the scheduler thread mutates between engine steps — which is
+    /// when the invariant oracles call this).
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let (caps, procs, objects, fifos, reclaimed, lazy_pending, reclaimed_count) = {
+            let st = self.inner.state.lock();
+            let mut fifos: Vec<FifoSnapshot> = st
+                .fifos
+                .iter()
+                .map(|(uuid, e)| FifoSnapshot { uuid: uuid.clone(), obj: e.obj, owner: e.owner })
+                .collect();
+            fifos.sort();
+            let mut reclaimed: Vec<GlobalUuid> = st.reclaimed.iter().cloned().collect();
+            reclaimed.sort();
+            let mut lazy_pending = st.lazy_queue.clone();
+            lazy_pending.sort();
+            (
+                st.caps.entries(),
+                st.caps.process_ids(),
+                st.caps.object_ids(),
+                fifos,
+                reclaimed,
+                lazy_pending,
+                st.stats.reclaimed_uuids,
+            )
+        };
+        ClusterSnapshot {
+            caps,
+            procs,
+            objects,
+            fifos,
+            reclaimed,
+            lazy_pending,
+            reclaimed_count,
+            parked_segments: self.inner.arena.parked_by_fifo(),
+            outstanding_segments: self.inner.arena.outstanding(),
+        }
     }
 
     pub(crate) fn os_costs_of(&self, pu: PuId) -> OsCosts {
@@ -800,11 +881,20 @@ impl ShimCluster {
         };
         // FIFO-order clamp: a cheap (coalesced / descriptor) message sent
         // after an expensive one must not overtake it inside the same FIFO.
+        // The clamp is *strictly* monotone — a clamped message arrives 1 ns
+        // after the previous one, never at the same instant — so per-FIFO
+        // order holds under any same-instant tie-break, not just the default
+        // sequence-number one (simcheck shuffles those ties).
         let in_flight = {
             let mut st = self.inner.state.lock();
             match st.fifos.get_mut(&writer.uuid) {
                 Some(entry) => {
-                    let arrival = (ctx.now() + in_flight).max(entry.last_arrival);
+                    let natural = ctx.now() + in_flight;
+                    let arrival = if natural > entry.last_arrival {
+                        natural
+                    } else {
+                        entry.last_arrival + SimDuration::from_nanos(1)
+                    };
                     entry.last_arrival = arrival;
                     arrival - ctx.now()
                 }

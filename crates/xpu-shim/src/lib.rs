@@ -64,7 +64,9 @@ pub mod server;
 pub mod xcall;
 
 pub use cap::Perm;
-pub use cluster::{ShimCluster, ShimConfig, ShimStats, TransportPolicy, XpuShim};
+pub use cluster::{
+    ClusterSnapshot, FifoSnapshot, ShimCluster, ShimConfig, ShimStats, TransportPolicy, XpuShim,
+};
 pub use error::ShimError;
 pub use fifo::{XpuFifoReader, XpuFifoWriter};
 pub use id::{GlobalUuid, ObjId, XpuPid};

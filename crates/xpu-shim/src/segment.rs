@@ -132,6 +132,20 @@ impl SegmentArena {
         self.inner.lock().slots.len()
     }
 
+    /// Parked-slot counts per FIFO, sorted by UUID — deterministic input for
+    /// the arena-balance invariant oracle.
+    pub(crate) fn parked_by_fifo(&self) -> Vec<(GlobalUuid, usize)> {
+        let st = self.inner.lock();
+        let mut counts: HashMap<&GlobalUuid, usize> = HashMap::new();
+        for slot in st.slots.values() {
+            *counts.entry(&slot.fifo).or_default() += 1;
+        }
+        let mut out: Vec<(GlobalUuid, usize)> =
+            counts.into_iter().map(|(uuid, n)| (uuid.clone(), n)).collect();
+        out.sort();
+        out
+    }
+
     /// Slots currently parked on the `from → to` link.
     #[cfg(test)]
     pub(crate) fn outstanding_on(&self, from: PuId, to: PuId) -> usize {
