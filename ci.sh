@@ -39,6 +39,21 @@ jq -e '[.rows[]] | length > 0 and all(.[4].value <= .[5].value)' BENCH_comm.json
 jq -e '[.rows[] | select(.[0].value >= 65536)] | length > 0 and all(.[6].value >= 2)' \
     BENCH_comm.json >/dev/null
 
+# Shared-state smoke stage: the state crate's unit + model-based property
+# tests, the stateful workloads, and a fig_state run. Gates: at 8
+# co-located sandboxes the shared-weights fleet costs at most half the
+# copy-per-instance baseline's memory, and the shared-region shuffle beats
+# the inline-copy baseline by >=2x at 64 KiB partitions.
+cargo test -q -p molecule-state
+cargo test -q -p workloads stateful
+cargo run --release -q -p molecule-bench --bin fig_state
+test -f BENCH_state.json
+jq -e '[.rows[] | select(.[0].value == 8)] | length > 0 and all(.[6].value <= 0.5)' \
+    BENCH_state.json >/dev/null
+test -f BENCH_state_shuffle.json
+jq -e '[.rows[] | select(.[0].value >= 65536)] | length > 0 and all(.[6].value >= 2)' \
+    BENCH_state_shuffle.json >/dev/null
+
 # Schedule-exploration stage: simcheck drives every scenario through its
 # budgeted interleaving sweep (each suite asserts >=200 distinct schedules)
 # with invariant oracles on every step. A violation fails the stage and the

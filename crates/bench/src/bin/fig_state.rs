@@ -1,0 +1,6 @@
+//! Regenerates the shared-state tier tables backed by
+//! `molecule_bench::fig_state`.
+
+fn main() {
+    molecule_bench::fig_state::print();
+}

@@ -1,0 +1,110 @@
+//! Shared-state tier benchmarks: the memory-density win of shared weight
+//! regions (Fig. 11-style, but for state instead of sandbox forks) and the
+//! MapReduce shuffle throughput of shared regions vs the copy baseline.
+//!
+//! Table 1 boots a fleet of inference sandboxes twice — once with every
+//! instance privately mapping its own 128 MiB of weights (the copy
+//! baseline) and once with all instances mapping one shared region — and
+//! reports fleet RSS/PSS. The shared arrangement must cost at most half
+//! the baseline's memory by 8 co-located sandboxes (it lands near 0.2x:
+//! one weights copy, N sandbox skeletons).
+//!
+//! Table 2 runs a real all-to-all MapReduce shuffle (4 mappers x 4
+//! reducers, byte-verified at the reducers) over shared regions with the
+//! zero-copy descriptor path, against the same shuffle with the data plane
+//! pinned to inline copies. From 64 KiB partitions up, descriptors must
+//! buy >=2x shuffle throughput.
+
+use workloads::stateful::{
+    mapreduce_shuffle, shared_weights_density, DensityReport, ShuffleReport,
+};
+
+use crate::{export_table, fmt_speedup, run_sim};
+
+/// Fleet sizes for the density table.
+pub const FLEETS: [u32; 4] = [1, 2, 4, 8];
+
+/// Shared weights: 32768 standard pages = 128 MiB, dwarfing the ~13 MiB
+/// sandbox skeleton so the table isolates the state tier's contribution.
+pub const WEIGHT_PAGES: u64 = 32_768;
+
+/// The x-axis of the shuffle table: per-partition bytes.
+pub const PARTITIONS: [u64; 3] = [4096, 16_384, 65_536];
+
+const MAPPERS: usize = 4;
+const REDUCERS: usize = 4;
+
+/// One density row per fleet size in [`FLEETS`].
+pub fn density_rows() -> Vec<DensityReport> {
+    FLEETS
+        .iter()
+        .map(|&n| {
+            run_sim("fig-state-density", move |ctx| shared_weights_density(ctx, n, WEIGHT_PAGES))
+        })
+        .collect()
+}
+
+/// One shuffle row per partition size in [`PARTITIONS`].
+pub fn shuffle_rows() -> Vec<ShuffleReport> {
+    PARTITIONS
+        .iter()
+        .map(|&p| {
+            run_sim("fig-state-shuffle", move |ctx| mapreduce_shuffle(ctx, MAPPERS, REDUCERS, p))
+        })
+        .collect()
+}
+
+/// Prints and exports both tables (`BENCH_state.json`,
+/// `BENCH_state_shuffle.json`).
+pub fn print() {
+    let mib = |v: f64| format!("{v:.1}MiB");
+    let density: Vec<Vec<String>> = density_rows()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.instances),
+                format!("{}MiB", r.weight_pages * 4096 / (1024 * 1024)),
+                mib(r.baseline_rss_mib),
+                mib(r.baseline_pss_mib),
+                mib(r.shared_rss_mib),
+                mib(r.shared_pss_mib),
+                fmt_speedup(r.pss_ratio()),
+            ]
+        })
+        .collect();
+    export_table(
+        "state",
+        "Shared-weights fleet density: one region vs a copy per sandbox",
+        &[
+            "sandboxes",
+            "weights",
+            "copy RSS",
+            "copy PSS",
+            "shared RSS",
+            "shared PSS",
+            "memory ratio",
+        ],
+        &density,
+    );
+
+    let shuffle: Vec<Vec<String>> = shuffle_rows()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}B", r.partition_bytes),
+                format!("{}KiB", r.shuffled_bytes / 1024),
+                format!("{:.1}us", r.copy_elapsed.as_micros_f64()),
+                format!("{:.1}us", r.shared_elapsed.as_micros_f64()),
+                format!("{:.1}MiB/s", r.copy_throughput_mibps()),
+                format!("{:.1}MiB/s", r.shared_throughput_mibps()),
+                fmt_speedup(r.speedup()),
+            ]
+        })
+        .collect();
+    export_table(
+        "state_shuffle",
+        "MapReduce shuffle over shared regions vs the inline-copy baseline",
+        &["partition", "shuffled", "copy", "shared", "copy tput", "shared tput", "speedup"],
+        &shuffle,
+    );
+}

@@ -39,6 +39,7 @@ pub mod fig15;
 pub mod fig_comm;
 pub mod fig_fault;
 pub mod fig_sched;
+pub mod fig_state;
 pub mod tables;
 
 use hetsim::engine::{ProcCtx, Simulation};

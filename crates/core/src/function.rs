@@ -87,6 +87,12 @@ pub struct FunctionDef {
     pub gpu: Option<ExecModel>,
     /// Bytes this function emits to the next function in a chain.
     pub output_bytes: u64,
+    /// Named shared-state regions (`molecule-state`) the function reads or
+    /// writes. Placement prefers PUs already hosting these regions' pages
+    /// (the state-locality term), and stateful workloads attach them before
+    /// the handler runs.
+    #[serde(default)]
+    pub regions: Vec<String>,
 }
 
 impl FunctionDef {
@@ -104,6 +110,7 @@ impl FunctionDef {
                 fpga: None,
                 gpu: None,
                 output_bytes: 1024,
+                regions: Vec::new(),
             },
         }
     }
@@ -178,6 +185,17 @@ impl FunctionBuilder {
     /// Sets the bytes emitted to the next function in a chain.
     pub fn output_bytes(mut self, bytes: u64) -> FunctionBuilder {
         self.def.output_bytes = bytes;
+        self
+    }
+
+    /// Declares a shared-state region the function uses. Repeatable; the
+    /// scheduler's state-locality term prefers PUs already hosting a
+    /// replica of any declared region.
+    pub fn region(mut self, name: impl Into<String>) -> FunctionBuilder {
+        let name = name.into();
+        if !self.def.regions.contains(&name) {
+            self.def.regions.push(name);
+        }
         self
     }
 

@@ -19,6 +19,7 @@ use vsandbox::spec::{FuncId, LangRuntime};
 
 use crate::error::MoleculeError;
 use crate::keepalive::KeepAlivePolicy;
+use crate::regions::RegionDirectory;
 use crate::runtime::{InstanceId, Molecule, StartupKind};
 use crate::schedule::Scheduler;
 
@@ -93,6 +94,7 @@ pub struct ApiGateway {
     molecule: Molecule,
     scheduler: Scheduler,
     config: GatewayConfig,
+    regions: RegionDirectory,
     state: Arc<Mutex<GatewayState>>,
 }
 
@@ -118,6 +120,7 @@ impl ApiGateway {
             molecule,
             scheduler,
             config,
+            regions: RegionDirectory::new(),
             state: Arc::new(Mutex::new(GatewayState {
                 idle: HashMap::new(),
                 owned: HashMap::new(),
@@ -136,6 +139,13 @@ impl ApiGateway {
     /// Gateway counters.
     pub fn stats(&self) -> GatewayStats {
         self.state.lock().stats
+    }
+
+    /// The directory of shared-state region hosts. `molecule-sched` keeps
+    /// it current from the state layer's host observer and reads it for the
+    /// state-locality placement term.
+    pub fn region_directory(&self) -> &RegionDirectory {
+        &self.regions
     }
 
     /// Live instances the gateway manages.
@@ -166,6 +176,9 @@ impl ApiGateway {
     /// keep-alive policy so dead-PU entries cannot linger in the keep set.
     /// Returns the number of instances purged.
     pub fn purge_pu(&self, pu: PuId) -> usize {
+        // Region hosting records die with the PU: retract them so the
+        // state-locality term stops steering placements there.
+        self.regions.retract_pu(pu);
         let mut st = self.state.lock();
         st.avoid.insert(pu);
         st.idle.retain(|(_, p), _| *p != pu);

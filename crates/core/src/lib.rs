@@ -27,6 +27,8 @@
 //! * [`billing`] — 1 ms-granularity, PU-priced metering;
 //! * [`baseline`] — Molecule-homo and the AWS Lambda / OpenWhisk models of
 //!   Fig. 9;
+//! * [`regions`] — the gateway's directory of shared-state region hosts,
+//!   feeding the scheduler's state-locality placement term;
 //! * [`metrics`] — the latency recorder with the artifact's percentile
 //!   output format;
 //! * [`trace`] — phase-level request tracing over virtual time.
@@ -42,6 +44,7 @@ pub mod gateway;
 pub mod health;
 pub mod keepalive;
 pub mod metrics;
+pub mod regions;
 pub mod runtime;
 pub mod schedule;
 pub mod trace;
@@ -50,6 +53,7 @@ pub use error::MoleculeError;
 pub use function::{ExecModel, FunctionDef, FunctionRegistry};
 pub use gateway::{ApiGateway, GatewayConfig, GatewayStats, RequestReport};
 pub use health::{CircuitState, HealthChecker, HealthPolicy, PuStatus, RecoveryReport};
+pub use regions::RegionDirectory;
 pub use runtime::{
     InstanceId, InvokeReport, Molecule, MoleculeConfig, PurgeReport, StartupKind, StartupReport,
 };

@@ -1,0 +1,147 @@
+//! The gateway's region directory: which PUs host which shared-state
+//! regions.
+//!
+//! `molecule-state` owns the regions themselves; the control plane only
+//! needs the *location* facts — "region `weights` has replicas on PU 0 and
+//! PU 2" — to feed the scheduler's state-locality term (a function that
+//! declares [`FunctionDef::regions`] scores better on PUs already holding
+//! those pages, the same way chain stages earn the co-location bonus). The
+//! directory is deliberately a plain name→PU-set map so `molecule-core`
+//! does not depend on the state crate: `molecule-sched` bridges the two by
+//! installing a `StateLayer` host observer that publishes into it.
+//!
+//! [`FunctionDef::regions`]: crate::function::FunctionDef::regions
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use hetsim::pu::PuId;
+use parking_lot::Mutex;
+
+/// Tracks, per region name, the PUs currently hosting a replica. Cheap to
+/// clone; all clones share one map.
+#[derive(Clone, Default)]
+pub struct RegionDirectory {
+    inner: Arc<Mutex<BTreeMap<String, BTreeSet<PuId>>>>,
+}
+
+impl fmt::Debug for RegionDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegionDirectory").field("regions", &self.inner.lock().len()).finish()
+    }
+}
+
+impl RegionDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> RegionDirectory {
+        RegionDirectory::default()
+    }
+
+    /// Records that `pu` hosts a replica of `region`. Idempotent.
+    pub fn publish(&self, region: &str, pu: PuId) {
+        self.inner.lock().entry(region.to_string()).or_default().insert(pu);
+    }
+
+    /// Records that `pu` no longer hosts `region` (detach or drop). Empty
+    /// regions leave the map. Idempotent.
+    pub fn retract(&self, region: &str, pu: PuId) {
+        let mut map = self.inner.lock();
+        if let Some(hosts) = map.get_mut(region) {
+            hosts.remove(&pu);
+            if hosts.is_empty() {
+                map.remove(region);
+            }
+        }
+    }
+
+    /// Drops every hosting record of a crashed PU, returning how many
+    /// region entries it was retracted from. The gateway's
+    /// [`purge_pu`](crate::gateway::ApiGateway::purge_pu) calls this so a
+    /// dead PU can never keep attracting stateful placements.
+    pub fn retract_pu(&self, pu: PuId) -> usize {
+        let mut map = self.inner.lock();
+        let mut retracted = 0;
+        map.retain(|_, hosts| {
+            if hosts.remove(&pu) {
+                retracted += 1;
+            }
+            !hosts.is_empty()
+        });
+        retracted
+    }
+
+    /// The PUs hosting `region`, sorted. Empty when unknown.
+    pub fn hosts(&self, region: &str) -> Vec<PuId> {
+        self.inner.lock().get(region).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// The union of hosts over several region names, sorted and deduplicated
+    /// — what the placer consumes for a function's full region set.
+    pub fn hosts_of_any(&self, regions: &[String]) -> Vec<PuId> {
+        let map = self.inner.lock();
+        let mut out = BTreeSet::new();
+        for name in regions {
+            if let Some(hosts) = map.get(name) {
+                out.extend(hosts.iter().copied());
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Number of regions with at least one host.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_retract_roundtrip() {
+        let dir = RegionDirectory::new();
+        assert!(dir.is_empty());
+        dir.publish("weights", PuId(0));
+        dir.publish("weights", PuId(2));
+        dir.publish("weights", PuId(2)); // idempotent
+        dir.publish("shuffle", PuId(1));
+        assert_eq!(dir.hosts("weights"), vec![PuId(0), PuId(2)]);
+        assert_eq!(dir.hosts("shuffle"), vec![PuId(1)]);
+        assert_eq!(dir.len(), 2);
+        dir.retract("weights", PuId(0));
+        assert_eq!(dir.hosts("weights"), vec![PuId(2)]);
+        dir.retract("weights", PuId(2));
+        assert_eq!(dir.hosts("weights"), Vec::<PuId>::new());
+        assert_eq!(dir.len(), 1, "empty regions leave the map");
+    }
+
+    #[test]
+    fn hosts_of_any_unions_and_sorts() {
+        let dir = RegionDirectory::new();
+        dir.publish("a", PuId(3));
+        dir.publish("a", PuId(1));
+        dir.publish("b", PuId(1));
+        dir.publish("b", PuId(0));
+        let hosts = dir.hosts_of_any(&["a".into(), "b".into(), "ghost".into()]);
+        assert_eq!(hosts, vec![PuId(0), PuId(1), PuId(3)]);
+    }
+
+    #[test]
+    fn retract_pu_sweeps_every_region() {
+        let dir = RegionDirectory::new();
+        dir.publish("a", PuId(1));
+        dir.publish("a", PuId(2));
+        dir.publish("b", PuId(1));
+        assert_eq!(dir.retract_pu(PuId(1)), 2);
+        assert_eq!(dir.hosts("a"), vec![PuId(2)]);
+        assert!(dir.hosts("b").is_empty());
+        assert_eq!(dir.retract_pu(PuId(1)), 0, "idempotent");
+    }
+}

@@ -86,6 +86,13 @@ pub enum OsError {
         /// MiB still available.
         available_mib: u64,
     },
+    /// `unmap` named a block the process has no mapping of.
+    NotMapped {
+        /// The process whose address space was searched.
+        pid: OsPid,
+        /// The block that was not found there.
+        block: BlockId,
+    },
 }
 
 impl fmt::Display for OsError {
@@ -102,6 +109,9 @@ impl fmt::Display for OsError {
                 f,
                 "out of instance memory: requested {requested_mib} MiB, {available_mib} MiB free"
             ),
+            OsError::NotMapped { pid, block } => {
+                write!(f, "{pid} has no mapping of block {block:?}")
+            }
         }
     }
 }
@@ -455,6 +465,27 @@ impl LocalOs {
         }
         st.memory.share(block);
         st.procs.get_mut(&pid).expect("checked above").memory.push(block);
+        Ok(())
+    }
+
+    /// Removes one mapping of `block` from `pid` (refcount − 1; the pages
+    /// are freed when the last mapping goes). The inverse of
+    /// [`map_shared`](Self::map_shared) / [`map_private`](Self::map_private).
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NoSuchProcess`] if the PID is unknown,
+    /// [`OsError::NotMapped`] if the process has no mapping of `block`.
+    pub fn unmap(&self, pid: OsPid, block: BlockId) -> Result<(), OsError> {
+        let mut st = self.inner.state.lock();
+        let proc = st.procs.get_mut(&pid).ok_or(OsError::NoSuchProcess(pid))?;
+        let idx = proc
+            .memory
+            .iter()
+            .position(|b| *b == block)
+            .ok_or(OsError::NotMapped { pid, block })?;
+        proc.memory.remove(idx);
+        st.memory.release(block);
         Ok(())
     }
 

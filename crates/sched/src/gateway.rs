@@ -41,6 +41,7 @@ use molecule_core::fpga_cache::FpgaCacheManager;
 use molecule_core::gateway::ApiGateway;
 use molecule_core::health::HealthChecker;
 use molecule_core::keepalive::Lru;
+use molecule_state::StateLayer;
 use parking_lot::Mutex;
 use vsandbox::spec::FuncId;
 
@@ -74,6 +75,10 @@ pub struct SchedConfig {
     pub accel_tokens: usize,
     /// Score credit for serving a chain stage where the previous stage ran.
     pub colocate_bonus: SimDuration,
+    /// Score credit for serving a function on a PU that already hosts a
+    /// replica of one of its declared shared-state regions (the
+    /// state-locality term; see [`placer::rank`]).
+    pub state_bonus: SimDuration,
     /// Default latency budget for admission control. `None` admits
     /// everything the queues have room for.
     pub deadline: Option<SimDuration>,
@@ -97,6 +102,7 @@ impl Default for SchedConfig {
             dpu_tokens: 2,
             accel_tokens: 1,
             colocate_bonus: SimDuration::from_millis(1),
+            state_bonus: SimDuration::from_millis(2),
             deadline: None,
             batch_window: SimDuration::from_millis(5),
             batch_max: 8,
@@ -337,6 +343,25 @@ impl SchedGateway {
         health.on_declared_dead(move |ctx, pu| this.drain_dead_pu(ctx, pu));
     }
 
+    /// Bridges a [`StateLayer`] into the gateway's
+    /// [`RegionDirectory`](molecule_core::regions::RegionDirectory): every
+    /// replica attach/detach publishes or retracts a hosting record, and
+    /// the layer replays the current host set on installation. Declared
+    /// [`FunctionDef::regions`] then earn [`SchedConfig::state_bonus`] on
+    /// hosting PUs at placement time.
+    ///
+    /// [`FunctionDef::regions`]: molecule_core::function::FunctionDef::regions
+    pub fn attach_state_layer(&self, layer: &StateLayer) {
+        let dir = self.api.region_directory().clone();
+        layer.set_host_observer(Arc::new(move |region, pu, hosted| {
+            if hosted {
+                dir.publish(region, pu);
+            } else {
+                dir.retract(region, pu);
+            }
+        }));
+    }
+
     // ----- admission -------------------------------------------------------
 
     /// Admits one request for `func`, returning the reply channel that will
@@ -457,14 +482,25 @@ impl SchedGateway {
                 .collect()
         };
         match self.config.mode {
-            PlacementMode::LoadAware => placer::rank(
-                machine,
-                def,
-                input_bytes,
-                prev_stage,
-                &loads,
-                self.config.colocate_bonus,
-            ),
+            PlacementMode::LoadAware => {
+                // State locality: PUs already hosting the function's
+                // declared regions earn the state bonus.
+                let state_hosts = if def.regions.is_empty() {
+                    Vec::new()
+                } else {
+                    self.api.region_directory().hosts_of_any(&def.regions)
+                };
+                placer::rank(
+                    machine,
+                    def,
+                    input_bytes,
+                    prev_stage,
+                    &loads,
+                    self.config.colocate_bonus,
+                    &state_hosts,
+                    self.config.state_bonus,
+                )
+            }
             PlacementMode::FirstFit => {
                 // Same feasibility filter, but machine order instead of the
                 // cost model: loads are already in PU-id order, so ranking
@@ -472,8 +508,16 @@ impl SchedGateway {
                 // still carrying the estimates admission control needs.
                 let blind: Vec<PuLoad> =
                     loads.iter().map(|l| PuLoad { wait: SimDuration::ZERO, ..*l }).collect();
-                let mut cands =
-                    placer::rank(machine, def, input_bytes, None, &blind, SimDuration::ZERO);
+                let mut cands = placer::rank(
+                    machine,
+                    def,
+                    input_bytes,
+                    None,
+                    &blind,
+                    SimDuration::ZERO,
+                    &[],
+                    SimDuration::ZERO,
+                );
                 cands.sort_by_key(|c| c.pu);
                 cands
             }
@@ -1058,6 +1102,54 @@ mod tests {
         let st = gw.stats();
         assert!(st.requeued > 0, "the dead DPU's queue should have drained: {st:?}");
         assert_eq!(st.completed, 9);
+    }
+
+    #[test]
+    fn state_layer_hosts_steer_stateful_placement() {
+        use molecule_state::{RegionSpec, StateLayer};
+        use xpu_shim::cluster::{ShimCluster, ShimConfig};
+
+        let molecule = Molecule::launch(Machine::paper_cpu_dpu_server(), MoleculeConfig::default());
+        molecule.register_function(
+            FunctionDef::builder("infer", LangRuntime::Python)
+                .profiles(&[PuKind::Dpu])
+                .exec_ms(1.0)
+                .init_ms(1.0)
+                .region("weights")
+                .build(),
+        );
+        let api = ApiGateway::new(
+            molecule,
+            Scheduler::default(),
+            GatewayConfig::default(),
+            Box::new(Lru::new()),
+        );
+        let gw = SchedGateway::new(api, SchedConfig::default());
+        let layer = StateLayer::new(ShimCluster::deploy(
+            gw.api().molecule().machine().clone(),
+            ShimConfig::default(),
+        ));
+        gw.attach_state_layer(&layer);
+        let (host, outcome) = run_with(&gw, move |ctx, g| {
+            // Master the region on the *second* DPU: the two DPUs are
+            // otherwise identical, so without the state term the score tie
+            // breaks toward the first.
+            let dpus = g.api().molecule().machine().pus_of_kind(PuKind::Dpu);
+            layer.create_region(ctx, dpus[1], RegionSpec::new("weights", 4)).unwrap();
+            assert_eq!(
+                g.api().region_directory().hosts("weights"),
+                vec![dpus[1]],
+                "the host observer must publish into the gateway directory"
+            );
+            let rx = g.submit(ctx, &"infer".into(), 1024, SubmitOpts::default()).unwrap();
+            (dpus[1], rx.recv(ctx).unwrap())
+        });
+        match outcome {
+            JobOutcome::Completed { pu, .. } => {
+                assert_eq!(pu, host, "placement should follow the region's pages");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
     }
 
     #[test]

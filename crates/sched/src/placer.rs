@@ -5,7 +5,8 @@
 //! scores every candidate PU by the *calibrated* latency model instead:
 //!
 //! ```text
-//! score(pu) = exec(pu) + cold_start(pu) + queue_wait(pu) - colocate_bonus
+//! score(pu) = exec(pu) + cold_start(pu) + queue_wait(pu)
+//!             - colocate_bonus - state_bonus
 //! ```
 //!
 //! * `exec(pu)` — the function's execution-time estimate on that PU, from
@@ -20,7 +21,13 @@
 //! * `colocate_bonus` — subtracted when `pu` equals the previous chain
 //!   stage's PU, keeping the paper's §5 chain co-location as a scoring
 //!   preference (DAG stages still exploit nIPC direct-connect) instead of
-//!   an absolute rule.
+//!   an absolute rule;
+//! * `state_bonus` — subtracted when `pu` already hosts a replica of one of
+//!   the function's declared shared-state regions
+//!   ([`FunctionDef::regions`]): running where the pages live turns the
+//!   region attach into a `map_shared` of resident pages instead of a
+//!   cross-PU pull, so state locality competes in the same currency as
+//!   queueing and cold starts.
 //!
 //! Ties break on the PU id, so placement stays deterministic.
 //!
@@ -127,7 +134,10 @@ pub fn cold_estimate(machine: &Machine, def: &FunctionDef, pu: PuId) -> SimDurat
 /// Only PUs in `loads` that the function supports *and* that pass the
 /// capacity check ([`Scheduler::pu_has_capacity`] — memory headroom on
 /// general PUs, fabric/slot headroom on accelerators) are considered.
-/// `prev_stage` earns its PU the `colocate_bonus` score credit.
+/// `prev_stage` earns its PU the `colocate_bonus` score credit; PUs in
+/// `state_hosts` (replica holders of the function's declared regions, from
+/// the gateway's `RegionDirectory`) earn `state_bonus`.
+#[allow(clippy::too_many_arguments)]
 pub fn rank(
     machine: &Machine,
     def: &FunctionDef,
@@ -135,6 +145,8 @@ pub fn rank(
     prev_stage: Option<PuId>,
     loads: &[PuLoad],
     colocate_bonus: SimDuration,
+    state_hosts: &[PuId],
+    state_bonus: SimDuration,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
     for load in loads {
@@ -150,6 +162,9 @@ pub fn rank(
         let mut score = exec + cold + load.wait;
         if prev_stage == Some(load.pu) {
             score = score.saturating_sub(colocate_bonus);
+        }
+        if state_hosts.contains(&load.pu) {
+            score = score.saturating_sub(state_bonus);
         }
         out.push(Candidate { pu: load.pu, score, exec, cold, wait: load.wait });
     }
@@ -178,7 +193,8 @@ mod tests {
     fn unloaded_cpu_beats_slower_dpus() {
         let machine = Machine::paper_cpu_dpu_server();
         let loads = [idle(PuId(0)), idle(PuId(1)), idle(PuId(2))];
-        let ranked = rank(&machine, &def(), 0, None, &loads, SimDuration::ZERO);
+        let ranked =
+            rank(&machine, &def(), 0, None, &loads, SimDuration::ZERO, &[], SimDuration::ZERO);
         assert_eq!(ranked[0].pu, PuId(0), "CPU exec 10ms < DPU exec 62ms");
         assert_eq!(ranked.len(), 3);
     }
@@ -192,7 +208,8 @@ mod tests {
             idle(PuId(1)),
             idle(PuId(2)),
         ];
-        let ranked = rank(&machine, &def(), 0, None, &loads, SimDuration::ZERO);
+        let ranked =
+            rank(&machine, &def(), 0, None, &loads, SimDuration::ZERO, &[], SimDuration::ZERO);
         assert_eq!(ranked[0].pu, PuId(1), "load-aware: overflow to the idle DPU");
     }
 
@@ -211,7 +228,8 @@ mod tests {
             PuLoad { pu: PuId(0), wait: SimDuration::ZERO, warm: false },
             PuLoad { pu: PuId(1), wait: SimDuration::ZERO, warm: true },
         ];
-        let ranked = rank(&machine, &quick, 0, None, &loads, SimDuration::ZERO);
+        let ranked =
+            rank(&machine, &quick, 0, None, &loads, SimDuration::ZERO, &[], SimDuration::ZERO);
         assert_eq!(ranked[0].pu, PuId(1), "warm DPU beats cold CPU for a tiny function");
         assert_eq!(ranked[0].cold, SimDuration::ZERO);
         assert!(ranked[1].cold > SimDuration::ZERO);
@@ -226,11 +244,57 @@ mod tests {
             .exec_ms(1.0)
             .build();
         // Identical DPUs: without the bonus, the lower PU id wins the tie.
-        let plain = rank(&machine, &dpu_fn, 0, None, &loads, SimDuration::from_millis(1));
+        let plain = rank(
+            &machine,
+            &dpu_fn,
+            0,
+            None,
+            &loads,
+            SimDuration::from_millis(1),
+            &[],
+            SimDuration::ZERO,
+        );
         assert_eq!(plain[0].pu, PuId(1));
         // With the previous stage on PU 2, the bonus flips the choice.
-        let chained =
-            rank(&machine, &dpu_fn, 0, Some(PuId(2)), &loads, SimDuration::from_millis(1));
+        let chained = rank(
+            &machine,
+            &dpu_fn,
+            0,
+            Some(PuId(2)),
+            &loads,
+            SimDuration::from_millis(1),
+            &[],
+            SimDuration::ZERO,
+        );
         assert_eq!(chained[0].pu, PuId(2), "chain co-location is a scoring bonus");
+    }
+
+    #[test]
+    fn state_bonus_steers_toward_region_hosts() {
+        let machine = Machine::paper_cpu_dpu_server();
+        let loads = [idle(PuId(1)), idle(PuId(2))];
+        let dpu_fn = FunctionDef::builder("w", LangRuntime::Python)
+            .profiles(&[PuKind::Dpu])
+            .exec_ms(1.0)
+            .region("weights")
+            .build();
+        // Identical DPUs: lower id wins without the term...
+        let plain =
+            rank(&machine, &dpu_fn, 0, None, &loads, SimDuration::ZERO, &[], SimDuration::ZERO);
+        assert_eq!(plain[0].pu, PuId(1));
+        // ...but PU 2 hosting the region's pages flips the choice.
+        let steered = rank(
+            &machine,
+            &dpu_fn,
+            0,
+            None,
+            &loads,
+            SimDuration::ZERO,
+            &[PuId(2)],
+            SimDuration::from_millis(1),
+        );
+        assert_eq!(steered[0].pu, PuId(2), "state locality is a scoring bonus");
+        // The bonus saturates: it can prefer, never produce negative scores.
+        assert!(steered[0].score <= plain[1].score);
     }
 }

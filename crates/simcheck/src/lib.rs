@@ -26,6 +26,10 @@
 //!   capability ownership is a partition, no dangling grants, FIFO UUIDs
 //!   never both live and reclaimed, exactly-once reclamation accounting,
 //!   SegmentArena slot balance; plus a per-writer FIFO-order tracker.
+//! * [`state_oracle`] — coherence checks over the `molecule-state` shared
+//!   tier: committed version vectors monotone per region, no divergent
+//!   pages for the same committed version, region caps never leaking
+//!   across reclaim.
 //! * [`shrink`] — ddmin-lite minimization of choice lists and chaos
 //!   [`FaultPlan`](molecule_chaos::FaultPlan)s.
 //!
@@ -65,10 +69,12 @@ pub mod explore;
 pub mod oracle;
 pub mod policy;
 pub mod shrink;
+pub mod state_oracle;
 
 pub use explore::{explore, explore_faulty, Check, ExploreOptions, ExploreReport, ViolationReport};
 pub use oracle::{check_snapshot, ClusterOracle, FifoOrderTracker, OracleConfig};
 pub use policy::{ReplayPolicy, ShuffledPolicy};
+pub use state_oracle::{check_state, StateHistory, StateOracle};
 
 use hetsim::engine::SchedulePolicy;
 // Re-exported so scenario code can name engine types through one crate.

@@ -39,11 +39,13 @@ impl Default for OracleConfig {
 /// * every live FIFO's guard object is live, and its owner — while still a
 ///   registered process — holds OWNER (a dead owner mid-`reclaim_pu` is a
 ///   legal transient);
+/// * every live shared-state region satisfies the same guard/owner/UUID
+///   discipline as a FIFO (region caps never leak across reclaim);
 /// * no UUID is both live and reclaimed, and none is reclaimed while its
 ///   free is still parked in the lazy queue (exactly-once reclamation);
 /// * the `reclaimed_uuids` counter equals the reclaimed set's size;
-/// * every parked zero-copy segment slot belongs to a live FIFO (no leaked
-///   slots after close/reclaim).
+/// * every parked zero-copy segment slot belongs to a live FIFO or a live
+///   region (no leaked slots after close/reclaim).
 ///
 /// # Errors
 ///
@@ -84,8 +86,32 @@ pub fn check_snapshot(snap: &ClusterSnapshot, cfg: &OracleConfig) -> Result<(), 
             return Err(format!("UUID {} is both live and reclaimed", f.uuid));
         }
     }
+    for r in &snap.regions {
+        if !objects.contains(&r.obj) {
+            return Err(format!("live region {} guarded by destroyed object {}", r.uuid, r.obj));
+        }
+        // Same dead-owner transient tolerance as the FIFO check above:
+        // `reclaim_pu` drops the master's CAP group before the region sweep
+        // re-masters or parks its regions.
+        if snap.procs.binary_search(&r.owner).is_ok() {
+            let owner_ok = snap
+                .caps
+                .iter()
+                .any(|&(p, o, perm)| p == r.owner && o == r.obj && perm.contains(Perm::OWNER));
+            if !owner_ok {
+                return Err(format!(
+                    "region {} master {} lost OWNER on {}",
+                    r.uuid, r.owner, r.obj
+                ));
+            }
+        }
+        if reclaimed.contains(&r.uuid) {
+            return Err(format!("region UUID {} is both live and reclaimed", r.uuid));
+        }
+    }
+    let live_regions: HashSet<_> = snap.regions.iter().map(|r| &r.uuid).collect();
     for uuid in &snap.lazy_pending {
-        if live.contains(uuid) {
+        if live.contains(uuid) || live_regions.contains(uuid) {
             return Err(format!("UUID {uuid} live while its free is parked in the lazy queue"));
         }
     }
@@ -97,8 +123,8 @@ pub fn check_snapshot(snap: &ClusterSnapshot, cfg: &OracleConfig) -> Result<(), 
         ));
     }
     for (uuid, n) in &snap.parked_segments {
-        if !live.contains(uuid) {
-            return Err(format!("{n} leaked segment slot(s) parked for dead FIFO {uuid}"));
+        if !live.contains(uuid) && !live_regions.contains(uuid) {
+            return Err(format!("{n} leaked segment slot(s) parked for dead UUID {uuid}"));
         }
     }
     Ok(())

@@ -1,0 +1,148 @@
+//! Region naming, errors and deterministic snapshots.
+
+use std::fmt;
+
+use hetsim::pu::PuId;
+use xpu_shim::{GlobalUuid, ShimError};
+
+/// What a shared-state region looks like when it is created: a cluster-wide
+/// name plus its fixed page geometry. Regions do not grow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// Cluster-unique region name (`weights`, `shuffle-0`, ...).
+    pub name: String,
+    /// Number of pages in the region.
+    pub pages: u64,
+    /// Bytes per page.
+    pub page_bytes: u64,
+}
+
+impl RegionSpec {
+    /// A region of `pages` standard 4 KiB pages.
+    pub fn new(name: impl Into<String>, pages: u64) -> RegionSpec {
+        RegionSpec { name: name.into(), pages, page_bytes: 4096 }
+    }
+
+    /// Total region size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.pages * self.page_bytes
+    }
+}
+
+/// The global UUID a region registers under for generation `gen`.
+/// Re-mastering after an owner crash bumps the generation: the old UUID has
+/// been reclaimed (exactly once) and may never be reused.
+pub(crate) fn region_uuid(name: &str, gen: u64) -> GlobalUuid {
+    GlobalUuid::new(format!("region:{name}#g{gen}"))
+}
+
+/// Errors from shared-state operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// No region with this name exists (never created, dropped, or lost with
+    /// its last replica).
+    UnknownRegion(String),
+    /// `create_region` found the name taken.
+    RegionExists(String),
+    /// The PU has no replica of the region (call `attach` first).
+    NotAttached(String, PuId),
+    /// The PU runs no OS (accelerators cannot host region pages).
+    NoOs(PuId),
+    /// An access ran past the end of the region.
+    OutOfBounds {
+        /// Offset of the access.
+        offset: u64,
+        /// Length of the access.
+        len: u64,
+        /// Region size in bytes.
+        size: u64,
+    },
+    /// The region was re-mastered (owner crash) while the operation was in
+    /// flight; the caller must retry against the new master.
+    Remastered(String),
+    /// A shim-level failure (capability denial, dead peer, timeout, ...).
+    Shim(ShimError),
+    /// A local-OS failure surfaced by the page ledger.
+    Os(String),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::UnknownRegion(name) => write!(f, "unknown region {name}"),
+            StateError::RegionExists(name) => write!(f, "region {name} already exists"),
+            StateError::NotAttached(name, pu) => {
+                write!(f, "region {name} has no replica on {pu}")
+            }
+            StateError::NoOs(pu) => write!(f, "{pu} runs no OS to host region pages"),
+            StateError::OutOfBounds { offset, len, size } => {
+                write!(f, "access [{offset}, {offset}+{len}) outside region of {size} bytes")
+            }
+            StateError::Remastered(name) => {
+                write!(f, "region {name} was re-mastered mid-operation")
+            }
+            StateError::Shim(e) => write!(f, "shim: {e}"),
+            StateError::Os(e) => write!(f, "os: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<ShimError> for StateError {
+    fn from(e: ShimError) -> StateError {
+        StateError::Shim(e)
+    }
+}
+
+/// FNV-1a over a byte slice: the digest the coherence oracle compares across
+/// replicas. Deterministic and cheap; collisions are irrelevant at the
+/// scales the oracle sees.
+pub fn digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One replica as seen by [`StateSnapshot`]: its committed-cache version and
+/// the digest of those cached bytes (local uncommitted writes excluded).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReplicaSnapshot {
+    /// The PU hosting the replica.
+    pub pu: PuId,
+    /// The committed version the cache holds.
+    pub version: u64,
+    /// FNV-1a digest of the cached committed bytes.
+    pub digest: u64,
+}
+
+/// One region as seen by [`StateSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionStateSnapshot {
+    /// Region name.
+    pub name: String,
+    /// Current global UUID (changes across re-mastering generations).
+    pub uuid: GlobalUuid,
+    /// Re-mastering generation.
+    pub gen: u64,
+    /// The PU mastering the region.
+    pub master: PuId,
+    /// Committed version at the master.
+    pub version: u64,
+    /// Highest version ever committed under this name (survives
+    /// re-mastering; the version counter may never drop below it).
+    pub floor: u64,
+    /// Every replica, sorted by PU.
+    pub replicas: Vec<ReplicaSnapshot>,
+}
+
+/// A deterministic snapshot of the whole state layer, for simcheck's
+/// coherence oracle: regions sorted by name, replicas sorted by PU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSnapshot {
+    /// Every live region, sorted by name.
+    pub regions: Vec<RegionStateSnapshot>,
+}

@@ -1,0 +1,246 @@
+//! Property tests of the shared-state tier against a byte-exact reference
+//! model. Random scripts of `write` / `commit` / `pull` ops across all
+//! three PUs of the paper machine are interpreted twice — once by the real
+//! [`StateLayer`], once by a flat in-memory model of the version protocol —
+//! and must agree after *every* op:
+//!
+//! * reads see the local COW overlay on the cached committed version,
+//!   byte-for-byte;
+//! * COW never mutates a published version — every replica's committed
+//!   cache digest matches the model even while working sets are dirty;
+//! * interleavings converge: once everyone pulls after a final commit,
+//!   all replicas read the owner's committed bytes;
+//! * the arena balances: dropping the region leaves zero parked slots.
+//!
+//! Regions are 8 pages (32 KiB), so every pull crosses the interconnect on
+//! the zero-copy descriptor path and the slot-balance property is
+//! exercised by every script that pulls.
+
+use std::collections::BTreeMap;
+
+use hetsim::engine::Simulation;
+use hetsim::pu::PuId;
+use hetsim::topology::Machine;
+use molecule_state::{digest, RegionSpec, StateLayer};
+use proptest::prelude::*;
+use xpu_shim::cluster::{ShimCluster, ShimConfig};
+
+const PAGES: u64 = 8;
+const PAGE: u64 = 4096;
+const SIZE: usize = (PAGES * PAGE) as usize;
+const WRITE_LEN: usize = 64;
+
+/// One scripted op: `kind` 0 = write, 1 = commit, 2 = pull, on `pu`.
+type Op = (u8, u16, u64);
+
+/// The reference model: the master's committed store plus, per PU, the
+/// cached committed version and the COW working set (whole-page copies,
+/// seeded from the cache on first touch — exactly the layer's contract).
+struct Model {
+    committed: Vec<u8>,
+    floor: u64,
+    caches: BTreeMap<u16, (Vec<u8>, u64)>,
+    dirty: BTreeMap<u16, BTreeMap<u64, Vec<u8>>>,
+}
+
+impl Model {
+    fn new() -> Model {
+        Model {
+            committed: vec![0; SIZE],
+            floor: 0,
+            caches: (0..3).map(|pu| (pu, (vec![0; SIZE], 0))).collect(),
+            dirty: (0..3).map(|pu| (pu, BTreeMap::new())).collect(),
+        }
+    }
+
+    fn write(&mut self, pu: u16, offset: u64, data: &[u8]) {
+        let cache = &self.caches[&pu].0;
+        let dirty = self.dirty.get_mut(&pu).unwrap();
+        let first = offset / PAGE;
+        let last = (offset + data.len() as u64).div_ceil(PAGE).max(first + 1);
+        for page in first..last {
+            let lo = (page * PAGE) as usize;
+            let copy = dirty.entry(page).or_insert_with(|| cache[lo..lo + PAGE as usize].to_vec());
+            let from = offset.max(page * PAGE);
+            let to = (offset + data.len() as u64).min((page + 1) * PAGE);
+            for i in from..to {
+                copy[(i - page * PAGE) as usize] = data[(i - offset) as usize];
+            }
+        }
+    }
+
+    /// Returns the version number the layer must report.
+    fn commit(&mut self, pu: u16) -> u64 {
+        let dirty = std::mem::take(self.dirty.get_mut(&pu).unwrap());
+        if dirty.is_empty() {
+            return self.caches[&pu].1;
+        }
+        for (page, copy) in dirty {
+            let lo = (page * PAGE) as usize;
+            self.committed[lo..lo + copy.len()].copy_from_slice(&copy);
+        }
+        self.floor += 1;
+        // The master replica *is* the committed store; a remote committer's
+        // cache stays on its old version (lazy write-back).
+        let master = self.caches.get_mut(&0).unwrap();
+        master.0 = self.committed.clone();
+        master.1 = self.floor;
+        self.floor
+    }
+
+    /// Returns the version the replica holds after the pull.
+    fn pull(&mut self, pu: u16) -> u64 {
+        let master_version = self.caches[&0].1;
+        let cache = self.caches.get_mut(&pu).unwrap();
+        if cache.1 < master_version {
+            cache.0 = self.committed.clone();
+            cache.1 = master_version;
+        }
+        cache.1
+    }
+
+    /// What a whole-region read on `pu` must return: working set overlaid
+    /// on the cached committed version.
+    fn read(&self, pu: u16) -> Vec<u8> {
+        let mut out = self.caches[&pu].0.clone();
+        for (page, copy) in &self.dirty[&pu] {
+            let lo = (page * PAGE) as usize;
+            out[lo..lo + copy.len()].copy_from_slice(copy);
+        }
+        out
+    }
+}
+
+/// Interprets the script in the real layer and the model side by side,
+/// checking agreement after every op, then convergence, then the arena
+/// balance after the drop.
+fn execute(ops: Vec<Op>) -> Result<(), String> {
+    let cluster = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), ShimConfig::default());
+    let layer = StateLayer::new(cluster.clone());
+    let mut sim = Simulation::new();
+    let l = layer.clone();
+    let cl = cluster.clone();
+    let h = sim.spawn("script", move |ctx| -> Result<(), String> {
+        l.create_region(ctx, PuId(0), RegionSpec::new("prop", PAGES))
+            .map_err(|e| format!("create: {e}"))?;
+        for pu in 1..3u16 {
+            l.attach(ctx, PuId(pu), "prop").map_err(|e| format!("attach {pu}: {e}"))?;
+        }
+        let mut model = Model::new();
+
+        for (i, &(kind, pu, offset)) in ops.iter().enumerate() {
+            let offset = offset.min(SIZE as u64 - WRITE_LEN as u64);
+            match kind % 3 {
+                0 => {
+                    let stamp = (i as u8).wrapping_mul(31).wrapping_add(7);
+                    let data = [stamp; WRITE_LEN];
+                    l.write(ctx, PuId(pu), "prop", offset, &data, None)
+                        .map_err(|e| format!("op {i} write: {e}"))?;
+                    model.write(pu, offset, &data);
+                }
+                1 => {
+                    let got = l
+                        .commit(ctx, PuId(pu), "prop")
+                        .map_err(|e| format!("op {i} commit: {e}"))?;
+                    let want = model.commit(pu);
+                    if got != want {
+                        return Err(format!("op {i}: commit returned v{got}, model v{want}"));
+                    }
+                }
+                _ => {
+                    let got =
+                        l.pull(ctx, PuId(pu), "prop").map_err(|e| format!("op {i} pull: {e}"))?;
+                    let want = model.pull(pu);
+                    if got != want {
+                        return Err(format!("op {i}: pull returned v{got}, model v{want}"));
+                    }
+                }
+            }
+            // The op's PU reads exactly the model's overlay...
+            let bytes = l
+                .read(ctx, PuId(pu), "prop", 0, SIZE as u64)
+                .map_err(|e| format!("op {i} read: {e}"))?;
+            if bytes != model.read(pu) {
+                return Err(format!("op {i}: read on {pu} diverged from the model"));
+            }
+            // ...and no published version moved: every replica's committed
+            // cache digest still matches the model's cache for that PU —
+            // dirty working sets notwithstanding (COW isolation).
+            for r in &l.snapshot().regions {
+                for rep in &r.replicas {
+                    let (cache, version) = &model.caches[&rep.pu.0];
+                    if rep.version != *version || rep.digest != digest(cache) {
+                        return Err(format!(
+                            "op {i}: replica {} cache (v{}) diverged from model v{version}",
+                            rep.pu, rep.version
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Convergence: a final commit of every working set (master last, so
+        // the owner has the last word), then everyone pulls and must read
+        // the owner's committed bytes.
+        for pu in [1, 2, 0u16] {
+            l.commit(ctx, PuId(pu), "prop").map_err(|e| format!("final commit {pu}: {e}"))?;
+            model.commit(pu);
+        }
+        for pu in 0..3u16 {
+            l.pull(ctx, PuId(pu), "prop").map_err(|e| format!("final pull {pu}: {e}"))?;
+            model.pull(pu);
+            let bytes = l
+                .read(ctx, PuId(pu), "prop", 0, SIZE as u64)
+                .map_err(|e| format!("final read {pu}: {e}"))?;
+            if bytes != model.committed {
+                return Err(format!("replica {pu} did not converge to the committed bytes"));
+            }
+        }
+
+        l.drop_region(ctx, "prop").map_err(|e| format!("drop: {e}"))?;
+        let snap = cl.snapshot();
+        if snap.outstanding_segments != 0 {
+            return Err(format!(
+                "{} arena slot(s) leaked after drop: {:?}",
+                snap.outstanding_segments, snap.parked_segments
+            ));
+        }
+        if !snap.regions.is_empty() {
+            return Err(format!("{} region(s) survived the drop", snap.regions.len()));
+        }
+        Ok(())
+    });
+    sim.run().map_err(|e| format!("sim: {e}"))?;
+    h.take_result().ok_or("script lost")?
+}
+
+proptest! {
+    #[test]
+    fn random_interleavings_agree_with_the_model(
+        ops in collection::vec((0u8..=2, 0u16..=2, 0u64..(SIZE as u64)), 1..40)
+    ) {
+        prop_assert_eq!(execute(ops), Ok(()));
+    }
+
+    #[test]
+    fn write_heavy_scripts_never_mutate_published_versions(
+        ops in collection::vec((0u8..=0, 0u16..=2, 0u64..(SIZE as u64)), 1..40),
+        commits in collection::vec((1u8..=1, 0u16..=2, 0u64..1), 1..4)
+    ) {
+        // All-write prefix keeps three dirty working sets live at once —
+        // the digest check inside `execute` is the property — then a few
+        // commits so convergence still has something to publish.
+        let mut script = ops;
+        script.extend(commits);
+        prop_assert_eq!(execute(script), Ok(()));
+    }
+
+    #[test]
+    fn sync_heavy_scripts_balance_the_arena(
+        ops in collection::vec((1u8..=2, 0u16..=2, 0u64..1), 1..40)
+    ) {
+        // Commit/pull-only scripts maximize descriptor traffic through the
+        // segment arena; `execute` asserts zero slots survive the drop.
+        prop_assert_eq!(execute(ops), Ok(()));
+    }
+}

@@ -40,6 +40,8 @@ struct Container {
     cgroup: CgroupId,
     reserved_mib: u64,
     is_template: bool,
+    /// Shared-state region blocks currently mapped into the sandbox.
+    regions: Vec<BlockId>,
 }
 
 #[derive(Default)]
@@ -193,6 +195,7 @@ impl RuncRuntime {
                 cgroup,
                 reserved_mib: memory_mib,
                 is_template: true,
+                regions: Vec::new(),
             },
         );
         Ok(id)
@@ -296,6 +299,7 @@ impl RuncRuntime {
                 cgroup,
                 reserved_mib: config.memory_mib,
                 is_template: false,
+                regions: Vec::new(),
             },
         );
         Ok(())
@@ -375,6 +379,7 @@ impl RuncRuntime {
                 cgroup,
                 reserved_mib: config.memory_mib,
                 is_template: false,
+                regions: Vec::new(),
             },
         );
         Ok(())
@@ -395,6 +400,80 @@ impl RuncRuntime {
     pub fn pss_bytes(&self, id: &SandboxId) -> Option<f64> {
         let pid = self.os_pid(id)?;
         self.inner.os.pss_bytes(pid, self.inner.memory.page_bytes)
+    }
+
+    /// OCI extension verb: maps a shared-state region's backing block into a
+    /// running sandbox (`map_shared` — refcount + 1). N co-located sandboxes
+    /// mapping the same region keep one copy of its pages resident; the
+    /// density accounting ([`rss_bytes`](Self::rss_bytes) /
+    /// [`pss_bytes`](Self::pss_bytes)) sees it for free. Idempotent per
+    /// (sandbox, block).
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxError::Unknown`] / [`SandboxError::InvalidTransition`] (the
+    /// sandbox must be `Running`) / [`SandboxError::Os`].
+    pub fn map_region(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        block: BlockId,
+    ) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runc", "map_region", id, |ctx| self.do_map_region(ctx, id, block))
+    }
+
+    fn do_map_region(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        block: BlockId,
+    ) -> Result<(), SandboxError> {
+        ctx.sleep(self.inner.os.costs().syscall);
+        let mut st = self.inner.state.lock();
+        let c = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+        let pid = match (c.state, c.os_pid) {
+            (SandboxState::Running, Some(pid)) => pid,
+            _ => {
+                return Err(SandboxError::InvalidTransition {
+                    id: id.clone(),
+                    from: c.state,
+                    to: SandboxState::Running,
+                })
+            }
+        };
+        if c.regions.contains(&block) {
+            return Ok(());
+        }
+        self.inner.os.map_shared(pid, block)?;
+        c.regions.push(block);
+        Ok(())
+    }
+
+    /// OCI extension verb: removes a region mapping added by
+    /// [`map_region`](Self::map_region) (refcount − 1).
+    ///
+    /// # Errors
+    ///
+    /// [`SandboxError::Unknown`] / [`SandboxError::Os`] (including when the
+    /// block was never mapped into this sandbox).
+    pub fn unmap_region(
+        &self,
+        ctx: &mut ProcCtx,
+        id: &SandboxId,
+        block: BlockId,
+    ) -> Result<(), SandboxError> {
+        oci::verb_span(ctx, "runc", "unmap_region", id, |ctx| {
+            ctx.sleep(self.inner.os.costs().syscall);
+            let mut st = self.inner.state.lock();
+            let c = st.sandboxes.get_mut(id).ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            let pos = c.regions.iter().position(|b| *b == block).ok_or_else(|| {
+                SandboxError::Os(format!("{id}: region block {block:?} not mapped"))
+            })?;
+            let pid = c.os_pid.ok_or_else(|| SandboxError::Unknown(id.clone()))?;
+            self.inner.os.unmap(pid, block)?;
+            c.regions.remove(pos);
+            Ok(())
+        })
     }
 
     /// Reconciles runtime state after the PU hosting these containers
@@ -486,6 +565,7 @@ impl RuncRuntime {
                 cgroup,
                 reserved_mib: config.memory_mib,
                 is_template: false,
+                regions: Vec::new(),
             },
         );
         Ok(())

@@ -13,6 +13,10 @@
 //!   partial-pivoting LINPACK solver, DD block copy) behind the workloads;
 //! * [`gnn`] — a Dorylus-style GNN training round (§2.4's motivating case
 //!   for GPU serverless functions);
+//! * [`stateful`] — stateful serverless consumers over the
+//!   `molecule-state` shared-state tier: a shared-weights inference fleet
+//!   (memory density vs copy-per-instance) and a real MapReduce shuffle
+//!   over shared regions (vs the inline-copy baseline);
 //! * [`generator`] — deterministic request generators.
 
 pub mod fpga_apps;
@@ -22,3 +26,4 @@ pub mod gnn;
 pub mod kernels;
 pub mod matrix;
 pub mod serverlessbench;
+pub mod stateful;

@@ -93,6 +93,8 @@ pub enum ObjKind {
     Ipc,
     /// A capability group itself (process identity object).
     CapGroup,
+    /// A named shared-state region (the guard object for tier-2 sync).
+    Region,
 }
 
 /// Errors from capability operations.

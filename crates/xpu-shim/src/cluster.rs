@@ -176,6 +176,17 @@ pub struct FifoSnapshot {
     pub owner: XpuPid,
 }
 
+/// A live shared-state region as seen by [`ShimCluster::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RegionSnapshot {
+    /// The region's global UUID.
+    pub uuid: GlobalUuid,
+    /// The distributed object guarding it.
+    pub obj: ObjId,
+    /// The region's current master process.
+    pub owner: XpuPid,
+}
+
 /// A deterministic, fully-sorted snapshot of the cluster's control-plane
 /// state, taken atomically under the state lock. This is what simcheck's
 /// invariant oracles inspect after every engine step: every collection is
@@ -191,6 +202,8 @@ pub struct ClusterSnapshot {
     pub objects: Vec<ObjId>,
     /// All live FIFOs, sorted by UUID.
     pub fifos: Vec<FifoSnapshot>,
+    /// All live shared-state regions, sorted by UUID.
+    pub regions: Vec<RegionSnapshot>,
     /// UUIDs reclaimed through the crash path, sorted.
     pub reclaimed: Vec<GlobalUuid>,
     /// UUID frees parked in the lazy queue, sorted.
@@ -213,10 +226,20 @@ struct FifoEntry {
     last_arrival: SimTime,
 }
 
+/// A registered shared-state region: the guard object plus the process that
+/// currently masters it. The payload bytes never live here — tier-2 sync
+/// moves them through the segment arena; this entry is only the
+/// capability-guarded name.
+struct RegionEntry {
+    obj: ObjId,
+    owner: XpuPid,
+}
+
 struct ClusterState {
     caps: CapTable,
     next_local: HashMap<PuId, u32>,
     fifos: HashMap<GlobalUuid, FifoEntry>,
+    regions: HashMap<GlobalUuid, RegionEntry>,
     lazy_queue: Vec<GlobalUuid>,
     stats: ShimStats,
     next_key: u64,
@@ -288,6 +311,7 @@ impl ShimCluster {
                     caps: CapTable::new(),
                     next_local: HashMap::new(),
                     fifos: HashMap::new(),
+                    regions: HashMap::new(),
                     lazy_queue: Vec::new(),
                     stats: ShimStats::default(),
                     next_key: 0,
@@ -343,7 +367,7 @@ impl ShimCluster {
     /// and only the scheduler thread mutates between engine steps — which is
     /// when the invariant oracles call this).
     pub fn snapshot(&self) -> ClusterSnapshot {
-        let (caps, procs, objects, fifos, reclaimed, lazy_pending, reclaimed_count) = {
+        let (caps, procs, objects, fifos, regions, reclaimed, lazy_pending, reclaimed_count) = {
             let st = self.inner.state.lock();
             let mut fifos: Vec<FifoSnapshot> = st
                 .fifos
@@ -351,6 +375,12 @@ impl ShimCluster {
                 .map(|(uuid, e)| FifoSnapshot { uuid: uuid.clone(), obj: e.obj, owner: e.owner })
                 .collect();
             fifos.sort();
+            let mut regions: Vec<RegionSnapshot> = st
+                .regions
+                .iter()
+                .map(|(uuid, e)| RegionSnapshot { uuid: uuid.clone(), obj: e.obj, owner: e.owner })
+                .collect();
+            regions.sort();
             let mut reclaimed: Vec<GlobalUuid> = st.reclaimed.iter().cloned().collect();
             reclaimed.sort();
             let mut lazy_pending = st.lazy_queue.clone();
@@ -360,6 +390,7 @@ impl ShimCluster {
                 st.caps.process_ids(),
                 st.caps.object_ids(),
                 fifos,
+                regions,
                 reclaimed,
                 lazy_pending,
                 st.stats.reclaimed_uuids,
@@ -370,6 +401,7 @@ impl ShimCluster {
             procs,
             objects,
             fifos,
+            regions,
             reclaimed,
             lazy_pending,
             reclaimed_count,
@@ -1014,6 +1046,205 @@ impl ShimCluster {
         Ok(())
     }
 
+    // ---- shared-state regions (tier-2 substrate for molecule-state) ----
+
+    /// Registers a named shared-state region mastered by `owner`, creating
+    /// its capability guard object. Like `xfifo_init`, the UUID must be
+    /// globally unique, so registration synchronizes immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::UuidTaken`] when a FIFO, a live region, or an
+    /// already-reclaimed UUID holds the name; [`ShimError::Cap`] if `owner`
+    /// is not registered.
+    pub fn register_region(
+        &self,
+        ctx: &mut ProcCtx,
+        owner: XpuPid,
+        uuid: impl Into<GlobalUuid>,
+    ) -> Result<ObjId, ShimError> {
+        let uuid = uuid.into();
+        self.charge_xpucall(ctx, owner.pu, owner.pu, uuid.as_str().len() as u64)?;
+        let obj = {
+            let mut st = self.inner.state.lock();
+            if st.fifos.contains_key(&uuid)
+                || st.regions.contains_key(&uuid)
+                || st.reclaimed.contains(&uuid)
+            {
+                return Err(ShimError::UuidTaken(uuid));
+            }
+            let obj = st.caps.create_object(owner, ObjKind::Region)?;
+            st.regions.insert(uuid.clone(), RegionEntry { obj, owner });
+            obj
+        };
+        self.sync_immediate(ctx, owner.pu);
+        telemetry::with(|r| r.metrics().counter_add("shim.regions_registered", 1));
+        Ok(obj)
+    }
+
+    /// Destroys a region's guard object and frees any slots still parked for
+    /// it; the UUID-free message goes out on the lazy path, exactly like
+    /// `xfifo_close`. Only a caller holding `OWNER` on the guard may do this.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::UnknownUuid`] / [`ShimError::Cap`].
+    pub fn unregister_region(
+        &self,
+        ctx: &mut ProcCtx,
+        caller: XpuPid,
+        uuid: &GlobalUuid,
+    ) -> Result<(), ShimError> {
+        self.charge_xpucall(ctx, caller.pu, caller.pu, 8)?;
+        {
+            let mut st = self.inner.state.lock();
+            let entry = st.regions.get(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
+            st.caps.check(caller, entry.obj, Perm::OWNER)?;
+            let entry = st.regions.remove(uuid).expect("checked above");
+            st.caps.destroy_object(entry.obj)?;
+        }
+        self.inner.arena.reclaim_fifo(uuid);
+        self.sync_lazy(ctx, caller.pu, uuid.clone());
+        Ok(())
+    }
+
+    /// Parks a region payload for the `from.pu → to` link and returns the
+    /// capability-guarded descriptor when the zero-copy path applies
+    /// (cross-PU payload of at least the calibrated `min_payload`), or
+    /// `None` after charging the inline staging cost. Either way the full
+    /// nIPC cost of moving the bytes is paid here; the caller keeps the
+    /// payload and a `Some` descriptor must be consumed by
+    /// [`resolve_region_payload`](Self::resolve_region_payload) on the
+    /// destination side (or swept by region reclamation).
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::UnknownUuid`] / [`ShimError::Cap`] (WRITE or OWNER
+    /// required); [`ShimError::PeerDead`] / [`ShimError::XcallTimeout`]
+    /// when the fault plane has the destination down.
+    pub fn park_region_payload(
+        &self,
+        ctx: &mut ProcCtx,
+        from: XpuPid,
+        uuid: &GlobalUuid,
+        to: PuId,
+        payload: Bytes,
+    ) -> Result<Option<SegDescriptor>, ShimError> {
+        let size = payload.len() as u64;
+        {
+            let st = self.inner.state.lock();
+            let entry = st.regions.get(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
+            let perm = st.caps.perm(from, entry.obj);
+            if !perm.intersects(Perm::WRITE | Perm::OWNER) {
+                return Err(ShimError::Cap(crate::cap::CapError::PermissionDenied {
+                    actor: from,
+                    obj: entry.obj,
+                    required: Perm::WRITE,
+                }));
+            }
+        }
+        let src = from.pu;
+        let plane = self.inner.machine.fault_plane();
+        if src != to && !plane.is_quiet() {
+            if plane.is_dead(to) {
+                self.charge_xpucall(ctx, src, to, size)?;
+                ctx.sleep(self.inner.config.xcall_timeout);
+                telemetry::with(|r| r.metrics().counter_add("shim.xcall_peer_dead", 1));
+                return Err(ShimError::PeerDead(to));
+            }
+            let host = self.inner.machine.host_cpu();
+            let cut = plane.is_partitioned(src, to)
+                || (self.inner.machine.route(src, to).is_intercepted()
+                    && (plane.is_partitioned(src, host) || plane.is_partitioned(host, to)));
+            if cut {
+                self.charge_xpucall(ctx, src, to, size)?;
+                ctx.sleep(self.inner.config.xcall_timeout);
+                telemetry::with(|r| r.metrics().counter_add("shim.xcall_timeouts", 1));
+                return Err(ShimError::XcallTimeout(to));
+            }
+        }
+        if src == to {
+            // Same-PU "sync" is a local hand-off: tier 1 already shares the
+            // pages; charge one syscall for the bookkeeping.
+            ctx.sleep(self.os_costs_of(src).syscall);
+            return Ok(None);
+        }
+        let seg = self.segment_costs();
+        let route = self.inner.machine.route(src, to);
+        if route.is_intercepted() {
+            self.inner.state.lock().stats.intercepted_transfers += 1;
+        }
+        if self.inner.config.zero_copy && size >= seg.min_payload {
+            // Same discipline as the FIFO descriptor path: the payload moves
+            // once into the shared segment, the XPUcall stages only the
+            // descriptor.
+            ctx.sleep(seg.register);
+            self.charge_xpucall(ctx, src, to, seg.descriptor_bytes)?;
+            {
+                let mut st = self.inner.state.lock();
+                st.stats.descriptor_handoffs += 1;
+                st.stats.bytes_elided += size;
+            }
+            ctx.sleep(route.transfer_time(size + seg.descriptor_bytes));
+            telemetry::with(|r| {
+                r.metrics().counter_add("shim.region_pushes", 1);
+                r.metrics().counter_add("shim.descriptor_handoffs", 1);
+                r.metrics().counter_add("shim.bytes_elided", size);
+            });
+            let desc = self.inner.arena.place(src, to, uuid.clone(), payload);
+            Ok(Some(desc))
+        } else {
+            self.charge_xpucall(ctx, src, to, size)?;
+            ctx.sleep(route.transfer_time(size) + self.os_costs_of(to).ipc_segment);
+            telemetry::with(|r| r.metrics().counter_add("shim.region_pushes", 1));
+            Ok(None)
+        }
+    }
+
+    /// Consumes a region payload descriptor on the destination side,
+    /// charging the segment map cost. One-shot, like FIFO descriptor
+    /// resolution.
+    ///
+    /// # Errors
+    ///
+    /// [`ShimError::UnknownUuid`] / [`ShimError::Cap`] (READ or OWNER
+    /// required) / [`ShimError::BadDescriptor`].
+    pub fn resolve_region_payload(
+        &self,
+        ctx: &mut ProcCtx,
+        by: XpuPid,
+        uuid: &GlobalUuid,
+        desc: &SegDescriptor,
+    ) -> Result<Bytes, ShimError> {
+        {
+            let st = self.inner.state.lock();
+            let entry = st.regions.get(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
+            let perm = st.caps.perm(by, entry.obj);
+            if !perm.intersects(Perm::READ | Perm::OWNER) {
+                return Err(ShimError::Cap(crate::cap::CapError::PermissionDenied {
+                    actor: by,
+                    obj: entry.obj,
+                    required: Perm::READ,
+                }));
+            }
+        }
+        ctx.sleep(self.segment_costs().map);
+        let bytes = self.inner.arena.resolve(uuid, desc)?;
+        telemetry::with(|r| r.metrics().counter_add("shim.descriptors_resolved", 1));
+        Ok(bytes)
+    }
+
+    /// True while the region exists (registered and neither unregistered nor
+    /// reclaimed).
+    pub fn region_exists(&self, uuid: &GlobalUuid) -> bool {
+        self.inner.state.lock().regions.contains_key(uuid)
+    }
+
+    /// The guard object and master process of a live region.
+    pub fn region_entry(&self, uuid: &GlobalUuid) -> Option<(ObjId, XpuPid)> {
+        self.inner.state.lock().regions.get(uuid).map(|e| (e.obj, e.owner))
+    }
+
     pub(crate) fn xspawn<F>(
         &self,
         ctx: &mut ProcCtx,
@@ -1147,7 +1378,7 @@ impl ShimCluster {
     pub fn reclaim_pu(&self, ctx: &mut ProcCtx, dead: PuId) -> ReclaimReport {
         let t0 = ctx.now();
         let host = self.inner.machine.host_cpu();
-        let (pids, uuids) = {
+        let (pids, uuids, region_uuids) = {
             let st = self.inner.state.lock();
             let pids = st.caps.pids_on(dead);
             let mut uuids: Vec<GlobalUuid> = st
@@ -1157,7 +1388,14 @@ impl ShimCluster {
                 .map(|(uuid, _)| uuid.clone())
                 .collect();
             uuids.sort();
-            (pids, uuids)
+            let mut region_uuids: Vec<GlobalUuid> = st
+                .regions
+                .iter()
+                .filter(|(_, entry)| entry.owner.pu == dead)
+                .map(|(uuid, _)| uuid.clone())
+                .collect();
+            region_uuids.sort();
+            (pids, uuids, region_uuids)
         };
         let mut caps_dropped = 0usize;
         {
@@ -1174,6 +1412,17 @@ impl ShimCluster {
                 self.sync_lazy(ctx, host, uuid.clone());
             }
         }
+        // A dead master's state regions go through the same exactly-once
+        // UUID path: guard object destroyed, parked payload slots swept, the
+        // UUID-free broadcast batched lazily. The state layer re-masters the
+        // surviving replica under a fresh UUID.
+        let mut regions_reclaimed = 0usize;
+        for uuid in &region_uuids {
+            if self.reclaim_uuid_inner(uuid) {
+                regions_reclaimed += 1;
+                self.sync_lazy(ctx, host, uuid.clone());
+            }
+        }
         if !pids.is_empty() {
             // Removing CAP_Groups is a capability update: immediate sync.
             self.sync_immediate(ctx, host);
@@ -1183,19 +1432,23 @@ impl ShimCluster {
             pu: dead,
             processes: pids.len(),
             fifos_reclaimed: reclaimed,
+            regions_reclaimed,
             caps_dropped,
         };
         self.inner.machine.fault_plane().note(
             ctx.now(),
             &format!(
-                "recover: reclaim {dead} ({} pids, {} fifos, {} caps)",
-                report.processes, report.fifos_reclaimed, report.caps_dropped
+                "recover: reclaim {dead} ({} pids, {} fifos, {} regions, {} caps)",
+                report.processes,
+                report.fifos_reclaimed,
+                report.regions_reclaimed,
+                report.caps_dropped
             ),
         );
         telemetry::with(|r| {
             r.complete_span(host.0, t0.as_nanos(), ctx.now().as_nanos(), "reclaim-pu", None);
             r.metrics().counter_add("shim.pu_reclaims", 1);
-            r.metrics().counter_add("shim.reclaimed_uuids", reclaimed as u64);
+            r.metrics().counter_add("shim.reclaimed_uuids", (reclaimed + regions_reclaimed) as u64);
         });
         report
     }
@@ -1220,6 +1473,12 @@ impl ShimCluster {
         if let Some(entry) = st.fifos.remove(uuid) {
             // The owner may already be unregistered; destroying the object
             // is what revokes stale writer capabilities everywhere.
+            let _ = st.caps.destroy_object(entry.obj);
+        }
+        // A state region shares the UUID namespace and the arena: its guard
+        // object and any payload slots still parked for it go with the same
+        // sweep, so snapshot slot-balance accounting stays exact.
+        if let Some(entry) = st.regions.remove(uuid) {
             let _ = st.caps.destroy_object(entry.obj);
         }
         st.stats.reclaimed_uuids += 1;
@@ -1259,6 +1518,8 @@ pub struct ReclaimReport {
     pub processes: usize,
     /// FIFO UUIDs reclaimed (exactly once each).
     pub fifos_reclaimed: usize,
+    /// State-region UUIDs reclaimed (exactly once each).
+    pub regions_reclaimed: usize,
     /// Capabilities dropped with those groups.
     pub caps_dropped: usize,
 }

@@ -65,7 +65,8 @@ pub mod xcall;
 
 pub use cap::Perm;
 pub use cluster::{
-    ClusterSnapshot, FifoSnapshot, ShimCluster, ShimConfig, ShimStats, TransportPolicy, XpuShim,
+    ClusterSnapshot, FifoSnapshot, RegionSnapshot, ShimCluster, ShimConfig, ShimStats,
+    TransportPolicy, XpuShim,
 };
 pub use error::ShimError;
 pub use fifo::{XpuFifoReader, XpuFifoWriter};
