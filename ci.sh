@@ -54,6 +54,22 @@ test -f BENCH_state_shuffle.json
 jq -e '[.rows[] | select(.[0].value >= 65536)] | length > 0 and all(.[6].value >= 2)' \
     BENCH_state_shuffle.json >/dev/null
 
+# Rack smoke stage: the rack crate's ring property + stack e2e tests and a
+# fig_rack run. Gates: zero lost requests at every point of the scaling
+# sweep, the 16-node rack sustains >= 10x the single node's best point, and
+# descriptor-eligible cross-node DAG edges elide their payload bytes from
+# the fabric hand-off.
+cargo test -q -p molecule-rack
+cargo run --release -q -p molecule-bench --bin fig_rack
+test -f BENCH_rack.json
+jq -e '[.rows[]] | length > 0 and all(.[7].value == 0)' BENCH_rack.json >/dev/null
+jq -e '([.rows[] | select(.[0].value == 16 and .[11].raw == "yes") | .[1].value] | max)
+       >= 10 * ([.rows[] | select(.[0].value == 1 and .[11].raw == "yes") | .[1].value] | max)' \
+    BENCH_rack.json >/dev/null
+test -f BENCH_rack_edges.json
+jq -e '[.rows[] | select(.[0].value >= 16384)] | length > 0 and all(.[2].value > 0)' \
+    BENCH_rack_edges.json >/dev/null
+
 # Schedule-exploration stage: simcheck drives every scenario through its
 # budgeted interleaving sweep (each suite asserts >=200 distinct schedules)
 # with invariant oracles on every step. A violation fails the stage and the

@@ -1,0 +1,5 @@
+//! Regenerates the rack-scaling data backed by `molecule_bench::fig_rack`.
+
+fn main() {
+    molecule_bench::fig_rack::print();
+}

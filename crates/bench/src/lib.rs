@@ -38,6 +38,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig_comm;
 pub mod fig_fault;
+pub mod fig_rack;
 pub mod fig_sched;
 pub mod fig_state;
 pub mod tables;

@@ -38,8 +38,10 @@ pub fn table1() -> Vec<ContributionRow> {
                 LinkKind::PcieDma => "DMA",
                 LinkKind::SharedMem => "IPC",
                 LinkKind::Network => "Network",
+                LinkKind::RackRdma => "Fabric RDMA",
             },
             hetsim::interconnect::Route::CpuIntercepted { .. } => "CPU-intercepted",
+            hetsim::interconnect::Route::Fabric { .. } => "Fabric RDMA",
         }
     };
     vec![

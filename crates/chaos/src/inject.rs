@@ -27,8 +27,41 @@ pub fn apply(machine: &Machine, now: SimTime, action: &FaultAction) {
         FaultAction::FifoLoss(from, to, p) => plane.set_fifo_loss(now, from, to, p),
         FaultAction::FifoDup(from, to, p) => plane.set_fifo_dup(now, from, to, p),
         FaultAction::FailFpgaLoads(pu, count) => plane.fail_fpga_loads(now, pu, count),
+        // Node-level verbs expand against the machine's topology: plans can
+        // name a node without spelling out which PUs it holds.
+        FaultAction::KillNode(node) => {
+            for pu in machine.node_pus(node) {
+                plane.kill_pu(now, pu);
+            }
+        }
+        FaultAction::ReviveNode(node) => {
+            for pu in machine.node_pus(node) {
+                plane.revive_pu(now, pu);
+            }
+        }
+        FaultAction::PartitionNodes(a, b) => {
+            if let Some((ha, hb)) = node_hosts(machine, a, b) {
+                plane.partition(now, ha, hb);
+            }
+        }
+        FaultAction::HealNodes(a, b) => {
+            if let Some((ha, hb)) = node_hosts(machine, a, b) {
+                plane.heal_partition(now, ha, hb);
+            }
+        }
     }
     telemetry::with(|r| r.metrics().counter_add("chaos.injected", 1));
+}
+
+/// Both nodes' host PUs, or `None` when either node is not in the machine
+/// (a plan written for a bigger rack is a no-op on the smaller one).
+fn node_hosts(
+    machine: &Machine,
+    a: hetsim::pu::NodeId,
+    b: hetsim::pu::NodeId,
+) -> Option<(hetsim::pu::PuId, hetsim::pu::PuId)> {
+    let count = machine.node_count() as u16;
+    (a.raw() < count && b.raw() < count).then(|| (machine.node_host(a), machine.node_host(b)))
 }
 
 /// Installs the plan and spawns the injector process: it sleeps to each
@@ -81,5 +114,45 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert!(log[0].contains("degrade"), "{log:?}");
         assert!(log[1].starts_with("[     5000000ns]"), "{log:?}");
+    }
+
+    #[test]
+    fn node_verbs_expand_against_the_rack_topology() {
+        use hetsim::pu::{NodeId, PuId};
+        // rack(2, 2): node 0 = {pu0..pu2}, node 1 = {pu3..pu5}.
+        let machine = Machine::rack(2, 2);
+        let plan = FaultPlan::parse(
+            "seed 3\n\
+             at 1ms partition-nodes node0 node1\n\
+             at 2ms kill-node node1\n\
+             at 3ms revive-node node1\n\
+             at 4ms heal-nodes node0 node1\n",
+        )
+        .unwrap();
+        let mut sim = Simulation::new();
+        spawn_injector(&mut sim, &machine, &plan);
+        let m = machine.clone();
+        sim.spawn("observer", move |ctx| {
+            let plane = m.fault_plane();
+            ctx.sleep(SimDuration::from_nanos(1_500_000));
+            // Fabric cut: every cross-node path is severed, same-node fine.
+            assert!(m.path_cut(PuId(1), PuId(4)));
+            assert!(!m.path_cut(PuId(1), PuId(2)));
+            ctx.sleep(SimDuration::from_millis(1));
+            for pu in m.node_pus(NodeId(1)) {
+                assert!(plane.is_dead(pu), "{pu} should be dead with its node");
+            }
+            assert!(!plane.is_dead(PuId(0)), "node 0 survives");
+            ctx.sleep(SimDuration::from_millis(1));
+            assert!(!plane.is_dead(PuId(3)));
+            ctx.sleep(SimDuration::from_millis(1));
+            assert!(!m.path_cut(PuId(1), PuId(4)), "fabric healed");
+        });
+        sim.run().unwrap();
+        // A node-sized plan against a single machine is a no-op, not a panic.
+        let single = Machine::paper_cpu_dpu_server();
+        apply(&single, SimTime::ZERO, &FaultAction::PartitionNodes(NodeId(0), NodeId(1)));
+        apply(&single, SimTime::ZERO, &FaultAction::KillNode(NodeId(1)));
+        assert!(!single.fault_plane().is_dead(PuId(0)));
     }
 }

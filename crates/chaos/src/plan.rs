@@ -17,14 +17,24 @@
 //! at 40ms partition pu0 pu2
 //! at 50ms heal-partition pu0 pu2
 //! at 60ms fail-fpga pu3 2
+//! at 70ms kill-node node1
+//! at 80ms revive-node node1
+//! at 90ms partition-nodes node0 node1
+//! at 95ms heal-nodes node0 node1
 //! ```
+//!
+//! The `node` verbs are rack-level: `kill-node` crashes every PU of one
+//! node (the injector expands it against the machine's topology), and
+//! `partition-nodes` cuts the inter-node fabric link between two nodes'
+//! hosts, severing every cross-node path while leaving both nodes healthy
+//! internally.
 //!
 //! Durations accept `ns`, `us`, `ms` and `s` suffixes. Events are kept
 //! sorted by time (stable, so same-instant events apply in written order).
 
 use std::fmt;
 
-use hetsim::pu::PuId;
+use hetsim::pu::{NodeId, PuId};
 use hetsim::time::{SimDuration, SimTime};
 
 /// One injectable fault (or repair) action.
@@ -50,6 +60,14 @@ pub enum FaultAction {
     FifoDup(PuId, PuId, f64),
     /// Fail the next `count` FPGA bitstream loads on the PU.
     FailFpgaLoads(PuId, u32),
+    /// Crash every PU of one rack node (node death).
+    KillNode(NodeId),
+    /// Revive every PU of one rack node.
+    ReviveNode(NodeId),
+    /// Cut the inter-node fabric between two nodes' hosts.
+    PartitionNodes(NodeId, NodeId),
+    /// Restore the inter-node fabric between two nodes' hosts.
+    HealNodes(NodeId, NodeId),
 }
 
 /// A [`FaultAction`] scheduled at a virtual-time instant.
@@ -213,6 +231,22 @@ fn parse_action(toks: &[&str], lineno: usize) -> Result<FaultAction, PlanParseEr
                 .map_err(|_| PlanParseError::new(lineno, "fail-fpga wants a count"))?;
             Ok(FaultAction::FailFpgaLoads(parse_pu(pu, lineno)?, count))
         }
+        "kill-node" => {
+            let [_, node] = expect_arity(toks, lineno, "kill-node <node>")?;
+            Ok(FaultAction::KillNode(parse_node(node, lineno)?))
+        }
+        "revive-node" => {
+            let [_, node] = expect_arity(toks, lineno, "revive-node <node>")?;
+            Ok(FaultAction::ReviveNode(parse_node(node, lineno)?))
+        }
+        "partition-nodes" => {
+            let [_, a, b] = expect_arity(toks, lineno, "partition-nodes <node> <node>")?;
+            Ok(FaultAction::PartitionNodes(parse_node(a, lineno)?, parse_node(b, lineno)?))
+        }
+        "heal-nodes" => {
+            let [_, a, b] = expect_arity(toks, lineno, "heal-nodes <node> <node>")?;
+            Ok(FaultAction::HealNodes(parse_node(a, lineno)?, parse_node(b, lineno)?))
+        }
         other => Err(PlanParseError::new(lineno, &format!("unknown fault verb `{other}`"))),
     }
 }
@@ -231,6 +265,13 @@ fn parse_pu(tok: &str, lineno: usize) -> Result<PuId, PlanParseError> {
         .and_then(|n| n.parse::<u16>().ok())
         .map(PuId)
         .ok_or_else(|| PlanParseError::new(lineno, &format!("`{tok}` is not a PU (want puN)")))
+}
+
+fn parse_node(tok: &str, lineno: usize) -> Result<NodeId, PlanParseError> {
+    tok.strip_prefix("node")
+        .and_then(|n| n.parse::<u16>().ok())
+        .map(NodeId)
+        .ok_or_else(|| PlanParseError::new(lineno, &format!("`{tok}` is not a node (want nodeN)")))
 }
 
 fn parse_prob(tok: &str, lineno: usize) -> Result<f64, PlanParseError> {

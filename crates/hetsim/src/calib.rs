@@ -260,6 +260,32 @@ pub struct SegmentCosts {
     pub min_payload: u64,
 }
 
+/// Cross-node rack fabric costs: the tier above the intra-machine PCIe
+/// interconnect. Node hosts talk over one-sided rack RDMA; traffic entering
+/// or leaving a node through a non-host PU is relayed by that node's host,
+/// which charges `forward` per relay (a DPU-offloaded fast path, cheaper
+/// than the 10 µs software interception inside a machine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricCosts {
+    /// Per-transfer setup latency of a node-host ↔ node-host fabric link.
+    pub latency: SimDuration,
+    /// Sustained fabric bandwidth in gigabits per second.
+    pub gbps: f64,
+    /// Forwarding cost charged by each relaying node host.
+    pub forward: SimDuration,
+}
+
+impl FabricCosts {
+    /// The node-to-node fabric link this calibration describes.
+    pub fn link(&self) -> crate::interconnect::Link {
+        crate::interconnect::Link {
+            kind: crate::interconnect::LinkKind::RackRdma,
+            latency: self.latency,
+            gbps: self.gbps,
+        }
+    }
+}
+
 /// The full calibration table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Calibration {
@@ -290,6 +316,8 @@ pub struct Calibration {
     pub density: DensityModel,
     /// Zero-copy shared-segment hand-off costs.
     pub segment: SegmentCosts,
+    /// Cross-node rack fabric costs.
+    pub fabric: FabricCosts,
 }
 
 impl Calibration {
@@ -428,6 +456,16 @@ impl Calibration {
                 // 4 KiB on the BlueField legs; 16 KiB keeps a comfortable
                 // margin on the fast CPU tables too.
                 min_payload: 16 * 1024,
+            },
+            fabric: FabricCosts {
+                // A rack-switch hop plus two NIC traversals: ~8 µs setup at
+                // 50 Gbps sustained — clearly above the 3 µs/100 Gbps PCIe
+                // RDMA tier, clearly below the 30 µs/25 Gbps kernel TCP path.
+                latency: SimDuration::from_micros(8),
+                gbps: 50.0,
+                // Relaying is a descriptor rewrite on the node host's DPU
+                // fast path, not the 10 µs in-machine software interception.
+                forward: SimDuration::from_micros(4),
             },
         }
     }
@@ -581,6 +619,20 @@ mod tests {
         assert_eq!(server.fpga, desktop.fpga);
         assert_eq!(server.cpu_os, desktop.cpu_os);
         assert_eq!(server.segment, desktop.segment);
+        assert_eq!(server.fabric, desktop.fabric);
+    }
+
+    #[test]
+    fn fabric_sits_between_pcie_rdma_and_network() {
+        use crate::interconnect::Link;
+        let fabric = Calibration::paper_server().fabric;
+        let link = fabric.link();
+        assert_eq!(link.kind, crate::interconnect::LinkKind::RackRdma);
+        assert!(link.latency > Link::pcie_rdma().latency);
+        assert!(link.latency < Link::network().latency);
+        assert!(link.gbps < Link::pcie_rdma().gbps);
+        assert!(link.gbps > Link::network().gbps);
+        assert!(fabric.forward < SimDuration::from_micros(10), "DPU-offloaded relay");
     }
 
     #[test]

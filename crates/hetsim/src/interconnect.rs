@@ -23,6 +23,10 @@ pub enum LinkKind {
     SharedMem,
     /// Datacenter network (used by the homogeneous baselines and remote IPC).
     Network,
+    /// Cross-node rack RDMA fabric (node host ↔ node host): a distinct tier
+    /// above the intra-machine PCIe interconnect — slower setup, less
+    /// bandwidth, but still one-sided and descriptor-friendly.
+    RackRdma,
 }
 
 impl fmt::Display for LinkKind {
@@ -32,6 +36,7 @@ impl fmt::Display for LinkKind {
             LinkKind::PcieDma => "DMA",
             LinkKind::SharedMem => "Shm",
             LinkKind::Network => "Network",
+            LinkKind::RackRdma => "Fabric",
         };
         f.write_str(s)
     }
@@ -109,6 +114,14 @@ impl Link {
         Link { kind: LinkKind::Network, latency: SimDuration::from_micros(30), gbps: 25.0 }
     }
 
+    /// Cross-node rack RDMA fabric link: one-sided verbs between node hosts
+    /// over the rack switch. Slower than intra-machine PCIe RDMA (an extra
+    /// switch hop and NIC traversal) but far below the kernel TCP path —
+    /// the tier Palladium-style multi-node control planes are built on.
+    pub fn rack_rdma() -> Link {
+        Link { kind: LinkKind::RackRdma, latency: SimDuration::from_micros(8), gbps: 50.0 }
+    }
+
     /// This link slowed by a fault-injection factor: setup latency grows and
     /// bandwidth shrinks by `factor`.
     #[must_use]
@@ -133,6 +146,22 @@ pub enum Route {
         /// Software forwarding cost on the host CPU.
         forward_cost: SimDuration,
     },
+    /// Data crosses the rack fabric between two nodes: an optional
+    /// intra-machine ingress hop to the source node's host, the node-to-node
+    /// fabric link, and an optional egress hop to the destination PU. Each
+    /// relaying node host (one per present ingress/egress hop) charges the
+    /// forwarding cost once.
+    Fabric {
+        /// Source PU → source node host, absent when the source *is* a host.
+        ingress: Option<Link>,
+        /// The node-host ↔ node-host fabric link.
+        fabric: Link,
+        /// Destination node host → destination PU, absent when the
+        /// destination *is* a host.
+        egress: Option<Link>,
+        /// Software forwarding cost per relaying node host.
+        forward_cost: SimDuration,
+    },
 }
 
 impl Route {
@@ -142,6 +171,13 @@ impl Route {
             Route::Direct(link) => link.transfer_time(bytes),
             Route::CpuIntercepted { first, second, forward_cost } => {
                 first.transfer_time(bytes) + *forward_cost + second.transfer_time(bytes)
+            }
+            Route::Fabric { ingress, fabric, egress, forward_cost } => {
+                let mut t = fabric.transfer_time(bytes);
+                for hop in [ingress, egress].into_iter().flatten() {
+                    t = t + hop.transfer_time(bytes) + *forward_cost;
+                }
+                t
             }
         }
     }
@@ -154,6 +190,13 @@ impl Route {
             Route::CpuIntercepted { first, second, .. } => {
                 first.serialization_time(bytes) + second.serialization_time(bytes)
             }
+            Route::Fabric { ingress, fabric, egress, .. } => {
+                let mut t = fabric.serialization_time(bytes);
+                for hop in [ingress, egress].into_iter().flatten() {
+                    t += hop.serialization_time(bytes);
+                }
+                t
+            }
         }
     }
 
@@ -165,12 +208,24 @@ impl Route {
             Route::CpuIntercepted { first, second, forward_cost } => {
                 first.setup_time() + *forward_cost + second.setup_time()
             }
+            Route::Fabric { ingress, fabric, egress, forward_cost } => {
+                let mut t = fabric.setup_time();
+                for hop in [ingress, egress].into_iter().flatten() {
+                    t = t + hop.setup_time() + *forward_cost;
+                }
+                t
+            }
         }
     }
 
     /// True when the route needs the host CPU to forward data.
     pub fn is_intercepted(&self) -> bool {
         matches!(self, Route::CpuIntercepted { .. })
+    }
+
+    /// True when the route crosses the rack fabric between two nodes.
+    pub fn is_fabric(&self) -> bool {
+        matches!(self, Route::Fabric { .. })
     }
 
     /// This route with every hop slowed by a fault-injection factor.
@@ -181,6 +236,12 @@ impl Route {
             Route::CpuIntercepted { first, second, forward_cost } => Route::CpuIntercepted {
                 first: first.degraded(factor),
                 second: second.degraded(factor),
+                forward_cost,
+            },
+            Route::Fabric { ingress, fabric, egress, forward_cost } => Route::Fabric {
+                ingress: ingress.map(|l| l.degraded(factor)),
+                fabric: fabric.degraded(factor),
+                egress: egress.map(|l| l.degraded(factor)),
                 forward_cost,
             },
         }
@@ -242,7 +303,13 @@ mod tests {
             second: Link::pcie_dma(),
             forward_cost: SimDuration::from_micros(10),
         };
-        for route in [direct, hops] {
+        let fabric = Route::Fabric {
+            ingress: Some(Link::pcie_rdma()),
+            fabric: Link::rack_rdma(),
+            egress: None,
+            forward_cost: SimDuration::from_micros(4),
+        };
+        for route in [direct, hops, fabric] {
             for bytes in [0u64, 64, 4096, 1 << 20] {
                 assert_eq!(
                     route.setup_time() + route.serialization_time(bytes),
@@ -251,5 +318,49 @@ mod tests {
             }
             assert_eq!(route.serialization_time(0), SimDuration::ZERO);
         }
+    }
+
+    #[test]
+    fn fabric_is_a_tier_above_intra_machine_rdma() {
+        let fabric = Link::rack_rdma();
+        let rdma = Link::pcie_rdma();
+        for size in [16u64, 4096, 1 << 20] {
+            assert!(fabric.transfer_time(size) > rdma.transfer_time(size));
+            assert!(fabric.transfer_time(size) < Link::network().transfer_time(size));
+        }
+    }
+
+    #[test]
+    fn fabric_route_charges_forwarding_per_relaying_host() {
+        let fwd = SimDuration::from_micros(4);
+        let host_to_host = Route::Fabric {
+            ingress: None,
+            fabric: Link::rack_rdma(),
+            egress: None,
+            forward_cost: fwd,
+        };
+        let host_to_dev = Route::Fabric {
+            ingress: None,
+            fabric: Link::rack_rdma(),
+            egress: Some(Link::pcie_rdma()),
+            forward_cost: fwd,
+        };
+        let dev_to_dev = Route::Fabric {
+            ingress: Some(Link::pcie_rdma()),
+            fabric: Link::rack_rdma(),
+            egress: Some(Link::pcie_rdma()),
+            forward_cost: fwd,
+        };
+        assert_eq!(host_to_host.setup_time(), Link::rack_rdma().setup_time());
+        assert_eq!(
+            host_to_dev.setup_time(),
+            Link::rack_rdma().setup_time() + Link::pcie_rdma().setup_time() + fwd,
+        );
+        assert!(dev_to_dev.transfer_time(4096) > host_to_dev.transfer_time(4096));
+        assert!(host_to_dev.transfer_time(4096) > host_to_host.transfer_time(4096));
+        assert!(dev_to_dev.is_fabric() && !dev_to_dev.is_intercepted());
+        // Degradation slows every hop of the fabric route.
+        let slowed = dev_to_dev.clone().degraded(3.0);
+        assert!(slowed.transfer_time(4096) > dev_to_dev.transfer_time(4096));
     }
 }

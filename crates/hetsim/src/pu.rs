@@ -37,6 +37,28 @@ impl fmt::Display for PuId {
     }
 }
 
+/// Identifier of a node (one heterogeneous computer) within a rack.
+///
+/// Single-machine topologies have exactly one node, `NodeId(0)`, so every
+/// pre-rack code path keeps working unchanged.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The raw numeric id.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
 /// The class of a processing unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PuKind {

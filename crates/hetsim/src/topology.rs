@@ -25,7 +25,7 @@ use crate::fpga::FpgaDevice;
 use crate::gpu::{GpuCosts, GpuDevice};
 use crate::interconnect::{Link, Route};
 use crate::os::LocalOs;
-use crate::pu::{PuId, PuKind, PuSpec};
+use crate::pu::{NodeId, PuId, PuKind, PuSpec};
 use crate::time::SimDuration;
 
 /// Builder for a [`Machine`].
@@ -187,9 +187,12 @@ impl MachineBuilder {
                 }
             }
         }
+        let node_of = vec![NodeId(0); self.pus.len()];
         Machine {
             calib: self.calib,
             pus: self.pus,
+            node_of,
+            node_hosts: vec![host],
             oses,
             fpgas,
             gpus,
@@ -206,6 +209,182 @@ impl Default for MachineBuilder {
     }
 }
 
+/// Builder for a rack: several identically shaped nodes (each a host CPU
+/// plus devices) joined by a full-mesh RDMA fabric between the node hosts.
+///
+/// The result is still one [`Machine`] — PUs are globally numbered and the
+/// whole stack (shim, gateways, state layer) runs over it unchanged — but
+/// [`Machine::route`] returns [`Route::Fabric`] for cross-node pairs and
+/// the node accessors expose the partitioning.
+///
+/// # Examples
+///
+/// ```
+/// use hetsim::topology::Machine;
+/// use hetsim::pu::NodeId;
+///
+/// let rack = Machine::rack_builder(4).bluefield1_dpus_per_node(2).build();
+/// assert_eq!(rack.node_count(), 4);
+/// assert_eq!(rack.pus().len(), 12);
+/// assert!(rack.route(rack.node_host(NodeId(0)), rack.node_host(NodeId(3))).is_fabric());
+/// ```
+#[derive(Debug)]
+pub struct RackBuilder {
+    calib: Calibration,
+    nodes: usize,
+    bf1_dpus: usize,
+    bf2_dpus: usize,
+    fpgas: usize,
+    gpus: usize,
+    fabric_overrides: HashMap<(NodeId, NodeId), Link>,
+}
+
+impl RackBuilder {
+    /// Starts a rack of `nodes` nodes with the paper-server calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> RackBuilder {
+        assert!(nodes >= 1, "a rack needs at least one node");
+        RackBuilder {
+            calib: Calibration::paper_server(),
+            nodes,
+            bf1_dpus: 0,
+            bf2_dpus: 0,
+            fpgas: 0,
+            gpus: 0,
+            fabric_overrides: HashMap::new(),
+        }
+    }
+
+    /// Uses a custom calibration table.
+    pub fn calibration(mut self, calib: Calibration) -> RackBuilder {
+        self.calib = calib;
+        self
+    }
+
+    /// Adds `n` BlueField-1 DPUs to every node.
+    pub fn bluefield1_dpus_per_node(mut self, n: usize) -> RackBuilder {
+        self.bf1_dpus = n;
+        self
+    }
+
+    /// Adds `n` BlueField-2 DPUs to every node.
+    pub fn bluefield2_dpus_per_node(mut self, n: usize) -> RackBuilder {
+        self.bf2_dpus = n;
+        self
+    }
+
+    /// Adds `n` FPGAs to every node.
+    pub fn fpgas_per_node(mut self, n: usize) -> RackBuilder {
+        self.fpgas = n;
+        self
+    }
+
+    /// Adds `n` GPUs to every node.
+    pub fn gpus_per_node(mut self, n: usize) -> RackBuilder {
+        self.gpus = n;
+        self
+    }
+
+    /// Overrides the fabric link between two nodes (both directions) —
+    /// per-link calibration for asymmetric racks (e.g. a cross-switch pair
+    /// slower than in-chassis neighbours).
+    pub fn fabric_link(mut self, a: NodeId, b: NodeId, link: Link) -> RackBuilder {
+        self.fabric_overrides.insert((a, b), link);
+        self.fabric_overrides.insert((b, a), link);
+        self
+    }
+
+    /// Boots the rack: per node, one host CPU with its local OS, the node's
+    /// devices with host↔device links; across nodes, a full mesh of fabric
+    /// links between the hosts. All nodes share one fault plane.
+    pub fn build(self) -> Machine {
+        let mut pus = Vec::new();
+        let mut node_of = Vec::new();
+        let mut node_hosts = Vec::new();
+        let mut oses = HashMap::new();
+        let mut fpgas = HashMap::new();
+        let mut gpus = HashMap::new();
+        let mut links = HashMap::new();
+        let faults = FaultPlane::new();
+        for node in 0..self.nodes {
+            let node = NodeId(node as u16);
+            let host = PuId(pus.len() as u16);
+            node_hosts.push(host);
+            let spec = PuSpec::xeon_host(host);
+            oses.insert(
+                host,
+                LocalOs::boot(
+                    &spec,
+                    self.calib.os_costs(spec.model),
+                    self.calib.density.cpu_usable_mib,
+                ),
+            );
+            pus.push(spec);
+            node_of.push(node);
+            let device = |n: usize, make: fn(PuId) -> PuSpec| (0..n).map(move |_| make);
+            for make in device(self.bf1_dpus, PuSpec::bluefield1)
+                .chain(device(self.bf2_dpus, PuSpec::bluefield2))
+            {
+                let id = PuId(pus.len() as u16);
+                let spec = make(id);
+                let costs = self.calib.os_costs(spec.model);
+                oses.insert(id, LocalOs::boot(&spec, costs, self.calib.density.dpu_usable_mib));
+                links.insert((host, id), Link::pcie_rdma());
+                links.insert((id, host), Link::pcie_rdma());
+                pus.push(spec);
+                node_of.push(node);
+            }
+            for make in device(self.fpgas, PuSpec::ultrascale_fpga)
+                .chain(device(self.gpus, PuSpec::generic_gpu))
+            {
+                let id = PuId(pus.len() as u16);
+                let spec = make(id);
+                match spec.kind {
+                    PuKind::Fpga => {
+                        let dev = FpgaDevice::new(id, self.calib.fpga);
+                        dev.attach_fault_plane(faults.clone());
+                        fpgas.insert(id, dev);
+                    }
+                    _ => {
+                        gpus.insert(id, GpuDevice::new(id, GpuCosts::default()));
+                    }
+                }
+                links.insert((host, id), Link::pcie_dma());
+                links.insert((id, host), Link::pcie_dma());
+                pus.push(spec);
+                node_of.push(node);
+            }
+        }
+        // Full-mesh fabric between node hosts, honouring per-pair overrides.
+        for a in 0..self.nodes {
+            for b in 0..self.nodes {
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (NodeId(a as u16), NodeId(b as u16));
+                let link =
+                    self.fabric_overrides.get(&(a, b)).copied().unwrap_or(self.calib.fabric.link());
+                links.insert((node_hosts[a.raw() as usize], node_hosts[b.raw() as usize]), link);
+            }
+        }
+        Machine {
+            calib: self.calib,
+            pus,
+            node_of,
+            node_hosts,
+            oses,
+            fpgas,
+            gpus,
+            links,
+            forward_cost: SimDuration::from_micros(10),
+            faults,
+        }
+    }
+}
+
 /// A booted heterogeneous computer.
 ///
 /// Cloning a `Machine` yields another handle to the *same* machine: OS and
@@ -214,6 +393,11 @@ impl Default for MachineBuilder {
 pub struct Machine {
     calib: Calibration,
     pus: Vec<PuSpec>,
+    /// Node membership, indexed by [`PuId::raw`]. All `NodeId(0)` on a
+    /// single-machine topology.
+    node_of: Vec<NodeId>,
+    /// Each node's host CPU, indexed by [`NodeId::raw`].
+    node_hosts: Vec<PuId>,
     oses: HashMap<PuId, LocalOs>,
     fpgas: HashMap<PuId, FpgaDevice>,
     gpus: HashMap<PuId, GpuDevice>,
@@ -237,6 +421,17 @@ impl Machine {
     /// Starts building a machine.
     pub fn builder() -> MachineBuilder {
         MachineBuilder::new()
+    }
+
+    /// Starts building a rack of `nodes` nodes.
+    pub fn rack_builder(nodes: usize) -> RackBuilder {
+        RackBuilder::new(nodes)
+    }
+
+    /// A rack of `nodes` paper CPU+DPU servers (each a Xeon host plus
+    /// `dpus_per_node` BlueField-1 DPUs) on a full-mesh RDMA fabric.
+    pub fn rack(nodes: usize, dpus_per_node: usize) -> Machine {
+        Machine::rack_builder(nodes).bluefield1_dpus_per_node(dpus_per_node).build()
     }
 
     /// The calibration table the machine was booted with.
@@ -285,9 +480,48 @@ impl Machine {
         &self.faults
     }
 
+    /// The node a PU belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PU does not exist.
+    pub fn node_of(&self, pu: PuId) -> NodeId {
+        self.node_of[pu.raw() as usize]
+    }
+
+    /// A node's host CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn node_host(&self, node: NodeId) -> PuId {
+        self.node_hosts[node.raw() as usize]
+    }
+
+    /// All nodes, in id order. Single-machine topologies report one node.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (0..self.node_hosts.len() as u16).map(NodeId).collect()
+    }
+
+    /// Number of nodes in the topology.
+    pub fn node_count(&self) -> usize {
+        self.node_hosts.len()
+    }
+
+    /// The PUs belonging to `node`, in id order.
+    pub fn node_pus(&self, node: NodeId) -> Vec<PuId> {
+        self.pus.iter().map(|p| p.id).filter(|&id| self.node_of(id) == node).collect()
+    }
+
+    /// True when both PUs live on the same node (intra-machine traffic).
+    pub fn same_node(&self, a: PuId, b: PuId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
     /// The route between two PUs: direct where a link exists, otherwise
-    /// forwarded by the host CPU ("CPU-intercepted communication", §5).
-    /// An injected link degradation slows the returned route.
+    /// forwarded by the node's host CPU ("CPU-intercepted communication",
+    /// §5); PUs on different nodes cross the rack fabric between the two
+    /// node hosts. An injected link degradation slows the returned route.
     ///
     /// # Panics
     ///
@@ -295,12 +529,15 @@ impl Machine {
     pub fn route(&self, from: PuId, to: PuId) -> Route {
         assert!(self.pu(from).is_some(), "unknown source PU {from}");
         assert!(self.pu(to).is_some(), "unknown destination PU {to}");
+        if !self.same_node(from, to) {
+            return self.fabric_route(from, to);
+        }
         let route = if from == to {
             Route::Direct(Link::shared_mem())
         } else if let Some(link) = self.links.get(&(from, to)) {
             Route::Direct(*link)
         } else {
-            let host = self.host_cpu();
+            let host = self.node_host(self.node_of(from));
             let first = *self.links.get(&(from, host)).expect("every non-host PU has a host link");
             let second = *self.links.get(&(host, to)).expect("every non-host PU has a host link");
             Route::CpuIntercepted { first, second, forward_cost: self.forward_cost }
@@ -311,6 +548,57 @@ impl Machine {
         } else {
             route.degraded(factor)
         }
+    }
+
+    /// The cross-node route: source PU → its node host (unless it *is* the
+    /// host), fabric link host → host, destination host → destination PU.
+    /// Each leg is degraded by its own pair's fault factor, so chaos can
+    /// target one fabric link without slowing intra-node hops.
+    fn fabric_route(&self, from: PuId, to: PuId) -> Route {
+        let src_host = self.node_host(self.node_of(from));
+        let dst_host = self.node_host(self.node_of(to));
+        let leg = |a: PuId, b: PuId| -> Link {
+            let link = *self.links.get(&(a, b)).unwrap_or_else(|| {
+                panic!("no link {a} -> {b} (every PU links to its node host, hosts full-mesh)")
+            });
+            let factor = self.faults.link_factor(a, b);
+            if factor == 1.0 {
+                link
+            } else {
+                link.degraded(factor)
+            }
+        };
+        Route::Fabric {
+            ingress: (from != src_host).then(|| leg(from, src_host)),
+            fabric: leg(src_host, dst_host),
+            egress: (to != dst_host).then(|| leg(dst_host, to)),
+            forward_cost: self.calib.fabric.forward,
+        }
+    }
+
+    /// True when an injected partition cuts the *path* between two PUs:
+    /// either the pair itself is partitioned, or any relayed leg of its
+    /// route is — the host legs of a CPU-intercepted route, or the
+    /// ingress/fabric/egress legs of a cross-node route. This is the single
+    /// partition check the data plane consults, so a severed fabric link
+    /// isolates everything routed across it.
+    pub fn path_cut(&self, from: PuId, to: PuId) -> bool {
+        let plane = &self.faults;
+        if plane.is_partitioned(from, to) {
+            return true;
+        }
+        if !self.same_node(from, to) {
+            let src_host = self.node_host(self.node_of(from));
+            let dst_host = self.node_host(self.node_of(to));
+            return plane.is_partitioned(from, src_host)
+                || plane.is_partitioned(src_host, dst_host)
+                || plane.is_partitioned(dst_host, to);
+        }
+        if from == to || self.links.contains_key(&(from, to)) {
+            return false;
+        }
+        let host = self.node_host(self.node_of(from));
+        plane.is_partitioned(from, host) || plane.is_partitioned(host, to)
     }
 
     /// The paper's CPU-DPU evaluation server (Xeon + two BlueField-1 DPUs).
@@ -403,6 +691,95 @@ mod tests {
     #[should_panic(expected = "host CPU")]
     fn machine_without_cpu_panics() {
         let _ = Machine::builder().build();
+    }
+
+    #[test]
+    fn single_machine_is_one_node() {
+        let m = Machine::full_heterogeneous();
+        assert_eq!(m.node_count(), 1);
+        assert_eq!(m.nodes(), vec![NodeId(0)]);
+        assert_eq!(m.node_host(NodeId(0)), m.host_cpu());
+        for pu in m.pus() {
+            assert_eq!(m.node_of(pu.id), NodeId(0));
+        }
+        assert_eq!(m.node_pus(NodeId(0)).len(), m.pus().len());
+    }
+
+    #[test]
+    fn rack_routes_cross_the_fabric_only_between_nodes() {
+        let rack = Machine::rack(2, 2);
+        assert_eq!(rack.pus().len(), 6);
+        assert_eq!(rack.node_count(), 2);
+        let (h0, h1) = (rack.node_host(NodeId(0)), rack.node_host(NodeId(1)));
+        assert_eq!(h0, PuId(0));
+        assert_eq!(h1, PuId(3));
+        assert_eq!(rack.node_pus(NodeId(1)), vec![PuId(3), PuId(4), PuId(5)]);
+        // Intra-node routing is untouched: host ↔ its DPU is direct RDMA.
+        match rack.route(h1, PuId(4)) {
+            Route::Direct(link) => assert_eq!(link.kind, LinkKind::PcieRdma),
+            other => panic!("intra-node host-DPU should be direct, got {other:?}"),
+        }
+        // Host-to-host crosses the bare fabric link.
+        match rack.route(h0, h1) {
+            Route::Fabric { ingress: None, fabric, egress: None, .. } => {
+                assert_eq!(fabric.kind, LinkKind::RackRdma);
+            }
+            other => panic!("host-host should be a bare fabric route, got {other:?}"),
+        }
+        // DPU-to-DPU across nodes relays through both hosts.
+        match rack.route(PuId(1), PuId(4)) {
+            Route::Fabric { ingress: Some(i), fabric, egress: Some(e), .. } => {
+                assert_eq!(i.kind, LinkKind::PcieRdma);
+                assert_eq!(fabric.kind, LinkKind::RackRdma);
+                assert_eq!(e.kind, LinkKind::PcieRdma);
+            }
+            other => panic!("cross-node DPU-DPU should relay via both hosts, got {other:?}"),
+        }
+        // The fabric tier costs more than any intra-node route.
+        assert!(
+            rack.route(PuId(1), PuId(4)).transfer_time(4096)
+                > rack.route(PuId(1), PuId(2)).transfer_time(4096)
+        );
+    }
+
+    #[test]
+    fn fabric_link_overrides_and_degradation_are_per_pair() {
+        let slow =
+            Link { kind: LinkKind::RackRdma, latency: SimDuration::from_micros(20), gbps: 10.0 };
+        let rack = Machine::rack_builder(3)
+            .bluefield1_dpus_per_node(1)
+            .fabric_link(NodeId(0), NodeId(2), slow)
+            .build();
+        let (h0, h1, h2) =
+            (rack.node_host(NodeId(0)), rack.node_host(NodeId(1)), rack.node_host(NodeId(2)));
+        let fast = rack.route(h0, h1).transfer_time(4096);
+        let overridden = rack.route(h0, h2).transfer_time(4096);
+        assert!(overridden > fast, "per-pair override must slow the 0-2 link");
+        // Degrading one fabric pair leaves the others untouched.
+        rack.fault_plane().degrade_link(crate::time::SimTime::ZERO, h0, h1, 4.0);
+        assert!(rack.route(h0, h1).transfer_time(4096) > fast);
+        assert_eq!(rack.route(h1, h2).transfer_time(4096), fast);
+    }
+
+    #[test]
+    fn path_cut_covers_fabric_legs() {
+        use crate::time::SimTime;
+        let rack = Machine::rack(2, 1);
+        let (h0, h1) = (rack.node_host(NodeId(0)), rack.node_host(NodeId(1)));
+        let (d0, d1) = (PuId(1), PuId(3));
+        assert!(!rack.path_cut(d0, d1));
+        // Severing the host-host fabric link cuts every cross-node path.
+        rack.fault_plane().partition(SimTime::ZERO, h0, h1);
+        assert!(rack.path_cut(d0, d1));
+        assert!(rack.path_cut(h0, d1));
+        assert!(rack.path_cut(h0, h1));
+        assert!(!rack.path_cut(d0, h0), "intra-node paths survive a fabric cut");
+        rack.fault_plane().heal_partition(SimTime::ZERO, h0, h1);
+        assert!(!rack.path_cut(d0, d1));
+        // An ingress-leg partition cuts only paths relayed through it.
+        rack.fault_plane().partition(SimTime::ZERO, d0, h0);
+        assert!(rack.path_cut(d0, d1));
+        assert!(!rack.path_cut(h0, d1));
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests of the consistent-hash ring the rack front routes with:
+//! placement balance within a constant factor of fair across 1–16 nodes,
+//! and minimal reassignment (< 2/N of keys) when a node joins or leaves —
+//! with every move explained by the membership change, never a shuffle
+//! between surviving nodes.
+
+use std::collections::BTreeMap;
+
+use hetsim::pu::NodeId;
+use molecule_rack::{HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+const KEYS: usize = 4_000;
+
+fn keys(salt: u64) -> Vec<String> {
+    (0..KEYS).map(|i| format!("func-{salt}-{i}")).collect()
+}
+
+fn owners(ring: &HashRing, keys: &[String]) -> Vec<NodeId> {
+    keys.iter().map(|k| ring.node_for(k).expect("non-empty ring")).collect()
+}
+
+fn shares(owners: &[NodeId]) -> BTreeMap<NodeId, usize> {
+    let mut counts = BTreeMap::new();
+    for &node in owners {
+        *counts.entry(node).or_insert(0usize) += 1;
+    }
+    counts
+}
+
+proptest! {
+    /// Every node of a 1–16-node ring gets a share of the keyspace within
+    /// a constant factor of fair: no node starves, none takes over.
+    #[test]
+    fn placement_stays_balanced_across_1_to_16_nodes(
+        nodes in 1usize..17,
+        salt in 0u64..1000,
+    ) {
+        let ring = HashRing::with_nodes(DEFAULT_VNODES, (0..nodes as u16).map(NodeId));
+        let counts = shares(&owners(&ring, &keys(salt)));
+        prop_assert_eq!(counts.len(), nodes, "some node owns no keys");
+        let fair = KEYS as f64 / nodes as f64;
+        for (&node, &count) in &counts {
+            let ratio = count as f64 / fair;
+            prop_assert!(
+                (0.4..=2.0).contains(&ratio),
+                "{} holds {} of {} keys ({}x fair) on a {}-node ring",
+                node, count, KEYS, ratio, nodes
+            );
+        }
+    }
+
+    /// A node joining an N-node ring captures some keys but reassigns
+    /// fewer than 2/(N+1) of them, and every reassigned key moves *to*
+    /// the joiner — survivors never trade keys among themselves.
+    #[test]
+    fn node_join_reassigns_less_than_two_over_n(
+        nodes in 1usize..16,
+        salt in 0u64..1000,
+    ) {
+        let keys = keys(salt);
+        let mut ring = HashRing::with_nodes(DEFAULT_VNODES, (0..nodes as u16).map(NodeId));
+        let before = owners(&ring, &keys);
+        let joiner = NodeId(nodes as u16);
+        ring.add(joiner);
+        let after = owners(&ring, &keys);
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                moved += 1;
+                prop_assert_eq!(*a, joiner, "a key moved between surviving nodes on join");
+            }
+        }
+        prop_assert!(moved > 0, "the joiner captured nothing");
+        let bound = 2.0 / (nodes + 1) as f64;
+        prop_assert!(
+            (moved as f64 / KEYS as f64) < bound,
+            "join moved {}/{} keys, bound {}",
+            moved, KEYS, bound
+        );
+    }
+
+    /// A node leaving an N-node ring orphans only its own keys: fewer than
+    /// 2/N of all keys move, and keys owned by survivors stay put.
+    #[test]
+    fn node_leave_reassigns_less_than_two_over_n(
+        nodes in 2usize..17,
+        salt in 0u64..1000,
+    ) {
+        let keys = keys(salt);
+        let mut ring = HashRing::with_nodes(DEFAULT_VNODES, (0..nodes as u16).map(NodeId));
+        let before = owners(&ring, &keys);
+        let leaver = NodeId((nodes as u16) / 2);
+        ring.remove(leaver);
+        let after = owners(&ring, &keys);
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                moved += 1;
+                prop_assert_eq!(*b, leaver, "a survivor's key moved on leave");
+            }
+            prop_assert!(*a != leaver, "a key still routes to the removed node");
+        }
+        let bound = 2.0 / nodes as f64;
+        prop_assert!(
+            (moved as f64 / KEYS as f64) < bound,
+            "leave moved {}/{} keys, bound {}",
+            moved, KEYS, bound
+        );
+    }
+}

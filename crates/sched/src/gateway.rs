@@ -79,6 +79,10 @@ pub struct SchedConfig {
     /// replica of one of its declared shared-state regions (the
     /// state-locality term; see [`placer::rank`]).
     pub state_bonus: SimDuration,
+    /// Score credit for any PU on the same *rack node* as the previous
+    /// chain stage or a state-region host, keeping DAG edges and region
+    /// sync off the inter-node fabric. No effect on single-node machines.
+    pub node_bonus: SimDuration,
     /// Default latency budget for admission control. `None` admits
     /// everything the queues have room for.
     pub deadline: Option<SimDuration>,
@@ -103,6 +107,7 @@ impl Default for SchedConfig {
             accel_tokens: 1,
             colocate_bonus: SimDuration::from_millis(1),
             state_bonus: SimDuration::from_millis(2),
+            node_bonus: SimDuration::from_micros(500),
             deadline: None,
             batch_window: SimDuration::from_millis(5),
             batch_max: 8,
@@ -252,10 +257,20 @@ impl SchedGateway {
     /// Builds the gateway over `api`, creating one [`RunQueue`] per PU of
     /// the machine and an [`FpgaCacheManager`] per FPGA fabric.
     pub fn new(api: ApiGateway, config: SchedConfig) -> SchedGateway {
+        let pus: Vec<PuId> = api.molecule().machine().pus().iter().map(|p| p.id).collect();
+        SchedGateway::new_for_pus(api, config, &pus)
+    }
+
+    /// Builds the gateway over `api` but scoped to `pus`: queues, workers
+    /// and placement only cover those PUs. This is how a rack shards its
+    /// control plane — one gateway per node, each owning that node's PUs,
+    /// all over the same machine and runtime. PUs not in the machine are
+    /// ignored.
+    pub fn new_for_pus(api: ApiGateway, config: SchedConfig, pus: &[PuId]) -> SchedGateway {
         let machine = api.molecule().machine().clone();
         let mut queues = BTreeMap::new();
         let mut caches = BTreeMap::new();
-        for pu in machine.pus() {
+        for pu in pus.iter().filter_map(|id| machine.pu(*id)) {
             let policy = QueuePolicy { depth: config.depth, tokens: config.tokens_for(pu.kind) };
             queues.insert(pu.id, RunQueue::new(pu.id, policy));
             if pu.kind == PuKind::Fpga {
@@ -499,6 +514,7 @@ impl SchedGateway {
                     self.config.colocate_bonus,
                     &state_hosts,
                     self.config.state_bonus,
+                    self.config.node_bonus,
                 )
             }
             PlacementMode::FirstFit => {
@@ -516,6 +532,7 @@ impl SchedGateway {
                     &blind,
                     SimDuration::ZERO,
                     &[],
+                    SimDuration::ZERO,
                     SimDuration::ZERO,
                 );
                 cands.sort_by_key(|c| c.pu);

@@ -137,6 +137,12 @@ pub fn cold_estimate(machine: &Machine, def: &FunctionDef, pu: PuId) -> SimDurat
 /// `prev_stage` earns its PU the `colocate_bonus` score credit; PUs in
 /// `state_hosts` (replica holders of the function's declared regions, from
 /// the gateway's `RegionDirectory`) earn `state_bonus`.
+///
+/// On a rack, any PU sharing a *node* with `prev_stage` or a state host
+/// earns `node_bonus`: even when the exact PU is busy, keeping a DAG stage
+/// or region consumer on the same node avoids the fabric tier entirely.
+/// Single-node machines are unaffected (every PU is on the preferred node,
+/// so the term cancels out of the ranking).
 #[allow(clippy::too_many_arguments)]
 pub fn rank(
     machine: &Machine,
@@ -147,7 +153,17 @@ pub fn rank(
     colocate_bonus: SimDuration,
     state_hosts: &[PuId],
     state_bonus: SimDuration,
+    node_bonus: SimDuration,
 ) -> Vec<Candidate> {
+    let preferred_nodes: Vec<_> = if machine.node_count() > 1 {
+        let mut nodes: Vec<_> =
+            prev_stage.iter().chain(state_hosts).map(|&pu| machine.node_of(pu)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    } else {
+        Vec::new()
+    };
     let mut out = Vec::new();
     for load in loads {
         let Some(spec) = machine.pu(load.pu) else { continue };
@@ -165,6 +181,9 @@ pub fn rank(
         }
         if state_hosts.contains(&load.pu) {
             score = score.saturating_sub(state_bonus);
+        }
+        if preferred_nodes.contains(&machine.node_of(load.pu)) {
+            score = score.saturating_sub(node_bonus);
         }
         out.push(Candidate { pu: load.pu, score, exec, cold, wait: load.wait });
     }
@@ -193,8 +212,17 @@ mod tests {
     fn unloaded_cpu_beats_slower_dpus() {
         let machine = Machine::paper_cpu_dpu_server();
         let loads = [idle(PuId(0)), idle(PuId(1)), idle(PuId(2))];
-        let ranked =
-            rank(&machine, &def(), 0, None, &loads, SimDuration::ZERO, &[], SimDuration::ZERO);
+        let ranked = rank(
+            &machine,
+            &def(),
+            0,
+            None,
+            &loads,
+            SimDuration::ZERO,
+            &[],
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
         assert_eq!(ranked[0].pu, PuId(0), "CPU exec 10ms < DPU exec 62ms");
         assert_eq!(ranked.len(), 3);
     }
@@ -208,8 +236,17 @@ mod tests {
             idle(PuId(1)),
             idle(PuId(2)),
         ];
-        let ranked =
-            rank(&machine, &def(), 0, None, &loads, SimDuration::ZERO, &[], SimDuration::ZERO);
+        let ranked = rank(
+            &machine,
+            &def(),
+            0,
+            None,
+            &loads,
+            SimDuration::ZERO,
+            &[],
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
         assert_eq!(ranked[0].pu, PuId(1), "load-aware: overflow to the idle DPU");
     }
 
@@ -228,8 +265,17 @@ mod tests {
             PuLoad { pu: PuId(0), wait: SimDuration::ZERO, warm: false },
             PuLoad { pu: PuId(1), wait: SimDuration::ZERO, warm: true },
         ];
-        let ranked =
-            rank(&machine, &quick, 0, None, &loads, SimDuration::ZERO, &[], SimDuration::ZERO);
+        let ranked = rank(
+            &machine,
+            &quick,
+            0,
+            None,
+            &loads,
+            SimDuration::ZERO,
+            &[],
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
         assert_eq!(ranked[0].pu, PuId(1), "warm DPU beats cold CPU for a tiny function");
         assert_eq!(ranked[0].cold, SimDuration::ZERO);
         assert!(ranked[1].cold > SimDuration::ZERO);
@@ -253,6 +299,7 @@ mod tests {
             SimDuration::from_millis(1),
             &[],
             SimDuration::ZERO,
+            SimDuration::ZERO,
         );
         assert_eq!(plain[0].pu, PuId(1));
         // With the previous stage on PU 2, the bonus flips the choice.
@@ -264,6 +311,7 @@ mod tests {
             &loads,
             SimDuration::from_millis(1),
             &[],
+            SimDuration::ZERO,
             SimDuration::ZERO,
         );
         assert_eq!(chained[0].pu, PuId(2), "chain co-location is a scoring bonus");
@@ -279,8 +327,17 @@ mod tests {
             .region("weights")
             .build();
         // Identical DPUs: lower id wins without the term...
-        let plain =
-            rank(&machine, &dpu_fn, 0, None, &loads, SimDuration::ZERO, &[], SimDuration::ZERO);
+        let plain = rank(
+            &machine,
+            &dpu_fn,
+            0,
+            None,
+            &loads,
+            SimDuration::ZERO,
+            &[],
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
         assert_eq!(plain[0].pu, PuId(1));
         // ...but PU 2 hosting the region's pages flips the choice.
         let steered = rank(
@@ -292,9 +349,49 @@ mod tests {
             SimDuration::ZERO,
             &[PuId(2)],
             SimDuration::from_millis(1),
+            SimDuration::ZERO,
         );
         assert_eq!(steered[0].pu, PuId(2), "state locality is a scoring bonus");
         // The bonus saturates: it can prefer, never produce negative scores.
         assert!(steered[0].score <= plain[1].score);
+    }
+
+    #[test]
+    fn node_bonus_keeps_chain_stages_on_the_prev_stages_node() {
+        // Two-node rack: node 0 = {pu0 host, pu1 DPU}, node 1 = {pu2, pu3}.
+        let machine = Machine::rack(2, 1);
+        let dpu_fn = FunctionDef::builder("n", LangRuntime::Python)
+            .profiles(&[PuKind::Dpu])
+            .exec_ms(1.0)
+            .build();
+        let loads = [idle(PuId(1)), idle(PuId(3))];
+        // The previous stage ran on node 1's host. Without the node term the
+        // identical DPUs tie and the lower id wins...
+        let plain = rank(
+            &machine,
+            &dpu_fn,
+            0,
+            Some(PuId(2)),
+            &loads,
+            SimDuration::ZERO,
+            &[],
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+        );
+        assert_eq!(plain[0].pu, PuId(1));
+        // ...with it, the neighbour DPU on the previous stage's node wins,
+        // keeping the DAG edge off the rack fabric.
+        let steered = rank(
+            &machine,
+            &dpu_fn,
+            0,
+            Some(PuId(2)),
+            &loads,
+            SimDuration::ZERO,
+            &[],
+            SimDuration::ZERO,
+            SimDuration::from_micros(500),
+        );
+        assert_eq!(steered[0].pu, PuId(3), "node locality is a scoring bonus");
     }
 }

@@ -146,6 +146,8 @@ pub struct ShimStats {
     pub lazy_pending: u64,
     /// Cross-PU transfers that had to be forwarded by the host CPU.
     pub intercepted_transfers: u64,
+    /// Cross-node transfers that crossed the rack fabric.
+    pub fabric_transfers: u64,
     /// Keyed writes re-attempted after a retryable failure.
     pub xcall_retries: u64,
     /// Messages silently dropped by the fault plane.
@@ -264,8 +266,11 @@ struct ClusterInner {
     /// General-purpose PUs — the ones that run a real shim daemon.
     gp_pus: Vec<PuId>,
     state: Mutex<ClusterState>,
-    /// Shared-segment arena backing zero-copy descriptor hand-offs.
-    arena: SegmentArena,
+    /// Shared-segment arenas backing zero-copy descriptor hand-offs: one per
+    /// rack node, indexed by [`hetsim::pu::NodeId::raw`]. A descriptor is
+    /// parked in its *writer's* node arena and carries that node id, so the
+    /// reader's resolve fault lands on the owning node's arena exactly once.
+    arenas: Vec<SegmentArena>,
     adaptive: Mutex<AdaptiveState>,
 }
 
@@ -302,6 +307,7 @@ impl ShimCluster {
     pub fn deploy(machine: Machine, config: ShimConfig) -> ShimCluster {
         let gp_pus =
             machine.pus().iter().filter(|p| p.kind.is_general_purpose()).map(|p| p.id).collect();
+        let arenas = (0..machine.node_count()).map(|_| SegmentArena::default()).collect();
         ShimCluster {
             inner: Arc::new(ClusterInner {
                 machine,
@@ -318,7 +324,7 @@ impl ShimCluster {
                     reclaimed: HashSet::new(),
                     doorbells: HashMap::new(),
                 }),
-                arena: SegmentArena::default(),
+                arenas,
                 adaptive: Mutex::new(AdaptiveState::default()),
             }),
         }
@@ -405,9 +411,43 @@ impl ShimCluster {
             reclaimed,
             lazy_pending,
             reclaimed_count,
-            parked_segments: self.inner.arena.parked_by_fifo(),
-            outstanding_segments: self.inner.arena.outstanding(),
+            parked_segments: self.parked_segments_by_fifo(),
+            outstanding_segments: self.outstanding_segments(),
         }
+    }
+
+    /// Parks `bytes` in the *writer's* node arena and returns a descriptor
+    /// stamped with the owning node's id, so cross-node readers resolve
+    /// their fault back to that arena (and only that arena), exactly once.
+    fn place_segment(&self, from: PuId, to: PuId, fifo: GlobalUuid, bytes: Bytes) -> SegDescriptor {
+        let node = self.inner.machine.node_of(from).raw();
+        let mut desc = self.inner.arenas[node as usize].place(from, to, fifo, bytes);
+        desc.node = node;
+        desc
+    }
+
+    /// The arena owning `desc`'s slot, per the node id the descriptor
+    /// carries. A node id that names no arena is a forged/corrupt
+    /// descriptor.
+    fn arena_of(&self, desc: &SegDescriptor) -> Result<&SegmentArena, ShimError> {
+        self.inner.arenas.get(desc.node as usize).ok_or(ShimError::BadDescriptor)
+    }
+
+    /// Frees every slot parked for `fifo` across all node arenas.
+    fn reclaim_fifo_segments(&self, fifo: &GlobalUuid) -> usize {
+        self.inner.arenas.iter().map(|a| a.reclaim_fifo(fifo)).sum()
+    }
+
+    /// Parked-slot counts per FIFO merged across node arenas, sorted.
+    fn parked_segments_by_fifo(&self) -> Vec<(GlobalUuid, usize)> {
+        let mut merged: std::collections::BTreeMap<GlobalUuid, usize> =
+            std::collections::BTreeMap::new();
+        for arena in &self.inner.arenas {
+            for (uuid, n) in arena.parked_by_fifo() {
+                *merged.entry(uuid).or_default() += n;
+            }
+        }
+        merged.into_iter().collect()
     }
 
     pub(crate) fn os_costs_of(&self, pu: PuId) -> OsCosts {
@@ -430,15 +470,16 @@ impl ShimCluster {
         fifo: &GlobalUuid,
         desc: &SegDescriptor,
     ) -> Result<Bytes, ShimError> {
-        let bytes = self.inner.arena.resolve(fifo, desc)?;
+        let bytes = self.arena_of(desc)?.resolve(fifo, desc)?;
         telemetry::with(|r| r.metrics().counter_add("shim.descriptors_resolved", 1));
         Ok(bytes)
     }
 
     /// Shared-segment slots placed but not yet resolved (descriptor still in
-    /// flight, or leaked by a dropped doorbell until the FIFO reclaims).
+    /// flight, or leaked by a dropped doorbell until the FIFO reclaims),
+    /// summed across every node's arena.
     pub fn outstanding_segments(&self) -> usize {
-        self.inner.arena.outstanding()
+        self.inner.arenas.iter().map(|a| a.outstanding()).sum()
     }
 
     /// The transport the configured policy picks for an XPUcall issued on
@@ -842,13 +883,11 @@ impl ShimCluster {
                 telemetry::with(|r| r.metrics().counter_add("shim.xcall_peer_dead", 1));
                 return Err(ShimError::PeerDead(to));
             }
-            // A CPU-intercepted route transits the host, so a partition of
-            // either host leg cuts it just like an endpoint-pair partition.
-            let host = self.inner.machine.host_cpu();
-            let cut = plane.is_partitioned(from, to)
-                || (self.inner.machine.route(from, to).is_intercepted()
-                    && (plane.is_partitioned(from, host) || plane.is_partitioned(host, to)));
-            if cut {
+            // A relayed route transits node hosts, so a partition of any
+            // relayed leg (host legs of a CPU-intercepted route, the
+            // ingress/fabric/egress legs of a cross-node route) cuts it just
+            // like an endpoint-pair partition.
+            if self.inner.machine.path_cut(from, to) {
                 self.charge_xpucall(ctx, from, to, size)?;
                 ctx.sleep(self.inner.config.xcall_timeout);
                 telemetry::with(|r| r.metrics().counter_add("shim.xcall_timeouts", 1));
@@ -869,6 +908,8 @@ impl ShimCluster {
             let route = self.inner.machine.route(from, to);
             if route.is_intercepted() {
                 self.inner.state.lock().stats.intercepted_transfers += 1;
+            } else if route.is_fabric() {
+                self.inner.state.lock().stats.fabric_transfers += 1;
             }
             // Doorbell coalescing: a write inside the window of the link's
             // last doorbell shares that wakeup and pays only the marginal
@@ -970,7 +1011,7 @@ impl ShimCluster {
         // close) and a fault-injected duplicate carries an inline copy
         // instead of a second reference to the same consumable slot.
         let wire_payload = if zero_copy {
-            let desc = self.inner.arena.place(from, to, writer.uuid.clone(), payload.clone());
+            let desc = self.place_segment(from, to, writer.uuid.clone(), payload.clone());
             FifoPayload::Descriptor(desc)
         } else {
             FifoPayload::Inline(payload.clone())
@@ -1039,8 +1080,8 @@ impl ShimCluster {
             st.caps.destroy_object(entry.obj)?;
         }
         // Any zero-copy slots still parked for this FIFO (descriptor sent
-        // but never read) are freed with it.
-        self.inner.arena.reclaim_fifo(uuid);
+        // but never read) are freed with it, on every node's arena.
+        self.reclaim_fifo_segments(uuid);
         // Resources are reclaimed now; the UUID-free message is batched.
         self.sync_lazy(ctx, owner.pu, uuid.clone());
         Ok(())
@@ -1103,7 +1144,7 @@ impl ShimCluster {
             let entry = st.regions.remove(uuid).expect("checked above");
             st.caps.destroy_object(entry.obj)?;
         }
-        self.inner.arena.reclaim_fifo(uuid);
+        self.reclaim_fifo_segments(uuid);
         self.sync_lazy(ctx, caller.pu, uuid.clone());
         Ok(())
     }
@@ -1152,11 +1193,7 @@ impl ShimCluster {
                 telemetry::with(|r| r.metrics().counter_add("shim.xcall_peer_dead", 1));
                 return Err(ShimError::PeerDead(to));
             }
-            let host = self.inner.machine.host_cpu();
-            let cut = plane.is_partitioned(src, to)
-                || (self.inner.machine.route(src, to).is_intercepted()
-                    && (plane.is_partitioned(src, host) || plane.is_partitioned(host, to)));
-            if cut {
+            if self.inner.machine.path_cut(src, to) {
                 self.charge_xpucall(ctx, src, to, size)?;
                 ctx.sleep(self.inner.config.xcall_timeout);
                 telemetry::with(|r| r.metrics().counter_add("shim.xcall_timeouts", 1));
@@ -1173,6 +1210,8 @@ impl ShimCluster {
         let route = self.inner.machine.route(src, to);
         if route.is_intercepted() {
             self.inner.state.lock().stats.intercepted_transfers += 1;
+        } else if route.is_fabric() {
+            self.inner.state.lock().stats.fabric_transfers += 1;
         }
         if self.inner.config.zero_copy && size >= seg.min_payload {
             // Same discipline as the FIFO descriptor path: the payload moves
@@ -1191,7 +1230,7 @@ impl ShimCluster {
                 r.metrics().counter_add("shim.descriptor_handoffs", 1);
                 r.metrics().counter_add("shim.bytes_elided", size);
             });
-            let desc = self.inner.arena.place(src, to, uuid.clone(), payload);
+            let desc = self.place_segment(src, to, uuid.clone(), payload);
             Ok(Some(desc))
         } else {
             self.charge_xpucall(ctx, src, to, size)?;
@@ -1229,7 +1268,7 @@ impl ShimCluster {
             }
         }
         ctx.sleep(self.segment_costs().map);
-        let bytes = self.inner.arena.resolve(uuid, desc)?;
+        let bytes = self.arena_of(desc)?.resolve(uuid, desc)?;
         telemetry::with(|r| r.metrics().counter_add("shim.descriptors_resolved", 1));
         Ok(bytes)
     }
@@ -1346,7 +1385,7 @@ impl ShimCluster {
                 telemetry::with(|r| r.metrics().counter_add("shim.probe_failures", 1));
                 return Err(ShimError::PeerDead(target));
             }
-            if plane.is_partitioned(from, target) {
+            if self.inner.machine.path_cut(from, target) {
                 ctx.sleep(timeout);
                 telemetry::with(|r| r.metrics().counter_add("shim.probe_failures", 1));
                 return Err(ShimError::XcallTimeout(target));
@@ -1483,7 +1522,7 @@ impl ShimCluster {
         }
         st.stats.reclaimed_uuids += 1;
         drop(st);
-        self.inner.arena.reclaim_fifo(uuid);
+        self.reclaim_fifo_segments(uuid);
         true
     }
 

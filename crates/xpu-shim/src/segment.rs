@@ -29,6 +29,10 @@ pub struct SegDescriptor {
     pub(crate) slot: u64,
     pub(crate) len: u64,
     pub(crate) token: u64,
+    /// Rack node whose arena parks the payload. Descriptors travel across
+    /// node boundaries; the reader resolves against the *owning* node's
+    /// arena so cross-node hand-off stays a single placement.
+    pub(crate) node: u16,
 }
 
 impl SegDescriptor {
@@ -91,7 +95,7 @@ impl SegmentArena {
         let token = mix64(st.next_token);
         let len = bytes.len() as u64;
         st.slots.insert(slot, SegSlot { bytes, token, fifo, link: (from, to) });
-        SegDescriptor { slot, len, token }
+        SegDescriptor { slot, len, token, node: 0 }
     }
 
     /// Consumes a descriptor on behalf of `fifo`'s reader and returns the

@@ -98,6 +98,50 @@ fn run_child(test_name: &str) -> String {
     stdout[begin + BEGIN_MARK.len()..end].to_owned()
 }
 
+/// The rack probe a child process runs: a tiny one-point scaling sweep
+/// rendered as the same BENCH_rack.json rows `fig_rack` exports, plus the
+/// chaos event log of a seeded node-kill plan against a 2-node rack front.
+fn rack_child_payload() -> String {
+    let row = bench::fig_rack::run_scale_point(2, 40.0);
+    let summary = telemetry::BenchSummary::new(
+        "rack",
+        "cross-process rack determinism probe",
+        &bench::fig_rack::SCALE_HEADER,
+        &bench::fig_rack::scale_table(std::slice::from_ref(&row)),
+    );
+    let (event_log, front_stats) = bench::fig_rack::node_kill_probe(42);
+    let mut out = String::new();
+    for line in &event_log {
+        out.push_str(line);
+        out.push('\n');
+    }
+    for line in &front_stats {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&summary.to_json());
+    out.push('\n');
+    out
+}
+
+#[test]
+fn rack_bench_json_and_chaos_log_are_byte_identical_across_processes() {
+    if std::env::var_os(CHILD_ENV).is_some() {
+        println!("{BEGIN_MARK}");
+        print!("{}", rack_child_payload());
+        println!("{END_MARK}");
+        return;
+    }
+    let name = "rack_bench_json_and_chaos_log_are_byte_identical_across_processes";
+    let a = run_child(name);
+    let b = run_child(name);
+    assert!(!a.trim().is_empty(), "child produced an empty payload");
+    assert!(a.contains("\"figure\":\"rack\""), "payload lost the BENCH_rack JSON: {a}");
+    assert!(a.contains("fault:"), "payload lost the rack chaos event log: {a}");
+    assert!(a.contains("node_deaths="), "payload lost the rack front accounting: {a}");
+    assert_eq!(a, b, "two OS processes disagreed on the same seeded rack run");
+}
+
 #[test]
 fn chaos_log_and_bench_json_are_byte_identical_across_processes() {
     if std::env::var_os(CHILD_ENV).is_some() {
