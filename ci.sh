@@ -70,6 +70,21 @@ test -f BENCH_rack_edges.json
 jq -e '[.rows[] | select(.[0].value >= 16384)] | length > 0 and all(.[2].value > 0)' \
     BENCH_rack_edges.json >/dev/null
 
+# Tenancy smoke stage: the tenancy crate's SFQ/token-bucket unit + property
+# tests, the cross-tenant denial e2e in sched, and a fig_tenancy run (one
+# tenant floods at 10x the machine's drain capacity). Gates: every victim
+# row keeps loss at 0 and p99 within 1.2x of its unloaded baseline, and the
+# antagonist is rate-denied and held to its weight share (+10pp) of
+# delivered service.
+cargo test -q -p molecule-tenancy
+cargo test -q -p molecule-sched tenant
+cargo run --release -q -p molecule-bench --bin fig_tenancy
+test -f BENCH_tenancy.json
+jq -e '[.rows[] | select(.[1].raw == "victim")] | length == 3
+       and all(.[5].value == 0 and .[9].value <= 1.2)' BENCH_tenancy.json >/dev/null
+jq -e '[.rows[] | select(.[1].raw == "antagonist")] | length == 1
+       and all(.[6].value > 0 and .[12].value <= 0.35)' BENCH_tenancy.json >/dev/null
+
 # Schedule-exploration stage: simcheck drives every scenario through its
 # budgeted interleaving sweep (each suite asserts >=200 distinct schedules)
 # with invariant oracles on every step. A violation fails the stage and the

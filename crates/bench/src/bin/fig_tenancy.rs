@@ -1,0 +1,6 @@
+//! Regenerates the multi-tenancy antagonist data backed by
+//! `molecule_bench::fig_tenancy`.
+
+fn main() {
+    molecule_bench::fig_tenancy::print();
+}

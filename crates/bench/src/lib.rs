@@ -25,6 +25,7 @@
 //! | [`fig_fault`] | Crash-recovery latency under seeded fault injection |
 //! | [`fig_sched`] | Load-aware vs first-fit placement, FPGA cold-start batching |
 //! | [`fig_comm`] | Adaptive nIPC data plane vs pinned XPUcall transports |
+//! | [`fig_tenancy`] | Antagonist flood vs weighted-fair tenancy isolation |
 
 pub mod ablations;
 pub mod fig02;
@@ -41,6 +42,7 @@ pub mod fig_fault;
 pub mod fig_rack;
 pub mod fig_sched;
 pub mod fig_state;
+pub mod fig_tenancy;
 pub mod tables;
 
 use hetsim::engine::{ProcCtx, Simulation};

@@ -49,6 +49,13 @@ pub fn apply(machine: &Machine, now: SimTime, action: &FaultAction) {
                 plane.heal_partition(now, ha, hb);
             }
         }
+        // Not a hardware fault: nothing to flip on the fault plane. The
+        // flood is realised by `spawn_injector_with_sink`; without a sink
+        // the event is a logged no-op, so hardware-only harnesses can
+        // replay mixed plans unchanged.
+        FaultAction::FloodTenant { tenant, .. } => {
+            telemetry::counter_add_tenant("chaos.flood_noop", tenant, 1);
+        }
     }
     telemetry::with(|r| r.metrics().counter_add("chaos.injected", 1));
 }
@@ -78,6 +85,56 @@ pub fn spawn_injector(sim: &mut Simulation, machine: &Machine, plan: &FaultPlan)
             apply(&machine, ctx.now(), &event.action);
         }
     });
+}
+
+/// Like [`spawn_injector`], but realises `flood-tenant` events: each one
+/// gets its own flooder process driving seeded open-loop Poisson arrivals
+/// into `sink` (typically a gateway submit on the antagonist tenant's
+/// behalf), so a long flood never delays later fault events.
+///
+/// The arrival pattern is a pure function of the plan seed, the tenant id
+/// and the event's position in the plan — replays are byte-identical, and
+/// two floods in one plan don't share an RNG stream.
+///
+/// Hardware events still run on the plain injector; `flood-tenant` events
+/// reach [`apply`] as logged no-ops there.
+pub fn spawn_injector_with_sink<F>(
+    sim: &mut Simulation,
+    machine: &Machine,
+    plan: &FaultPlan,
+    sink: F,
+) where
+    F: FnMut(&mut ProcCtx, u32, u64) + Clone + Send + 'static,
+{
+    for (idx, event) in plan.events().iter().enumerate() {
+        let FaultAction::FloodTenant { tenant, rate, dur } = event.action.clone() else {
+            continue;
+        };
+        let start = event.at;
+        let seed = plan.seed() ^ u64::from(tenant).rotate_left(17) ^ ((idx as u64) << 1);
+        let mut sink = sink.clone();
+        sim.spawn(&format!("chaos-flood-t{tenant}"), move |ctx: &mut ProcCtx| {
+            if start > ctx.now() {
+                ctx.sleep(start - ctx.now());
+            }
+            let mut arrivals = workloads::generator::PoissonArrivals::new(rate, seed);
+            let end = start + dur;
+            let mut sent = 0u64;
+            loop {
+                let at = start + (arrivals.next_arrival() - SimTime::ZERO);
+                if at >= end {
+                    break;
+                }
+                if at > ctx.now() {
+                    ctx.sleep(at - ctx.now());
+                }
+                sink(ctx, tenant, sent);
+                telemetry::counter_add_tenant("chaos.flood", tenant, 1);
+                sent += 1;
+            }
+        });
+    }
+    spawn_injector(sim, machine, plan);
 }
 
 #[cfg(test)]
@@ -114,6 +171,41 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert!(log[0].contains("degrade"), "{log:?}");
         assert!(log[1].starts_with("[     5000000ns]"), "{log:?}");
+    }
+
+    #[test]
+    fn flood_tenant_drives_a_seeded_replayable_arrival_stream() {
+        use std::sync::{Arc, Mutex};
+
+        fn run(plan_text: &str) -> Vec<(u64, u32, u64)> {
+            let machine = Machine::paper_cpu_dpu_server();
+            let plan = FaultPlan::parse(plan_text).unwrap();
+            let mut sim = Simulation::new();
+            let log: Arc<Mutex<Vec<(u64, u32, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink_log = Arc::clone(&log);
+            spawn_injector_with_sink(&mut sim, &machine, &plan, move |ctx, tenant, i| {
+                sink_log.lock().unwrap().push((ctx.now().as_nanos(), tenant, i));
+            });
+            sim.run().unwrap();
+            Arc::try_unwrap(log).unwrap().into_inner().unwrap()
+        }
+
+        let text = "seed 11\nat 1ms flood-tenant t3 2000 50ms\nat 10ms kill pu1\n";
+        let a = run(text);
+        let b = run(text);
+        assert_eq!(a, b, "same seed must replay byte-identically");
+        assert!(a.len() > 50, "2000 rps for 50ms should land ~100 arrivals, got {}", a.len());
+        let start = SimTime::ZERO + SimDuration::from_millis(1);
+        let end = start + SimDuration::from_millis(50);
+        for (at, tenant, _) in &a {
+            assert_eq!(*tenant, 3);
+            let at = SimTime::ZERO + SimDuration::from_nanos(*at);
+            assert!(at >= start && at < end, "arrival outside the flood window");
+        }
+        assert_eq!(a.last().unwrap().2 as usize, a.len() - 1, "arrival index is dense");
+        // A different seed shifts the arrival pattern.
+        let c = run("seed 12\nat 1ms flood-tenant t3 2000 50ms\nat 10ms kill pu1\n");
+        assert_ne!(a, c, "different seed must change the arrival pattern");
     }
 
     #[test]

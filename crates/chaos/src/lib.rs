@@ -22,6 +22,6 @@ pub mod inject;
 pub mod plan;
 pub mod scenario;
 
-pub use inject::{apply, install, spawn_injector};
+pub use inject::{apply, install, spawn_injector, spawn_injector_with_sink};
 pub use plan::{FaultAction, FaultEvent, FaultPlan, PlanParseError};
 pub use scenario::{dpu_crash_alexa, dpu_crash_plan, ScenarioReport};

@@ -21,6 +21,7 @@
 //! at 80ms revive-node node1
 //! at 90ms partition-nodes node0 node1
 //! at 95ms heal-nodes node0 node1
+//! at 100ms flood-tenant t1 400 2s
 //! ```
 //!
 //! The `node` verbs are rack-level: `kill-node` crashes every PU of one
@@ -68,6 +69,20 @@ pub enum FaultAction {
     PartitionNodes(NodeId, NodeId),
     /// Restore the inter-node fabric between two nodes' hosts.
     HealNodes(NodeId, NodeId),
+    /// Flood the platform with requests attributed to one tenant — an
+    /// antagonist workload, not a hardware fault. The plain injector logs
+    /// it as a no-op; [`spawn_injector_with_sink`] realises it by driving
+    /// seeded open-loop Poisson arrivals into the provided submission sink.
+    ///
+    /// [`spawn_injector_with_sink`]: crate::inject::spawn_injector_with_sink
+    FloodTenant {
+        /// The flooding tenant's raw id.
+        tenant: u32,
+        /// Offered load in requests per virtual second.
+        rate: f64,
+        /// How long the flood lasts.
+        dur: SimDuration,
+    },
 }
 
 /// A [`FaultAction`] scheduled at a virtual-time instant.
@@ -247,6 +262,18 @@ fn parse_action(toks: &[&str], lineno: usize) -> Result<FaultAction, PlanParseEr
             let [_, a, b] = expect_arity(toks, lineno, "heal-nodes <node> <node>")?;
             Ok(FaultAction::HealNodes(parse_node(a, lineno)?, parse_node(b, lineno)?))
         }
+        "flood-tenant" => {
+            let [_, t, rate, dur] = expect_arity(toks, lineno, "flood-tenant t<id> <rate> <dur>")?;
+            let tenant =
+                t.strip_prefix('t').and_then(|n| n.parse::<u32>().ok()).ok_or_else(|| {
+                    PlanParseError::new(lineno, &format!("`{t}` is not a tenant (want tN)"))
+                })?;
+            let rate =
+                rate.parse::<f64>().ok().filter(|r| r.is_finite() && *r > 0.0).ok_or_else(
+                    || PlanParseError::new(lineno, "flood-tenant wants a positive rate"),
+                )?;
+            Ok(FaultAction::FloodTenant { tenant, rate, dur: parse_duration(dur, lineno)? })
+        }
         other => Err(PlanParseError::new(lineno, &format!("unknown fault verb `{other}`"))),
     }
 }
@@ -372,6 +399,18 @@ mod tests {
         assert!(FaultPlan::parse("at 5ms lose pu0 pu1 1.5").is_err(), "p out of range");
         assert!(FaultPlan::parse("at 5ms hang pu1 until 3ms").is_err(), "bad keyword");
         assert!(FaultPlan::parse("frobnicate").is_err(), "unknown directive");
+    }
+
+    #[test]
+    fn flood_tenant_verb_parses_and_rejects_garbage() {
+        let plan = FaultPlan::parse("seed 5\nat 100ms flood-tenant t1 400 2s\n").unwrap();
+        assert_eq!(
+            plan.events()[0].action,
+            FaultAction::FloodTenant { tenant: 1, rate: 400.0, dur: SimDuration::from_secs(2) }
+        );
+        assert!(FaultPlan::parse("at 1ms flood-tenant pu1 400 2s").is_err(), "bad tenant token");
+        assert!(FaultPlan::parse("at 1ms flood-tenant t1 -3 2s").is_err(), "negative rate");
+        assert!(FaultPlan::parse("at 1ms flood-tenant t1 400").is_err(), "missing duration");
     }
 
     #[test]

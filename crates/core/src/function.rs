@@ -13,6 +13,7 @@ use std::sync::Arc;
 use hetsim::fpga::KernelSpec;
 use hetsim::pu::{PuKind, PuSpec};
 use hetsim::time::SimDuration;
+use molecule_tenancy::SloClass;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use vsandbox::spec::{FuncId, LangRuntime};
@@ -93,6 +94,13 @@ pub struct FunctionDef {
     /// the handler runs.
     #[serde(default)]
     pub regions: Vec<String>,
+    /// Declared service-level objective. `Latency(target)` steers the
+    /// placer away from cold FPGAs and deep queues and sets a default
+    /// deadline; `Batch` absorbs them and is shed first under overload.
+    /// `None` behaves like pre-SLO code: no placement bias, no default
+    /// deadline.
+    #[serde(default)]
+    pub slo: Option<SloClass>,
 }
 
 impl FunctionDef {
@@ -111,6 +119,7 @@ impl FunctionDef {
                 gpu: None,
                 output_bytes: 1024,
                 regions: Vec::new(),
+                slo: None,
             },
         }
     }
@@ -196,6 +205,21 @@ impl FunctionBuilder {
         if !self.def.regions.contains(&name) {
             self.def.regions.push(name);
         }
+        self
+    }
+
+    /// Declares the function latency-sensitive with a p-target of `ms`.
+    /// Submissions without an explicit deadline default to this budget and
+    /// the placer penalizes cold starts and queueing for it.
+    pub fn slo_latency_ms(mut self, ms: f64) -> FunctionBuilder {
+        self.def.slo = Some(SloClass::Latency(SimDuration::from_millis_f64(ms)));
+        self
+    }
+
+    /// Declares the function a batch job: happy to eat cold starts and
+    /// queueing, and the first to be shed when a PU is overloaded.
+    pub fn slo_batch(mut self) -> FunctionBuilder {
+        self.def.slo = Some(SloClass::Batch);
         self
     }
 
@@ -303,6 +327,16 @@ mod tests {
         assert!(def.supports(PuKind::Dpu));
         assert!(!def.supports(PuKind::Fpga));
         assert_eq!(def.exec.host_time(0), SimDuration::from_micros(14_100));
+    }
+
+    #[test]
+    fn slo_classes_ride_the_builder_and_default_to_none() {
+        let plain = FunctionDef::builder("plain", LangRuntime::Python).build();
+        assert_eq!(plain.slo, None);
+        let lat = FunctionDef::builder("lat", LangRuntime::Python).slo_latency_ms(250.0).build();
+        assert_eq!(lat.slo.and_then(|s| s.latency_target()), Some(SimDuration::from_millis(250)));
+        let batch = FunctionDef::builder("bulk", LangRuntime::Python).slo_batch().build();
+        assert!(batch.slo.is_some_and(|s| s.is_batch()));
     }
 
     #[test]

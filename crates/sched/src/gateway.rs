@@ -42,12 +42,13 @@ use molecule_core::gateway::ApiGateway;
 use molecule_core::health::HealthChecker;
 use molecule_core::keepalive::Lru;
 use molecule_state::StateLayer;
+use molecule_tenancy::{TenantId, TenantRegistry, TokenBucket};
 use parking_lot::Mutex;
 use vsandbox::spec::FuncId;
 
 use crate::autoscale::{AutoscaleConfig, RateEstimator};
 use crate::placer::{self, Candidate, PuLoad};
-use crate::queue::{Overloaded, Priority, QueuePolicy, Queued, RunQueue};
+use crate::queue::{Overloaded, Priority, QueuePolicy, Queued, RunQueue, ShedReason};
 
 /// How the gateway picks a PU for an admitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +96,11 @@ pub struct SchedConfig {
     pub fpga_cache_capacity: usize,
     /// Warm-pool autoscaler; `None` leaves pools to the keep-alive policy.
     pub autoscale: Option<AutoscaleConfig>,
+    /// The shared tenant table: WFQ weights and admission rate limits.
+    /// Unconfigured tenants get weight 1 and no limit, so a deployment
+    /// that never registers a tenant behaves exactly like the pre-tenancy
+    /// gateway.
+    pub tenants: Arc<TenantRegistry>,
 }
 
 impl Default for SchedConfig {
@@ -113,6 +119,7 @@ impl Default for SchedConfig {
             batch_max: 8,
             fpga_cache_capacity: 12,
             autoscale: None,
+            tenants: Arc::new(TenantRegistry::new()),
         }
     }
 }
@@ -146,10 +153,16 @@ impl SchedConfig {
 pub struct SubmitOpts {
     /// Priority lane (lower serves first).
     pub priority: Priority,
-    /// Latency budget override; falls back to [`SchedConfig::deadline`].
+    /// Latency budget override; falls back to the function's declared
+    /// [`SloClass::Latency`](molecule_tenancy::SloClass::Latency) target,
+    /// then [`SchedConfig::deadline`].
     pub deadline: Option<SimDuration>,
     /// PU the previous chain stage ran on, for the co-location bonus.
     pub prev_stage: Option<PuId>,
+    /// The submitting tenant. Defaults to [`TenantId::SYSTEM`], which is
+    /// never rate-limited by default and shares the queue like any other
+    /// weight-1 tenant.
+    pub tenant: TenantId,
 }
 
 /// Terminal state of one admitted request.
@@ -164,12 +177,16 @@ pub enum JobOutcome {
         /// Whether service needed a cold start.
         cold: bool,
     },
-    /// Dropped by deadline-aware load shedding while queued.
+    /// Dropped by load shedding while queued.
     Shed {
         /// The queue it was shed from.
         pu: PuId,
         /// How long it waited before being shed.
         waited: SimDuration,
+        /// Whether the drop was deadline-driven (its SLO budget expired in
+        /// the queue) or fairness-driven (a batch entry evicted to make
+        /// room for a latency-class admission).
+        reason: ShedReason,
     },
     /// The runtime failed it and no failover target existed.
     Failed(String),
@@ -215,6 +232,26 @@ pub struct SchedStats {
     pub batches: u64,
     /// Cold starts that rode in those batches.
     pub batched_cold_starts: u64,
+    /// Requests refused because the tenant's admission rate limit was
+    /// exhausted (a subset of `rejected`).
+    pub rate_denied: u64,
+}
+
+/// Per-tenant slice of the gateway's ledger, kept alongside [`SchedStats`]
+/// so the bench harnesses and the tenancy smoke gates can audit isolation
+/// without parsing telemetry.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TenantLedger {
+    /// Requests this tenant offered to `submit`.
+    pub submitted: u64,
+    /// Requests completed for this tenant.
+    pub completed: u64,
+    /// Admitted requests of this tenant dropped by shedding (any reason).
+    pub shed: u64,
+    /// Requests refused at admission (queues full / deadline / rate).
+    pub rejected: u64,
+    /// Rejections specifically due to the tenant's rate limit.
+    pub rate_denied: u64,
 }
 
 struct Job {
@@ -232,6 +269,8 @@ struct Shared {
     service_ewma_ns: BTreeMap<FuncId, f64>,
     dead: BTreeSet<PuId>,
     stats: SchedStats,
+    buckets: BTreeMap<TenantId, TokenBucket>,
+    ledger: BTreeMap<TenantId, TenantLedger>,
 }
 
 /// EWMA smoothing factor for per-function service-time estimates.
@@ -297,6 +336,8 @@ impl SchedGateway {
                 service_ewma_ns: BTreeMap::new(),
                 dead: BTreeSet::new(),
                 stats: SchedStats::default(),
+                buckets: BTreeMap::new(),
+                ledger: BTreeMap::new(),
             })),
         }
     }
@@ -309,6 +350,12 @@ impl SchedGateway {
     /// Counters.
     pub fn stats(&self) -> SchedStats {
         self.shared.lock().stats
+    }
+
+    /// Per-tenant ledgers, sorted by tenant id. Tenants appear once they
+    /// have submitted at least one request.
+    pub fn tenant_stats(&self) -> BTreeMap<TenantId, TenantLedger> {
+        self.shared.lock().ledger.clone()
     }
 
     /// The FPGA cache manager serving `pu`, if `pu` is an FPGA.
@@ -395,25 +442,53 @@ impl SchedGateway {
         opts: SubmitOpts,
     ) -> Result<SimReceiver<JobOutcome>, SubmitError> {
         let now = ctx.now();
+        let tenant = opts.tenant;
         let def =
             self.api.molecule().registry().get(func).ok_or_else(|| {
                 SubmitError::Runtime(MoleculeError::UnknownFunction(func.clone()))
             })?;
+        let spec = self.config.tenants.spec(tenant);
         {
             let mut sh = self.shared.lock();
             sh.stats.submitted += 1;
+            sh.ledger.entry(tenant).or_default().submitted += 1;
             let tau = self.config.autoscale.map_or(SimDuration::from_millis(200), |a| a.tau);
             sh.estimators.entry(func.clone()).or_insert_with(|| RateEstimator::new(tau)).note(now);
+            // Rate limiting happens here, before any queue or placer state
+            // is touched: a flooding tenant is charged its deny without
+            // perturbing anyone else's estimates.
+            if let Some(limit) = spec.rate_limit {
+                let bucket = sh.buckets.entry(tenant).or_insert_with(|| TokenBucket::new(limit));
+                if !bucket.try_admit(now) {
+                    sh.stats.rejected += 1;
+                    sh.stats.rate_denied += 1;
+                    let led = sh.ledger.entry(tenant).or_default();
+                    led.rejected += 1;
+                    led.rate_denied += 1;
+                    drop(sh);
+                    telemetry::counter_add_tenant("sched.rate_denied", tenant.raw(), 1);
+                    return Err(SubmitError::Overloaded(Overloaded::RateLimited { tenant }));
+                }
+            }
         }
 
         let candidates = self.candidate_pus(&def, input_bytes, opts.prev_stage);
         if candidates.is_empty() {
-            self.shared.lock().stats.rejected += 1;
+            let mut sh = self.shared.lock();
+            sh.stats.rejected += 1;
+            sh.ledger.entry(tenant).or_default().rejected += 1;
             return Err(SubmitError::Runtime(MoleculeError::NoCapacity(func.clone())));
         }
 
-        let budget = opts.deadline.or(self.config.deadline);
+        // The declared SLO supplies the default deadline: an explicit
+        // per-submit budget still wins, batch functions get none unless the
+        // config forces one.
+        let slo = def.slo;
+        let batch = slo.is_some_and(|s| s.is_batch());
+        let slo_target = slo.and_then(|s| s.latency_target());
+        let budget = opts.deadline.or(slo_target).or(self.config.deadline);
         let deadline_at = budget.map(|b| now + b);
+        let weight = self.config.tenants.weight(tenant);
         let (tx, rx) = ctx.channel::<JobOutcome>();
         let mut job = Job { func: func.clone(), input: input_bytes, submitted_at: now, reply: tx };
         let mut last = None;
@@ -421,16 +496,59 @@ impl SchedGateway {
             if let Some(b) = budget {
                 let estimated = cand.estimated_latency();
                 if estimated > b {
-                    last =
-                        Some(Overloaded::DeadlineUnmeetable { pu: cand.pu, estimated, budget: b });
+                    last = Some(Overloaded::DeadlineUnmeetable {
+                        pu: cand.pu,
+                        estimated,
+                        budget: b,
+                        tenant,
+                    });
                     continue;
                 }
             }
-            let offered = {
+            let (offered, evicted) = {
                 let mut sh = self.shared.lock();
                 let queue = sh.queues.get_mut(&cand.pu).expect("candidate PU has a queue");
-                queue.offer(now, opts.priority, deadline_at, job)
+                let mut evicted = None;
+                let first =
+                    queue.offer_for(now, tenant, weight, batch, opts.priority, deadline_at, job);
+                // Batch-first shedding: a latency-class admission bouncing
+                // off a full queue may evict the youngest batch entry and
+                // take its slot. Batch submits never evict anyone.
+                let offered = match first {
+                    Err((err @ Overloaded::QueueFull { .. }, payload)) if !batch => {
+                        match queue.evict_batch(now) {
+                            Some(victim) => {
+                                evicted = Some(victim);
+                                queue.offer_for(
+                                    now,
+                                    tenant,
+                                    weight,
+                                    batch,
+                                    opts.priority,
+                                    deadline_at,
+                                    payload,
+                                )
+                            }
+                            None => Err((err, payload)),
+                        }
+                    }
+                    other => other,
+                };
+                if let Some(victim) = &evicted {
+                    sh.stats.shed += 1;
+                    sh.ledger.entry(victim.tenant).or_default().shed += 1;
+                }
+                (offered, evicted)
             };
+            if let Some(victim) = evicted {
+                self.api.note_shed(&victim.payload.func, now);
+                telemetry::counter_add_tenant("sched.shed", victim.tenant.raw(), 1);
+                let _ = victim.payload.reply.send(JobOutcome::Shed {
+                    pu: cand.pu,
+                    waited: victim.waited,
+                    reason: ShedReason::Fairness,
+                });
+            }
             match offered {
                 Ok(_ticket) => {
                     self.publish_depth(cand.pu);
@@ -444,9 +562,14 @@ impl SchedGateway {
             }
         }
 
-        self.shared.lock().stats.rejected += 1;
+        {
+            let mut sh = self.shared.lock();
+            sh.stats.rejected += 1;
+            sh.ledger.entry(tenant).or_default().rejected += 1;
+        }
         self.api.note_shed(func, now);
         telemetry::counter_add("sched.rejected", 1);
+        telemetry::counter_add_tenant("sched.rejected", tenant.raw(), 1);
         Err(SubmitError::Overloaded(last.expect("candidates was non-empty")))
     }
 
@@ -556,12 +679,20 @@ impl SchedGateway {
                     let expired = queue.shed_expired(now);
                     let job = queue.begin(now);
                     sh.stats.shed += expired.len() as u64;
+                    for entry in &expired {
+                        sh.ledger.entry(entry.tenant).or_default().shed += 1;
+                    }
                     (expired, job)
                 };
                 for entry in expired {
                     self.api.note_shed(&entry.payload.func, now);
                     telemetry::counter_add("sched.shed", 1);
-                    let _ = entry.payload.reply.send(JobOutcome::Shed { pu, waited: entry.waited });
+                    telemetry::counter_add_tenant("sched.shed", entry.tenant.raw(), 1);
+                    let _ = entry.payload.reply.send(JobOutcome::Shed {
+                        pu,
+                        waited: entry.waited,
+                        reason: ShedReason::Deadline,
+                    });
                 }
                 let Some(job) = job else { break };
                 self.publish_depth(pu);
@@ -585,7 +716,7 @@ impl SchedGateway {
                     {
                         let mut sh = self.shared.lock();
                         if let Some(q) = sh.queues.get_mut(&pu) {
-                            q.abandon();
+                            q.abandon(job.tenant);
                         }
                     }
                     self.fail_over(ctx, bad, vec![job]);
@@ -637,8 +768,8 @@ impl SchedGateway {
                     {
                         let mut sh = self.shared.lock();
                         if let Some(q) = sh.queues.get_mut(&pu) {
-                            for _ in 0..batch.len() {
-                                q.abandon();
+                            for job in &batch {
+                                q.abandon(job.tenant);
                             }
                         }
                     }
@@ -667,9 +798,10 @@ impl SchedGateway {
         {
             let mut sh = self.shared.lock();
             if let Some(q) = sh.queues.get_mut(&pu) {
-                q.finish(service);
+                q.finish(job.tenant, service);
             }
             sh.stats.completed += 1;
+            sh.ledger.entry(job.tenant).or_default().completed += 1;
             let ewma = sh.service_ewma_ns.entry(job.payload.func.clone()).or_insert(0.0);
             let obs = service.as_nanos() as f64;
             *ewma = if *ewma == 0.0 {
@@ -680,6 +812,8 @@ impl SchedGateway {
         }
         telemetry::observe_ns("sched.service", service.as_nanos());
         let latency = ctx.now().saturating_duration_since(job.payload.submitted_at);
+        telemetry::observe_ns_tenant("sched.latency", job.tenant.raw(), latency.as_nanos());
+        telemetry::counter_add_tenant("sched.completed", job.tenant.raw(), 1);
         let _ = job.payload.reply.send(JobOutcome::Completed { latency, pu, cold });
     }
 
@@ -689,7 +823,7 @@ impl SchedGateway {
         {
             let mut sh = self.shared.lock();
             if let Some(q) = sh.queues.get_mut(&pu) {
-                q.abandon();
+                q.abandon(job.tenant);
             }
             sh.stats.failed += 1;
         }
@@ -743,7 +877,16 @@ impl SchedGateway {
                     {
                         let mut sh = self.shared.lock();
                         let queue = sh.queues.get_mut(&target).expect("candidate PU has a queue");
-                        queue.force(now, job.priority, job.deadline, job.payload);
+                        let weight = self.config.tenants.weight(job.tenant);
+                        queue.force_for(
+                            now,
+                            job.tenant,
+                            weight,
+                            job.batch,
+                            job.priority,
+                            job.deadline,
+                            job.payload,
+                        );
                         sh.stats.requeued += 1;
                     }
                     telemetry::counter_add("sched.requeued", 1);

@@ -36,6 +36,8 @@ pub mod queue;
 pub use autoscale::{AutoscaleConfig, RateEstimator};
 pub use gateway::{
     JobOutcome, PlacementMode, SchedConfig, SchedGateway, SchedStats, SubmitError, SubmitOpts,
+    TenantLedger,
 };
+pub use molecule_tenancy::{RateLimit, SloClass, TenantId, TenantRegistry, TenantSpec};
 pub use placer::{Candidate, PuLoad};
-pub use queue::{Overloaded, Priority, QueuePolicy, RunQueue, Ticket};
+pub use queue::{Overloaded, Priority, QueuePolicy, RunQueue, ShedReason, Ticket};

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! score(pu) = exec(pu) + cold_start(pu) + queue_wait(pu)
-//!             - colocate_bonus - state_bonus
+//!             + slo_term(pu) - colocate_bonus - state_bonus
 //! ```
 //!
 //! * `exec(pu)` — the function's execution-time estimate on that PU, from
@@ -27,7 +27,14 @@
 //!   ([`FunctionDef::regions`]): running where the pages live turns the
 //!   region attach into a `map_shared` of resident pages instead of a
 //!   cross-PU pull, so state locality competes in the same currency as
-//!   queueing and cold starts.
+//!   queueing and cold starts;
+//! * `slo_term(pu)` — read from the function's declared
+//!   [`SloClass`](molecule_tenancy::SloClass): a latency-sensitive function
+//!   counts cold start and queue wait *twice* (it is willing to pay exec
+//!   time on a slower PU to dodge a cold FPGA or a deep queue), while a
+//!   batch function earns back half of both (it absorbs cold starts and
+//!   queueing that would blow a latency SLO). Functions with no SLO score
+//!   exactly as before.
 //!
 //! Ties break on the PU id, so placement stays deterministic.
 //!
@@ -176,6 +183,20 @@ pub fn rank(
         let Some(exec) = exec_estimate(machine, def, load.pu, input) else { continue };
         let cold = if load.warm { SimDuration::ZERO } else { cold_estimate(machine, def, load.pu) };
         let mut score = exec + cold + load.wait;
+        match def.slo {
+            Some(molecule_tenancy::SloClass::Latency(_)) => {
+                // Latency-sensitive: cold start and queue wait count twice,
+                // steering away from cold fabrics and deep queues even when
+                // raw exec time there would be lower.
+                score = score + cold + load.wait;
+            }
+            Some(molecule_tenancy::SloClass::Batch) => {
+                // Batch: absorb half the cold/wait penalty, soaking up the
+                // capacity latency-sensitive functions avoid.
+                score = score.saturating_sub((cold + load.wait).mul_f64(0.5));
+            }
+            None => {}
+        }
         if prev_stage == Some(load.pu) {
             score = score.saturating_sub(colocate_bonus);
         }
@@ -354,6 +375,42 @@ mod tests {
         assert_eq!(steered[0].pu, PuId(2), "state locality is a scoring bonus");
         // The bonus saturates: it can prefer, never produce negative scores.
         assert!(steered[0].score <= plain[1].score);
+    }
+
+    #[test]
+    fn latency_slo_avoids_deep_queues_batch_absorbs_them() {
+        let machine = Machine::paper_cpu_dpu_server();
+        // CPU exec 10ms but 40ms of backlog; DPU exec 62ms, idle. A plain
+        // function rides the backlog (50ms < 62ms)...
+        let loads =
+            [PuLoad { pu: PuId(0), wait: SimDuration::from_millis(40), warm: true }, idle(PuId(1))];
+        let zero = SimDuration::ZERO;
+        let plain = rank(&machine, &def(), 0, None, &loads, zero, &[], zero, zero);
+        assert_eq!(plain[0].pu, PuId(0), "plain: 10+40 < 62");
+        // ...a latency-SLO function double-counts the wait and flees to the
+        // idle DPU (10+40+40 > 62)...
+        let lat = FunctionDef::builder("lat", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .exec_ms(10.0)
+            .cfork_first_run_ms(1.0)
+            .slo_latency_ms(100.0)
+            .build();
+        let ranked = rank(&machine, &lat, 0, None, &loads, zero, &[], zero, zero);
+        assert_eq!(ranked[0].pu, PuId(1), "latency SLO flees the deep queue");
+        // ...and a batch function absorbs an even deeper queue the plain
+        // function would flee (70-30 < 62 while 10+60 > 62).
+        let deep =
+            [PuLoad { pu: PuId(0), wait: SimDuration::from_millis(60), warm: true }, idle(PuId(1))];
+        let plain_deep = rank(&machine, &def(), 0, None, &deep, zero, &[], zero, zero);
+        assert_eq!(plain_deep[0].pu, PuId(1), "plain flees a 60ms backlog");
+        let batch = FunctionDef::builder("bulk", LangRuntime::Python)
+            .profiles(&[PuKind::Cpu, PuKind::Dpu])
+            .exec_ms(10.0)
+            .cfork_first_run_ms(1.0)
+            .slo_batch()
+            .build();
+        let absorbed = rank(&machine, &batch, 0, None, &deep, zero, &[], zero, zero);
+        assert_eq!(absorbed[0].pu, PuId(0), "batch absorbs the backlog");
     }
 
     #[test]

@@ -1,9 +1,13 @@
-//! Per-PU bounded run queues with explicit backpressure.
+//! Per-PU bounded run queues with explicit backpressure and weighted
+//! fairness across tenants.
 //!
 //! The seed gateway served every request inline: a PU could accumulate an
 //! unbounded backlog with no admission signal whatsoever. [`RunQueue`] is
-//! the replacement primitive: a bounded, priority-lane FIFO with a
-//! token-style concurrency limit and deadline-aware shedding. It is a pure
+//! the replacement primitive: a bounded, priority-lane queue with a
+//! token-style concurrency limit and deadline-aware shedding. Inside each
+//! priority lane entries are arbitrated by a start-time-fair
+//! [`SfqQueue`](molecule_tenancy::SfqQueue) over per-tenant sub-queues, so
+//! one tenant's flood cannot starve another's trickle. It is a pure
 //! deterministic data structure — the property tests in
 //! `tests/properties.rs` drive it directly, and [`SchedGateway`] wraps one
 //! per PU.
@@ -12,24 +16,53 @@
 //!
 //! * **bounded depth** — `queued() <= policy.depth` always; an offer into a
 //!   full queue is rejected with a typed [`Overloaded`], never dropped;
-//! * **FIFO per priority** — within one priority lane, jobs dispatch in
-//!   offer order; across lanes, lower [`Priority`] values dispatch first;
+//! * **FIFO per (priority, tenant)** — within one tenant's sub-queue of one
+//!   priority lane, jobs dispatch in offer order; across lanes, lower
+//!   [`Priority`] values dispatch first; within a lane, SFQ virtual time
+//!   arbitrates tenants by weight;
 //! * **conservation** — every admitted ticket leaves the queue exactly once
-//!   (dispatched, shed, or drained), never twice and never silently.
+//!   (dispatched, shed, or drained), never twice and never silently;
+//! * **tenant token caps** — with several tenants backlogged, no tenant
+//!   holds more in-service tokens than its weight share (rounded up) while
+//!   an under-share tenant has queued work; unused share still flows to
+//!   whoever is backlogged (work conservation).
 //!
 //! [`SchedGateway`]: crate::gateway::SchedGateway
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use hetsim::pu::PuId;
 use hetsim::time::{SimDuration, SimTime};
+use molecule_tenancy::{SfqQueue, TenantId};
 
 /// Dispatch priority: lower values dispatch first. `0` is the most urgent.
 pub type Priority = u8;
 
+/// Why an admitted entry was dropped before service — carried in
+/// `JobOutcome::Shed` so callers can tell an SLO miss from a fairness
+/// eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The entry's deadline passed while it was queued.
+    Deadline,
+    /// A batch-class entry was evicted to make room for a latency-class
+    /// admission on a full queue.
+    Fairness,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::Deadline => f.write_str("deadline"),
+            ShedReason::Fairness => f.write_str("fairness"),
+        }
+    }
+}
+
 /// Why admission was refused — the typed rejection the seed gateway lacked.
-/// Callers see this instead of unbounded queue growth.
+/// Callers see this instead of unbounded queue growth; every variant names
+/// the tenant whose budget ran out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Overloaded {
     /// Every candidate queue is at its configured depth bound.
@@ -38,6 +71,8 @@ pub enum Overloaded {
         pu: PuId,
         /// Its depth bound.
         depth: usize,
+        /// The tenant whose admission bounced.
+        tenant: TenantId,
     },
     /// No candidate PU can meet the request deadline even if it dispatched
     /// next: estimated completion exceeds the budget, so admitting the
@@ -49,19 +84,44 @@ pub enum Overloaded {
         estimated: SimDuration,
         /// The request's remaining budget.
         budget: SimDuration,
+        /// The tenant whose budget was unmeetable.
+        tenant: TenantId,
     },
+    /// The tenant's configured admission rate limit
+    /// ([`RateLimit`](molecule_tenancy::RateLimit)) is exhausted: the
+    /// gateway's token bucket had no token at submit time. No queue was
+    /// touched.
+    RateLimited {
+        /// The tenant whose bucket ran dry.
+        tenant: TenantId,
+    },
+}
+
+impl Overloaded {
+    /// The tenant whose budget (depth, deadline or rate) was exhausted.
+    pub fn tenant(&self) -> TenantId {
+        match *self {
+            Overloaded::QueueFull { tenant, .. }
+            | Overloaded::DeadlineUnmeetable { tenant, .. }
+            | Overloaded::RateLimited { tenant } => tenant,
+        }
+    }
 }
 
 impl fmt::Display for Overloaded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Overloaded::QueueFull { pu, depth } => {
-                write!(f, "overloaded: run queue on {pu} at depth bound {depth}")
+            Overloaded::QueueFull { pu, depth, tenant } => {
+                write!(f, "overloaded: run queue on {pu} at depth bound {depth} (tenant {tenant})")
             }
-            Overloaded::DeadlineUnmeetable { pu, estimated, budget } => write!(
+            Overloaded::DeadlineUnmeetable { pu, estimated, budget, tenant } => write!(
                 f,
-                "overloaded: best PU {pu} estimates {estimated} against a {budget} budget"
+                "overloaded: best PU {pu} estimates {estimated} against a {budget} budget \
+                 (tenant {tenant})"
             ),
+            Overloaded::RateLimited { tenant } => {
+                write!(f, "overloaded: tenant {tenant} exceeded its admission rate limit")
+            }
         }
     }
 }
@@ -88,14 +148,18 @@ impl Default for QueuePolicy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ticket(pub u64);
 
-/// One entry handed back by [`RunQueue::begin`], [`RunQueue::shed_expired`]
-/// or [`RunQueue::drain`].
+/// One entry handed back by [`RunQueue::begin`], [`RunQueue::shed_expired`],
+/// [`RunQueue::evict_batch`] or [`RunQueue::drain`].
 #[derive(Debug, Clone)]
 pub struct Queued<T> {
     /// The admission ticket.
     pub ticket: Ticket,
+    /// The tenant it was admitted for.
+    pub tenant: TenantId,
     /// The entry's priority lane.
     pub priority: Priority,
+    /// Whether the entry is batch-class (first to evict under pressure).
+    pub batch: bool,
     /// When the entry was offered.
     pub enqueued_at: SimTime,
     /// Absolute completion deadline, if any.
@@ -109,18 +173,24 @@ pub struct Queued<T> {
 #[derive(Debug, Clone)]
 struct Entry<T> {
     ticket: Ticket,
+    batch: bool,
     enqueued_at: SimTime,
     deadline: Option<SimTime>,
     payload: T,
 }
 
-/// A bounded, priority-laned FIFO run queue for one PU.
+/// A bounded run queue for one PU: priority lanes of per-tenant SFQ
+/// sub-queues.
 #[derive(Debug)]
 pub struct RunQueue<T> {
     pu: PuId,
     policy: QueuePolicy,
-    lanes: BTreeMap<Priority, VecDeque<Entry<T>>>,
+    lanes: BTreeMap<Priority, SfqQueue<Entry<T>>>,
+    /// Last weight seen per tenant — the SFQ tags already encode it, but
+    /// the token-cap computation needs the denominator.
+    weights: BTreeMap<TenantId, u32>,
     in_service: usize,
+    in_service_by: BTreeMap<TenantId, usize>,
     next_ticket: u64,
     /// EWMA of observed service time, in nanoseconds (0 until first finish).
     ewma_service_ns: f64,
@@ -143,7 +213,9 @@ impl<T> RunQueue<T> {
             pu,
             policy,
             lanes: BTreeMap::new(),
+            weights: BTreeMap::new(),
             in_service: 0,
+            in_service_by: BTreeMap::new(),
             next_ticket: 0,
             ewma_service_ns: 0.0,
             served: 0,
@@ -162,12 +234,29 @@ impl<T> RunQueue<T> {
 
     /// Entries waiting (not yet dispatched).
     pub fn queued(&self) -> usize {
-        self.lanes.values().map(VecDeque::len).sum()
+        self.lanes.values().map(SfqQueue::len).sum()
+    }
+
+    /// Queued entries per tenant, summed across priority lanes, sorted by
+    /// tenant id.
+    pub fn queued_by_tenant(&self) -> Vec<(TenantId, usize)> {
+        let mut by: BTreeMap<TenantId, usize> = BTreeMap::new();
+        for lane in self.lanes.values() {
+            for (tenant, n) in lane.queued_by_tenant() {
+                *by.entry(tenant).or_default() += n;
+            }
+        }
+        by.into_iter().collect()
     }
 
     /// Entries currently in service (dispatched, not finished).
     pub fn in_service(&self) -> usize {
         self.in_service
+    }
+
+    /// In-service tokens held per tenant, sorted by tenant id.
+    pub fn in_service_by_tenant(&self) -> Vec<(TenantId, usize)> {
+        self.in_service_by.iter().filter(|(_, n)| **n > 0).map(|(t, n)| (*t, *n)).collect()
     }
 
     /// Completed services so far.
@@ -195,8 +284,8 @@ impl<T> RunQueue<T> {
         self.ewma_service_or(fallback_service).mul_f64(per_token)
     }
 
-    /// Offers an entry. Returns the admission ticket, or the payload back
-    /// with a typed [`Overloaded`] when the queue is at its depth bound.
+    /// Offers an entry for the system tenant at weight 1 — the pre-tenancy
+    /// entry point; all existing call sites behave exactly as before.
     #[allow(clippy::result_large_err)]
     pub fn offer(
         &mut self,
@@ -205,25 +294,36 @@ impl<T> RunQueue<T> {
         deadline: Option<SimTime>,
         payload: T,
     ) -> Result<Ticket, (Overloaded, T)> {
-        if self.queued() >= self.policy.depth {
-            return Err((Overloaded::QueueFull { pu: self.pu, depth: self.policy.depth }, payload));
-        }
-        let ticket = Ticket(self.next_ticket);
-        self.next_ticket += 1;
-        self.lanes.entry(priority).or_default().push_back(Entry {
-            ticket,
-            enqueued_at: now,
-            deadline,
-            payload,
-        });
-        Ok(ticket)
+        self.offer_for(now, TenantId::SYSTEM, 1, false, priority, deadline, payload)
     }
 
-    /// Enqueues bypassing the depth bound — the failover path. Entries
-    /// drained off a dead PU must land *somewhere*: bouncing them off a full
-    /// survivor would turn a PU failure into silent request loss, so
-    /// conservation wins over the bound here. Normal admission always goes
-    /// through [`offer`](Self::offer).
+    /// Offers an entry for `tenant` with its WFQ `weight`. `batch` marks it
+    /// batch-class: eligible for [`evict_batch`](Self::evict_batch) when a
+    /// latency-class admission finds the queue full. Returns the admission
+    /// ticket, or the payload back with a typed [`Overloaded`] when the
+    /// queue is at its depth bound.
+    #[allow(clippy::result_large_err, clippy::too_many_arguments)]
+    pub fn offer_for(
+        &mut self,
+        now: SimTime,
+        tenant: TenantId,
+        weight: u32,
+        batch: bool,
+        priority: Priority,
+        deadline: Option<SimTime>,
+        payload: T,
+    ) -> Result<Ticket, (Overloaded, T)> {
+        if self.queued() >= self.policy.depth {
+            return Err((
+                Overloaded::QueueFull { pu: self.pu, depth: self.policy.depth, tenant },
+                payload,
+            ));
+        }
+        Ok(self.push(now, tenant, weight, batch, priority, deadline, payload))
+    }
+
+    /// Enqueues for the system tenant bypassing the depth bound — see
+    /// [`force_for`](Self::force_for).
     pub fn force(
         &mut self,
         now: SimTime,
@@ -231,30 +331,106 @@ impl<T> RunQueue<T> {
         deadline: Option<SimTime>,
         payload: T,
     ) -> Ticket {
+        self.force_for(now, TenantId::SYSTEM, 1, false, priority, deadline, payload)
+    }
+
+    /// Enqueues bypassing the depth bound — the failover path. Entries
+    /// drained off a dead PU must land *somewhere*: bouncing them off a full
+    /// survivor would turn a PU failure into silent request loss, so
+    /// conservation wins over the bound here. Normal admission always goes
+    /// through [`offer_for`](Self::offer_for).
+    #[allow(clippy::too_many_arguments)]
+    pub fn force_for(
+        &mut self,
+        now: SimTime,
+        tenant: TenantId,
+        weight: u32,
+        batch: bool,
+        priority: Priority,
+        deadline: Option<SimTime>,
+        payload: T,
+    ) -> Ticket {
+        self.push(now, tenant, weight, batch, priority, deadline, payload)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        now: SimTime,
+        tenant: TenantId,
+        weight: u32,
+        batch: bool,
+        priority: Priority,
+        deadline: Option<SimTime>,
+        payload: T,
+    ) -> Ticket {
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
-        self.lanes.entry(priority).or_default().push_back(Entry {
-            ticket,
-            enqueued_at: now,
-            deadline,
-            payload,
-        });
+        self.weights.insert(tenant, weight.max(1));
+        self.lanes.entry(priority).or_default().push(
+            tenant,
+            weight,
+            Entry { ticket, batch, enqueued_at: now, deadline, payload },
+        );
         ticket
     }
 
-    /// Dispatches the next entry (lowest priority value first, FIFO within
-    /// a lane), marking one token busy. Returns `None` when nothing is
-    /// queued. Does **not** check the token bound — the caller's worker
-    /// processes *are* the tokens; a worker only calls `begin` when it holds
-    /// one.
+    /// Per-tenant in-service token caps: each tenant that is currently
+    /// active (queued or in service) may hold up to its weight share of the
+    /// tokens, rounded up. With a single active tenant the cap equals the
+    /// whole token pool, so gating only bites under contention.
+    fn service_caps(&self) -> BTreeMap<TenantId, usize> {
+        let mut active: BTreeMap<TenantId, u64> = BTreeMap::new();
+        for lane in self.lanes.values() {
+            for (tenant, _) in lane.queued_by_tenant() {
+                active.entry(tenant).or_insert_with(|| u64::from(self.weight_of(tenant)));
+            }
+        }
+        for (tenant, n) in &self.in_service_by {
+            if *n > 0 {
+                active.entry(*tenant).or_insert_with(|| u64::from(self.weight_of(*tenant)));
+            }
+        }
+        let total: u64 = active.values().sum();
+        if total == 0 {
+            return BTreeMap::new();
+        }
+        let tokens = self.policy.tokens as u64;
+        active
+            .into_iter()
+            .map(|(t, w)| (t, ((tokens * w).div_ceil(total)).max(1) as usize))
+            .collect()
+    }
+
+    fn weight_of(&self, tenant: TenantId) -> u32 {
+        self.weights.get(&tenant).copied().unwrap_or(1)
+    }
+
+    /// Dispatches the next entry (lowest priority value first, SFQ virtual
+    /// time within a lane), marking one token busy. Returns `None` when
+    /// nothing is queued. Does **not** check the total token bound — the
+    /// caller's worker processes *are* the tokens; a worker only calls
+    /// `begin` when it holds one. It *does* enforce the per-tenant share
+    /// cap: a tenant already at its share is skipped while an under-share
+    /// tenant has queued work, falling back to an unfiltered pop so idle
+    /// share is never wasted.
     pub fn begin(&mut self, now: SimTime) -> Option<Queued<T>> {
+        let caps = self.service_caps();
+        let held = self.in_service_by.clone();
         let (&priority, lane) = self.lanes.iter_mut().find(|(_, l)| !l.is_empty())?;
-        let entry = lane.pop_front().expect("lane checked non-empty");
-        self.lanes.retain(|_, l| !l.is_empty());
+        let (tenant, entry) = lane
+            .pop_where(|t| {
+                held.get(&t).copied().unwrap_or(0) < caps.get(&t).copied().unwrap_or(usize::MAX)
+            })
+            .or_else(|| lane.pop())
+            .expect("lane checked non-empty");
         self.in_service += 1;
+        *self.in_service_by.entry(tenant).or_default() += 1;
         Some(Queued {
             ticket: entry.ticket,
+            tenant,
             priority,
+            batch: entry.batch,
             enqueued_at: entry.enqueued_at,
             deadline: entry.deadline,
             waited: now.saturating_duration_since(entry.enqueued_at),
@@ -262,11 +438,11 @@ impl<T> RunQueue<T> {
         })
     }
 
-    /// Completes one in-service entry, returning its token and folding the
-    /// observed `service` time into the EWMA estimate.
-    pub fn finish(&mut self, service: SimDuration) {
+    /// Completes one in-service entry for `tenant`, returning its token and
+    /// folding the observed `service` time into the EWMA estimate.
+    pub fn finish(&mut self, tenant: TenantId, service: SimDuration) {
         debug_assert!(self.in_service > 0, "finish without begin");
-        self.in_service = self.in_service.saturating_sub(1);
+        self.release(tenant);
         self.served += 1;
         let obs = service.as_nanos() as f64;
         self.ewma_service_ns = if self.served == 1 {
@@ -276,12 +452,22 @@ impl<T> RunQueue<T> {
         };
     }
 
-    /// Returns one token without recording a service observation — the
-    /// failover path, where the dispatched entry never ran to completion on
-    /// this PU.
-    pub fn abandon(&mut self) {
+    /// Returns `tenant`'s token without recording a service observation —
+    /// the failover path, where the dispatched entry never ran to
+    /// completion on this PU.
+    pub fn abandon(&mut self, tenant: TenantId) {
         debug_assert!(self.in_service > 0, "abandon without begin");
+        self.release(tenant);
+    }
+
+    fn release(&mut self, tenant: TenantId) {
         self.in_service = self.in_service.saturating_sub(1);
+        if let Some(n) = self.in_service_by.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.in_service_by.remove(&tenant);
+            }
+        }
     }
 
     /// Removes and returns every queued entry whose deadline has passed —
@@ -289,36 +475,69 @@ impl<T> RunQueue<T> {
     pub fn shed_expired(&mut self, now: SimTime) -> Vec<Queued<T>> {
         let mut out = Vec::new();
         for (&priority, lane) in self.lanes.iter_mut() {
-            let mut keep = VecDeque::with_capacity(lane.len());
-            for entry in lane.drain(..) {
-                if entry.deadline.is_some_and(|d| d <= now) {
-                    out.push(Queued {
-                        ticket: entry.ticket,
-                        priority,
-                        enqueued_at: entry.enqueued_at,
-                        deadline: entry.deadline,
-                        waited: now.saturating_duration_since(entry.enqueued_at),
-                        payload: entry.payload,
-                    });
-                } else {
-                    keep.push_back(entry);
-                }
+            for (tenant, entry) in lane.remove_where(|_, e| e.deadline.is_some_and(|d| d <= now)) {
+                out.push(Queued {
+                    ticket: entry.ticket,
+                    tenant,
+                    priority,
+                    batch: entry.batch,
+                    enqueued_at: entry.enqueued_at,
+                    deadline: entry.deadline,
+                    waited: now.saturating_duration_since(entry.enqueued_at),
+                    payload: entry.payload,
+                });
             }
-            *lane = keep;
         }
-        self.lanes.retain(|_, l| !l.is_empty());
         out
     }
 
-    /// Removes and returns every queued entry, priority order preserved —
+    /// Evicts the *youngest* queued batch-class entry, if any — the
+    /// fairness-shedding primitive: when a latency-class admission finds
+    /// the queue full, one batch entry gives up its slot (batch SLOs absorb
+    /// retries; latency SLOs do not). Youngest-first keeps the oldest batch
+    /// work (closest to dispatch) intact.
+    pub fn evict_batch(&mut self, now: SimTime) -> Option<Queued<T>> {
+        let victim = self
+            .lanes
+            .iter()
+            .flat_map(|(&priority, lane)| lane.iter().map(move |(t, e)| (priority, t, e)))
+            .filter(|(_, _, e)| e.batch)
+            .max_by_key(|(_, _, e)| (e.enqueued_at, e.ticket))
+            .map(|(priority, _, e)| (priority, e.ticket))?;
+        let (priority, ticket) = victim;
+        let lane = self.lanes.get_mut(&priority).expect("victim's lane exists");
+        let (tenant, entry) = lane.remove_where(|_, e| e.ticket == ticket).pop()?;
+        Some(Queued {
+            ticket: entry.ticket,
+            tenant,
+            priority,
+            batch: entry.batch,
+            enqueued_at: entry.enqueued_at,
+            deadline: entry.deadline,
+            waited: now.saturating_duration_since(entry.enqueued_at),
+            payload: entry.payload,
+        })
+    }
+
+    /// Removes and returns every queued entry, dispatch order preserved —
     /// the dead-PU path: the health checker drains the queue so the gateway
-    /// can re-place every entry on a survivor.
+    /// can re-place every entry on a survivor. Does not touch the service
+    /// tokens.
     pub fn drain(&mut self, now: SimTime) -> Vec<Queued<T>> {
         let mut out = Vec::new();
-        while let Some(q) = self.begin(now) {
-            // `begin` marks a token busy; a drained entry never serves here.
-            self.in_service -= 1;
-            out.push(q);
+        for (&priority, lane) in self.lanes.iter_mut() {
+            while let Some((tenant, entry)) = lane.pop() {
+                out.push(Queued {
+                    ticket: entry.ticket,
+                    tenant,
+                    priority,
+                    batch: entry.batch,
+                    enqueued_at: entry.enqueued_at,
+                    deadline: entry.deadline,
+                    waited: now.saturating_duration_since(entry.enqueued_at),
+                    payload: entry.payload,
+                });
+            }
         }
         out
     }
@@ -339,7 +558,11 @@ mod tests {
         q.offer(t(1), 0, None, "b").unwrap();
         let (err, payload) = q.offer(t(2), 0, None, "c").unwrap_err();
         assert_eq!(payload, "c", "the payload comes back to the caller");
-        assert!(matches!(err, Overloaded::QueueFull { pu: PuId(1), depth: 2 }));
+        assert!(matches!(
+            err,
+            Overloaded::QueueFull { pu: PuId(1), depth: 2, tenant: TenantId::SYSTEM }
+        ));
+        assert_eq!(err.tenant(), TenantId::SYSTEM);
         assert_eq!(q.queued(), 2);
     }
 
@@ -356,6 +579,45 @@ mod tests {
     }
 
     #[test]
+    fn backlogged_tenants_share_a_lane_by_weight() {
+        let mut q = RunQueue::new(PuId(0), QueuePolicy { depth: 64, tokens: 4 });
+        for i in 0..12u32 {
+            q.offer_for(t(0), TenantId(1), 3, false, 0, None, i).unwrap();
+            q.offer_for(t(0), TenantId(2), 1, false, 0, None, 100 + i).unwrap();
+        }
+        let mut counts = [0u32; 3];
+        for _ in 0..8 {
+            let e = q.begin(t(1)).unwrap();
+            q.finish(e.tenant, SimDuration::from_millis(1));
+            counts[e.tenant.raw() as usize] += 1;
+        }
+        // Weight 3 vs 1: of 8 dispatches, ~6 go to tenant 1.
+        assert!((5..=7).contains(&counts[1]), "tenant 1 got {}", counts[1]);
+        assert!(counts[2] >= 1, "tenant 2 is never starved");
+    }
+
+    #[test]
+    fn token_cap_skips_an_over_share_tenant_while_a_victim_waits() {
+        // Two tokens, two equal-weight tenants: tenant 1 already holds one
+        // token, so the next dispatch must come from tenant 2's sub-queue
+        // even though tenant 1's head has the smaller SFQ start tag.
+        let mut q = RunQueue::new(PuId(0), QueuePolicy { depth: 64, tokens: 2 });
+        for i in 0..4u32 {
+            q.offer_for(t(i as u64), TenantId(1), 1, false, 0, None, i).unwrap();
+        }
+        q.offer_for(t(10), TenantId(2), 1, false, 0, None, 100).unwrap();
+        let first = q.begin(t(11)).unwrap();
+        assert_eq!(first.tenant, TenantId(1), "smallest start tag dispatches first");
+        let second = q.begin(t(11)).unwrap();
+        assert_eq!(second.tenant, TenantId(2), "cap diverts the second token to the victim");
+        // With tenant 2 drained, work conservation hands tenant 1 the rest.
+        q.finish(TenantId(2), SimDuration::from_millis(1));
+        let third = q.begin(t(12)).unwrap();
+        assert_eq!(third.tenant, TenantId(1));
+        assert_eq!(q.in_service_by_tenant(), vec![(TenantId(1), 2)]);
+    }
+
+    #[test]
     fn shed_expired_removes_only_past_deadline_entries() {
         let mut q = RunQueue::new(PuId(0), QueuePolicy::default());
         q.offer(t(0), 0, Some(t(5)), "expires").unwrap();
@@ -369,13 +631,30 @@ mod tests {
     }
 
     #[test]
+    fn evict_batch_takes_the_youngest_batch_entry_only() {
+        let mut q = RunQueue::new(PuId(0), QueuePolicy { depth: 4, tokens: 1 });
+        q.offer_for(t(0), TenantId(1), 1, true, 0, None, "old-batch").unwrap();
+        q.offer_for(t(1), TenantId(2), 1, false, 0, None, "latency").unwrap();
+        q.offer_for(t(2), TenantId(1), 1, true, 0, None, "young-batch").unwrap();
+        let victim = q.evict_batch(t(3)).unwrap();
+        assert_eq!(victim.payload, "young-batch");
+        assert!(victim.batch);
+        assert_eq!(q.queued(), 2);
+        // No batch work left after the second eviction: latency entries are
+        // never fairness-shed.
+        q.evict_batch(t(4)).unwrap();
+        assert!(q.evict_batch(t(5)).is_none());
+        assert_eq!(q.begin(t(6)).unwrap().payload, "latency");
+    }
+
+    #[test]
     fn ewma_and_wait_estimates_track_service_times() {
         let mut q: RunQueue<u32> = RunQueue::new(PuId(0), QueuePolicy { depth: 8, tokens: 2 });
         let fallback = SimDuration::from_millis(1);
         assert_eq!(q.estimated_wait(fallback), SimDuration::ZERO);
         q.offer(t(0), 0, None, 1).unwrap();
         q.begin(t(0)).unwrap();
-        q.finish(SimDuration::from_millis(10));
+        q.finish(TenantId::SYSTEM, SimDuration::from_millis(10));
         assert_eq!(q.ewma_service_or(fallback), SimDuration::from_millis(10));
         // Two outstanding over two tokens = one smoothed service time.
         q.offer(t(1), 0, None, 2).unwrap();

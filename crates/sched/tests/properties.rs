@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use hetsim::pu::PuId;
 use hetsim::time::{SimDuration, SimTime};
 use molecule_sched::queue::{Priority, QueuePolicy, RunQueue, Ticket};
+use molecule_tenancy::TenantId;
 use proptest::prelude::*;
 
 /// Reference model: per-priority FIFO lanes of (ticket, deadline).
@@ -122,9 +123,9 @@ proptest! {
                 3 | 4 => {
                     if in_service > 0 {
                         if op == 3 {
-                            q.finish(SimDuration::from_millis(1 + arg));
+                            q.finish(TenantId::SYSTEM, SimDuration::from_millis(1 + arg));
                         } else {
-                            q.abandon();
+                            q.abandon(TenantId::SYSTEM);
                         }
                         in_service -= 1;
                     }

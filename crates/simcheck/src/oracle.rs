@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use hetsim::engine::Simulation;
 use xpu_shim::cap::Perm;
-use xpu_shim::{ClusterSnapshot, ObjId, ShimCluster, XpuPid};
+use xpu_shim::{ClusterSnapshot, ObjId, ShimCluster, TenantId, XpuPid};
 
 /// Which invariants [`check_snapshot`] enforces.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +35,10 @@ impl Default for OracleConfig {
 ///
 /// * every capability references a live object (no dangling grants after
 ///   `revoke_cap` / `close` / `reclaim_pu`);
+/// * tenant isolation: every capability's holder and object live in the
+///   same tenant domain, and every live FIFO's owner / region's master
+///   shares its guard object's tenant (no schedule leaks a handle across
+///   tenants through spawn, failover or reclaim);
 /// * (optional) object ownership is a partition — at most one OWNER each;
 /// * every live FIFO's guard object is live, and its owner — while still a
 ///   registered process — holds OWNER (a dead owner mid-`reclaim_pu` is a
@@ -52,10 +56,24 @@ impl Default for OracleConfig {
 /// A human-readable description of the first violated invariant.
 pub fn check_snapshot(snap: &ClusterSnapshot, cfg: &OracleConfig) -> Result<(), String> {
     let objects: HashSet<ObjId> = snap.objects.iter().copied().collect();
+    let proc_tenant: HashMap<XpuPid, TenantId> = snap.tenants.iter().copied().collect();
+    let obj_tenant: HashMap<ObjId, TenantId> = snap.object_tenants.iter().copied().collect();
+    let tenant_of = |pid: XpuPid| proc_tenant.get(&pid).copied().unwrap_or(TenantId::SYSTEM);
+    let tenant_of_obj = |obj: ObjId| obj_tenant.get(&obj).copied().unwrap_or(TenantId::SYSTEM);
     let mut owners: HashMap<ObjId, XpuPid> = HashMap::new();
     for &(pid, obj, perm) in &snap.caps {
         if !objects.contains(&obj) {
             return Err(format!("dangling capability: {pid} holds {perm} on destroyed {obj}"));
+        }
+        // Tenant isolation: a capability never crosses a tenant boundary.
+        // `grant` refuses cross-tenant handouts by construction, so any
+        // violation here means a schedule leaked a handle through spawn,
+        // failover or reclaim.
+        let (pt, ot) = (tenant_of(pid), tenant_of_obj(obj));
+        if pt != ot {
+            return Err(format!(
+                "tenant isolation violated: {pid} ({pt}) holds {perm} on {obj} owned by {ot}"
+            ));
         }
         if cfg.owner_partition && perm.contains(Perm::OWNER) {
             if let Some(prev) = owners.insert(obj, pid) {
@@ -81,6 +99,16 @@ pub fn check_snapshot(snap: &ClusterSnapshot, cfg: &OracleConfig) -> Result<(), 
             if !owner_ok {
                 return Err(format!("FIFO {} owner {} lost OWNER on {}", f.uuid, f.owner, f.obj));
             }
+            if tenant_of(f.owner) != tenant_of_obj(f.obj) {
+                return Err(format!(
+                    "FIFO {} crossed tenants: owner {} is {} but {} is {}",
+                    f.uuid,
+                    f.owner,
+                    tenant_of(f.owner),
+                    f.obj,
+                    tenant_of_obj(f.obj)
+                ));
+            }
         }
         if reclaimed.contains(&f.uuid) {
             return Err(format!("UUID {} is both live and reclaimed", f.uuid));
@@ -102,6 +130,16 @@ pub fn check_snapshot(snap: &ClusterSnapshot, cfg: &OracleConfig) -> Result<(), 
                 return Err(format!(
                     "region {} master {} lost OWNER on {}",
                     r.uuid, r.owner, r.obj
+                ));
+            }
+            if tenant_of(r.owner) != tenant_of_obj(r.obj) {
+                return Err(format!(
+                    "region {} crossed tenants: master {} is {} but {} is {}",
+                    r.uuid,
+                    r.owner,
+                    tenant_of(r.owner),
+                    r.obj,
+                    tenant_of_obj(r.obj)
                 ));
             }
         }

@@ -38,7 +38,7 @@ use hetsim::os::{BlockId, OsPid};
 use hetsim::pu::{PuId, PuModel};
 use parking_lot::Mutex;
 use xpu_shim::cluster::ShimCluster;
-use xpu_shim::{GlobalUuid, ObjId, Perm, XpuPid};
+use xpu_shim::{GlobalUuid, ObjId, Perm, TenantId, XpuPid};
 
 use crate::region::{
     digest, region_uuid, RegionSpec, RegionStateSnapshot, ReplicaSnapshot, StateError,
@@ -189,7 +189,10 @@ impl StateLayer {
         let block =
             os.map_private(host_pid, spec.pages).map_err(|e| StateError::Os(e.to_string()))?;
         let shim = self.inner.cluster.shim_on(master)?;
-        let daemon = shim.attach_process();
+        // The region daemon joins the spec's tenant domain, so the guard
+        // object it registers inherits that tenant and every later grant is
+        // tenant-checked by construction.
+        let daemon = shim.attach_process_as(spec.tenant);
         let uuid = region_uuid(&name, 0);
         let guard = match self.inner.cluster.register_region(ctx, daemon, uuid.clone()) {
             Ok(obj) => obj,
@@ -243,11 +246,40 @@ impl StateLayer {
     /// [`StateError::UnknownRegion`] / [`StateError::NoOs`] /
     /// [`StateError::Shim`].
     pub fn attach(&self, ctx: &mut ProcCtx, pu: PuId, name: &str) -> Result<BlockId, StateError> {
+        self.attach_from(ctx, pu, name, None)
+    }
+
+    /// [`attach`](Self::attach), but with the replica daemon joining
+    /// `tenant`'s capability domain instead of the region's own. When the
+    /// domains differ the attach dies at grant time with
+    /// [`ShimError::TenantDenied`](xpu_shim::ShimError::TenantDenied) —
+    /// shared state never crosses a tenant boundary.
+    ///
+    /// # Errors
+    ///
+    /// As [`attach`](Self::attach), plus the tenant denial above.
+    pub fn attach_as(
+        &self,
+        ctx: &mut ProcCtx,
+        pu: PuId,
+        name: &str,
+        tenant: TenantId,
+    ) -> Result<BlockId, StateError> {
+        self.attach_from(ctx, pu, name, Some(tenant))
+    }
+
+    fn attach_from(
+        &self,
+        ctx: &mut ProcCtx,
+        pu: PuId,
+        name: &str,
+        tenant: Option<TenantId>,
+    ) -> Result<BlockId, StateError> {
         // Single-flight with concurrent attaches and pulls on this (pu,
         // region): the loser of the race finds the replica present.
         let gate = self.gate(pu, name, ctx);
         let _permit = gate.acquire(ctx, 1);
-        let (master, guard, pages) = {
+        let (master, guard, pages, region_tenant) = {
             let st = self.inner.state.lock();
             let region =
                 st.regions.get(name).ok_or_else(|| StateError::UnknownRegion(name.into()))?;
@@ -256,16 +288,25 @@ impl StateLayer {
             }
             let master_daemon =
                 region.replicas.get(&region.master).expect("master replica always exists").daemon;
-            ((region.master, master_daemon), region.guard, region.spec.pages)
+            ((region.master, master_daemon), region.guard, region.spec.pages, region.spec.tenant)
         };
         let os = self.inner.cluster.machine().os(pu).cloned().ok_or(StateError::NoOs(pu))?;
         let host_pid = os.register_process(&format!("region-{name}@pu{}", pu.0), 1);
         let block = os.map_private(host_pid, pages).map_err(|e| StateError::Os(e.to_string()))?;
-        let daemon = self.inner.cluster.shim_on(pu)?.attach_process();
+        let daemon =
+            self.inner.cluster.shim_on(pu)?.attach_process_as(tenant.unwrap_or(region_tenant));
         // The master's daemon (guard owner) grants the replica its tier-2
-        // capabilities; capability updates synchronize immediately.
+        // capabilities; capability updates synchronize immediately. A
+        // cross-tenant attach is refused right here — unwind the half-built
+        // replica so the denial leaves no residue.
         let master_shim = self.inner.cluster.shim_on(master.0)?;
-        master_shim.grant_cap(ctx, master.1, daemon, guard, Perm::READ | Perm::WRITE)?;
+        if let Err(e) =
+            master_shim.grant_cap(ctx, master.1, daemon, guard, Perm::READ | Perm::WRITE)
+        {
+            self.inner.cluster.shim_on(pu)?.detach_process(daemon);
+            let _ = os.exit_process(host_pid);
+            return Err(e.into());
+        }
         let size = {
             let mut st = self.inner.state.lock();
             let region =

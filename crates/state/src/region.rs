@@ -3,7 +3,7 @@
 use std::fmt;
 
 use hetsim::pu::PuId;
-use xpu_shim::{GlobalUuid, ShimError};
+use xpu_shim::{GlobalUuid, ShimError, TenantId};
 
 /// What a shared-state region looks like when it is created: a cluster-wide
 /// name plus its fixed page geometry. Regions do not grow.
@@ -15,12 +15,23 @@ pub struct RegionSpec {
     pub pages: u64,
     /// Bytes per page.
     pub page_bytes: u64,
+    /// The tenant domain the region (and its daemons) lives in. Replicas
+    /// can only be attached from the same domain — the guard object's
+    /// capability grants refuse everything else.
+    pub tenant: TenantId,
 }
 
 impl RegionSpec {
-    /// A region of `pages` standard 4 KiB pages.
+    /// A region of `pages` standard 4 KiB pages, in the system domain.
     pub fn new(name: impl Into<String>, pages: u64) -> RegionSpec {
-        RegionSpec { name: name.into(), pages, page_bytes: 4096 }
+        RegionSpec { name: name.into(), pages, page_bytes: 4096, tenant: TenantId::SYSTEM }
+    }
+
+    /// Moves the region into `tenant`'s capability domain (builder style).
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> RegionSpec {
+        self.tenant = tenant;
+        self
     }
 
     /// Total region size in bytes.

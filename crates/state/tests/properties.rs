@@ -244,3 +244,39 @@ proptest! {
         prop_assert_eq!(execute(ops), Ok(()));
     }
 }
+
+/// Regions live in one tenant's capability domain: same-tenant replicas
+/// attach normally, a foreign tenant's attach dies at grant time with a
+/// typed denial and leaves no half-built replica behind.
+#[test]
+fn cross_tenant_region_attach_is_denied_at_grant_time() {
+    use molecule_state::StateError;
+    use xpu_shim::{ShimError, TenantId};
+
+    let machine = Machine::paper_cpu_dpu_server();
+    let cluster = ShimCluster::deploy(machine, ShimConfig::default());
+    let layer = StateLayer::new(cluster);
+    let l = layer.clone();
+    let mut sim = Simulation::new();
+    let h = sim.spawn("p", move |ctx| {
+        l.create_region(ctx, PuId(0), RegionSpec::new("weights", PAGES).tenant(TenantId(1)))
+            .unwrap();
+        // A foreign tenant bounces off the guard object's domain...
+        let denied = l.attach_as(ctx, PuId(1), "weights", TenantId(2)).unwrap_err();
+        // ...leaving no replica residue on the PU...
+        let leaked = l.block_of(PuId(1), "weights").is_some();
+        // ...while the region's own tenant (the default) attaches fine.
+        l.attach(ctx, PuId(1), "weights").unwrap();
+        (denied, leaked)
+    });
+    sim.run().unwrap();
+    let (denied, leaked) = h.take_result().unwrap();
+    assert!(
+        matches!(
+            denied,
+            StateError::Shim(ShimError::TenantDenied { owner: TenantId(1), to: TenantId(2), .. })
+        ),
+        "got {denied:?}"
+    );
+    assert!(!leaked, "denied attach left a replica behind");
+}

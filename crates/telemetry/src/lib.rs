@@ -52,7 +52,9 @@ pub mod recorder;
 
 pub use bench::BenchSummary;
 pub use flight::{FlightEvent, FlightRecorder};
-pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    split_tenant_metric, tenant_metric, Histogram, MetricsRegistry, MetricsSnapshot,
+};
 pub use recorder::{Event, EventKind, Recorder};
 
 use std::fmt;
@@ -234,6 +236,18 @@ pub fn gauge_set(name: &str, value: i64) {
 #[inline]
 pub fn observe_ns(name: &str, ns: u64) {
     with(|r| r.metrics().observe_ns(name, ns));
+}
+
+/// Increments the tenant-labelled counter `base{tenant=N}`.
+#[inline]
+pub fn counter_add_tenant(base: &str, tenant: u32, delta: u64) {
+    with(|r| r.metrics().counter_add_tenant(base, tenant, delta));
+}
+
+/// Records a sample into the tenant-labelled histogram `base{tenant=N}`.
+#[inline]
+pub fn observe_ns_tenant(base: &str, tenant: u32, ns: u64) {
+    with(|r| r.metrics().observe_ns_tenant(base, tenant, ns));
 }
 
 /// Appends a structured note to the global flight recorder ring.

@@ -142,6 +142,26 @@ impl Histogram {
     }
 }
 
+/// Formats a metric name carrying a tenant label: `base{tenant=N}`.
+///
+/// The tenant dimension is encoded in the name so labelled series flow
+/// through the existing registry, snapshot merge and BENCH JSON export
+/// unchanged; [`split_tenant_metric`] and the snapshot's
+/// [`tenant_counters`](MetricsSnapshot::tenant_counters) /
+/// [`tenant_histograms`](MetricsSnapshot::tenant_histograms) group them
+/// back per tenant on the read side.
+pub fn tenant_metric(base: &str, tenant: u32) -> String {
+    format!("{base}{{tenant={tenant}}}")
+}
+
+/// Splits a labelled name back into `(base, tenant)`, or `None` for an
+/// unlabelled metric.
+pub fn split_tenant_metric(name: &str) -> Option<(&str, u32)> {
+    let rest = name.strip_suffix('}')?;
+    let (base, tenant) = rest.rsplit_once("{tenant=")?;
+    Some((base, tenant.parse().ok()?))
+}
+
 #[derive(Default)]
 struct RegistryInner {
     counters: BTreeMap<String, u64>,
@@ -193,6 +213,16 @@ impl MetricsRegistry {
         }
     }
 
+    /// Adds `delta` to the tenant-labelled counter `base{tenant=N}`.
+    pub fn counter_add_tenant(&self, base: &str, tenant: u32, delta: u64) {
+        self.counter_add(&tenant_metric(base, tenant), delta);
+    }
+
+    /// Records a sample into the tenant-labelled histogram `base{tenant=N}`.
+    pub fn observe_ns_tenant(&self, base: &str, tenant: u32, ns: u64) {
+        self.observe_ns(&tenant_metric(base, tenant), ns);
+    }
+
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.lock();
@@ -240,6 +270,30 @@ impl MetricsSnapshot {
         for (name, hist) in &other.histograms {
             self.histograms.entry(name.clone()).or_default().merge(hist);
         }
+    }
+
+    /// The per-tenant values of the labelled counter family `base`, keyed
+    /// by tenant id.
+    pub fn tenant_counters(&self, base: &str) -> BTreeMap<u32, u64> {
+        self.counters
+            .iter()
+            .filter_map(|(name, v)| match split_tenant_metric(name) {
+                Some((b, tenant)) if b == base => Some((tenant, *v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The per-tenant histograms of the labelled family `base`, keyed by
+    /// tenant id.
+    pub fn tenant_histograms(&self, base: &str) -> BTreeMap<u32, &Histogram> {
+        self.histograms
+            .iter()
+            .filter_map(|(name, h)| match split_tenant_metric(name) {
+                Some((b, tenant)) if b == base => Some((tenant, h)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Compact JSON rendering (histograms as summary statistics).
@@ -361,6 +415,32 @@ mod tests {
         assert_eq!(snap.counters["requests"], 6);
         assert_eq!(snap.gauges["instances"], 9);
         assert_eq!(snap.histograms["latency"].count(), 2);
+    }
+
+    #[test]
+    fn tenant_label_round_trips_and_groups() {
+        assert_eq!(tenant_metric("sched.shed", 3), "sched.shed{tenant=3}");
+        assert_eq!(split_tenant_metric("sched.shed{tenant=3}"), Some(("sched.shed", 3)));
+        assert_eq!(split_tenant_metric("sched.shed"), None);
+        assert_eq!(split_tenant_metric("sched.shed{tenant=x}"), None);
+
+        let reg = MetricsRegistry::new();
+        reg.counter_add_tenant("sched.shed", 1, 2);
+        reg.counter_add_tenant("sched.shed", 2, 5);
+        reg.counter_add("sched.shed", 9); // unlabelled stays separate
+        reg.observe_ns_tenant("sched.latency", 1, 1000);
+        reg.observe_ns_tenant("sched.latency", 1, 3000);
+        let snap = reg.snapshot();
+        let by_tenant = snap.tenant_counters("sched.shed");
+        assert_eq!(by_tenant.get(&1), Some(&2));
+        assert_eq!(by_tenant.get(&2), Some(&5));
+        assert_eq!(by_tenant.len(), 2);
+        let hists = snap.tenant_histograms("sched.latency");
+        assert_eq!(hists[&1].count(), 2);
+        // Labelled series survive snapshot merge like any other metric.
+        let mut merged = snap.clone();
+        merged.merge(&snap);
+        assert_eq!(merged.tenant_counters("sched.shed")[&2], 10);
     }
 
     #[test]

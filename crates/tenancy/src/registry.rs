@@ -1,0 +1,115 @@
+//! Per-tenant scheduling policy: weights and admission rate limits.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::id::TenantId;
+
+/// An admission rate limit: a token bucket refilled at `rps` with capacity
+/// `burst` (see [`TokenBucket`](crate::TokenBucket)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained admissions per virtual second.
+    pub rps: f64,
+    /// Bucket capacity: how many admissions may arrive back-to-back.
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `rps` sustained with a one-second burst allowance.
+    pub fn per_sec(rps: f64) -> RateLimit {
+        RateLimit { rps, burst: rps.max(1.0) }
+    }
+}
+
+/// One tenant's scheduling contract.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantSpec {
+    /// WFQ weight: a backlogged tenant receives capacity proportional to
+    /// its weight. Zero is clamped to one.
+    pub weight: u32,
+    /// Optional admission rate limit enforced at the gateway, before any
+    /// queue is touched. `None` means unlimited.
+    pub rate_limit: Option<RateLimit>,
+}
+
+impl Default for TenantSpec {
+    fn default() -> Self {
+        TenantSpec { weight: 1, rate_limit: None }
+    }
+}
+
+/// The shared tenant table: gateway admission, run-queue arbitration and
+/// the bench harnesses all read the same specs. Unconfigured tenants get
+/// [`TenantSpec::default`] (weight 1, unlimited) so a deployment that
+/// never registers a tenant behaves exactly like the pre-tenancy stack.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    specs: Mutex<HashMap<TenantId, TenantSpec>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry (every tenant at the default spec).
+    pub fn new() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    /// Sets (or replaces) one tenant's spec.
+    pub fn set(&self, tenant: TenantId, spec: TenantSpec) {
+        self.specs.lock().insert(tenant, spec);
+    }
+
+    /// The tenant's spec, defaulted when never configured.
+    pub fn spec(&self, tenant: TenantId) -> TenantSpec {
+        self.specs.lock().get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// The tenant's WFQ weight (clamped to at least 1).
+    pub fn weight(&self, tenant: TenantId) -> u32 {
+        self.spec(tenant).weight.max(1)
+    }
+
+    /// Every explicitly configured tenant, sorted by id.
+    pub fn configured(&self) -> Vec<(TenantId, TenantSpec)> {
+        let mut out: Vec<_> = self.specs.lock().iter().map(|(t, s)| (*t, *s)).collect();
+        out.sort_by_key(|(t, _)| *t);
+        out
+    }
+
+    /// Sum of weights over `tenants` (each clamped to at least 1) — the
+    /// denominator of a fair-share computation.
+    pub fn total_weight(&self, tenants: impl IntoIterator<Item = TenantId>) -> u64 {
+        tenants.into_iter().map(|t| u64::from(self.weight(t))).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_tenants_default_to_weight_one_unlimited() {
+        let reg = TenantRegistry::new();
+        assert_eq!(reg.spec(TenantId(9)), TenantSpec::default());
+        assert_eq!(reg.weight(TenantId(9)), 1);
+        reg.set(TenantId(2), TenantSpec { weight: 0, rate_limit: None });
+        assert_eq!(reg.weight(TenantId(2)), 1, "zero weight clamps to one");
+    }
+
+    #[test]
+    fn total_weight_sums_clamped_weights() {
+        let reg = TenantRegistry::new();
+        reg.set(TenantId(1), TenantSpec { weight: 3, rate_limit: None });
+        let total = reg.total_weight([TenantId(1), TenantId(2)]);
+        assert_eq!(total, 4);
+        assert_eq!(reg.configured().len(), 1);
+    }
+
+    #[test]
+    fn per_sec_limit_has_at_least_one_token_of_burst() {
+        let lim = RateLimit::per_sec(0.5);
+        assert_eq!(lim.burst, 1.0);
+        assert_eq!(RateLimit::per_sec(20.0).burst, 20.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! SLO classes: what a function promises its caller.
+
+use hetsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A function's service-level objective class.
+///
+/// The placer and the run queues treat the two classes asymmetrically:
+/// latency-sensitive work pays extra for cold accelerators and deep queues
+/// in the cost model (and derives an admission deadline from its target),
+/// while batch work absorbs them — and is the first thing shed when a
+/// queue must make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SloClass {
+    /// Latency-sensitive: complete within `target` of submission.
+    Latency(SimDuration),
+    /// Throughput-oriented: no per-request deadline, sheds first.
+    Batch,
+}
+
+impl SloClass {
+    /// True for [`SloClass::Batch`].
+    pub fn is_batch(self) -> bool {
+        matches!(self, SloClass::Batch)
+    }
+
+    /// The latency target, if this is a latency class.
+    pub fn latency_target(self) -> Option<SimDuration> {
+        match self {
+            SloClass::Latency(t) => Some(t),
+            SloClass::Batch => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_distinguish_the_classes() {
+        let lat = SloClass::Latency(SimDuration::from_millis(250));
+        assert!(!lat.is_batch());
+        assert_eq!(lat.latency_target(), Some(SimDuration::from_millis(250)));
+        assert!(SloClass::Batch.is_batch());
+        assert_eq!(SloClass::Batch.latency_target(), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! WFQ property tests (ISSUE 8 satellite): work conservation, throughput
+//! proportional to weight under saturation, and the token bucket's hard
+//! admission bound — all driven through `proptest` so the fairness claims
+//! hold across arbitrary weight mixes and arrival schedules, not one
+//! hand-picked example.
+
+use hetsim::time::{SimDuration, SimTime};
+use molecule_tenancy::{RateLimit, SfqQueue, TenantId, TokenBucket};
+use proptest::prelude::*;
+
+proptest! {
+    /// Work conservation: as long as *anything* is queued, `pop` serves it.
+    /// Idle tenants never block the queue — their capacity flows to the
+    /// backlogged ones, and total dispatches equal total pushes.
+    #[test]
+    fn work_conservation_idle_tenants_donate_capacity(
+        backlogs in proptest::collection::vec((1u32..5, 0usize..20), 1..6),
+    ) {
+        let mut q = SfqQueue::new();
+        let mut pushed = 0usize;
+        for (i, &(weight, n)) in backlogs.iter().enumerate() {
+            for k in 0..n {
+                q.push(TenantId(i as u32 + 1), weight, (i, k));
+                pushed += 1;
+            }
+        }
+        // Tenant 99 is registered in spirit but never enqueues: nothing
+        // below may stall on its behalf.
+        let mut served = 0usize;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t != TenantId(99));
+            served += 1;
+            prop_assert!(served <= pushed, "served more than was pushed");
+        }
+        prop_assert_eq!(served, pushed, "queue stalled with work outstanding");
+        prop_assert!(q.is_empty());
+    }
+
+    /// Under saturation (every tenant backlogged throughout), each
+    /// tenant's dispatch share tracks its weight share within 10%.
+    #[test]
+    fn throughput_proportional_to_weight_within_ten_percent(
+        weights in proptest::collection::vec(1u32..8, 2..5),
+        rounds in 200usize..400,
+    ) {
+        let mut q = SfqQueue::new();
+        // Deep per-tenant backlogs so no lane ever runs dry mid-measurement.
+        for (i, &w) in weights.iter().enumerate() {
+            for k in 0..rounds {
+                q.push(TenantId(i as u32 + 1), w, k);
+            }
+        }
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..rounds {
+            let (t, _) = q.pop().unwrap();
+            counts[t.raw() as usize - 1] += 1;
+        }
+        let total_weight: u32 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let fair = rounds as f64 * f64::from(w) / f64::from(total_weight);
+            let got = counts[i] as f64;
+            prop_assert!(
+                (got - fair).abs() <= fair * 0.10 + 1.0,
+                "tenant {} got {} dispatches, fair share {:.1} (weights {:?})",
+                i + 1, counts[i], fair, weights
+            );
+        }
+    }
+
+    /// The token bucket never admits more than `burst + rps * elapsed`
+    /// requests over any prefix of any arrival schedule.
+    #[test]
+    fn token_bucket_never_admits_above_configured_rate(
+        rps in 1.0f64..500.0,
+        burst in 1.0f64..32.0,
+        gaps_us in proptest::collection::vec(0u64..20_000, 1..300),
+    ) {
+        let mut bucket = TokenBucket::new(RateLimit { rps, burst });
+        let mut now = SimTime::ZERO;
+        let mut admitted = 0u64;
+        for gap in gaps_us {
+            now += SimDuration::from_micros(gap);
+            if bucket.try_admit(now) {
+                admitted += 1;
+            }
+            let elapsed_secs = now.as_nanos() as f64 / 1e9;
+            let bound = burst + rps * elapsed_secs;
+            prop_assert!(
+                (admitted as f64) <= bound + 1e-6,
+                "admitted {} > bound {:.3} at {:?} (rps {}, burst {})",
+                admitted, bound, now, rps, burst
+            );
+        }
+    }
+}
+
+/// Deterministic end-to-end fairness check at a fixed 3:1 weight ratio —
+/// the exact configuration the `fig_tenancy` antagonist bench runs.
+#[test]
+fn three_to_one_weights_yield_three_to_one_service() {
+    let mut q = SfqQueue::new();
+    for k in 0..400 {
+        q.push(TenantId(1), 3, k);
+        q.push(TenantId(2), 1, k);
+    }
+    let mut heavy = 0;
+    for _ in 0..200 {
+        if q.pop().unwrap().0 == TenantId(1) {
+            heavy += 1;
+        }
+    }
+    let share = f64::from(heavy) / 200.0;
+    assert!((share - 0.75).abs() <= 0.05, "weight-3 tenant took {share} of service");
+}

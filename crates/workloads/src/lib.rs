@@ -17,6 +17,8 @@
 //!   `molecule-state` shared-state tier: a shared-weights inference fleet
 //!   (memory density vs copy-per-instance) and a real MapReduce shuffle
 //!   over shared regions (vs the inline-copy baseline);
+//! * [`tenant_mix`] — the multi-tenant antagonist mix (a flooding batch
+//!   tenant against latency-classed victim tenants);
 //! * [`generator`] — deterministic request generators.
 
 pub mod fpga_apps;
@@ -27,3 +29,4 @@ pub mod kernels;
 pub mod matrix;
 pub mod serverlessbench;
 pub mod stateful;
+pub mod tenant_mix;

@@ -1,0 +1,62 @@
+//! The multi-tenant antagonist mix.
+//!
+//! The tenancy evaluation runs one *antagonist* tenant flooding the
+//! platform at many times its fair share against several well-behaved
+//! *victim* tenants running a latency-sensitive interactive function. The
+//! two function shapes here are deliberately asymmetric:
+//!
+//! * the victim is short and latency-classed — its declared SLO drives
+//!   both the default deadline and the placer's queue-aversion term;
+//! * the antagonist is heavier and batch-classed — it absorbs cold starts
+//!   and deep queues, is shed first under pressure, and gets no deadline.
+
+use hetsim::pu::PuKind;
+use molecule_core::function::FunctionDef;
+use vsandbox::spec::LangRuntime;
+
+/// The victims' latency target, milliseconds. Doubles as their default
+/// deadline budget at the gateway.
+pub const VICTIM_SLO_MS: f64 = 300.0;
+
+/// A victim tenant's interactive function: short, warm-friendly,
+/// latency-classed at [`VICTIM_SLO_MS`].
+pub fn victim_fn(tenant: u32) -> FunctionDef {
+    FunctionDef::builder(format!("t{tenant}-interactive"), LangRuntime::Python)
+        .profiles(&[PuKind::Cpu, PuKind::Dpu])
+        .memory_mib(128)
+        .exec_ms(4.0)
+        .init_ms(120.0)
+        .cfork_first_run_ms(1.2)
+        .slo_latency_ms(VICTIM_SLO_MS)
+        .build()
+}
+
+/// The antagonist tenant's bulk function: an order of magnitude heavier,
+/// batch-classed (no deadline, shed first, absorbs cold PUs).
+pub fn antagonist_fn(tenant: u32) -> FunctionDef {
+    FunctionDef::builder(format!("t{tenant}-bulk"), LangRuntime::Python)
+        .profiles(&[PuKind::Cpu, PuKind::Dpu])
+        .memory_mib(256)
+        .exec_ms(12.0)
+        .init_ms(180.0)
+        .cfork_first_run_ms(2.0)
+        .slo_batch()
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molecule_tenancy::SloClass;
+
+    #[test]
+    fn mix_declares_the_expected_slo_classes() {
+        let v = victim_fn(2);
+        assert_eq!(v.id.as_str(), "t2-interactive");
+        assert!(matches!(v.slo, Some(SloClass::Latency(t))
+            if t == hetsim::time::SimDuration::from_millis_f64(VICTIM_SLO_MS)));
+        let a = antagonist_fn(1);
+        assert_eq!(a.id.as_str(), "t1-bulk");
+        assert!(matches!(a.slo, Some(SloClass::Batch)));
+    }
+}

@@ -11,6 +11,7 @@ use std::fmt;
 use std::ops::{BitOr, BitOrAssign};
 
 use hetsim::pu::PuId;
+use molecule_tenancy::TenantId;
 use serde::{Deserialize, Serialize};
 
 use crate::id::{ObjId, XpuPid};
@@ -113,6 +114,17 @@ pub enum CapError {
     UnknownObject(ObjId),
     /// The process has no `CAP_Group` (was never attached to the shim).
     UnknownProcess(XpuPid),
+    /// The grant would cross a tenant boundary: the object belongs to one
+    /// tenant's capability domain and the grantee to another. Denied by
+    /// construction — no permission bits are consulted, no override exists.
+    TenantMismatch {
+        /// The object whose domain would be breached.
+        obj: ObjId,
+        /// The tenant owning the object.
+        owner: TenantId,
+        /// The grantee's tenant.
+        to: TenantId,
+    },
 }
 
 impl fmt::Display for CapError {
@@ -123,6 +135,9 @@ impl fmt::Display for CapError {
             }
             CapError::UnknownObject(obj) => write!(f, "unknown object {obj}"),
             CapError::UnknownProcess(pid) => write!(f, "unknown process {pid}"),
+            CapError::TenantMismatch { obj, owner, to } => {
+                write!(f, "tenant isolation: {obj} belongs to {owner}, grantee is {to}")
+            }
         }
     }
 }
@@ -160,6 +175,12 @@ impl CapGroup {
 pub struct CapTable {
     groups: HashMap<XpuPid, CapGroup>,
     objects: HashMap<ObjId, ObjKind>,
+    /// Which tenant's capability domain each process belongs to. Absent
+    /// means [`TenantId::SYSTEM`] (the pre-tenancy default).
+    tenants: HashMap<XpuPid, TenantId>,
+    /// Which tenant's domain each object was created in (its owner's
+    /// tenant at creation time — objects never migrate).
+    object_tenants: HashMap<ObjId, TenantId>,
     next_obj: u64,
 }
 
@@ -169,14 +190,35 @@ impl CapTable {
         CapTable::default()
     }
 
-    /// Registers a process (creates its empty `CAP_Group`). Idempotent.
+    /// Registers a process (creates its empty `CAP_Group`) in the
+    /// [`TenantId::SYSTEM`] domain. Idempotent.
     pub fn register_process(&mut self, pid: XpuPid) {
+        self.register_process_for(pid, TenantId::SYSTEM);
+    }
+
+    /// Registers a process in `tenant`'s capability domain. Idempotent; a
+    /// pid that already exists keeps its original tenant (processes never
+    /// migrate between domains).
+    pub fn register_process_for(&mut self, pid: XpuPid, tenant: TenantId) {
         self.groups.entry(pid).or_default();
+        self.tenants.entry(pid).or_insert(tenant);
+    }
+
+    /// The tenant domain a process belongs to ([`TenantId::SYSTEM`] when
+    /// never registered — the pre-tenancy default).
+    pub fn tenant_of(&self, pid: XpuPid) -> TenantId {
+        self.tenants.get(&pid).copied().unwrap_or(TenantId::SYSTEM)
+    }
+
+    /// The tenant domain an object was created in, if it exists.
+    pub fn object_tenant(&self, obj: ObjId) -> Option<TenantId> {
+        self.object_tenants.get(&obj).copied()
     }
 
     /// Removes a process and drops all its capabilities.
     pub fn remove_process(&mut self, pid: XpuPid) {
         self.groups.remove(&pid);
+        self.tenants.remove(&pid);
     }
 
     /// True if the process has a `CAP_Group`.
@@ -197,6 +239,7 @@ impl CapTable {
         self.next_obj += 1;
         let obj = ObjId(self.next_obj);
         self.objects.insert(obj, kind);
+        self.object_tenants.insert(obj, self.tenant_of(owner));
         self.groups.get_mut(&owner).expect("checked above").caps.insert(obj, Perm::ALL);
         Ok(obj)
     }
@@ -208,6 +251,7 @@ impl CapTable {
     /// [`CapError::UnknownObject`] if the object does not exist.
     pub fn destroy_object(&mut self, obj: ObjId) -> Result<(), CapError> {
         self.objects.remove(&obj).ok_or(CapError::UnknownObject(obj))?;
+        self.object_tenants.remove(&obj);
         for group in self.groups.values_mut() {
             group.caps.remove(&obj);
         }
@@ -247,7 +291,10 @@ impl CapTable {
     /// # Errors
     ///
     /// [`CapError::PermissionDenied`] unless `actor` owns `obj`;
-    /// [`CapError::UnknownProcess`] if `to` has no `CAP_Group`.
+    /// [`CapError::UnknownProcess`] if `to` has no `CAP_Group`;
+    /// [`CapError::TenantMismatch`] if `to` lives in a different tenant's
+    /// capability domain than the object — cross-tenant grants are denied
+    /// by construction, even for an owner.
     pub fn grant(
         &mut self,
         actor: XpuPid,
@@ -256,7 +303,15 @@ impl CapTable {
         perm: Perm,
     ) -> Result<(), CapError> {
         self.check(actor, obj, Perm::OWNER)?;
-        let group = self.groups.get_mut(&to).ok_or(CapError::UnknownProcess(to))?;
+        if !self.groups.contains_key(&to) {
+            return Err(CapError::UnknownProcess(to));
+        }
+        let owner_tenant = self.object_tenant(obj).unwrap_or(TenantId::SYSTEM);
+        let to_tenant = self.tenant_of(to);
+        if owner_tenant != to_tenant {
+            return Err(CapError::TenantMismatch { obj, owner: owner_tenant, to: to_tenant });
+        }
+        let group = self.groups.get_mut(&to).expect("checked above");
         let entry = group.caps.entry(obj).or_insert(Perm::NONE);
         *entry |= perm;
         Ok(())
@@ -311,6 +366,26 @@ impl CapTable {
             .flat_map(|(pid, group)| group.caps.iter().map(|(obj, perm)| (*pid, *obj, *perm)))
             .collect();
         out.sort_by_key(|(pid, obj, _)| (*pid, *obj));
+        out
+    }
+
+    /// Every `(process, tenant)` pair, sorted by pid — the deterministic
+    /// flattening the simcheck tenant-isolation oracle walks.
+    pub fn tenant_entries(&self) -> Vec<(XpuPid, TenantId)> {
+        let mut out: Vec<(XpuPid, TenantId)> =
+            self.groups.keys().map(|pid| (*pid, self.tenant_of(*pid))).collect();
+        out.sort_by_key(|(pid, _)| *pid);
+        out
+    }
+
+    /// Every `(object, tenant)` pair, sorted by object id.
+    pub fn object_tenant_entries(&self) -> Vec<(ObjId, TenantId)> {
+        let mut out: Vec<(ObjId, TenantId)> = self
+            .objects
+            .keys()
+            .map(|obj| (*obj, self.object_tenant(*obj).unwrap_or(TenantId::SYSTEM)))
+            .collect();
+        out.sort_by_key(|(obj, _)| *obj);
         out
     }
 
@@ -434,6 +509,54 @@ mod tests {
         assert!(Perm::ALL.intersects(Perm::WRITE));
         assert!(!Perm::READ.intersects(Perm::WRITE));
         assert!(Perm::READ.without(Perm::READ).is_empty());
+    }
+
+    #[test]
+    fn cross_tenant_grant_is_denied_by_construction() {
+        let mut t = CapTable::new();
+        let alice = pid(0, 1);
+        let bob = pid(1, 1);
+        t.register_process_for(alice, TenantId(1));
+        t.register_process_for(bob, TenantId(2));
+        let obj = t.create_object(alice, ObjKind::Ipc).unwrap();
+        assert_eq!(t.object_tenant(obj), Some(TenantId(1)), "object inherits creator's tenant");
+        // Even the owner cannot hand a capability across the boundary.
+        let err = t.grant(alice, bob, obj, Perm::READ).unwrap_err();
+        assert_eq!(err, CapError::TenantMismatch { obj, owner: TenantId(1), to: TenantId(2) });
+        assert_eq!(t.perm(bob, obj), Perm::NONE, "no partial grant leaked");
+        // Same-tenant grants still work.
+        let carol = pid(1, 2);
+        t.register_process_for(carol, TenantId(1));
+        t.grant(alice, carol, obj, Perm::READ).unwrap();
+        t.check(carol, obj, Perm::READ).unwrap();
+    }
+
+    #[test]
+    fn register_is_idempotent_and_processes_never_migrate_tenants() {
+        let mut t = CapTable::new();
+        let p = pid(0, 1);
+        t.register_process_for(p, TenantId(5));
+        t.register_process_for(p, TenantId(9));
+        assert_eq!(t.tenant_of(p), TenantId(5), "first registration wins");
+        t.register_process(p);
+        assert_eq!(t.tenant_of(p), TenantId(5));
+        // Unregistered pids default to the platform domain.
+        assert_eq!(t.tenant_of(pid(7, 7)), TenantId::SYSTEM);
+        t.remove_process(p);
+        assert_eq!(t.tenant_of(p), TenantId::SYSTEM, "removal clears the tag");
+    }
+
+    #[test]
+    fn tenant_entries_flatten_deterministically() {
+        let mut t = CapTable::new();
+        t.register_process_for(pid(1, 1), TenantId(2));
+        t.register_process_for(pid(0, 1), TenantId(1));
+        let objs: Vec<_> = [pid(0, 1), pid(1, 1)]
+            .iter()
+            .map(|p| t.create_object(*p, ObjKind::Ipc).unwrap())
+            .collect();
+        assert_eq!(t.tenant_entries(), vec![(pid(0, 1), TenantId(1)), (pid(1, 1), TenantId(2))]);
+        assert_eq!(t.object_tenant_entries(), vec![(objs[0], TenantId(1)), (objs[1], TenantId(2))]);
     }
 
     #[test]

@@ -26,9 +26,10 @@ use hetsim::engine::{ProcCtx, SimSender};
 use hetsim::pu::{PuId, PuModel};
 use hetsim::time::{SimDuration, SimTime};
 use hetsim::topology::Machine;
+use molecule_tenancy::TenantId;
 use parking_lot::Mutex;
 
-use crate::cap::{CapTable, ObjKind, Perm};
+use crate::cap::{CapError, CapTable, ObjKind, Perm};
 use crate::error::ShimError;
 use crate::fifo::{FifoMsg, FifoPayload, XpuFifoReader, XpuFifoWriter};
 use crate::id::{GlobalUuid, ObjId, XpuPid};
@@ -202,6 +203,10 @@ pub struct ClusterSnapshot {
     pub procs: Vec<XpuPid>,
     /// All live distributed object ids, sorted.
     pub objects: Vec<ObjId>,
+    /// Every process's tenant domain, sorted by pid.
+    pub tenants: Vec<(XpuPid, TenantId)>,
+    /// Every object's tenant domain, sorted by object id.
+    pub object_tenants: Vec<(ObjId, TenantId)>,
     /// All live FIFOs, sorted by UUID.
     pub fifos: Vec<FifoSnapshot>,
     /// All live shared-state regions, sorted by UUID.
@@ -373,7 +378,18 @@ impl ShimCluster {
     /// and only the scheduler thread mutates between engine steps — which is
     /// when the invariant oracles call this).
     pub fn snapshot(&self) -> ClusterSnapshot {
-        let (caps, procs, objects, fifos, regions, reclaimed, lazy_pending, reclaimed_count) = {
+        let (
+            caps,
+            procs,
+            objects,
+            tenants,
+            object_tenants,
+            fifos,
+            regions,
+            reclaimed,
+            lazy_pending,
+            reclaimed_count,
+        ) = {
             let st = self.inner.state.lock();
             let mut fifos: Vec<FifoSnapshot> = st
                 .fifos
@@ -395,6 +411,8 @@ impl ShimCluster {
                 st.caps.entries(),
                 st.caps.process_ids(),
                 st.caps.object_ids(),
+                st.caps.tenant_entries(),
+                st.caps.object_tenant_entries(),
                 fifos,
                 regions,
                 reclaimed,
@@ -406,6 +424,8 @@ impl ShimCluster {
             caps,
             procs,
             objects,
+            tenants,
+            object_tenants,
             fifos,
             regions,
             reclaimed,
@@ -742,15 +762,25 @@ impl ShimCluster {
     // ---- operations backing XpuShim / fifo handles ----
 
     pub(crate) fn attach_process(&self, pu: PuId, host: PuId) -> XpuPid {
+        self.attach_process_as(pu, host, TenantId::SYSTEM)
+    }
+
+    pub(crate) fn attach_process_as(&self, pu: PuId, host: PuId, tenant: TenantId) -> XpuPid {
         // Static partitioning (§5): the PU id is baked into the pid, so no
-        // cross-PU messages are needed.
+        // cross-PU messages are needed. The tenant tag rides in the local
+        // CAP_Group registration and syncs with it.
         let _ = host;
         let mut st = self.inner.state.lock();
         let counter = st.next_local.entry(pu).or_insert(0);
         *counter += 1;
         let pid = XpuPid { pu, local: *counter };
-        st.caps.register_process(pid);
+        st.caps.register_process_for(pid, tenant);
         pid
+    }
+
+    /// The tenant domain `pid` was attached into.
+    pub fn tenant_of(&self, pid: XpuPid) -> TenantId {
+        self.inner.state.lock().caps.tenant_of(pid)
     }
 
     pub(crate) fn detach_process(&self, pid: XpuPid) {
@@ -767,7 +797,12 @@ impl ShimCluster {
         perm: Perm,
     ) -> Result<(), ShimError> {
         self.charge_xpucall(ctx, host, host, 32)?;
-        self.inner.state.lock().caps.grant(actor, to, obj, perm)?;
+        if let Err(e) = self.inner.state.lock().caps.grant(actor, to, obj, perm) {
+            if let CapError::TenantMismatch { owner, .. } = e {
+                telemetry::counter_add_tenant("shim.tenant_denied", owner.raw(), 1);
+            }
+            return Err(e.into());
+        }
         // Capability updates are synchronized immediately so checks are
         // always local (§5).
         self.sync_immediate(ctx, host);
@@ -1315,7 +1350,10 @@ impl ShimCluster {
             os.register_process(program, 1)
         };
         let _ = os_pid;
-        let child = self.attach_process(target, target);
+        // The child joins the *caller's* tenant domain: spawning is the only
+        // way capability domains propagate, so a tenant can never mint a
+        // process outside its own boundary.
+        let child = self.attach_process_as(target, target, self.tenant_of(caller));
         // No implicit permission inheritance: only the explicit capv is
         // granted (§3.4).
         {
@@ -1610,6 +1648,19 @@ impl XpuShim {
     /// globally unique [`XpuPid`]. Purely local (static partitioning).
     pub fn attach_process(&self) -> XpuPid {
         self.cluster.attach_process(self.pu, self.host)
+    }
+
+    /// Registers a process inside `tenant`'s capability domain. Like
+    /// [`attach_process`](Self::attach_process) this is purely local; the
+    /// tenant tag becomes part of the `CAP_Group` and every object the
+    /// process creates inherits it.
+    pub fn attach_process_as(&self, tenant: TenantId) -> XpuPid {
+        self.cluster.attach_process_as(self.pu, self.host, tenant)
+    }
+
+    /// The tenant domain `pid` was attached into.
+    pub fn tenant_of(&self, pid: XpuPid) -> TenantId {
+        self.cluster.tenant_of(pid)
     }
 
     /// Removes a process and its `CAP_Group`.
@@ -2119,6 +2170,53 @@ mod tests {
         let p = ShimCluster::deploy(Machine::paper_cpu_dpu_server(), ShimConfig::pinned());
         assert_eq!(p.transport_choice(PuId(1), PuId(0), 64), XcallTransport::MpscPoll);
         assert_eq!(p.transport_choice(PuId(0), PuId(1), 64), XcallTransport::Base);
+    }
+
+    #[test]
+    fn tenant_domains_isolate_grants_and_spawn_inherits() {
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let c2 = c.clone();
+        let h = sim.spawn("p", move |ctx| {
+            let cpu = c2.shim_on(PuId(0)).unwrap();
+            let dpu = c2.shim_on(PuId(1)).unwrap();
+            let alice = cpu.attach_process_as(TenantId(1));
+            let mallory = dpu.attach_process_as(TenantId(2));
+            let fifo = cpu.xfifo_init(ctx, alice, "alice-fifo").unwrap();
+            // Cross-tenant grant: denied by construction, even by the owner.
+            let err = cpu.grant_cap(ctx, alice, mallory, fifo.obj(), Perm::WRITE).unwrap_err();
+            // A spawned child joins the caller's domain, so the same grant
+            // to the child succeeds and nIPC stays intra-tenant.
+            let child = cpu.xspawn_inert(ctx, alice, PuId(1), "worker", &[]).unwrap();
+            cpu.grant_cap(ctx, alice, child, fifo.obj(), Perm::WRITE).unwrap();
+            (err, c2.tenant_of(child), c2.tenant_of(mallory))
+        });
+        sim.run().unwrap();
+        let (err, child_tenant, mallory_tenant) = h.take_result().unwrap();
+        assert!(
+            matches!(err, ShimError::TenantDenied { owner: TenantId(1), to: TenantId(2), .. }),
+            "got {err:?}"
+        );
+        assert_eq!(child_tenant, TenantId(1));
+        assert_eq!(mallory_tenant, TenantId(2));
+    }
+
+    #[test]
+    fn snapshot_carries_tenant_maps() {
+        let c = cluster();
+        let mut sim = Simulation::new();
+        let c2 = c.clone();
+        let h = sim.spawn("p", move |ctx| {
+            let cpu = c2.shim_on(PuId(0)).unwrap();
+            let pid = cpu.attach_process_as(TenantId(7));
+            let fifo = cpu.xfifo_init(ctx, pid, "tagged").unwrap();
+            (pid, fifo.obj())
+        });
+        sim.run().unwrap();
+        let (pid, obj) = h.take_result().unwrap();
+        let snap = c.snapshot();
+        assert!(snap.tenants.contains(&(pid, TenantId(7))));
+        assert!(snap.object_tenants.contains(&(obj, TenantId(7))));
     }
 
     #[test]

@@ -4,8 +4,10 @@ use core::fmt;
 
 use hetsim::pu::PuId;
 
+use molecule_tenancy::TenantId;
+
 use crate::cap::CapError;
-use crate::id::GlobalUuid;
+use crate::id::{GlobalUuid, ObjId};
 
 /// Errors surfaced by XPUcalls.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +38,17 @@ pub enum ShimError {
     /// A zero-copy segment descriptor failed its capability check on the
     /// reader side: forged token, wrong FIFO, or the slot was reclaimed.
     BadDescriptor,
+    /// The operation would cross a tenant boundary (e.g. granting a
+    /// capability on one tenant's object to another tenant's process).
+    /// Denied by construction; never retryable.
+    TenantDenied {
+        /// The object whose domain would be breached.
+        obj: ObjId,
+        /// The tenant owning the object.
+        owner: TenantId,
+        /// The tenant that tried to receive access.
+        to: TenantId,
+    },
 }
 
 impl ShimError {
@@ -61,6 +74,9 @@ impl fmt::Display for ShimError {
             ShimError::NoShimOn(pu) => write!(f, "no xpu-shim instance on {pu}"),
             ShimError::NoSuchPu(pu) => write!(f, "no such pu: {pu}"),
             ShimError::BadDescriptor => f.write_str("segment descriptor failed capability check"),
+            ShimError::TenantDenied { obj, owner, to } => {
+                write!(f, "tenant isolation: {obj} belongs to {owner}, cannot cross into {to}")
+            }
         }
     }
 }
@@ -76,6 +92,14 @@ impl std::error::Error for ShimError {
 
 impl From<CapError> for ShimError {
     fn from(e: CapError) -> ShimError {
-        ShimError::Cap(e)
+        match e {
+            // The tenant breach keeps its typed identity across the layer
+            // boundary: callers match `TenantDenied`, not a generic cap
+            // failure.
+            CapError::TenantMismatch { obj, owner, to } => {
+                ShimError::TenantDenied { obj, owner, to }
+            }
+            other => ShimError::Cap(other),
+        }
     }
 }

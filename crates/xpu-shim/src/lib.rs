@@ -71,5 +71,6 @@ pub use cluster::{
 pub use error::ShimError;
 pub use fifo::{XpuFifoReader, XpuFifoWriter};
 pub use id::{GlobalUuid, ObjId, XpuPid};
+pub use molecule_tenancy::TenantId;
 pub use segment::SegDescriptor;
 pub use xcall::XcallTransport;
