@@ -85,6 +85,24 @@ jq -e '[.rows[] | select(.[1].raw == "victim")] | length == 3
 jq -e '[.rows[] | select(.[1].raw == "antagonist")] | length == 1
        and all(.[6].value > 0 and .[12].value <= 0.35)' BENCH_tenancy.json >/dev/null
 
+# Engine hot-path stage: the event-core unit + property tests (calendar
+# queue vs BinaryHeap reference model), the cross-process timer-storm
+# determinism probe, and a fig_engine run. The binary itself asserts the
+# allocation budget (<=1 heap allocation per 100 events, steady state,
+# under a counting global allocator) and that the legacy emulation fires
+# the byte-identical event order. Gates below: the overhauled core beats
+# the legacy baseline_eps (first row) by >=5x, and the probe rows agree
+# on one fire-order checksum.
+cargo test -q -p hetsim --test engine_queue_props
+cargo test -q --test determinism engine_timer_storm
+cargo run --release -q -p molecule-bench --bin fig_engine
+test -f BENCH_engine.json
+jq -e '(.rows[1][3].value) >= 5 * (.rows[0][3].value) and (.rows[1][4].value >= 5)' \
+    BENCH_engine.json >/dev/null
+test -f BENCH_engine_probe.json
+jq -e '[.rows[][3].raw] | length == 3 and (unique | length == 1)' \
+    BENCH_engine_probe.json >/dev/null
+
 # Schedule-exploration stage: simcheck drives every scenario through its
 # budgeted interleaving sweep (each suite asserts >=200 distinct schedules)
 # with invariant oracles on every step. A violation fails the stage and the

@@ -1,0 +1,43 @@
+//! Regenerates the engine hot-path data backed by
+//! `molecule_bench::fig_engine`, then asserts the allocation budget of the
+//! steady-state event loop under a counting global allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation (and reallocation) in the process.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn main() {
+    molecule_bench::fig_engine::print();
+
+    let (events, allocs) =
+        molecule_bench::fig_engine::storm_alloc_probe(|| ALLOCS.load(Ordering::Relaxed));
+    assert!(
+        allocs.saturating_mul(100) <= events,
+        "engine hot loop allocates too much: {allocs} allocations across {events} events \
+         (budget: 1 per 100)"
+    );
+    println!("[bench] steady-state heap allocations: {allocs} across {events} events (<=1/100 ok)");
+}

@@ -26,6 +26,7 @@
 //! | [`fig_sched`] | Load-aware vs first-fit placement, FPGA cold-start batching |
 //! | [`fig_comm`] | Adaptive nIPC data plane vs pinned XPUcall transports |
 //! | [`fig_tenancy`] | Antagonist flood vs weighted-fair tenancy isolation |
+//! | [`fig_engine`] | Event-core timer-storm throughput vs the legacy engine |
 
 pub mod ablations;
 pub mod fig02;
@@ -38,6 +39,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig_comm;
+pub mod fig_engine;
 pub mod fig_fault;
 pub mod fig_rack;
 pub mod fig_sched;

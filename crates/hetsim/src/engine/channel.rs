@@ -122,8 +122,7 @@ fn deliver<T: Send>(chan: &Chan<T>, shared: &EngineShared, msg: T) -> Result<(),
         inner.waiters.pop_front()
     };
     if let Some((proc, gen)) = waiter {
-        let now = shared.now();
-        shared.schedule_resume(now, proc, gen, ResumeReason::Woken);
+        shared.schedule_resume_now(proc, gen, ResumeReason::Woken);
     }
     Ok(())
 }
@@ -139,11 +138,8 @@ fn release_sender<T: Send>(chan: &Chan<T>, shared: &EngineShared) {
             Vec::new()
         }
     };
-    if !waiters.is_empty() {
-        let now = shared.now();
-        for (proc, gen) in waiters {
-            shared.schedule_resume(now, proc, gen, ResumeReason::Woken);
-        }
+    for (proc, gen) in waiters {
+        shared.schedule_resume_now(proc, gen, ResumeReason::Woken);
     }
 }
 
@@ -224,11 +220,8 @@ impl<T> Drop for SimSender<T> {
                 Vec::new()
             }
         };
-        if !waiters.is_empty() {
-            let now = self.shared.now();
-            for (proc, gen) in waiters {
-                self.shared.schedule_resume(now, proc, gen, ResumeReason::Woken);
-            }
+        for (proc, gen) in waiters {
+            self.shared.schedule_resume_now(proc, gen, ResumeReason::Woken);
         }
     }
 }

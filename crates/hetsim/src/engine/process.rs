@@ -15,13 +15,28 @@ use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a simulated process, unique within one [`Simulation`].
 ///
+/// Encoded as `(generation << 32) | slab index`: the engine's process table
+/// is a generational slab indexed directly by the low 32 bits, so looking a
+/// process up is an array probe (no hashing) and a recycled slot never
+/// honors a stale id.
+///
 /// [`Simulation`]: super::Simulation
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcId(u64);
 
 impl ProcId {
-    pub(crate) fn new(raw: u64) -> Self {
-        ProcId(raw)
+    pub(crate) fn from_parts(index: u32, generation: u32) -> Self {
+        ProcId((u64::from(generation) << 32) | u64::from(index))
+    }
+
+    /// Slab index of this process (low 32 bits).
+    pub(crate) fn index(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Slot generation this id was minted under (high 32 bits).
+    pub(crate) fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
     }
 
     /// The raw numeric id.
@@ -93,9 +108,20 @@ impl ProcCtx {
         self.lane.get()
     }
 
-    /// Pins this process's telemetry events to lane `lane` (a PU id).
+    /// Pins this process's telemetry events to lane `lane` (a PU id). When
+    /// an event-lane plan is installed (see
+    /// [`tune_event_lanes`](Self::tune_event_lanes)), the process's resume
+    /// events also move to that PU's event lane (structural only — lane
+    /// placement never changes dispatch order).
     pub fn set_lane(&self, lane: u16) {
         self.lane.set(lane);
+        self.shared.set_proc_event_lane(self.proc, lane);
+    }
+
+    /// Re-shards the engine's pending-event structure per PU group; see
+    /// [`Simulation::tune_event_lanes`](super::Simulation::tune_event_lanes).
+    pub fn tune_event_lanes(&self, pu_lanes: &[u32], lookahead: SimDuration) {
+        self.shared.tune_event_lanes(pu_lanes, lookahead);
     }
 
     /// Suspends the process for `d` of virtual time.
@@ -103,12 +129,7 @@ impl ProcCtx {
         if d.is_zero() {
             return;
         }
-        let (gen, at) = {
-            let mut st = self.shared.state.lock();
-            let gen = st.bump_gen(self.proc);
-            (gen, st.now + d)
-        };
-        self.shared.schedule_resume(at, self.proc, gen, ResumeReason::Woken);
+        self.shared.bump_resume_after(self.proc, d, ResumeReason::Woken);
         let reason = self.yield_and_wait();
         debug_assert_eq!(reason, ResumeReason::Woken);
     }
@@ -116,11 +137,7 @@ impl ProcCtx {
     /// Yields to the scheduler without advancing time (other events at the
     /// current instant run first).
     pub fn yield_now(&mut self) {
-        let (gen, at) = {
-            let mut st = self.shared.state.lock();
-            (st.bump_gen(self.proc), st.now)
-        };
-        self.shared.schedule_resume(at, self.proc, gen, ResumeReason::Woken);
+        self.shared.bump_resume_after(self.proc, SimDuration::ZERO, ResumeReason::Woken);
         let _ = self.yield_and_wait();
     }
 

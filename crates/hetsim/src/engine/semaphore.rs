@@ -108,8 +108,7 @@ impl SimSemaphore {
                         .map(|(p, g, _)| (*p, *g));
                     drop(inner);
                     if let Some((proc, gen)) = next {
-                        let now = self.shared.now();
-                        self.shared.schedule_resume(now, proc, gen, ResumeReason::Woken);
+                        self.shared.schedule_resume_now(proc, gen, ResumeReason::Woken);
                     }
                     return SemPermit { sem: self.clone(), count };
                 }
@@ -149,8 +148,7 @@ impl SimSemaphore {
                 .map(|(p, g, _)| (*p, *g))
         };
         if let Some((proc, gen)) = wake {
-            let now = self.shared.now();
-            self.shared.schedule_resume(now, proc, gen, ResumeReason::Woken);
+            self.shared.schedule_resume_now(proc, gen, ResumeReason::Woken);
         }
     }
 }

@@ -10,14 +10,20 @@
 //! Two properties are load-bearing:
 //!
 //! * **zero-cost when quiet** — an unconfigured plane changes no latency and
-//!   no behaviour, so every calibrated figure in the test suite holds;
+//!   no behaviour, so every calibrated figure in the test suite holds. The
+//!   quiet check is one relaxed atomic load (`armed` lives outside the
+//!   mutex), so the per-hop queries every nIPC message makes are free until
+//!   a chaos plan arms the plane;
 //! * **deterministic** — all randomness (message loss/duplication sampling)
 //!   comes from one seeded generator, and every fault *and* recovery event
 //!   is appended to a single ordered event log, so a scenario replays
-//!   byte-identically under the same seed.
+//!   byte-identically under the same seed. Internally the per-kind tables
+//!   are hash maps (point lookups only); anywhere order *is* observable —
+//!   [`dead_pus`](FaultPlane::dead_pus), `Debug` — results are sorted.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -34,16 +40,21 @@ type LinkKey = (PuId, PuId);
 struct PlaneState {
     seed: u64,
     rng: StdRng,
-    /// Any fault ever configured? Fast-path gate for the hot queries.
-    armed: bool,
-    dead: BTreeMap<PuId, SimTime>,
-    hung_until: BTreeMap<PuId, SimTime>,
-    degraded: BTreeMap<LinkKey, f64>,
-    partitioned: BTreeSet<LinkKey>,
-    fifo_loss: BTreeMap<LinkKey, f64>,
-    fifo_dup: BTreeMap<LinkKey, f64>,
-    fpga_load_budget: BTreeMap<PuId, u32>,
+    dead: HashMap<PuId, SimTime>,
+    hung_until: HashMap<PuId, SimTime>,
+    degraded: HashMap<LinkKey, f64>,
+    partitioned: HashSet<LinkKey>,
+    fifo_loss: HashMap<LinkKey, f64>,
+    fifo_dup: HashMap<LinkKey, f64>,
+    fpga_load_budget: HashMap<PuId, u32>,
     log: Vec<String>,
+}
+
+struct PlaneInner {
+    /// Any fault ever configured? Sticky dirty flag, readable without the
+    /// state lock: the quiet fast path is a single relaxed atomic load.
+    armed: AtomicBool,
+    state: Mutex<PlaneState>,
 }
 
 impl PlaneState {
@@ -51,14 +62,13 @@ impl PlaneState {
         PlaneState {
             seed,
             rng: StdRng::seed_from_u64(seed),
-            armed: false,
-            dead: BTreeMap::new(),
-            hung_until: BTreeMap::new(),
-            degraded: BTreeMap::new(),
-            partitioned: BTreeSet::new(),
-            fifo_loss: BTreeMap::new(),
-            fifo_dup: BTreeMap::new(),
-            fpga_load_budget: BTreeMap::new(),
+            dead: HashMap::new(),
+            hung_until: HashMap::new(),
+            degraded: HashMap::new(),
+            partitioned: HashSet::new(),
+            fifo_loss: HashMap::new(),
+            fifo_dup: HashMap::new(),
+            fpga_load_budget: HashMap::new(),
             log: Vec::new(),
         }
     }
@@ -85,7 +95,7 @@ impl PlaneState {
 /// ```
 #[derive(Clone)]
 pub struct FaultPlane {
-    inner: Arc<Mutex<PlaneState>>,
+    inner: Arc<PlaneInner>,
 }
 
 impl Default for FaultPlane {
@@ -96,10 +106,12 @@ impl Default for FaultPlane {
 
 impl fmt::Debug for FaultPlane {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.inner.lock();
+        let st = self.inner.state.lock();
+        let mut dead: Vec<PuId> = st.dead.keys().copied().collect();
+        dead.sort();
         f.debug_struct("FaultPlane")
             .field("seed", &st.seed)
-            .field("dead", &st.dead.keys().collect::<Vec<_>>())
+            .field("dead", &dead)
             .field("events", &st.log.len())
             .finish()
     }
@@ -113,35 +125,53 @@ impl FaultPlane {
 
     /// An empty plane whose loss/duplication sampling is driven by `seed`.
     pub fn with_seed(seed: u64) -> FaultPlane {
-        FaultPlane { inner: Arc::new(Mutex::new(PlaneState::new(seed))) }
+        FaultPlane {
+            inner: Arc::new(PlaneInner {
+                armed: AtomicBool::new(false),
+                state: Mutex::new(PlaneState::new(seed)),
+            }),
+        }
+    }
+
+    /// Marks the plane armed; called by every fault-configuring entry point.
+    fn arm(&self) {
+        self.inner.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// The quiet fast path: true while no fault has ever been configured,
+    /// answered without taking the state lock.
+    #[inline]
+    fn quiet(&self) -> bool {
+        !self.inner.armed.load(Ordering::Relaxed)
     }
 
     /// Resets the sampling generator (and records the seed). Scenario setup
     /// calls this so the same `FaultPlan` seed always produces the same
     /// loss/duplication pattern.
     pub fn reseed(&self, seed: u64) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.state.lock();
         st.seed = seed;
         st.rng = StdRng::seed_from_u64(seed);
     }
 
     /// The current sampling seed.
     pub fn seed(&self) -> u64 {
-        self.inner.lock().seed
+        self.inner.state.lock().seed
     }
 
     /// True while no fault has ever been configured: the plane is guaranteed
-    /// not to change behaviour or latency.
+    /// not to change behaviour or latency. Lock-free (one atomic load).
+    #[inline]
     pub fn is_quiet(&self) -> bool {
-        !self.inner.lock().armed
+        self.quiet()
     }
 
     // ---- PU crash / hang ----
 
     /// Marks `pu` crashed at `now`. Idempotent.
     pub fn kill_pu(&self, now: SimTime, pu: PuId) {
-        let mut st = self.inner.lock();
-        st.armed = true;
+        self.arm();
+        let mut st = self.inner.state.lock();
         if st.dead.insert(pu, now).is_none() {
             st.note(now, &format!("fault: kill {pu}"));
         }
@@ -149,32 +179,40 @@ impl FaultPlane {
 
     /// Revives a crashed PU (used to model flapping).
     pub fn revive_pu(&self, now: SimTime, pu: PuId) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.state.lock();
         if st.dead.remove(&pu).is_some() {
             st.note(now, &format!("fault: revive {pu}"));
         }
     }
 
     /// True if `pu` is currently crashed.
+    #[inline]
     pub fn is_dead(&self, pu: PuId) -> bool {
-        let st = self.inner.lock();
-        st.armed && st.dead.contains_key(&pu)
+        if self.quiet() {
+            return false;
+        }
+        self.inner.state.lock().dead.contains_key(&pu)
     }
 
     /// When `pu` crashed, if it is dead.
     pub fn death_time(&self, pu: PuId) -> Option<SimTime> {
-        self.inner.lock().dead.get(&pu).copied()
+        if self.quiet() {
+            return None;
+        }
+        self.inner.state.lock().dead.get(&pu).copied()
     }
 
     /// All currently dead PUs, in id order.
     pub fn dead_pus(&self) -> Vec<PuId> {
-        self.inner.lock().dead.keys().copied().collect()
+        let mut v: Vec<PuId> = self.inner.state.lock().dead.keys().copied().collect();
+        v.sort();
+        v
     }
 
     /// Hangs `pu` (alive but unresponsive) until `now + for_`.
     pub fn hang_pu(&self, now: SimTime, pu: PuId, for_: crate::time::SimDuration) {
-        let mut st = self.inner.lock();
-        st.armed = true;
+        self.arm();
+        let mut st = self.inner.state.lock();
         st.hung_until.insert(pu, now + for_);
         st.note(now, &format!("fault: hang {pu} for {}us", for_.as_micros_f64()));
     }
@@ -182,10 +220,10 @@ impl FaultPlane {
     /// If `pu` is hung at `now`, the instant it becomes responsive again.
     /// Expired hang windows are cleared on query.
     pub fn hang_until(&self, now: SimTime, pu: PuId) -> Option<SimTime> {
-        let mut st = self.inner.lock();
-        if !st.armed {
+        if self.quiet() {
             return None;
         }
+        let mut st = self.inner.state.lock();
         match st.hung_until.get(&pu).copied() {
             Some(until) if until > now => Some(until),
             Some(_) => {
@@ -201,8 +239,8 @@ impl FaultPlane {
     /// Multiplies the latency (and divides the bandwidth) of the link
     /// `a <-> b` by `factor` (both directions).
     pub fn degrade_link(&self, now: SimTime, a: PuId, b: PuId, factor: f64) {
-        let mut st = self.inner.lock();
-        st.armed = true;
+        self.arm();
+        let mut st = self.inner.state.lock();
         st.degraded.insert((a, b), factor);
         st.degraded.insert((b, a), factor);
         st.note(now, &format!("fault: degrade {a}<->{b} x{factor}"));
@@ -210,7 +248,7 @@ impl FaultPlane {
 
     /// Removes any degradation on `a <-> b`.
     pub fn heal_link(&self, now: SimTime, a: PuId, b: PuId) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.state.lock();
         let had = st.degraded.remove(&(a, b)).is_some() | st.degraded.remove(&(b, a)).is_some();
         if had {
             st.note(now, &format!("fault: heal {a}<->{b}"));
@@ -218,18 +256,18 @@ impl FaultPlane {
     }
 
     /// The degradation factor on `from -> to` (1.0 when healthy).
+    #[inline]
     pub fn link_factor(&self, from: PuId, to: PuId) -> f64 {
-        let st = self.inner.lock();
-        if !st.armed {
+        if self.quiet() {
             return 1.0;
         }
-        st.degraded.get(&(from, to)).copied().unwrap_or(1.0)
+        self.inner.state.lock().degraded.get(&(from, to)).copied().unwrap_or(1.0)
     }
 
     /// Cuts the link `a <-> b`: traffic between the pair stops entirely.
     pub fn partition(&self, now: SimTime, a: PuId, b: PuId) {
-        let mut st = self.inner.lock();
-        st.armed = true;
+        self.arm();
+        let mut st = self.inner.state.lock();
         st.partitioned.insert((a, b));
         st.partitioned.insert((b, a));
         st.note(now, &format!("fault: partition {a}<->{b}"));
@@ -237,7 +275,7 @@ impl FaultPlane {
 
     /// Restores a partitioned pair.
     pub fn heal_partition(&self, now: SimTime, a: PuId, b: PuId) {
-        let mut st = self.inner.lock();
+        let mut st = self.inner.state.lock();
         let had = st.partitioned.remove(&(a, b)) | st.partitioned.remove(&(b, a));
         if had {
             st.note(now, &format!("fault: heal-partition {a}<->{b}"));
@@ -245,17 +283,20 @@ impl FaultPlane {
     }
 
     /// True if the pair is currently partitioned.
+    #[inline]
     pub fn is_partitioned(&self, from: PuId, to: PuId) -> bool {
-        let st = self.inner.lock();
-        st.armed && st.partitioned.contains(&(from, to))
+        if self.quiet() {
+            return false;
+        }
+        self.inner.state.lock().partitioned.contains(&(from, to))
     }
 
     // ---- FIFO message faults ----
 
     /// Sets the probability that a message `from -> to` is silently dropped.
     pub fn set_fifo_loss(&self, now: SimTime, from: PuId, to: PuId, p: f64) {
-        let mut st = self.inner.lock();
-        st.armed = true;
+        self.arm();
+        let mut st = self.inner.state.lock();
         if p > 0.0 {
             st.fifo_loss.insert((from, to), p);
         } else {
@@ -266,8 +307,8 @@ impl FaultPlane {
 
     /// Sets the probability that a message `from -> to` is delivered twice.
     pub fn set_fifo_dup(&self, now: SimTime, from: PuId, to: PuId, p: f64) {
-        let mut st = self.inner.lock();
-        st.armed = true;
+        self.arm();
+        let mut st = self.inner.state.lock();
         if p > 0.0 {
             st.fifo_dup.insert((from, to), p);
         } else {
@@ -277,11 +318,12 @@ impl FaultPlane {
     }
 
     /// Samples whether the next message `from -> to` is lost.
+    #[inline]
     pub fn sample_fifo_loss(&self, from: PuId, to: PuId) -> bool {
-        let mut st = self.inner.lock();
-        if !st.armed {
+        if self.quiet() {
             return false;
         }
+        let mut st = self.inner.state.lock();
         match st.fifo_loss.get(&(from, to)).copied() {
             Some(p) => st.rng.gen_bool(p),
             None => false,
@@ -289,11 +331,12 @@ impl FaultPlane {
     }
 
     /// Samples whether the next message `from -> to` is duplicated.
+    #[inline]
     pub fn sample_fifo_dup(&self, from: PuId, to: PuId) -> bool {
-        let mut st = self.inner.lock();
-        if !st.armed {
+        if self.quiet() {
             return false;
         }
+        let mut st = self.inner.state.lock();
         match st.fifo_dup.get(&(from, to)).copied() {
             Some(p) => st.rng.gen_bool(p),
             None => false,
@@ -304,18 +347,19 @@ impl FaultPlane {
 
     /// Arranges for the next `count` bitstream loads on `pu` to fail.
     pub fn fail_fpga_loads(&self, now: SimTime, pu: PuId, count: u32) {
-        let mut st = self.inner.lock();
-        st.armed = true;
+        self.arm();
+        let mut st = self.inner.state.lock();
         *st.fpga_load_budget.entry(pu).or_insert(0) += count;
         st.note(now, &format!("fault: fpga-load-fail {pu} x{count}"));
     }
 
     /// Consumes one injected load failure for `pu`, if any remain.
+    #[inline]
     pub fn take_fpga_load_failure(&self, pu: PuId) -> bool {
-        let mut st = self.inner.lock();
-        if !st.armed {
+        if self.quiet() {
             return false;
         }
+        let mut st = self.inner.state.lock();
         match st.fpga_load_budget.get_mut(&pu) {
             Some(n) if *n > 0 => {
                 *n -= 1;
@@ -330,17 +374,17 @@ impl FaultPlane {
     /// Appends a (recovery or fault) event to the ordered log. The log is
     /// the replay artifact: same seed + same schedule ⇒ identical log.
     pub fn note(&self, now: SimTime, msg: &str) {
-        self.inner.lock().note(now, msg);
+        self.inner.state.lock().note(now, msg);
     }
 
     /// The ordered fault/recovery event log.
     pub fn event_log(&self) -> Vec<String> {
-        self.inner.lock().log.clone()
+        self.inner.state.lock().log.clone()
     }
 
     /// Number of logged events.
     pub fn event_count(&self) -> usize {
-        self.inner.lock().log.len()
+        self.inner.state.lock().log.len()
     }
 }
 
@@ -419,5 +463,54 @@ mod tests {
         assert!(p.take_fpga_load_failure(PuId(3)));
         assert!(!p.take_fpga_load_failure(PuId(3)));
         assert!(!p.take_fpga_load_failure(PuId(4)));
+    }
+
+    /// Regression for the quiet-path fast exit: an *active* plan must answer
+    /// every query exactly as the always-locked implementation did — the
+    /// armed flag only ever short-circuits the all-healthy case.
+    #[test]
+    fn active_plan_behavior_is_unchanged_by_the_fast_path() {
+        let p = FaultPlane::with_seed(11);
+        let t = SimTime::ZERO;
+        assert!(p.is_quiet());
+
+        p.kill_pu(t, PuId(5));
+        p.kill_pu(t, PuId(2));
+        p.hang_pu(t, PuId(3), SimDuration::from_micros(50));
+        p.degrade_link(t, PuId(0), PuId(1), 2.5);
+        p.partition(t, PuId(1), PuId(4));
+        p.set_fifo_loss(t, PuId(0), PuId(2), 1.0);
+        p.set_fifo_dup(t, PuId(2), PuId(0), 1.0);
+        p.fail_fpga_loads(t, PuId(6), 1);
+        assert!(!p.is_quiet(), "armed flag is sticky once any fault lands");
+
+        // Point queries against the armed plan.
+        assert!(p.is_dead(PuId(5)) && p.is_dead(PuId(2)) && !p.is_dead(PuId(0)));
+        assert_eq!(p.dead_pus(), vec![PuId(2), PuId(5)], "dead_pus stays sorted");
+        assert_eq!(p.hang_until(t, PuId(3)), Some(t + SimDuration::from_micros(50)),);
+        assert_eq!(p.link_factor(PuId(1), PuId(0)), 2.5);
+        assert_eq!(p.link_factor(PuId(0), PuId(3)), 1.0);
+        assert!(p.is_partitioned(PuId(4), PuId(1)));
+        assert!(!p.is_partitioned(PuId(0), PuId(1)));
+        assert!(p.sample_fifo_loss(PuId(0), PuId(2)), "p=1.0 always drops");
+        assert!(!p.sample_fifo_loss(PuId(2), PuId(0)), "unconfigured direction");
+        assert!(p.sample_fifo_dup(PuId(2), PuId(0)), "p=1.0 always duplicates");
+        assert!(p.take_fpga_load_failure(PuId(6)));
+        assert!(!p.take_fpga_load_failure(PuId(6)));
+
+        // Recovery keeps answering correctly while the plane stays armed.
+        p.revive_pu(t, PuId(5));
+        p.heal_link(t, PuId(0), PuId(1));
+        p.heal_partition(t, PuId(1), PuId(4));
+        assert!(!p.is_dead(PuId(5)));
+        assert_eq!(p.link_factor(PuId(0), PuId(1)), 1.0);
+        assert!(!p.is_partitioned(PuId(1), PuId(4)));
+        assert!(!p.is_quiet(), "recovery never disarms the fast path");
+
+        // The ordered log reflects configuration order, not map iteration.
+        let log = p.event_log();
+        assert_eq!(log.len(), 11);
+        assert!(log[0].contains("kill pu5"));
+        assert!(log[10].contains("heal-partition"));
     }
 }

@@ -1,0 +1,215 @@
+//! Property tests of the engine's calendar-queue event core against a
+//! plain `BinaryHeap` reference model.
+//!
+//! The wheel + arena structure earns its keep only if it is *observably
+//! identical* to the ordered heap it replaced: same pop order for any
+//! interleaving of schedules, cancels and pops — including same-instant
+//! ties, events landing before the wheel base, and far-future times that
+//! overflow every wheel level. Each property drives both structures with
+//! one generated op sequence and compares them step by step.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use hetsim::engine::queue::{EventHandle, EventQueue};
+use proptest::prelude::*;
+use proptest::prop_oneof;
+
+/// Reference model: an ordered heap of `(time, seq)` keys plus a cancel
+/// set, exactly the structure the engine used before the calendar queue.
+#[derive(Default)]
+struct RefModel {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    payloads: HashMap<(u64, u64), u32>,
+    next_seq: u64,
+}
+
+impl RefModel {
+    fn push(&mut self, time: u64, payload: u32) -> (u64, u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((time, seq)));
+        self.payloads.insert((time, seq), payload);
+        (time, seq)
+    }
+
+    fn cancel(&mut self, key: (u64, u64)) -> Option<u32> {
+        // Lazy deletion, like the arena tombstones: the key stays in the
+        // heap and is skipped at pop time.
+        self.payloads.remove(&key)
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64, u32)> {
+        while let Some(Reverse(key)) = self.heap.pop() {
+            if let Some(p) = self.payloads.remove(&key) {
+                return Some((key.0, key.1, p));
+            }
+        }
+        None
+    }
+
+    fn peek(&mut self) -> Option<(u64, u64)> {
+        while let Some(&Reverse(key)) = self.heap.peek() {
+            if self.payloads.contains_key(&key) {
+                return Some(key);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+/// One generated step against both structures.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `now + delta` on `lane`. Deltas of 0 create same-instant
+    /// ties; huge deltas overflow the top wheel level.
+    Push { delta: u64, lane: usize },
+    /// Cancel the n-th oldest still-live handle (no-op when none live).
+    Cancel { nth: usize },
+    /// Pop the global minimum and compare against the reference.
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (delta_strategy(), 0usize..8).prop_map(|(delta, lane)| Op::Push { delta, lane }),
+        2 => (0usize..16).prop_map(|nth| Op::Cancel { nth }),
+        4 => Just(Op::Pop),
+    ]
+}
+
+/// Mix of near-term deltas (within one bucket), mid-range (spanning wheel
+/// levels), same-instant zeros, and far-future values past the top horizon.
+fn delta_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => Just(0u64),
+        5 => 1u64..1 << 12,
+        3 => 1u64..1 << 20,
+        2 => 1u64..1 << 36,
+        1 => (1u64 << 36)..1 << 50,
+    ]
+}
+
+fn run_ops(ops: Vec<Op>, lanes: usize, bucket_bits: u32) -> Result<(), TestCaseError> {
+    let mut q = EventQueue::<u32>::new(lanes, bucket_bits, 0);
+    let mut model = RefModel::default();
+    // Live handles in schedule order, paired with their model key.
+    let mut live: Vec<(EventHandle, (u64, u64))> = Vec::new();
+    let mut now = 0u64;
+    let mut payload = 0u32;
+
+    for op in ops {
+        match op {
+            Op::Push { delta, lane } => {
+                let t = now.saturating_add(delta);
+                payload += 1;
+                let (seq, h) = q.push(lane % lanes.max(1), t, payload);
+                let (mt, mseq) = model.push(t, payload);
+                prop_assert_eq!((t, seq), (mt, mseq), "seq allocation diverged");
+                live.push((h, (t, seq)));
+            }
+            Op::Cancel { nth } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (h, key) = live.remove(nth % live.len());
+                let got = q.cancel(h);
+                let want = model.cancel(key);
+                prop_assert_eq!(got, want, "cancel payload diverged at key {:?}", key);
+                // A second cancel through a stale handle must be a no-op.
+                prop_assert_eq!(q.cancel(h), None);
+            }
+            Op::Pop => {
+                prop_assert_eq!(q.peek(), model.peek(), "peek diverged");
+                let got = q.pop().map(|(t, s, _lane, p)| (t, s, p));
+                let want = model.pop();
+                prop_assert_eq!(got, want, "pop diverged");
+                if let Some((t, s, _)) = got {
+                    prop_assert!(t >= now, "time went backwards: {t} < {now}");
+                    now = t;
+                    live.retain(|(_, key)| *key != (t, s));
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), model.payloads.len(), "live count diverged");
+    }
+
+    // Drain both to the end: every remaining event must come out in
+    // identical (time, seq) order with its payload intact.
+    loop {
+        let got = q.pop().map(|(t, s, _lane, p)| (t, s, p));
+        let want = model.pop();
+        prop_assert_eq!(got, want, "drain diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+    prop_assert!(q.is_empty());
+    Ok(())
+}
+
+proptest! {
+    /// Arbitrary schedule/cancel/pop interleavings across several lanes pop
+    /// in exactly the reference heap's `(time, seq)` order.
+    #[test]
+    fn queue_matches_heap_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_ops(ops, 4, 12)?;
+    }
+
+    /// The single-lane configuration (what a fresh `Simulation` uses before
+    /// lane tuning) is equivalent too.
+    #[test]
+    fn single_lane_matches_heap_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_ops(ops, 1, 12)?;
+    }
+
+    /// Tiny buckets force constant bucket-boundary crossings and overflow
+    /// rebasing; the order contract must hold regardless of bucket size.
+    #[test]
+    fn tiny_buckets_match_heap_reference(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_ops(ops, 3, 9)?;
+    }
+
+    /// Same-instant storms: every event at one of two adjacent instants, so
+    /// ordering is decided almost entirely by sequence numbers.
+    #[test]
+    fn tie_storms_pop_in_seq_order(
+        times in proptest::collection::vec(0u64..2, 2..80),
+        pops in 1usize..40,
+    ) {
+        let mut q = EventQueue::<u32>::new(2, 12, 0);
+        let mut model = RefModel::default();
+        for (i, t) in times.iter().enumerate() {
+            q.push(i % 2, *t, i as u32);
+            model.push(*t, i as u32);
+        }
+        for _ in 0..pops {
+            let got = q.pop().map(|(t, s, _lane, p)| (t, s, p));
+            prop_assert_eq!(got, model.pop());
+        }
+    }
+
+    /// Far-future events (beyond the top wheel horizon) still interleave
+    /// correctly with near-term refills after the overflow bucket rebases.
+    #[test]
+    fn overflow_rebase_keeps_global_order(
+        far in proptest::collection::vec((1u64 << 40)..(1u64 << 55), 1..20),
+        near in proptest::collection::vec(0u64..1 << 16, 1..20),
+    ) {
+        let mut q = EventQueue::<u32>::new(2, 12, 0);
+        let mut model = RefModel::default();
+        for (i, &t) in far.iter().chain(near.iter()).enumerate() {
+            q.push(i % 2, t, i as u32);
+            model.push(t, i as u32);
+        }
+        loop {
+            let got = q.pop().map(|(t, s, _lane, p)| (t, s, p));
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}

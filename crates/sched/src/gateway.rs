@@ -978,7 +978,9 @@ impl SchedGateway {
                     }
                 }
             }
-            telemetry::gauge_set(&format!("sched.pool.{func}"), target as i64);
+            if telemetry::enabled() {
+                telemetry::gauge_set(&format!("sched.pool.{func}"), target as i64);
+            }
         }
         (grown, shrunk)
     }
@@ -996,6 +998,11 @@ impl SchedGateway {
     }
 
     fn publish_depth(&self, pu: PuId) {
+        // Gauge-only path: skip the lock *and* the name formatting entirely
+        // when no recorder is attached.
+        if !telemetry::enabled() {
+            return;
+        }
         let depth = {
             let sh = self.shared.lock();
             sh.queues.get(&pu).map_or(0, RunQueue::queued)

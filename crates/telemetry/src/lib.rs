@@ -184,6 +184,28 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+static ENGINE_INSTANTS: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables per-event engine-lane instants ("wake"/"dispatch").
+///
+/// The engine fires one such instant per scheduler event; on event-storm
+/// workloads the formatting alone dominates. Turning them off keeps every
+/// other lane, counter and histogram recording while the engine hot loop
+/// skips even building the strings. Default: on.
+pub fn set_engine_instants(on: bool) {
+    ENGINE_INSTANTS.store(on, Ordering::SeqCst);
+}
+
+/// True when a recorder is enabled *and* per-event engine instants are on.
+///
+/// The engine checks this before formatting "wake proc#N" / "dispatch"
+/// strings, so the disabled path is two relaxed atomic loads and zero
+/// allocation.
+#[inline]
+pub fn engine_instants() -> bool {
+    ENABLED.load(Ordering::Relaxed) && ENGINE_INSTANTS.load(Ordering::Relaxed)
+}
+
 /// Runs `f` against the global recorder, or does nothing when disabled.
 ///
 /// This is the only entry point instrumentation sites use. Disabled, it is

@@ -76,6 +76,74 @@ pub mod strategy {
     pub trait Strategy {
         type Value;
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every sampled value through `f` (`Strategy::prop_map`).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Constant strategy: always yields a clone of the given value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Mapped strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Weighted choice between heterogeneous strategies of one value type;
+    /// built by the [`prop_oneof!`](crate::prop_oneof) macro.
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Union<V> {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut x = rng.next_u64() % total;
+            for (w, arm) in &self.arms {
+                if x < u64::from(*w) {
+                    return arm.sample(rng);
+                }
+                x -= u64::from(*w);
+            }
+            unreachable!("weighted pick out of range")
+        }
     }
 
     // Strategies are used by value in `proptest!` but composed by value in
@@ -221,9 +289,29 @@ pub mod arbitrary {
 
 pub mod prelude {
     pub use super::collection;
-    pub use super::strategy::{any, Strategy};
+    pub use super::strategy::{any, Just, Strategy};
     pub use super::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted (or unweighted) choice between strategies of one value type:
+/// `prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(
+                (
+                    $weight as u32,
+                    ::std::boxed::Box::new($strat)
+                        as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+                )
+            ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Property-test harness macro (`proptest::proptest!` subset: named args
@@ -323,6 +411,15 @@ mod tests {
             let (_a, _b) = pair;
             prop_assert!(t.0 < 3);
             prop_assert_eq!(t.1 / 2, 5);
+        }
+
+        #[test]
+        fn oneof_map_and_just(v in prop_oneof![
+            3 => (0u32..10).prop_map(|x| x * 2),
+            1 => Just(99u32),
+        ]) {
+            let v: u32 = v;
+            prop_assert!(v == 99 || (v.is_multiple_of(2) && v < 20), "unexpected sample {v}");
         }
     }
 
