@@ -103,6 +103,22 @@ test -f BENCH_engine_probe.json
 jq -e '[.rows[][3].raw] | length == 3 and (unique | length == 1)' \
     BENCH_engine_probe.json >/dev/null
 
+# High-density stage: the flat resident-structure property suite (BTreeMap
+# reference models), the probe-round allocation pin, the 10k-sandbox
+# reclaim stress regression, and a fig_density run sweeping 100 -> 10k
+# resident sandboxes. Gates: per-sandbox PSS at 10k stays <= 0.25x the
+# copy-per-instance baseline, offloaded I/O p99 stays within 1.2x of its
+# 100-sandbox point at every density, and no offload request is lost.
+cargo test -q -p molecule-core --test density_props
+cargo test -q -p molecule-core --test health_alloc
+cargo test -q -p xpu-shim --test reclaim_stress
+cargo run --release -q -p molecule-bench --bin fig_density
+test -f BENCH_density.json
+jq -e '[.rows[] | select(.[0].value == 10000)] | length > 0 and all(.[3].value <= 0.25)' \
+    BENCH_density.json >/dev/null
+jq -e '[.rows[]] | length > 0 and all(.[6].value <= 1.2)' BENCH_density.json >/dev/null
+jq -e '[.rows[]] | length > 0 and all(.[7].value == 0)' BENCH_density.json >/dev/null
+
 # Schedule-exploration stage: simcheck drives every scenario through its
 # budgeted interleaving sweep (each suite asserts >=200 distinct schedules)
 # with invariant oracles on every step. A violation fails the stage and the
@@ -110,12 +126,19 @@ jq -e '[.rows[][3].raw] | length == 3 and (unique | length == 1)' \
 # reproduction (see TESTING.md).
 cargo test -q -p molecule-simcheck
 
-# Flake detector: the tier-1 suite twice under different host-thread counts.
-# Virtual time must be immune to host parallelism — any diff between the
-# two outcome lists is a real nondeterminism bug, not a flake to retry.
+# Flake detector: the tier-1 suite plus the density suites twice under
+# different host-thread counts. Virtual time must be immune to host
+# parallelism — any diff between the two outcome lists is a real
+# nondeterminism bug, not a flake to retry.
 flake_outcomes() {
     # Wall-clock times differ run to run; the pass/fail ledger must not.
-    { RUST_TEST_THREADS="$1" cargo test -q 2>&1 || true; } \
+    {
+        RUST_TEST_THREADS="$1" cargo test -q 2>&1 || true
+        RUST_TEST_THREADS="$1" cargo test -q -p molecule-core --test density_props 2>&1 || true
+        RUST_TEST_THREADS="$1" cargo test -q -p molecule-core --test health_alloc 2>&1 || true
+        RUST_TEST_THREADS="$1" cargo test -q -p xpu-shim --test reclaim_stress 2>&1 || true
+        RUST_TEST_THREADS="$1" cargo test -q -p molecule-simcheck --test proxy_offload 2>&1 || true
+    } \
         | grep -E '^(test result:|failures:)' \
         | sed 's/; finished in .*//' | sort
 }

@@ -14,5 +14,6 @@ fn main() {
     molecule_bench::fig15::print();
     molecule_bench::tables::print();
     molecule_bench::ablations::print();
+    molecule_bench::fig_density::print();
     println!("\nAll experiments completed.");
 }

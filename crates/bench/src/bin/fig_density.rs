@@ -1,0 +1,5 @@
+//! High-density PUs: dense cfork PSS, DPU I/O offload p99, reclaim sweeps.
+
+fn main() {
+    molecule_bench::fig_density::print();
+}

@@ -61,7 +61,7 @@ pub fn cfork_ladder() -> Vec<LadderRow> {
             &template,
             &"preinit".into(),
             &image_cfg(),
-            CforkOpts { use_preinit_container: true },
+            CforkOpts { use_preinit_container: true, ..CforkOpts::default() },
         )
         .unwrap();
         rows.push(LadderRow { case: "+FuncContainer", paper_ms: 30.05, measured: ctx.now() - t0 });
@@ -73,7 +73,7 @@ pub fn cfork_ladder() -> Vec<LadderRow> {
             &template,
             &"patched".into(),
             &image_cfg(),
-            CforkOpts { use_preinit_container: true },
+            CforkOpts { use_preinit_container: true, ..CforkOpts::default() },
         )
         .unwrap();
         rows.push(LadderRow { case: "+Cpuset opt", paper_ms: 8.40, measured: ctx.now() - t0 });

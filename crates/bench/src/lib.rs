@@ -27,6 +27,7 @@
 //! | [`fig_comm`] | Adaptive nIPC data plane vs pinned XPUcall transports |
 //! | [`fig_tenancy`] | Antagonist flood vs weighted-fair tenancy isolation |
 //! | [`fig_engine`] | Event-core timer-storm throughput vs the legacy engine |
+//! | [`fig_density`] | High-density PUs: dense cfork PSS, DPU I/O offload p99, reclaim sweeps |
 
 pub mod ablations;
 pub mod fig02;
@@ -39,6 +40,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig_comm;
+pub mod fig_density;
 pub mod fig_engine;
 pub mod fig_fault;
 pub mod fig_rack;

@@ -7,7 +7,7 @@
 //! turns the runtime's mechanisms into the serverless behaviours the paper
 //! promises (auto-scaling, §1; keep-alive, §5).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -81,11 +81,65 @@ struct GatewayState {
     idle: HashMap<(FuncId, PuId), Vec<InstanceId>>,
     /// Every live instance the gateway created, with its function.
     owned: HashMap<InstanceId, (FuncId, PuId)>,
+    /// Per-PU ownership index: the dead-PU purge reads the crashed PU's own
+    /// instance set instead of scanning every live instance. At 10k+
+    /// sandboxes per PU the full `owned` scan was the purge bottleneck.
+    owned_by_pu: HashMap<PuId, HashSet<InstanceId>>,
+    /// Live-instance count per function: "does this function still have a
+    /// survivor anywhere?" is one lookup, not a scan of `owned`.
+    live_funcs: HashMap<FuncId, usize>,
+    /// Functions with an idle pool entry per PU — the purge's idle-pool
+    /// sweep, again O(pools on the dead PU).
+    idle_by_pu: HashMap<PuId, HashSet<FuncId>>,
     /// PUs requests must not be routed to (crashed or circuit-open), kept
     /// sorted for deterministic placement.
     avoid: std::collections::BTreeSet<PuId>,
     policy: Box<dyn KeepAlivePolicy>,
     stats: GatewayStats,
+}
+
+impl GatewayState {
+    /// Every ownership mutation goes through `own`/`disown` so the per-PU
+    /// and per-function indices can never drift from `owned`.
+    fn own(&mut self, instance: InstanceId, func: &FuncId, pu: PuId) {
+        self.owned.insert(instance, (func.clone(), pu));
+        self.owned_by_pu.entry(pu).or_default().insert(instance);
+        *self.live_funcs.entry(func.clone()).or_insert(0) += 1;
+    }
+
+    fn disown(&mut self, instance: InstanceId) -> Option<(FuncId, PuId)> {
+        let (func, pu) = self.owned.remove(&instance)?;
+        if let Some(set) = self.owned_by_pu.get_mut(&pu) {
+            set.remove(&instance);
+            if set.is_empty() {
+                self.owned_by_pu.remove(&pu);
+            }
+        }
+        if let Some(n) = self.live_funcs.get_mut(&func) {
+            *n -= 1;
+            if *n == 0 {
+                self.live_funcs.remove(&func);
+            }
+        }
+        Some((func, pu))
+    }
+
+    /// The idle pool for `(func, pu)`, creating (and indexing) it on demand.
+    fn pool_entry(&mut self, func: &FuncId, pu: PuId) -> &mut Vec<InstanceId> {
+        self.idle_by_pu.entry(pu).or_default().insert(func.clone());
+        self.idle.entry((func.clone(), pu)).or_default()
+    }
+
+    /// Removes an idle pool key and its reverse-index entry.
+    fn drop_pool(&mut self, func: &FuncId, pu: PuId) {
+        self.idle.remove(&(func.clone(), pu));
+        if let Some(funcs) = self.idle_by_pu.get_mut(&pu) {
+            funcs.remove(func);
+            if funcs.is_empty() {
+                self.idle_by_pu.remove(&pu);
+            }
+        }
+    }
 }
 
 /// The request-facing gateway over one Molecule deployment. Cheap to clone.
@@ -124,6 +178,9 @@ impl ApiGateway {
             state: Arc::new(Mutex::new(GatewayState {
                 idle: HashMap::new(),
                 owned: HashMap::new(),
+                owned_by_pu: HashMap::new(),
+                live_funcs: HashMap::new(),
+                idle_by_pu: HashMap::new(),
                 avoid: std::collections::BTreeSet::new(),
                 policy,
                 stats: GatewayStats::default(),
@@ -181,20 +238,28 @@ impl ApiGateway {
         self.regions.retract_pu(pu);
         let mut st = self.state.lock();
         st.avoid.insert(pu);
-        st.idle.retain(|(_, p), _| *p != pu);
+        // Idle pools on the dead PU via the reverse index — O(pools there),
+        // not a retain over every (function, PU) pool in the gateway.
+        if let Some(funcs) = st.idle_by_pu.remove(&pu) {
+            for func in funcs {
+                st.idle.remove(&(func, pu));
+            }
+        }
         let mut purged: Vec<InstanceId> =
-            st.owned.iter().filter(|(_, (_, p))| *p == pu).map(|(id, _)| *id).collect();
+            st.owned_by_pu.get(&pu).map(|s| s.iter().copied().collect()).unwrap_or_default();
         purged.sort();
+        let mut seen: HashSet<FuncId> = HashSet::new();
         let mut dead_funcs: Vec<FuncId> = Vec::new();
         for id in &purged {
-            if let Some((func, _)) = st.owned.remove(id) {
-                if !dead_funcs.contains(&func) {
+            if let Some((func, _)) = st.disown(*id) {
+                if seen.insert(func.clone()) {
                     dead_funcs.push(func);
                 }
             }
         }
-        // Keep-alive eviction: only forget functions with no survivors.
-        dead_funcs.retain(|f| !st.owned.values().any(|(func, _)| func == f));
+        // Keep-alive eviction: only forget functions with no survivors —
+        // one live-count lookup each, not a scan of every owned instance.
+        dead_funcs.retain(|f| !st.live_funcs.contains_key(f));
         dead_funcs.sort();
         st.policy.forget_many(&dead_funcs);
         telemetry::with(|r| {
@@ -344,7 +409,7 @@ impl ApiGateway {
                 let how = self.effective_startup(pu);
                 let started = self.molecule.start_instance(ctx, func, pu, how)?;
                 let mut st = self.state.lock();
-                st.owned.insert(started.instance, (func.clone(), pu));
+                st.own(started.instance, func, pu);
                 (started.instance, pu, true)
             }
         };
@@ -390,7 +455,7 @@ impl ApiGateway {
             None => {
                 let how = self.effective_startup(pu);
                 let started = self.molecule.start_instance(ctx, func, pu, how)?;
-                self.state.lock().owned.insert(started.instance, (func.clone(), pu));
+                self.state.lock().own(started.instance, func, pu);
                 (started.instance, true)
             }
         };
@@ -421,11 +486,11 @@ impl ApiGateway {
             st.stats.warm_hits += 1;
         }
         st.policy.on_invoke(func, now, exec_latency, def.memory_mib as f64 / 128.0);
-        let pool = st.idle.entry((func.clone(), pu)).or_default();
+        let pool = st.pool_entry(func, pu);
         if pool.len() < self.config.max_warm_per_function {
             pool.push(instance);
         } else {
-            st.owned.remove(&instance);
+            st.disown(instance);
             drop(st);
             self.molecule.retire_instance(ctx, instance)?;
         }
@@ -458,8 +523,8 @@ impl ApiGateway {
         let how = self.effective_startup(pu);
         let started = self.molecule.start_instance(ctx, func, pu, how)?;
         let mut st = self.state.lock();
-        st.owned.insert(started.instance, (func.clone(), pu));
-        st.idle.entry((func.clone(), pu)).or_default().push(started.instance);
+        st.own(started.instance, func, pu);
+        st.pool_entry(func, pu).push(started.instance);
         telemetry::with(|r| r.metrics().counter_add("gateway.prewarmed", 1));
         Ok(started.instance)
     }
@@ -484,10 +549,10 @@ impl ApiGateway {
             let excess = pool.len().saturating_sub(keep);
             let drained: Vec<InstanceId> = pool.drain(..excess).collect();
             if pool.is_empty() {
-                st.idle.remove(&(func.clone(), pu));
+                st.drop_pool(func, pu);
             }
             for inst in &drained {
-                st.owned.remove(inst);
+                st.disown(*inst);
             }
             st.stats.reaped += drained.len() as u64;
             drained
@@ -570,9 +635,18 @@ impl ApiGateway {
             }
             // HashMap iteration order is arbitrary; retire deterministically.
             to_retire.sort();
-            st.idle.retain(|_, pool| !pool.is_empty());
+            let mut emptied: Vec<(FuncId, PuId)> = Vec::new();
+            st.idle.retain(|key, pool| {
+                if pool.is_empty() {
+                    emptied.push(key.clone());
+                }
+                !pool.is_empty()
+            });
+            for (func, pu) in emptied {
+                st.drop_pool(&func, pu);
+            }
             for inst in &to_retire {
-                st.owned.remove(inst);
+                st.disown(*inst);
             }
             st.stats.reaped += to_retire.len() as u64;
             (to_retire, keep.len())

@@ -21,7 +21,7 @@
 //! preferred accelerator kind is entirely gone degrade to the CPU cost
 //! table, with telemetry recording each degradation.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use hetsim::engine::ProcCtx;
@@ -125,12 +125,29 @@ pub struct RecoveryReport {
 /// [`HealthChecker::on_declared_dead`]).
 pub type DeadPuHook = dyn Fn(&mut ProcCtx, PuId) + Send + Sync;
 
+/// Mutable per-round state: a flat record vector parallel to the fixed
+/// monitored-PU list, plus the incrementally maintained dead list. The
+/// former `BTreeMap<PuId, PuRecord>` made every status lookup a tree walk
+/// and `dead_pus` an O(all PUs) filter; the monitored set never changes
+/// after construction, so records live in a dense vector indexed by a fixed
+/// side table and the dead list is appended exactly once per declaration.
+struct HealthState {
+    records: Vec<PuRecord>,
+    /// PUs declared dead, in declaration order (sorted on read).
+    dead: Vec<PuId>,
+}
+
 /// Probes executor PUs and drives recovery when one dies. Cheap to clone.
 #[derive(Clone)]
 pub struct HealthChecker {
     gateway: ApiGateway,
     policy: HealthPolicy,
-    state: Arc<Mutex<BTreeMap<PuId, PuRecord>>>,
+    /// The monitored PUs, sorted — fixed at construction, shared by all
+    /// clones, iterated allocation-free by every probe round.
+    monitored: Arc<Vec<PuId>>,
+    /// PU → index into `monitored` / `HealthState::records`.
+    index: Arc<HashMap<PuId, usize>>,
+    state: Arc<Mutex<HealthState>>,
     recoveries: Arc<Mutex<Vec<RecoveryReport>>>,
     dead_hooks: Arc<Mutex<Vec<Arc<DeadPuHook>>>>,
 }
@@ -139,7 +156,7 @@ impl std::fmt::Debug for HealthChecker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HealthChecker")
             .field("policy", &self.policy)
-            .field("monitored", &self.state.lock().len())
+            .field("monitored", &self.monitored.len())
             .finish()
     }
 }
@@ -150,16 +167,22 @@ impl HealthChecker {
     pub fn new(gateway: ApiGateway, policy: HealthPolicy) -> HealthChecker {
         let machine = gateway.molecule().machine().clone();
         let host = machine.host_cpu();
-        let mut state = BTreeMap::new();
+        let mut monitored = Vec::new();
         for pu in machine.pus() {
             if pu.kind.is_general_purpose() && pu.id != host {
-                state.insert(pu.id, PuRecord::new());
+                monitored.push(pu.id);
             }
         }
+        monitored.sort();
+        let index: HashMap<PuId, usize> =
+            monitored.iter().enumerate().map(|(i, pu)| (*pu, i)).collect();
+        let records = monitored.iter().map(|_| PuRecord::new()).collect();
         HealthChecker {
             gateway,
             policy,
-            state: Arc::new(Mutex::new(state)),
+            monitored: Arc::new(monitored),
+            index: Arc::new(index),
+            state: Arc::new(Mutex::new(HealthState { records, dead: Vec::new() })),
             recoveries: Arc::new(Mutex::new(Vec::new())),
             dead_hooks: Arc::new(Mutex::new(Vec::new())),
         }
@@ -180,27 +203,27 @@ impl HealthChecker {
 
     /// The monitored PUs, sorted.
     pub fn monitored_pus(&self) -> Vec<PuId> {
-        self.state.lock().keys().copied().collect()
+        self.monitored.as_ref().clone()
     }
 
     /// Current liveness verdict for `pu` (None if unmonitored).
     pub fn status(&self, pu: PuId) -> Option<PuStatus> {
-        self.state.lock().get(&pu).map(|r| r.status)
+        let i = *self.index.get(&pu)?;
+        Some(self.state.lock().records[i].status)
     }
 
     /// Current circuit-breaker state for `pu` (None if unmonitored).
     pub fn circuit(&self, pu: PuId) -> Option<CircuitState> {
-        self.state.lock().get(&pu).map(|r| r.circuit)
+        let i = *self.index.get(&pu)?;
+        Some(self.state.lock().records[i].circuit)
     }
 
-    /// PUs declared dead so far, sorted.
+    /// PUs declared dead so far, sorted. O(dead), served from the list
+    /// `declare_dead` appends to — not a filter over every monitored PU.
     pub fn dead_pus(&self) -> Vec<PuId> {
-        self.state
-            .lock()
-            .iter()
-            .filter(|(_, r)| r.status == PuStatus::Dead)
-            .map(|(pu, _)| *pu)
-            .collect()
+        let mut dead = self.state.lock().dead.clone();
+        dead.sort();
+        dead
     }
 
     /// Every recovery run so far, in declaration order.
@@ -214,13 +237,17 @@ impl HealthChecker {
     pub fn probe_round(&self, ctx: &mut ProcCtx) -> Vec<RecoveryReport> {
         let mut out = Vec::new();
         let host = self.gateway.molecule().machine().host_cpu();
-        for pu in self.monitored_pus() {
+        // The monitored list is fixed and shared: a probe round allocates
+        // nothing on its quiet path (the old code cloned the PU list out of
+        // the state map every round — per-round churn at density).
+        let monitored = Arc::clone(&self.monitored);
+        for (i, &pu) in monitored.iter().enumerate() {
             // Respect an open circuit until the half-open window elapses:
             // probing a quarantined PU every round would stall the checker
             // on the xcall timeout each time.
             {
                 let mut st = self.state.lock();
-                let rec = st.get_mut(&pu).expect("monitored");
+                let rec = &mut st.records[i];
                 if rec.status == PuStatus::Dead {
                     continue;
                 }
@@ -266,9 +293,10 @@ impl HealthChecker {
     }
 
     fn note_success(&self, ctx: &mut ProcCtx, pu: PuId) {
+        let i = *self.index.get(&pu).expect("monitored");
         let reopened = {
             let mut st = self.state.lock();
-            let rec = st.get_mut(&pu).expect("monitored");
+            let rec = &mut st.records[i];
             rec.misses = 0;
             rec.first_miss_at = None;
             rec.status = PuStatus::Healthy;
@@ -289,9 +317,10 @@ impl HealthChecker {
     }
 
     fn note_miss(&self, ctx: &mut ProcCtx, pu: PuId) -> Option<RecoveryReport> {
+        let i = *self.index.get(&pu).expect("monitored");
         let (dead, opened) = {
             let mut st = self.state.lock();
-            let rec = st.get_mut(&pu).expect("monitored");
+            let rec = &mut st.records[i];
             rec.misses += 1;
             rec.first_miss_at.get_or_insert(ctx.now());
             if rec.misses >= self.policy.miss_threshold {
@@ -320,16 +349,19 @@ impl HealthChecker {
     }
 
     fn declare_dead(&self, ctx: &mut ProcCtx, pu: PuId) -> Option<RecoveryReport> {
+        let i = *self.index.get(&pu).expect("monitored");
         let first_miss = {
             let mut st = self.state.lock();
-            let rec = st.get_mut(&pu).expect("monitored");
+            let rec = &mut st.records[i];
             if rec.status == PuStatus::Dead {
                 return None;
             }
             rec.status = PuStatus::Dead;
             rec.circuit = CircuitState::Open;
             rec.opened_at = Some(ctx.now());
-            rec.first_miss_at
+            let first = rec.first_miss_at;
+            st.dead.push(pu);
+            first
         };
         let detected_at = ctx.now();
         let molecule = self.gateway.molecule().clone();

@@ -13,6 +13,66 @@ use std::fmt;
 use hetsim::time::{SimDuration, SimTime};
 use vsandbox::spec::FuncId;
 
+/// Arena-backed `FuncId → V` map for the keep-alive policies: dense slot
+/// vector + free list + id→slot index. At 10k+ tracked functions per PU this
+/// beats a plain `HashMap` in the two ways density stresses it: a *touch* of
+/// an already-tracked function is a slot write (the `HashMap` path cloned the
+/// `FuncId` string on every invoke), and forget/insert churn reuses freed
+/// slots instead of rehashing, so `keep_set` scans a dense vector.
+#[derive(Debug, Default)]
+pub(crate) struct FlatScoreMap<V> {
+    slots: Vec<Option<(FuncId, V)>>,
+    free: Vec<u32>,
+    index: HashMap<FuncId, u32>,
+}
+
+impl<V> FlatScoreMap<V> {
+    pub(crate) fn new() -> FlatScoreMap<V> {
+        FlatScoreMap { slots: Vec::new(), free: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Inserts or overwrites; only a first-time insert clones the id.
+    pub(crate) fn touch(&mut self, func: &FuncId, value: V) {
+        if let Some(&i) = self.index.get(func) {
+            self.slots[i as usize].as_mut().expect("indexed slot is live").1 = value;
+            return;
+        }
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some((func.clone(), value));
+                i
+            }
+            None => {
+                self.slots.push(Some((func.clone(), value)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(func.clone(), i);
+    }
+
+    /// Updates an existing entry in place; returns whether it was tracked.
+    pub(crate) fn update(&mut self, func: &FuncId, f: impl FnOnce(&mut V)) -> bool {
+        match self.index.get(func) {
+            Some(&i) => {
+                f(&mut self.slots[i as usize].as_mut().expect("indexed slot is live").1);
+                true
+            }
+            None => false,
+        }
+    }
+
+    pub(crate) fn remove(&mut self, func: &FuncId) -> Option<V> {
+        let i = self.index.remove(func)?;
+        let (_, v) = self.slots[i as usize].take().expect("indexed slot is live");
+        self.free.push(i);
+        Some(v)
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&FuncId, &V)> {
+        self.slots.iter().flatten().map(|(k, v)| (k, v))
+    }
+}
+
 /// Top-`capacity` selection without sorting the whole candidate set:
 /// `select_nth_unstable_by` partitions around the k-th best in O(n), then
 /// only the kept prefix is sorted — O(n + k log k) per keep-alive decision
@@ -74,19 +134,19 @@ pub trait KeepAlivePolicy: fmt::Debug + Send {
 #[derive(Debug)]
 pub struct FixedWindow {
     window: SimDuration,
-    last_used: HashMap<FuncId, SimTime>,
+    last_used: FlatScoreMap<SimTime>,
 }
 
 impl FixedWindow {
     /// Creates the policy with the given keep-alive window.
     pub fn new(window: SimDuration) -> FixedWindow {
-        FixedWindow { window, last_used: HashMap::new() }
+        FixedWindow { window, last_used: FlatScoreMap::new() }
     }
 }
 
 impl KeepAlivePolicy for FixedWindow {
     fn on_invoke(&mut self, func: &FuncId, now: SimTime, _exec: SimDuration, _size: f64) {
-        self.last_used.insert(func.clone(), now);
+        self.last_used.touch(func, now);
     }
 
     fn forget(&mut self, func: &FuncId) {
@@ -96,9 +156,7 @@ impl KeepAlivePolicy for FixedWindow {
     fn on_shed(&mut self, func: &FuncId, now: SimTime) {
         // Only refresh functions we already track: a shed request for a
         // never-invoked function has no instance to keep alive.
-        if let Some(t) = self.last_used.get_mut(func) {
-            *t = now;
-        }
+        self.last_used.update(func, |t| *t = now);
     }
 
     fn keep_set(&mut self, now: SimTime, capacity: usize) -> Vec<FuncId> {
@@ -117,7 +175,7 @@ impl KeepAlivePolicy for FixedWindow {
 /// Least-recently-used eviction.
 #[derive(Debug, Default)]
 pub struct Lru {
-    last_used: HashMap<FuncId, SimTime>,
+    last_used: FlatScoreMap<SimTime>,
 }
 
 impl Lru {
@@ -129,7 +187,7 @@ impl Lru {
 
 impl KeepAlivePolicy for Lru {
     fn on_invoke(&mut self, func: &FuncId, now: SimTime, _exec: SimDuration, _size: f64) {
-        self.last_used.insert(func.clone(), now);
+        self.last_used.touch(func, now);
     }
 
     fn forget(&mut self, func: &FuncId) {
@@ -137,9 +195,7 @@ impl KeepAlivePolicy for Lru {
     }
 
     fn on_shed(&mut self, func: &FuncId, now: SimTime) {
-        if let Some(t) = self.last_used.get_mut(func) {
-            *t = now;
-        }
+        self.last_used.update(func, |t| *t = now);
     }
 
     fn keep_set(&mut self, _now: SimTime, capacity: usize) -> Vec<FuncId> {
@@ -157,7 +213,7 @@ impl KeepAlivePolicy for Lru {
 #[derive(Debug, Default)]
 pub struct GreedyDual {
     clock: f64,
-    priority: HashMap<FuncId, f64>,
+    priority: FlatScoreMap<f64>,
 }
 
 impl GreedyDual {
@@ -171,7 +227,7 @@ impl KeepAlivePolicy for GreedyDual {
     fn on_invoke(&mut self, func: &FuncId, _now: SimTime, exec: SimDuration, size: f64) {
         let cost = exec.as_millis_f64();
         let p = self.clock + cost / size.max(1e-9);
-        self.priority.insert(func.clone(), p);
+        self.priority.touch(func, p);
     }
 
     fn forget(&mut self, func: &FuncId) {

@@ -44,6 +44,7 @@ pub mod gateway;
 pub mod health;
 pub mod keepalive;
 pub mod metrics;
+pub mod proxy;
 pub mod regions;
 pub mod runtime;
 pub mod schedule;
@@ -53,6 +54,7 @@ pub use error::MoleculeError;
 pub use function::{ExecModel, FunctionDef, FunctionRegistry};
 pub use gateway::{ApiGateway, GatewayConfig, GatewayStats, RequestReport};
 pub use health::{CircuitState, HealthChecker, HealthPolicy, PuStatus, RecoveryReport};
+pub use proxy::{ProxyClient, ProxyError, ProxyPool, ProxyPoolConfig, ProxyReply, ProxyStats};
 pub use regions::RegionDirectory;
 pub use runtime::{
     InstanceId, InvokeReport, Molecule, MoleculeConfig, PurgeReport, StartupKind, StartupReport,

@@ -68,6 +68,10 @@ pub struct MoleculeConfig {
     pub dedicated_templates: bool,
     /// Price table for metering.
     pub prices: PriceTable,
+    /// cfork children with the dense memory profile (small private working
+    /// set, most of the template kept COW-shared) — the 10k-sandboxes-per-PU
+    /// configuration.
+    pub dense_sandboxes: bool,
 }
 
 impl Default for MoleculeConfig {
@@ -78,6 +82,7 @@ impl Default for MoleculeConfig {
             cpuset_patch: true,
             dedicated_templates: true,
             prices: PriceTable::default(),
+            dense_sandboxes: false,
         }
     }
 }
@@ -459,6 +464,7 @@ impl Molecule {
                 })?;
                 let opts = CforkOpts {
                     use_preinit_container: self.inner.config.preinit_containers_per_pu > 0,
+                    dense: self.inner.config.dense_sandboxes,
                 };
                 runc.cfork(ctx, &template, &sandbox, &cfg, opts)?;
                 if self.inner.config.dedicated_templates {

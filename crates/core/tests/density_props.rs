@@ -1,0 +1,497 @@
+//! Property suite for the high-density resident-state structures.
+//!
+//! The density work replaced the seed's `BTreeMap`-backed keep-alive books
+//! and capability table with arena/index-backed structures (`FlatScoreMap`,
+//! the per-PU and per-object indices in `CapTable`). Those are pure
+//! representation changes: every observable operation must agree
+//! byte-for-byte with the simple ordered-map semantics the seed had. This
+//! suite drives both implementations with randomized operation sequences —
+//! insert/touch/evict/purge for the keep-alive set, the full
+//! register/create/grant/revoke/destroy/remove alphabet for the cap table —
+//! and compares against `BTreeMap` reference models after every step,
+//! including the eviction-boundary (entries exactly at the keep-alive
+//! window's edge) and dead-PU-purge (bulk `forget_many` / `remove_process`
+//! sweep) edges.
+
+use std::collections::BTreeMap;
+
+use hetsim::pu::PuId;
+use hetsim::time::{SimDuration, SimTime};
+use molecule_core::keepalive::{FixedWindow, GreedyDual, KeepAlivePolicy, Lru};
+use proptest::prelude::*;
+use vsandbox::spec::FuncId;
+use xpu_shim::cap::{CapError, CapTable, ObjKind, Perm};
+use xpu_shim::id::{ObjId, XpuPid};
+
+// ---------------------------------------------------------------------------
+// Keep-alive policies vs an ordered-map reference
+// ---------------------------------------------------------------------------
+
+const FUNC_POOL: usize = 24;
+const PU_POOL: usize = 4;
+
+/// The keep-alive window used by the `FixedWindow` runs. Deltas are drawn
+/// from `0..=60` ms so sequences regularly place a function's last use
+/// *exactly* `WINDOW_MS` before a `KeepSet` probe — the boundary the seed's
+/// `<=` comparison keeps and an off-by-one would evict.
+const WINDOW_MS: u64 = 50;
+
+fn func(i: usize) -> FuncId {
+    FuncId::new(format!("fn-{i:02}"))
+}
+
+/// Functions are statically assigned to PUs round-robin; a `PurgePu` op
+/// models the health checker bulk-forgetting everything a dead PU hosted.
+fn funcs_on_pu(pu: usize) -> Vec<FuncId> {
+    (0..FUNC_POOL).filter(|i| i % PU_POOL == pu).map(func).collect()
+}
+
+#[derive(Debug, Clone)]
+enum KaOp {
+    /// Advance time by `delta_ms`, then record an invocation.
+    Invoke { func: usize, delta_ms: u64, exec_ms: u64, size_q: u8 },
+    /// Advance time, then record a shed request (admission-control bounce).
+    Shed { func: usize, delta_ms: u64 },
+    /// Evict one function.
+    Forget { func: usize },
+    /// Dead-PU purge: bulk-forget every function assigned to `pu`.
+    PurgePu { pu: usize },
+    /// Probe the keep set at the current time and compare both sides.
+    KeepSet { capacity: usize },
+}
+
+fn ka_op() -> impl Strategy<Value = KaOp> {
+    prop_oneof![
+        4 => (0..FUNC_POOL, 0u64..=60, 1u64..=500, 1u8..=4)
+            .prop_map(|(func, delta_ms, exec_ms, size_q)| KaOp::Invoke {
+                func,
+                delta_ms,
+                exec_ms,
+                size_q,
+            }),
+        1 => (0..FUNC_POOL, 0u64..=60).prop_map(|(func, delta_ms)| KaOp::Shed { func, delta_ms }),
+        1 => (0..FUNC_POOL).prop_map(|func| KaOp::Forget { func }),
+        1 => (0..PU_POOL).prop_map(|pu| KaOp::PurgePu { pu }),
+        2 => (0..=FUNC_POOL + 6).prop_map(|capacity| KaOp::KeepSet { capacity }),
+    ]
+}
+
+/// The seed's representation: one ordered map from function to last-use
+/// time, sorted on demand. `window` is `None` for plain LRU.
+#[derive(Default)]
+struct RefRecency {
+    last_used: BTreeMap<FuncId, SimTime>,
+}
+
+impl RefRecency {
+    fn keep_set(&self, now: SimTime, window: Option<SimDuration>, capacity: usize) -> Vec<FuncId> {
+        let mut alive: Vec<(&FuncId, &SimTime)> = self
+            .last_used
+            .iter()
+            .filter(|(_, &t)| window.is_none_or(|w| now.saturating_duration_since(t) <= w))
+            .collect();
+        alive.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        alive.into_iter().take(capacity).map(|(f, _)| f.clone()).collect()
+    }
+}
+
+/// Drives `policy` and the reference through the same sequence, comparing
+/// at every `KeepSet` probe and once more exhaustively at the end.
+fn check_recency_policy(
+    policy: &mut dyn KeepAlivePolicy,
+    window: Option<SimDuration>,
+    ops: &[KaOp],
+) -> Result<(), TestCaseError> {
+    let mut reference = RefRecency::default();
+    let mut now = SimTime::ZERO;
+    for op in ops {
+        match op {
+            KaOp::Invoke { func: i, delta_ms, exec_ms, size_q } => {
+                now += SimDuration::from_millis(*delta_ms);
+                let f = func(*i);
+                policy.on_invoke(&f, now, SimDuration::from_millis(*exec_ms), f64::from(*size_q));
+                reference.last_used.insert(f, now);
+            }
+            KaOp::Shed { func: i, delta_ms } => {
+                now += SimDuration::from_millis(*delta_ms);
+                let f = func(*i);
+                policy.on_shed(&f, now);
+                // Seed semantics: a shed only refreshes *tracked* functions.
+                if let Some(t) = reference.last_used.get_mut(&f) {
+                    *t = now;
+                }
+            }
+            KaOp::Forget { func: i } => {
+                let f = func(*i);
+                policy.forget(&f);
+                reference.last_used.remove(&f);
+            }
+            KaOp::PurgePu { pu } => {
+                let dead = funcs_on_pu(*pu);
+                policy.forget_many(&dead);
+                for f in &dead {
+                    reference.last_used.remove(f);
+                }
+            }
+            KaOp::KeepSet { capacity } => {
+                prop_assert_eq!(
+                    policy.keep_set(now, *capacity),
+                    reference.keep_set(now, window, *capacity),
+                    "keep_set diverged at now={:?} capacity={}",
+                    now,
+                    capacity
+                );
+            }
+        }
+    }
+    for capacity in [0, 1, FUNC_POOL / 2, FUNC_POOL, FUNC_POOL + 9] {
+        prop_assert_eq!(
+            policy.keep_set(now, capacity),
+            reference.keep_set(now, window, capacity),
+            "final keep_set diverged at capacity={}",
+            capacity
+        );
+    }
+    Ok(())
+}
+
+/// Greedy-Dual reference: priority map plus the aging clock, advanced on
+/// eviction exactly as the policy does (same float op order → same bits).
+#[derive(Default)]
+struct RefGreedyDual {
+    clock: f64,
+    priority: BTreeMap<FuncId, f64>,
+}
+
+impl RefGreedyDual {
+    fn keep_set(&self, capacity: usize) -> Vec<FuncId> {
+        let mut all: Vec<(&FuncId, &f64)> = self.priority.iter().collect();
+        all.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap().then_with(|| a.0.cmp(b.0)));
+        all.into_iter().take(capacity).map(|(f, _)| f.clone()).collect()
+    }
+}
+
+proptest! {
+    /// `Lru` over the flat arena == ordered-map sort-and-truncate, for any
+    /// op sequence including bulk dead-PU purges.
+    #[test]
+    fn lru_matches_btreemap_reference(ops in proptest::collection::vec(ka_op(), 1..140)) {
+        check_recency_policy(&mut Lru::new(), None, &ops)?;
+    }
+
+    /// `FixedWindow` agrees with the reference including entries lying
+    /// exactly on the eviction boundary (`elapsed == window` is kept).
+    #[test]
+    fn fixed_window_matches_btreemap_reference(
+        ops in proptest::collection::vec(ka_op(), 1..140),
+    ) {
+        let window = SimDuration::from_millis(WINDOW_MS);
+        check_recency_policy(&mut FixedWindow::new(window), Some(window), &ops)?;
+    }
+
+    /// Greedy-Dual priorities, clock aging on eviction included, agree
+    /// bit-for-bit with the ordered-map reference.
+    #[test]
+    fn greedy_dual_matches_btreemap_reference(
+        ops in proptest::collection::vec(ka_op(), 1..140),
+    ) {
+        let mut policy = GreedyDual::new();
+        let mut reference = RefGreedyDual::default();
+        let mut now = SimTime::ZERO;
+        for op in &ops {
+            match op {
+                KaOp::Invoke { func: i, delta_ms, exec_ms, size_q } => {
+                    now += SimDuration::from_millis(*delta_ms);
+                    let f = func(*i);
+                    let exec = SimDuration::from_millis(*exec_ms);
+                    let size = f64::from(*size_q);
+                    policy.on_invoke(&f, now, exec, size);
+                    let p = reference.clock + exec.as_millis_f64() / size.max(1e-9);
+                    reference.priority.insert(f, p);
+                }
+                KaOp::Shed { func: i, delta_ms } => {
+                    now += SimDuration::from_millis(*delta_ms);
+                    policy.on_shed(&func(*i), now); // ignored by Greedy-Dual
+                }
+                KaOp::Forget { func: i } => {
+                    let f = func(*i);
+                    policy.forget(&f);
+                    if let Some(p) = reference.priority.remove(&f) {
+                        reference.clock = reference.clock.max(p);
+                    }
+                }
+                KaOp::PurgePu { pu } => {
+                    let dead = funcs_on_pu(*pu);
+                    policy.forget_many(&dead);
+                    for f in &dead {
+                        if let Some(p) = reference.priority.remove(f) {
+                            reference.clock = reference.clock.max(p);
+                        }
+                    }
+                }
+                KaOp::KeepSet { capacity } => {
+                    prop_assert_eq!(
+                        policy.keep_set(now, *capacity),
+                        reference.keep_set(*capacity),
+                        "keep_set diverged at capacity={}",
+                        capacity
+                    );
+                }
+            }
+        }
+        for capacity in [0, 1, FUNC_POOL, FUNC_POOL + 9] {
+            prop_assert_eq!(policy.keep_set(now, capacity), reference.keep_set(capacity));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CapTable vs an ordered-map reference
+// ---------------------------------------------------------------------------
+
+const CAP_PUS: u16 = 3;
+const CAP_LOCALS: u32 = 3;
+
+fn cap_pid(i: usize) -> XpuPid {
+    let i = i % (CAP_PUS as usize * CAP_LOCALS as usize);
+    XpuPid { pu: PuId((i as u16) % CAP_PUS), local: (i as u32) / u32::from(CAP_PUS) }
+}
+
+fn perm_bits(bits: u8) -> Perm {
+    let mut p = Perm::NONE;
+    if bits & 1 != 0 {
+        p |= Perm::READ;
+    }
+    if bits & 2 != 0 {
+        p |= Perm::WRITE;
+    }
+    if bits & 4 != 0 {
+        p |= Perm::OWNER;
+    }
+    p
+}
+
+#[derive(Debug, Clone)]
+enum CapOp {
+    Register {
+        pid: usize,
+    },
+    Remove {
+        pid: usize,
+    },
+    Create {
+        owner: usize,
+    },
+    /// Destroy the `obj`-th object ever created (mod live count).
+    Destroy {
+        obj: usize,
+    },
+    Grant {
+        actor: usize,
+        to: usize,
+        obj: usize,
+        bits: u8,
+    },
+    Revoke {
+        actor: usize,
+        from: usize,
+        obj: usize,
+        bits: u8,
+    },
+    /// Dead-PU purge: remove every process registered on `pu`.
+    PurgePu {
+        pu: u16,
+    },
+}
+
+fn cap_op() -> impl Strategy<Value = CapOp> {
+    let pids = CAP_PUS as usize * CAP_LOCALS as usize;
+    prop_oneof![
+        3 => (0..pids).prop_map(|pid| CapOp::Register { pid }),
+        1 => (0..pids).prop_map(|pid| CapOp::Remove { pid }),
+        3 => (0..pids).prop_map(|owner| CapOp::Create { owner }),
+        1 => (0..32usize).prop_map(|obj| CapOp::Destroy { obj }),
+        4 => (0..pids, 0..pids, 0..32usize, 1u8..=7)
+            .prop_map(|(actor, to, obj, bits)| CapOp::Grant { actor, to, obj, bits }),
+        2 => (0..pids, 0..pids, 0..32usize, 1u8..=7)
+            .prop_map(|(actor, from, obj, bits)| CapOp::Revoke { actor, from, obj, bits }),
+        1 => (0..CAP_PUS).prop_map(|pu| CapOp::PurgePu { pu }),
+    ]
+}
+
+/// The seed's cap-table shape: per-process ordered cap maps and an object
+/// registry, with `destroy`/`pids_on`/`holders_of` answered by full scans.
+#[derive(Default)]
+struct RefCaps {
+    groups: BTreeMap<XpuPid, BTreeMap<ObjId, Perm>>,
+    objects: BTreeMap<ObjId, ObjKind>,
+}
+
+impl RefCaps {
+    fn check(&self, pid: XpuPid, obj: ObjId, required: Perm) -> Result<(), CapError> {
+        if !self.objects.contains_key(&obj) {
+            return Err(CapError::UnknownObject(obj));
+        }
+        let group = self.groups.get(&pid).ok_or(CapError::UnknownProcess(pid))?;
+        let held = group.get(&obj).copied().unwrap_or(Perm::NONE);
+        if held.contains(required) {
+            Ok(())
+        } else {
+            Err(CapError::PermissionDenied { actor: pid, obj, required })
+        }
+    }
+
+    fn grant(&mut self, actor: XpuPid, to: XpuPid, obj: ObjId, perm: Perm) -> Result<(), CapError> {
+        self.check(actor, obj, Perm::OWNER)?;
+        if !self.groups.contains_key(&to) {
+            return Err(CapError::UnknownProcess(to));
+        }
+        let entry = self.groups.get_mut(&to).unwrap().entry(obj).or_insert(Perm::NONE);
+        *entry |= perm;
+        Ok(())
+    }
+
+    fn revoke(
+        &mut self,
+        actor: XpuPid,
+        from: XpuPid,
+        obj: ObjId,
+        perm: Perm,
+    ) -> Result<(), CapError> {
+        self.check(actor, obj, Perm::OWNER)?;
+        let group = self.groups.get_mut(&from).ok_or(CapError::UnknownProcess(from))?;
+        if let Some(entry) = group.get_mut(&obj) {
+            *entry = entry.without(perm);
+            if entry.is_empty() {
+                group.remove(&obj);
+            }
+        }
+        Ok(())
+    }
+
+    fn destroy(&mut self, obj: ObjId) -> Result<(), CapError> {
+        self.objects.remove(&obj).ok_or(CapError::UnknownObject(obj))?;
+        for group in self.groups.values_mut() {
+            group.remove(&obj);
+        }
+        Ok(())
+    }
+
+    fn entries(&self) -> Vec<(XpuPid, ObjId, Perm)> {
+        self.groups
+            .iter()
+            .flat_map(|(pid, group)| group.iter().map(|(obj, perm)| (*pid, *obj, *perm)))
+            .collect()
+    }
+
+    fn pids_on(&self, pu: PuId) -> Vec<XpuPid> {
+        self.groups.keys().copied().filter(|pid| pid.pu == pu).collect()
+    }
+
+    fn holders_of(&self, obj: ObjId) -> Vec<XpuPid> {
+        self.groups.iter().filter(|(_, g)| g.contains_key(&obj)).map(|(pid, _)| *pid).collect()
+    }
+}
+
+proptest! {
+    /// Every observable of the indexed `CapTable` — flattened entries, the
+    /// per-PU pid index, the reverse holders index, object/process id
+    /// listings, and each operation's `Result` — agrees with the full-scan
+    /// `BTreeMap` reference for any op sequence, dead-PU purges included.
+    #[test]
+    fn cap_table_matches_btreemap_reference(
+        ops in proptest::collection::vec(cap_op(), 1..120),
+    ) {
+        let mut table = CapTable::new();
+        let mut reference = RefCaps::default();
+        // Objects the *table* allocated, in creation order; `Destroy`/
+        // `Grant`/`Revoke` pick from this list so ids always agree.
+        let mut created: Vec<ObjId> = Vec::new();
+        let pick = |created: &[ObjId], i: usize| -> Option<ObjId> {
+            if created.is_empty() { None } else { Some(created[i % created.len()]) }
+        };
+        for op in &ops {
+            match op {
+                CapOp::Register { pid } => {
+                    let p = cap_pid(*pid);
+                    table.register_process(p);
+                    reference.groups.entry(p).or_default();
+                }
+                CapOp::Remove { pid } => {
+                    let p = cap_pid(*pid);
+                    table.remove_process(p);
+                    reference.groups.remove(&p);
+                }
+                CapOp::Create { owner } => {
+                    let p = cap_pid(*owner);
+                    let kind = if owner % 2 == 0 { ObjKind::Ipc } else { ObjKind::Region };
+                    match table.create_object(p, kind) {
+                        Ok(obj) => {
+                            prop_assert!(reference.groups.contains_key(&p));
+                            reference.objects.insert(obj, kind);
+                            reference.groups.get_mut(&p).unwrap().insert(obj, Perm::ALL);
+                            created.push(obj);
+                        }
+                        Err(e) => {
+                            prop_assert_eq!(e, CapError::UnknownProcess(p));
+                            prop_assert!(!reference.groups.contains_key(&p));
+                        }
+                    }
+                }
+                CapOp::Destroy { obj } => {
+                    if let Some(obj) = pick(&created, *obj) {
+                        prop_assert_eq!(table.destroy_object(obj), reference.destroy(obj));
+                    }
+                }
+                CapOp::Grant { actor, to, obj, bits } => {
+                    if let Some(obj) = pick(&created, *obj) {
+                        let (a, t) = (cap_pid(*actor), cap_pid(*to));
+                        let perm = perm_bits(*bits);
+                        prop_assert_eq!(
+                            table.grant(a, t, obj, perm),
+                            reference.grant(a, t, obj, perm)
+                        );
+                    }
+                }
+                CapOp::Revoke { actor, from, obj, bits } => {
+                    if let Some(obj) = pick(&created, *obj) {
+                        let (a, f) = (cap_pid(*actor), cap_pid(*from));
+                        let perm = perm_bits(*bits);
+                        prop_assert_eq!(
+                            table.revoke(a, f, obj, perm),
+                            reference.revoke(a, f, obj, perm)
+                        );
+                    }
+                }
+                CapOp::PurgePu { pu } => {
+                    // The crash sweep: enumerate the dead PU's pids from the
+                    // index, then drop each process.
+                    let dead = PuId(*pu);
+                    let swept = table.pids_on(dead);
+                    prop_assert_eq!(&swept, &reference.pids_on(dead));
+                    for pid in swept {
+                        table.remove_process(pid);
+                        reference.groups.remove(&pid);
+                    }
+                    prop_assert!(table.pids_on(dead).is_empty());
+                }
+            }
+            // Byte-for-byte agreement on every flattened observable.
+            prop_assert_eq!(table.entries(), reference.entries());
+            prop_assert_eq!(
+                table.object_ids(),
+                reference.objects.keys().copied().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(
+                table.process_ids(),
+                reference.groups.keys().copied().collect::<Vec<_>>()
+            );
+            for pu in 0..CAP_PUS {
+                prop_assert_eq!(table.pids_on(PuId(pu)), reference.pids_on(PuId(pu)));
+            }
+            for &obj in &created {
+                prop_assert_eq!(table.holders_of(obj), reference.holders_of(obj));
+            }
+        }
+    }
+}

@@ -221,6 +221,11 @@ pub struct MemoryModel {
     pub cfork_shared_pages: u64,
     /// Pages a cforked child has made private (written after fork).
     pub cfork_private_pages: u64,
+    /// Private pages of a *dense-profile* cforked child: the runtime is
+    /// trimmed for 10k-per-PU density (no JIT scratch, shared arenas,
+    /// lazily-materialized heaps), so the child dirties far fewer template
+    /// pages. Sets the asymptotic PSS/sandbox of the high-density study.
+    pub dense_private_pages: u64,
 }
 
 /// Scheduling/density capacities (Fig. 2a).
@@ -437,6 +442,10 @@ impl Calibration {
                 template_pages: 1_500,
                 cfork_shared_pages: 1_500,
                 cfork_private_pages: 1_750,
+                // ~2 MiB of truly-private state per dense child: at 10k
+                // sandboxes PSS/sandbox ≈ (512 + 1500/N + ...) pages ≈ 0.18x
+                // the 3250-page baseline instance.
+                dense_private_pages: 512,
             },
             density: DensityModel {
                 // Fig. 2a: 1000 instances on the CPU, +256 per BlueField DPU.

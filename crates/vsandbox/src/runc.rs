@@ -30,6 +30,13 @@ pub struct CforkOpts {
     /// Settle the child in a pre-initialized function container instead of
     /// creating one on the critical path ("FuncContainer").
     pub use_preinit_container: bool,
+    /// Dense profile: the child dirties only
+    /// [`MemoryModel::dense_private_pages`] instead of the full
+    /// `cfork_private_pages` working set, trading first-run warmth for the
+    /// sub-linear PSS curve the 10k-sandbox density study depends on.
+    ///
+    /// [`MemoryModel::dense_private_pages`]: hetsim::calib::MemoryModel::dense_private_pages
+    pub dense: bool,
 }
 
 #[derive(Debug)]
@@ -286,8 +293,15 @@ impl RuncRuntime {
         ctx.sleep(self.inner.container.conn_handshake);
 
         // 4. Function state: the child COW-shares the template image and
-        //    makes its own working set private.
-        self.inner.os.map_private(child, self.inner.memory.cfork_private_pages)?;
+        //    makes its own working set private. A dense-profile child keeps
+        //    most of the template COW-shared and dirties only the small
+        //    dense working set.
+        let private_pages = if opts.dense {
+            self.inner.memory.dense_private_pages
+        } else {
+            self.inner.memory.cfork_private_pages
+        };
+        self.inner.os.map_private(child, private_pages)?;
 
         let mut st = self.inner.state.lock();
         st.sandboxes.insert(
@@ -400,6 +414,27 @@ impl RuncRuntime {
     pub fn pss_bytes(&self, id: &SandboxId) -> Option<f64> {
         let pid = self.os_pid(id)?;
         self.inner.os.pss_bytes(pid, self.inner.memory.page_bytes)
+    }
+
+    /// Sum of RSS over every live sandbox (templates included) — the naive
+    /// "what `ps` adds up to" number, which double-counts shared pages.
+    pub fn fleet_rss_bytes(&self) -> u64 {
+        let pids: Vec<OsPid> =
+            self.inner.state.lock().sandboxes.values().filter_map(|c| c.os_pid).collect();
+        pids.iter()
+            .filter_map(|&pid| self.inner.os.rss_bytes(pid, self.inner.memory.page_bytes))
+            .sum()
+    }
+
+    /// Sum of PSS over every live sandbox (templates included): shared pages
+    /// are charged fractionally, so this is the fleet's true resident
+    /// footprint — the number the density gate divides by the sandbox count.
+    pub fn fleet_pss_bytes(&self) -> f64 {
+        let pids: Vec<OsPid> =
+            self.inner.state.lock().sandboxes.values().filter_map(|c| c.os_pid).collect();
+        pids.iter()
+            .filter_map(|&pid| self.inner.os.pss_bytes(pid, self.inner.memory.page_bytes))
+            .sum()
     }
 
     /// OCI extension verb: maps a shared-state region's backing block into a
@@ -718,7 +753,7 @@ mod tests {
                 &template,
                 &"preinit".into(),
                 &cfg(),
-                CforkOpts { use_preinit_container: true },
+                CforkOpts { use_preinit_container: true, ..CforkOpts::default() },
             )
             .unwrap();
             out.push((ctx.now() - t0).as_millis_f64());
@@ -731,7 +766,7 @@ mod tests {
                 &template,
                 &"patched".into(),
                 &cfg(),
-                CforkOpts { use_preinit_container: true },
+                CforkOpts { use_preinit_container: true, ..CforkOpts::default() },
             )
             .unwrap();
             out.push((ctx.now() - t0).as_millis_f64());
@@ -762,6 +797,47 @@ mod tests {
         // template 1500 shared + 1750 private pages.
         assert_eq!(rss, 3250 * page);
         assert_eq!(pss, (1750.0 + 1500.0 / 2.0) * page as f64);
+    }
+
+    #[test]
+    fn dense_cfork_keeps_private_working_set_small() {
+        let rt = desktop_runtime();
+        let mut sim = Simulation::new();
+        let rt2 = rt.clone();
+        let h = sim.spawn("dense", move |ctx| {
+            let template = rt2.prepare_template(ctx, LangRuntime::Python, 256).unwrap();
+            for i in 0..8 {
+                rt2.cfork(
+                    ctx,
+                    &template,
+                    &format!("d{i}").as_str().into(),
+                    &cfg(),
+                    CforkOpts { dense: true, ..CforkOpts::default() },
+                )
+                .unwrap();
+            }
+            (
+                rt2.rss_bytes(&"d0".into()).unwrap(),
+                rt2.pss_bytes(&"d0".into()).unwrap(),
+                rt2.fleet_rss_bytes(),
+                rt2.fleet_pss_bytes(),
+            )
+        });
+        sim.run().unwrap();
+        let (rss, pss, fleet_rss, fleet_pss) = h.take_result().unwrap();
+        let page = 4096u64;
+        // Dense child: 1500 template pages COW-shared + 512 private.
+        assert_eq!(rss, (1500 + 512) * page);
+        // Template shared 9 ways (template itself + 8 children).
+        assert_eq!(pss, (512.0 + 1500.0 / 9.0) * page as f64);
+        // Fleet RSS double-counts the shared template; fleet PSS does not:
+        // 9 * (512 + 1500/9) + template's own share ≈ 1500 + 9*512.
+        assert_eq!(fleet_rss, 9 * 1500 * page + 8 * 512 * page);
+        let expected_fleet_pss = (1500 + 8 * 512) as f64 * page as f64;
+        assert!(
+            (fleet_pss - expected_fleet_pss).abs() < 1.0,
+            "fleet PSS {fleet_pss} != {expected_fleet_pss}"
+        );
     }
 
     #[test]

@@ -99,6 +99,15 @@ pub struct ShimConfig {
     pub xcall_timeout: SimDuration,
     /// Backoff policy for [`crate::fifo::XpuFifoWriter::write_with_retry`].
     pub retry: RetryPolicy,
+    /// Dead-PU reclamation sweeps at most this many resources (processes or
+    /// UUIDs) per burst before yielding to the engine, so a 10k-sandbox PU
+    /// death is an amortized sweep rather than a stop-the-world walk.
+    pub reclaim_batch: usize,
+    /// Virtual time charged between reclamation bursts — the yield that lets
+    /// unrelated invokes interleave with a large sweep. Small reclaims
+    /// (fewer resources than one batch) never pay it, preserving the
+    /// fault-recovery latencies measured before batching existed.
+    pub reclaim_batch_pause: SimDuration,
 }
 
 impl Default for ShimConfig {
@@ -110,6 +119,8 @@ impl Default for ShimConfig {
             lazy_batch: 8,
             xcall_timeout: SimDuration::from_micros(200),
             retry: RetryPolicy::default(),
+            reclaim_batch: 256,
+            reclaim_batch_pause: SimDuration::from_nanos(500),
         }
     }
 }
@@ -159,6 +170,8 @@ pub struct ShimStats {
     pub reclaimed_uuids: u64,
     /// Dead-PU reclamation sweeps performed.
     pub pu_reclaims: u64,
+    /// Bounded bursts the amortized dead-PU sweeps were split into.
+    pub reclaim_batches: u64,
     /// Cross-PU writes that shared a doorbell within the coalescing window
     /// (each paid only the marginal coalesced cost).
     pub batched_xcalls: u64,
@@ -253,9 +266,50 @@ struct ClusterState {
     /// UUIDs already reclaimed through the crash path — the guard that makes
     /// reclamation exactly-once even when the UUID-free message duplicates.
     reclaimed: HashSet<GlobalUuid>,
+    /// Per-PU index over `fifos` (keyed by owner PU): the crash sweep reads
+    /// the dead PU's own UUID set instead of filtering every live FIFO.
+    fifos_by_pu: HashMap<PuId, HashSet<GlobalUuid>>,
+    /// Per-PU index over `regions`, same purpose.
+    regions_by_pu: HashMap<PuId, HashSet<GlobalUuid>>,
     /// When each (source, destination) link's doorbell last rang: writes
     /// landing within the coalescing window of the ring share that wakeup.
     doorbells: HashMap<(PuId, PuId), SimTime>,
+}
+
+impl ClusterState {
+    /// All `fifos`/`regions` mutations go through these four helpers so the
+    /// per-PU indices can never drift from the primary maps.
+    fn insert_fifo(&mut self, uuid: GlobalUuid, entry: FifoEntry) {
+        self.fifos_by_pu.entry(entry.owner.pu).or_default().insert(uuid.clone());
+        self.fifos.insert(uuid, entry);
+    }
+
+    fn remove_fifo(&mut self, uuid: &GlobalUuid) -> Option<FifoEntry> {
+        let entry = self.fifos.remove(uuid)?;
+        if let Some(set) = self.fifos_by_pu.get_mut(&entry.owner.pu) {
+            set.remove(uuid);
+            if set.is_empty() {
+                self.fifos_by_pu.remove(&entry.owner.pu);
+            }
+        }
+        Some(entry)
+    }
+
+    fn insert_region(&mut self, uuid: GlobalUuid, entry: RegionEntry) {
+        self.regions_by_pu.entry(entry.owner.pu).or_default().insert(uuid.clone());
+        self.regions.insert(uuid, entry);
+    }
+
+    fn remove_region(&mut self, uuid: &GlobalUuid) -> Option<RegionEntry> {
+        let entry = self.regions.remove(uuid)?;
+        if let Some(set) = self.regions_by_pu.get_mut(&entry.owner.pu) {
+            set.remove(uuid);
+            if set.is_empty() {
+                self.regions_by_pu.remove(&entry.owner.pu);
+            }
+        }
+        Some(entry)
+    }
 }
 
 /// Per-(link, payload-size-bucket) cost estimates for the adaptive selector:
@@ -327,6 +381,8 @@ impl ShimCluster {
                     stats: ShimStats::default(),
                     next_key: 0,
                     reclaimed: HashSet::new(),
+                    fifos_by_pu: HashMap::new(),
+                    regions_by_pu: HashMap::new(),
                     doorbells: HashMap::new(),
                 }),
                 arenas,
@@ -843,7 +899,7 @@ impl ShimCluster {
                 return Err(ShimError::UuidTaken(uuid));
             }
             let obj = st.caps.create_object(caller, ObjKind::Ipc)?;
-            st.fifos.insert(
+            st.insert_fifo(
                 uuid.clone(),
                 FifoEntry { obj, owner: caller, tx, last_arrival: SimTime::ZERO },
             );
@@ -1110,8 +1166,7 @@ impl ShimCluster {
         self.charge_xpucall(ctx, owner.pu, owner.pu, 8)?;
         {
             let mut st = self.inner.state.lock();
-            let entry =
-                st.fifos.remove(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
+            let entry = st.remove_fifo(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
             st.caps.destroy_object(entry.obj)?;
         }
         // Any zero-copy slots still parked for this FIFO (descriptor sent
@@ -1150,7 +1205,7 @@ impl ShimCluster {
                 return Err(ShimError::UuidTaken(uuid));
             }
             let obj = st.caps.create_object(owner, ObjKind::Region)?;
-            st.regions.insert(uuid.clone(), RegionEntry { obj, owner });
+            st.insert_region(uuid.clone(), RegionEntry { obj, owner });
             obj
         };
         self.sync_immediate(ctx, owner.pu);
@@ -1176,7 +1231,7 @@ impl ShimCluster {
             let mut st = self.inner.state.lock();
             let entry = st.regions.get(uuid).ok_or_else(|| ShimError::UnknownUuid(uuid.clone()))?;
             st.caps.check(caller, entry.obj, Perm::OWNER)?;
-            let entry = st.regions.remove(uuid).expect("checked above");
+            let entry = st.remove_region(uuid).expect("checked above");
             st.caps.destroy_object(entry.obj)?;
         }
         self.reclaim_fifo_segments(uuid);
@@ -1452,41 +1507,64 @@ impl ShimCluster {
     /// The capability revocations themselves synchronize immediately.
     ///
     /// Idempotent: a second sweep of the same PU finds nothing.
+    ///
+    /// Amortized: the candidate lists come from per-PU indices (O(resources
+    /// on `dead`), never a scan of every live FIFO/region/process), and a
+    /// sweep larger than [`ShimConfig::reclaim_batch`] releases the state
+    /// lock and yields [`ShimConfig::reclaim_batch_pause`] of virtual time
+    /// between bursts, so unrelated invokes interleave with a 10k-sandbox
+    /// reclamation instead of stalling behind a stop-the-world walk. Sweeps
+    /// that fit in one batch pay no pause at all.
     pub fn reclaim_pu(&self, ctx: &mut ProcCtx, dead: PuId) -> ReclaimReport {
         let t0 = ctx.now();
         let host = self.inner.machine.host_cpu();
         let (pids, uuids, region_uuids) = {
             let st = self.inner.state.lock();
             let pids = st.caps.pids_on(dead);
-            let mut uuids: Vec<GlobalUuid> = st
-                .fifos
-                .iter()
-                .filter(|(_, entry)| entry.owner.pu == dead)
-                .map(|(uuid, _)| uuid.clone())
-                .collect();
+            let mut uuids: Vec<GlobalUuid> =
+                st.fifos_by_pu.get(&dead).map(|s| s.iter().cloned().collect()).unwrap_or_default();
             uuids.sort();
             let mut region_uuids: Vec<GlobalUuid> = st
-                .regions
-                .iter()
-                .filter(|(_, entry)| entry.owner.pu == dead)
-                .map(|(uuid, _)| uuid.clone())
-                .collect();
+                .regions_by_pu
+                .get(&dead)
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
             region_uuids.sort();
             (pids, uuids, region_uuids)
         };
+        let batch = self.inner.config.reclaim_batch.max(1);
+        let pause = self.inner.config.reclaim_batch_pause;
+        let total = pids.len() + uuids.len() + region_uuids.len();
+        let amortize = total > batch;
+        let mut processed = 0usize;
+        let mut bursts = 0u64;
         let mut caps_dropped = 0usize;
-        {
-            let mut st = self.inner.state.lock();
-            for pid in &pids {
-                caps_dropped += st.caps.group(*pid).map_or(0, |g| g.len());
-                st.caps.remove_process(*pid);
+        for chunk in pids.chunks(batch) {
+            {
+                let mut st = self.inner.state.lock();
+                for pid in chunk {
+                    caps_dropped += st.caps.group(*pid).map_or(0, |g| g.len());
+                    st.caps.remove_process(*pid);
+                }
+            }
+            processed += chunk.len();
+            bursts += 1;
+            if amortize && processed < total {
+                ctx.sleep(pause);
             }
         }
         let mut reclaimed = 0usize;
-        for uuid in &uuids {
-            if self.reclaim_uuid_inner(uuid) {
-                reclaimed += 1;
-                self.sync_lazy(ctx, host, uuid.clone());
+        for chunk in uuids.chunks(batch) {
+            for uuid in chunk {
+                if self.reclaim_uuid_inner(uuid) {
+                    reclaimed += 1;
+                    self.sync_lazy(ctx, host, uuid.clone());
+                }
+            }
+            processed += chunk.len();
+            bursts += 1;
+            if amortize && processed < total {
+                ctx.sleep(pause);
             }
         }
         // A dead master's state regions go through the same exactly-once
@@ -1494,17 +1572,28 @@ impl ShimCluster {
         // UUID-free broadcast batched lazily. The state layer re-masters the
         // surviving replica under a fresh UUID.
         let mut regions_reclaimed = 0usize;
-        for uuid in &region_uuids {
-            if self.reclaim_uuid_inner(uuid) {
-                regions_reclaimed += 1;
-                self.sync_lazy(ctx, host, uuid.clone());
+        for chunk in region_uuids.chunks(batch) {
+            for uuid in chunk {
+                if self.reclaim_uuid_inner(uuid) {
+                    regions_reclaimed += 1;
+                    self.sync_lazy(ctx, host, uuid.clone());
+                }
+            }
+            processed += chunk.len();
+            bursts += 1;
+            if amortize && processed < total {
+                ctx.sleep(pause);
             }
         }
         if !pids.is_empty() {
             // Removing CAP_Groups is a capability update: immediate sync.
             self.sync_immediate(ctx, host);
         }
-        self.inner.state.lock().stats.pu_reclaims += 1;
+        {
+            let mut st = self.inner.state.lock();
+            st.stats.pu_reclaims += 1;
+            st.stats.reclaim_batches += if amortize { bursts } else { u64::from(total > 0) };
+        }
         let report = ReclaimReport {
             pu: dead,
             processes: pids.len(),
@@ -1547,7 +1636,7 @@ impl ShimCluster {
         if !st.reclaimed.insert(uuid.clone()) {
             return false; // duplicate UUID-free message: already handled
         }
-        if let Some(entry) = st.fifos.remove(uuid) {
+        if let Some(entry) = st.remove_fifo(uuid) {
             // The owner may already be unregistered; destroying the object
             // is what revokes stale writer capabilities everywhere.
             let _ = st.caps.destroy_object(entry.obj);
@@ -1555,7 +1644,7 @@ impl ShimCluster {
         // A state region shares the UUID namespace and the arena: its guard
         // object and any payload slots still parked for it go with the same
         // sweep, so snapshot slot-balance accounting stays exact.
-        if let Some(entry) = st.regions.remove(uuid) {
+        if let Some(entry) = st.remove_region(uuid) {
             let _ = st.caps.destroy_object(entry.obj);
         }
         st.stats.reclaimed_uuids += 1;

@@ -1,0 +1,122 @@
+//! Reclaim stress regression: killing a PU that hosts 10k resident
+//! sandboxes mid-load must not stall the rest of the machine. The sweep is
+//! amortized — at most `reclaim_batch` resources per burst, a
+//! `reclaim_batch_pause` yield between bursts — so an unrelated invoker on
+//! the host keeps completing work *inside* the sweep window, with a bounded
+//! gap between consecutive completions. The seed's stop-the-world walk
+//! (one burst, no yields) fails both assertions: the sweep collapses to a
+//! single batch and nothing interleaves with it.
+
+use hetsim::engine::Simulation;
+use hetsim::pu::PuKind;
+use hetsim::time::{SimDuration, SimTime};
+use hetsim::topology::Machine;
+use xpu_shim::{ShimCluster, ShimConfig};
+
+/// Sandboxes resident on the doomed DPU.
+const SANDBOXES: u32 = 10_000;
+/// One FIFO per this many sandboxes (matching the density bench's load
+/// shape) — reclaimed alongside the processes.
+const FIFO_STRIDE: u32 = 20;
+/// Sweep amortization under test: small batches and a visible pause so the
+/// sweep spans real virtual time for the invoker to interleave with.
+const BATCH: usize = 64;
+const PAUSE: SimDuration = SimDuration::from_micros(50);
+/// The invoker's pacing and the bound on its completion gaps during the
+/// sweep. One iteration costs ~PACE plus a local FIFO round trip; the
+/// amortized sweep must never push a gap past BOUND.
+const PACE: SimDuration = SimDuration::from_micros(25);
+const BOUND: SimDuration = SimDuration::from_micros(250);
+
+#[test]
+fn dead_pu_sweep_never_starves_unrelated_invokes() {
+    let mut sim = Simulation::new();
+    let machine = Machine::builder().host_cpu().bluefield2_dpus(1).build();
+    let config =
+        ShimConfig { reclaim_batch: BATCH, reclaim_batch_pause: PAUSE, ..ShimConfig::default() };
+    let cluster = ShimCluster::deploy(machine, config);
+
+    // Unrelated load: a host-local process doing a FIFO round trip to
+    // itself every PACE, recording each completion instant. It runs long
+    // enough to outlast setup plus the whole sweep.
+    let cl = cluster.clone();
+    let invoker = sim.spawn("unrelated-invoker", move |ctx| {
+        let host = cl.machine().host_cpu();
+        let shim = cl.shim_on(host).unwrap();
+        let pid = shim.attach_process();
+        let fifo = shim.xfifo_init(ctx, pid, "unrelated-loop").unwrap();
+        let writer = shim.xfifo_connect(ctx, pid, &fifo.uuid().clone()).unwrap();
+        let mut completions = Vec::new();
+        for i in 0..800u32 {
+            writer.write(ctx, bytes::Bytes::from(vec![0u8; 64])).unwrap();
+            let msg = fifo.read(ctx).unwrap();
+            assert_eq!(msg.len(), 64, "invoke {i} corrupted");
+            completions.push(ctx.now());
+            ctx.sleep(PACE);
+        }
+        completions
+    });
+
+    // The stressor: load the DPU with 10k sandboxes' worth of processes and
+    // FIFOs, kill it mid-load, sweep it.
+    let cl = cluster.clone();
+    let reclaimer = sim.spawn("loader-reclaimer", move |ctx| {
+        let dpu = cl.machine().pus_of_kind(PuKind::Dpu)[0];
+        let shim = cl.shim_on(dpu).unwrap();
+        let mut fifos = Vec::new();
+        for i in 0..SANDBOXES {
+            let pid = shim.attach_process();
+            if i % FIFO_STRIDE == 0 {
+                fifos.push(shim.xfifo_init(ctx, pid, format!("hd-{i}")).unwrap());
+            }
+        }
+        cl.machine().fault_plane().kill_pu(ctx.now(), dpu);
+        let batches_before = cl.stats().reclaim_batches;
+        let sweep_start = ctx.now();
+        let report = cl.reclaim_pu(ctx, dpu);
+        let sweep_end = ctx.now();
+        assert_eq!(report.pu, dpu);
+        assert_eq!(report.processes, SANDBOXES as usize);
+        assert_eq!(report.fifos_reclaimed, (SANDBOXES / FIFO_STRIDE) as usize);
+        (sweep_start, sweep_end, cl.stats().reclaim_batches - batches_before)
+    });
+
+    sim.run().unwrap();
+    let completions = invoker.take_result().unwrap();
+    let (sweep_start, sweep_end, batches) = reclaimer.take_result().unwrap();
+
+    // The sweep is genuinely amortized: many bursts, spread over at least
+    // the inter-burst pauses, not one stop-the-world batch.
+    let expected_batches = (u64::from(SANDBOXES + SANDBOXES / FIFO_STRIDE)).div_ceil(BATCH as u64);
+    assert!(
+        batches >= expected_batches,
+        "sweep ran in {batches} batches, expected >= {expected_batches}"
+    );
+    assert!(
+        sweep_end.saturating_duration_since(sweep_start) >= PAUSE * (batches - 1),
+        "sweep from {sweep_start:?} to {sweep_end:?} did not yield between its {batches} bursts"
+    );
+
+    // Unrelated invokes keep landing inside the sweep window...
+    let inside: Vec<SimTime> =
+        completions.iter().copied().filter(|&t| t > sweep_start && t < sweep_end).collect();
+    assert!(
+        inside.len() >= 50,
+        "only {} unrelated invokes completed during the {}us sweep",
+        inside.len(),
+        sweep_end.saturating_duration_since(sweep_start).as_micros_f64()
+    );
+
+    // ...and no completion gap inside the window exceeds the bound: the
+    // sweep never blocks the invoker for more than a batch's worth of
+    // events.
+    for pair in inside.windows(2) {
+        let gap = pair[1].saturating_duration_since(pair[0]);
+        assert!(
+            gap <= BOUND,
+            "unrelated invoker starved for {}us (bound {}us) during the sweep",
+            gap.as_micros_f64(),
+            BOUND.as_micros_f64()
+        );
+    }
+}
